@@ -1,0 +1,431 @@
+package yasmin_test
+
+// Benchmark harness: one benchmark per table/figure of the paper plus
+// ablation benches for the design choices DESIGN.md calls out. The
+// experiment benchmarks report domain metrics (overhead, latency, miss
+// ratios) via b.ReportMetric on top of the usual ns/op, so a single
+// `go test -bench=. -benchmem` regenerates every headline number.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/cyclictest"
+	"github.com/yasmin-rt/yasmin/internal/experiments"
+	"github.com/yasmin-rt/yasmin/internal/kernel"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin/internal/stress"
+	"github.com/yasmin-rt/yasmin/internal/taskset"
+)
+
+// --- Fig. 2: scheduling overhead, YASMIN vs Mollison & Anderson ---
+
+func BenchmarkFig2Overhead(b *testing.B) {
+	cfg := experiments.QuickFig2Config()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		rows, err := experiments.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var yasAvg, maAvg, yasMax, maMax time.Duration
+		var ny, nm int
+		for _, r := range rows {
+			switch r.System {
+			case "YASMIN":
+				yasAvg += r.AvgOvh
+				if r.MaxOvh > yasMax {
+					yasMax = r.MaxOvh
+				}
+				ny++
+			default:
+				maAvg += r.AvgOvh
+				if r.MaxOvh > maMax {
+					maMax = r.MaxOvh
+				}
+				nm++
+			}
+		}
+		b.ReportMetric(float64(yasAvg.Microseconds())/float64(ny), "yasmin-avg-µs")
+		b.ReportMetric(float64(maAvg.Microseconds())/float64(nm), "ma-avg-µs")
+		b.ReportMetric(float64(yasMax.Microseconds()), "yasmin-max-µs")
+		b.ReportMetric(float64(maMax.Microseconds()), "ma-max-µs")
+	}
+}
+
+// --- Table 2: cyclictest latency across kernel substrates ---
+
+func BenchmarkTable2Cyclictest(b *testing.B) {
+	cfg := experiments.QuickTable2Config()
+	cfg.Opts.Loops = 2000
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := strings.ReplaceAll(r.OS+"/"+r.Variant, " ", "_")
+			b.ReportMetric(float64(r.Avg.Microseconds()), name+"-avg-µs")
+		}
+	}
+}
+
+// --- Fig. 4: SAR drone scheduling exploration ---
+
+func BenchmarkFig4SAR(b *testing.B) {
+	cfg := experiments.QuickFig4Config()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		rows, err := experiments.Fig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(100*r.FrameMissRatio, r.Policy+"/"+r.Versions+"-miss-%")
+		}
+	}
+}
+
+// --- Micro-benchmarks of the scheduling fast path (real time, not
+// simulated: these measure the Go implementation itself) ---
+
+// benchApp builds a small app on the wall-clock env for microbenches.
+func benchApp(b *testing.B, cfg core.Config) (*core.App, *rt.OSEnv) {
+	b.Helper()
+	env := rt.NewOSEnv()
+	env.Spin = false
+	app, err := core.New(cfg, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app, env
+}
+
+func BenchmarkSimEngineStep(b *testing.B) {
+	eng := sim.NewEngine(1)
+	eng.Spawn("ticker", func(p *sim.Proc) {
+		for {
+			if intr, _ := p.Sleep(time.Microsecond); intr {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(sim.Time(time.Duration(b.N) * time.Microsecond)); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMiddlewareJobRoundTrip(b *testing.B) {
+	// Full release -> dispatch -> fiber -> completion round trip in virtual
+	// time, measuring real host time per simulated job.
+	eng := sim.NewEngine(1)
+	env, err := rt.NewSimEnv(eng, platform.Generic(4), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := core.New(core.Config{Workers: 2, MaxPendingJobs: 64}, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tid, err := app.TaskDecl(core.TData{Name: "t", Period: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+		return x.Compute(100 * time.Microsecond)
+	}, nil, core.VSelect{}); err != nil {
+		b.Fatal(err)
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			return
+		}
+		c.Sleep(time.Duration(b.N) * time.Millisecond)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	b.ResetTimer()
+	if err := eng.Run(sim.Infinity); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if jobs := app.Recorder().TotalJobs(); jobs < int64(b.N) {
+		b.Fatalf("only %d jobs for N=%d", jobs, b.N)
+	}
+}
+
+func BenchmarkDRSGeneration(b *testing.B) {
+	cfg := taskset.DRSConfig{N: 100, TotalUtilization: 1.5}
+	rng := sim.NewEngine(1).Rand()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := taskset.Generate(rng, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) ---
+
+// BenchmarkAblationSchedulerPeriod compares the paper's GCD-periodic
+// scheduler activation against a denser fixed activation grid.
+func BenchmarkAblationSchedulerPeriod(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		period time.Duration
+	}{
+		{"gcd-derived", 0},
+		{"fixed-100us", 100 * time.Microsecond},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ovh, err := runAblation(int64(i+1), func(cfg *core.Config) {
+					cfg.SchedulerPeriod = tc.period
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(ovh.Microseconds()), "sched-avg-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLocks compares POSIX-style and lock-free queue locking.
+func BenchmarkAblationLocks(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		lock core.LockChoice
+	}{
+		{"posix", core.LockPOSIX},
+		{"lockfree", core.LockFree},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ovh, err := runAblation(int64(i+1), func(cfg *core.Config) {
+					cfg.Lock = tc.lock
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(ovh.Microseconds()), "sched-avg-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWaitStrategy compares sleeping and spinning idle workers.
+func BenchmarkAblationWaitStrategy(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		wait core.WaitStrategy
+	}{
+		{"sleep", core.WaitSleep},
+		{"spin", core.WaitSpin},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ovh, err := runAblation(int64(i+1), func(cfg *core.Config) {
+					cfg.Wait = tc.wait
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(ovh.Microseconds()), "sched-avg-µs")
+			}
+		})
+	}
+}
+
+// runAblation executes a fixed synthetic workload under a tweaked config and
+// returns the mean scheduling overhead.
+func runAblation(seed int64, tweak func(*core.Config)) (time.Duration, error) {
+	eng := sim.NewEngine(seed)
+	env, err := rt.NewSimEnv(eng, platform.OdroidXU4(), nil)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.Config{
+		Workers:       2,
+		WorkerCores:   []int{4, 5},
+		SchedulerCore: 6,
+		Priority:      core.PriorityEDF,
+		Preemption:    true,
+		MaxTasks:      24,
+	}
+	tweak(&cfg)
+	app, err := core.New(cfg, env)
+	if err != nil {
+		return 0, err
+	}
+	set, err := taskset.Generate(sim.NewEngine(seed).Rand(), taskset.DRSConfig{
+		N: 24, TotalUtilization: 1.2,
+		PeriodMin: 10 * time.Millisecond, PeriodMax: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	for i := range set.Tasks {
+		tk := &set.Tasks[i]
+		tid, err := app.TaskDecl(core.TData{Name: tk.Name, Period: tk.Period})
+		if err != nil {
+			return 0, err
+		}
+		w := tk.WCET
+		if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+			return x.Compute(w)
+		}, nil, core.VSelect{}); err != nil {
+			return 0, err
+		}
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			return
+		}
+		c.Sleep(500 * time.Millisecond)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(5 * time.Second)); err != nil {
+		return 0, err
+	}
+	return app.Overheads().Total().Mean(), nil
+}
+
+// BenchmarkAblationAsyncAccel measures the paper's future-work extension:
+// asynchronous accelerator sections versus the synchronous limitation, on
+// the SAR-like single-worker contention scenario.
+func BenchmarkAblationAsyncAccel(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		async bool
+	}{
+		{"sync-paper-limitation", false},
+		{"async-extension", true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				miss, err := runAsyncAblation(int64(i+1), tc.async)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(miss, "cpu-task-miss-%")
+			}
+		})
+	}
+}
+
+func runAsyncAblation(seed int64, async bool) (float64, error) {
+	eng := sim.NewEngine(seed)
+	env, err := rt.NewSimEnv(eng, platform.GenericWithGPU(2), nil)
+	if err != nil {
+		return 0, err
+	}
+	app, err := core.New(core.Config{
+		Workers: 1, Preemption: true, AsyncAccel: async,
+	}, env)
+	if err != nil {
+		return 0, err
+	}
+	gpu, err := app.HwAccelDecl("gpu0")
+	if err != nil {
+		return 0, err
+	}
+	gt, err := app.TaskDecl(core.TData{Name: "gputask", Period: 100 * time.Millisecond})
+	if err != nil {
+		return 0, err
+	}
+	gv, err := app.VersionDecl(gt, func(x *core.ExecCtx, _ any) error {
+		if err := x.Compute(time.Millisecond); err != nil {
+			return err
+		}
+		if err := x.AccelSection(30 * time.Millisecond); err != nil {
+			return err
+		}
+		return x.Compute(time.Millisecond)
+	}, nil, core.VSelect{})
+	if err != nil {
+		return 0, err
+	}
+	if err := app.HwAccelUse(gt, gv, gpu); err != nil {
+		return 0, err
+	}
+	ct, err := app.TaskDecl(core.TData{
+		Name: "cputask", Period: 100 * time.Millisecond,
+		Deadline: 20 * time.Millisecond, ReleaseOffset: 2 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := app.VersionDecl(ct, func(x *core.ExecCtx, _ any) error {
+		return x.Compute(5 * time.Millisecond)
+	}, nil, core.VSelect{}); err != nil {
+		return 0, err
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			return
+		}
+		c.Sleep(time.Second)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(5 * time.Second)); err != nil {
+		return 0, err
+	}
+	st := app.Recorder().Task("cputask")
+	if st == nil || st.Jobs == 0 {
+		return 0, nil
+	}
+	return 100 * float64(st.Misses) / float64(st.Jobs), nil
+}
+
+// BenchmarkCyclictestSingleKernel measures one kernel model end to end.
+func BenchmarkCyclictestSingleKernel(b *testing.B) {
+	load := stress.PaperConfig().Load()
+	opts := cyclictest.Options{Threads: 2, Interval: 10 * time.Millisecond, Loops: 200}
+	for i := 0; i < b.N; i++ {
+		if _, err := cyclictest.RunNative(int64(i+1), platform.OdroidXU4(),
+			&kernel.PreemptRT{Load: load}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOSEnvDispatchLatency measures the wall-clock middleware's
+// release-to-start latency on the host (the Go analogue of Table 2's YASMIN
+// rows; expect GC/scheduler noise — the published repro caveat).
+func BenchmarkOSEnvDispatchLatency(b *testing.B) {
+	app, env := benchApp(b, core.Config{Workers: 2})
+	tid, err := app.TaskDecl(core.TData{Name: "t", Period: 5 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+		return nil
+	}, nil, core.VSelect{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	env.RunMain(func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			return
+		}
+		c.Sleep(time.Duration(b.N) * 5 * time.Millisecond)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	b.StopTimer()
+	if st := app.Recorder().Task("t"); st != nil {
+		_, max, avg := st.Response.Summary()
+		b.ReportMetric(float64(avg.Microseconds()), "resp-avg-µs")
+		b.ReportMetric(float64(max.Microseconds()), "resp-max-µs")
+	}
+	env.Wait()
+}

@@ -1,0 +1,47 @@
+// Command yasmin-cyclictest regenerates Table 2 of the paper: cyclictest
+// wake-up latencies (min/max/avg in µs) for YASMIN and the native tool on
+// Linux+PREEMPT_RT and LitmusRT (GSN-EDF and P-RES plugins), under
+// stress-ng load, on a simulated Odroid-XU4.
+//
+// Usage:
+//
+//	yasmin-cyclictest [-loops 10000] [-threads 6] [-interval 10ms] [-seed N]
+//
+// Defaults mirror the paper's invocation:
+// cyclictest -t 6 -d 0 -i 10000 -m -l 10000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/experiments"
+)
+
+func main() {
+	loops := flag.Int("loops", 10000, "cyclictest -l: measurement loops per thread")
+	threads := flag.Int("threads", 6, "cyclictest -t: measurement threads")
+	interval := flag.Duration("interval", 10*time.Millisecond, "cyclictest -i: wake interval")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultTable2Config()
+	cfg.Opts.Loops = *loops
+	cfg.Opts.Threads = *threads
+	cfg.Opts.Interval = *interval
+	cfg.Seed = *seed
+
+	fmt.Printf("# Table 2 — cyclictest -t %d -d 0 -i %d -m -l %d under %s\n\n",
+		cfg.Opts.Threads, cfg.Opts.Interval.Microseconds(), cfg.Opts.Loops, cfg.Stress)
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-cyclictest:", err)
+		os.Exit(1)
+	}
+	if err := experiments.PrintTable2(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-cyclictest:", err)
+		os.Exit(1)
+	}
+}

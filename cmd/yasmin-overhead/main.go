@@ -1,0 +1,60 @@
+// Command yasmin-overhead regenerates Figure 2 of the paper: average and
+// maximum scheduling overhead of YASMIN versus the Mollison & Anderson
+// userspace G-EDF library, by task count and by utilisation, on 2 and 3 big
+// cores of a simulated Odroid-XU4.
+//
+// Usage:
+//
+//	yasmin-overhead [-quick] [-full] [-seed N] [-horizon 1s]
+//
+// -quick runs a reduced grid (seconds); the default grid matches the
+// paper's axes with a coarsened utilisation step; -full sweeps the complete
+// 1360-set grid (several minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced test grid")
+	full := flag.Bool("full", false, "run the complete 1360-set grid of the paper")
+	seed := flag.Int64("seed", 1, "base random seed")
+	horizon := flag.Duration("horizon", time.Second, "simulated horizon per task set")
+	flag.Parse()
+
+	cfg := experiments.DefaultFig2Config()
+	if *quick {
+		cfg = experiments.QuickFig2Config()
+	}
+	if *full {
+		cfg = experiments.DefaultFig2Config()
+		// The paper's 1360 sets: 2 core counts x 5 sets x 8 task counts x
+		// 17 utilisation steps.
+		cfg.TaskCounts = []int{20, 35, 50, 65, 80, 95, 110, 120}
+		cfg.Utils = nil
+		for u := 0.2; u <= 2.001; u += 0.1125 {
+			cfg.Utils = append(cfg.Utils, float64(int(u*1000))/1000)
+		}
+	}
+	cfg.Seed = *seed
+	cfg.Horizon = *horizon
+
+	fmt.Printf("# Fig. 2 — scheduling overhead, YASMIN vs Mollison & Anderson\n")
+	fmt.Printf("# grid: tasks=%v utils=%v sets=%d cores=%v horizon=%v\n\n",
+		cfg.TaskCounts, cfg.Utils, cfg.SetsPer, cfg.CoreCounts, cfg.Horizon)
+	rows, err := experiments.Fig2(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-overhead:", err)
+		os.Exit(1)
+	}
+	if err := experiments.PrintFig2(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-overhead:", err)
+		os.Exit(1)
+	}
+}

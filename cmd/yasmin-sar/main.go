@@ -1,0 +1,47 @@
+// Command yasmin-sar regenerates Figure 4 of the paper: the Search & Rescue
+// drone scheduling exploration. It runs the Figure 3b task graph on a
+// simulated Apalis TK1 under every combination of scheduling policy
+// (G-EDF, G-DM, P-EDF, P-DM) and version mode (CPU only, GPU only, both),
+// reporting per-frame processing times and deadline-miss ratios.
+//
+// Usage:
+//
+//	yasmin-sar [-mission 120s] [-workers 3] [-boats 0.3] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/experiments"
+)
+
+func main() {
+	mission := flag.Duration("mission", 120*time.Second, "simulated mission duration")
+	workers := flag.Int("workers", 3, "worker threads (the 4th TK1 core hosts the scheduler)")
+	boats := flag.Float64("boats", 0.3, "probability a frame contains boats")
+	seed := flag.Int64("seed", 1, "random seed")
+	period := flag.Duration("period", 0, "frame period override (default 500ms = 2 fps)")
+	flag.Parse()
+
+	cfg := experiments.Fig4Config{
+		Mission:     *mission,
+		Workers:     *workers,
+		Seed:        *seed,
+		BoatProb:    *boats,
+		FramePeriod: *period,
+	}
+	fmt.Printf("# Fig. 4 — SAR drone scheduling exploration (%v mission, %d workers, boats=%.2f)\n\n",
+		cfg.Mission, cfg.Workers, cfg.BoatProb)
+	rows, err := experiments.Fig4(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-sar:", err)
+		os.Exit(1)
+	}
+	if err := experiments.PrintFig4(os.Stdout, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-sar:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+// Command yasmin-sim runs an arbitrary task set (JSON, as produced by
+// yasmin-taskgen) under a chosen YASMIN configuration on a simulated
+// platform and reports per-task response times, deadline misses and
+// middleware overhead — the quickest way to explore a deployment without
+// writing a program.
+//
+// Usage:
+//
+//	yasmin-taskgen -n 24 -u 1.4 | yasmin-sim -workers 3 -mapping global -priority edf
+//	yasmin-sim -set tasks.json -mapping partitioned -priority dm -horizon 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/analysis"
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin/internal/taskset"
+)
+
+func main() {
+	setPath := flag.String("set", "-", "task set JSON file ('-' for stdin)")
+	workers := flag.Int("workers", 2, "worker threads")
+	mapping := flag.String("mapping", "global", "mapping scheme: global|partitioned")
+	priority := flag.String("priority", "edf", "priority assignment: rm|dm|edf")
+	horizon := flag.Duration("horizon", 2*time.Second, "simulated duration")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	board := flag.String("platform", "odroid-xu4", "platform: odroid-xu4|apalis-tk1|generic-N")
+	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the first 100ms")
+	flag.Parse()
+
+	if err := run(*setPath, *workers, *mapping, *priority, *horizon, *seed, *board, *gantt); err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(setPath string, workers int, mapping, priority string,
+	horizon time.Duration, seed int64, board string, gantt bool) error {
+	// Load the set.
+	in := os.Stdin
+	if setPath != "-" {
+		f, err := os.Open(setPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	set, err := taskset.ReadJSON(in)
+	if err != nil {
+		return err
+	}
+
+	// Resolve the platform.
+	var pl *platform.Platform
+	switch {
+	case board == "odroid-xu4":
+		pl = platform.OdroidXU4()
+	case board == "apalis-tk1":
+		pl = platform.ApalisTK1()
+	case strings.HasPrefix(board, "generic-"):
+		var n int
+		if _, err := fmt.Sscanf(board, "generic-%d", &n); err != nil || n < 1 {
+			return fmt.Errorf("bad generic platform %q", board)
+		}
+		pl = platform.Generic(n)
+	default:
+		return fmt.Errorf("unknown platform %q", board)
+	}
+	if workers+1 > pl.NumCores() {
+		return fmt.Errorf("%d workers + scheduler need %d cores; %s has %d",
+			workers, workers+1, pl.Name, pl.NumCores())
+	}
+
+	cfg := core.Config{
+		Workers:    workers,
+		Preemption: true,
+		MaxTasks:   set.Len(),
+		RecordJobs: gantt,
+	}
+	// Prefer big cores for workers where the platform distinguishes them.
+	big := pl.CoresOfKind(platform.BigCore)
+	if len(big) >= workers+1 {
+		cfg.WorkerCores = big[:workers]
+		cfg.SchedulerCore = big[workers]
+	}
+	switch mapping {
+	case "global":
+		cfg.Mapping = core.MappingGlobal
+	case "partitioned":
+		cfg.Mapping = core.MappingPartitioned
+	default:
+		return fmt.Errorf("unknown mapping %q", mapping)
+	}
+	switch priority {
+	case "rm":
+		cfg.Priority = core.PriorityRM
+	case "dm":
+		cfg.Priority = core.PriorityDM
+	case "edf":
+		cfg.Priority = core.PriorityEDF
+	default:
+		return fmt.Errorf("unknown priority %q", priority)
+	}
+
+	// Partitioned mapping: first-fit bin-pack the set.
+	virtCore := map[int]int{}
+	if cfg.Mapping == core.MappingPartitioned {
+		bins, err := analysis.Partition(set, workers, analysis.UtilizationFits(1.0))
+		if err != nil {
+			return fmt.Errorf("partitioning failed (%w); try -mapping global", err)
+		}
+		for w, idxs := range bins {
+			for _, ti := range idxs {
+				virtCore[ti] = w
+			}
+		}
+	}
+
+	eng := sim.NewEngine(seed)
+	env, err := rt.NewSimEnv(eng, pl, nil)
+	if err != nil {
+		return err
+	}
+	app, err := core.New(cfg, env)
+	if err != nil {
+		return err
+	}
+	for i := range set.Tasks {
+		tk := &set.Tasks[i]
+		td := core.TData{Name: tk.Name, Period: tk.Period, Deadline: tk.Deadline, ReleaseOffset: tk.Offset}
+		if cfg.Mapping == core.MappingPartitioned {
+			td.VirtCore = virtCore[i]
+		}
+		tid, err := app.TaskDecl(td)
+		if err != nil {
+			return err
+		}
+		wcet := tk.WCET
+		if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+			return x.Compute(wcet)
+		}, nil, core.VSelect{WCET: wcet}); err != nil {
+			return err
+		}
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			fmt.Fprintln(os.Stderr, "start:", err)
+			return
+		}
+		c.SleepUntil(horizon)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(horizon + time.Minute)); err != nil {
+		return err
+	}
+
+	fmt.Printf("# %s · %d workers · %s/%s · U=%.2f · horizon %v · seed %d\n",
+		pl.Name, workers, mapping, priority, set.TotalUtilization(), horizon, seed)
+	if err := app.Recorder().WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	rec := app.Recorder()
+	fmt.Printf("# totals: jobs=%d misses=%d (%.2f%%) overruns=%d sched-overhead avg=%v max=%v\n",
+		rec.TotalJobs(), rec.TotalMisses(), 100*rec.MissRatio(), app.Overruns(),
+		app.Overheads().Total().Mean(), app.Overheads().Total().Max())
+	if gantt {
+		if err := rec.Gantt(os.Stdout, 100*time.Millisecond, 100); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Quickstart reproduces the paper's Listings 1 and 2: a diamond task graph
+// (fork -> {left, right} -> join) connected by FIFO channels, where the
+// "left" task has two versions — one on the CPU and one using a hardware
+// accelerator — selected at run time by the current battery level.
+//
+// It runs twice: once in deterministic virtual time (the simulation backend
+// used by all paper experiments), and once in wall-clock time as an
+// ordinary Go program (the best-effort OS backend).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+)
+
+// buildDiamond declares the Listing 2 application on an App.
+func buildDiamond(app *core.App, battery func() float64) error {
+	// Listing 1's config.h constants correspond to core.Config (set by the
+	// callers below). Channels first, like the C listing:
+	fl, err := app.ChannelDecl("fl", 0) // pure dependency, no data
+	if err != nil {
+		return err
+	}
+	fr, err := app.ChannelDecl("fr", 1)
+	if err != nil {
+		return err
+	}
+	rj, err := app.ChannelDecl("rj", 2)
+	if err != nil {
+		return err
+	}
+	lj, err := app.ChannelDecl("lj", 1)
+	if err != nil {
+		return err
+	}
+
+	fork, err := app.TaskDecl(core.TData{Name: "fork", Period: 250 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	left, err := app.TaskDecl(core.TData{Name: "left"})
+	if err != nil {
+		return err
+	}
+	right, err := app.TaskDecl(core.TData{Name: "right"})
+	if err != nil {
+		return err
+	}
+	join, err := app.TaskDecl(core.TData{Name: "join"})
+	if err != nil {
+		return err
+	}
+
+	type token struct{ value int }
+
+	if _, err := app.VersionDecl(fork, func(x *core.ExecCtx, _ any) error {
+		if err := x.Compute(200 * time.Microsecond); err != nil {
+			return err
+		}
+		if err := x.Push(fl, nil); err != nil {
+			return err
+		}
+		return x.Push(fr, token{value: 2})
+	}, nil, core.VSelect{}); err != nil {
+		return err
+	}
+
+	if _, err := app.VersionDecl(right, func(x *core.ExecCtx, _ any) error {
+		v, err := x.Pop(fr)
+		if err != nil {
+			return err
+		}
+		rec := v.(token)
+		if err := x.Compute(300 * time.Microsecond); err != nil {
+			return err
+		}
+		if err := x.Push(rj, rec.value); err != nil {
+			return err
+		}
+		return x.Push(rj, rec.value*2)
+	}, nil, core.VSelect{}); err != nil {
+		return err
+	}
+
+	// left has two versions; YASMIN selects by energy (Listing 1:
+	// VERSION_SELECTION ENERGY). v1 is the cheap CPU version, v2 the
+	// accelerator version, affordable only above 40% battery.
+	lv1 := core.VSelect{EnergyBudget: 5, Quality: 1, GetBatteryStatus: battery}
+	lv2 := core.VSelect{EnergyBudget: 12, Quality: 9, MinBattery: 40, GetBatteryStatus: battery}
+	if _, err := app.VersionDecl(left, func(x *core.ExecCtx, _ any) error {
+		if err := x.Compute(800 * time.Microsecond); err != nil {
+			return err
+		}
+		return x.Push(lj, 7)
+	}, nil, lv1); err != nil {
+		return err
+	}
+	lv2id, err := app.VersionDecl(left, func(x *core.ExecCtx, _ any) error {
+		if err := x.Compute(100 * time.Microsecond); err != nil {
+			return err
+		}
+		if err := x.AccelSection(200 * time.Microsecond); err != nil {
+			return err
+		}
+		return x.Push(lj, 7)
+	}, nil, lv2)
+	if err != nil {
+		return err
+	}
+	accel, err := app.HwAccelDecl("quantum_rand_num_generator")
+	if err != nil {
+		return err
+	}
+	if err := app.HwAccelUse(left, lv2id, accel); err != nil {
+		return err
+	}
+
+	if _, err := app.VersionDecl(join, func(x *core.ExecCtx, _ any) error {
+		a, err := x.Pop(rj)
+		if err != nil {
+			return err
+		}
+		b, err := x.Pop(rj)
+		if err != nil {
+			return err
+		}
+		l, err := x.Pop(lj)
+		if err != nil {
+			return err
+		}
+		return x.Compute(time.Duration(100+a.(int)+b.(int)+l.(int)) * time.Microsecond)
+	}, nil, core.VSelect{}); err != nil {
+		return err
+	}
+
+	if err := app.ChannelConnect(fork, left, fl); err != nil {
+		return err
+	}
+	if err := app.ChannelConnect(fork, right, fr); err != nil {
+		return err
+	}
+	if err := app.ChannelConnect(right, join, rj); err != nil {
+		return err
+	}
+	return app.ChannelConnect(left, join, lj)
+}
+
+func report(label string, app *core.App) {
+	fmt.Printf("\n=== %s ===\n", label)
+	rec := app.Recorder()
+	for _, name := range rec.TaskNames() {
+		st := rec.Task(name)
+		min, max, avg := st.Response.Summary()
+		fmt.Printf("%-12s jobs=%-4d misses=%-3d response <%v, %v, %v> versions=%v\n",
+			name, st.Jobs, st.Misses, min, max, avg, st.Versions)
+	}
+}
+
+func main() {
+	// --- Run 1: deterministic virtual time on a simulated Odroid-XU4. ---
+	eng := sim.NewEngine(1)
+	env, err := rt.NewSimEnv(eng, platform.OdroidXU4(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	battery, err := platform.NewBattery(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{
+		Workers:       2, // THREADS_SIZE 2 (Listing 1)
+		WorkerCores:   []int{4, 5},
+		SchedulerCore: 6,
+		Mapping:       core.MappingGlobal, // MAPPING_SCHEME GLOBAL
+		Priority:      core.PriorityEDF,   // PRIORITY_ASSIGNMENT EDF
+		VersionSelect: core.SelectEnergy,  // VERSION_SELECTION ENERGY
+	}
+	app, err := core.New(cfg, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.SetBattery(battery)
+	if err := buildDiamond(app, battery.Level); err != nil {
+		log.Fatal(err)
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			log.Println("start:", err)
+			return
+		}
+		c.Sleep(2 * time.Second) // high battery: accelerator version runs
+		if err := battery.SetLevel(15); err != nil {
+			log.Println(err)
+		}
+		c.Sleep(2 * time.Second) // low battery: CPU version takes over
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(10 * time.Second)); err != nil {
+		log.Fatal(err)
+	}
+	report("virtual time (simulated Odroid-XU4)", app)
+	fmt.Printf("battery left: %.1f%%\n", battery.Level())
+
+	// --- Run 2: wall-clock time as a plain Go program. ---
+	osEnv := rt.NewOSEnv()
+	osEnv.Spin = false // model the load without burning a laptop core
+	battery2, err := platform.NewBattery(2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg2 := core.Config{Workers: 2, VersionSelect: core.SelectEnergy}
+	app2, err := core.New(cfg2, osEnv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app2.SetBattery(battery2)
+	if err := buildDiamond(app2, battery2.Level); err != nil {
+		log.Fatal(err)
+	}
+	osEnv.RunMain(func(c rt.Ctx) {
+		if err := app2.Start(c); err != nil {
+			log.Println("start:", err)
+			return
+		}
+		c.Sleep(1 * time.Second)
+		app2.Stop(c)
+		app2.Cleanup(c)
+	})
+	osEnv.Wait()
+	report("wall clock (Go runtime, soft real-time)", app2)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// parkOnAccel parks a job on a busy accelerator's waiter list and applies
+// the Priority Inheritance Protocol (Section 3.2): when the waiting job is
+// more urgent than the accelerator's holder, the holder inherits its
+// priority so it finishes (and releases the accelerator) sooner.
+// Caller holds the lock.
+func (a *App) parkOnAccel(c rt.Ctx, j *job, h HID) {
+	ac := &a.accels[h]
+	j.state = jobAccelWait
+	// Insert priority-ordered (most urgent first).
+	pos := len(ac.waiters)
+	for i, wjob := range ac.waiters {
+		if j.before(wjob) {
+			pos = i
+			break
+		}
+	}
+	ac.waiters = append(ac.waiters, nil)
+	copy(ac.waiters[pos+1:], ac.waiters[pos:])
+	ac.waiters[pos] = j
+
+	holder := ac.holder
+	if holder == nil {
+		return
+	}
+	if j.effPrio < holder.effPrio {
+		// PIP boost: the holder inherits the waiter's priority.
+		holder.effPrio = j.effPrio
+		// If the holder is still queued (not yet running), fix its heap
+		// position; if it is suspended on a worker stack the next
+		// stackTop scan picks the boost up automatically.
+		a.queueForTask(holder.t).fix(holder)
+	}
+}
+
+// releaseAccel releases j's accelerator, restores the (possibly boosted)
+// holder priority bookkeeping and requeues all waiters for a fresh
+// scheduling pass — the paper "reschedules the task", which re-runs version
+// selection and may now pick the freed accelerator or a CPU version.
+// Caller holds the lock.
+func (a *App) releaseAccel(c rt.Ctx, j *job) {
+	ac := &a.accels[j.accel]
+	ac.busy = false
+	ac.holder = nil
+	j.accel = NoAccel
+	j.effPrio = j.basePrio
+	if len(ac.waiters) == 0 {
+		return
+	}
+	t0 := c.Now()
+	for _, wjob := range ac.waiters {
+		wjob.state = jobReady
+		q := a.queueForTask(wjob.t)
+		a.chargeQueueOp(c, q)
+		if err := q.push(wjob); err != nil {
+			a.overruns.Add(1)
+			a.freeJob(wjob)
+		}
+	}
+	ac.waiters = ac.waiters[:0]
+	a.ovh.Add(trace.OverheadDispatch, c.Now()-t0)
+	a.dispatch(c)
+}
+
+// AccelBusy reports whether accelerator h is currently held (for tests and
+// user selection callbacks running outside the lock it is advisory).
+func (a *App) AccelBusy(h HID) bool {
+	if int(h) < 0 || int(h) >= a.naccels {
+		return false
+	}
+	return a.accels[h].busy
+}

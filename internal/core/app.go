@@ -1,0 +1,597 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// Common errors.
+var (
+	// ErrStarted is returned by declaration calls while the schedule runs:
+	// the paper only allows altering the task set while stopped.
+	ErrStarted = errors.New("core: schedule is running; stop it first")
+	// ErrTerminated is returned from ExecCtx methods when the middleware is
+	// cleaning up; task functions must propagate it.
+	ErrTerminated = errors.New("core: middleware terminated")
+	// ErrTooMany is returned when a static size limit is exceeded.
+	ErrTooMany = errors.New("core: static size limit exceeded")
+	// ErrMinInterarrival is returned by TaskActivate when a sporadic task is
+	// activated faster than its declared minimum inter-arrival time.
+	ErrMinInterarrival = errors.New("core: sporadic activation before minimum inter-arrival")
+)
+
+// App is one YASMIN middleware instance: the Go analogue of the library
+// linked into the end-user program. All declaration methods must run before
+// Start (or between Stop and a new Start, enabling the paper's multi-mode
+// scheduling); Start spawns the scheduler and worker threads on the
+// configured cores.
+type App struct {
+	cfg Config
+	env rt.Env
+
+	mu rt.Lock // protects all mutable state below
+
+	tasks     []task
+	ntasks    int
+	accels    []accel
+	naccels   int
+	channels  []channel
+	nchannels int
+	edges     []edge
+	nedges    int
+
+	jobPool  []job
+	freeJobs []int
+
+	queues  []*readyQueue
+	workers []*workerState
+	fibers  []*fiber
+	freeFib []int
+
+	started       atomic.Bool
+	stopping      atomic.Bool
+	terminating   atomic.Bool
+	liveThreads   atomic.Int64
+	workersLive   atomic.Int64
+	schedLive     atomic.Int64
+	fibersSpawned bool
+	schedTh       rt.Thread
+
+	mode    uint32
+	maskBit uint32
+
+	battery *platform.Battery
+	meter   *platform.EnergyMeter
+
+	rec *trace.Recorder
+	ovh *trace.Overheads
+
+	overruns   atomic.Int64
+	taskErrors atomic.Int64
+	firstError error
+
+	schedPeriod time.Duration
+	startTime   time.Duration
+	jobSeq      int64
+
+	offTable *OfflineTable
+}
+
+// New builds an App for the given configuration and environment. Everything
+// the scheduling path touches is allocated here.
+func New(cfg Config, env rt.Env) (*App, error) {
+	if env == nil {
+		return nil, fmt.Errorf("core: nil environment")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &App{cfg: cfg, env: env}
+	a.mu = env.NewLock(cfg.Lock.rtKind())
+	a.tasks = make([]task, cfg.MaxTasks)
+	for i := range a.tasks {
+		a.tasks[i].versions = make([]version, 0, cfg.MaxVersionsPerTask)
+	}
+	a.accels = make([]accel, cfg.MaxAccels)
+	for i := range a.accels {
+		a.accels[i].waiters = make([]*job, 0, cfg.MaxPendingJobs)
+	}
+	a.channels = make([]channel, cfg.MaxChannels)
+	a.edges = make([]edge, cfg.MaxChannels)
+	a.jobPool = make([]job, cfg.MaxPendingJobs)
+	a.freeJobs = make([]int, 0, cfg.MaxPendingJobs)
+	nq := 1
+	if cfg.Mapping == MappingPartitioned {
+		nq = cfg.Workers
+	}
+	a.queues = make([]*readyQueue, nq)
+	for i := range a.queues {
+		a.queues[i] = newReadyQueue(cfg.MaxPendingJobs)
+	}
+	a.workers = make([]*workerState, cfg.Workers)
+	for i := range a.workers {
+		a.workers[i] = &workerState{
+			idx:       i,
+			core:      cfg.WorkerCores[i],
+			preempted: make([]*job, 0, cfg.MaxPendingJobs),
+		}
+	}
+	nfib := cfg.Workers + cfg.MaxPendingJobs
+	a.fibers = make([]*fiber, nfib)
+	a.freeFib = make([]int, 0, nfib)
+	a.Init()
+	return a, nil
+}
+
+// Init (re)initialises the middleware structures — the paper's yas_init().
+// It clears all declarations; it must not be called while started.
+func (a *App) Init() {
+	a.ntasks = 0
+	a.naccels = 0
+	a.nchannels = 0
+	a.nedges = 0
+	a.freeJobs = a.freeJobs[:0]
+	for i := range a.jobPool {
+		a.jobPool[i] = job{poolIdx: i}
+		a.freeJobs = append(a.freeJobs, i)
+	}
+	a.mode = 0
+	a.maskBit = ^uint32(0)
+	a.rec = trace.NewRecorder(a.cfg.RecordJobs)
+	a.ovh = trace.NewOverheads()
+	a.overruns.Store(0)
+	a.taskErrors.Store(0)
+	a.firstError = nil
+}
+
+// Env returns the execution environment.
+func (a *App) Env() rt.Env { return a.env }
+
+// Config returns a copy of the effective configuration.
+func (a *App) Config() Config { return a.cfg }
+
+// Recorder returns the job/metric recorder of the current run.
+func (a *App) Recorder() *trace.Recorder { return a.rec }
+
+// Overheads returns the middleware-overhead samples of the current run.
+func (a *App) Overheads() *trace.Overheads { return a.ovh }
+
+// Overruns returns the number of dropped activations (pool or queue
+// exhaustion, graph backlog overflow).
+func (a *App) Overruns() int64 { return a.overruns.Load() }
+
+// TaskErrors returns the number of task-function errors observed.
+func (a *App) TaskErrors() int64 { return a.taskErrors.Load() }
+
+// FirstError returns the first task-function error, if any.
+func (a *App) FirstError() error { return a.firstError }
+
+// SetBattery attaches a battery model used by SelectEnergy and drained by
+// job execution.
+func (a *App) SetBattery(b *platform.Battery) { a.battery = b }
+
+// SetMeter attaches an energy meter recording per-version consumption.
+func (a *App) SetMeter(m *platform.EnergyMeter) { a.meter = m }
+
+// SetMode switches the execution mode (SelectMode); mode is a small integer
+// < 32 matched against VSelect.Modes bitmasks. Callable at runtime: the
+// paper's multi-security-mode example switches modes while running.
+func (a *App) SetMode(mode uint32) { atomic.StoreUint32(&a.mode, mode) }
+
+// Mode returns the current execution mode.
+func (a *App) Mode() uint32 { return atomic.LoadUint32(&a.mode) }
+
+// SetPermissionMask sets the bitmask for SelectBitmask.
+func (a *App) SetPermissionMask(mask uint32) { atomic.StoreUint32(&a.maskBit, mask) }
+
+// TaskDecl declares a task — the paper's yas_task_decl. The task has no
+// versions yet; add at least one with VersionDecl before Start.
+func (a *App) TaskDecl(d TData) (TID, error) {
+	if a.started.Load() {
+		return -1, ErrStarted
+	}
+	if d.Name == "" {
+		return -1, fmt.Errorf("core: task needs a name")
+	}
+	if d.Period < 0 || d.Deadline < 0 || d.ReleaseOffset < 0 {
+		return -1, fmt.Errorf("core: task %s: negative timing parameter", d.Name)
+	}
+	if a.ntasks == len(a.tasks) {
+		return -1, fmt.Errorf("%w: MaxTasks=%d", ErrTooMany, len(a.tasks))
+	}
+	id := TID(a.ntasks)
+	t := &a.tasks[a.ntasks]
+	*t = task{id: id, d: d, versions: t.versions[:0]}
+	a.ntasks++
+	return id, nil
+}
+
+// VersionDecl adds an implementation to a task — yas_version_decl. args is
+// passed to fn on every job (the C API's f_static_args).
+func (a *App) VersionDecl(t TID, fn TaskFunc, args any, props VSelect) (VID, error) {
+	if a.started.Load() {
+		return -1, ErrStarted
+	}
+	tk, err := a.taskByID(t)
+	if err != nil {
+		return -1, err
+	}
+	if fn == nil {
+		return -1, fmt.Errorf("core: task %s: nil version function", tk.d.Name)
+	}
+	if len(tk.versions) == cap(tk.versions) {
+		return -1, fmt.Errorf("%w: MaxVersionsPerTask=%d", ErrTooMany, cap(tk.versions))
+	}
+	id := VID(len(tk.versions))
+	tk.versions = append(tk.versions, version{id: id, fn: fn, args: args, props: props, accel: NoAccel})
+	return id, nil
+}
+
+// HwAccelDecl declares a hardware accelerator — yas_hwaccel_decl. If the
+// platform knows an accelerator with this name its speed/power are used.
+func (a *App) HwAccelDecl(name string) (HID, error) {
+	if a.started.Load() {
+		return -1, ErrStarted
+	}
+	if name == "" {
+		return -1, fmt.Errorf("core: accelerator needs a name")
+	}
+	if a.naccels == len(a.accels) {
+		return -1, fmt.Errorf("%w: MaxAccels=%d", ErrTooMany, len(a.accels))
+	}
+	platIdx := -1
+	if pl := a.env.Platform(); pl != nil {
+		if acc, err := pl.AccelByName(name); err == nil {
+			platIdx = acc.ID
+		}
+	}
+	id := HID(a.naccels)
+	ac := &a.accels[a.naccels]
+	ac.id = id
+	ac.name = name
+	ac.platIdx = platIdx
+	ac.busy = false
+	ac.holder = nil
+	ac.waiters = ac.waiters[:0]
+	a.naccels++
+	return id, nil
+}
+
+// HwAccelUse declares that version v of task t uses accelerator h —
+// yas_hwaccel_use. The scheduler uses this to steer version selection and
+// apply PIP on contention.
+func (a *App) HwAccelUse(t TID, v VID, h HID) error {
+	if a.started.Load() {
+		return ErrStarted
+	}
+	tk, err := a.taskByID(t)
+	if err != nil {
+		return err
+	}
+	if int(v) < 0 || int(v) >= len(tk.versions) {
+		return fmt.Errorf("core: task %s has no version %d", tk.d.Name, v)
+	}
+	if int(h) < 0 || int(h) >= a.naccels {
+		return fmt.Errorf("core: no accelerator %d", h)
+	}
+	tk.versions[v].accel = h
+	return nil
+}
+
+// ChannelDecl declares a FIFO channel of the given capacity —
+// yas_channel_decl. Capacity zero declares a pure precedence channel (the
+// paper's size-0 fork->left channel): it carries activation tokens only.
+func (a *App) ChannelDecl(name string, capacity int) (CID, error) {
+	if a.started.Load() {
+		return -1, ErrStarted
+	}
+	if capacity < 0 {
+		return -1, fmt.Errorf("core: channel %s: negative capacity", name)
+	}
+	if a.nchannels == len(a.channels) {
+		return -1, fmt.Errorf("%w: MaxChannels=%d", ErrTooMany, len(a.channels))
+	}
+	id := CID(a.nchannels)
+	ch := &a.channels[a.nchannels]
+	ch.id = id
+	ch.name = name
+	ch.cap = capacity
+	if cap(ch.buf) < capacity {
+		ch.buf = make([]any, capacity)
+	} else {
+		ch.buf = ch.buf[:capacity]
+	}
+	ch.head, ch.n = 0, 0
+	a.nchannels++
+	return id, nil
+}
+
+// ChannelConnect connects src to dst through channel c —
+// yas_channel_connect. The connection is also a precedence edge: dst (if
+// non-periodic) is activated by the scheduler once every input edge has
+// data.
+func (a *App) ChannelConnect(src, dst TID, c CID) error {
+	return a.connect(src, dst, c, 0)
+}
+
+// ChannelConnectDelayed connects src to dst with `delay` initial tokens on
+// the edge — the paper's future-work "delay tokens mechanism, thus relaxing
+// the acyclic constraint in graph-based task models" (Section 7). A
+// consumer can fire `delay` times before its producer ever completes, and
+// back edges carrying at least one delay token are permitted: the classic
+// SDF feedback-loop construction.
+func (a *App) ChannelConnectDelayed(src, dst TID, c CID, delay int) error {
+	if delay < 0 {
+		return fmt.Errorf("core: negative delay token count %d", delay)
+	}
+	if delay >= a.cfg.GraphInstanceCap {
+		return fmt.Errorf("%w: %d delay tokens with GraphInstanceCap=%d",
+			ErrTooMany, delay, a.cfg.GraphInstanceCap)
+	}
+	return a.connect(src, dst, c, delay)
+}
+
+func (a *App) connect(src, dst TID, c CID, delay int) error {
+	if a.started.Load() {
+		return ErrStarted
+	}
+	if _, err := a.taskByID(src); err != nil {
+		return err
+	}
+	if _, err := a.taskByID(dst); err != nil {
+		return err
+	}
+	if src == dst {
+		return fmt.Errorf("core: channel self-loop on task %d", src)
+	}
+	if int(c) < 0 || int(c) >= a.nchannels {
+		return fmt.Errorf("core: no channel %d", c)
+	}
+	if a.nedges == len(a.edges) {
+		return fmt.Errorf("%w: MaxChannels=%d edges", ErrTooMany, len(a.edges))
+	}
+	e := &a.edges[a.nedges]
+	*e = edge{src: src, dst: dst, ch: c, initial: delay, stamps: e.stamps}
+	if cap(e.stamps) < a.cfg.GraphInstanceCap {
+		e.stamps = make([]time.Duration, a.cfg.GraphInstanceCap)
+	} else {
+		e.stamps = e.stamps[:a.cfg.GraphInstanceCap]
+	}
+	e.head, e.count, e.tokens = 0, 0, 0
+	a.nedges++
+	return nil
+}
+
+// SetOfflineTable installs the pre-computed dispatch table for
+// MappingOffline.
+func (a *App) SetOfflineTable(t *OfflineTable) error {
+	if a.started.Load() {
+		return ErrStarted
+	}
+	if a.cfg.Mapping != MappingOffline {
+		return fmt.Errorf("core: offline table requires MappingOffline")
+	}
+	if err := t.validate(a); err != nil {
+		return err
+	}
+	a.offTable = t
+	return nil
+}
+
+func (a *App) taskByID(t TID) (*task, error) {
+	if int(t) < 0 || int(t) >= a.ntasks {
+		return nil, fmt.Errorf("core: no task %d", t)
+	}
+	return &a.tasks[t], nil
+}
+
+// prioKeyOf computes the static part of a task's priority key.
+func (a *App) prioKeyOf(t *task) int64 {
+	switch a.cfg.Priority {
+	case PriorityRM:
+		return int64(t.d.Period)
+	case PriorityDM:
+		return int64(t.effDeadline)
+	case PriorityUser:
+		return int64(t.d.Priority)
+	default: // EDF: dynamic, computed at release
+		return 0
+	}
+}
+
+// resolve finishes the declaration phase: effective deadlines, root flags,
+// static priorities, and structural validation. Called by Start.
+func (a *App) resolve() error {
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		t.outEdges = t.outEdges[:0]
+		t.inEdges = t.inEdges[:0]
+	}
+	for i := 0; i < a.nedges; i++ {
+		e := &a.edges[i]
+		a.tasks[e.src].outEdges = append(a.tasks[e.src].outEdges, e)
+		a.tasks[e.dst].inEdges = append(a.tasks[e.dst].inEdges, e)
+	}
+	// Cycle check over the edge relation.
+	if err := a.checkAcyclic(); err != nil {
+		return err
+	}
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		if len(t.versions) == 0 {
+			return fmt.Errorf("core: task %s has no version", t.d.Name)
+		}
+		t.root = t.d.Period > 0 || t.d.Sporadic || len(t.inEdges) == 0
+		for _, e := range t.inEdges {
+			if t.d.Period > 0 && e.initial == 0 {
+				return fmt.Errorf("core: task %s is data-activated but has a period; only root nodes carry periods (feedback into a periodic root needs delay tokens)", t.d.Name)
+			}
+		}
+		t.effDeadline = t.d.Deadline
+		if t.effDeadline == 0 {
+			switch {
+			case t.d.Period > 0:
+				t.effDeadline = t.d.Period // implicit
+			case len(t.inEdges) > 0:
+				t.effDeadline = a.graphDeadlineFor(t) // inherit from graph roots
+			case a.cfg.Mapping == MappingOffline && a.offTable != nil:
+				// Table-driven tasks fall back to the table cycle: the
+				// off-line synthesiser already proved their placements meet
+				// the real deadlines.
+				t.effDeadline = a.offTable.Cycle
+			default:
+				return fmt.Errorf("core: aperiodic task %s needs an explicit deadline", t.d.Name)
+			}
+		}
+		if a.cfg.Mapping == MappingPartitioned {
+			if t.d.VirtCore < 0 || t.d.VirtCore >= a.cfg.Workers {
+				return fmt.Errorf("core: task %s: VirtCore %d out of [0,%d) for partitioned mapping",
+					t.d.Name, t.d.VirtCore, a.cfg.Workers)
+			}
+		}
+		t.staticPrio = a.prioKeyOf(t)
+		t.nextRelease = 0
+		t.lastActivation = 0
+		t.everActivated = false
+		t.jobSeq = 0
+	}
+	return nil
+}
+
+// graphDeadlineFor walks back to the graph roots and returns the smallest
+// root relative deadline (conservative).
+func (a *App) graphDeadlineFor(t *task) time.Duration {
+	best := time.Duration(0)
+	seen := make(map[TID]bool, a.ntasks)
+	var walk func(x *task)
+	walk = func(x *task) {
+		if seen[x.id] {
+			return
+		}
+		seen[x.id] = true
+		if len(x.inEdges) == 0 {
+			d := x.d.Deadline
+			if d == 0 {
+				d = x.d.Period
+			}
+			if d > 0 && (best == 0 || d < best) {
+				best = d
+			}
+			return
+		}
+		for _, e := range x.inEdges {
+			walk(&a.tasks[e.src])
+		}
+	}
+	walk(t)
+	if best == 0 {
+		best = time.Second // degenerate: no rooted period found
+	}
+	return best
+}
+
+func (a *App) checkAcyclic() error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, a.ntasks)
+	var visit func(i int) error
+	visit = func(i int) error {
+		color[i] = grey
+		for _, e := range a.tasks[i].outEdges {
+			if e.initial > 0 {
+				// Delay tokens break the cycle: the edge does not
+				// constrain the first e.initial activations.
+				continue
+			}
+			switch color[e.dst] {
+			case grey:
+				return fmt.Errorf("core: channel graph has a cycle through task %s", a.tasks[e.dst].d.Name)
+			case white:
+				if err := visit(int(e.dst)); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := 0; i < a.ntasks; i++ {
+		if color[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// schedGCD derives the scheduler thread period: the GCD of all declared
+// periods (Section 3.3). Non-zero release offsets join the GCD so that
+// offset releases also fall on the scheduler's activation grid.
+func (a *App) schedGCD() time.Duration {
+	var g time.Duration
+	acc := func(d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		if g == 0 {
+			g = d
+		} else {
+			g = gcdDur(g, d)
+		}
+	}
+	for i := 0; i < a.ntasks; i++ {
+		if a.tasks[i].d.Sporadic {
+			continue
+		}
+		acc(a.tasks[i].d.Period)
+		acc(a.tasks[i].d.ReleaseOffset)
+	}
+	if g == 0 {
+		g = time.Millisecond
+	}
+	return g
+}
+
+func gcdDur(x, y time.Duration) time.Duration {
+	for y != 0 {
+		x, y = y, x%y
+	}
+	return x
+}
+
+// allocJob takes a job from the pool; nil when exhausted (counted by caller).
+func (a *App) allocJob() *job {
+	n := len(a.freeJobs)
+	if n == 0 {
+		return nil
+	}
+	idx := a.freeJobs[n-1]
+	a.freeJobs = a.freeJobs[:n-1]
+	j := &a.jobPool[idx]
+	if j.state != jobFree {
+		panic(fmt.Sprintf("core: allocJob handing out live job %d (state=%d, task=%v)",
+			idx, j.state, j.t != nil))
+	}
+	*j = job{poolIdx: idx, worker: -1, accel: NoAccel}
+	return j
+}
+
+func (a *App) freeJob(j *job) {
+	if j.state == jobFree {
+		panic(fmt.Sprintf("core: double free of job %d", j.poolIdx))
+	}
+	j.state = jobFree
+	j.t = nil
+	j.fib = nil
+	a.freeJobs = append(a.freeJobs, j.poolIdx)
+}

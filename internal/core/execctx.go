@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/rt"
+)
+
+// ExecCtx is the execution context handed to task version functions. It is
+// the only sanctioned interface between user code and the middleware: time,
+// modelled computation, FIFO channels, accelerator sections and mode
+// queries all go through it. An ExecCtx is valid only for the duration of
+// the job it was created for.
+type ExecCtx struct {
+	app *App
+	j   *job
+	c   rt.Ctx
+	f   *fiber
+}
+
+// Now returns the current time (virtual or wall-clock, per environment).
+func (x *ExecCtx) Now() time.Duration { return x.c.Now() }
+
+// App returns the owning middleware instance (e.g. to switch execution
+// modes from task code, as the SAR application's detector does).
+func (x *ExecCtx) App() *App { return x.app }
+
+// Task returns the executing task's ID.
+func (x *ExecCtx) Task() TID { return x.j.t.id }
+
+// TaskName returns the executing task's name.
+func (x *ExecCtx) TaskName() string { return x.j.t.d.Name }
+
+// Version returns the selected version's ID.
+func (x *ExecCtx) Version() VID { return x.j.version }
+
+// JobIndex returns the job's index within its task (1-based).
+func (x *ExecCtx) JobIndex() int64 { return x.j.taskSeq }
+
+// Release returns the job's release instant.
+func (x *ExecCtx) Release() time.Duration { return x.j.release }
+
+// AbsoluteDeadline returns the job's absolute deadline.
+func (x *ExecCtx) AbsoluteDeadline() time.Duration { return x.j.absDL }
+
+// Mode returns the application's current execution mode.
+func (x *ExecCtx) Mode() uint32 { return x.app.Mode() }
+
+// Battery returns the battery level in percent, or -1 without a battery.
+func (x *ExecCtx) Battery() float64 {
+	if x.app.battery == nil {
+		return -1
+	}
+	return x.app.battery.Level()
+}
+
+// Compute consumes d of CPU work on the job's virtual CPU. It is the
+// preemption point: when the scheduler signals the worker (a higher-priority
+// job became ready), Compute suspends the job mid-way, lets the worker run
+// the urgent job, and transparently resumes the remainder afterwards.
+// It returns ErrTerminated when the middleware is shutting down.
+func (x *ExecCtx) Compute(d time.Duration) error {
+	rem := d
+	for rem > 0 {
+		consumedStart := rem
+		r, intr := x.c.Compute(rem)
+		x.j.computed += consumedStart - r
+		rem = r
+		if !intr {
+			return nil
+		}
+		cont := x.suspendForPreemption()
+		if !cont {
+			return ErrTerminated
+		}
+	}
+	return nil
+}
+
+// suspendForPreemption is called when the fiber received the preemption
+// signal mid-Compute. Under the lock it re-checks that a more urgent job is
+// actually waiting (the signal may be stale); if so it hands the worker
+// back, parks, and returns when the worker resumes this job. Returns false
+// on termination.
+func (x *ExecCtx) suspendForPreemption() bool {
+	a := x.app
+	if a.terminating.Load() {
+		return false
+	}
+	a.mu.Lock(x.c)
+	j := x.j
+	w := a.workers[j.worker]
+	q := a.queueForWorker(w)
+	head := q.peek()
+	if head == nil || !head.before(j) || !a.cfg.Preemption {
+		// Spurious or stale signal: keep running.
+		a.mu.Unlock(x.c)
+		return true
+	}
+	w.wakeReason = wakeSuspended
+	w.wakeJob = j
+	a.mu.Unlock(x.c)
+	c := a.env.Costs()
+	x.c.Charge(c.ContextSwitch)
+	w.th.Unpark()
+	// Stay suspended until the worker genuinely resumes us (Park returns
+	// false). Interrupted parks are stale preemption signals: a scheduler
+	// may signal the same fiber more than once per tick and the extras
+	// coalesce as pending interrupts — they must not self-resume the job.
+	for {
+		intr := x.c.Park()
+		if !intr {
+			return true
+		}
+		if a.terminating.Load() {
+			return false
+		}
+	}
+}
+
+// AccelSection executes the accelerator-bound part of the version: d of
+// work on the accelerator declared via HwAccelUse. In the paper's default
+// (synchronous) model the CPU worker stays occupied for the whole section
+// (the Section 3.2 "Limitation"); with Config.AsyncAccel the worker is
+// released to run other jobs and this job re-acquires a CPU afterwards —
+// the paper's announced future-work extension.
+func (x *ExecCtx) AccelSection(d time.Duration) error {
+	if x.j.accel == NoAccel {
+		// Version has no accelerator: it is CPU work.
+		return x.Compute(d)
+	}
+	scaled := x.accelScaled(d)
+	if !x.app.cfg.AsyncAccel {
+		// Synchronous: the worker is pinned down; the section is not
+		// preemptible (a signal cannot stop a running GPU kernel).
+		x.c.Charge(scaled)
+		x.j.computed += d
+		return nil
+	}
+	return x.asyncAccelSection(scaled, d)
+}
+
+// accelScaled converts nominal accelerator work to the accelerator's speed.
+func (x *ExecCtx) accelScaled(d time.Duration) time.Duration {
+	a := x.app
+	pl := a.env.Platform()
+	if pl == nil {
+		return d
+	}
+	pi := a.accels[x.j.accel].platIdx
+	if pi < 0 || pi >= len(pl.Accels) {
+		return d
+	}
+	if s := pl.Accels[pi].Speed; s > 0 {
+		return time.Duration(float64(d) / s)
+	}
+	return d
+}
+
+// asyncAccelSection releases the CPU worker, waits out the accelerator time
+// off-CPU, then rejoins the worker through its resume stack.
+func (x *ExecCtx) asyncAccelSection(scaled, nominal time.Duration) error {
+	a := x.app
+	j := x.j
+	a.mu.Lock(x.c)
+	w := a.workers[j.worker]
+	j.state = jobAccelAsync
+	w.wakeReason = wakeAsyncFree
+	w.wakeJob = j
+	a.mu.Unlock(x.c)
+	w.th.Unpark()
+
+	// The fiber now represents the accelerator execution: off any CPU.
+	// Stale preemption interrupts must not shorten the GPU time: re-arm
+	// the sleep until the full section elapsed.
+	until := x.c.Now() + scaled
+	for x.c.Now() < until {
+		if intr := x.c.SleepUntil(until); intr && a.terminating.Load() {
+			return ErrTerminated
+		}
+	}
+	j.computed += nominal
+
+	// Re-acquire a CPU: mark resumable and wake our worker.
+	a.mu.Lock(x.c)
+	j.state = jobAccelResumed
+	wake := w.idle
+	if wake {
+		w.idle = false
+	}
+	preemptCurrent := !wake && a.cfg.Preemption &&
+		w.current != nil && w.current.state == jobRunning && j.before(w.current)
+	var preemptFiber rt.Thread
+	if preemptCurrent && w.current.fib != nil {
+		preemptFiber = w.current.fib.th
+	}
+	a.mu.Unlock(x.c)
+	if wake {
+		w.th.Unpark()
+	} else if preemptFiber != nil {
+		x.c.Charge(a.env.Costs().SignalDeliver)
+		preemptFiber.Interrupt()
+	}
+	// Until the worker resumes us; stale interrupts must not self-resume.
+	for {
+		intr := x.c.Park()
+		if !intr {
+			return nil
+		}
+		if a.terminating.Load() {
+			return ErrTerminated
+		}
+	}
+}
+
+// Push appends a value to a FIFO channel — the channel_push macro. It fails
+// when the channel is full (static capacity, Table 1).
+func (x *ExecCtx) Push(c CID, v any) error {
+	a := x.app
+	if int(c) < 0 || int(c) >= a.nchannels {
+		return fmt.Errorf("core: no channel %d", c)
+	}
+	a.mu.Lock(x.c)
+	x.c.Charge(a.env.Costs().ChannelOp)
+	ch := &a.channels[c]
+	ok := ch.cap == 0 || ch.push(v) // size-0 channels carry activations only
+	a.mu.Unlock(x.c)
+	if !ok {
+		return fmt.Errorf("core: channel %s full (%d)", ch.name, ch.cap)
+	}
+	return nil
+}
+
+// Pop removes the oldest value from a FIFO channel — the channel_pop macro.
+// It fails when the channel is empty: with graph activation semantics the
+// scheduler guarantees inputs are present, so an empty pop is a programming
+// error, not a blocking condition.
+func (x *ExecCtx) Pop(c CID) (any, error) {
+	a := x.app
+	if int(c) < 0 || int(c) >= a.nchannels {
+		return nil, fmt.Errorf("core: no channel %d", c)
+	}
+	a.mu.Lock(x.c)
+	x.c.Charge(a.env.Costs().ChannelOp)
+	ch := &a.channels[c]
+	v, ok := ch.pop()
+	a.mu.Unlock(x.c)
+	if !ok {
+		return nil, fmt.Errorf("core: channel %s empty", ch.name)
+	}
+	return v, nil
+}
+
+// ChannelLen returns the number of values buffered in a channel.
+func (x *ExecCtx) ChannelLen(c CID) (int, error) {
+	a := x.app
+	if int(c) < 0 || int(c) >= a.nchannels {
+		return 0, fmt.Errorf("core: no channel %d", c)
+	}
+	a.mu.Lock(x.c)
+	n := a.channels[c].len()
+	a.mu.Unlock(x.c)
+	return n, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import "fmt"
+
+// readyQueue is a fixed-capacity binary heap of jobs ordered by effective
+// priority (then FIFO). It is not itself synchronised: callers hold the
+// App's queue lock. Capacity is fixed at creation — pushing beyond it fails,
+// the static-allocation discipline of the paper.
+type readyQueue struct {
+	heap []*job
+	n    int
+	pos  map[*job]int // heap index per job, for PIP re-ordering
+}
+
+func newReadyQueue(capacity int) *readyQueue {
+	return &readyQueue{
+		heap: make([]*job, capacity),
+		pos:  make(map[*job]int, capacity),
+	}
+}
+
+func (q *readyQueue) len() int { return q.n }
+
+// opCost returns the number of heap levels a push/pop traverses, used by the
+// caller to charge the platform's per-item queue cost.
+func (q *readyQueue) opCost() int {
+	levels := 0
+	for n := q.n; n > 0; n >>= 1 {
+		levels++
+	}
+	return levels + 1
+}
+
+func (q *readyQueue) push(j *job) error {
+	if q.n == len(q.heap) {
+		return fmt.Errorf("core: ready queue full (%d)", q.n)
+	}
+	if _, dup := q.pos[j]; dup {
+		panic(fmt.Sprintf("core: job %d (seq %d) pushed twice", j.poolIdx, j.seq))
+	}
+	q.heap[q.n] = j
+	q.pos[j] = q.n
+	q.n++
+	q.up(q.n - 1)
+	return nil
+}
+
+func (q *readyQueue) peek() *job {
+	if q.n == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+func (q *readyQueue) pop() *job {
+	if q.n == 0 {
+		return nil
+	}
+	j := q.heap[0]
+	q.n--
+	if q.n > 0 {
+		q.heap[0] = q.heap[q.n]
+		q.pos[q.heap[0]] = 0
+	}
+	q.heap[q.n] = nil
+	delete(q.pos, j)
+	if q.n > 0 {
+		q.down(0)
+	}
+	return j
+}
+
+// fix restores heap order after j's priority changed (PIP boost).
+func (q *readyQueue) fix(j *job) {
+	i, ok := q.pos[j]
+	if !ok {
+		return
+	}
+	q.up(i)
+	q.down(q.pos[j])
+}
+
+// remove extracts an arbitrary job (used when a job is pulled for an
+// accelerator waitlist).
+func (q *readyQueue) remove(j *job) bool {
+	i, ok := q.pos[j]
+	if !ok {
+		return false
+	}
+	q.n--
+	last := q.heap[q.n]
+	q.heap[q.n] = nil
+	delete(q.pos, j)
+	if i == q.n {
+		return true
+	}
+	q.heap[i] = last
+	q.pos[last] = i
+	q.up(i)
+	q.down(q.pos[last])
+	return true
+}
+
+func (q *readyQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.heap[i].before(q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *readyQueue) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < q.n && q.heap[l].before(q.heap[smallest]) {
+			smallest = l
+		}
+		if r < q.n && q.heap[r].before(q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (q *readyQueue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.pos[q.heap[i]] = i
+	q.pos[q.heap[j]] = j
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// Start begins executing the task set — yas_start. It spawns the worker
+// threads (and, for online mappings, the dedicated scheduler thread) and
+// returns immediately; call it from a thread context (ctx) of the same
+// environment. A stopped App can be started again after altering the task
+// set (multi-mode scheduling).
+func (a *App) Start(c rt.Ctx) error {
+	if a.started.Load() {
+		return ErrStarted
+	}
+	if err := a.resolve(); err != nil {
+		return err
+	}
+	if a.cfg.Mapping == MappingOffline && a.offTable == nil {
+		return fmt.Errorf("core: MappingOffline needs SetOfflineTable before Start")
+	}
+	// A previous run's threads may still be draining; wait them out so the
+	// stopping flag can be reset safely.
+	for a.workersLive.Load() > 0 || a.schedLive.Load() > 0 {
+		c.Sleep(100 * time.Microsecond)
+	}
+	a.stopping.Store(false)
+	a.terminating.Store(false)
+	a.startTime = c.Now()
+	a.schedPeriod = a.cfg.SchedulerPeriod
+	if a.schedPeriod == 0 {
+		a.schedPeriod = a.schedGCD()
+	}
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		t.nextRelease = a.startTime + t.d.ReleaseOffset
+		t.lastActivation = 0
+		t.everActivated = false
+	}
+	// Reset graph edges and pre-seed delay tokens (feedback loops fire
+	// their first `initial` iterations on the seeds).
+	for i := 0; i < a.nedges; i++ {
+		e := &a.edges[i]
+		e.head, e.count, e.tokens = 0, 0, 0
+		for k := 0; k < e.initial; k++ {
+			e.pushStamp(a.startTime)
+		}
+	}
+	// Reset runtime queues and pools.
+	for _, q := range a.queues {
+		for q.len() > 0 {
+			q.pop()
+		}
+	}
+	for i := 0; i < a.naccels; i++ {
+		a.accels[i].busy = false
+		a.accels[i].holder = nil
+		a.accels[i].waiters = a.accels[i].waiters[:0]
+	}
+	for _, w := range a.workers {
+		w.idle = false
+		w.current = nil
+		w.preempted = w.preempted[:0]
+		w.wakeReason = wakeNone
+	}
+	a.freeFib = a.freeFib[:0]
+	a.started.Store(true)
+
+	// Spawn fibers (execution contexts, preallocated as the paper's
+	// swapcontext stacks are). Fibers survive Stop/Start cycles; Cleanup
+	// terminates them.
+	if !a.fibersSpawned {
+		a.fibersSpawned = true
+		for i := range a.fibers {
+			f := &fiber{idx: i, app: a}
+			a.fibers[i] = f
+			a.liveThreads.Add(1)
+			f.th = a.env.Spawn(fmt.Sprintf("yas-fiber-%d", i), rt.UnpinnedCore, f.loop)
+			a.freeFib = append(a.freeFib, i)
+		}
+	} else {
+		for i := range a.fibers {
+			a.freeFib = append(a.freeFib, i)
+		}
+	}
+	// Spawn workers.
+	for _, w := range a.workers {
+		w := w
+		a.liveThreads.Add(1)
+		a.workersLive.Add(1)
+		if a.cfg.Mapping == MappingOffline {
+			w.th = a.env.Spawn(fmt.Sprintf("yas-worker-%d", w.idx), w.core, func(tc rt.Ctx) {
+				defer a.workersLive.Add(-1)
+				a.offlineWorkerLoop(tc, w)
+			})
+		} else {
+			w.th = a.env.Spawn(fmt.Sprintf("yas-worker-%d", w.idx), w.core, func(tc rt.Ctx) {
+				defer a.workersLive.Add(-1)
+				a.workerLoop(tc, w)
+			})
+		}
+	}
+	// Spawn the scheduler thread on its private core (online mappings).
+	if a.cfg.Mapping != MappingOffline {
+		a.liveThreads.Add(1)
+		a.schedLive.Add(1)
+		a.schedTh = a.env.Spawn("yas-sched", a.cfg.SchedulerCore, func(tc rt.Ctx) {
+			defer a.schedLive.Add(-1)
+			a.schedulerLoop(tc)
+		})
+	}
+	return nil
+}
+
+// Stop stops releasing new jobs — yas_stop. Jobs already released are still
+// executed; workers then become idle. The App can be re-started.
+func (a *App) Stop(c rt.Ctx) {
+	if !a.started.Load() {
+		return
+	}
+	a.stopping.Store(true)
+	// Nudge the scheduler and the *idle* workers so loops observe the
+	// flag. Workers waiting on a running fiber must not be woken: their
+	// park is the job-completion handshake.
+	if a.schedTh != nil {
+		a.schedTh.Interrupt()
+	}
+	a.mu.Lock(c)
+	for _, w := range a.workers {
+		if w.th != nil && w.idle {
+			w.th.Unpark()
+		}
+	}
+	a.mu.Unlock(c)
+}
+
+// Cleanup waits for all middleware threads to finish and shuts the instance
+// down — yas_cleanup. Call after Stop. The App may be re-initialised with
+// Init and reused.
+func (a *App) Cleanup(c rt.Ctx) {
+	if !a.started.Load() {
+		return
+	}
+	a.stopping.Store(true)
+	// Let in-flight jobs drain: wait until all workers are idle and queues
+	// empty, then terminate.
+	for !a.drained(c) {
+		c.Sleep(a.schedPeriodOr(time.Millisecond))
+	}
+	a.terminating.Store(true)
+	for _, w := range a.workers {
+		if w.th != nil {
+			w.th.Interrupt()
+			w.th.Unpark()
+		}
+	}
+	for _, f := range a.fibers {
+		if f != nil && f.th != nil {
+			f.th.Interrupt()
+			f.th.Unpark()
+		}
+	}
+	for a.liveThreads.Load() > 0 {
+		c.Sleep(100 * time.Microsecond)
+	}
+	a.started.Store(false)
+	a.fibersSpawned = false
+	a.schedTh = nil
+}
+
+func (a *App) schedPeriodOr(d time.Duration) time.Duration {
+	if a.schedPeriod > 0 {
+		return a.schedPeriod
+	}
+	return d
+}
+
+// drained reports whether no job is ready, running or suspended.
+func (a *App) drained(c rt.Ctx) bool {
+	a.mu.Lock(c)
+	defer a.mu.Unlock(c)
+	return a.drainedLocked()
+}
+
+// drainedLocked is drained for callers already holding the lock.
+func (a *App) drainedLocked() bool {
+	for _, q := range a.queues {
+		if q.len() > 0 {
+			return false
+		}
+	}
+	for _, w := range a.workers {
+		if w.current != nil || len(w.preempted) > 0 {
+			return false
+		}
+	}
+	for i := 0; i < a.naccels; i++ {
+		if a.accels[i].busy || len(a.accels[i].waiters) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *App) threadExit() { a.liveThreads.Add(-1) }
+
+// schedulerLoop is the dedicated scheduler thread (Section 3.3): it wakes at
+// the GCD of all task periods, releases due jobs, dispatches them to worker
+// queues, wakes idle workers and sends preemption signals. Between ticks it
+// sleeps (WaitSleep) — unlike Mollison & Anderson, it never contends with
+// workers for CPU time.
+func (a *App) schedulerLoop(c rt.Ctx) {
+	defer a.threadExit()
+	costs := a.env.Costs()
+	next := a.startTime
+	for {
+		if a.stopping.Load() || a.terminating.Load() {
+			return
+		}
+		t0 := c.Now()
+		c.Charge(costs.ClockRead)
+		a.mu.Lock(c)
+		released := a.releaseDue(c, t0)
+		if released > 0 {
+			a.dispatch(c)
+		}
+		a.mu.Unlock(c)
+		a.ovh.Add(trace.OverheadSchedule, c.Now()-t0)
+		next += a.schedPeriod
+		if next <= c.Now() {
+			// Overrun: catch up to the next grid point without drifting.
+			behind := c.Now() - a.startTime
+			next = a.startTime + (behind/a.schedPeriod+1)*a.schedPeriod
+		}
+		c.Charge(costs.TimerProgram)
+		if interrupted := c.SleepUntil(next); interrupted {
+			if a.terminating.Load() {
+				return
+			}
+		}
+	}
+}
+
+// releaseDue releases every periodic job due at or before now. Caller holds
+// the lock. The scan over the statically allocated task table costs real
+// time in the C implementation too; it is charged once per activation — the
+// dedicated scheduler core pays it exactly once per tick, for all workers,
+// and the contiguous array scans far cheaper than the baseline's
+// dynamically allocated release entries.
+func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
+	costs := a.env.Costs()
+	c.Charge(time.Duration(a.ntasks) * costs.StaticScanPerItem)
+	released := 0
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		if t.d.Period <= 0 || t.d.Sporadic || !t.root {
+			continue
+		}
+		for t.nextRelease <= now {
+			rel := t.nextRelease
+			t.nextRelease += t.d.Period
+			// A periodic root with (delayed) feedback in-edges only fires
+			// when every feedback token is present: a missing token means
+			// the previous loop iteration has not completed, and the
+			// activation is dropped (counted as an overrun).
+			if len(t.inEdges) > 0 {
+				if !a.allInputsReady(t) {
+					a.overruns.Add(1)
+					continue
+				}
+				a.consumeInputs(t)
+			}
+			c.Charge(costs.QueueOpBase)
+			a.releaseJob(c, t, rel, rel)
+			released++
+		}
+	}
+	// Data-activated tasks whose inputs are already present (seeded delay
+	// tokens, or activations that raced a previous drain) fire here too;
+	// the common case is still handled inline at producer completion.
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		if t.root {
+			continue
+		}
+		for a.allInputsReady(t) {
+			stamp := a.consumeInputs(t)
+			c.Charge(costs.QueueOpBase)
+			if a.releaseJob(c, t, now, stamp) == nil {
+				break
+			}
+			released++
+		}
+	}
+	return released
+}
+
+// releaseJob creates and enqueues one job of t. stamp is the graph-instance
+// root release. Caller holds the lock.
+func (a *App) releaseJob(c rt.Ctx, t *task, release, stamp time.Duration) *job {
+	j := a.allocJob()
+	if j == nil {
+		a.overruns.Add(1)
+		return nil
+	}
+	j.t = t
+	a.jobSeq++
+	j.seq = a.jobSeq
+	t.jobSeq++
+	j.taskSeq = t.jobSeq
+	j.release = release
+	j.stamp = stamp
+	j.absDL = stamp + t.effDeadline
+	if len(t.inEdges) > 0 {
+		// Data-activated node with its own deadline: relative to activation.
+		if t.d.Deadline > 0 {
+			j.absDL = release + t.d.Deadline
+		}
+	}
+	if a.cfg.Priority == PriorityEDF {
+		j.basePrio = int64(j.absDL)
+	} else {
+		j.basePrio = t.staticPrio
+	}
+	j.effPrio = j.basePrio
+	j.state = jobReady
+	q := a.queueForTask(t)
+	a.chargeQueueOp(c, q)
+	if err := q.push(j); err != nil {
+		a.overruns.Add(1)
+		a.freeJob(j)
+		return nil
+	}
+	return j
+}
+
+// queueForTask returns the ready queue a task's jobs go to.
+func (a *App) queueForTask(t *task) *readyQueue {
+	if a.cfg.Mapping == MappingPartitioned {
+		return a.queues[t.d.VirtCore]
+	}
+	return a.queues[0]
+}
+
+// queueForWorker returns the queue a worker serves.
+func (a *App) queueForWorker(w *workerState) *readyQueue {
+	if a.cfg.Mapping == MappingPartitioned {
+		return a.queues[w.idx]
+	}
+	return a.queues[0]
+}
+
+func (a *App) chargeQueueOp(c rt.Ctx, q *readyQueue) {
+	costs := a.env.Costs()
+	c.Charge(costs.QueueOpBase + time.Duration(q.opCost())*costs.QueueOpPerItem)
+}
+
+// dispatch wakes idle workers for ready jobs and raises preemption signals —
+// the scheduler-side half of Figure 1a/1b. Caller holds the lock.
+func (a *App) dispatch(c rt.Ctx) {
+	costs := a.env.Costs()
+	t0 := c.Now()
+	if a.cfg.Mapping == MappingPartitioned {
+		for _, w := range a.workers {
+			q := a.queues[w.idx]
+			if q.len() == 0 {
+				continue
+			}
+			a.wakeOrPreempt(c, w, q)
+		}
+	} else {
+		q := a.queues[0]
+		// Wake one idle worker per ready job.
+		for _, w := range a.workers {
+			if q.len() == 0 {
+				break
+			}
+			if w.idle {
+				w.idle = false
+				c.Charge(costs.DispatchIPI)
+				w.th.Unpark()
+			}
+		}
+		// All busy: preempt the lowest-priority runner(s) if the queue head
+		// beats them.
+		if a.cfg.Preemption {
+			a.signalPreemptions(c, q)
+		}
+	}
+	a.ovh.Add(trace.OverheadDispatch, c.Now()-t0)
+}
+
+// wakeOrPreempt handles one partitioned worker's queue.
+func (a *App) wakeOrPreempt(c rt.Ctx, w *workerState, q *readyQueue) {
+	costs := a.env.Costs()
+	if w.idle {
+		w.idle = false
+		c.Charge(costs.DispatchIPI)
+		w.th.Unpark()
+		return
+	}
+	if !a.cfg.Preemption {
+		return
+	}
+	head := q.peek()
+	if head == nil {
+		return
+	}
+	if w.current != nil && w.current.state == jobRunning && head.before(w.current) {
+		a.signalWorker(c, w)
+	}
+}
+
+// signalPreemptions sends the preemption signal to every worker running a
+// job with lower priority than the global queue head (Section 3.5
+// "Pre-emption").
+func (a *App) signalPreemptions(c rt.Ctx, q *readyQueue) {
+	head := q.peek()
+	if head == nil {
+		return
+	}
+	for _, w := range a.workers {
+		if w.current != nil && w.current.state == jobRunning && head.before(w.current) {
+			a.signalWorker(c, w)
+		}
+	}
+}
+
+func (a *App) signalWorker(c rt.Ctx, w *workerState) {
+	costs := a.env.Costs()
+	if w.current == nil || w.current.fib == nil {
+		return
+	}
+	t0 := c.Now()
+	c.Charge(costs.SignalDeliver)
+	w.current.fib.th.Interrupt()
+	a.ovh.Add(trace.OverheadPreempt, c.Now()-t0)
+}
+
+// TaskActivate activates a non-recurring task for immediate scheduling —
+// yas_task_activate. For sporadic tasks the minimum inter-arrival time is
+// enforced. Unlike periodic releases, activation bypasses the scheduler
+// tick: the job is pushed and dispatched from the caller's context.
+func (a *App) TaskActivate(c rt.Ctx, id TID) error {
+	if !a.started.Load() || a.stopping.Load() {
+		return fmt.Errorf("core: TaskActivate outside a running schedule")
+	}
+	a.mu.Lock(c)
+	t, err := a.taskByID(id)
+	if err != nil {
+		a.mu.Unlock(c)
+		return err
+	}
+	if len(t.inEdges) > 0 {
+		a.mu.Unlock(c)
+		return fmt.Errorf("core: task %s is data-activated; cannot TaskActivate", t.d.Name)
+	}
+	if t.d.Period > 0 && !t.d.Sporadic {
+		a.mu.Unlock(c)
+		return fmt.Errorf("core: task %s is periodic; the scheduler activates it", t.d.Name)
+	}
+	now := c.Now()
+	if t.d.Sporadic && t.everActivated && now-t.lastActivation < t.d.Period {
+		a.mu.Unlock(c)
+		return fmt.Errorf("%w: task %s, %v since last", ErrMinInterarrival, t.d.Name, now-t.lastActivation)
+	}
+	t.lastActivation = now
+	t.everActivated = true
+	j := a.releaseJob(c, t, now, now)
+	if j != nil {
+		a.dispatch(c)
+	}
+	a.mu.Unlock(c)
+	if j == nil {
+		return fmt.Errorf("core: task %s activation dropped (pool exhausted)", t.d.Name)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"time"
+)
+
+// TID identifies a declared task.
+type TID int
+
+// VID identifies a version within its task.
+type VID int
+
+// HID identifies a declared hardware accelerator.
+type HID int
+
+// CID identifies a declared FIFO channel.
+type CID int
+
+// NoAccel marks a version that runs purely on the CPU.
+const NoAccel HID = -1
+
+// NoCore marks a task not bound to a virtual core (global mapping).
+const NoCore = -1
+
+// TData describes a task at declaration time — the paper's struct TData
+// (Table 1). Some fields are optional depending on the configured policy.
+type TData struct {
+	Name string
+	// Period is the minimal inter-arrival time T. Zero makes the task
+	// non-recurring: it is either data-activated (a non-root graph node) or
+	// aperiodic (activated via TaskActivate).
+	Period time.Duration
+	// Deadline is the relative deadline D; zero means implicit (D = T for
+	// periodic tasks, the graph deadline for data-activated nodes).
+	Deadline time.Duration
+	// VirtCore binds the task to a worker under MappingPartitioned
+	// (the paper's virt_core_id); NoCore (or 0..Workers-1) otherwise.
+	VirtCore int
+	// ReleaseOffset delays the first periodic release.
+	ReleaseOffset time.Duration
+	// Priority is the static priority under PriorityUser (lower = more
+	// urgent).
+	Priority int
+	// Sporadic marks tasks released by TaskActivate with Period acting as
+	// the minimum inter-arrival time enforced by the runtime.
+	Sporadic bool
+}
+
+// TaskFunc is a task version's entry point. It runs on a job fiber; all
+// interaction with time, channels and accelerators goes through the ExecCtx.
+// args carries the static argument registered at VersionDecl.
+type TaskFunc func(x *ExecCtx, args any) error
+
+// VSelect carries a version's extra-functional properties; which fields
+// matter depends on Config.VersionSelect (the paper morphs the structure per
+// method; Go lets us keep a single struct).
+type VSelect struct {
+	// WCET is the version's worst-case execution time (informative; used by
+	// SelectTradeoff and the off-line scheduler).
+	WCET time.Duration
+	// EnergyBudget is the version's per-job energy in millijoules
+	// (SelectEnergy, SelectTradeoff).
+	EnergyBudget float64
+	// GetBatteryStatus returns the platform battery level in percent
+	// (SelectEnergy). Tasks sharing a battery share the callback.
+	GetBatteryStatus func() float64
+	// MinBattery is the battery percentage below which this version is not
+	// affordable (SelectEnergy); 0 means always affordable.
+	MinBattery float64
+	// Quality ranks functionally-equivalent versions (SelectEnergy prefers
+	// the highest affordable quality).
+	Quality int
+	// Modes is the bitmask of execution modes this version serves
+	// (SelectMode).
+	Modes uint32
+	// Mask is the permission bitmask (SelectBitmask).
+	Mask uint32
+}
+
+// VersionInfo is the read-only view handed to user selection callbacks.
+type VersionInfo struct {
+	ID         VID
+	Props      VSelect
+	Accel      HID
+	AccelBusy  bool
+	AccelOwner TID // valid when AccelBusy
+}
+
+// SelectState is the runtime context for user selection callbacks.
+type SelectState struct {
+	Now     time.Duration
+	Mode    uint32
+	Mask    uint32
+	Battery float64 // percent, -1 when no battery is attached
+}
+
+// SelectFunc is the SelectUser callback: return the version to run, or a
+// negative VID to defer (the job is rescheduled when an accelerator frees
+// up).
+type SelectFunc func(t TID, versions []VersionInfo, st SelectState) VID
+
+// version is a registered implementation of a task.
+type version struct {
+	id    VID
+	fn    TaskFunc
+	args  any
+	props VSelect
+	accel HID
+}
+
+// task is the runtime task record.
+type task struct {
+	id       TID
+	d        TData
+	versions []version // len grows to cfg.MaxVersionsPerTask
+	// Graph links derived from ChannelConnect.
+	outEdges []*edge
+	inEdges  []*edge
+	// effDeadline is the effective relative deadline (implicit resolved).
+	effDeadline time.Duration
+	// root marks periodic or sporadic tasks (released by the scheduler /
+	// TaskActivate); non-roots are data-activated.
+	root bool
+	// nextRelease is the next periodic release instant.
+	nextRelease time.Duration
+	// lastActivation enforces sporadic minimum inter-arrival.
+	lastActivation time.Duration
+	everActivated  bool
+	jobSeq         int64
+	// staticPrio caches the RM/DM/user priority key.
+	staticPrio int64
+}
+
+// edge is a producer->consumer dependency created by ChannelConnect. The
+// stamps FIFO carries the root-release instant of each in-flight graph
+// activation (bounded by GraphInstanceCap). Edges with initial (delay)
+// tokens — the paper's announced future-work extension — start pre-seeded,
+// which both breaks cycles and lets a consumer fire ahead of its producer.
+type edge struct {
+	src, dst TID
+	ch       CID
+	tokens   int
+	initial  int             // delay tokens pre-seeded at Start
+	stamps   []time.Duration // ring buffer, preallocated
+	head     int
+	count    int
+}
+
+func (e *edge) pushStamp(t time.Duration) bool {
+	if e.count == len(e.stamps) {
+		return false
+	}
+	e.stamps[(e.head+e.count)%len(e.stamps)] = t
+	e.count++
+	e.tokens++
+	return true
+}
+
+func (e *edge) popStamp() (time.Duration, bool) {
+	if e.count == 0 {
+		return 0, false
+	}
+	s := e.stamps[e.head]
+	e.head = (e.head + 1) % len(e.stamps)
+	e.count--
+	e.tokens--
+	return s, true
+}
+
+// jobState tracks a job through its life cycle.
+type jobState int
+
+const (
+	jobFree jobState = iota
+	jobReady
+	jobRunning
+	jobPreempted    // suspended by a preemption signal, on a worker's stack
+	jobAccelWait    // parked on a busy accelerator's waiter list
+	jobAccelAsync   // executing its accelerator section without a CPU worker
+	jobAccelResumed // accelerator section done, waiting for a CPU worker
+)
+
+// job is one activation of a task. Jobs live in a fixed pool allocated at
+// New; the scheduling path never allocates.
+type job struct {
+	t        *task
+	seq      int64 // global FIFO tie-breaker
+	taskSeq  int64 // job index within the task
+	state    jobState
+	release  time.Duration
+	stamp    time.Duration // root release of the graph activation
+	absDL    time.Duration
+	basePrio int64
+	effPrio  int64 // may be boosted by PIP
+	version  VID
+	accel    HID // accelerator held while running, NoAccel otherwise
+	fib      *fiber
+	worker   int // executing worker index, -1 otherwise
+	preempts int
+	started  bool
+	fnDone   bool // version function returned (set by the fiber)
+	start    time.Duration
+	computed time.Duration // accumulated Compute time (energy accounting)
+	err      error
+	poolIdx  int
+}
+
+// before orders jobs by effective priority then FIFO.
+func (j *job) before(k *job) bool {
+	if j.effPrio != k.effPrio {
+		return j.effPrio < k.effPrio
+	}
+	return j.seq < k.seq
+}
+
+// accel is a declared hardware accelerator and its PIP state.
+type accel struct {
+	id      HID
+	name    string
+	platIdx int // index into platform.Accels, -1 when simulated generically
+	busy    bool
+	holder  *job
+	waiters []*job // priority-ordered, preallocated capacity
+}
+
+// channel is a statically sized FIFO (Table 1 channel_decl).
+type channel struct {
+	id   CID
+	name string
+	buf  []any
+	head int
+	n    int
+	cap  int
+}
+
+func (ch *channel) push(v any) bool {
+	if ch.n == ch.cap {
+		return false
+	}
+	ch.buf[(ch.head+ch.n)%ch.cap] = v
+	ch.n++
+	return true
+}
+
+func (ch *channel) pop() (any, bool) {
+	if ch.n == 0 {
+		return nil, false
+	}
+	v := ch.buf[ch.head]
+	ch.buf[ch.head] = nil
+	ch.head = (ch.head + 1) % ch.cap
+	ch.n--
+	return v, true
+}
+
+func (ch *channel) len() int { return ch.n }

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// workerWake tells a worker why its fiber woke it.
+type workerWake int
+
+const (
+	wakeNone workerWake = iota
+	wakeCompleted
+	wakeSuspended // preemption signal accepted: job parked on the fiber
+	wakeAsyncFree // job entered an asynchronous accelerator section
+)
+
+// workerState is one virtual CPU (Figure 1): a thread pinned to a shielded
+// core executing jobs, with a stack of preempted jobs.
+type workerState struct {
+	idx        int
+	core       int
+	th         rt.Thread
+	idle       bool
+	current    *job
+	preempted  []*job // LIFO of suspended jobs (incl. async-resumed ones)
+	wakeReason workerWake
+	wakeJob    *job // the job the notification refers to (debug invariant)
+}
+
+// stackTop returns the most urgent resumable job on the worker's stack
+// (the stack is LIFO but async-resumed jobs make priorities non-monotonic,
+// so scan). Only jobs not still inside their accelerator section count.
+func (w *workerState) stackTop() (int, *job) {
+	bestIdx := -1
+	var best *job
+	for i, j := range w.preempted {
+		if j.state == jobAccelAsync {
+			continue // still on the accelerator; not resumable
+		}
+		if best == nil || j.before(best) {
+			best, bestIdx = j, i
+		}
+	}
+	return bestIdx, best
+}
+
+func (w *workerState) removeStack(i int) {
+	w.preempted = append(w.preempted[:i], w.preempted[i+1:]...)
+}
+
+// workerLoop is the online-scheduling worker body: pick the most urgent of
+// (queue head, preempted stack), run or resume it, handle
+// completion/suspension, park when idle.
+func (a *App) workerLoop(c rt.Ctx, w *workerState) {
+	defer a.threadExit()
+	costs := a.env.Costs()
+	for {
+		if a.terminating.Load() {
+			return
+		}
+		a.mu.Lock(c)
+		j, fromStack, stackIdx := a.nextForWorker(c, w)
+		if j == nil {
+			// A worker may only retire when the whole system is drained:
+			// another worker's running job can still release DAG
+			// successors that need executing.
+			if a.stopping.Load() && a.drainedLocked() {
+				a.wakeIdleWorkersLocked(w)
+				a.mu.Unlock(c)
+				return
+			}
+			w.idle = true
+			a.mu.Unlock(c)
+			// Idle wait: a real kernel-level wait under WaitSleep; WaitSpin
+			// wakes instantly at the cost of burning the core (the paper's
+			// predictability/energy trade-off, Section 3.5).
+			var intr bool
+			if a.cfg.Wait == WaitSpin {
+				intr = c.Park()
+			} else {
+				intr = c.ParkIdle()
+			}
+			if intr && a.terminating.Load() {
+				return
+			}
+			continue
+		}
+		// Fresh jobs need version selection and accelerator acquisition;
+		// both can park the job on an accelerator waitlist.
+		if !fromStack {
+			if !a.prepareRun(c, w, j) {
+				a.mu.Unlock(c)
+				continue
+			}
+		} else {
+			w.removeStack(stackIdx)
+		}
+		j.worker = w.idx
+		j.state = jobRunning
+		w.current = j
+		fib := j.fib
+		a.mu.Unlock(c)
+
+		// Context switch to the job's fiber (swapcontext analogue).
+		c.Charge(costs.ContextSwitch)
+		fib.th.SetCore(w.core)
+		fib.th.Unpark()
+		// Wait for the fiber's notification; tolerate spurious unparks
+		// (they would otherwise corrupt the completion handshake).
+		for {
+			intr := c.Park()
+			if intr && a.terminating.Load() {
+				return
+			}
+			a.mu.Lock(c)
+			if w.wakeReason != wakeNone || a.terminating.Load() {
+				break
+			}
+			a.mu.Unlock(c)
+		}
+		if a.terminating.Load() && w.wakeReason == wakeNone {
+			a.mu.Unlock(c)
+			return
+		}
+		reason := w.wakeReason
+		w.wakeReason = wakeNone
+		if w.wakeJob != j {
+			wj := "<nil>"
+			if w.wakeJob != nil {
+				wj = fmt.Sprintf("%s(seq %d, state %d, fnDone %v)", w.wakeJob.t.d.Name, w.wakeJob.seq, w.wakeJob.state, w.wakeJob.fnDone)
+			}
+			panic(fmt.Sprintf("worker %d: notification for %s but dispatched %s(seq %d) reason=%d",
+				w.idx, wj, j.t.d.Name, j.seq, reason))
+		}
+		w.wakeJob = nil
+		switch reason {
+		case wakeCompleted:
+			a.completeJob(c, w, j)
+		case wakeSuspended:
+			j.state = jobPreempted
+			j.preempts++
+			w.preempted = append(w.preempted, j)
+		case wakeAsyncFree:
+			// Job computes on the accelerator; the worker is free. The
+			// fiber re-attaches through the preempted stack when done.
+			w.preempted = append(w.preempted, j)
+		}
+		w.current = nil
+		if a.stopping.Load() {
+			// Wake parked peers so they can re-evaluate the drain state.
+			a.wakeIdleWorkersLocked(w)
+		}
+		a.mu.Unlock(c)
+	}
+}
+
+// wakeIdleWorkersLocked unparks all idle workers except self. Caller holds
+// the lock.
+func (a *App) wakeIdleWorkersLocked(self *workerState) {
+	for _, ow := range a.workers {
+		if ow != self && ow.idle && ow.th != nil {
+			ow.th.Unpark()
+		}
+	}
+}
+
+// nextForWorker picks the next job: the queue head or the most urgent
+// suspended job, whichever is more urgent. Caller holds the lock.
+func (a *App) nextForWorker(c rt.Ctx, w *workerState) (j *job, fromStack bool, stackIdx int) {
+	q := a.queueForWorker(w)
+	head := q.peek()
+	si, st := w.stackTop()
+	switch {
+	case head == nil && st == nil:
+		return nil, false, -1
+	case head == nil:
+		return st, true, si
+	case st == nil || head.before(st):
+		a.chargeQueueOp(c, q)
+		return q.pop(), false, -1
+	default:
+		return st, true, si
+	}
+}
+
+// prepareRun selects the version, acquires the accelerator (possibly parking
+// the job on its waitlist with PIP) and binds a fiber. Returns false when
+// the job was parked instead of made runnable. Caller holds the lock.
+func (a *App) prepareRun(c rt.Ctx, w *workerState, j *job) bool {
+	if j.state == jobAccelResumed || j.state == jobPreempted {
+		return true // resuming: version and fiber already bound
+	}
+	vid, blockedOn := a.selectVersion(c, j)
+	if blockedOn != NoAccel {
+		a.parkOnAccel(c, j, blockedOn)
+		return false
+	}
+	j.version = vid
+	v := &j.t.versions[vid]
+	if v.accel != NoAccel {
+		ac := &a.accels[v.accel]
+		ac.busy = true
+		ac.holder = j
+		j.accel = v.accel
+	}
+	// Bind a fiber.
+	n := len(a.freeFib)
+	if n == 0 {
+		// Cannot happen: fiber pool >= workers + jobs. Drop defensively.
+		a.overruns.Add(1)
+		a.freeJob(j)
+		return false
+	}
+	fi := a.freeFib[n-1]
+	a.freeFib = a.freeFib[:n-1]
+	f := a.fibers[fi]
+	f.job = j
+	j.fib = f
+	if !j.started {
+		j.started = true
+		j.start = c.Now()
+	}
+	return true
+}
+
+// completeJob performs completion bookkeeping: accelerator release,
+// successor activation, recording, energy accounting, pool recycling.
+// Caller holds the lock.
+func (a *App) completeJob(c rt.Ctx, w *workerState, j *job) {
+	if !j.fnDone || j.state != jobRunning || w.current != j || (j.fib != nil && j.fib.job != j) {
+		panic(fmt.Sprintf("completeJob: job %q fnDone=%v state=%d current-match=%v fib-job-match=%v worker=%d/%d",
+			j.t.d.Name, j.fnDone, j.state, w.current == j, j.fib == nil || j.fib.job == j, j.worker, w.idx))
+	}
+	now := c.Now()
+	costs := a.env.Costs()
+	if j.err != nil && !errors.Is(j.err, ErrTerminated) {
+		a.taskErrors.Add(1)
+		if a.firstError == nil {
+			a.firstError = j.err
+		}
+	}
+	// Release the accelerator and reschedule its waiters.
+	if j.accel != NoAccel {
+		a.releaseAccel(c, j)
+	}
+	// Activate successors whose inputs are all present.
+	moreWork := false
+	for _, e := range j.t.outEdges {
+		if !e.pushStamp(j.stamp) {
+			a.overruns.Add(1)
+			continue
+		}
+		dst := &a.tasks[e.dst]
+		// Periodic/sporadic roots are released by the scheduler (or
+		// TaskActivate); a token arriving on their feedback edge only
+		// enables the next timed release.
+		if !dst.root && a.allInputsReady(dst) {
+			stamp := a.consumeInputs(dst)
+			c.Charge(costs.QueueOpBase)
+			if a.releaseJob(c, dst, now, stamp) != nil {
+				moreWork = true
+			}
+		}
+	}
+	// Record.
+	missed := now > j.absDL
+	rec := trace.JobRecord{
+		Task:     j.t.d.Name,
+		TaskID:   int(j.t.id),
+		Job:      int64(j.taskSeq),
+		Version:  int(j.version),
+		Core:     w.core,
+		Release:  j.release,
+		Start:    j.start,
+		Finish:   now,
+		Deadline: j.absDL,
+		Missed:   missed,
+		Preempts: j.preempts,
+	}
+	a.rec.Record(rec)
+	// Sink nodes additionally record the end-to-end graph metric.
+	if len(j.t.inEdges) > 0 && len(j.t.outEdges) == 0 {
+		graphDL := j.stamp + j.t.effDeadline
+		a.rec.Record(trace.JobRecord{
+			Task:     "graph:" + j.t.d.Name,
+			TaskID:   int(j.t.id),
+			Job:      int64(j.taskSeq),
+			Version:  int(j.version),
+			Core:     w.core,
+			Release:  j.stamp,
+			Start:    j.start,
+			Finish:   now,
+			Deadline: graphDL,
+			Missed:   now > graphDL,
+			Preempts: j.preempts,
+		})
+	}
+	// Energy accounting.
+	a.accountEnergy(j)
+	// Recycle fiber and job.
+	if j.fib != nil {
+		j.fib.job = nil
+		a.freeFib = append(a.freeFib, j.fib.idx)
+	}
+	a.freeJob(j)
+	if moreWork {
+		a.dispatch(c)
+	}
+}
+
+// allInputsReady reports whether every input edge of t has a pending token.
+// Caller holds the lock.
+func (a *App) allInputsReady(t *task) bool {
+	for _, e := range t.inEdges {
+		if e.count == 0 {
+			return false
+		}
+	}
+	return len(t.inEdges) > 0
+}
+
+// consumeInputs pops one token per input edge and returns the newest stamp
+// (the graph-instance root release). Caller holds the lock.
+func (a *App) consumeInputs(t *task) time.Duration {
+	var stamp time.Duration
+	for _, e := range t.inEdges {
+		if s, ok := e.popStamp(); ok && s > stamp {
+			stamp = s
+		}
+	}
+	return stamp
+}
+
+// accountEnergy drains the battery / meter for the finished job.
+func (a *App) accountEnergy(j *job) {
+	if a.battery == nil && a.meter == nil {
+		return
+	}
+	var powerMW float64 = 1000
+	if pl := a.env.Platform(); pl != nil {
+		w := a.workers[j.worker]
+		if w != nil && w.core >= 0 && w.core < len(pl.Cores) {
+			powerMW = pl.Cores[w.core].PowerActive
+		}
+		if j.accel != NoAccel {
+			ai := a.accels[j.accel].platIdx
+			if ai >= 0 && ai < len(pl.Accels) {
+				powerMW += pl.Accels[ai].PowerActive
+			}
+		}
+	}
+	name := j.t.d.Name
+	if a.meter != nil {
+		a.meter.Add(name, powerMW, j.computed)
+	} else if a.battery != nil {
+		a.battery.Drain(powerMW, j.computed)
+	}
+	// Explicit per-version budgets drain in addition, if declared.
+	if a.battery != nil {
+		if b := j.t.versions[j.version].props.EnergyBudget; b > 0 {
+			a.battery.DrainMJ(b)
+		}
+	}
+}
+
+// fiber is a preallocated execution context for one job at a time — the
+// analogue of the paper's swapcontext stacks. The fiber thread parks until a
+// worker hands it a job, runs the selected version function, then notifies
+// the worker.
+type fiber struct {
+	idx int
+	app *App
+	th  rt.Thread
+	job *job
+}
+
+// loop is the fiber thread body.
+func (f *fiber) loop(c rt.Ctx) {
+	a := f.app
+	defer a.threadExit()
+	for {
+		if intr := c.Park(); intr || a.terminating.Load() {
+			if a.terminating.Load() {
+				return
+			}
+			continue
+		}
+		a.mu.Lock(c)
+		j := f.job
+		a.mu.Unlock(c)
+		if j == nil {
+			continue // spurious wake
+		}
+		if j.state != jobRunning || j.fib != f {
+			panic(fmt.Sprintf("fiber %d woke with job %q state=%d fib-match=%v worker=%d",
+				f.idx, j.t.d.Name, j.state, j.fib == f, j.worker))
+		}
+		v := &j.t.versions[j.version]
+		x := &ExecCtx{app: a, j: j, c: c, f: f}
+		j.err = v.fn(x, v.args)
+		// Notify the worker that owns the job.
+		a.mu.Lock(c)
+		j.fnDone = true
+		w := a.workers[j.worker]
+		w.wakeReason = wakeCompleted
+		w.wakeJob = j
+		a.mu.Unlock(c)
+		w.th.Unpark()
+		// Park until reused; the worker recycles f under the lock.
+	}
+}

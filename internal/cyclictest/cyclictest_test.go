@@ -1,0 +1,138 @@
+package cyclictest
+
+import (
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/kernel"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+)
+
+// smallOpts keeps unit tests quick; the full paper options run in the
+// benchmark harness.
+func smallOpts() Options {
+	return Options{Threads: 3, Interval: 10 * time.Millisecond, Loops: 200}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	bad := []Options{
+		{Threads: 0, Interval: time.Millisecond, Loops: 1},
+		{Threads: 1, Interval: 0, Loops: 1},
+		{Threads: 1, Interval: time.Millisecond, Loops: 0},
+		{Threads: 1, Interval: time.Millisecond, Loops: 1, Distance: -1},
+	}
+	pl := platform.OdroidXU4()
+	for i, o := range bad {
+		if _, err := RunNative(1, pl, kernel.Ideal{}, o); err == nil {
+			t.Errorf("options %d accepted", i)
+		}
+	}
+}
+
+func TestNativeIdealKernelZeroLatency(t *testing.T) {
+	res, err := RunNative(1, platform.OdroidXU4(), kernel.Ideal{}, smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max, avg := res.Summary()
+	if min != 0 || max != 0 || avg != 0 {
+		t.Errorf("ideal kernel latency <%v,%v,%v>, want zeros", min, max, avg)
+	}
+	if res.Combined.Count() != int64(3*200) {
+		t.Errorf("samples = %d, want 600", res.Combined.Count())
+	}
+}
+
+func TestNativeKernelOrdering(t *testing.T) {
+	// Under identical load, expected ordering of average wake-up latency:
+	// GSN-EDF < PREEMPT_RT < P-RES (~1ms).
+	pl := platform.OdroidXU4()
+	opts := smallOpts()
+	load := 0.91
+	gsn, err := RunNative(7, pl, &kernel.LitmusGSNEDF{Load: load}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prt, err := RunNative(7, pl, &kernel.PreemptRT{Load: load}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := RunNative(7, pl, &kernel.LitmusPRES{Load: load}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gsnAvg := gsn.Summary()
+	_, _, prtAvg := prt.Summary()
+	presMin, _, presAvg := pres.Summary()
+	if !(gsnAvg < prtAvg) {
+		t.Errorf("GSN-EDF avg %v not below PREEMPT_RT avg %v", gsnAvg, prtAvg)
+	}
+	if !(prtAvg < presAvg) {
+		t.Errorf("PREEMPT_RT avg %v not below P-RES avg %v", prtAvg, presAvg)
+	}
+	if presMin < 900*time.Microsecond {
+		t.Errorf("P-RES min %v, want ~1ms (reservation boundary)", presMin)
+	}
+}
+
+func TestYASMINAddsOverheadOverNative(t *testing.T) {
+	pl := platform.OdroidXU4()
+	opts := smallOpts()
+	k := &kernel.LitmusGSNEDF{Load: 0.91}
+	native, err := RunNative(3, pl, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yas, err := RunYASMIN(3, pl, &kernel.LitmusGSNEDF{Load: 0.91}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, nAvg := native.Summary()
+	_, _, yAvg := yas.Summary()
+	if !(yAvg > nAvg) {
+		t.Errorf("YASMIN avg %v not above native %v: middleware overhead missing", yAvg, nAvg)
+	}
+	// ... but within the same order of magnitude (paper: 74 -> 170µs).
+	if yAvg > 6*nAvg {
+		t.Errorf("YASMIN avg %v implausibly above native %v", yAvg, nAvg)
+	}
+	if yas.Combined.Count() != int64(opts.Threads*opts.Loops) {
+		t.Errorf("samples = %d, want %d", yas.Combined.Count(), opts.Threads*opts.Loops)
+	}
+}
+
+func TestYASMINNeedsEnoughCores(t *testing.T) {
+	opts := Options{Threads: 6, Interval: 10 * time.Millisecond, Loops: 10}
+	if _, err := RunYASMIN(1, platform.ApalisTK1(), kernel.Ideal{}, opts); err == nil {
+		t.Error("want error: 6 threads cannot fit a 4-core platform")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res, err := RunNative(1, platform.OdroidXU4(), &kernel.PreemptRT{Load: 0.5},
+		Options{Threads: 2, Interval: time.Millisecond, Loops: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	if len(s) == 0 || res.Variant != "RTapps" {
+		t.Errorf("row = %q", s)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	pl := platform.OdroidXU4()
+	opts := smallOpts()
+	run := func() (time.Duration, time.Duration, time.Duration) {
+		res, err := RunYASMIN(11, pl, &kernel.PreemptRT{Load: 0.91}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Summary()
+	}
+	a1, a2, a3 := run()
+	b1, b2, b3 := run()
+	if a1 != b1 || a2 != b2 || a3 != b3 {
+		t.Errorf("non-deterministic: <%v,%v,%v> vs <%v,%v,%v>", a1, a2, a3, b1, b2, b3)
+	}
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sar"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+)
+
+// Fig4Config parameterises the drone scheduling exploration (Section 5).
+type Fig4Config struct {
+	Mission time.Duration
+	Workers int
+	Seed    int64
+	// BoatProb drives detections (and secure-mode AES encodes).
+	BoatProb float64
+	// FramePeriod overrides the camera rate (default 500ms = 2 fps). At
+	// rates where the GPU chain exceeds the period, the accelerator
+	// becomes contended across frames and the multi-version "both"
+	// configurations beat GPU-only — the mechanism behind the paper's
+	// "only configurations decreasing deadline misses include both CPU and
+	// GPU versions".
+	FramePeriod time.Duration
+}
+
+// DefaultFig4Config runs a 120s mission on the Apalis TK1 with 3 worker
+// cores (the fourth hosts the scheduler thread).
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{Mission: 120 * time.Second, Workers: 3, Seed: 1, BoatProb: 0.3}
+}
+
+// QuickFig4Config shortens the mission for tests.
+func QuickFig4Config() Fig4Config {
+	c := DefaultFig4Config()
+	c.Mission = 15 * time.Second
+	return c
+}
+
+// Fig4Row is one bar group of the figure.
+type Fig4Row struct {
+	Policy   string // G-EDF, G-DM, P-EDF, P-DM
+	Versions string // cpu, gpu, both
+	AvgFrame time.Duration
+	MaxFrame time.Duration
+	Frames   int64
+	// FrameMissRatio is the deadline-miss ratio of the end-to-end pipeline.
+	FrameMissRatio float64
+	// FCMisses counts flight-control handler deadline misses.
+	FCMisses int64
+	FCJobs   int64
+	// TotalMissRatio covers all tasks.
+	TotalMissRatio float64
+}
+
+// fig4Partition statically assigns the SAR tasks to workers for the
+// partitioned policies. The flight-control handler (10ms deadline) must not
+// share a worker with the GPU-section tasks, whose accelerator sections are
+// not preemptible; it lives with the preemptible CPU stages instead.
+func fig4Partition(workers int) map[string]int {
+	if workers >= 3 {
+		return map[string]int{
+			"fetch": 0, "extract_exif": 0, "detect_objects": 0,
+			"augment_exif": 1, "store": 1, "estimate_speed": 1, "highlight_objects": 1,
+			"fc_msg_handler": 2, "create_packet": 2, "encode": 2, "send": 2,
+		}
+	}
+	return map[string]int{
+		"fetch": 0, "extract_exif": 0, "detect_objects": 0,
+		"estimate_speed": 0, "highlight_objects": 0,
+		"augment_exif": 1, "store": 1, "fc_msg_handler": 1,
+		"create_packet": 1, "encode": 1, "send": 1,
+	}
+}
+
+// Fig4 runs the full 12-configuration exploration.
+func Fig4(cfg Fig4Config) ([]Fig4Row, error) {
+	if cfg.Workers <= 0 || cfg.Mission <= 0 {
+		return nil, fmt.Errorf("experiments: bad Fig4 config %+v", cfg)
+	}
+	policies := []struct {
+		name    string
+		mapping core.MappingScheme
+		prio    core.PriorityAssignment
+	}{
+		{"G-EDF", core.MappingGlobal, core.PriorityEDF},
+		{"G-DM", core.MappingGlobal, core.PriorityDM},
+		{"P-EDF", core.MappingPartitioned, core.PriorityEDF},
+		{"P-DM", core.MappingPartitioned, core.PriorityDM},
+	}
+	versions := []sar.VersionMode{sar.CPUOnly, sar.GPUOnly, sar.Both}
+	var rows []Fig4Row
+	for _, pol := range policies {
+		for _, vm := range versions {
+			row, err := runFig4One(cfg, pol.name, pol.mapping, pol.prio, vm)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 %s/%s: %w", pol.name, vm, err)
+			}
+			rows = append(rows, *row)
+		}
+	}
+	return rows, nil
+}
+
+func runFig4One(cfg Fig4Config, polName string, mapping core.MappingScheme,
+	prio core.PriorityAssignment, vm sar.VersionMode) (*Fig4Row, error) {
+	eng := sim.NewEngine(cfg.Seed)
+	env, err := rt.NewSimEnv(eng, platform.ApalisTK1(), nil)
+	if err != nil {
+		return nil, err
+	}
+	cores := make([]int, cfg.Workers)
+	for i := range cores {
+		cores[i] = i + 1
+	}
+	appCfg := core.Config{
+		Workers:        cfg.Workers,
+		WorkerCores:    cores,
+		SchedulerCore:  0,
+		Mapping:        mapping,
+		Priority:       prio,
+		VersionSelect:  core.SelectMode,
+		Preemption:     true,
+		MaxTasks:       16,
+		MaxPendingJobs: 256,
+	}
+	app, err := core.New(appCfg, env)
+	if err != nil {
+		return nil, err
+	}
+	params := sar.Params{
+		Versions:       vm,
+		Seed:           cfg.Seed,
+		BoatProb:       cfg.BoatProb,
+		SecureOnDetect: true,
+		FramePeriod:    cfg.FramePeriod,
+	}
+	if mapping == core.MappingPartitioned {
+		params.VirtCore = fig4Partition(cfg.Workers)
+	}
+	if _, err := sar.Build(app, params); err != nil {
+		return nil, err
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			return
+		}
+		c.SleepUntil(cfg.Mission)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(cfg.Mission + 2*time.Minute)); err != nil {
+		return nil, err
+	}
+
+	rec := app.Recorder()
+	row := &Fig4Row{Policy: polName, Versions: vm.String()}
+	if g := rec.Task("graph:send"); g != nil {
+		_, max, avg := g.Response.Summary()
+		row.AvgFrame, row.MaxFrame = avg, max
+		row.Frames = g.Jobs
+		if g.Jobs > 0 {
+			row.FrameMissRatio = float64(g.Misses) / float64(g.Jobs)
+		}
+	}
+	if fc := rec.Task("fc_msg_handler"); fc != nil {
+		row.FCMisses, row.FCJobs = fc.Misses, fc.Jobs
+	}
+	row.TotalMissRatio = rec.MissRatio()
+	return row, nil
+}
+
+// PrintFig4 renders the exploration like the figure's two panels.
+func PrintFig4(w io.Writer, rows []Fig4Row) error {
+	if _, err := fmt.Fprintf(w, "%-7s %-5s %12s %12s %8s %10s %12s %10s\n",
+		"policy", "vers", "avg-frame", "max-frame", "frames", "frame-miss", "fc-miss", "total-miss"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-7s %-5s %12s %12s %8d %9.1f%% %7d/%-5d %9.2f%%\n",
+			r.Policy, r.Versions,
+			r.AvgFrame.Round(time.Millisecond), r.MaxFrame.Round(time.Millisecond),
+			r.Frames,
+			100*r.FrameMissRatio, r.FCMisses, r.FCJobs,
+			100*r.TotalMissRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/cyclictest"
+	"github.com/yasmin-rt/yasmin/internal/kernel"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/stress"
+)
+
+// Table2Config parameterises the latency comparison (Section 4.2).
+type Table2Config struct {
+	Opts   cyclictest.Options
+	Stress stress.Config
+	Seed   int64
+}
+
+// DefaultTable2Config mirrors the paper:
+// cyclictest -t 6 -d 0 -i 10000 -m -l 10000 under stress-ng -C 8 -c 8 -T 8 -y 8.
+func DefaultTable2Config() Table2Config {
+	return Table2Config{
+		Opts:   cyclictest.PaperOptions(),
+		Stress: stress.PaperConfig(),
+		Seed:   1,
+	}
+}
+
+// QuickTable2Config shrinks the loop count for tests.
+func QuickTable2Config() Table2Config {
+	c := DefaultTable2Config()
+	c.Opts.Loops = 500
+	return c
+}
+
+// Table2Row is one line of the table.
+type Table2Row struct {
+	OS      string
+	Variant string
+	Min     time.Duration
+	Max     time.Duration
+	Avg     time.Duration
+}
+
+// scaledModel adjusts a base kernel model by a constant factor, used to
+// model the slightly different code path of the stock cyclictest binary on
+// LitmusRT versus the litmus-adapted one (paper rows "RTapps" vs
+// "litmus+GSN-EDF": 74µs vs 84µs average).
+type scaledModel struct {
+	kernel.Model
+	factor float64
+}
+
+func (m scaledModel) Latency(rng *rand.Rand, reason rt.WakeReason) time.Duration {
+	return time.Duration(float64(m.Model.Latency(rng, reason)) * m.factor)
+}
+
+// Table2 reproduces all six rows of the table.
+func Table2(cfg Table2Config) ([]Table2Row, error) {
+	load := cfg.Stress.Load()
+	pl := platform.OdroidXU4()
+
+	type variant struct {
+		os     string
+		name   string
+		model  kernel.Model
+		yasmin bool
+	}
+	variants := []variant{
+		{"Linux+PREEMPT_RT 4.14-rt63", "YASMIN", &kernel.PreemptRT{Load: load}, true},
+		{"Linux+PREEMPT_RT 4.14-rt63", "RTapps", &kernel.PreemptRT{Load: load}, false},
+		{"LitmusRT 4.9.30", "YASMIN", &kernel.LitmusGSNEDF{Load: load}, true},
+		{"LitmusRT 4.9.30", "RTapps", scaledModel{&kernel.LitmusGSNEDF{Load: load}, 0.90}, false},
+		{"LitmusRT 4.9.30", "litmus+GSN-EDF", &kernel.LitmusGSNEDF{Load: load}, false},
+		{"LitmusRT 4.9.30", "litmus+P-RES", &kernel.LitmusPRES{Load: load}, false},
+	}
+	var rows []Table2Row
+	for i, v := range variants {
+		seed := cfg.Seed + int64(i)*7919
+		var res *cyclictest.Result
+		var err error
+		if v.yasmin {
+			res, err = cyclictest.RunYASMIN(seed, pl, v.model, cfg.Opts)
+		} else {
+			res, err = cyclictest.RunNative(seed, pl, v.model, cfg.Opts)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table2 %s/%s: %w", v.os, v.name, err)
+		}
+		min, max, avg := res.Summary()
+		rows = append(rows, Table2Row{OS: v.os, Variant: v.name, Min: min, Max: max, Avg: avg})
+	}
+	return rows, nil
+}
+
+// PrintTable2 renders the table like the paper.
+func PrintTable2(w io.Writer, rows []Table2Row) error {
+	if _, err := fmt.Fprintf(w, "%-28s %-16s %s\n", "OS", "Cyclictest", "Latency <min, max, avg> µs"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-28s %-16s <%d, %d, %d>\n",
+			r.OS, r.Variant, r.Min.Microseconds(), r.Max.Microseconds(), r.Avg.Microseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

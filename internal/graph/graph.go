@@ -1,0 +1,209 @@
+// Package graph models task graphs with precedence constraints (paper
+// Section 2): Directed Acyclic task-Graphs (DAGs) whose root nodes carry the
+// activation pattern, with FIFO channels on the edges, plus the
+// transformation of Synchronous DataFlow (SDF) graphs into DAGs that the
+// paper requires as a pre-processing step.
+package graph
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node within a DAG.
+type NodeID int
+
+// Edge is a precedence (and optionally data) dependency between two nodes.
+// Tokens is the number of data items conveyed per activation (>= 0; zero
+// models a pure precedence edge, like the paper's fork->left channel of
+// size 0).
+type Edge struct {
+	From, To NodeID
+	Channel  string // channel identifier, "" for anonymous
+	Tokens   int    // items pushed per source activation / popped per sink activation
+}
+
+// Node is one task in the graph.
+type Node struct {
+	ID   NodeID
+	Name string
+	// WCET is the node's nominal worst-case execution time (single-version
+	// view; the middleware attaches richer version sets at declaration).
+	WCET time.Duration
+}
+
+// DAG is a directed acyclic task graph. The graph as a whole carries the
+// activation pattern (period, relative deadline): "only the root nodes need
+// to have a period attached" — we lift it to the graph, as the paper does.
+type DAG struct {
+	Name     string
+	Period   time.Duration
+	Deadline time.Duration
+	Sporadic bool
+	Nodes    []Node
+	Edges    []Edge
+}
+
+// AddNode appends a node and returns its ID.
+func (g *DAG) AddNode(name string, wcet time.Duration) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Name: name, WCET: wcet})
+	return id
+}
+
+// AddEdge appends a dependency edge.
+func (g *DAG) AddEdge(from, to NodeID, channel string, tokens int) {
+	g.Edges = append(g.Edges, Edge{From: from, To: to, Channel: channel, Tokens: tokens})
+}
+
+// Preds returns the predecessor node IDs of n, in edge order.
+func (g *DAG) Preds(n NodeID) []NodeID {
+	var out []NodeID
+	for _, e := range g.Edges {
+		if e.To == n {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Succs returns the successor node IDs of n, in edge order.
+func (g *DAG) Succs(n NodeID) []NodeID {
+	var out []NodeID
+	for _, e := range g.Edges {
+		if e.From == n {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Roots returns the IDs of nodes without predecessors — the nodes the
+// scheduler releases periodically; all others are data-activated.
+func (g *DAG) Roots() []NodeID {
+	indeg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	var roots []NodeID
+	for i, d := range indeg {
+		if d == 0 {
+			roots = append(roots, NodeID(i))
+		}
+	}
+	return roots
+}
+
+// Sinks returns the IDs of nodes without successors.
+func (g *DAG) Sinks() []NodeID {
+	outdeg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		outdeg[e.From]++
+	}
+	var sinks []NodeID
+	for i, d := range outdeg {
+		if d == 0 {
+			sinks = append(sinks, NodeID(i))
+		}
+	}
+	return sinks
+}
+
+// TopoOrder returns a topological order of the nodes, or an error if the
+// graph has a cycle (Kahn's algorithm; ties broken by node ID for
+// determinism).
+func (g *DAG) TopoOrder() ([]NodeID, error) {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	adj := make([][]NodeID, n)
+	for _, e := range g.Edges {
+		if int(e.From) >= n || int(e.To) >= n || e.From < 0 || e.To < 0 {
+			return nil, fmt.Errorf("graph %s: edge %d->%d references unknown node", g.Name, e.From, e.To)
+		}
+		indeg[e.To]++
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	// Min-ID-first ready list for deterministic output.
+	var ready []NodeID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, NodeID(i))
+		}
+	}
+	var order []NodeID
+	for len(ready) > 0 {
+		// Pick smallest ID.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		u := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, u)
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("graph %s: cycle detected (%d of %d nodes ordered)", g.Name, len(order), n)
+	}
+	return order, nil
+}
+
+// Validate checks acyclicity, edge sanity and the activation pattern.
+func (g *DAG) Validate() error {
+	if g.Period <= 0 {
+		return fmt.Errorf("graph %s: non-positive period %v", g.Name, g.Period)
+	}
+	if g.Deadline <= 0 {
+		return fmt.Errorf("graph %s: non-positive deadline %v", g.Name, g.Deadline)
+	}
+	for _, e := range g.Edges {
+		if e.Tokens < 0 {
+			return fmt.Errorf("graph %s: edge %d->%d has negative tokens", g.Name, e.From, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("graph %s: self-loop on node %d", g.Name, e.From)
+		}
+	}
+	_, err := g.TopoOrder()
+	return err
+}
+
+// CriticalPath returns the longest WCET-weighted path length through the
+// graph — the lower bound on the graph's makespan on unlimited cores.
+func (g *DAG) CriticalPath() (time.Duration, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	finish := make([]time.Duration, len(g.Nodes))
+	var longest time.Duration
+	for _, u := range order {
+		start := time.Duration(0)
+		for _, p := range g.Preds(u) {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[u] = start + g.Nodes[u].WCET
+		if finish[u] > longest {
+			longest = finish[u]
+		}
+	}
+	return longest, nil
+}
+
+// TotalWork returns the sum of node WCETs — the graph's workload on one core.
+func (g *DAG) TotalWork() time.Duration {
+	var w time.Duration
+	for i := range g.Nodes {
+		w += g.Nodes[i].WCET
+	}
+	return w
+}

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// diamond builds the paper's running example: fork -> {left,right} -> join.
+func diamond() *DAG {
+	g := &DAG{Name: "diamond", Period: ms(250), Deadline: ms(250)}
+	fork := g.AddNode("fork", ms(1))
+	left := g.AddNode("left", ms(5))
+	right := g.AddNode("right", ms(3))
+	join := g.AddNode("join", ms(2))
+	g.AddEdge(fork, left, "fl", 0)
+	g.AddEdge(fork, right, "fr", 1)
+	g.AddEdge(left, join, "lj", 1)
+	g.AddEdge(right, join, "rj", 2)
+	return g
+}
+
+func TestDiamondStructure(t *testing.T) {
+	g := diamond()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || g.Nodes[roots[0]].Name != "fork" {
+		t.Errorf("roots = %v, want [fork]", roots)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || g.Nodes[sinks[0]].Name != "join" {
+		t.Errorf("sinks = %v, want [join]", sinks)
+	}
+	if preds := g.Preds(3); len(preds) != 2 {
+		t.Errorf("join preds = %v, want 2", preds)
+	}
+	if succs := g.Succs(0); len(succs) != 2 {
+		t.Errorf("fork succs = %v, want 2", succs)
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := &DAG{Name: "cyclic", Period: ms(10), Deadline: ms(10)}
+	a := g.AddNode("a", ms(1))
+	b := g.AddNode("b", ms(1))
+	g.AddEdge(a, b, "", 0)
+	g.AddEdge(b, a, "", 0)
+	if _, err := g.TopoOrder(); err == nil {
+		t.Error("want cycle error")
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate must reject cycles")
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	g := &DAG{Name: "noperiod"}
+	g.AddNode("a", ms(1))
+	if err := g.Validate(); err == nil {
+		t.Error("want error for missing period")
+	}
+
+	g2 := &DAG{Name: "selfloop", Period: ms(10), Deadline: ms(10)}
+	a := g2.AddNode("a", ms(1))
+	g2.Edges = append(g2.Edges, Edge{From: a, To: a})
+	if err := g2.Validate(); err == nil {
+		t.Error("want error for self-loop")
+	}
+
+	g3 := &DAG{Name: "dangling", Period: ms(10), Deadline: ms(10)}
+	b := g3.AddNode("b", ms(1))
+	g3.Edges = append(g3.Edges, Edge{From: b, To: NodeID(9)})
+	if _, err := g3.TopoOrder(); err == nil {
+		t.Error("want error for dangling edge")
+	}
+}
+
+func TestCriticalPathAndWork(t *testing.T) {
+	g := diamond()
+	cp, err := g.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fork(1) -> left(5) -> join(2) = 8ms is the longest chain.
+	if cp != ms(8) {
+		t.Errorf("critical path = %v, want 8ms", cp)
+	}
+	if w := g.TotalWork(); w != ms(11) {
+		t.Errorf("total work = %v, want 11ms", w)
+	}
+}
+
+func TestSDFRepetitionVector(t *testing.T) {
+	// Classic A -(2:3)-> B: rates A*2 = B*3 => reps A=3, B=2.
+	s := &SDF{
+		Name: "ab", Period: ms(100), Deadline: ms(100),
+		Actors: []SDFActor{{Name: "A", WCET: ms(1)}, {Name: "B", WCET: ms(2)}},
+		Arcs:   []SDFArc{{From: 0, To: 1, Produce: 2, Consume: 3}},
+	}
+	reps, err := s.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reps[0] != 3 || reps[1] != 2 {
+		t.Errorf("reps = %v, want [3 2]", reps)
+	}
+}
+
+func TestSDFInconsistentRates(t *testing.T) {
+	// Triangle with inconsistent balance equations.
+	s := &SDF{
+		Name: "bad", Period: ms(100), Deadline: ms(100),
+		Actors: []SDFActor{{Name: "A", WCET: ms(1)}, {Name: "B", WCET: ms(1)}, {Name: "C", WCET: ms(1)}},
+		Arcs: []SDFArc{
+			{From: 0, To: 1, Produce: 1, Consume: 1},
+			{From: 1, To: 2, Produce: 1, Consume: 1},
+			{From: 0, To: 2, Produce: 2, Consume: 1},
+		},
+	}
+	if _, err := s.RepetitionVector(); err == nil {
+		t.Error("want inconsistency error")
+	}
+}
+
+func TestSDFExpandChain(t *testing.T) {
+	s := &SDF{
+		Name: "chain", Period: ms(100), Deadline: ms(100),
+		Actors: []SDFActor{{Name: "src", WCET: ms(1)}, {Name: "dst", WCET: ms(2)}},
+		Arcs:   []SDFArc{{From: 0, To: 1, Produce: 2, Consume: 3}},
+	}
+	g, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src fires 3x, dst 2x => 5 nodes.
+	if len(g.Nodes) != 5 {
+		t.Fatalf("expanded nodes = %d, want 5", len(g.Nodes))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// dst#0 needs tokens 1..3 => src firings 1,2 (0-based 0,1).
+	// dst#1 needs tokens 4..6 => src firings 2,3 (0-based 1,2).
+	d0 := g.Preds(NodeID(3))
+	if len(d0) != 2 {
+		t.Errorf("dst#0 preds = %v, want 2 producer firings", d0)
+	}
+	d1 := g.Preds(NodeID(4))
+	if len(d1) != 2 {
+		t.Errorf("dst#1 preds = %v, want 2 producer firings", d1)
+	}
+}
+
+func TestSDFExpandWithInitialTokens(t *testing.T) {
+	// With 3 initial tokens, dst#0 fires without waiting for src.
+	s := &SDF{
+		Name: "delayed", Period: ms(100), Deadline: ms(100),
+		Actors: []SDFActor{{Name: "src", WCET: ms(1)}, {Name: "dst", WCET: ms(2)}},
+		Arcs:   []SDFArc{{From: 0, To: 1, Produce: 2, Consume: 3, Initial: 3}},
+	}
+	g, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dst#0 has no predecessors now.
+	var dst0 NodeID = -1
+	for _, n := range g.Nodes {
+		if n.Name == "dst#0" {
+			dst0 = n.ID
+		}
+	}
+	if dst0 < 0 {
+		t.Fatal("dst#0 not found")
+	}
+	if preds := g.Preds(dst0); len(preds) != 0 {
+		t.Errorf("dst#0 preds = %v, want none (initial tokens cover it)", preds)
+	}
+}
+
+func TestSDFSelfConsistentTriangle(t *testing.T) {
+	// A->B->C->sink consistency with non-trivial rates.
+	s := &SDF{
+		Name: "tri", Period: ms(100), Deadline: ms(100),
+		Actors: []SDFActor{{Name: "A", WCET: ms(1)}, {Name: "B", WCET: ms(1)}, {Name: "C", WCET: ms(1)}},
+		Arcs: []SDFArc{
+			{From: 0, To: 1, Produce: 1, Consume: 2},
+			{From: 1, To: 2, Produce: 3, Consume: 1},
+		},
+	}
+	reps, err := s.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A*1 = B*2 and B*3 = C*1 => A=2, B=1, C=3.
+	if reps[0] != 2 || reps[1] != 1 || reps[2] != 3 {
+		t.Errorf("reps = %v, want [2 1 3]", reps)
+	}
+	g, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) != 6 {
+		t.Errorf("nodes = %d, want 6", len(g.Nodes))
+	}
+}

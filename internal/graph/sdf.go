@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"fmt"
+	"time"
+)
+
+// SDF is a Synchronous DataFlow graph (Lee & Messerschmitt 1987, the paper's
+// reference [25]): actors fire consuming/producing fixed token counts per
+// edge. The paper requires SDF inputs to be expanded into DAGs before
+// YASMIN can schedule them; Expand implements that transformation for one
+// graph iteration.
+type SDF struct {
+	Name     string
+	Period   time.Duration // period of one full SDF iteration
+	Deadline time.Duration
+	Actors   []SDFActor
+	Arcs     []SDFArc
+}
+
+// SDFActor is an SDF node.
+type SDFActor struct {
+	Name string
+	WCET time.Duration
+}
+
+// SDFArc connects two actors with fixed production/consumption rates and an
+// optional number of initial tokens (delays).
+type SDFArc struct {
+	From, To int // actor indices
+	Produce  int // tokens produced per source firing
+	Consume  int // tokens consumed per destination firing
+	Initial  int // initial tokens on the arc
+}
+
+// RepetitionVector computes the minimal positive firing counts per actor for
+// one iteration (the balance equations). Returns an error if the graph is
+// inconsistent (no valid rates).
+func (s *SDF) RepetitionVector() ([]int, error) {
+	n := len(s.Actors)
+	if n == 0 {
+		return nil, fmt.Errorf("sdf %s: no actors", s.Name)
+	}
+	// Solve balance equations with rational arithmetic over a spanning
+	// traversal, then scale to the smallest integer vector.
+	num := make([]int64, n) // repetition as fraction num/den
+	den := make([]int64, n)
+	visited := make([]bool, n)
+	adj := make([][]int, n) // arc indices per actor (both directions)
+	for i, a := range s.Arcs {
+		if a.From < 0 || a.From >= n || a.To < 0 || a.To >= n {
+			return nil, fmt.Errorf("sdf %s: arc %d references unknown actor", s.Name, i)
+		}
+		if a.Produce <= 0 || a.Consume <= 0 {
+			return nil, fmt.Errorf("sdf %s: arc %d has non-positive rates", s.Name, i)
+		}
+		adj[a.From] = append(adj[a.From], i)
+		adj[a.To] = append(adj[a.To], i)
+	}
+	var gcd func(a, b int64) int64
+	gcd = func(a, b int64) int64 {
+		if b == 0 {
+			if a < 0 {
+				return -a
+			}
+			return a
+		}
+		return gcd(b, a%b)
+	}
+	reduce := func(i int) {
+		g := gcd(num[i], den[i])
+		if g != 0 {
+			num[i] /= g
+			den[i] /= g
+		}
+	}
+	// BFS per connected component.
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		num[start], den[start] = 1, 1
+		visited[start] = true
+		queue := []int{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ai := range adj[u] {
+				a := s.Arcs[ai]
+				// r_from * produce = r_to * consume
+				var v int
+				var vn, vd int64
+				if a.From == u {
+					v = a.To
+					vn = num[u] * int64(a.Produce)
+					vd = den[u] * int64(a.Consume)
+				} else {
+					v = a.From
+					vn = num[u] * int64(a.Consume)
+					vd = den[u] * int64(a.Produce)
+				}
+				if !visited[v] {
+					num[v], den[v] = vn, vd
+					reduce(v)
+					visited[v] = true
+					queue = append(queue, v)
+					continue
+				}
+				// Consistency check: existing ratio must match.
+				if num[v]*vd != vn*den[v] {
+					return nil, fmt.Errorf("sdf %s: inconsistent rates at actor %s", s.Name, s.Actors[v].Name)
+				}
+			}
+		}
+	}
+	// Scale all fractions to integers: multiply by LCM of denominators.
+	lcm := int64(1)
+	for i := 0; i < n; i++ {
+		g := gcd(lcm, den[i])
+		lcm = lcm / g * den[i]
+	}
+	reps := make([]int, n)
+	var overall int64
+	for i := 0; i < n; i++ {
+		r := num[i] * (lcm / den[i])
+		if r <= 0 {
+			return nil, fmt.Errorf("sdf %s: non-positive repetition for %s", s.Name, s.Actors[i].Name)
+		}
+		reps[i] = int(r)
+		overall = gcd(overall, r)
+	}
+	if overall > 1 {
+		for i := range reps {
+			reps[i] = int(int64(reps[i]) / overall)
+		}
+	}
+	return reps, nil
+}
+
+// Expand unrolls one SDF iteration into a DAG: actor a becomes reps[a]
+// firing nodes "name#k"; dependencies are derived from token production and
+// consumption order (firing j of the consumer depends on the producer firing
+// that makes its last required token available, accounting for initial
+// tokens).
+func (s *SDF) Expand() (*DAG, error) {
+	reps, err := s.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	g := &DAG{
+		Name:     s.Name,
+		Period:   s.Period,
+		Deadline: s.Deadline,
+	}
+	// Node IDs per actor firing.
+	ids := make([][]NodeID, len(s.Actors))
+	for ai, actor := range s.Actors {
+		ids[ai] = make([]NodeID, reps[ai])
+		for k := 0; k < reps[ai]; k++ {
+			ids[ai][k] = g.AddNode(fmt.Sprintf("%s#%d", actor.Name, k), actor.WCET)
+		}
+	}
+	for arcIdx, a := range s.Arcs {
+		chName := fmt.Sprintf("%s.arc%d", s.Name, arcIdx)
+		// Consumer firing j needs tokens (j*consume+1 .. (j+1)*consume).
+		// With `initial` tokens pre-loaded, the producer must have emitted
+		// (j+1)*consume - initial tokens; producer firing i emits tokens
+		// up to (i+1)*produce. Firing j depends on producer firing
+		// ceil(((j+1)*consume - initial)/produce) - 1 and all earlier ones;
+		// adding only the last-needed edge keeps the DAG sparse (earlier
+		// producer firings are transitively ordered for produce<=consume;
+		// for general rates we add every contributing producer).
+		for j := 0; j < reps[a.To]; j++ {
+			need := (j+1)*a.Consume - a.Initial
+			if need <= 0 {
+				continue // satisfied by initial tokens: no dependency this iteration
+			}
+			last := (need + a.Produce - 1) / a.Produce // 1-based producer firing count
+			if last > reps[a.From] {
+				return nil, fmt.Errorf("sdf %s: arc %d under-produces within one iteration", s.Name, arcIdx)
+			}
+			first := (j*a.Consume - a.Initial) / a.Produce // 0-based, first contributing
+			if first < 0 {
+				first = 0
+			}
+			for i := first; i < last; i++ {
+				g.AddEdge(ids[a.From][i], ids[a.To][j], chName, a.Produce)
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("sdf %s: expansion produced invalid DAG: %w", s.Name, err)
+	}
+	return g, nil
+}

@@ -1,0 +1,184 @@
+// Package kernel models the operating-system substrates of the paper's
+// Table 2 latency comparison: Linux with the PREEMPT_RT patch set, LitmusRT
+// with the GSN-EDF plugin, LitmusRT with the P-RES (polling reservation)
+// plugin, and vanilla Linux as a baseline.
+//
+// A kernel model is a sampler for the latency between a thread's nominal
+// wake-up instant (timer expiry or futex wake) and the instant it actually
+// runs. The mechanisms behind each model's shape:
+//
+//   - PREEMPT_RT: fully threaded IRQs give a bounded but load-sensitive
+//     path: timer IRQ -> irq thread -> scheduler -> task. Under stress-ng
+//     load the softirq and timer threads queue behind cache-thrashing
+//     stressors, producing a heavy sub-2ms tail.
+//   - LitmusRT GSN-EDF: a much shorter in-kernel path (dedicated RT
+//     scheduling class, release heaps), tail bounded by link-level
+//     contention — an order of magnitude tighter than PREEMPT_RT.
+//   - LitmusRT P-RES: wake-ups are served at polling-reservation
+//     boundaries: latency concentrates slightly above the reservation
+//     period (~1 ms), almost load-independent — the paper measures
+//     <988, 1206, 1027> µs.
+//   - Vanilla Linux (CFS): no latency guarantee at all; wake-ups contend
+//     with fair-share scheduling, with tails in the tens of milliseconds
+//     under load.
+//
+// All sampling is driven by the caller-provided deterministic RNG, so
+// simulations remain reproducible.
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/rt"
+)
+
+// Model samples OS-induced wake-up latencies.
+type Model interface {
+	Name() string
+	// Latency returns one sample for the given wake reason.
+	Latency(rng *rand.Rand, reason rt.WakeReason) time.Duration
+}
+
+// WakeFunc adapts a model to the rt.SimEnv hook.
+func WakeFunc(m Model, rng *rand.Rand) rt.WakeLatencyFunc {
+	if m == nil {
+		return nil
+	}
+	return func(reason rt.WakeReason, core int) time.Duration {
+		return m.Latency(rng, reason)
+	}
+}
+
+// expSample draws an exponential with the given mean.
+func expSample(rng *rand.Rand, mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return time.Duration(-float64(mean) * math.Log(1-u))
+}
+
+// clamp bounds d to [lo, hi].
+func clamp(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// PreemptRT models Linux 4.14-rt with threaded IRQs. Load in [0,1] is the
+// stress-ng pressure (see internal/stress).
+type PreemptRT struct {
+	Load float64
+}
+
+// Name returns the kernel identification string.
+func (k *PreemptRT) Name() string { return "Linux+PREEMPT_RT 4.14-rt" }
+
+// Latency samples the threaded-IRQ wake path. Calibration targets the
+// paper's RTapps row: <176, 1550, 463> µs under stress-ng load.
+func (k *PreemptRT) Latency(rng *rand.Rand, reason rt.WakeReason) time.Duration {
+	// Idle floor ~ 8µs; stressed floor rises as the IRQ thread queues.
+	floor := 8*time.Microsecond + time.Duration(k.Load*float64(160*time.Microsecond))
+	// Body: two exponential stages (IRQ thread dispatch + target wake).
+	mean := 4*time.Microsecond + time.Duration(k.Load*float64(135*time.Microsecond))
+	lat := floor + expSample(rng, mean) + expSample(rng, mean)
+	// Occasional timer-stressor collision spike.
+	if rng.Float64() < 0.04*k.Load {
+		lat += expSample(rng, 300*time.Microsecond)
+	}
+	if reason == rt.WakeUnpark {
+		// Futex wake skips the timer IRQ stage.
+		lat = floor/2 + expSample(rng, mean)
+	}
+	return clamp(lat, 3*time.Microsecond, 1600*time.Microsecond)
+}
+
+// LitmusGSNEDF models LitmusRT 4.9.30 with the global GSN-EDF plugin.
+type LitmusGSNEDF struct {
+	Load float64
+}
+
+// Name returns the kernel identification string.
+func (k *LitmusGSNEDF) Name() string { return "LitmusRT 4.9.30 GSN-EDF" }
+
+// Latency samples the Litmus release path: calibrated to the paper's
+// litmus+GSN-EDF row <35, 247, 84> µs.
+func (k *LitmusGSNEDF) Latency(rng *rand.Rand, reason rt.WakeReason) time.Duration {
+	floor := 5*time.Microsecond + time.Duration(k.Load*float64(28*time.Microsecond))
+	mean := 3*time.Microsecond + time.Duration(k.Load*float64(25*time.Microsecond))
+	lat := floor + expSample(rng, mean) + expSample(rng, mean)
+	if rng.Float64() < 0.02*k.Load {
+		lat += expSample(rng, 60*time.Microsecond)
+	}
+	if reason == rt.WakeUnpark {
+		lat = floor/2 + expSample(rng, mean)
+	}
+	return clamp(lat, 2*time.Microsecond, 260*time.Microsecond)
+}
+
+// LitmusPRES models LitmusRT with polling reservations (P-RES): each thread
+// is served by a periodic reservation, so a wake-up waits for the next
+// replenishment boundary.
+type LitmusPRES struct {
+	Load float64
+	// Reservation is the polling period (default 1ms, the plugin default
+	// the paper's numbers point at).
+	Reservation time.Duration
+}
+
+// Name returns the kernel identification string.
+func (k *LitmusPRES) Name() string { return "LitmusRT 4.9.30 P-RES" }
+
+// Latency concentrates just above the reservation period: the paper
+// measures <988, 1206, 1027> µs for a 1ms reservation.
+func (k *LitmusPRES) Latency(rng *rand.Rand, reason rt.WakeReason) time.Duration {
+	res := k.Reservation
+	if res <= 0 {
+		res = time.Millisecond
+	}
+	// The wake misses the current polling slot almost surely and is served
+	// at the next boundary plus scheduling jitter.
+	early := time.Duration(rng.Int63n(int64(14 * time.Microsecond)))
+	jitter := expSample(rng, 25*time.Microsecond+time.Duration(k.Load*float64(30*time.Microsecond)))
+	return clamp(res-early+jitter, res-20*time.Microsecond, res+250*time.Microsecond)
+}
+
+// Vanilla models an unpatched Linux CFS kernel: no latency bound at all.
+type Vanilla struct {
+	Load float64
+}
+
+// Name returns the kernel identification string.
+func (k *Vanilla) Name() string { return "Linux (vanilla CFS)" }
+
+// Latency has a small floor but a heavy, load-dependent tail: fair-share
+// scheduling may delay an RT-ish thread by whole scheduling epochs.
+func (k *Vanilla) Latency(rng *rand.Rand, reason rt.WakeReason) time.Duration {
+	floor := 5 * time.Microsecond
+	mean := 15*time.Microsecond + time.Duration(k.Load*float64(500*time.Microsecond))
+	lat := floor + expSample(rng, mean)
+	if rng.Float64() < 0.10*k.Load {
+		// Landed behind a full CFS timeslice (or several).
+		lat += time.Duration(1+rng.Intn(4)) * 6 * time.Millisecond
+	}
+	return clamp(lat, 3*time.Microsecond, 50*time.Millisecond)
+}
+
+// Ideal is the zero-latency kernel used by unit tests and idealised
+// experiments.
+type Ideal struct{}
+
+// Name returns the kernel identification string.
+func (Ideal) Name() string { return "ideal" }
+
+// Latency is always zero.
+func (Ideal) Latency(*rand.Rand, rt.WakeReason) time.Duration { return 0 }

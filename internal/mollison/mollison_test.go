@@ -1,0 +1,121 @@
+package mollison
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/taskset"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func simpleSet(n int, period, wcet time.Duration) *taskset.Set {
+	s := &taskset.Set{}
+	for i := 0; i < n; i++ {
+		s.Tasks = append(s.Tasks, taskset.Task{
+			ID: i, Name: "t" + string(rune('a'+i)), Period: period, Deadline: period, WCET: wcet,
+		})
+	}
+	return s
+}
+
+func TestRunExecutesJobs(t *testing.T) {
+	pl := platform.OdroidXU4()
+	set := simpleSet(4, ms(10), ms(2))
+	res, err := Run(1, pl, set, Config{Workers: 2, WorkerCores: []int{4, 5}, Horizon: ms(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tasks x ~10 jobs on 2 cores with U=0.8: all should run.
+	jobs := res.Recorder.TotalJobs()
+	if jobs < 30 {
+		t.Errorf("jobs = %d, want ~40", jobs)
+	}
+	if res.Overheads.Total().Count() == 0 {
+		t.Error("no overhead samples")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	pl := platform.Generic(2)
+	set := simpleSet(1, ms(10), ms(1))
+	if _, err := Run(1, pl, set, Config{Workers: 0, Horizon: ms(10)}); err == nil {
+		t.Error("want worker-count error")
+	}
+	if _, err := Run(1, pl, set, Config{Workers: 1, Horizon: 0}); err == nil {
+		t.Error("want horizon error")
+	}
+	if _, err := Run(1, pl, set, Config{Workers: 1, WorkerCores: []int{0, 1}, Horizon: ms(1)}); err == nil {
+		t.Error("want core-mismatch error")
+	}
+	bad := &taskset.Set{Tasks: []taskset.Task{{ID: 0, Period: 0, Deadline: ms(1), WCET: ms(1)}}}
+	if _, err := Run(1, pl, bad, Config{Workers: 1, Horizon: ms(1)}); err == nil {
+		t.Error("want invalid-set error")
+	}
+}
+
+func TestLockContentionGrowsWithWorkers(t *testing.T) {
+	pl := platform.OdroidXU4()
+	rng := rand.New(rand.NewSource(5))
+	set, err := taskset.Generate(rng, taskset.DRSConfig{
+		N: 40, TotalUtilization: 1.5,
+		PeriodMin: ms(10), PeriodMax: ms(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(2, pl, set, Config{Workers: 2, WorkerCores: []int{4, 5}, Horizon: ms(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Run(2, pl, set, Config{Workers: 3, WorkerCores: []int{4, 5, 6}, Horizon: ms(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.LockSpins <= r2.LockSpins {
+		t.Errorf("lock spins: 3 workers %d <= 2 workers %d; contention should grow",
+			r3.LockSpins, r2.LockSpins)
+	}
+}
+
+func TestOverheadGrowsWithTaskCount(t *testing.T) {
+	pl := platform.OdroidXU4()
+	rng := rand.New(rand.NewSource(9))
+	mean := func(n int) time.Duration {
+		set, err := taskset.Generate(rng, taskset.DRSConfig{
+			N: n, TotalUtilization: 1.0,
+			PeriodMin: ms(10), PeriodMax: ms(100),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(3, pl, set, Config{Workers: 2, WorkerCores: []int{4, 5}, Horizon: ms(500)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Overheads.Kind(1).Mean() // OverheadSchedule
+	}
+	small, large := mean(20), mean(120)
+	if large <= small {
+		t.Errorf("schedule overhead: 120 tasks %v <= 20 tasks %v; should grow", large, small)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	pl := platform.OdroidXU4()
+	set := simpleSet(6, ms(20), ms(3))
+	run := func() (int64, time.Duration) {
+		res, err := Run(7, pl, set, Config{Workers: 2, WorkerCores: []int{4, 5}, Horizon: ms(300)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Recorder.TotalJobs(), res.Overheads.Total().Max()
+	}
+	j1, o1 := run()
+	j2, o2 := run()
+	if j1 != j2 || o1 != o2 {
+		t.Errorf("non-deterministic: (%d,%v) vs (%d,%v)", j1, o1, j2, o2)
+	}
+}

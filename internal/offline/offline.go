@@ -1,0 +1,325 @@
+// Package offline computes static time-triggered schedules for YASMIN's
+// off-line scheduling mode (paper Section 3.4): given the task set's timing
+// properties it builds, ahead of execution, a per-worker dispatch table over
+// one hyperperiod, with versions pre-selected off-line (so only the
+// referenced versions need to ship) and heterogeneous resources resolved at
+// synthesis time (the Section 3.4 "Limitation" turned guarantee: a task can
+// target an accelerator without asking the on-line dispatcher).
+//
+// The synthesiser is an earliest-deadline list scheduler with HEFT-style
+// earliest-finish-time version/worker selection under precedence and
+// accelerator-exclusivity constraints.
+package offline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/taskset"
+)
+
+// NoAccelerator marks a CPU-only version.
+const NoAccelerator = -1
+
+// VersionSpec describes one implementation for synthesis.
+type VersionSpec struct {
+	WCET   time.Duration
+	Accel  int // accelerator index, NoAccelerator for CPU-only
+	Energy float64
+}
+
+// TaskSpec describes one task for synthesis. Tasks are referenced by their
+// index in the spec slice, which must match the declaration order of the
+// corresponding core.App (TID i == spec i).
+type TaskSpec struct {
+	Name     string
+	Period   time.Duration // roots only; 0 for data-activated nodes
+	Deadline time.Duration // 0: implicit (period, or inherited from the root)
+	Versions []VersionSpec
+	Preds    []int // indices of predecessor specs
+}
+
+// Objective selects the version-choice criterion.
+type Objective int
+
+// Objectives.
+const (
+	// MinMakespan picks the version/worker pair finishing earliest.
+	MinMakespan Objective = iota + 1
+	// MinEnergy picks the cheapest version that still meets the deadline,
+	// breaking ties by finish time.
+	MinEnergy
+)
+
+// Placement reports where one job instance landed (for inspection/tests).
+type Placement struct {
+	Task    int
+	Job     int // instance within the hyperperiod
+	Worker  int
+	Version int
+	Start   time.Duration
+	Finish  time.Duration
+	AbsDL   time.Duration
+}
+
+// Schedule is the synthesis result.
+type Schedule struct {
+	Table       *core.OfflineTable
+	Hyperperiod time.Duration
+	Placements  []Placement
+	Makespan    time.Duration
+	Energy      float64
+}
+
+// Synthesize builds a dispatch table for the given specs on `workers`
+// virtual CPUs and `accels` single-capacity accelerators. It returns an
+// error when the set is structurally invalid or no feasible table exists
+// under the heuristic.
+func Synthesize(specs []TaskSpec, workers, accels int, obj Objective) (*Schedule, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("offline: need at least one worker")
+	}
+	if obj == 0 {
+		obj = MinMakespan
+	}
+	n := len(specs)
+	if n == 0 {
+		return nil, fmt.Errorf("offline: empty spec")
+	}
+	for i, s := range specs {
+		if len(s.Versions) == 0 {
+			return nil, fmt.Errorf("offline: task %d (%s) has no versions", i, s.Name)
+		}
+		for _, v := range s.Versions {
+			if v.WCET <= 0 {
+				return nil, fmt.Errorf("offline: task %d (%s): non-positive WCET", i, s.Name)
+			}
+			if v.Accel != NoAccelerator && (v.Accel < 0 || v.Accel >= accels) {
+				return nil, fmt.Errorf("offline: task %d (%s): unknown accelerator %d", i, s.Name, v.Accel)
+			}
+		}
+		for _, p := range s.Preds {
+			if p < 0 || p >= n {
+				return nil, fmt.Errorf("offline: task %d (%s): unknown predecessor %d", i, s.Name, p)
+			}
+		}
+		if s.Period == 0 && len(s.Preds) == 0 {
+			return nil, fmt.Errorf("offline: task %d (%s) has neither period nor predecessors", i, s.Name)
+		}
+		if s.Period > 0 && len(s.Preds) > 0 {
+			return nil, fmt.Errorf("offline: task %d (%s): only root nodes carry periods", i, s.Name)
+		}
+	}
+	root, depth, err := rootOf(specs)
+	if err != nil {
+		return nil, err
+	}
+	// Hyperperiod over root periods.
+	H := time.Duration(1)
+	for i := range specs {
+		if specs[i].Period > 0 {
+			H = taskset.LCM(H, specs[i].Period)
+		}
+	}
+	// Enumerate job instances.
+	type jobInst struct {
+		task    int
+		inst    int
+		release time.Duration
+		absDL   time.Duration
+		depth   int
+	}
+	var jobs []jobInst
+	for i := range specs {
+		r := root[i]
+		period := specs[r].Period
+		dl := specs[i].Deadline
+		if dl == 0 {
+			dl = specs[r].Deadline
+			if dl == 0 {
+				dl = period
+			}
+		}
+		count := int(H / period)
+		for k := 0; k < count; k++ {
+			rel := time.Duration(k) * period
+			jobs = append(jobs, jobInst{
+				task: i, inst: k, release: rel, absDL: rel + dl, depth: depth[i],
+			})
+		}
+	}
+	// EDF order, precedence-consistent via depth, deterministic ties.
+	sort.SliceStable(jobs, func(a, b int) bool {
+		ja, jb := &jobs[a], &jobs[b]
+		if ja.release != jb.release {
+			return ja.release < jb.release
+		}
+		if ja.depth != jb.depth {
+			return ja.depth < jb.depth
+		}
+		if ja.absDL != jb.absDL {
+			return ja.absDL < jb.absDL
+		}
+		return ja.task < jb.task
+	})
+	// Timeline state.
+	workerFree := make([]time.Duration, workers)
+	accelFree := make([]time.Duration, accels)
+	// finish[task][inst] for precedence.
+	finish := make([]map[int]time.Duration, n)
+	for i := range finish {
+		finish[i] = make(map[int]time.Duration)
+	}
+	sched := &Schedule{Hyperperiod: H}
+	entries := make([][]core.TableEntry, workers)
+
+	for _, jb := range jobs {
+		s := &specs[jb.task]
+		est := jb.release
+		for _, p := range s.Preds {
+			pf, ok := finish[p][jb.inst]
+			if !ok {
+				return nil, fmt.Errorf("offline: internal: %s instance %d scheduled before predecessor %s",
+					s.Name, jb.inst, specs[p].Name)
+			}
+			if pf > est {
+				est = pf
+			}
+		}
+		type cand struct {
+			worker, version int
+			start, fin      time.Duration
+			energy          float64
+		}
+		var best *cand
+		better := func(a, b *cand) bool {
+			if b == nil {
+				return true
+			}
+			switch obj {
+			case MinEnergy:
+				aMeets := a.fin <= jb.absDL
+				bMeets := b.fin <= jb.absDL
+				if aMeets != bMeets {
+					return aMeets
+				}
+				if aMeets && a.energy != b.energy {
+					return a.energy < b.energy
+				}
+				return a.fin < b.fin
+			default:
+				if a.fin != b.fin {
+					return a.fin < b.fin
+				}
+				return a.energy < b.energy
+			}
+		}
+		for vi, v := range s.Versions {
+			for w := 0; w < workers; w++ {
+				start := est
+				if workerFree[w] > start {
+					start = workerFree[w]
+				}
+				if v.Accel != NoAccelerator && accelFree[v.Accel] > start {
+					start = accelFree[v.Accel]
+				}
+				c := &cand{worker: w, version: vi, start: start, fin: start + v.WCET, energy: v.Energy}
+				if better(c, best) {
+					best = c
+				}
+			}
+		}
+		if best == nil || best.fin > jb.absDL {
+			fin := time.Duration(0)
+			if best != nil {
+				fin = best.fin
+			}
+			return nil, fmt.Errorf("offline: infeasible: %s instance %d misses deadline %v (best finish %v)",
+				s.Name, jb.inst, jb.absDL, fin)
+		}
+		workerFree[best.worker] = best.fin
+		if acc := s.Versions[best.version].Accel; acc != NoAccelerator {
+			accelFree[acc] = best.fin
+		}
+		finish[jb.task][jb.inst] = best.fin
+		entries[best.worker] = append(entries[best.worker], core.TableEntry{
+			Offset:  best.start,
+			Task:    core.TID(jb.task),
+			Version: core.VID(best.version),
+		})
+		sched.Placements = append(sched.Placements, Placement{
+			Task: jb.task, Job: jb.inst, Worker: best.worker, Version: best.version,
+			Start: best.start, Finish: best.fin, AbsDL: jb.absDL,
+		})
+		if best.fin > sched.Makespan {
+			sched.Makespan = best.fin
+		}
+		sched.Energy += best.energy
+	}
+	for w := range entries {
+		sort.SliceStable(entries[w], func(a, b int) bool {
+			return entries[w][a].Offset < entries[w][b].Offset
+		})
+	}
+	sched.Table = &core.OfflineTable{Cycle: H, PerWorker: entries}
+	return sched, nil
+}
+
+// rootOf finds, for every spec, its unique root and topological depth;
+// errors on cycles or multi-root nodes with conflicting roots.
+func rootOf(specs []TaskSpec) (root []int, depth []int, err error) {
+	n := len(specs)
+	root = make([]int, n)
+	depth = make([]int, n)
+	state := make([]int, n) // 0 white, 1 grey, 2 black
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("offline: dependency cycle through %s", specs[i].Name)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		if len(specs[i].Preds) == 0 {
+			root[i] = i
+			depth[i] = 0
+		} else {
+			r := -1
+			d := 0
+			for _, p := range specs[i].Preds {
+				if err := visit(p); err != nil {
+					return err
+				}
+				if r == -1 {
+					r = root[p]
+				} else if root[p] != r {
+					return fmt.Errorf("offline: task %s has predecessors from different graphs (%s, %s)",
+						specs[i].Name, specs[r].Name, specs[root[p]].Name)
+				}
+				if depth[p]+1 > d {
+					d = depth[p] + 1
+				}
+			}
+			root[i] = r
+			depth[i] = d
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := visit(i); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Every root must be periodic.
+	for i := 0; i < n; i++ {
+		if specs[root[i]].Period <= 0 {
+			return nil, nil, fmt.Errorf("offline: root %s of %s has no period",
+				specs[root[i]].Name, specs[i].Name)
+		}
+	}
+	return root, depth, nil
+}

@@ -1,0 +1,181 @@
+package offline
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSimplePeriodicSynthesis(t *testing.T) {
+	specs := []TaskSpec{
+		{Name: "a", Period: ms(10), Versions: []VersionSpec{{WCET: ms(2), Accel: NoAccelerator}}},
+		{Name: "b", Period: ms(20), Versions: []VersionSpec{{WCET: ms(5), Accel: NoAccelerator}}},
+	}
+	s, err := Synthesize(specs, 1, 0, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hyperperiod != ms(20) {
+		t.Errorf("H = %v, want 20ms", s.Hyperperiod)
+	}
+	// a runs twice, b once per hyperperiod.
+	if got := len(s.Placements); got != 3 {
+		t.Fatalf("placements = %d, want 3", got)
+	}
+	for _, p := range s.Placements {
+		if p.Finish > p.AbsDL {
+			t.Errorf("task %d inst %d finishes %v after deadline %v", p.Task, p.Job, p.Finish, p.AbsDL)
+		}
+	}
+	if s.Table.Cycle != ms(20) || len(s.Table.PerWorker) != 1 {
+		t.Errorf("table = %+v", s.Table)
+	}
+}
+
+func TestPrecedenceRespected(t *testing.T) {
+	specs := []TaskSpec{
+		{Name: "src", Period: ms(20), Versions: []VersionSpec{{WCET: ms(3), Accel: NoAccelerator}}},
+		{Name: "mid", Preds: []int{0}, Versions: []VersionSpec{{WCET: ms(3), Accel: NoAccelerator}}},
+		{Name: "dst", Preds: []int{1}, Versions: []VersionSpec{{WCET: ms(3), Accel: NoAccelerator}}},
+	}
+	s, err := Synthesize(specs, 2, 0, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := map[int]time.Duration{}
+	fin := map[int]time.Duration{}
+	for _, p := range s.Placements {
+		start[p.Task] = p.Start
+		fin[p.Task] = p.Finish
+	}
+	if start[1] < fin[0] || start[2] < fin[1] {
+		t.Errorf("precedence violated: starts %v, finishes %v", start, fin)
+	}
+}
+
+func TestAcceleratorExclusivity(t *testing.T) {
+	// Two tasks with only GPU versions: must serialise on the accelerator.
+	specs := []TaskSpec{
+		{Name: "a", Period: ms(20), Versions: []VersionSpec{{WCET: ms(5), Accel: 0}}},
+		{Name: "b", Period: ms(20), Versions: []VersionSpec{{WCET: ms(5), Accel: 0}}},
+	}
+	s, err := Synthesize(specs, 2, 1, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iv [][2]time.Duration
+	for _, p := range s.Placements {
+		iv = append(iv, [2]time.Duration{p.Start, p.Finish})
+	}
+	if len(iv) != 2 {
+		t.Fatal("want 2 placements")
+	}
+	overlap := iv[0][0] < iv[1][1] && iv[1][0] < iv[0][1]
+	if overlap {
+		t.Errorf("accelerator intervals overlap: %v", iv)
+	}
+}
+
+func TestVersionPreselectionPrefersFasterUnderMakespan(t *testing.T) {
+	specs := []TaskSpec{
+		{Name: "a", Period: ms(20), Versions: []VersionSpec{
+			{WCET: ms(8), Accel: NoAccelerator, Energy: 1},
+			{WCET: ms(3), Accel: 0, Energy: 10},
+		}},
+	}
+	s, err := Synthesize(specs, 1, 1, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placements[0].Version != 1 {
+		t.Errorf("picked version %d, want 1 (faster GPU)", s.Placements[0].Version)
+	}
+}
+
+func TestVersionPreselectionPrefersCheaperUnderEnergy(t *testing.T) {
+	specs := []TaskSpec{
+		{Name: "a", Period: ms(20), Versions: []VersionSpec{
+			{WCET: ms(8), Accel: NoAccelerator, Energy: 1},
+			{WCET: ms(3), Accel: 0, Energy: 10},
+		}},
+	}
+	s, err := Synthesize(specs, 1, 1, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Placements[0].Version != 0 {
+		t.Errorf("picked version %d, want 0 (cheaper CPU, still meets deadline)", s.Placements[0].Version)
+	}
+	if s.Energy != 1 {
+		t.Errorf("energy = %g, want 1", s.Energy)
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	specs := []TaskSpec{
+		{Name: "a", Period: ms(10), Versions: []VersionSpec{{WCET: ms(8), Accel: NoAccelerator}}},
+		{Name: "b", Period: ms(10), Versions: []VersionSpec{{WCET: ms(8), Accel: NoAccelerator}}},
+	}
+	if _, err := Synthesize(specs, 1, 0, MinMakespan); err == nil {
+		t.Error("want infeasibility error: 16ms of work per 10ms on one worker")
+	}
+}
+
+func TestStructuralValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		specs []TaskSpec
+	}{
+		{"no versions", []TaskSpec{{Name: "a", Period: ms(10)}}},
+		{"zero wcet", []TaskSpec{{Name: "a", Period: ms(10), Versions: []VersionSpec{{WCET: 0, Accel: NoAccelerator}}}}},
+		{"unknown accel", []TaskSpec{{Name: "a", Period: ms(10), Versions: []VersionSpec{{WCET: ms(1), Accel: 3}}}}},
+		{"unknown pred", []TaskSpec{{Name: "a", Period: ms(10), Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}, Preds: []int{5}}}},
+		{"no period no preds", []TaskSpec{{Name: "a", Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}}}},
+		{"period on non-root", []TaskSpec{
+			{Name: "a", Period: ms(10), Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}},
+			{Name: "b", Period: ms(10), Preds: []int{0}, Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}},
+		}},
+		{"cycle", []TaskSpec{
+			{Name: "a", Preds: []int{1}, Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}},
+			{Name: "b", Preds: []int{0}, Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Synthesize(tc.specs, 1, 1, MinMakespan); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+	if _, err := Synthesize(nil, 1, 0, MinMakespan); err == nil {
+		t.Error("want error for empty spec")
+	}
+	if _, err := Synthesize([]TaskSpec{{Name: "a", Period: ms(1), Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}}}, 0, 0, MinMakespan); err == nil {
+		t.Error("want error for zero workers")
+	}
+}
+
+func TestTableEntriesSortedAndWithinCycle(t *testing.T) {
+	specs := []TaskSpec{
+		{Name: "a", Period: ms(10), Versions: []VersionSpec{{WCET: ms(1), Accel: NoAccelerator}}},
+		{Name: "b", Period: ms(20), Versions: []VersionSpec{{WCET: ms(2), Accel: NoAccelerator}}},
+		{Name: "c", Period: ms(40), Versions: []VersionSpec{{WCET: ms(4), Accel: NoAccelerator}}},
+	}
+	s, err := Synthesize(specs, 2, 0, MinMakespan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, entries := range s.Table.PerWorker {
+		last := time.Duration(-1)
+		for _, e := range entries {
+			if e.Offset < last {
+				t.Errorf("worker %d: entries unsorted", w)
+			}
+			if e.Offset >= s.Table.Cycle {
+				t.Errorf("worker %d: offset %v beyond cycle %v", w, e.Offset, s.Table.Cycle)
+			}
+			last = e.Offset
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package platform
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Battery models the platform's energy source for the energy-based version
+// selector (Section 3.2, option 1: select the version "depending on the
+// current energy capacity of the platform").
+//
+// Capacity is tracked in millijoules. Drain is applied explicitly by the
+// runtime when a task version executes (WCET x core power) so the model works
+// identically in virtual and wall-clock time. Battery is safe for concurrent
+// use: the OS-backed runtime reads it from several worker threads.
+type Battery struct {
+	mu         sync.Mutex
+	capacityMJ float64
+	levelMJ    float64
+}
+
+// NewBattery creates a battery with the given capacity in millijoules,
+// initially full.
+func NewBattery(capacityMJ float64) (*Battery, error) {
+	if capacityMJ <= 0 {
+		return nil, fmt.Errorf("battery: capacity must be positive, got %g", capacityMJ)
+	}
+	return &Battery{capacityMJ: capacityMJ, levelMJ: capacityMJ}, nil
+}
+
+// Level returns the remaining charge as a percentage in [0,100].
+func (b *Battery) Level() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return 100 * b.levelMJ / b.capacityMJ
+}
+
+// RemainingMJ returns the remaining charge in millijoules.
+func (b *Battery) RemainingMJ() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.levelMJ
+}
+
+// Drain removes energy corresponding to running a consumer of powerMW for d.
+func (b *Battery) Drain(powerMW float64, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.levelMJ -= powerMW * d.Seconds()
+	if b.levelMJ < 0 {
+		b.levelMJ = 0
+	}
+}
+
+// DrainMJ removes an explicit amount of millijoules (e.g. a version's
+// declared per-job energy budget).
+func (b *Battery) DrainMJ(mj float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.levelMJ -= mj
+	if b.levelMJ < 0 {
+		b.levelMJ = 0
+	}
+}
+
+// Recharge restores the battery to full.
+func (b *Battery) Recharge() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.levelMJ = b.capacityMJ
+}
+
+// SetLevel forces the remaining charge to the given percentage in [0,100].
+func (b *Battery) SetLevel(pct float64) error {
+	if pct < 0 || pct > 100 {
+		return fmt.Errorf("battery: level %g out of [0,100]", pct)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.levelMJ = b.capacityMJ * pct / 100
+	return nil
+}
+
+// EnergyMeter accumulates consumed energy per consumer name, used to report
+// per-version energy in experiments. Safe for concurrent use.
+type EnergyMeter struct {
+	mu       sync.Mutex
+	perName  map[string]float64
+	totalMJ  float64
+	draining *Battery // optional: forward drains to a battery
+}
+
+// NewEnergyMeter creates an empty meter. If battery is non-nil, every Add is
+// also drained from it.
+func NewEnergyMeter(battery *Battery) *EnergyMeter {
+	return &EnergyMeter{perName: make(map[string]float64), draining: battery}
+}
+
+// Add records that consumer name used powerMW for d.
+func (m *EnergyMeter) Add(name string, powerMW float64, d time.Duration) {
+	mj := powerMW * d.Seconds()
+	m.mu.Lock()
+	m.perName[name] += mj
+	m.totalMJ += mj
+	m.mu.Unlock()
+	if m.draining != nil {
+		m.draining.DrainMJ(mj)
+	}
+}
+
+// TotalMJ returns the total energy recorded.
+func (m *EnergyMeter) TotalMJ() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalMJ
+}
+
+// ByName returns a copy of the per-consumer totals.
+func (m *EnergyMeter) ByName() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.perName))
+	for k, v := range m.perName {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package rt
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// setAffinity pins the calling OS thread to the given CPU, mirroring the
+// paper's use of pthread_setaffinity_np. Stdlib-only: it issues the raw
+// sched_setaffinity syscall on the current thread (pid 0).
+func setAffinity(cpu int) error {
+	if cpu < 0 || cpu >= 1024 {
+		return syscall.EINVAL
+	}
+	var set [1024 / 64]uint64
+	set[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0,
+		uintptr(unsafe.Sizeof(set)),
+		uintptr(unsafe.Pointer(&set)),
+	)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package rt
+
+import "errors"
+
+// setAffinity is unavailable off Linux; pinning silently degrades to
+// LockOSThread only, like the paper's portability fallback.
+func setAffinity(int) error {
+	return errors.New("rt: CPU affinity not supported on this platform")
+}

@@ -1,0 +1,220 @@
+package rt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+)
+
+// WakeReason tells a kernel latency model why a thread woke up.
+type WakeReason int
+
+// Wake reasons.
+const (
+	// WakeTimer: a timed sleep expired (timer interrupt -> wakeup path).
+	WakeTimer WakeReason = iota + 1
+	// WakeUnpark: another thread unparked this one (futex wake path).
+	WakeUnpark
+)
+
+// WakeLatencyFunc samples the OS-induced latency between the nominal wake
+// instant and the thread actually running. Kernel models provide this.
+type WakeLatencyFunc func(reason WakeReason, core int) time.Duration
+
+// SimEnv is the virtual-time environment: every Thread is a deterministic
+// simulation process and every timing is derived from the platform cost
+// model plus an optional kernel wake-latency model.
+type SimEnv struct {
+	eng   *sim.Engine
+	plat  *platform.Platform
+	wake  WakeLatencyFunc
+	costs platform.CostModel
+}
+
+// NewSimEnv creates a simulation environment on the given engine and
+// platform. wake may be nil (no OS-induced wake latency: an idealised
+// kernel).
+func NewSimEnv(eng *sim.Engine, plat *platform.Platform, wake WakeLatencyFunc) (*SimEnv, error) {
+	if eng == nil || plat == nil {
+		return nil, fmt.Errorf("rt: SimEnv needs an engine and a platform")
+	}
+	if err := plat.Validate(); err != nil {
+		return nil, fmt.Errorf("rt: SimEnv platform: %w", err)
+	}
+	return &SimEnv{eng: eng, plat: plat, wake: wake, costs: plat.Costs}, nil
+}
+
+// Engine exposes the underlying simulation engine (experiment harness use).
+func (e *SimEnv) Engine() *sim.Engine { return e.eng }
+
+// Now returns the current virtual time.
+func (e *SimEnv) Now() time.Duration { return e.eng.Now().Duration() }
+
+// Costs returns the platform cost model.
+func (e *SimEnv) Costs() *platform.CostModel { return &e.costs }
+
+// Platform returns the hardware description.
+func (e *SimEnv) Platform() *platform.Platform { return e.plat }
+
+// Spawn creates a simulated thread.
+func (e *SimEnv) Spawn(name string, core int, fn func(Ctx)) Thread {
+	t := &simThread{env: e, core: core}
+	t.proc = e.eng.Spawn(name, func(p *sim.Proc) {
+		fn(&simCtx{env: e, th: t})
+	})
+	return t
+}
+
+// NewLock creates a lock of the requested kind.
+func (e *SimEnv) NewLock(kind LockKind) Lock {
+	switch kind {
+	case LockSpin:
+		return &simSpinLock{
+			env: e,
+			mu: sim.SpinMutex{
+				RetryCost:   e.costs.SpinRetry,
+				AcquireCost: e.costs.LockUncontended,
+			},
+		}
+	default:
+		return &simOSLock{env: e}
+	}
+}
+
+type simThread struct {
+	env  *SimEnv
+	proc *sim.Proc
+	core int
+}
+
+func (t *simThread) Name() string { return t.proc.Name() }
+func (t *simThread) Core() int    { return t.core }
+func (t *simThread) SetCore(core int) {
+	t.core = core
+}
+func (t *simThread) Unpark()    { t.env.eng.Unpark(t.proc) }
+func (t *simThread) Interrupt() { t.env.eng.Interrupt(t.proc) }
+func (t *simThread) Done() bool { return t.proc.Done() }
+
+// speed returns the execution speed of the thread's current core (1.0 when
+// unpinned: job fibers are always rebound before computing).
+func (t *simThread) speed() float64 {
+	if t.core < 0 || t.core >= len(t.env.plat.Cores) {
+		return 1.0
+	}
+	s := t.env.plat.Cores[t.core].Speed
+	if s <= 0 {
+		return 1.0
+	}
+	return s
+}
+
+type simCtx struct {
+	env *SimEnv
+	th  *simThread
+}
+
+func (c *simCtx) Env() Env           { return c.env }
+func (c *simCtx) Self() Thread       { return c.th }
+func (c *simCtx) Now() time.Duration { return c.env.Now() }
+
+func (c *simCtx) Sleep(d time.Duration) bool {
+	return c.SleepUntil(c.Now() + d)
+}
+
+func (c *simCtx) SleepUntil(t time.Duration) bool {
+	intr, _ := c.th.proc.SleepUntil(sim.Time(t))
+	if !intr {
+		c.chargeWake(WakeTimer)
+	}
+	return intr
+}
+
+func (c *simCtx) Park() bool {
+	return c.th.proc.Park()
+}
+
+func (c *simCtx) ParkIdle() bool {
+	intr := c.th.proc.Park()
+	if !intr {
+		c.chargeWake(WakeUnpark)
+	}
+	return intr
+}
+
+func (c *simCtx) Yield() { c.th.proc.Yield() }
+
+func (c *simCtx) Compute(d time.Duration) (time.Duration, bool) {
+	if d <= 0 {
+		return 0, false
+	}
+	speed := c.th.speed()
+	scaled := time.Duration(float64(d) / speed)
+	intr, remScaled := c.th.proc.Compute(scaled)
+	if !intr {
+		return 0, false
+	}
+	remNominal := time.Duration(float64(remScaled) * speed)
+	if remNominal > d {
+		remNominal = d
+	}
+	return remNominal, true
+}
+
+func (c *simCtx) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.th.proc.Charge(time.Duration(float64(d) / c.th.speed()))
+}
+
+// chargeWake applies the kernel model's wakeup latency after a normal wake.
+func (c *simCtx) chargeWake(reason WakeReason) {
+	if c.env.wake == nil {
+		return
+	}
+	if lat := c.env.wake(reason, c.th.core); lat > 0 {
+		c.th.proc.Charge(lat)
+	}
+}
+
+// simOSLock models a POSIX mutex: an uncontended acquisition pays the
+// user-space fast path; a contended one pays the futex round trip and sleeps
+// until handoff.
+type simOSLock struct {
+	env *SimEnv
+	mu  sim.Mutex
+}
+
+func (l *simOSLock) Lock(c Ctx) {
+	sc := c.(*simCtx)
+	if l.mu.TryLock(sc.th.proc) {
+		sc.Charge(l.env.costs.LockUncontended)
+		return
+	}
+	sc.Charge(l.env.costs.FutexWait)
+	l.mu.Lock(sc.th.proc)
+}
+
+func (l *simOSLock) Unlock(c Ctx) {
+	sc := c.(*simCtx)
+	l.mu.Unlock(sc.th.proc)
+}
+
+// simSpinLock models a test-and-set spinlock with CPU burn under contention.
+type simSpinLock struct {
+	env *SimEnv
+	mu  sim.SpinMutex
+}
+
+func (l *simSpinLock) Lock(c Ctx) {
+	sc := c.(*simCtx)
+	l.mu.Lock(sc.th.proc)
+}
+
+func (l *simSpinLock) Unlock(c Ctx) {
+	sc := c.(*simCtx)
+	l.mu.Unlock(sc.th.proc)
+}

@@ -1,0 +1,144 @@
+// Package sar implements the paper's Section 5 industrial use case: the
+// Search & Rescue payload application of a fixed-wing UAV that detects life
+// boats at sea. It provides a Mavlink-style message codec (the Flight
+// Control link), a synthetic frame source (the Elphel camera), the image
+// pipeline tasks of Figure 3b with their CPU/GPU/plain/AES versions and
+// WCETs, and a builder that declares the whole application on a YASMIN App.
+package sar
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mavlink-style message IDs used by the payload application.
+const (
+	MsgHeartbeat     = 0
+	MsgSystemTime    = 2
+	MsgGlobalPos     = 33
+	MsgTogglePayload = 76 // command: enable/disable SAR processing
+)
+
+// MavMsg is a decoded flight-control message.
+type MavMsg struct {
+	Seq     uint8
+	SysID   uint8
+	CompID  uint8
+	MsgID   uint8
+	Payload []byte
+}
+
+// GlobalPos is the payload of MsgGlobalPos.
+type GlobalPos struct {
+	LatE7 int32 // degrees * 1e7
+	LonE7 int32
+	AltMM int32 // millimetres above sea level
+}
+
+// mavMagic is the v1 frame start marker.
+const mavMagic = 0xFE
+
+// crcX25 computes the X.25 / CRC-16-CCITT checksum Mavlink uses.
+func crcX25(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		tmp := b ^ byte(crc&0xFF)
+		tmp ^= tmp << 4
+		crc = (crc >> 8) ^ (uint16(tmp) << 8) ^ (uint16(tmp) << 3) ^ (uint16(tmp) >> 4)
+	}
+	return crc
+}
+
+// EncodeMav serialises a message into a Mavlink-v1-style frame:
+// magic, len, seq, sysid, compid, msgid, payload, crc16.
+func EncodeMav(m *MavMsg) ([]byte, error) {
+	if len(m.Payload) > 255 {
+		return nil, fmt.Errorf("sar: payload %d exceeds 255 bytes", len(m.Payload))
+	}
+	buf := make([]byte, 0, 8+len(m.Payload))
+	buf = append(buf, mavMagic, byte(len(m.Payload)), m.Seq, m.SysID, m.CompID, m.MsgID)
+	buf = append(buf, m.Payload...)
+	crc := crcX25(buf[1:]) // magic excluded, like the real protocol
+	buf = binary.LittleEndian.AppendUint16(buf, crc)
+	return buf, nil
+}
+
+// DecodeMav parses one frame, verifying the marker and checksum.
+func DecodeMav(frame []byte) (*MavMsg, error) {
+	if len(frame) < 8 {
+		return nil, fmt.Errorf("sar: frame too short (%d)", len(frame))
+	}
+	if frame[0] != mavMagic {
+		return nil, fmt.Errorf("sar: bad start marker 0x%02x", frame[0])
+	}
+	plen := int(frame[1])
+	if len(frame) != 8+plen {
+		return nil, fmt.Errorf("sar: length mismatch: header says %d, frame has %d", plen, len(frame)-8)
+	}
+	want := binary.LittleEndian.Uint16(frame[len(frame)-2:])
+	if got := crcX25(frame[1 : len(frame)-2]); got != want {
+		return nil, fmt.Errorf("sar: checksum mismatch: %04x != %04x", got, want)
+	}
+	m := &MavMsg{
+		Seq:    frame[2],
+		SysID:  frame[3],
+		CompID: frame[4],
+		MsgID:  frame[5],
+	}
+	m.Payload = append(m.Payload, frame[6:6+plen]...)
+	return m, nil
+}
+
+// EncodeGlobalPos builds a MsgGlobalPos message.
+func EncodeGlobalPos(seq uint8, pos GlobalPos) ([]byte, error) {
+	payload := make([]byte, 12)
+	binary.LittleEndian.PutUint32(payload[0:], uint32(pos.LatE7))
+	binary.LittleEndian.PutUint32(payload[4:], uint32(pos.LonE7))
+	binary.LittleEndian.PutUint32(payload[8:], uint32(pos.AltMM))
+	return EncodeMav(&MavMsg{Seq: seq, SysID: 1, CompID: 1, MsgID: MsgGlobalPos, Payload: payload})
+}
+
+// DecodeGlobalPos parses a MsgGlobalPos payload.
+func DecodeGlobalPos(m *MavMsg) (GlobalPos, error) {
+	if m.MsgID != MsgGlobalPos {
+		return GlobalPos{}, fmt.Errorf("sar: message %d is not GLOBAL_POSITION", m.MsgID)
+	}
+	if len(m.Payload) != 12 {
+		return GlobalPos{}, fmt.Errorf("sar: GLOBAL_POSITION payload has %d bytes, want 12", len(m.Payload))
+	}
+	return GlobalPos{
+		LatE7: int32(binary.LittleEndian.Uint32(m.Payload[0:])),
+		LonE7: int32(binary.LittleEndian.Uint32(m.Payload[4:])),
+		AltMM: int32(binary.LittleEndian.Uint32(m.Payload[8:])),
+	}, nil
+}
+
+// MavGenerator produces a deterministic flight-control message stream: a
+// GLOBAL_POSITION update per tick with slowly advancing coordinates,
+// heartbeats interleaved, and optional payload toggles.
+type MavGenerator struct {
+	seq uint8
+	pos GlobalPos
+	n   int
+}
+
+// NewMavGenerator starts a stream at the given position.
+func NewMavGenerator(start GlobalPos) *MavGenerator {
+	return &MavGenerator{pos: start}
+}
+
+// Next returns the next wire-format message. Every 10th message is a
+// heartbeat; the rest are position updates (the drone advances northward at
+// a fixed-wing-ish pace per 10ms tick).
+func (g *MavGenerator) Next() []byte {
+	g.n++
+	g.seq++
+	if g.n%10 == 0 {
+		frame, _ := EncodeMav(&MavMsg{Seq: g.seq, SysID: 1, CompID: 1, MsgID: MsgHeartbeat})
+		return frame
+	}
+	g.pos.LatE7 += 25 // ~2.8mm/tick * 1e7 scale: slow northbound drift
+	g.pos.LonE7 += 3
+	frame, _ := EncodeGlobalPos(g.seq, g.pos)
+	return frame
+}

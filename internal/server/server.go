@@ -1,0 +1,206 @@
+// Package server implements recurring servers for aperiodic workload — the
+// paper's announced future-work direction ("improve the management of
+// real-time tasks with arbitrary activation patterns by using recurring
+// servers", Section 7, citing Ghazalie & Baker's aperiodic servers in a
+// deadline scheduling environment).
+//
+// A Server is a periodic YASMIN task with an execution budget: aperiodic
+// requests are queued on the server and executed inside the budget at each
+// server activation, so arbitrary arrival patterns consume a bounded,
+// analysable share of the processor — the rest of the task set keeps its
+// guarantees regardless of the aperiodic load.
+//
+// Two classic flavours are provided: the polling server (unused budget is
+// lost at the end of the activation) and the deferrable server (a
+// bandwidth-preserving variant: the activation re-polls its queue until the
+// budget is exhausted, serving requests that arrive mid-activation).
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// Kind selects the server algorithm.
+type Kind int
+
+// Server kinds.
+const (
+	// Polling serves only requests queued at activation time; remaining
+	// budget is dropped.
+	Polling Kind = iota + 1
+	// Deferrable keeps polling for late arrivals until the budget is
+	// exhausted, improving aperiodic response times at the same bandwidth.
+	Deferrable
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Polling:
+		return "polling"
+	case Deferrable:
+		return "deferrable"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Request is one unit of aperiodic work. Cost is its execution-time budget
+// charge; Fn runs on the server's fiber and should consume at most Cost via
+// x.Compute.
+type Request struct {
+	Name string
+	Cost time.Duration
+	Fn   func(x *core.ExecCtx) error
+
+	submitted time.Duration
+}
+
+// Server is a recurring server bound to one App.
+type Server struct {
+	app    *core.App
+	tid    core.TID
+	kind   Kind
+	budget time.Duration
+	period time.Duration
+
+	mu      sync.Mutex
+	queue   []Request
+	dropped int64
+	served  int64
+
+	// Response records submit -> completion times of served requests.
+	Response *trace.Stat
+}
+
+// New declares a recurring server on the app (before Start). budget is the
+// execution time available per period; queueCap bounds pending requests.
+func New(app *core.App, name string, kind Kind, budget, period time.Duration, queueCap int) (*Server, error) {
+	if budget <= 0 || period <= 0 || budget > period {
+		return nil, fmt.Errorf("server: need 0 < budget <= period, got %v/%v", budget, period)
+	}
+	if queueCap <= 0 {
+		return nil, fmt.Errorf("server: need a positive queue capacity")
+	}
+	if kind != Polling && kind != Deferrable {
+		return nil, fmt.Errorf("server: unknown kind %v", kind)
+	}
+	s := &Server{
+		app:      app,
+		kind:     kind,
+		budget:   budget,
+		period:   period,
+		queue:    make([]Request, 0, queueCap),
+		Response: trace.NewStat(name+"/response", false),
+	}
+	tid, err := app.TaskDecl(core.TData{Name: name, Period: period, Deadline: period})
+	if err != nil {
+		return nil, err
+	}
+	s.tid = tid
+	if _, err := app.VersionDecl(tid, s.run, nil, core.VSelect{WCET: budget}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// TID returns the underlying periodic task.
+func (s *Server) TID() core.TID { return s.tid }
+
+// Submit queues an aperiodic request. It fails when the queue is full (the
+// overload is counted).
+func (s *Server) Submit(now time.Duration, req Request) error {
+	if req.Fn == nil {
+		return fmt.Errorf("server: request needs a function")
+	}
+	if req.Cost <= 0 {
+		return fmt.Errorf("server: request needs a positive cost")
+	}
+	if req.Cost > s.budget {
+		return fmt.Errorf("server: request cost %v exceeds the server budget %v", req.Cost, s.budget)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == cap(s.queue) {
+		s.dropped++
+		return fmt.Errorf("server: queue full (%d)", cap(s.queue))
+	}
+	req.submitted = now
+	s.queue = append(s.queue, req)
+	return nil
+}
+
+// Pending returns the number of queued requests.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Served returns the number of completed requests.
+func (s *Server) Served() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Dropped returns the number of rejected submissions.
+func (s *Server) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// pop takes the oldest affordable request, or returns false.
+func (s *Server) pop(remaining time.Duration) (Request, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.queue {
+		if s.queue[i].Cost <= remaining {
+			req := s.queue[i]
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return req, true
+		}
+	}
+	return Request{}, false
+}
+
+// run is the server's periodic body: drain the queue within the budget.
+func (s *Server) run(x *core.ExecCtx, _ any) error {
+	remaining := s.budget
+	for {
+		req, ok := s.pop(remaining)
+		if !ok {
+			if s.kind == Polling {
+				return nil // polling: unused budget is lost
+			}
+			// Deferrable: requests may arrive while we still hold budget.
+			// Poll again after a short budget slice; give up when the
+			// slice would exceed the remaining budget.
+			const slice = 100 * time.Microsecond
+			if remaining < slice {
+				return nil
+			}
+			if err := x.Compute(slice); err != nil {
+				return err
+			}
+			remaining -= slice
+			continue
+		}
+		if err := req.Fn(x); err != nil {
+			return err
+		}
+		remaining -= req.Cost
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+		s.Response.Add(x.Now() - req.submitted)
+		if remaining <= 0 {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// rig builds an App with a server plus one periodic hard task.
+func rig(t *testing.T, kind Kind, budget, period time.Duration) (*sim.Engine, *rt.SimEnv, *core.App, *Server) {
+	t.Helper()
+	eng := sim.NewEngine(4)
+	env, err := rt.NewSimEnv(eng, platform.Generic(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := core.New(core.Config{Workers: 2, Priority: core.PriorityEDF, Preemption: true}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(app, "aperiodic-server", kind, budget, period, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hard periodic task sharing the platform.
+	hard, err := app.TaskDecl(core.TData{Name: "hard", Period: ms(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.VersionDecl(hard, func(x *core.ExecCtx, _ any) error {
+		return x.Compute(ms(2))
+	}, nil, core.VSelect{}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, env, app, srv
+}
+
+func TestValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	env, err := rt.NewSimEnv(eng, platform.Generic(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := core.New(core.Config{Workers: 1}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(app, "s", Polling, 0, ms(10), 4); err == nil {
+		t.Error("want error for zero budget")
+	}
+	if _, err := New(app, "s", Polling, ms(20), ms(10), 4); err == nil {
+		t.Error("want error for budget > period")
+	}
+	if _, err := New(app, "s", Polling, ms(2), ms(10), 0); err == nil {
+		t.Error("want error for zero queue")
+	}
+	if _, err := New(app, "s", Kind(0), ms(2), ms(10), 4); err == nil {
+		t.Error("want error for unknown kind")
+	}
+	srv, err := New(app, "s", Polling, ms(2), ms(10), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(0, Request{Cost: ms(1)}); err == nil {
+		t.Error("want error for nil fn")
+	}
+	noop := func(x *core.ExecCtx) error { return nil }
+	if err := srv.Submit(0, Request{Fn: noop}); err == nil {
+		t.Error("want error for zero cost")
+	}
+	if err := srv.Submit(0, Request{Fn: noop, Cost: ms(5)}); err == nil {
+		t.Error("want error for cost beyond budget")
+	}
+}
+
+func TestPollingServesRequests(t *testing.T) {
+	eng, env, app, srv := rig(t, Polling, ms(3), ms(10))
+	served := 0
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		for i := 0; i < 6; i++ {
+			err := srv.Submit(c.Now(), Request{
+				Name: "req",
+				Cost: ms(1),
+				Fn: func(x *core.ExecCtx) error {
+					served++
+					return x.Compute(ms(1))
+				},
+			})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+			c.Sleep(ms(5))
+		}
+		c.Sleep(ms(50))
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if served != 6 || srv.Served() != 6 {
+		t.Errorf("served = %d/%d, want 6", served, srv.Served())
+	}
+	if srv.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", srv.Pending())
+	}
+	// Polling: requests wait at most ~period + execution.
+	_, max, _ := srv.Response.Summary()
+	if max > ms(15) {
+		t.Errorf("max response %v, want <= ~1 period", max)
+	}
+	// The hard task is unaffected by the aperiodic load.
+	if st := app.Recorder().Task("hard"); st == nil || st.Misses != 0 {
+		t.Errorf("hard task disturbed: %+v", st)
+	}
+}
+
+func TestBudgetBoundsBurst(t *testing.T) {
+	// A burst of 9ms of work through a 3ms/10ms polling server takes at
+	// least 3 activations: bandwidth is bounded.
+	eng, env, app, srv := rig(t, Polling, ms(3), ms(10))
+	var finish time.Duration
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		for i := 0; i < 9; i++ {
+			if err := srv.Submit(c.Now(), Request{
+				Cost: ms(1),
+				Fn: func(x *core.ExecCtx) error {
+					if err := x.Compute(ms(1)); err != nil {
+						return err
+					}
+					finish = x.Now()
+					return nil
+				},
+			}); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}
+		c.Sleep(ms(80))
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Served() != 9 {
+		t.Fatalf("served = %d, want 9", srv.Served())
+	}
+	// 9ms of work at 3ms per 10ms period: last completion in the 3rd
+	// activation or later (>= ~20ms).
+	if finish < ms(20) {
+		t.Errorf("burst finished at %v; budget not enforced", finish)
+	}
+}
+
+func TestDeferrableBeatsPollingOnLatency(t *testing.T) {
+	run := func(kind Kind) time.Duration {
+		eng, env, app, srv := rig(t, kind, ms(3), ms(10))
+		env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+			if err := app.Start(c); err != nil {
+				return
+			}
+			// Submit just after the server activation started: polling
+			// waits for the next period; deferrable picks it up within
+			// its remaining budget.
+			c.Sleep(ms(10) + 200*time.Microsecond)
+			_ = srv.Submit(c.Now(), Request{
+				Cost: ms(1),
+				Fn:   func(x *core.ExecCtx) error { return x.Compute(ms(1)) },
+			})
+			c.Sleep(ms(40))
+			app.Stop(c)
+			app.Cleanup(c)
+		})
+		if err := eng.Run(sim.Time(time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if srv.Served() != 1 {
+			t.Fatalf("%v served %d, want 1", kind, srv.Served())
+		}
+		_, _, avg := srv.Response.Summary()
+		return avg
+	}
+	polling := run(Polling)
+	deferrable := run(Deferrable)
+	if deferrable >= polling {
+		t.Errorf("deferrable response %v not below polling %v", deferrable, polling)
+	}
+}
+
+func TestQueueOverflowCounted(t *testing.T) {
+	eng := sim.NewEngine(9)
+	env, err := rt.NewSimEnv(eng, platform.Generic(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := core.New(core.Config{Workers: 1}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(app, "s", Polling, ms(1), ms(100), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := func(x *core.ExecCtx) error { return nil }
+	for i := 0; i < 3; i++ {
+		err = srv.Submit(0, Request{Cost: ms(1), Fn: noop})
+	}
+	if err == nil {
+		t.Error("third submit into a 2-slot queue must fail")
+	}
+	if srv.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", srv.Dropped())
+	}
+	if srv.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", srv.Pending())
+	}
+	if srv.TID() < 0 {
+		t.Error("server task not declared")
+	}
+	if Polling.String() != "polling" || Deferrable.String() != "deferrable" {
+		t.Error("kind strings wrong")
+	}
+}

@@ -1,0 +1,210 @@
+package taskset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// DRSConfig parameterises the Dirichlet-Rescale utilisation-vector generator
+// (Griffin, Bate, Davis: "Generating Utilization Vectors for the Systematic
+// Evaluation of Schedulability Tests", RTSS 2020 — the paper's reference
+// [20]), plus the period generator that turns utilisations into tasks.
+type DRSConfig struct {
+	// N is the number of tasks.
+	N int
+	// TotalUtilization is the target sum of utilisations.
+	TotalUtilization float64
+	// MaxUtilization caps each task's individual utilisation (default 1).
+	MaxUtilization float64
+	// MinUtilization floors each task's individual utilisation (default 0).
+	MinUtilization float64
+	// PeriodMin and PeriodMax bound the log-uniform period distribution
+	// (defaults 10ms and 1s).
+	PeriodMin, PeriodMax time.Duration
+	// PeriodGranularity rounds periods down to a multiple of this value
+	// (default 1ms), keeping hyperperiods bounded as in common practice.
+	PeriodGranularity time.Duration
+	// DeadlineFactor scales deadlines relative to periods: 1 gives implicit
+	// deadlines; values in (0,1) give constrained ones. Default 1.
+	DeadlineFactor float64
+}
+
+func (c *DRSConfig) withDefaults() DRSConfig {
+	out := *c
+	if out.MaxUtilization == 0 {
+		out.MaxUtilization = 1
+	}
+	if out.PeriodMin == 0 {
+		out.PeriodMin = 10 * time.Millisecond
+	}
+	if out.PeriodMax == 0 {
+		out.PeriodMax = time.Second
+	}
+	if out.PeriodGranularity == 0 {
+		out.PeriodGranularity = time.Millisecond
+	}
+	if out.DeadlineFactor == 0 {
+		out.DeadlineFactor = 1
+	}
+	return out
+}
+
+// Validate checks the configuration for feasibility.
+func (c *DRSConfig) Validate() error {
+	cc := c.withDefaults()
+	if cc.N <= 0 {
+		return fmt.Errorf("drs: N must be positive, got %d", cc.N)
+	}
+	if cc.TotalUtilization <= 0 {
+		return fmt.Errorf("drs: total utilisation must be positive, got %g", cc.TotalUtilization)
+	}
+	if cc.MinUtilization < 0 || cc.MinUtilization > cc.MaxUtilization {
+		return fmt.Errorf("drs: bad per-task bounds [%g,%g]", cc.MinUtilization, cc.MaxUtilization)
+	}
+	if cc.TotalUtilization > float64(cc.N)*cc.MaxUtilization {
+		return fmt.Errorf("drs: total %g infeasible with N=%d, max=%g",
+			cc.TotalUtilization, cc.N, cc.MaxUtilization)
+	}
+	if cc.TotalUtilization < float64(cc.N)*cc.MinUtilization {
+		return fmt.Errorf("drs: total %g below N*min = %g",
+			cc.TotalUtilization, float64(cc.N)*cc.MinUtilization)
+	}
+	if cc.PeriodMin <= 0 || cc.PeriodMax < cc.PeriodMin {
+		return fmt.Errorf("drs: bad period range [%v,%v]", cc.PeriodMin, cc.PeriodMax)
+	}
+	if cc.DeadlineFactor <= 0 || cc.DeadlineFactor > 1 {
+		return fmt.Errorf("drs: deadline factor %g out of (0,1]", cc.DeadlineFactor)
+	}
+	return nil
+}
+
+// DRSUtilizations draws a utilisation vector of length N summing to
+// TotalUtilization with every component inside
+// [MinUtilization, MaxUtilization].
+//
+// The algorithm follows the Dirichlet-Rescale idea: draw a flat-Dirichlet
+// point on the simplex (via normalised exponentials), then iteratively clamp
+// components that violate their bound and re-draw the residual simplex over
+// the unclamped components. The iteration count is bounded; the result is
+// exact in the sum and respects the bounds.
+func DRSUtilizations(rng *rand.Rand, cfg DRSConfig) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	n := c.N
+	lo, hi := c.MinUtilization, c.MaxUtilization
+
+	// Work on the shifted problem: y_i = x_i - lo, sum(y) = total - n*lo,
+	// y_i in [0, hi-lo].
+	rem := c.TotalUtilization - float64(n)*lo
+	span := hi - lo
+	u := make([]float64, n)
+	fixed := make([]bool, n)
+	unfixed := n
+
+	const maxRounds = 64
+	for round := 0; round < maxRounds && unfixed > 0 && rem > 1e-12; round++ {
+		// Flat Dirichlet over the unfixed components.
+		sum := 0.0
+		draws := make([]float64, 0, unfixed)
+		for i := 0; i < n; i++ {
+			if fixed[i] {
+				continue
+			}
+			// Exponential(1) via inverse CDF; guard against log(0).
+			v := -math.Log(1 - rng.Float64())
+			if v <= 0 {
+				v = 1e-12
+			}
+			draws = append(draws, v)
+			sum += v
+		}
+		j := 0
+		over := false
+		for i := 0; i < n; i++ {
+			if fixed[i] {
+				continue
+			}
+			u[i] = rem * draws[j] / sum
+			j++
+			if u[i] > span {
+				over = true
+			}
+		}
+		if !over {
+			// Success: all unfixed components are within bounds.
+			for i := 0; i < n; i++ {
+				if !fixed[i] {
+					fixed[i] = true
+				}
+			}
+			rem = 0
+			break
+		}
+		// Clamp violators at the bound and redistribute what remains.
+		for i := 0; i < n; i++ {
+			if fixed[i] || u[i] <= span {
+				continue
+			}
+			u[i] = span
+			fixed[i] = true
+			unfixed--
+			rem -= span
+		}
+		if unfixed == 0 && rem > 1e-9 {
+			return nil, fmt.Errorf("drs: internal: residual %g with no free components", rem)
+		}
+	}
+	if rem > 1e-9 && unfixed > 0 {
+		// Extremely unlikely; distribute evenly as a last resort.
+		add := rem / float64(unfixed)
+		for i := 0; i < n; i++ {
+			if !fixed[i] {
+				u[i] += add
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = u[i] + lo
+	}
+	return out, nil
+}
+
+// Generate draws a full task set: DRS utilisations plus log-uniform periods,
+// WCET = U_i * T_i, deadlines scaled by DeadlineFactor.
+func Generate(rng *rand.Rand, cfg DRSConfig) (*Set, error) {
+	us, err := DRSUtilizations(rng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := cfg.withDefaults()
+	s := &Set{Tasks: make([]Task, c.N)}
+	logMin := math.Log(float64(c.PeriodMin))
+	logMax := math.Log(float64(c.PeriodMax))
+	for i := 0; i < c.N; i++ {
+		period := time.Duration(math.Exp(logMin + rng.Float64()*(logMax-logMin)))
+		if c.PeriodGranularity > 0 && period > c.PeriodGranularity {
+			period -= period % c.PeriodGranularity
+		}
+		wcet := time.Duration(us[i] * float64(period))
+		if wcet < time.Microsecond {
+			wcet = time.Microsecond // keep tasks non-degenerate
+		}
+		deadline := time.Duration(c.DeadlineFactor * float64(period))
+		s.Tasks[i] = Task{
+			ID:       i,
+			Name:     fmt.Sprintf("tau%d", i),
+			Period:   period,
+			Deadline: deadline,
+			WCET:     wcet,
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("drs: generated invalid set: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,168 @@
+package taskset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDRSSumAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(120)
+		total := 0.2 + rng.Float64()*1.8
+		if total > float64(n) {
+			total = float64(n)
+		}
+		us, err := DRSUtilizations(rng, DRSConfig{N: n, TotalUtilization: total})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d U=%g): %v", trial, n, total, err)
+		}
+		sum := 0.0
+		for _, u := range us {
+			if u < -1e-12 || u > 1+1e-9 {
+				t.Fatalf("trial %d: component %g out of [0,1]", trial, u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-total) > 1e-6 {
+			t.Fatalf("trial %d: sum %g, want %g", trial, sum, total)
+		}
+	}
+}
+
+func TestDRSRespectsCustomBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DRSConfig{N: 10, TotalUtilization: 3, MinUtilization: 0.1, MaxUtilization: 0.5}
+	for trial := 0; trial < 100; trial++ {
+		us, err := DRSUtilizations(rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, u := range us {
+			if u < 0.1-1e-9 || u > 0.5+1e-9 {
+				t.Fatalf("component %g out of [0.1,0.5]", u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-3) > 1e-6 {
+			t.Fatalf("sum %g, want 3", sum)
+		}
+	}
+}
+
+func TestDRSPropertySumPreserved(t *testing.T) {
+	// Property: for any feasible (n, total), the vector sums to total and
+	// stays in bounds.
+	f := func(seed int64, nRaw uint8, tRaw uint16) bool {
+		n := int(nRaw)%100 + 2
+		total := float64(tRaw%2000)/1000 + 0.01 // (0.01, 2.01)
+		if total > float64(n) {
+			total = float64(n) * 0.9
+		}
+		rng := rand.New(rand.NewSource(seed))
+		us, err := DRSUtilizations(rng, DRSConfig{N: n, TotalUtilization: total})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, u := range us {
+			if u < -1e-12 || u > 1+1e-9 {
+				return false
+			}
+			sum += u
+		}
+		return math.Abs(sum-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDRSInfeasibleConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tests := []struct {
+		name string
+		cfg  DRSConfig
+	}{
+		{"zero tasks", DRSConfig{N: 0, TotalUtilization: 1}},
+		{"zero total", DRSConfig{N: 5}},
+		{"total exceeds caps", DRSConfig{N: 2, TotalUtilization: 3}},
+		{"total below floors", DRSConfig{N: 4, TotalUtilization: 0.1, MinUtilization: 0.2}},
+		{"inverted bounds", DRSConfig{N: 4, TotalUtilization: 1, MinUtilization: 0.9, MaxUtilization: 0.5}},
+		{"bad deadline factor", DRSConfig{N: 4, TotalUtilization: 1, DeadlineFactor: 1.5}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DRSUtilizations(rng, tc.cfg); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestGenerateProducesValidSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{20, 60, 120} {
+		for _, u := range []float64{0.2, 1.0, 2.0} {
+			s, err := Generate(rng, DRSConfig{N: n, TotalUtilization: u})
+			if err != nil {
+				t.Fatalf("n=%d u=%g: %v", n, u, err)
+			}
+			if s.Len() != n {
+				t.Fatalf("n=%d: got %d tasks", n, s.Len())
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			got := s.TotalUtilization()
+			// WCET quantisation to >=1µs and period rounding shift U slightly.
+			if math.Abs(got-u) > 0.05*u+0.01 {
+				t.Errorf("n=%d: total utilisation %g, want ~%g", n, got, u)
+			}
+			for i := range s.Tasks {
+				tk := &s.Tasks[i]
+				if tk.Period < 9*time.Millisecond || tk.Period > time.Second {
+					t.Errorf("period %v out of expected range", tk.Period)
+				}
+				if tk.Deadline != tk.Period {
+					t.Errorf("default deadlines must be implicit")
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateConstrainedDeadlines(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, err := Generate(rng, DRSConfig{N: 10, TotalUtilization: 1, DeadlineFactor: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Tasks {
+		tk := &s.Tasks[i]
+		if tk.Deadline >= tk.Period {
+			t.Errorf("task %d: deadline %v not constrained vs period %v", i, tk.Deadline, tk.Period)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	gen := func() *Set {
+		rng := rand.New(rand.NewSource(99))
+		s, err := Generate(rng, DRSConfig{N: 30, TotalUtilization: 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := gen(), gen()
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs between identical seeds", i)
+		}
+	}
+}

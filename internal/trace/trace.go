@@ -1,0 +1,391 @@
+// Package trace collects execution metrics from middleware runs: per-job
+// records (release, start, finish, deadline), per-task deadline-miss
+// statistics, scheduling-overhead samples, and latency histograms with the
+// min/max/avg summaries the paper reports in Fig. 2, Table 2 and Fig. 4.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stat is an online summary of duration samples: count, min, max, mean, and
+// optionally the full sample set for percentiles. The zero value is ready to
+// use (unbounded sample retention disabled). Safe for concurrent use.
+type Stat struct {
+	mu      sync.Mutex
+	name    string
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	samples []time.Duration
+	keep    bool
+}
+
+// NewStat creates a named stat. If keepSamples is true every sample is
+// retained for percentile queries (capacity grows as needed).
+func NewStat(name string, keepSamples bool) *Stat {
+	return &Stat{name: name, keep: keepSamples}
+}
+
+// Name returns the stat's label.
+func (s *Stat) Name() string { return s.name }
+
+// Add records one sample.
+func (s *Stat) Add(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 || d < s.min {
+		s.min = d
+	}
+	if s.count == 0 || d > s.max {
+		s.max = d
+	}
+	s.count++
+	s.sum += d
+	if s.keep {
+		s.samples = append(s.samples, d)
+	}
+}
+
+// Count returns the number of samples.
+func (s *Stat) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Min returns the smallest sample (0 if empty).
+func (s *Stat) Min() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max returns the largest sample (0 if empty).
+func (s *Stat) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Mean returns the average sample (0 if empty).
+func (s *Stat) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(s.count)
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of retained samples.
+// It returns an error when samples were not retained or p is out of range.
+func (s *Stat) Percentile(p float64) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.keep {
+		return 0, fmt.Errorf("trace: stat %q does not retain samples", s.name)
+	}
+	if p <= 0 || p > 100 {
+		return 0, fmt.Errorf("trace: percentile %g out of (0,100]", p)
+	}
+	if len(s.samples) == 0 {
+		return 0, nil
+	}
+	sorted := make([]time.Duration, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(float64(len(sorted))*p/100) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx], nil
+}
+
+// Summary returns the paper-style "<min, max, avg>" triple.
+func (s *Stat) Summary() (min, max, mean time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0, 0, 0
+	}
+	return s.min, s.max, s.sum / time.Duration(s.count)
+}
+
+// String formats the triple in microseconds, like Table 2.
+func (s *Stat) String() string {
+	min, max, mean := s.Summary()
+	return fmt.Sprintf("%s <%d, %d, %d> µs", s.name,
+		min.Microseconds(), max.Microseconds(), mean.Microseconds())
+}
+
+// JobRecord captures one job execution.
+type JobRecord struct {
+	Task     string
+	TaskID   int
+	Job      int64 // job index of the task
+	Version  int   // selected version
+	Core     int   // executing virtual core
+	Release  time.Duration
+	Start    time.Duration
+	Finish   time.Duration
+	Deadline time.Duration // absolute
+	Missed   bool
+	Preempts int // times this job was preempted
+}
+
+// ResponseTime returns finish - release.
+func (r *JobRecord) ResponseTime() time.Duration { return r.Finish - r.Release }
+
+// Recorder accumulates job records and per-task statistics. Safe for
+// concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	jobs     []JobRecord
+	keepJobs bool
+	perTask  map[string]*TaskStats
+}
+
+// TaskStats aggregates per-task outcomes.
+type TaskStats struct {
+	Task      string
+	Jobs      int64
+	Misses    int64
+	Preempts  int64
+	Response  *Stat
+	Versions  map[int]int64 // jobs per version
+	WorstLate time.Duration // worst (finish - deadline), > 0 means tardiness
+}
+
+// NewRecorder creates a recorder. keepJobs retains every JobRecord (needed
+// for Gantt export); per-task stats are always kept.
+func NewRecorder(keepJobs bool) *Recorder {
+	return &Recorder{keepJobs: keepJobs, perTask: make(map[string]*TaskStats)}
+}
+
+// Record adds a completed job.
+func (r *Recorder) Record(j JobRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.keepJobs {
+		r.jobs = append(r.jobs, j)
+	}
+	ts := r.perTask[j.Task]
+	if ts == nil {
+		ts = &TaskStats{
+			Task:     j.Task,
+			Response: NewStat(j.Task+"/response", false),
+			Versions: make(map[int]int64),
+		}
+		r.perTask[j.Task] = ts
+	}
+	ts.Jobs++
+	ts.Preempts += int64(j.Preempts)
+	if j.Missed {
+		ts.Misses++
+	}
+	if late := j.Finish - j.Deadline; late > ts.WorstLate {
+		ts.WorstLate = late
+	}
+	ts.Response.Add(j.ResponseTime())
+	ts.Versions[j.Version]++
+}
+
+// Jobs returns a copy of the retained job records.
+func (r *Recorder) Jobs() []JobRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobRecord, len(r.jobs))
+	copy(out, r.jobs)
+	return out
+}
+
+// Task returns the stats for one task (nil if unknown).
+func (r *Recorder) Task(name string) *TaskStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.perTask[name]
+}
+
+// TaskNames returns all task names, sorted.
+func (r *Recorder) TaskNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.perTask))
+	for n := range r.perTask {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalJobs returns the number of recorded jobs across tasks.
+func (r *Recorder) TotalJobs() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, ts := range r.perTask {
+		n += ts.Jobs
+	}
+	return n
+}
+
+// TotalMisses returns the number of missed deadlines across tasks.
+func (r *Recorder) TotalMisses() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, ts := range r.perTask {
+		n += ts.Misses
+	}
+	return n
+}
+
+// MissRatio returns misses/jobs (0 when no jobs ran).
+func (r *Recorder) MissRatio() float64 {
+	jobs := r.TotalJobs()
+	if jobs == 0 {
+		return 0
+	}
+	return float64(r.TotalMisses()) / float64(jobs)
+}
+
+// WriteSummary prints a per-task table.
+func (r *Recorder) WriteSummary(w io.Writer) error {
+	for _, name := range r.TaskNames() {
+		ts := r.Task(name)
+		min, max, mean := ts.Response.Summary()
+		_, err := fmt.Fprintf(w, "%-24s jobs=%-6d misses=%-5d resp<%v,%v,%v> preempts=%d\n",
+			name, ts.Jobs, ts.Misses, min, max, mean, ts.Preempts)
+		if err != nil {
+			return fmt.Errorf("trace: write summary: %w", err)
+		}
+	}
+	return nil
+}
+
+// Gantt renders a crude text Gantt chart of the retained jobs over
+// [0, horizon) with the given number of character columns per core line.
+func (r *Recorder) Gantt(w io.Writer, horizon time.Duration, cols int) error {
+	if cols <= 0 {
+		return fmt.Errorf("trace: gantt needs positive cols")
+	}
+	jobs := r.Jobs()
+	if len(jobs) == 0 {
+		return fmt.Errorf("trace: gantt needs retained jobs (NewRecorder(true))")
+	}
+	maxCore := 0
+	for _, j := range jobs {
+		if j.Core > maxCore {
+			maxCore = j.Core
+		}
+	}
+	lines := make([][]byte, maxCore+1)
+	for i := range lines {
+		lines[i] = []byte(strings.Repeat(".", cols))
+	}
+	for _, j := range jobs {
+		if j.Start >= horizon {
+			continue
+		}
+		from := int(int64(j.Start) * int64(cols) / int64(horizon))
+		to := int(int64(j.Finish) * int64(cols) / int64(horizon))
+		if to >= cols {
+			to = cols - 1
+		}
+		ch := byte('a' + j.TaskID%26)
+		for c := from; c <= to; c++ {
+			lines[j.Core][c] = ch
+		}
+	}
+	for core, ln := range lines {
+		if _, err := fmt.Fprintf(w, "core%-2d |%s|\n", core, ln); err != nil {
+			return fmt.Errorf("trace: write gantt: %w", err)
+		}
+	}
+	return nil
+}
+
+// OverheadKind labels an overhead sample's origin.
+type OverheadKind int
+
+// Overhead sample origins.
+const (
+	OverheadSchedule OverheadKind = iota + 1 // scheduler-thread activation work
+	OverheadDispatch                         // pushing/popping ready queues + wakeups
+	OverheadPreempt                          // signal + context switch costs
+	OverheadLock                             // lock contention (spinning/futex)
+	OverheadRelease                          // job release bookkeeping
+)
+
+var overheadNames = map[OverheadKind]string{
+	OverheadSchedule: "schedule",
+	OverheadDispatch: "dispatch",
+	OverheadPreempt:  "preempt",
+	OverheadLock:     "lock",
+	OverheadRelease:  "release",
+}
+
+func (k OverheadKind) String() string {
+	if n, ok := overheadNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OverheadKind(%d)", int(k))
+}
+
+// Overheads aggregates overhead samples by kind plus a global stat — the
+// measurement behind Fig. 2. Safe for concurrent use.
+type Overheads struct {
+	mu     sync.Mutex
+	all    *Stat
+	byKind map[OverheadKind]*Stat
+}
+
+// NewOverheads creates an empty overhead aggregate.
+func NewOverheads() *Overheads {
+	return &Overheads{
+		all:    NewStat("overhead", false),
+		byKind: make(map[OverheadKind]*Stat),
+	}
+}
+
+// Add records one overhead sample.
+func (o *Overheads) Add(k OverheadKind, d time.Duration) {
+	o.mu.Lock()
+	st := o.byKind[k]
+	if st == nil {
+		st = NewStat(k.String(), false)
+		o.byKind[k] = st
+	}
+	o.mu.Unlock()
+	st.Add(d)
+	o.all.Add(d)
+}
+
+// Total returns the global stat across kinds.
+func (o *Overheads) Total() *Stat { return o.all }
+
+// Kind returns the stat for one kind (nil if no samples).
+func (o *Overheads) Kind(k OverheadKind) *Stat {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.byKind[k]
+}
+
+// Kinds returns the kinds that have samples, in ascending order.
+func (o *Overheads) Kinds() []OverheadKind {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ks := make([]OverheadKind, 0, len(o.byKind))
+	for k := range o.byKind {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

@@ -1,0 +1,179 @@
+// Package yasmin is a Go reproduction of "YASMIN: a Real-time Middleware for
+// COTS Heterogeneous Platforms" (Rouxel, Altmeyer, Grelck — MIDDLEWARE 2021):
+// user-space real-time scheduling of multi-version task sets, with global,
+// partitioned and off-line (table-driven) policies, DAG task graphs over
+// FIFO channels, accelerator-aware version selection and priority
+// inheritance.
+//
+// The facade re-exports the stable surface of the implementation packages:
+//
+//   - the middleware itself (App, Config, TData, VSelect, ExecCtx, ...),
+//   - the execution environments (deterministic virtual-time simulation and
+//     the best-effort wall-clock backend),
+//   - platform models (Odroid-XU4, Apalis TK1) and kernel latency models,
+//   - the off-line schedule synthesiser.
+//
+// Quick start (wall clock):
+//
+//	env := yasmin.NewOSEnv()
+//	app, _ := yasmin.New(yasmin.Config{Workers: 2}, env)
+//	tid, _ := app.TaskDecl(yasmin.TData{Name: "tick", Period: 20 * time.Millisecond})
+//	app.VersionDecl(tid, func(x *yasmin.ExecCtx, _ any) error {
+//		return x.Compute(time.Millisecond)
+//	}, nil, yasmin.VSelect{})
+//	env.RunMain(func(c yasmin.Ctx) {
+//		app.Start(c)
+//		c.Sleep(time.Second)
+//		app.Stop(c)
+//		app.Cleanup(c)
+//	})
+//
+// See examples/ for the paper's diamond-graph listing, the Search & Rescue
+// drone application, off-line scheduling, and design-space exploration; see
+// cmd/ for the tools that regenerate the paper's Fig. 2, Table 2 and Fig. 4.
+package yasmin
+
+import (
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/kernel"
+	"github.com/yasmin-rt/yasmin/internal/offline"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+)
+
+// Middleware types (paper Table 1 API).
+type (
+	// App is a YASMIN middleware instance.
+	App = core.App
+	// Config is the static configuration (the paper's config.h).
+	Config = core.Config
+	// TData describes a task at declaration.
+	TData = core.TData
+	// VSelect carries a version's extra-functional properties.
+	VSelect = core.VSelect
+	// ExecCtx is the execution context passed to task functions.
+	ExecCtx = core.ExecCtx
+	// TaskFunc is a task version entry point.
+	TaskFunc = core.TaskFunc
+	// SelectFunc is the user version-selection callback.
+	SelectFunc = core.SelectFunc
+	// VersionInfo is the per-version view given to SelectFunc.
+	VersionInfo = core.VersionInfo
+	// SelectState is the runtime state given to SelectFunc.
+	SelectState = core.SelectState
+	// OfflineTable is a pre-computed dispatch table.
+	OfflineTable = core.OfflineTable
+	// TableEntry is one off-line dispatch slot.
+	TableEntry = core.TableEntry
+	// TID, VID, HID and CID identify tasks, versions, accelerators and
+	// channels.
+	TID = core.TID
+	VID = core.VID
+	HID = core.HID
+	CID = core.CID
+)
+
+// Configuration enums.
+const (
+	MappingGlobal      = core.MappingGlobal
+	MappingPartitioned = core.MappingPartitioned
+	MappingOffline     = core.MappingOffline
+
+	PriorityRM   = core.PriorityRM
+	PriorityDM   = core.PriorityDM
+	PriorityEDF  = core.PriorityEDF
+	PriorityUser = core.PriorityUser
+
+	SelectFirst    = core.SelectFirst
+	SelectEnergy   = core.SelectEnergy
+	SelectTradeoff = core.SelectTradeoff
+	SelectMode     = core.SelectMode
+	SelectBitmask  = core.SelectBitmask
+	SelectUser     = core.SelectUser
+
+	WaitSleep = core.WaitSleep
+	WaitSpin  = core.WaitSpin
+
+	LockPOSIX = core.LockPOSIX
+	LockFree  = core.LockFree
+
+	// NoAccel marks CPU-only versions.
+	NoAccel = core.NoAccel
+)
+
+// New creates a middleware instance on the given environment.
+func New(cfg Config, env Env) (*App, error) { return core.New(cfg, env) }
+
+// Execution environments.
+type (
+	// Env abstracts the execution substrate.
+	Env = rt.Env
+	// Ctx is a thread's view of its environment.
+	Ctx = rt.Ctx
+	// Thread is a handle on a spawned thread.
+	Thread = rt.Thread
+	// SimEnv runs in deterministic virtual time.
+	SimEnv = rt.SimEnv
+	// OSEnv runs on goroutines in wall-clock time (soft real time: the Go
+	// garbage collector and scheduler still interfere — the reason the
+	// paper experiments use SimEnv).
+	OSEnv = rt.OSEnv
+	// Engine is the discrete-event simulation engine under SimEnv.
+	Engine = sim.Engine
+)
+
+// NewOSEnv creates the wall-clock environment.
+func NewOSEnv() *OSEnv { return rt.NewOSEnv() }
+
+// NewEngine creates a deterministic simulation engine.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// NewSimEnv creates a virtual-time environment on an engine and platform;
+// wake may be nil for an idealised kernel or kernel.WakeFunc(model, rng)
+// for a realistic one.
+func NewSimEnv(eng *Engine, pl *Platform, wake rt.WakeLatencyFunc) (*SimEnv, error) {
+	return rt.NewSimEnv(eng, pl, wake)
+}
+
+// Platform models.
+type (
+	// Platform describes a target board.
+	Platform = platform.Platform
+	// Battery models the energy source for SelectEnergy.
+	Battery = platform.Battery
+	// CostModel prices middleware primitives in virtual time.
+	CostModel = platform.CostModel
+)
+
+// Platform presets.
+var (
+	// OdroidXU4 is the paper's Section 4 evaluation board.
+	OdroidXU4 = platform.OdroidXU4
+	// ApalisTK1 is the paper's Section 5 drone payload board.
+	ApalisTK1 = platform.ApalisTK1
+	// NewBattery creates a battery with the given capacity (mJ).
+	NewBattery = platform.NewBattery
+)
+
+// Kernel substrate models for Table 2-style latency studies.
+type KernelModel = kernel.Model
+
+// Kernel model constructors.
+var (
+	// WakeFunc adapts a kernel model to SimEnv.
+	WakeFunc = kernel.WakeFunc
+)
+
+// Off-line schedule synthesis (Section 3.4).
+type (
+	// OfflineTaskSpec describes a task to the synthesiser.
+	OfflineTaskSpec = offline.TaskSpec
+	// OfflineVersionSpec describes one version to the synthesiser.
+	OfflineVersionSpec = offline.VersionSpec
+	// OfflineSchedule is a synthesis result.
+	OfflineSchedule = offline.Schedule
+)
+
+// Synthesize computes a time-triggered table for the given specs.
+var Synthesize = offline.Synthesize

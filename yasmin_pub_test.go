@@ -1,0 +1,174 @@
+package yasmin_test
+
+// Public-API conformance tests: everything here goes through the yasmin
+// facade only, the way an importing project would.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin"
+)
+
+func TestFacadeSimulatedRun(t *testing.T) {
+	eng := yasmin.NewEngine(5)
+	env, err := yasmin.NewSimEnv(eng, yasmin.OdroidXU4(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := yasmin.New(yasmin.Config{
+		Workers:       2,
+		WorkerCores:   []int{4, 5},
+		SchedulerCore: 6,
+		Mapping:       yasmin.MappingGlobal,
+		Priority:      yasmin.PriorityEDF,
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := app.TaskDecl(yasmin.TData{Name: "tick", Period: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.VersionDecl(tid, func(x *yasmin.ExecCtx, _ any) error {
+		return x.Compute(time.Millisecond)
+	}, nil, yasmin.VSelect{}); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", -1, func(c yasmin.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		c.Sleep(100 * time.Millisecond)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(1 << 62); err != nil {
+		t.Fatal(err)
+	}
+	st := app.Recorder().Task("tick")
+	if st == nil || st.Jobs < 9 || st.Misses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFacadeWallClockRun(t *testing.T) {
+	env := yasmin.NewOSEnv()
+	env.Spin = false
+	app, err := yasmin.New(yasmin.Config{Workers: 2}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid, err := app.TaskDecl(yasmin.TData{Name: "t", Period: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.VersionDecl(tid, func(x *yasmin.ExecCtx, _ any) error {
+		return x.Compute(500 * time.Microsecond)
+	}, nil, yasmin.VSelect{}); err != nil {
+		t.Fatal(err)
+	}
+	env.RunMain(func(c yasmin.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		c.Sleep(120 * time.Millisecond)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	env.Wait()
+	if st := app.Recorder().Task("t"); st == nil || st.Jobs < 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFacadeMultiVersionWithBattery(t *testing.T) {
+	eng := yasmin.NewEngine(6)
+	env, err := yasmin.NewSimEnv(eng, yasmin.ApalisTK1(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := yasmin.NewBattery(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := yasmin.New(yasmin.Config{
+		Workers:       2,
+		WorkerCores:   []int{1, 2},
+		SchedulerCore: 0,
+		VersionSelect: yasmin.SelectEnergy,
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SetBattery(bat)
+	tid, err := app.TaskDecl(yasmin.TData{Name: "multi", Period: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := map[string]int{}
+	mk := func(name string) yasmin.TaskFunc {
+		return func(x *yasmin.ExecCtx, _ any) error {
+			ran[name]++
+			return x.Compute(time.Millisecond)
+		}
+	}
+	if _, err := app.VersionDecl(tid, mk("cheap"), nil,
+		yasmin.VSelect{Quality: 1, EnergyBudget: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	hv, err := app.VersionDecl(tid, mk("rich"), nil,
+		yasmin.VSelect{Quality: 5, EnergyBudget: 5, MinBattery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := app.HwAccelDecl("kepler-gk20a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.HwAccelUse(tid, hv, gpu); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", -1, func(c yasmin.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		c.Sleep(50 * time.Millisecond)
+		if err := bat.SetLevel(10); err != nil {
+			t.Error(err)
+		}
+		c.Sleep(50 * time.Millisecond)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(1 << 62); err != nil {
+		t.Fatal(err)
+	}
+	if ran["rich"] == 0 || ran["cheap"] == 0 {
+		t.Fatalf("version mix = %v, want both versions used across the battery drop", ran)
+	}
+}
+
+func TestFacadeOfflineSynthesis(t *testing.T) {
+	specs := []yasmin.OfflineTaskSpec{
+		{Name: "a", Period: 10 * time.Millisecond, Versions: []yasmin.OfflineVersionSpec{
+			{WCET: 2 * time.Millisecond, Accel: -1},
+		}},
+		{Name: "b", Period: 20 * time.Millisecond, Versions: []yasmin.OfflineVersionSpec{
+			{WCET: 4 * time.Millisecond, Accel: -1},
+		}},
+	}
+	sched, err := yasmin.Synthesize(specs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Table.Cycle != 20*time.Millisecond {
+		t.Errorf("cycle = %v", sched.Table.Cycle)
+	}
+	if len(sched.Placements) != 3 {
+		t.Errorf("placements = %d, want 3", len(sched.Placements))
+	}
+}
