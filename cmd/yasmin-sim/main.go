@@ -1,13 +1,23 @@
-// Command yasmin-sim runs an arbitrary task set (JSON, as produced by
-// yasmin-taskgen) under a chosen YASMIN configuration on a simulated
-// platform and reports per-task response times, deadline misses and
-// middleware overhead — the quickest way to explore a deployment without
-// writing a program.
+// Command yasmin-sim runs a task set or a whole declarative application
+// under a chosen YASMIN configuration on a simulated platform and reports
+// per-task response times, deadline misses and middleware overhead — the
+// quickest way to explore a deployment without writing a program.
+//
+// Two input forms:
+//
+//   - -set: a flat task set (JSON, as produced by yasmin-taskgen): each
+//     task becomes an independent periodic task with one version.
+//   - -app: a full application spec (JSON, see internal/spec): multi-version
+//     tasks, accelerators, and DAGs over FIFO channels; function-less
+//     versions get synthesized bodies from their WCETs. Under -mapping
+//     partitioned, explicit "core" pins in the spec are respected; a spec
+//     with no pins is first-fit bin-packed.
 //
 // Usage:
 //
 //	yasmin-taskgen -n 24 -u 1.4 | yasmin-sim -workers 3 -mapping global -priority edf
 //	yasmin-sim -set tasks.json -mapping partitioned -priority dm -horizon 5s
+//	yasmin-sim -app app.json -select energy -platform apalis-tk1
 package main
 
 import (
@@ -22,58 +32,82 @@ import (
 	"github.com/yasmin-rt/yasmin/internal/platform"
 	"github.com/yasmin-rt/yasmin/internal/rt"
 	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin/internal/spec"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
 )
 
 func main() {
-	setPath := flag.String("set", "-", "task set JSON file ('-' for stdin)")
+	setPath := flag.String("set", "-", "flat task set JSON file ('-' for stdin)")
+	appPath := flag.String("app", "", "application spec JSON file (overrides -set; '-' for stdin)")
 	workers := flag.Int("workers", 2, "worker threads")
 	mapping := flag.String("mapping", "global", "mapping scheme: global|partitioned")
 	priority := flag.String("priority", "edf", "priority assignment: rm|dm|edf")
+	selectM := flag.String("select", "first", "version selection: first|energy|tradeoff|mode|bitmask")
 	horizon := flag.Duration("horizon", 2*time.Second, "simulated duration")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	board := flag.String("platform", "odroid-xu4", "platform: odroid-xu4|apalis-tk1|generic-N")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the first 100ms")
 	flag.Parse()
 
-	if err := run(*setPath, *workers, *mapping, *priority, *horizon, *seed, *board, *gantt); err != nil {
+	if err := run(*setPath, *appPath, *workers, *mapping, *priority, *selectM,
+		*horizon, *seed, *board, *gantt); err != nil {
 		fmt.Fprintln(os.Stderr, "yasmin-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(setPath string, workers int, mapping, priority string,
-	horizon time.Duration, seed int64, board string, gantt bool) error {
-	// Load the set.
+// loadSpec resolves the input into an application spec: either a full spec
+// file (-app) or a flat task set (-set) lifted through the bridge.
+func loadSpec(setPath, appPath string) (*spec.Spec, error) {
+	if appPath != "" {
+		if appPath == "-" {
+			return spec.Load(os.Stdin)
+		}
+		return spec.LoadFile(appPath)
+	}
 	in := os.Stdin
 	if setPath != "-" {
 		f, err := os.Open(setPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		in = f
 	}
 	set, err := taskset.ReadJSON(in)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	return spec.FromTaskSet(set), nil
+}
 
-	// Resolve the platform.
-	var pl *platform.Platform
+func resolvePlatform(board string) (*platform.Platform, error) {
 	switch {
 	case board == "odroid-xu4":
-		pl = platform.OdroidXU4()
+		return platform.OdroidXU4(), nil
 	case board == "apalis-tk1":
-		pl = platform.ApalisTK1()
+		return platform.ApalisTK1(), nil
 	case strings.HasPrefix(board, "generic-"):
 		var n int
 		if _, err := fmt.Sscanf(board, "generic-%d", &n); err != nil || n < 1 {
-			return fmt.Errorf("bad generic platform %q", board)
+			return nil, fmt.Errorf("bad generic platform %q", board)
 		}
-		pl = platform.Generic(n)
+		return platform.Generic(n), nil
 	default:
-		return fmt.Errorf("unknown platform %q", board)
+		return nil, fmt.Errorf("unknown platform %q", board)
+	}
+}
+
+func run(setPath, appPath string, workers int, mapping, priority, selectM string,
+	horizon time.Duration, seed int64, board string, gantt bool) error {
+	s, err := loadSpec(setPath, appPath)
+	if err != nil {
+		return err
+	}
+
+	pl, err := resolvePlatform(board)
+	if err != nil {
+		return err
 	}
 	if workers+1 > pl.NumCores() {
 		return fmt.Errorf("%d workers + scheduler need %d cores; %s has %d",
@@ -83,7 +117,6 @@ func run(setPath string, workers int, mapping, priority string,
 	cfg := core.Config{
 		Workers:    workers,
 		Preemption: true,
-		MaxTasks:   set.Len(),
 		RecordJobs: gantt,
 	}
 	// Prefer big cores for workers where the platform distinguishes them.
@@ -110,17 +143,52 @@ func run(setPath string, workers int, mapping, priority string,
 	default:
 		return fmt.Errorf("unknown priority %q", priority)
 	}
+	switch selectM {
+	case "first":
+		cfg.VersionSelect = core.SelectFirst
+	case "energy":
+		cfg.VersionSelect = core.SelectEnergy
+	case "tradeoff":
+		cfg.VersionSelect = core.SelectTradeoff
+	case "mode":
+		cfg.VersionSelect = core.SelectMode
+	case "bitmask":
+		cfg.VersionSelect = core.SelectBitmask
+	default:
+		return fmt.Errorf("unknown version selection %q", selectM)
+	}
 
-	// Partitioned mapping: first-fit bin-pack the set.
-	virtCore := map[int]int{}
+	// Analysis view of the application: utilization for the report, and the
+	// input to first-fit bin packing under partitioned mapping.
+	set, err := s.TaskSet()
+	if err != nil {
+		return err
+	}
 	if cfg.Mapping == core.MappingPartitioned {
-		bins, err := analysis.Partition(set, workers, analysis.UtilizationFits(1.0))
-		if err != nil {
-			return fmt.Errorf("partitioning failed (%w); try -mapping global", err)
+		// Respect explicit core pins in a hand-written spec; bin-pack only
+		// when the spec leaves every task on the default core.
+		pinned, onZero := false, 0
+		for i := range s.Tasks {
+			if s.Tasks[i].Core != 0 {
+				pinned = true
+			} else {
+				onZero++
+			}
 		}
-		for w, idxs := range bins {
-			for _, ti := range idxs {
-				virtCore[ti] = w
+		if pinned && onZero > 0 {
+			fmt.Fprintf(os.Stderr,
+				"yasmin-sim: using the spec's core pins; %d task(s) without a \"core\" field stay on worker 0\n",
+				onZero)
+		}
+		if !pinned {
+			bins, err := analysis.Partition(set, workers, analysis.UtilizationFits(1.0))
+			if err != nil {
+				return fmt.Errorf("partitioning failed (%w); try -mapping global", err)
+			}
+			for w, idxs := range bins {
+				for _, ti := range idxs {
+					s.Tasks[ti].Core = w
+				}
 			}
 		}
 	}
@@ -130,30 +198,14 @@ func run(setPath string, workers int, mapping, priority string,
 	if err != nil {
 		return err
 	}
-	app, err := core.New(cfg, env)
+	app, err := s.Build(cfg, env)
 	if err != nil {
 		return err
 	}
-	for i := range set.Tasks {
-		tk := &set.Tasks[i]
-		td := core.TData{Name: tk.Name, Period: tk.Period, Deadline: tk.Deadline, ReleaseOffset: tk.Offset}
-		if cfg.Mapping == core.MappingPartitioned {
-			td.VirtCore = virtCore[i]
-		}
-		tid, err := app.TaskDecl(td)
-		if err != nil {
-			return err
-		}
-		wcet := tk.WCET
-		if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
-			return x.Compute(wcet)
-		}, nil, core.VSelect{WCET: wcet}); err != nil {
-			return err
-		}
-	}
+	var startErr error
 	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
 		if err := app.Start(c); err != nil {
-			fmt.Fprintln(os.Stderr, "start:", err)
+			startErr = err
 			return
 		}
 		c.SleepUntil(horizon)
@@ -163,9 +215,17 @@ func run(setPath string, workers int, mapping, priority string,
 	if err := eng.Run(sim.Time(horizon + time.Minute)); err != nil {
 		return err
 	}
+	if startErr != nil {
+		return fmt.Errorf("start: %w", startErr)
+	}
 
-	fmt.Printf("# %s · %d workers · %s/%s · U=%.2f · horizon %v · seed %d\n",
-		pl.Name, workers, mapping, priority, set.TotalUtilization(), horizon, seed)
+	name := s.Name
+	if name == "" {
+		name = "app"
+	}
+	fmt.Printf("# %s · %s · %d workers · %s/%s/%s · U=%.2f · horizon %v · seed %d\n",
+		name, pl.Name, workers, mapping, priority, selectM,
+		set.TotalUtilization(), horizon, seed)
 	if err := app.Recorder().WriteSummary(os.Stdout); err != nil {
 		return err
 	}
@@ -177,6 +237,11 @@ func run(setPath string, workers int, mapping, priority string,
 		if err := rec.Gantt(os.Stdout, 100*time.Millisecond, 100); err != nil {
 			return err
 		}
+	}
+	// Task-function failures make the stats above meaningless; fail the run
+	// so scripts don't consume them as valid results.
+	if n := app.TaskErrors(); n > 0 {
+		return fmt.Errorf("%d task error(s); first: %w", n, app.FirstError())
 	}
 	return nil
 }

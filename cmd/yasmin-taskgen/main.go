@@ -2,10 +2,18 @@
 // Dirichlet-Rescale (DRS) utilisation sampler the paper's evaluation uses
 // [Griffin, Bate, Davis — RTSS 2020], and prints them as JSON.
 //
+// By default it emits a flat task set; with -app it emits a full
+// application spec (internal/spec) instead, directly loadable by
+// `yasmin-sim -app`. With -chain L the generated tasks are additionally
+// grouped into processing chains of length L: the first task of each chain
+// keeps its period (the graph root), the rest become data-activated nodes
+// connected by FIFO channels — synthetic DAG workloads for scenario
+// exploration.
+//
 // Usage:
 //
 //	yasmin-taskgen [-n 20] [-u 1.0] [-seed 1] [-pmin 10ms] [-pmax 1s]
-//	               [-dfactor 1.0] [-umax 1.0]
+//	               [-dfactor 1.0] [-umax 1.0] [-app] [-chain 4]
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/yasmin-rt/yasmin/internal/spec"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
 )
 
@@ -26,6 +35,8 @@ func main() {
 	pmax := flag.Duration("pmax", time.Second, "maximum period")
 	dfactor := flag.Float64("dfactor", 1.0, "deadline factor: 1 implicit, <1 constrained")
 	umax := flag.Float64("umax", 1.0, "per-task utilisation cap")
+	appOut := flag.Bool("app", false, "emit an application spec instead of a flat task set")
+	chain := flag.Int("chain", 1, "group tasks into chains of this length (implies -app)")
 	flag.Parse()
 
 	cfg := taskset.DRSConfig{
@@ -41,10 +52,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "yasmin-taskgen:", err)
 		os.Exit(1)
 	}
-	if err := set.WriteJSON(os.Stdout); err != nil {
+	if *chain < 1 {
+		fmt.Fprintln(os.Stderr, "yasmin-taskgen: -chain must be >= 1")
+		os.Exit(1)
+	}
+	if !*appOut && *chain == 1 {
+		if err := set.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "yasmin-taskgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "# %d tasks, U=%.3f, hyperperiod=%v, GCD=%v\n",
+			set.Len(), set.TotalUtilization(), set.Hyperperiod(), set.PeriodGCD())
+		return
+	}
+
+	s := spec.FromTaskSet(set)
+	s.Name = fmt.Sprintf("drs-n%d-u%.2f-seed%d", *n, *u, *seed)
+	if *chain > 1 {
+		chainify(s, *chain)
+	}
+	if err := s.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "yasmin-taskgen: generated spec invalid:", err)
+		os.Exit(1)
+	}
+	if err := s.WriteJSON(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "yasmin-taskgen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "# %d tasks, U=%.3f, hyperperiod=%v, GCD=%v\n",
-		set.Len(), set.TotalUtilization(), set.Hyperperiod(), set.PeriodGCD())
+	fmt.Fprintf(os.Stderr, "# spec %q: %d tasks, %d channels, U=%.3f\n",
+		s.Name, len(s.Tasks), len(s.Channels), set.TotalUtilization())
+}
+
+// chainify turns consecutive groups of L tasks into linear processing
+// chains: the first task of each group stays a periodic root, the rest lose
+// their period/offset (data-activated, firing at the root's rate) and are
+// connected by FIFO channels. Each member's WCET is rescaled to preserve
+// its DRS-sampled utilisation under the inherited root period, keeping the
+// set's total utilisation (and hence partitionability) meaningful.
+func chainify(s *spec.Spec, l int) {
+	var root *spec.TaskSpec
+	for i := range s.Tasks {
+		cur := &s.Tasks[i]
+		if i%l == 0 {
+			root = cur // chain root keeps its period
+			continue
+		}
+		u := float64(cur.Versions[0].WCET) / float64(cur.Period)
+		cur.Versions[0].WCET = spec.Duration(u * float64(root.Period))
+		cur.Period = 0
+		cur.Offset = 0
+		cur.Deadline = 0 // inherit the root deadline at resolve
+		prev := &s.Tasks[i-1]
+		s.Channels = append(s.Channels, spec.ChannelSpec{
+			Name:     prev.Name + "->" + cur.Name,
+			Capacity: 8, // headroom under backlog before the FIFO overflows
+			Src:      prev.Name,
+			Dst:      cur.Name,
+		})
+	}
+	s.Name += fmt.Sprintf("-chain%d", l)
 }

@@ -4,11 +4,17 @@
 // pre-selected by the synthesiser (here minimising energy), and the on-line
 // dispatcher then replays the table with delay slots — no scheduler thread,
 // no run-time scheduling decisions.
+//
+// One declarative application spec is the single source of truth: the
+// off-line synthesiser consumes its OfflineSpecs bridge, and the runtime
+// App is built from the very same description (the versions carry no
+// functions, so Build synthesizes WCET-shaped bodies).
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/core"
@@ -16,28 +22,46 @@ import (
 	"github.com/yasmin-rt/yasmin/internal/platform"
 	"github.com/yasmin-rt/yasmin/internal/rt"
 	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin/internal/spec"
 )
 
 func main() {
-	// The task set: a sensing -> fusion chain plus two independent tasks;
-	// "fusion" and "log" have fast/efficient version pairs.
-	specs := []offline.TaskSpec{
-		{Name: "sense", Period: 20 * time.Millisecond,
-			Versions: []offline.VersionSpec{{WCET: 2 * time.Millisecond, Accel: offline.NoAccelerator, Energy: 2}}},
-		{Name: "fusion", Preds: []int{0},
-			Versions: []offline.VersionSpec{
-				{WCET: 3 * time.Millisecond, Accel: 0, Energy: 9},                     // GPU, fast
-				{WCET: 7 * time.Millisecond, Accel: offline.NoAccelerator, Energy: 3}, // CPU, frugal
+	// The application: a sensing -> fusion chain plus two independent
+	// tasks; "fusion" and "log" have fast/efficient version pairs. This
+	// structure is plain data — it could equally be loaded from JSON.
+	s := &spec.Spec{
+		Name:   "offline-demo",
+		Accels: []spec.AccelSpec{{Name: "gpu0"}},
+		Channels: []spec.ChannelSpec{
+			// Capacity 0: a pure precedence edge. The synthesiser sequences
+			// fusion after sense; at run time the table replay needs no data
+			// hand-off (and a data FIFO would race the table's release
+			// instants, which do not model middleware overheads).
+			{Name: "sf", Capacity: 0, Src: "sense", Dst: "fusion"},
+		},
+		Tasks: []spec.TaskSpec{
+			{Name: "sense", Period: spec.Duration(20 * time.Millisecond),
+				Versions: []spec.VersionSpec{{WCET: spec.Duration(2 * time.Millisecond), Energy: 2}}},
+			{Name: "fusion", Versions: []spec.VersionSpec{
+				{WCET: spec.Duration(3 * time.Millisecond), Accel: "gpu0", Energy: 9}, // GPU, fast
+				{WCET: spec.Duration(7 * time.Millisecond), Energy: 3},                // CPU, frugal
 			}},
-		{Name: "control", Period: 10 * time.Millisecond,
-			Versions: []offline.VersionSpec{{WCET: 1 * time.Millisecond, Accel: offline.NoAccelerator, Energy: 1}}},
-		{Name: "log", Period: 40 * time.Millisecond,
-			Versions: []offline.VersionSpec{
-				{WCET: 4 * time.Millisecond, Accel: offline.NoAccelerator, Energy: 4},
-				{WCET: 2 * time.Millisecond, Accel: 0, Energy: 8},
-			}},
+			{Name: "control", Period: spec.Duration(10 * time.Millisecond),
+				Versions: []spec.VersionSpec{{WCET: spec.Duration(1 * time.Millisecond), Energy: 1}}},
+			{Name: "log", Period: spec.Duration(40 * time.Millisecond),
+				Versions: []spec.VersionSpec{
+					{WCET: spec.Duration(4 * time.Millisecond), Energy: 4},
+					{WCET: spec.Duration(2 * time.Millisecond), Accel: "gpu0", Energy: 8},
+				}},
+		},
 	}
 
+	// Bridge the description to the synthesiser: precedence edges become
+	// Preds, accelerator names become indices.
+	specs, err := s.OfflineSpecs()
+	if err != nil {
+		log.Fatal(err)
+	}
 	sched, err := offline.Synthesize(specs, 2, 1, offline.MinEnergy)
 	if err != nil {
 		log.Fatal(err)
@@ -52,45 +76,22 @@ func main() {
 		}
 	}
 
-	// Replay the table with the on-line dispatcher (Figure 1c).
+	// Replay the table with the on-line dispatcher (Figure 1c), building
+	// the runtime application from the same spec (TIDs line up with the
+	// table because ID assignment is positional).
 	eng := sim.NewEngine(3)
 	env, err := rt.NewSimEnv(eng, platform.GenericWithGPU(3), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.Config{
+	app, err := s.Build(core.Config{
 		Workers:     2,
 		WorkerCores: []int{0, 1},
 		Mapping:     core.MappingOffline,
-		MaxTasks:    8,
-	}
-	app, err := core.New(cfg, env)
+	}, env)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Declare tasks in spec order so TIDs line up with the table. The
-	// data-activated "fusion" gets the deadline its synthesis spec implied
-	// (its root's period).
-	for _, s := range specs {
-		deadline := time.Duration(0)
-		if s.Period == 0 {
-			deadline = 20 * time.Millisecond
-		}
-		tid, err := app.TaskDecl(core.TData{Name: s.Name, Period: s.Period, Deadline: deadline})
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, v := range s.Versions {
-			wcet := v.WCET
-			if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
-				return x.Compute(wcet)
-			}, nil, core.VSelect{WCET: wcet, EnergyBudget: v.Energy}); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-	// Precedence edges exist only in the synthesis spec: the table already
-	// sequences fusion after sense, so the dispatcher needs no channels.
 	if err := app.SetOfflineTable(sched.Table); err != nil {
 		log.Fatal(err)
 	}
@@ -105,6 +106,9 @@ func main() {
 	})
 	if err := eng.Run(sim.Time(2 * time.Second)); err != nil {
 		log.Fatal(err)
+	}
+	if err := app.FirstError(); err != nil {
+		fmt.Fprintln(os.Stderr, "task error:", err)
 	}
 
 	fmt.Println("\ndispatch results (10 cycles):")

@@ -3,9 +3,13 @@
 // "left" task has two versions — one on the CPU and one using a hardware
 // accelerator — selected at run time by the current battery level.
 //
-// It runs twice: once in deterministic virtual time (the simulation backend
-// used by all paper experiments), and once in wall-clock time as an
-// ordinary Go program (the best-effort OS backend).
+// The application is described with the fluent builder API (yasmin.NewApp):
+// channels and tasks chain into one declaration, errors accumulate and
+// surface once at Build instead of after every call, and the same
+// description instantiates on any environment. It runs twice: once in
+// deterministic virtual time (the simulation backend used by all paper
+// experiments), and once in wall-clock time as an ordinary Go program (the
+// best-effort OS backend).
 package main
 
 import (
@@ -13,145 +17,96 @@ import (
 	"log"
 	"time"
 
-	"github.com/yasmin-rt/yasmin/internal/core"
-	"github.com/yasmin-rt/yasmin/internal/platform"
-	"github.com/yasmin-rt/yasmin/internal/rt"
-	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin"
 )
 
-// buildDiamond declares the Listing 2 application on an App.
-func buildDiamond(app *core.App, battery func() float64) error {
-	// Listing 1's config.h constants correspond to core.Config (set by the
-	// callers below). Channels first, like the C listing:
-	fl, err := app.ChannelDecl("fl", 0) // pure dependency, no data
-	if err != nil {
-		return err
-	}
-	fr, err := app.ChannelDecl("fr", 1)
-	if err != nil {
-		return err
-	}
-	rj, err := app.ChannelDecl("rj", 2)
-	if err != nil {
-		return err
-	}
-	lj, err := app.ChannelDecl("lj", 1)
-	if err != nil {
-		return err
-	}
+// describeDiamond declares the Listing 2 application fluently. The builder
+// assigns channel IDs deterministically, so version bodies capture them
+// before Build ever runs.
+func describeDiamond(battery func() float64) *yasmin.Builder {
+	b := yasmin.NewApp("diamond")
 
-	fork, err := app.TaskDecl(core.TData{Name: "fork", Period: 250 * time.Millisecond})
-	if err != nil {
-		return err
-	}
-	left, err := app.TaskDecl(core.TData{Name: "left"})
-	if err != nil {
-		return err
-	}
-	right, err := app.TaskDecl(core.TData{Name: "right"})
-	if err != nil {
-		return err
-	}
-	join, err := app.TaskDecl(core.TData{Name: "join"})
-	if err != nil {
-		return err
-	}
+	// Channels first, like the C listing (fl is a pure dependency, no data).
+	fl := b.Channel("fl", 0)
+	fr := b.Channel("fr", 1)
+	rj := b.Channel("rj", 2)
+	lj := b.Channel("lj", 1)
+	b.Connect("fork", "left", fl).
+		Connect("fork", "right", fr).
+		Connect("right", "join", rj).
+		Connect("left", "join", lj)
 
 	type token struct{ value int }
-
-	if _, err := app.VersionDecl(fork, func(x *core.ExecCtx, _ any) error {
-		if err := x.Compute(200 * time.Microsecond); err != nil {
-			return err
-		}
-		if err := x.Push(fl, nil); err != nil {
-			return err
-		}
-		return x.Push(fr, token{value: 2})
-	}, nil, core.VSelect{}); err != nil {
-		return err
-	}
-
-	if _, err := app.VersionDecl(right, func(x *core.ExecCtx, _ any) error {
-		v, err := x.Pop(fr)
-		if err != nil {
-			return err
-		}
-		rec := v.(token)
-		if err := x.Compute(300 * time.Microsecond); err != nil {
-			return err
-		}
-		if err := x.Push(rj, rec.value); err != nil {
-			return err
-		}
-		return x.Push(rj, rec.value*2)
-	}, nil, core.VSelect{}); err != nil {
-		return err
-	}
 
 	// left has two versions; YASMIN selects by energy (Listing 1:
 	// VERSION_SELECTION ENERGY). v1 is the cheap CPU version, v2 the
 	// accelerator version, affordable only above 40% battery.
-	lv1 := core.VSelect{EnergyBudget: 5, Quality: 1, GetBatteryStatus: battery}
-	lv2 := core.VSelect{EnergyBudget: 12, Quality: 9, MinBattery: 40, GetBatteryStatus: battery}
-	if _, err := app.VersionDecl(left, func(x *core.ExecCtx, _ any) error {
-		if err := x.Compute(800 * time.Microsecond); err != nil {
-			return err
-		}
-		return x.Push(lj, 7)
-	}, nil, lv1); err != nil {
-		return err
-	}
-	lv2id, err := app.VersionDecl(left, func(x *core.ExecCtx, _ any) error {
-		if err := x.Compute(100 * time.Microsecond); err != nil {
-			return err
-		}
-		if err := x.AccelSection(200 * time.Microsecond); err != nil {
-			return err
-		}
-		return x.Push(lj, 7)
-	}, nil, lv2)
-	if err != nil {
-		return err
-	}
-	accel, err := app.HwAccelDecl("quantum_rand_num_generator")
-	if err != nil {
-		return err
-	}
-	if err := app.HwAccelUse(left, lv2id, accel); err != nil {
-		return err
-	}
+	lv1 := yasmin.VSelect{EnergyBudget: 5, Quality: 1, GetBatteryStatus: battery}
+	lv2 := yasmin.VSelect{EnergyBudget: 12, Quality: 9, MinBattery: 40, GetBatteryStatus: battery}
 
-	if _, err := app.VersionDecl(join, func(x *core.ExecCtx, _ any) error {
-		a, err := x.Pop(rj)
-		if err != nil {
-			return err
-		}
-		b, err := x.Pop(rj)
-		if err != nil {
-			return err
-		}
-		l, err := x.Pop(lj)
-		if err != nil {
-			return err
-		}
-		return x.Compute(time.Duration(100+a.(int)+b.(int)+l.(int)) * time.Microsecond)
-	}, nil, core.VSelect{}); err != nil {
-		return err
-	}
+	b.Task("fork").Period(250 * time.Millisecond).
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			if err := x.Compute(200 * time.Microsecond); err != nil {
+				return err
+			}
+			if err := x.Push(fl, nil); err != nil {
+				return err
+			}
+			return x.Push(fr, token{value: 2})
+		}, yasmin.VSelect{}).
+		Task("left").
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			if err := x.Compute(800 * time.Microsecond); err != nil {
+				return err
+			}
+			return x.Push(lj, 7)
+		}, lv1).
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			if err := x.Compute(100 * time.Microsecond); err != nil {
+				return err
+			}
+			if err := x.AccelSection(200 * time.Microsecond); err != nil {
+				return err
+			}
+			return x.Push(lj, 7)
+		}, lv2).
+		OnAccel("quantum_rand_num_generator").
+		Task("right").
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			v, err := x.Pop(fr)
+			if err != nil {
+				return err
+			}
+			rec := v.(token)
+			if err := x.Compute(300 * time.Microsecond); err != nil {
+				return err
+			}
+			if err := x.Push(rj, rec.value); err != nil {
+				return err
+			}
+			return x.Push(rj, rec.value*2)
+		}, yasmin.VSelect{}).
+		Task("join").
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			a, err := x.Pop(rj)
+			if err != nil {
+				return err
+			}
+			b, err := x.Pop(rj)
+			if err != nil {
+				return err
+			}
+			l, err := x.Pop(lj)
+			if err != nil {
+				return err
+			}
+			return x.Compute(time.Duration(100+a.(int)+b.(int)+l.(int)) * time.Microsecond)
+		}, yasmin.VSelect{})
 
-	if err := app.ChannelConnect(fork, left, fl); err != nil {
-		return err
-	}
-	if err := app.ChannelConnect(fork, right, fr); err != nil {
-		return err
-	}
-	if err := app.ChannelConnect(right, join, rj); err != nil {
-		return err
-	}
-	return app.ChannelConnect(left, join, lj)
+	return b
 }
 
-func report(label string, app *core.App) {
+func report(label string, app *yasmin.App) {
 	fmt.Printf("\n=== %s ===\n", label)
 	rec := app.Recorder()
 	for _, name := range rec.TaskNames() {
@@ -164,32 +119,28 @@ func report(label string, app *core.App) {
 
 func main() {
 	// --- Run 1: deterministic virtual time on a simulated Odroid-XU4. ---
-	eng := sim.NewEngine(1)
-	env, err := rt.NewSimEnv(eng, platform.OdroidXU4(), nil)
+	eng := yasmin.NewEngine(1)
+	env, err := yasmin.NewSimEnv(eng, yasmin.OdroidXU4(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	battery, err := platform.NewBattery(2000)
+	battery, err := yasmin.NewBattery(2000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.Config{
+	app, err := describeDiamond(battery.Level).Build(yasmin.Config{
 		Workers:       2, // THREADS_SIZE 2 (Listing 1)
 		WorkerCores:   []int{4, 5},
 		SchedulerCore: 6,
-		Mapping:       core.MappingGlobal, // MAPPING_SCHEME GLOBAL
-		Priority:      core.PriorityEDF,   // PRIORITY_ASSIGNMENT EDF
-		VersionSelect: core.SelectEnergy,  // VERSION_SELECTION ENERGY
-	}
-	app, err := core.New(cfg, env)
+		Mapping:       yasmin.MappingGlobal, // MAPPING_SCHEME GLOBAL
+		Priority:      yasmin.PriorityEDF,   // PRIORITY_ASSIGNMENT EDF
+		VersionSelect: yasmin.SelectEnergy,  // VERSION_SELECTION ENERGY
+	}, env)
 	if err != nil {
 		log.Fatal(err)
 	}
 	app.SetBattery(battery)
-	if err := buildDiamond(app, battery.Level); err != nil {
-		log.Fatal(err)
-	}
-	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+	env.Spawn("main", yasmin.UnpinnedCore, func(c yasmin.Ctx) {
 		if err := app.Start(c); err != nil {
 			log.Println("start:", err)
 			return
@@ -202,29 +153,26 @@ func main() {
 		app.Stop(c)
 		app.Cleanup(c)
 	})
-	if err := eng.Run(sim.Time(10 * time.Second)); err != nil {
+	if err := eng.Run(yasmin.SimTime(10 * time.Second)); err != nil {
 		log.Fatal(err)
 	}
 	report("virtual time (simulated Odroid-XU4)", app)
 	fmt.Printf("battery left: %.1f%%\n", battery.Level())
 
 	// --- Run 2: wall-clock time as a plain Go program. ---
-	osEnv := rt.NewOSEnv()
+	osEnv := yasmin.NewOSEnv()
 	osEnv.Spin = false // model the load without burning a laptop core
-	battery2, err := platform.NewBattery(2000)
+	battery2, err := yasmin.NewBattery(2000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg2 := core.Config{Workers: 2, VersionSelect: core.SelectEnergy}
-	app2, err := core.New(cfg2, osEnv)
+	app2, err := describeDiamond(battery2.Level).
+		Build(yasmin.Config{Workers: 2, VersionSelect: yasmin.SelectEnergy}, osEnv)
 	if err != nil {
 		log.Fatal(err)
 	}
 	app2.SetBattery(battery2)
-	if err := buildDiamond(app2, battery2.Level); err != nil {
-		log.Fatal(err)
-	}
-	osEnv.RunMain(func(c rt.Ctx) {
+	osEnv.RunMain(func(c yasmin.Ctx) {
 		if err := app2.Start(c); err != nil {
 			log.Println("start:", err)
 			return

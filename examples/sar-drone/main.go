@@ -24,7 +24,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.Config{
+	// Describe the Figure 3b pipeline declaratively, then instantiate the
+	// description on the simulated board — the fluent counterpart of the
+	// paper's imperative declaration sequence.
+	desc, pipeline, err := sar.Describe(sar.Params{
+		Versions:       sar.Both, // let the scheduler pick CPU or GPU
+		Seed:           7,
+		BoatProb:       0.35,
+		SecureOnDetect: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := desc.Build(core.Config{
 		Workers:        3,
 		WorkerCores:    []int{1, 2, 3},
 		SchedulerCore:  0,
@@ -34,17 +46,7 @@ func main() {
 		Preemption:     true,
 		MaxTasks:       16,
 		MaxPendingJobs: 256,
-	}
-	app, err := core.New(cfg, env)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pipeline, err := sar.Build(app, sar.Params{
-		Versions:       sar.Both, // let the scheduler pick CPU or GPU
-		Seed:           7,
-		BoatProb:       0.35,
-		SecureOnDetect: true,
-	})
+	}, env)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module github.com/yasmin-rt/yasmin
+
+go 1.24

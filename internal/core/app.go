@@ -74,7 +74,7 @@ type App struct {
 
 	overruns   atomic.Int64
 	taskErrors atomic.Int64
-	firstError error
+	firstError atomic.Pointer[error] // first task-function error; read lock-free by FirstError
 
 	schedPeriod time.Duration
 	startTime   time.Duration
@@ -147,11 +147,20 @@ func (a *App) Init() {
 	a.ovh = trace.NewOverheads()
 	a.overruns.Store(0)
 	a.taskErrors.Store(0)
-	a.firstError = nil
+	a.firstError.Store(nil)
 }
 
 // Env returns the execution environment.
 func (a *App) Env() rt.Env { return a.env }
+
+// NumTasks returns the number of declared tasks.
+func (a *App) NumTasks() int { return a.ntasks }
+
+// NumChannels returns the number of declared channels.
+func (a *App) NumChannels() int { return a.nchannels }
+
+// NumAccels returns the number of declared accelerators.
+func (a *App) NumAccels() int { return a.naccels }
 
 // Config returns a copy of the effective configuration.
 func (a *App) Config() Config { return a.cfg }
@@ -170,7 +179,23 @@ func (a *App) Overruns() int64 { return a.overruns.Load() }
 func (a *App) TaskErrors() int64 { return a.taskErrors.Load() }
 
 // FirstError returns the first task-function error, if any.
-func (a *App) FirstError() error { return a.firstError }
+func (a *App) FirstError() error {
+	if p := a.firstError.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// recordTaskError counts a task-function failure and keeps the first one;
+// termination sentinels are not failures. Shared by the online and offline
+// completion paths.
+func (a *App) recordTaskError(err error) {
+	if err == nil || errors.Is(err, ErrTerminated) {
+		return
+	}
+	a.taskErrors.Add(1)
+	a.firstError.CompareAndSwap(nil, &err)
+}
 
 // SetBattery attaches a battery model used by SelectEnergy and drained by
 // job execution.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -385,6 +386,32 @@ func TestOfflineDispatch(t *testing.T) {
 		if j.Missed {
 			t.Errorf("%s missed its deadline in the static schedule", j.Task)
 		}
+	}
+}
+
+func TestOfflineDispatchRecordsTaskErrors(t *testing.T) {
+	r := newRig(t, Config{Workers: 1, Mapping: MappingOffline}, nil)
+	boom := errors.New("sensor fault")
+	a, _ := r.app.TaskDecl(TData{Name: "a", Period: ms(10)})
+	r.app.VersionDecl(a, func(x *ExecCtx, _ any) error {
+		if err := x.Compute(ms(1)); err != nil {
+			return err
+		}
+		return boom
+	}, nil, VSelect{})
+	tbl := &OfflineTable{
+		Cycle:     ms(10),
+		PerWorker: [][]TableEntry{{{Offset: 0, Task: a, Version: 0}}},
+	}
+	if err := r.app.SetOfflineTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	r.runMain(t, ms(35), nil)
+	if n := r.app.TaskErrors(); n < 3 {
+		t.Errorf("TaskErrors = %d, want one per dispatched job", n)
+	}
+	if err := r.app.FirstError(); !errors.Is(err, boom) {
+		t.Errorf("FirstError = %v, want %v", err, boom)
 	}
 }
 

@@ -163,6 +163,7 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 	}
 	w.wakeReason = wakeNone
 	now := c.Now()
+	a.recordTaskError(j.err)
 	if j.accel != NoAccel {
 		ac := &a.accels[j.accel]
 		ac.busy = false

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -238,12 +237,7 @@ func (a *App) completeJob(c rt.Ctx, w *workerState, j *job) {
 	}
 	now := c.Now()
 	costs := a.env.Costs()
-	if j.err != nil && !errors.Is(j.err, ErrTerminated) {
-		a.taskErrors.Add(1)
-		if a.firstError == nil {
-			a.firstError = j.err
-		}
-	}
+	a.recordTaskError(j.err)
 	// Release the accelerator and reschedule its waiters.
 	if j.accel != NoAccel {
 		a.releaseAccel(c, j)

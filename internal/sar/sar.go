@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/spec"
 )
 
 // Figure 3b WCETs.
@@ -167,19 +168,22 @@ type sendItem struct {
 	secure bool
 }
 
-// Build declares the Figure 3b application on the given App. The App must
-// be configured with VersionSelect == SelectMode when SecureOnDetect is
-// used (Encode's plain/AES versions are mode-gated; all other versions are
-// mode-agnostic).
-func Build(app *core.App, params Params) (*Pipeline, error) {
+// Describe declares the Figure 3b application fluently and returns the
+// description together with the pipeline state its version bodies share.
+// Build the returned description on an environment (Builder.Build) or apply
+// it to an existing App (Spec.Apply); the App must be configured with
+// VersionSelect == SelectMode when SecureOnDetect is used (Encode's
+// plain/AES versions are mode-gated; all other versions are mode-agnostic).
+func Describe(params Params) (*spec.Builder, *Pipeline, error) {
 	p := params.withDefaults()
 	src, err := NewFrameSource(p.Seed, p.FrameW, p.FrameH, p.BoatProb)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	key := sha256.Sum256([]byte("yasmin-sar-aes-key"))
 	pl := &Pipeline{
 		IDs:    make(map[string]core.TID, len(TaskNames)),
+		GPU:    core.NoAccel,
 		source: src,
 		mavgen: NewMavGenerator(GlobalPos{LatE7: 527000000, LonE7: 47000000, AltMM: 120000}),
 		aesKey: key[:16],
@@ -191,94 +195,15 @@ func Build(app *core.App, params Params) (*Pipeline, error) {
 		}
 		return p.VirtCore[name]
 	}
-	decl := func(name string, period time.Duration, deadline time.Duration) (core.TID, error) {
-		tid, err := app.TaskDecl(core.TData{
-			Name: name, Period: period, Deadline: deadline, VirtCore: vc(name),
-		})
-		if err != nil {
-			return tid, fmt.Errorf("sar: declare %s: %w", name, err)
-		}
-		pl.IDs[name] = tid
-		return tid, nil
-	}
 
-	// Tasks. Only the graph root (fetch) and the independent FC handler
-	// carry periods.
-	fetch, err := decl("fetch", p.FramePeriod, 0)
-	if err != nil {
-		return nil, err
-	}
-	extract, err := decl("extract_exif", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	augment, err := decl("augment_exif", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	store, err := decl("store", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	detect, err := decl("detect_objects", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	estimate, err := decl("estimate_speed", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	highlight, err := decl("highlight_objects", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	create, err := decl("create_packet", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	encode, err := decl("encode", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	send, err := decl("send", 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	fc, err := decl("fc_msg_handler", p.FCPeriod, 0)
-	if err != nil {
-		return nil, err
-	}
+	b := spec.NewApp("sar-drone")
 
-	// Channels (fetch -> ... -> send).
-	mkCh := func(name string) (core.CID, error) {
-		ch, err := app.ChannelDecl(name, p.ChannelCap)
-		if err != nil {
-			return ch, fmt.Errorf("sar: channel %s: %w", name, err)
-		}
-		return ch, nil
-	}
-	chain := []core.TID{fetch, extract, augment, store, detect, estimate, highlight, create, encode, send}
-	chans := make([]core.CID, len(chain)-1)
-	for i := 0; i < len(chain)-1; i++ {
-		ch, err := mkCh(fmt.Sprintf("ch%d", i))
-		if err != nil {
-			return nil, err
-		}
-		chans[i] = ch
-		if err := app.ChannelConnect(chain[i], chain[i+1], ch); err != nil {
-			return nil, err
-		}
-	}
-
-	// Accelerator.
-	gpu := core.NoAccel
-	if p.Versions != CPUOnly {
-		g, err := app.HwAccelDecl(p.AccelName)
-		if err != nil {
-			return nil, err
-		}
-		gpu = g
-		pl.GPU = g
+	// Channels (fetch -> ... -> send). IDs are assigned deterministically,
+	// so the version bodies below capture them before Build ever runs.
+	chans := make([]core.CID, len(TaskNames)-2)
+	for i := range chans {
+		chans[i] = b.Channel(fmt.Sprintf("ch%d", i), p.ChannelCap)
+		b.Connect(TaskNames[i], TaskNames[i+1], chans[i])
 	}
 
 	// Version bodies. GPU versions split pre/accel/post 5%/90%/5% — the
@@ -309,154 +234,19 @@ func Build(app *core.App, params Params) (*Pipeline, error) {
 			return work(x)
 		}
 	}
-	declareBoth := func(tid core.TID, gpuWCET, cpuWCET time.Duration, work func(x *core.ExecCtx) error) error {
+	// both adds the GPU and/or CPU versions of a pipeline stage to the
+	// task under description, per the configured VersionMode.
+	both := func(t *spec.TaskBuilder, gpuWCET, cpuWCET time.Duration, work func(x *core.ExecCtx) error) *spec.TaskBuilder {
 		if p.Versions != CPUOnly {
-			v, err := app.VersionDecl(tid, gpuBody(gpuWCET, work), nil,
-				core.VSelect{WCET: gpuWCET, Quality: 2})
-			if err != nil {
-				return err
-			}
-			if err := app.HwAccelUse(tid, v, gpu); err != nil {
-				return err
-			}
+			t = t.Version(gpuBody(gpuWCET, work), core.VSelect{WCET: gpuWCET, Quality: 2}).
+				OnAccel(p.AccelName)
 		}
 		if p.Versions != GPUOnly {
-			if _, err := app.VersionDecl(tid, cpuBody(cpuWCET, work), nil,
-				core.VSelect{WCET: cpuWCET, Quality: 1}); err != nil {
-				return err
-			}
+			t = t.Version(cpuBody(cpuWCET, work), core.VSelect{WCET: cpuWCET, Quality: 1})
 		}
-		return nil
+		return t
 	}
 
-	// fetch: grab the next camera frame.
-	_, err = app.VersionDecl(fetch, func(x *core.ExecCtx, _ any) error {
-		if err := x.Compute(FetchWCET); err != nil {
-			return err
-		}
-		return x.Push(chans[0], pl.source.Next())
-	}, nil, core.VSelect{WCET: FetchWCET})
-	if err != nil {
-		return nil, err
-	}
-	// extract_exif.
-	_, err = app.VersionDecl(extract, func(x *core.ExecCtx, _ any) error {
-		v, err := x.Pop(chans[0])
-		if err != nil {
-			return err
-		}
-		f := v.(*Frame)
-		if err := x.Compute(ExtractWCET); err != nil {
-			return err
-		}
-		f.Exif = Exif{Seq: f.Seq, Timestamp: int64(x.Now()), Camera: "elphel-353"}
-		return x.Push(chans[1], f)
-	}, nil, core.VSelect{WCET: ExtractWCET})
-	if err != nil {
-		return nil, err
-	}
-	// augment_exif: merge the FC handler's GPS state.
-	_, err = app.VersionDecl(augment, func(x *core.ExecCtx, _ any) error {
-		v, err := x.Pop(chans[1])
-		if err != nil {
-			return err
-		}
-		f := v.(*Frame)
-		if err := x.Compute(AugmentWCET); err != nil {
-			return err
-		}
-		f.Exif.Pos = pl.gps
-		return x.Push(chans[2], f)
-	}, nil, core.VSelect{WCET: AugmentWCET})
-	if err != nil {
-		return nil, err
-	}
-	// store.
-	_, err = app.VersionDecl(store, func(x *core.ExecCtx, _ any) error {
-		v, err := x.Pop(chans[2])
-		if err != nil {
-			return err
-		}
-		if err := x.Compute(StoreWCET); err != nil {
-			return err
-		}
-		return x.Push(chans[3], v)
-	}, nil, core.VSelect{WCET: StoreWCET})
-	if err != nil {
-		return nil, err
-	}
-	// detect_objects (GPU/CPU).
-	err = declareBoth(detect, DetectGPUWCET, DetectCPUWCET, func(x *core.ExecCtx) error {
-		v, err := x.Pop(chans[3])
-		if err != nil {
-			return err
-		}
-		f := v.(*Frame)
-		d := DetectBoats(f)
-		pl.BoatsDetected += d.Boats
-		if pl.params.SecureOnDetect {
-			if d.Boats > 0 {
-				// Secure mode while boats are in frame (Section 5).
-				appOf(x).SetMode(ModeSecure)
-			} else {
-				appOf(x).SetMode(ModeNormal)
-			}
-		}
-		return x.Push(chans[4], d)
-	})
-	if err != nil {
-		return nil, err
-	}
-	// estimate_speed (GPU/CPU).
-	err = declareBoth(estimate, EstGPUWCET, EstCPUWCET, func(x *core.ExecCtx) error {
-		v, err := x.Pop(chans[4])
-		if err != nil {
-			return err
-		}
-		d := v.(*Detection)
-		d.SpeedMMS = EstimateSpeed(pl.prevExif, &d.Frame.Exif)
-		cp := d.Frame.Exif
-		pl.prevExif = &cp
-		return x.Push(chans[5], d)
-	})
-	if err != nil {
-		return nil, err
-	}
-	// highlight_objects (GPU/CPU).
-	err = declareBoth(highlight, HlGPUWCET, HlCPUWCET, func(x *core.ExecCtx) error {
-		v, err := x.Pop(chans[5])
-		if err != nil {
-			return err
-		}
-		d := v.(*Detection)
-		HighlightBoats(d)
-		return x.Push(chans[6], d)
-	})
-	if err != nil {
-		return nil, err
-	}
-	// create_packet.
-	_, err = app.VersionDecl(create, func(x *core.ExecCtx, _ any) error {
-		v, err := x.Pop(chans[6])
-		if err != nil {
-			return err
-		}
-		d := v.(*Detection)
-		if err := x.Compute(CreateWCET); err != nil {
-			return err
-		}
-		pkt := &Packet{
-			FrameSeq: d.Frame.Seq,
-			Boats:    d.Boats,
-			Pos:      d.Frame.Exif.Pos,
-			SpeedMMS: d.SpeedMMS,
-			Image:    d.Frame.Pixels,
-		}
-		return x.Push(chans[7], pkt)
-	}, nil, core.VSelect{WCET: CreateWCET})
-	if err != nil {
-		return nil, err
-	}
 	// encode: plain (normal mode) vs AES (secure mode), mode-gated.
 	encPlain := func(x *core.ExecCtx, _ any) error {
 		v, err := x.Pop(chans[7])
@@ -487,52 +277,182 @@ func Build(app *core.App, params Params) (*Pipeline, error) {
 		pkt.Secure = true
 		return x.Push(chans[8], &sendItem{pkt: pkt, wire: wire, secure: true})
 	}
-	if _, err := app.VersionDecl(encode, encPlain, nil,
-		core.VSelect{WCET: EncPlainWCET, Modes: 1 << ModeNormal}); err != nil {
-		return nil, err
-	}
-	if _, err := app.VersionDecl(encode, encAES, nil,
-		core.VSelect{WCET: EncAESWCET, Modes: 1 << ModeSecure}); err != nil {
-		return nil, err
-	}
-	// send: radio a report when boats were found.
-	_, err = app.VersionDecl(send, func(x *core.ExecCtx, _ any) error {
-		v, err := x.Pop(chans[8])
-		if err != nil {
-			return err
-		}
-		item := v.(*sendItem)
-		if err := x.Compute(SendWCET); err != nil {
-			return err
-		}
-		pl.FramesProcessed++
-		if item.pkt.Boats > 0 {
-			pl.Sent = append(pl.Sent, item.pkt)
-		}
-		return nil
-	}, nil, core.VSelect{WCET: SendWCET})
-	if err != nil {
-		return nil, err
-	}
-	// fc_msg_handler: decode the Mavlink stream, track GPS.
-	_, err = app.VersionDecl(fc, func(x *core.ExecCtx, _ any) error {
-		wire := pl.mavgen.Next()
-		msg, err := DecodeMav(wire)
-		if err != nil {
-			pl.DecodeErrors++
-			return nil // tolerate line noise, as the real handler must
-		}
-		if err := x.Compute(pl.params.FCWCET); err != nil {
-			return err
-		}
-		if msg.MsgID == MsgGlobalPos {
-			if pos, err := DecodeGlobalPos(msg); err == nil {
-				pl.gps = pos
+
+	// Tasks, in pipeline order. Only the graph root (fetch) and the
+	// independent FC handler carry periods.
+	tb := b.Task("fetch").Period(p.FramePeriod).Core(vc("fetch")).
+		Version(func(x *core.ExecCtx, _ any) error {
+			if err := x.Compute(FetchWCET); err != nil {
+				return err
 			}
-		}
-		return nil
-	}, nil, core.VSelect{WCET: p.FCWCET})
+			return x.Push(chans[0], pl.source.Next())
+		}, core.VSelect{WCET: FetchWCET}).
+		Task("extract_exif").Core(vc("extract_exif")).
+		Version(func(x *core.ExecCtx, _ any) error {
+			v, err := x.Pop(chans[0])
+			if err != nil {
+				return err
+			}
+			f := v.(*Frame)
+			if err := x.Compute(ExtractWCET); err != nil {
+				return err
+			}
+			f.Exif = Exif{Seq: f.Seq, Timestamp: int64(x.Now()), Camera: "elphel-353"}
+			return x.Push(chans[1], f)
+		}, core.VSelect{WCET: ExtractWCET}).
+		Task("augment_exif").Core(vc("augment_exif")).
+		// augment_exif merges the FC handler's GPS state.
+		Version(func(x *core.ExecCtx, _ any) error {
+			v, err := x.Pop(chans[1])
+			if err != nil {
+				return err
+			}
+			f := v.(*Frame)
+			if err := x.Compute(AugmentWCET); err != nil {
+				return err
+			}
+			f.Exif.Pos = pl.gps
+			return x.Push(chans[2], f)
+		}, core.VSelect{WCET: AugmentWCET}).
+		Task("store").Core(vc("store")).
+		Version(func(x *core.ExecCtx, _ any) error {
+			v, err := x.Pop(chans[2])
+			if err != nil {
+				return err
+			}
+			if err := x.Compute(StoreWCET); err != nil {
+				return err
+			}
+			return x.Push(chans[3], v)
+		}, core.VSelect{WCET: StoreWCET})
+
+	tb = both(tb.Task("detect_objects").Core(vc("detect_objects")),
+		DetectGPUWCET, DetectCPUWCET, func(x *core.ExecCtx) error {
+			v, err := x.Pop(chans[3])
+			if err != nil {
+				return err
+			}
+			f := v.(*Frame)
+			d := DetectBoats(f)
+			pl.BoatsDetected += d.Boats
+			if pl.params.SecureOnDetect {
+				if d.Boats > 0 {
+					// Secure mode while boats are in frame (Section 5).
+					appOf(x).SetMode(ModeSecure)
+				} else {
+					appOf(x).SetMode(ModeNormal)
+				}
+			}
+			return x.Push(chans[4], d)
+		})
+	tb = both(tb.Task("estimate_speed").Core(vc("estimate_speed")),
+		EstGPUWCET, EstCPUWCET, func(x *core.ExecCtx) error {
+			v, err := x.Pop(chans[4])
+			if err != nil {
+				return err
+			}
+			d := v.(*Detection)
+			d.SpeedMMS = EstimateSpeed(pl.prevExif, &d.Frame.Exif)
+			cp := d.Frame.Exif
+			pl.prevExif = &cp
+			return x.Push(chans[5], d)
+		})
+	tb = both(tb.Task("highlight_objects").Core(vc("highlight_objects")),
+		HlGPUWCET, HlCPUWCET, func(x *core.ExecCtx) error {
+			v, err := x.Pop(chans[5])
+			if err != nil {
+				return err
+			}
+			d := v.(*Detection)
+			HighlightBoats(d)
+			return x.Push(chans[6], d)
+		})
+
+	tb.Task("create_packet").Core(vc("create_packet")).
+		Version(func(x *core.ExecCtx, _ any) error {
+			v, err := x.Pop(chans[6])
+			if err != nil {
+				return err
+			}
+			d := v.(*Detection)
+			if err := x.Compute(CreateWCET); err != nil {
+				return err
+			}
+			pkt := &Packet{
+				FrameSeq: d.Frame.Seq,
+				Boats:    d.Boats,
+				Pos:      d.Frame.Exif.Pos,
+				SpeedMMS: d.SpeedMMS,
+				Image:    d.Frame.Pixels,
+			}
+			return x.Push(chans[7], pkt)
+		}, core.VSelect{WCET: CreateWCET}).
+		Task("encode").Core(vc("encode")).
+		Version(encPlain, core.VSelect{WCET: EncPlainWCET, Modes: 1 << ModeNormal}).
+		Version(encAES, core.VSelect{WCET: EncAESWCET, Modes: 1 << ModeSecure}).
+		Task("send").Core(vc("send")).
+		// send radios a report when boats were found.
+		Version(func(x *core.ExecCtx, _ any) error {
+			v, err := x.Pop(chans[8])
+			if err != nil {
+				return err
+			}
+			item := v.(*sendItem)
+			if err := x.Compute(SendWCET); err != nil {
+				return err
+			}
+			pl.FramesProcessed++
+			if item.pkt.Boats > 0 {
+				pl.Sent = append(pl.Sent, item.pkt)
+			}
+			return nil
+		}, core.VSelect{WCET: SendWCET}).
+		Task("fc_msg_handler").Period(p.FCPeriod).Core(vc("fc_msg_handler")).
+		// fc_msg_handler decodes the Mavlink stream and tracks GPS.
+		Version(func(x *core.ExecCtx, _ any) error {
+			wire := pl.mavgen.Next()
+			msg, err := DecodeMav(wire)
+			if err != nil {
+				pl.DecodeErrors++
+				return nil // tolerate line noise, as the real handler must
+			}
+			if err := x.Compute(pl.params.FCWCET); err != nil {
+				return err
+			}
+			if msg.MsgID == MsgGlobalPos {
+				if pos, err := DecodeGlobalPos(msg); err == nil {
+					pl.gps = pos
+				}
+			}
+			return nil
+		}, core.VSelect{WCET: p.FCWCET})
+
+	// ID assignment is deterministic before Build, so the pipeline's ID map
+	// can be resolved from a validated snapshot of the description.
+	s, err := b.Spec()
 	if err != nil {
+		return nil, nil, err
+	}
+	for _, name := range TaskNames {
+		pl.IDs[name] = s.TaskID(name)
+	}
+	pl.GPU = s.AccelID(p.AccelName)
+	return b, pl, nil
+}
+
+// Build declares the Figure 3b application on the given App — the
+// imperative entry point, kept for callers that configure the App
+// themselves. It is Describe + Spec.Apply.
+func Build(app *core.App, params Params) (*Pipeline, error) {
+	b, pl, err := Describe(params)
+	if err != nil {
+		return nil, err
+	}
+	s, err := b.Spec()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Apply(app); err != nil {
 		return nil, err
 	}
 	return pl, nil

@@ -1,0 +1,192 @@
+package spec
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/offline"
+	"github.com/yasmin-rt/yasmin/internal/taskset"
+)
+
+// FromTaskSet lifts a flat descriptive task set (as produced by
+// yasmin-taskgen or read by the analyses) into an application spec: one
+// single-version task per entry, no channels. The result builds and runs
+// directly — each synthesized body computes its WCET. Task sets only
+// require unique IDs, so empty or colliding names are uniquified with the
+// task ID.
+func FromTaskSet(set *taskset.Set) *Spec {
+	s := &Spec{Name: "taskset", Tasks: make([]TaskSpec, 0, len(set.Tasks))}
+	seen := make(map[string]bool, len(set.Tasks))
+	for i := range set.Tasks {
+		t := &set.Tasks[i]
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", t.ID)
+		}
+		for seen[name] {
+			name = fmt.Sprintf("%s#%d", name, t.ID)
+		}
+		seen[name] = true
+		s.Tasks = append(s.Tasks, TaskSpec{
+			Name:     name,
+			Period:   Duration(t.Period),
+			Deadline: Duration(t.Deadline),
+			Offset:   Duration(t.Offset),
+			Sporadic: t.Sporadic,
+			Versions: []VersionSpec{{WCET: Duration(t.WCET)}},
+		})
+	}
+	return s
+}
+
+// TaskSet flattens the spec into the descriptive model the schedulability
+// analyses consume: every task becomes an independent sporadic/periodic
+// task. Data-activated graph nodes inherit the smallest period and deadline
+// of their root ancestors (the conservative decomposition core.App.resolve
+// applies at Start); each task's WCET is the maximum over its versions.
+// It fails when a task has no WCET information or no root ancestor.
+func (s *Spec) TaskSet() (*taskset.Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	preds := s.predIndices()
+	out := &taskset.Set{Tasks: make([]taskset.Task, 0, len(s.Tasks))}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		var wcet time.Duration
+		for vi := range t.Versions {
+			if w := t.Versions[vi].WCET.Std(); w > wcet {
+				wcet = w
+			}
+		}
+		if wcet <= 0 {
+			return nil, fmt.Errorf("spec: task %q has no WCET; cannot derive an analysis task set", t.Name)
+		}
+		period := t.Period.Std()
+		deadline := t.Deadline.Std()
+		if period == 0 {
+			rp, rd := s.rootTiming(i, preds, make([]bool, len(s.Tasks)))
+			if rp == 0 {
+				return nil, fmt.Errorf("spec: task %q is aperiodic with no periodic root ancestor; cannot derive an analysis task set", t.Name)
+			}
+			period = rp
+			if deadline == 0 {
+				deadline = rd
+			}
+		}
+		if deadline == 0 {
+			deadline = period // implicit
+		}
+		out.Tasks = append(out.Tasks, taskset.Task{
+			ID:       i,
+			Name:     t.Name,
+			Period:   period,
+			Deadline: deadline,
+			Offset:   t.Offset.Std(),
+			WCET:     wcet,
+			Sporadic: t.Sporadic,
+		})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: derived task set invalid: %w", err)
+	}
+	return out, nil
+}
+
+// OfflineSpecs maps the application onto the off-line synthesiser's input
+// (offline.Synthesize): spec task i becomes offline spec i — matching the
+// TID assignment of Build, as the synthesiser requires — with predecessor
+// indices derived from the connected channels and accelerator names
+// resolved to indices.
+func (s *Spec) OfflineSpecs() ([]offline.TaskSpec, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	preds := s.predIndices()
+	out := make([]offline.TaskSpec, 0, len(s.Tasks))
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		versions := make([]offline.VersionSpec, 0, len(t.Versions))
+		for vi := range t.Versions {
+			v := &t.Versions[vi]
+			accel := offline.NoAccelerator
+			if v.Accel != "" {
+				accel = int(s.AccelID(v.Accel))
+			}
+			if v.WCET <= 0 {
+				return nil, fmt.Errorf("spec: task %q version %d has no WCET; cannot synthesize off-line", t.Name, vi)
+			}
+			versions = append(versions, offline.VersionSpec{
+				WCET:   v.WCET.Std(),
+				Accel:  accel,
+				Energy: v.Energy,
+			})
+		}
+		out = append(out, offline.TaskSpec{
+			Name:     t.Name,
+			Period:   t.Period.Std(),
+			Deadline: t.Deadline.Std(),
+			Versions: versions,
+			Preds:    preds[i],
+		})
+	}
+	return out, nil
+}
+
+// predIndices derives, per task index, the de-duplicated predecessor task
+// indices from the connected channels.
+func (s *Spec) predIndices() [][]int {
+	idx := make(map[string]int, len(s.Tasks))
+	for i := range s.Tasks {
+		idx[s.Tasks[i].Name] = i
+	}
+	preds := make([][]int, len(s.Tasks))
+	for i := range s.Channels {
+		c := &s.Channels[i]
+		if c.Src == "" || c.Dst == "" {
+			continue
+		}
+		si, di := idx[c.Src], idx[c.Dst]
+		dup := false
+		for _, p := range preds[di] {
+			if p == si {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			preds[di] = append(preds[di], si)
+		}
+	}
+	return preds
+}
+
+// rootTiming walks back through predecessors and returns the smallest
+// period among periodic/sporadic root ancestors and the matching effective
+// deadline (explicit, else the period).
+func (s *Spec) rootTiming(i int, preds [][]int, seen []bool) (time.Duration, time.Duration) {
+	if seen[i] {
+		return 0, 0
+	}
+	seen[i] = true
+	var bestP, bestD time.Duration
+	consider := func(p, d time.Duration) {
+		if p > 0 && (bestP == 0 || p < bestP) {
+			bestP = p
+			bestD = d
+		}
+	}
+	for _, pi := range preds[i] {
+		t := &s.Tasks[pi]
+		if t.Period > 0 {
+			d := t.Deadline.Std()
+			if d == 0 {
+				d = t.Period.Std()
+			}
+			consider(t.Period.Std(), d)
+		} else {
+			consider(s.rootTiming(pi, preds, seen))
+		}
+	}
+	return bestP, bestD
+}

@@ -1,0 +1,302 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+)
+
+// Builder constructs a Spec fluently. Unlike the imperative Table-1 calls,
+// builder methods never return errors: problems accumulate and surface
+// once, joined, from Err, Spec or Build — so an application reads as one
+// chained description instead of a wall of per-call checks:
+//
+//	app, err := spec.NewApp("pipeline").
+//		Task("cam").Period(33*time.Millisecond).
+//		Version(grab, core.VSelect{WCET: 2 * time.Millisecond}).
+//		ChanTo("detect", 4).
+//		Task("detect").
+//		Version(detectGPU, core.VSelect{WCET: 9 * time.Millisecond}).OnAccel("gpu").
+//		Version(detectCPU, core.VSelect{WCET: 21 * time.Millisecond}).
+//		Build(cfg, env)
+//
+// Forward references are legal: ChanTo may name a task declared later;
+// names resolve when the Spec is validated.
+type Builder struct {
+	s    Spec
+	errs []error
+}
+
+// NewApp starts a fluent application description; an optional single
+// argument names it.
+func NewApp(name ...string) *Builder {
+	b := &Builder{}
+	if len(name) > 0 {
+		b.s.Name = name[0]
+	}
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("spec: "+format, args...))
+}
+
+// Err returns every error accumulated so far, joined; nil when clean.
+func (b *Builder) Err() error { return errors.Join(b.errs...) }
+
+// Spec validates the accumulated description and returns it. The builder
+// remains usable; the returned Spec is a snapshot copy.
+func (b *Builder) Spec() (*Spec, error) {
+	if err := b.Err(); err != nil {
+		return nil, err
+	}
+	out := b.s
+	out.Accels = append([]AccelSpec(nil), b.s.Accels...)
+	out.Channels = append([]ChannelSpec(nil), b.s.Channels...)
+	out.Tasks = make([]TaskSpec, len(b.s.Tasks))
+	for i := range b.s.Tasks {
+		out.Tasks[i] = b.s.Tasks[i]
+		out.Tasks[i].Versions = append([]VersionSpec(nil), b.s.Tasks[i].Versions...)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Build finalises the description and instantiates it on env — accumulated
+// builder errors and validation errors are reported together.
+func (b *Builder) Build(cfg core.Config, env rt.Env) (*core.App, error) {
+	s, err := b.Spec() // validates
+	if err != nil {
+		return nil, err
+	}
+	return s.build(cfg, env)
+}
+
+// Accel declares a hardware accelerator. Declaring the same name twice is
+// harmless (OnAccel auto-declares).
+func (b *Builder) Accel(name string) *Builder {
+	if name == "" {
+		b.fail("accelerator needs a name")
+		return b
+	}
+	if b.s.AccelID(name) == core.NoAccel {
+		b.s.Accels = append(b.s.Accels, AccelSpec{Name: name})
+	}
+	return b
+}
+
+// Channel declares a free-standing FIFO channel and returns the CID it will
+// have at Build (assignment is positional, so the ID is known immediately —
+// version bodies may capture it). Connect it to tasks with Connect, or
+// leave it unconnected for direct Push/Pop use.
+func (b *Builder) Channel(name string, capacity int) core.CID {
+	if name == "" {
+		b.fail("channel needs a name")
+		return -1
+	}
+	if b.s.ChannelID(name) >= 0 {
+		b.fail("duplicate channel name %q", name)
+		return -1
+	}
+	if capacity < 0 {
+		b.fail("channel %q: negative capacity %d", name, capacity)
+		capacity = 0
+	}
+	b.s.Channels = append(b.s.Channels, ChannelSpec{Name: name, Capacity: capacity})
+	return core.CID(len(b.s.Channels) - 1)
+}
+
+// Connect makes channel c a precedence edge from src to dst (task names;
+// forward references allowed).
+func (b *Builder) Connect(src, dst string, c core.CID) *Builder {
+	return b.ConnectDelayed(src, dst, c, 0)
+}
+
+// ConnectDelayed is Connect with `delay` initial tokens pre-seeded on the
+// edge (permits feedback cycles).
+func (b *Builder) ConnectDelayed(src, dst string, c core.CID, delay int) *Builder {
+	if int(c) < 0 || int(c) >= len(b.s.Channels) {
+		b.fail("connect %s->%s: no channel %d", src, dst, c)
+		return b
+	}
+	ch := &b.s.Channels[c]
+	if ch.Src != "" || ch.Dst != "" {
+		b.fail("channel %q already connects %s->%s", ch.Name, ch.Src, ch.Dst)
+		return b
+	}
+	ch.Src, ch.Dst, ch.Delay = src, dst, delay
+	return b
+}
+
+// Task starts (or re-opens) the description of the named task and returns
+// its fluent sub-builder. Re-opening an existing name is an error, but the
+// chain stays usable.
+func (b *Builder) Task(name string) *TaskBuilder {
+	if name == "" {
+		b.fail("task needs a name")
+		return &TaskBuilder{b: b, i: -1}
+	}
+	if b.s.TaskID(name) >= 0 {
+		b.fail("duplicate task name %q", name)
+		return &TaskBuilder{b: b, i: int(b.s.TaskID(name))}
+	}
+	b.s.Tasks = append(b.s.Tasks, TaskSpec{Name: name})
+	return &TaskBuilder{b: b, i: len(b.s.Tasks) - 1}
+}
+
+// TaskBuilder describes one task within a Builder chain. Its methods
+// return the TaskBuilder for task-scoped chaining; Task/Accel/Channel/
+// Connect/Err/Spec/Build hop back to the application scope.
+type TaskBuilder struct {
+	b *Builder
+	i int // index into b.s.Tasks; -1 after an unnamed task
+}
+
+func (t *TaskBuilder) spec() *TaskSpec {
+	if t.i < 0 {
+		return &TaskSpec{} // scratch: keeps a broken chain panic-free
+	}
+	return &t.b.s.Tasks[t.i]
+}
+
+// Period sets the minimal inter-arrival time.
+func (t *TaskBuilder) Period(d time.Duration) *TaskBuilder {
+	if d < 0 {
+		t.b.fail("task %q: negative period %v", t.spec().Name, d)
+		return t
+	}
+	t.spec().Period = Duration(d)
+	return t
+}
+
+// Deadline sets the relative deadline (zero keeps it implicit).
+func (t *TaskBuilder) Deadline(d time.Duration) *TaskBuilder {
+	if d < 0 {
+		t.b.fail("task %q: negative deadline %v", t.spec().Name, d)
+		return t
+	}
+	t.spec().Deadline = Duration(d)
+	return t
+}
+
+// Offset delays the first periodic release.
+func (t *TaskBuilder) Offset(d time.Duration) *TaskBuilder {
+	if d < 0 {
+		t.b.fail("task %q: negative offset %v", t.spec().Name, d)
+		return t
+	}
+	t.spec().Offset = Duration(d)
+	return t
+}
+
+// Core binds the task to a virtual core (partitioned mapping).
+func (t *TaskBuilder) Core(vc int) *TaskBuilder {
+	t.spec().Core = vc
+	return t
+}
+
+// Priority sets the static user priority (PriorityUser; lower = more
+// urgent).
+func (t *TaskBuilder) Priority(p int) *TaskBuilder {
+	t.spec().Priority = p
+	return t
+}
+
+// Sporadic marks the task as released by TaskActivate with minimum
+// inter-arrival time `min`.
+func (t *TaskBuilder) Sporadic(min time.Duration) *TaskBuilder {
+	t.spec().Sporadic = true
+	return t.Period(min)
+}
+
+// Version adds an implementation with the given entry point and
+// extra-functional properties. A nil fn is legal and gets a synthesized
+// body from props.WCET at Build.
+func (t *TaskBuilder) Version(fn core.TaskFunc, props core.VSelect) *TaskBuilder {
+	return t.VersionArgs(fn, nil, props)
+}
+
+// VersionArgs is Version with a static argument passed to fn on every job.
+func (t *TaskBuilder) VersionArgs(fn core.TaskFunc, args any, props core.VSelect) *TaskBuilder {
+	s := t.spec()
+	s.Versions = append(s.Versions, VersionSpec{
+		WCET:       Duration(props.WCET),
+		Energy:     props.EnergyBudget,
+		MinBattery: props.MinBattery,
+		Quality:    props.Quality,
+		Modes:      props.Modes,
+		Mask:       props.Mask,
+		Fn:         fn,
+		Args:       args,
+		GetBattery: props.GetBatteryStatus,
+	})
+	return t
+}
+
+// OnAccel binds the most recently added version to the named accelerator,
+// declaring the accelerator if needed.
+func (t *TaskBuilder) OnAccel(name string) *TaskBuilder {
+	s := t.spec()
+	if len(s.Versions) == 0 {
+		t.b.fail("task %q: OnAccel before any Version", s.Name)
+		return t
+	}
+	t.b.Accel(name)
+	s.Versions[len(s.Versions)-1].Accel = name
+	return t
+}
+
+// ChanTo declares a FIFO channel of the given capacity from this task to
+// dst (which may be declared later) and connects it. The channel is named
+// "src->dst"; parallel channels between the same pair get a "#n" suffix.
+func (t *TaskBuilder) ChanTo(dst string, capacity int) *TaskBuilder {
+	return t.ChanToDelayed(dst, capacity, 0)
+}
+
+// ChanToDelayed is ChanTo with `delay` initial tokens on the edge.
+func (t *TaskBuilder) ChanToDelayed(dst string, capacity, delay int) *TaskBuilder {
+	src := t.spec().Name
+	if t.i < 0 {
+		t.b.fail("ChanTo %q from unnamed task", dst)
+		return t
+	}
+	name := src + "->" + dst
+	for n := 2; t.b.s.ChannelID(name) >= 0; n++ {
+		name = fmt.Sprintf("%s->%s#%d", src, dst, n)
+	}
+	c := t.b.Channel(name, capacity)
+	t.b.ConnectDelayed(src, dst, c, delay)
+	return t
+}
+
+// Task hops to a new task description (application scope).
+func (t *TaskBuilder) Task(name string) *TaskBuilder { return t.b.Task(name) }
+
+// Accel declares an accelerator (application scope).
+func (t *TaskBuilder) Accel(name string) *Builder { return t.b.Accel(name) }
+
+// Channel declares a free-standing channel (application scope).
+func (t *TaskBuilder) Channel(name string, capacity int) core.CID {
+	return t.b.Channel(name, capacity)
+}
+
+// Connect connects a declared channel (application scope).
+func (t *TaskBuilder) Connect(src, dst string, c core.CID) *Builder {
+	return t.b.Connect(src, dst, c)
+}
+
+// Err reports the accumulated errors (application scope).
+func (t *TaskBuilder) Err() error { return t.b.Err() }
+
+// Spec finalises the description (application scope).
+func (t *TaskBuilder) Spec() (*Spec, error) { return t.b.Spec() }
+
+// Build finalises and instantiates the application (application scope).
+func (t *TaskBuilder) Build(cfg core.Config, env rt.Env) (*core.App, error) {
+	return t.b.Build(cfg, env)
+}

@@ -13,14 +13,15 @@
 //   - platform models (Odroid-XU4, Apalis TK1) and kernel latency models,
 //   - the off-line schedule synthesiser.
 //
-// Quick start (wall clock):
+// Quick start (wall clock, fluent builder):
 //
 //	env := yasmin.NewOSEnv()
-//	app, _ := yasmin.New(yasmin.Config{Workers: 2}, env)
-//	tid, _ := app.TaskDecl(yasmin.TData{Name: "tick", Period: 20 * time.Millisecond})
-//	app.VersionDecl(tid, func(x *yasmin.ExecCtx, _ any) error {
-//		return x.Compute(time.Millisecond)
-//	}, nil, yasmin.VSelect{})
+//	app, err := yasmin.NewApp("ticker").
+//		Task("tick").Period(20*time.Millisecond).
+//		Version(func(x *yasmin.ExecCtx, _ any) error {
+//			return x.Compute(time.Millisecond)
+//		}, yasmin.VSelect{}).
+//		Build(yasmin.Config{Workers: 2}, env)
 //	env.RunMain(func(c yasmin.Ctx) {
 //		app.Start(c)
 //		c.Sleep(time.Second)
@@ -28,18 +29,33 @@
 //		app.Cleanup(c)
 //	})
 //
+// Applications can equally be loaded from declarative JSON spec files —
+// tasks, versions (with WCETs, energy budgets, accelerator bindings) and
+// channels — and instantiated on any environment:
+//
+//	s, _ := yasmin.LoadSpecFile("app.json")
+//	app, _ := s.Build(yasmin.Config{Workers: 2}, env)
+//
+// The imperative Table-1 calls (TaskDecl, VersionDecl, ChannelDecl,
+// ChannelConnect, ...) remain available on App for fine-grained control;
+// the spec layer performs exactly those calls.
+//
 // See examples/ for the paper's diamond-graph listing, the Search & Rescue
 // drone application, off-line scheduling, and design-space exploration; see
 // cmd/ for the tools that regenerate the paper's Fig. 2, Table 2 and Fig. 4.
 package yasmin
 
 import (
+	"time"
+
 	"github.com/yasmin-rt/yasmin/internal/core"
 	"github.com/yasmin-rt/yasmin/internal/kernel"
 	"github.com/yasmin-rt/yasmin/internal/offline"
 	"github.com/yasmin-rt/yasmin/internal/platform"
 	"github.com/yasmin-rt/yasmin/internal/rt"
 	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin/internal/spec"
+	"github.com/yasmin-rt/yasmin/internal/taskset"
 )
 
 // Middleware types (paper Table 1 API).
@@ -100,10 +116,50 @@ const (
 
 	// NoAccel marks CPU-only versions.
 	NoAccel = core.NoAccel
+
+	// UnpinnedCore spawns environment threads without core affinity.
+	UnpinnedCore = rt.UnpinnedCore
 )
 
 // New creates a middleware instance on the given environment.
 func New(cfg Config, env Env) (*App, error) { return core.New(cfg, env) }
+
+// Declarative application descriptions (the spec layer): a serializable
+// AppSpec mirrors the whole Table-1 construction surface, and the fluent
+// Builder constructs one from code with accumulated (not per-call) errors.
+type (
+	// AppSpec is a complete, JSON-(de)serializable application description.
+	AppSpec = spec.Spec
+	// TaskSpec describes one task and its versions.
+	TaskSpec = spec.TaskSpec
+	// VersionSpec describes one implementation of a task.
+	VersionSpec = spec.VersionSpec
+	// ChannelSpec describes one FIFO channel and its endpoints.
+	ChannelSpec = spec.ChannelSpec
+	// AccelSpec describes one hardware accelerator.
+	AccelSpec = spec.AccelSpec
+	// Builder is the fluent, error-accumulating application constructor.
+	Builder = spec.Builder
+	// TaskBuilder is the task-scoped part of a Builder chain.
+	TaskBuilder = spec.TaskBuilder
+	// Duration is a human-readable JSON duration ("250ms") used in specs.
+	Duration = spec.Duration
+	// TaskSet is the flat descriptive task model used by the analyses and
+	// generators (bridged from specs via AppSpec.TaskSet).
+	TaskSet = taskset.Set
+)
+
+// Spec-layer constructors.
+var (
+	// NewApp starts a fluent application description.
+	NewApp = spec.NewApp
+	// LoadSpec parses and validates an application spec from JSON.
+	LoadSpec = spec.Load
+	// LoadSpecFile reads and validates an application spec file.
+	LoadSpecFile = spec.LoadFile
+	// FromTaskSet lifts a flat task set into an application spec.
+	FromTaskSet = spec.FromTaskSet
+)
 
 // Execution environments.
 type (
@@ -128,6 +184,10 @@ func NewOSEnv() *OSEnv { return rt.NewOSEnv() }
 
 // NewEngine creates a deterministic simulation engine.
 func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// SimTime converts a duration into the engine's virtual-time unit (for
+// Engine.Run horizons).
+func SimTime(d time.Duration) sim.Time { return sim.Time(d) }
 
 // NewSimEnv creates a virtual-time environment on an engine and platform;
 // wake may be nil for an idealised kernel or kernel.WakeFunc(model, rng)

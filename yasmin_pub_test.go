@@ -4,6 +4,7 @@ package yasmin_test
 // facade only, the way an importing project would.
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -149,6 +150,72 @@ func TestFacadeMultiVersionWithBattery(t *testing.T) {
 	}
 	if ran["rich"] == 0 || ran["cheap"] == 0 {
 		t.Fatalf("version mix = %v, want both versions used across the battery drop", ran)
+	}
+}
+
+func TestFacadeBuilderRun(t *testing.T) {
+	eng := yasmin.NewEngine(9)
+	env, err := yasmin.NewSimEnv(eng, yasmin.OdroidXU4(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := yasmin.NewApp("chain").
+		Task("src").Period(10*time.Millisecond).
+		Version(nil, yasmin.VSelect{WCET: time.Millisecond}).
+		ChanTo("sink", 4).
+		Task("sink").
+		Version(nil, yasmin.VSelect{WCET: 2 * time.Millisecond}).
+		Build(yasmin.Config{
+			Workers:       2,
+			WorkerCores:   []int{4, 5},
+			SchedulerCore: 6,
+		}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", -1, func(c yasmin.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		c.Sleep(100 * time.Millisecond)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(1 << 62); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"src", "sink"} {
+		if st := app.Recorder().Task(name); st == nil || st.Jobs < 9 {
+			t.Fatalf("task %s stats = %+v", name, st)
+		}
+	}
+	if err := app.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSpecJSON(t *testing.T) {
+	s, err := yasmin.LoadSpec(strings.NewReader(`{
+		"name": "two",
+		"channels": [{"name": "ab", "capacity": 2, "src": "a", "dst": "b"}],
+		"tasks": [
+			{"name": "a", "period": "20ms", "versions": [{"wcet": "1ms"}]},
+			{"name": "b", "versions": [{"wcet": "2ms"}]}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TaskID("b") != 1 {
+		t.Fatalf("TaskID(b) = %d", s.TaskID("b"))
+	}
+	set, err := s.TaskSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 || set.Tasks[1].Period != 20*time.Millisecond {
+		t.Fatalf("bridged set = %+v", set.Tasks)
 	}
 }
 
