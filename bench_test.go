@@ -7,7 +7,11 @@ package yasmin_test
 // `go test -bench=. -benchmem` regenerates every headline number.
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -88,6 +92,171 @@ func BenchmarkFig4SAR(b *testing.B) {
 		for _, r := range rows {
 			b.ReportMetric(100*r.FrameMissRatio, r.Policy+"/"+r.Versions+"-miss-%")
 		}
+	}
+}
+
+// --- Channel/topic data-plane throughput (wall clock, real host time) ---
+
+// chanBenchRow is one BENCH_channels.json record.
+type chanBenchRow struct {
+	Name                 string  `json:"name"`
+	Publishers           int     `json:"publishers"`
+	Subscribers          int     `json:"subscribers"`
+	Policy               string  `json:"policy"`
+	Published            int64   `json:"published"`
+	Delivered            int64   `json:"delivered"`
+	ElapsedNS            int64   `json:"elapsed_ns"`
+	MsgPerSec            float64 `json:"msgs_per_sec"`
+	DeliveriesPerPublish float64 `json:"deliveries_per_publish"`
+}
+
+// runTopicThroughput drives nPub publisher tasks and nSub subscriber tasks
+// through one topic on the wall-clock backend until at least b.N messages
+// were published, and returns publish/delivery counts. Fan-out shares one
+// buffered entry among all subscribers; fan-in >1 publishers exercises the
+// lock-free MPSC staging ring.
+func runTopicThroughput(b *testing.B, nPub, nSub int, policy core.OverflowPolicy) (published, delivered int64) {
+	b.Helper()
+	env := rt.NewOSEnv()
+	env.Spin = false
+	app, err := core.New(core.Config{
+		Workers: 4, Priority: core.PriorityRM, MaxPendingJobs: 256,
+	}, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := app.TopicDecl("bench", core.TopicOpts{Capacity: 256, Policy: policy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	goal := int64(b.N)
+	var pubCount, subCount atomic.Int64
+	payload := &chanBenchRow{} // one static payload: delivery must not copy it
+	for p := 0; p < nPub; p++ {
+		tid, err := app.TaskDecl(core.TData{Name: fmt.Sprintf("pub%d", p), Period: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+			for i := 0; i < 4096; i++ {
+				if pubCount.Load() >= goal {
+					return nil
+				}
+				if err := x.Publish(top, payload); err != nil {
+					return nil // Reject full: retry next activation
+				}
+				pubCount.Add(1)
+			}
+			return nil
+		}, nil, core.VSelect{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := app.TopicPub(tid, top); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for s := 0; s < nSub; s++ {
+		tid, err := app.TaskDecl(core.TData{Name: fmt.Sprintf("sub%d", s), Period: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+			for {
+				_, ok, err := x.Take(top)
+				if err != nil || !ok {
+					return err
+				}
+				subCount.Add(1)
+			}
+		}, nil, core.VSelect{}); err != nil {
+			b.Fatal(err)
+		}
+		if err := app.TopicSub(tid, top); err != nil {
+			b.Fatal(err)
+		}
+	}
+	env.RunMain(func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			b.Errorf("start: %v", err)
+			return
+		}
+		deadline := c.Now() + 30*time.Second
+		for pubCount.Load() < goal && c.Now() < deadline {
+			c.Sleep(2 * time.Millisecond)
+		}
+		// Let subscribers drain the tail before stopping.
+		for i := 0; i < 50 && policy == core.Reject &&
+			subCount.Load() < pubCount.Load()*int64(nSub); i++ {
+			c.Sleep(2 * time.Millisecond)
+		}
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	env.Wait()
+	if err := app.FirstError(); err != nil {
+		b.Fatal(err)
+	}
+	return pubCount.Load(), subCount.Load()
+}
+
+// BenchmarkChannels measures data-plane throughput for the three topic
+// shapes — the legacy 1→1 FIFO, 1→N fan-out over per-subscriber cursors,
+// and N→1 fan-in through the MPSC staging ring — and emits the results as
+// BENCH_channels.json for CI trend tracking. Fan-out delivers M times per
+// publish from ONE buffered entry: deliveries_per_publish ~= M with
+// allocation counts flat in M (no per-subscriber payload copies).
+func BenchmarkChannels(b *testing.B) {
+	// Keyed by shape name: the harness calls each sub-benchmark several
+	// times while calibrating b.N, and only the final (largest) run should
+	// land in the JSON artifact.
+	rowByName := map[string]chanBenchRow{}
+	shapes := []struct {
+		name       string
+		pubs, subs int
+		policy     core.OverflowPolicy
+	}{
+		{"1pub-1sub-reject", 1, 1, core.Reject},
+		{"1pub-4sub-reject-fanout", 1, 4, core.Reject},
+		{"4pub-1sub-reject-mpsc", 4, 1, core.Reject},
+		{"1pub-2sub-latest-conflate", 1, 2, core.Latest},
+	}
+	for _, tc := range shapes {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			start := time.Now()
+			published, delivered := runTopicThroughput(b, tc.pubs, tc.subs, tc.policy)
+			elapsed := time.Since(start)
+			if published == 0 {
+				b.Fatal("nothing published")
+			}
+			msgsPerSec := float64(published) / elapsed.Seconds()
+			b.ReportMetric(msgsPerSec, "msgs/s")
+			b.ReportMetric(float64(delivered)/float64(published), "deliveries/publish")
+			rowByName[tc.name] = chanBenchRow{
+				Name:                 tc.name,
+				Publishers:           tc.pubs,
+				Subscribers:          tc.subs,
+				Policy:               tc.policy.String(),
+				Published:            published,
+				Delivered:            delivered,
+				ElapsedNS:            elapsed.Nanoseconds(),
+				MsgPerSec:            msgsPerSec,
+				DeliveriesPerPublish: float64(delivered) / float64(published),
+			}
+		})
+	}
+	rows := make([]chanBenchRow, 0, len(shapes))
+	for _, tc := range shapes {
+		if row, ok := rowByName[tc.name]; ok {
+			rows = append(rows, row)
+		}
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_channels.json", out, 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -8,8 +8,10 @@
 //   - -set: a flat task set (JSON, as produced by yasmin-taskgen): each
 //     task becomes an independent periodic task with one version.
 //   - -app: a full application spec (JSON, see internal/spec): multi-version
-//     tasks, accelerators, and DAGs over FIFO channels; function-less
-//     versions get synthesized bodies from their WCETs. Under -mapping
+//     tasks, accelerators, DAGs over FIFO channels, and pub-sub topics
+//     (N→M with overflow policies; per-topic delivery/drop counters are
+//     reported after the run); function-less versions get synthesized
+//     bodies from their WCETs. Under -mapping
 //     partitioned, explicit "core" pins in the spec are respected; a spec
 //     with no pins is first-fit bin-packed.
 //
@@ -226,6 +228,18 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 	fmt.Printf("# %s · %s · %d workers · %s/%s/%s · U=%.2f · horizon %v · seed %d\n",
 		name, pl.Name, workers, mapping, priority, selectM,
 		set.TotalUtilization(), horizon, seed)
+	if len(s.Topics) > 0 {
+		for i := range s.Topics {
+			tp := &s.Topics[i]
+			pol := tp.Policy
+			if pol == "" {
+				pol = "reject"
+			}
+			fmt.Printf("# topic %-12s cap=%-3d policy=%-11s prio=%-2d pubs=%d subs=%d dropped=%d\n",
+				tp.Name, tp.Capacity, pol, tp.Priority, len(tp.Pubs), len(tp.Subs),
+				app.TopicDropped(s.TopicID(tp.Name)))
+		}
+	}
 	if err := app.Recorder().WriteSummary(os.Stdout); err != nil {
 		return err
 	}

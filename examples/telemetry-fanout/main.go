@@ -1,0 +1,218 @@
+// Telemetry-fanout demonstrates the typed pub-sub messaging layer on a
+// deterministic simulated platform: topics connecting N publishers to M
+// subscribers with per-topic priority, capacity and overflow policy,
+// accessed through compile-time-typed ports.
+//
+// The application models a small vehicle computer:
+//
+//   - 1→N fan-out: an IMU task publishes sensor readings on "imu"
+//     (Latest/conflating, capacity 1). Two subscribers at very different
+//     rates share the one buffered reading — the 100 Hz stabiliser always
+//     sees the freshest sample, the 5 Hz logger conflates the ~20 samples
+//     published in between down to the newest. No per-subscriber copies.
+//   - N→1 fan-in: four zone sensors publish events into "events"
+//     (DropOldest, capacity 16) and rare alarms into "alerts" (Reject,
+//     capacity 4, priority 0). One aggregator drains both subscriptions
+//     with TakeAny, which honours topic priority: alerts always leave the
+//     queue before bulk events.
+//
+// Everything runs in virtual time under SimEnv, so the output is identical
+// on every run — `go run ./examples/telemetry-fanout` prints a reproducible
+// trace of the delivery behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/yasmin-rt/yasmin"
+)
+
+// Reading is an IMU sample.
+type Reading struct {
+	Seq  int64
+	Roll float64
+}
+
+// Event is a zone-sensor report.
+type Event struct {
+	Zone int
+	Seq  int64
+	Warn bool
+}
+
+func main() {
+	b := yasmin.NewApp("telemetry-fanout")
+
+	// Topics first: channels and topics share the positional CID space.
+	imu := b.Topic("imu", yasmin.TopicOpts{Capacity: 1, Policy: yasmin.Latest, Priority: 1})
+	events := b.Topic("events", yasmin.TopicOpts{Capacity: 16, Policy: yasmin.DropOldest, Priority: 5})
+	alerts := b.Topic("alerts", yasmin.TopicOpts{Capacity: 4, Policy: yasmin.Reject, Priority: 0})
+
+	// Typed ports over the raw CIDs: direction and element type checked at
+	// compile time, captured by the version closures below.
+	imuOut := yasmin.PubOf[Reading](imu)
+	imuStab := yasmin.SubOf[Reading](imu)
+	imuLog := yasmin.SubOf[Reading](imu)
+	evOut := yasmin.PubOf[Event](events)
+	alOut := yasmin.PubOf[Event](alerts)
+
+	// --- 1→N: IMU at 1 kHz, stabiliser at 100 Hz, logger at 5 Hz. ---
+	var published int64
+	b.Task("imu").Period(time.Millisecond).
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			if err := x.Compute(20 * time.Microsecond); err != nil {
+				return err
+			}
+			published++
+			return yasmin.Send(x, imuOut, Reading{Seq: published, Roll: float64(published) / 1000})
+		}, yasmin.VSelect{}).
+		Publishes("imu")
+
+	var stabTaken, stabGaps int64
+	var stabLast int64
+	b.Task("stabiliser").Period(10 * time.Millisecond).
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			if err := x.Compute(100 * time.Microsecond); err != nil {
+				return err
+			}
+			r, ok, err := yasmin.Recv(x, imuStab)
+			if err != nil || !ok {
+				return err
+			}
+			stabTaken++
+			if stabLast != 0 && r.Seq != stabLast+1 {
+				stabGaps++ // conflation skipped samples — expected at 100 Hz vs 1 kHz
+			}
+			stabLast = r.Seq
+			return nil
+		}, yasmin.VSelect{}).
+		Subscribes("imu")
+
+	var logTaken int64
+	var logSeqs []int64
+	b.Task("logger").Period(200 * time.Millisecond).
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			if err := x.Compute(500 * time.Microsecond); err != nil {
+				return err
+			}
+			r, ok, err := yasmin.Recv(x, imuLog)
+			if err != nil || !ok {
+				return err
+			}
+			logTaken++
+			logSeqs = append(logSeqs, r.Seq)
+			return nil
+		}, yasmin.VSelect{}).
+		Subscribes("imu")
+
+	// --- N→1: four zone sensors into one aggregator. ---
+	for zone := 0; zone < 4; zone++ {
+		zone := zone
+		var seq int64
+		b.Task(fmt.Sprintf("zone%d", zone)).Period(25 * time.Millisecond).
+			Offset(time.Duration(zone) * time.Millisecond).
+			Version(func(x *yasmin.ExecCtx, _ any) error {
+				if err := x.Compute(50 * time.Microsecond); err != nil {
+					return err
+				}
+				seq++
+				// Every 8th report of zone 3 is an alarm: it goes on the
+				// high-priority Reject topic instead of the bulk stream.
+				if zone == 3 && seq%8 == 0 {
+					return yasmin.Send(x, alOut, Event{Zone: zone, Seq: seq, Warn: true})
+				}
+				return yasmin.Send(x, evOut, Event{Zone: zone, Seq: seq})
+			}, yasmin.VSelect{}).
+			Publishes("events", "alerts")
+	}
+
+	var bulk, warned int64
+	var alertFirst = true
+	lastZoneSeq := map[int]int64{}
+	orderOK := true
+	b.Task("aggregator").Period(50 * time.Millisecond).
+		Version(func(x *yasmin.ExecCtx, _ any) error {
+			if err := x.Compute(200 * time.Microsecond); err != nil {
+				return err
+			}
+			seenBulkThisJob := false
+			for {
+				from, v, ok, err := x.TakeAny() // all subscriptions, priority order
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				e := v.(Event)
+				if from == alerts {
+					warned++
+					// Priority: an alert must never come out after a bulk
+					// event within the same drain.
+					if seenBulkThisJob {
+						alertFirst = false
+					}
+				} else {
+					bulk++
+					seenBulkThisJob = true
+					// Per-publisher FIFO: each zone's sequence numbers
+					// arrive strictly increasing.
+					if last := lastZoneSeq[e.Zone]; e.Seq <= last {
+						orderOK = false
+					}
+					lastZoneSeq[e.Zone] = e.Seq
+				}
+			}
+		}, yasmin.VSelect{}).
+		Subscribes("events", "alerts")
+
+	// Run for 2 simulated seconds on the Odroid-XU4 model.
+	eng := yasmin.NewEngine(1)
+	env, err := yasmin.NewSimEnv(eng, yasmin.OdroidXU4(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app, err := b.Build(yasmin.Config{
+		Workers:     4,
+		WorkerCores: []int{4, 5, 6, 7}, SchedulerCore: 0,
+		Priority:   yasmin.PriorityRM,
+		Preemption: true,
+	}, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.Spawn("main", yasmin.UnpinnedCore, func(c yasmin.Ctx) {
+		if err := app.Start(c); err != nil {
+			log.Println("start:", err)
+			return
+		}
+		c.Sleep(2 * time.Second)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(yasmin.SimTime(10 * time.Second)); err != nil {
+		log.Fatal(err)
+	}
+	if err := app.FirstError(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== 1→N fan-out: imu (Latest, cap 1) ===")
+	fmt.Printf("published=%d  stabiliser took=%d (gaps=%d: conflation at 100 Hz)  logger took=%d\n",
+		published, stabTaken, stabGaps, logTaken)
+	fmt.Printf("logger saw seqs %v — one shared buffer entry, each subscriber its own cursor\n", logSeqs)
+	fmt.Printf("conflated (overwritten) samples: %d\n", app.TopicDropped(imu))
+
+	fmt.Println("\n=== N→1 fan-in: events (DropOldest) + alerts (Reject, priority 0) ===")
+	fmt.Printf("aggregated bulk=%d  alerts=%d  per-zone FIFO order intact=%v  alerts drained first=%v\n",
+		bulk, warned, orderOK, alertFirst)
+
+	for _, name := range []string{"imu", "stabiliser", "logger", "aggregator"} {
+		st := app.Recorder().Task(name)
+		min, max, avg := st.Response.Summary()
+		fmt.Printf("%-11s jobs=%-5d misses=%d response <%v, %v, %v>\n",
+			name, st.Jobs, st.Misses, min, max, avg)
+	}
+}

@@ -37,14 +37,14 @@ type App struct {
 
 	mu rt.Lock // protects all mutable state below
 
-	tasks     []task
-	ntasks    int
-	accels    []accel
-	naccels   int
-	channels  []channel
-	nchannels int
-	edges     []edge
-	nedges    int
+	tasks   []task
+	ntasks  int
+	accels  []accel
+	naccels int
+	topics  []topic // channels and pub-sub topics; one CID space
+	ntopics int
+	edges   []edge
+	nedges  int
 
 	jobPool  []job
 	freeJobs []int
@@ -102,7 +102,7 @@ func New(cfg Config, env rt.Env) (*App, error) {
 	for i := range a.accels {
 		a.accels[i].waiters = make([]*job, 0, cfg.MaxPendingJobs)
 	}
-	a.channels = make([]channel, cfg.MaxChannels)
+	a.topics = make([]topic, cfg.MaxChannels)
 	a.edges = make([]edge, cfg.MaxChannels)
 	a.jobPool = make([]job, cfg.MaxPendingJobs)
 	a.freeJobs = make([]int, 0, cfg.MaxPendingJobs)
@@ -134,7 +134,7 @@ func New(cfg Config, env rt.Env) (*App, error) {
 func (a *App) Init() {
 	a.ntasks = 0
 	a.naccels = 0
-	a.nchannels = 0
+	a.ntopics = 0
 	a.nedges = 0
 	a.freeJobs = a.freeJobs[:0]
 	for i := range a.jobPool {
@@ -156,8 +156,8 @@ func (a *App) Env() rt.Env { return a.env }
 // NumTasks returns the number of declared tasks.
 func (a *App) NumTasks() int { return a.ntasks }
 
-// NumChannels returns the number of declared channels.
-func (a *App) NumChannels() int { return a.nchannels }
+// NumChannels returns the number of declared channels and topics.
+func (a *App) NumChannels() int { return a.ntopics }
 
 // NumAccels returns the number of declared accelerators.
 func (a *App) NumAccels() int { return a.naccels }
@@ -312,6 +312,8 @@ func (a *App) HwAccelUse(t TID, v VID, h HID) error {
 // ChannelDecl declares a FIFO channel of the given capacity —
 // yas_channel_decl. Capacity zero declares a pure precedence channel (the
 // paper's size-0 fork->left channel): it carries activation tokens only.
+// A channel is implemented as a Reject-policy topic with a single anonymous
+// cursor, so Push/Pop and Publish/Take interoperate on the same CID.
 func (a *App) ChannelDecl(name string, capacity int) (CID, error) {
 	if a.started.Load() {
 		return -1, ErrStarted
@@ -319,22 +321,7 @@ func (a *App) ChannelDecl(name string, capacity int) (CID, error) {
 	if capacity < 0 {
 		return -1, fmt.Errorf("core: channel %s: negative capacity", name)
 	}
-	if a.nchannels == len(a.channels) {
-		return -1, fmt.Errorf("%w: MaxChannels=%d", ErrTooMany, len(a.channels))
-	}
-	id := CID(a.nchannels)
-	ch := &a.channels[a.nchannels]
-	ch.id = id
-	ch.name = name
-	ch.cap = capacity
-	if cap(ch.buf) < capacity {
-		ch.buf = make([]any, capacity)
-	} else {
-		ch.buf = ch.buf[:capacity]
-	}
-	ch.head, ch.n = 0, 0
-	a.nchannels++
-	return id, nil
+	return a.declTopic(name, TopicOpts{Capacity: capacity, Policy: Reject})
 }
 
 // ChannelConnect connects src to dst through channel c —
@@ -375,7 +362,7 @@ func (a *App) connect(src, dst TID, c CID, delay int) error {
 	if src == dst {
 		return fmt.Errorf("core: channel self-loop on task %d", src)
 	}
-	if int(c) < 0 || int(c) >= a.nchannels {
+	if int(c) < 0 || int(c) >= a.ntopics {
 		return fmt.Errorf("core: no channel %d", c)
 	}
 	if a.nedges == len(a.edges) {
@@ -486,6 +473,7 @@ func (a *App) resolve() error {
 		t.everActivated = false
 		t.jobSeq = 0
 	}
+	a.resolveTopics()
 	return nil
 }
 
@@ -607,7 +595,7 @@ func (a *App) allocJob() *job {
 		panic(fmt.Sprintf("core: allocJob handing out live job %d (state=%d, task=%v)",
 			idx, j.state, j.t != nil))
 	}
-	*j = job{poolIdx: idx, worker: -1, accel: NoAccel}
+	*j = job{poolIdx: idx, worker: -1, accel: NoAccel, heapIdx: -1}
 	return j
 }
 

@@ -131,9 +131,11 @@ func (x *ExecCtx) AccelSection(d time.Duration) error {
 		return x.Compute(d)
 	}
 	scaled := x.accelScaled(d)
-	if !x.app.cfg.AsyncAccel {
+	if !x.app.cfg.AsyncAccel || x.app.cfg.Mapping == MappingOffline {
 		// Synchronous: the worker is pinned down; the section is not
-		// preemptible (a signal cannot stop a running GPU kernel).
+		// preemptible (a signal cannot stop a running GPU kernel). The
+		// offline dispatcher has no detach/rejoin handshake, so it is
+		// always synchronous — the table accounts for the section anyway.
 		x.c.Charge(scaled)
 		x.j.computed += d
 		return nil
@@ -161,6 +163,18 @@ func (x *ExecCtx) accelScaled(d time.Duration) time.Duration {
 // asyncAccelSection releases the CPU worker, waits out the accelerator time
 // off-CPU, then rejoins the worker through its resume stack.
 func (x *ExecCtx) asyncAccelSection(scaled, nominal time.Duration) error {
+	if err := x.detachedWait(scaled); err != nil {
+		return err
+	}
+	x.j.computed += nominal
+	return x.rejoinWorker()
+}
+
+// detachedWait hands the CPU worker back (wakeAsyncFree) and waits out d on
+// the fiber, off any CPU. Stale preemption interrupts must not shorten the
+// wait: the sleep is re-armed until the full duration elapsed. The caller
+// must rejoinWorker() before touching middleware state again.
+func (x *ExecCtx) detachedWait(d time.Duration) error {
 	a := x.app
 	j := x.j
 	a.mu.Lock(x.c)
@@ -171,18 +185,22 @@ func (x *ExecCtx) asyncAccelSection(scaled, nominal time.Duration) error {
 	a.mu.Unlock(x.c)
 	w.th.Unpark()
 
-	// The fiber now represents the accelerator execution: off any CPU.
-	// Stale preemption interrupts must not shorten the GPU time: re-arm
-	// the sleep until the full section elapsed.
-	until := x.c.Now() + scaled
+	until := x.c.Now() + d
 	for x.c.Now() < until {
 		if intr := x.c.SleepUntil(until); intr && a.terminating.Load() {
 			return ErrTerminated
 		}
 	}
-	j.computed += nominal
+	return nil
+}
 
-	// Re-acquire a CPU: mark resumable and wake our worker.
+// rejoinWorker re-acquires a CPU after detachedWait: the job becomes
+// resumable on its worker's stack, competing on priority with the queue —
+// an idle worker is woken, a less urgent running job is preempted.
+func (x *ExecCtx) rejoinWorker() error {
+	a := x.app
+	j := x.j
+	w := a.workers[j.worker]
 	a.mu.Lock(x.c)
 	j.state = jobAccelResumed
 	wake := w.idle
@@ -214,52 +232,203 @@ func (x *ExecCtx) asyncAccelSection(scaled, nominal time.Duration) error {
 	}
 }
 
-// Push appends a value to a FIFO channel — the channel_push macro. It fails
-// when the channel is full (static capacity, Table 1).
-func (x *ExecCtx) Push(c CID, v any) error {
+// Sleep suspends the job for at least d of virtual or wall-clock time
+// WITHOUT consuming modelled CPU work (contrast Compute) and WITHOUT
+// holding the CPU: the worker is released for the duration (the same
+// detach/rejoin path as asynchronous accelerator sections), so any other
+// ready job — more or less urgent — runs meanwhile. On wake the job
+// re-acquires a CPU by priority, so the actual suspension can exceed d
+// under load. Returns ErrTerminated on shutdown. Aperiodic servers and
+// polling subscribers idle with Sleep so waiting burns neither budget nor
+// a core.
+func (x *ExecCtx) Sleep(d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if x.app.cfg.Mapping == MappingOffline {
+		// Time-triggered dispatch has no detach/rejoin handshake (the
+		// dispatcher treats any fiber wake as completion) and the table
+		// slot belongs to this job anyway: wait in place.
+		until := x.c.Now() + d
+		for x.c.Now() < until {
+			if intr := x.c.SleepUntil(until); intr && x.app.terminating.Load() {
+				return ErrTerminated
+			}
+		}
+		return nil
+	}
+	if err := x.detachedWait(d); err != nil {
+		return err
+	}
+	return x.rejoinWorker()
+}
+
+// Publish appends a value to a topic under its overflow policy — the
+// pub-sub generalisation of the channel_push macro. One buffered entry
+// serves every subscriber (per-subscriber cursors; no per-subscriber
+// copies). Under Reject a full buffer fails the publish (the Table-1
+// semantics); DropOldest and Latest never fail.
+//
+// On a topic with registered publishers, only those tasks may Publish. On
+// the wall-clock backend a multi-publisher topic is staged through a
+// lock-free MPSC ring, so concurrent publishers never serialise on the
+// middleware lock (the staging ring may transiently hold up to one extra
+// Capacity of entries).
+func (x *ExecCtx) Publish(c CID, v any) error {
 	a := x.app
-	if int(c) < 0 || int(c) >= a.nchannels {
+	if int(c) < 0 || int(c) >= a.ntopics {
 		return fmt.Errorf("core: no channel %d", c)
 	}
+	tp := &a.topics[c]
+	// Endpoint discipline: the pubs list is immutable while started, so the
+	// check needs no lock.
+	if len(tp.pubs) > 0 && !tp.isPub(x.j.t.id) {
+		return fmt.Errorf("core: task %s does not publish on topic %s", x.j.t.d.Name, tp.name)
+	}
+	costs := a.env.Costs()
+	opCost := costs.ChannelOp + time.Duration(len(tp.subs))*costs.TopicFanoutPerSub
+	if tp.staging != nil {
+		// Wall-clock fan-in fast path: no middleware lock.
+		x.c.Charge(opCost)
+		if tp.staging.Push(v) {
+			return nil
+		}
+		// Staging full: drain it under the lock, then retry the ring. The
+		// entry must go BEHIND anything still staged (our own earlier
+		// publishes may sit there — possibly stuck behind another
+		// producer's claimed-but-unwritten slot, which the drain cannot
+		// pass), so never publish directly into the buffer from here.
+		// Under Reject one drain+retry decides: still full means reject.
+		// DropOldest/Latest never fail: keep draining until the ring
+		// accepts — each round either the drain frees slots or the
+		// mid-write producer finishes, so this terminates.
+		for {
+			a.mu.Lock(x.c)
+			tp.drainStaging()
+			a.mu.Unlock(x.c)
+			if tp.staging.Push(v) {
+				return nil
+			}
+			if tp.opts.Policy == Reject {
+				return fmt.Errorf("core: channel %s full (%d)", tp.name, tp.opts.Capacity)
+			}
+			x.c.Yield()
+		}
+	}
 	a.mu.Lock(x.c)
-	x.c.Charge(a.env.Costs().ChannelOp)
-	ch := &a.channels[c]
-	ok := ch.cap == 0 || ch.push(v) // size-0 channels carry activations only
+	x.c.Charge(opCost)
+	ok := tp.publish(v)
 	a.mu.Unlock(x.c)
 	if !ok {
-		return fmt.Errorf("core: channel %s full (%d)", ch.name, ch.cap)
+		return fmt.Errorf("core: channel %s full (%d)", tp.name, tp.opts.Capacity)
 	}
 	return nil
 }
 
-// Pop removes the oldest value from a FIFO channel — the channel_pop macro.
-// It fails when the channel is empty: with graph activation semantics the
-// scheduler guarantees inputs are present, so an empty pop is a programming
-// error, not a blocking condition.
-func (x *ExecCtx) Pop(c CID) (any, error) {
+// cursorFor resolves which cursor a consuming call uses: the calling
+// task's subscription on a topic with registered subscribers, the shared
+// anonymous cursor otherwise (legacy channels). Caller holds the lock.
+func (x *ExecCtx) cursorFor(tp *topic) (*uint64, error) {
+	if len(tp.subs) == 0 {
+		return &tp.anon, nil
+	}
+	if s := tp.subFor(x.j.t.id); s != nil {
+		return &s.cursor, nil
+	}
+	return nil, fmt.Errorf("core: task %s does not subscribe to topic %s", x.j.t.d.Name, tp.name)
+}
+
+// Take removes the next value the calling task has not consumed from a
+// topic; ok is false when nothing is pending (no error — polling an empty
+// sensor stream is normal). Under Latest it returns the newest value and
+// skips everything older (conflation).
+func (x *ExecCtx) Take(c CID) (v any, ok bool, err error) {
 	a := x.app
-	if int(c) < 0 || int(c) >= a.nchannels {
-		return nil, fmt.Errorf("core: no channel %d", c)
+	if int(c) < 0 || int(c) >= a.ntopics {
+		return nil, false, fmt.Errorf("core: no channel %d", c)
 	}
 	a.mu.Lock(x.c)
 	x.c.Charge(a.env.Costs().ChannelOp)
-	ch := &a.channels[c]
-	v, ok := ch.pop()
+	tp := &a.topics[c]
+	tp.drainStaging()
+	cur, err := x.cursorFor(tp)
+	if err == nil {
+		v, ok = tp.take(cur)
+	}
 	a.mu.Unlock(x.c)
+	return v, ok, err
+}
+
+// TakeAny takes from the most urgent non-empty topic among cs — or, with no
+// arguments, among all topics the calling task subscribes to — in topic
+// priority order (lower Priority first, declaration order breaking ties).
+// This is consumer-side channel prioritization: an aggregator drains its
+// alarm stream before its bulk stream. Returns the topic the value came
+// from; ok is false when every topic is empty.
+func (x *ExecCtx) TakeAny(cs ...CID) (from CID, v any, ok bool, err error) {
+	a := x.app
+	a.mu.Lock(x.c)
+	x.c.Charge(a.env.Costs().ChannelOp)
+	if len(cs) == 0 {
+		cs = x.j.t.subTopics
+	}
+	for _, c := range cs {
+		if int(c) < 0 || int(c) >= a.ntopics {
+			a.mu.Unlock(x.c)
+			return -1, nil, false, fmt.Errorf("core: no channel %d", c)
+		}
+		tp := &a.topics[c]
+		tp.drainStaging()
+		cur, cerr := x.cursorFor(tp)
+		if cerr != nil {
+			a.mu.Unlock(x.c)
+			return -1, nil, false, cerr
+		}
+		if v, ok = tp.take(cur); ok {
+			a.mu.Unlock(x.c)
+			return c, v, true, nil
+		}
+	}
+	a.mu.Unlock(x.c)
+	return -1, nil, false, nil
+}
+
+// Push appends a value to a FIFO channel — the channel_push macro. It fails
+// when the channel is full (static capacity, Table 1). Push is Publish by
+// its Table-1 name; both work on any CID.
+func (x *ExecCtx) Push(c CID, v any) error { return x.Publish(c, v) }
+
+// Pop removes the oldest value from a FIFO channel — the channel_pop macro.
+// It fails when the channel is empty: with graph activation semantics the
+// scheduler guarantees inputs are present, so an empty pop is a programming
+// error, not a blocking condition. (Take is the polling variant that treats
+// empty as a normal outcome.)
+func (x *ExecCtx) Pop(c CID) (any, error) {
+	v, ok, err := x.Take(c)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
-		return nil, fmt.Errorf("core: channel %s empty", ch.name)
+		return nil, fmt.Errorf("core: channel %s empty", x.app.topics[c].name)
 	}
 	return v, nil
 }
 
-// ChannelLen returns the number of values buffered in a channel.
+// ChannelLen returns the number of values buffered for the calling task on
+// a channel or topic (its unconsumed backlog).
 func (x *ExecCtx) ChannelLen(c CID) (int, error) {
 	a := x.app
-	if int(c) < 0 || int(c) >= a.nchannels {
+	if int(c) < 0 || int(c) >= a.ntopics {
 		return 0, fmt.Errorf("core: no channel %d", c)
 	}
 	a.mu.Lock(x.c)
-	n := a.channels[c].len()
+	tp := &a.topics[c]
+	tp.drainStaging()
+	cur, err := x.cursorFor(tp)
+	var n int
+	if err == nil {
+		n = tp.backlog(*cur)
+	}
 	a.mu.Unlock(x.c)
-	return n, nil
+	return n, err
 }

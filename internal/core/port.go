@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// PortDir distinguishes the two endpoint directions of a topic.
+type PortDir int
+
+// Port directions.
+const (
+	// PubPort is an outbound endpoint: Send publishes through it.
+	PubPort PortDir = iota + 1
+	// SubPort is an inbound endpoint: Recv takes through it.
+	SubPort
+)
+
+func (d PortDir) String() string {
+	switch d {
+	case PubPort:
+		return "pub"
+	case SubPort:
+		return "sub"
+	default:
+		return fmt.Sprintf("PortDir(%d)", int(d))
+	}
+}
+
+// Port is a typed, directional handle on a topic: the compile-time face of
+// the pub-sub layer. The runtime moves `any` values (one shared buffer
+// entry per publish, whatever T is); a Port pins the element type at the
+// API boundary so Send and Recv are type-checked, and pins the direction so
+// a subscriber cannot accidentally publish through its inbound endpoint.
+//
+// Ports are plain values: capture them in version closures like CIDs.
+// Declare the endpoints (Builder Publishes/Subscribes, spec TopicSpec
+// pubs/subs, or App.TopicPub/TopicSub) and wrap the topic's CID:
+//
+//	frames := b.Topic("frames", yasmin.TopicOpts{Capacity: 1, Policy: yasmin.Latest})
+//	out := yasmin.PubOf[Frame](frames)   // in the camera task
+//	in := yasmin.SubOf[Frame](frames)    // in the detector task
+type Port[T any] struct {
+	c   CID
+	dir PortDir
+}
+
+// PubOf wraps topic c as a typed publish endpoint.
+func PubOf[T any](c CID) Port[T] { return Port[T]{c: c, dir: PubPort} }
+
+// SubOf wraps topic c as a typed subscribe endpoint.
+func SubOf[T any](c CID) Port[T] { return Port[T]{c: c, dir: SubPort} }
+
+// Topic returns the underlying topic ID.
+func (p Port[T]) Topic() CID { return p.c }
+
+// Dir returns the port direction.
+func (p Port[T]) Dir() PortDir { return p.dir }
+
+// Send publishes v through a typed publish port (generic functions cannot
+// be methods on ExecCtx, hence the free-function spelling).
+func Send[T any](x *ExecCtx, p Port[T], v T) error {
+	if p.dir != PubPort {
+		return fmt.Errorf("core: Send through a %v port on topic %d", p.dir, p.c)
+	}
+	return x.Publish(p.c, v)
+}
+
+// Recv takes the next pending value through a typed subscribe port; ok is
+// false when nothing is pending. A buffered value of a different dynamic
+// type (a stray untyped Publish on the same topic) is an error.
+func Recv[T any](x *ExecCtx, p Port[T]) (v T, ok bool, err error) {
+	if p.dir != SubPort {
+		return v, false, fmt.Errorf("core: Recv through a %v port on topic %d", p.dir, p.c)
+	}
+	raw, ok, err := x.Take(p.c)
+	if err != nil || !ok {
+		return v, ok, err
+	}
+	t, isT := raw.(T)
+	if !isT {
+		return v, false, fmt.Errorf("core: topic %d carries %T, port expects %T", p.c, raw, v)
+	}
+	return t, true, nil
+}

@@ -6,17 +6,17 @@ import "fmt"
 // priority (then FIFO). It is not itself synchronised: callers hold the
 // App's queue lock. Capacity is fixed at creation — pushing beyond it fails,
 // the static-allocation discipline of the paper.
+//
+// The heap is intrusive: each job carries its own heap slot in job.heapIdx
+// (-1 while not enqueued), so push/pop/fix/remove never touch a position
+// map — no allocation and no hashing on the scheduler hot path.
 type readyQueue struct {
 	heap []*job
 	n    int
-	pos  map[*job]int // heap index per job, for PIP re-ordering
 }
 
 func newReadyQueue(capacity int) *readyQueue {
-	return &readyQueue{
-		heap: make([]*job, capacity),
-		pos:  make(map[*job]int, capacity),
-	}
+	return &readyQueue{heap: make([]*job, capacity)}
 }
 
 func (q *readyQueue) len() int { return q.n }
@@ -31,15 +31,20 @@ func (q *readyQueue) opCost() int {
 	return levels + 1
 }
 
+// contains reports whether j currently sits in this queue's heap.
+func (q *readyQueue) contains(j *job) bool {
+	return j.heapIdx >= 0 && j.heapIdx < q.n && q.heap[j.heapIdx] == j
+}
+
 func (q *readyQueue) push(j *job) error {
 	if q.n == len(q.heap) {
 		return fmt.Errorf("core: ready queue full (%d)", q.n)
 	}
-	if _, dup := q.pos[j]; dup {
+	if q.contains(j) {
 		panic(fmt.Sprintf("core: job %d (seq %d) pushed twice", j.poolIdx, j.seq))
 	}
 	q.heap[q.n] = j
-	q.pos[j] = q.n
+	j.heapIdx = q.n
 	q.n++
 	q.up(q.n - 1)
 	return nil
@@ -60,10 +65,10 @@ func (q *readyQueue) pop() *job {
 	q.n--
 	if q.n > 0 {
 		q.heap[0] = q.heap[q.n]
-		q.pos[q.heap[0]] = 0
+		q.heap[0].heapIdx = 0
 	}
 	q.heap[q.n] = nil
-	delete(q.pos, j)
+	j.heapIdx = -1
 	if q.n > 0 {
 		q.down(0)
 	}
@@ -72,32 +77,31 @@ func (q *readyQueue) pop() *job {
 
 // fix restores heap order after j's priority changed (PIP boost).
 func (q *readyQueue) fix(j *job) {
-	i, ok := q.pos[j]
-	if !ok {
+	if !q.contains(j) {
 		return
 	}
-	q.up(i)
-	q.down(q.pos[j])
+	q.up(j.heapIdx)
+	q.down(j.heapIdx)
 }
 
 // remove extracts an arbitrary job (used when a job is pulled for an
 // accelerator waitlist).
 func (q *readyQueue) remove(j *job) bool {
-	i, ok := q.pos[j]
-	if !ok {
+	if !q.contains(j) {
 		return false
 	}
+	i := j.heapIdx
 	q.n--
 	last := q.heap[q.n]
 	q.heap[q.n] = nil
-	delete(q.pos, j)
+	j.heapIdx = -1
 	if i == q.n {
 		return true
 	}
 	q.heap[i] = last
-	q.pos[last] = i
+	last.heapIdx = i
 	q.up(i)
-	q.down(q.pos[last])
+	q.down(last.heapIdx)
 	return true
 }
 
@@ -132,6 +136,6 @@ func (q *readyQueue) down(i int) {
 
 func (q *readyQueue) swap(i, j int) {
 	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.pos[q.heap[i]] = i
-	q.pos[q.heap[j]] = j
+	q.heap[i].heapIdx = i
+	q.heap[j].heapIdx = j
 }

@@ -13,7 +13,10 @@ type VID int
 // HID identifies a declared hardware accelerator.
 type HID int
 
-// CID identifies a declared FIFO channel.
+// CID identifies a declared communication endpoint: a FIFO channel or a
+// pub-sub topic. Channels and topics share one ID space (and the
+// Config.MaxChannels budget); a legacy channel IS a 1-publisher/1-subscriber
+// Reject topic under the hood.
 type CID int
 
 // NoAccel marks a version that runs purely on the CPU.
@@ -129,6 +132,9 @@ type task struct {
 	jobSeq         int64
 	// staticPrio caches the RM/DM/user priority key.
 	staticPrio int64
+	// subTopics lists the topics this task subscribes to, sorted by topic
+	// priority then declaration order (resolved at Start; drives TakeAny).
+	subTopics []CID
 }
 
 // edge is a producer->consumer dependency created by ChannelConnect. The
@@ -203,6 +209,9 @@ type job struct {
 	computed time.Duration // accumulated Compute time (energy accounting)
 	err      error
 	poolIdx  int
+	// heapIdx is the job's slot in its ready queue's heap, -1 while not
+	// enqueued (intrusive index: no per-queue position map on the hot path).
+	heapIdx int
 }
 
 // before orders jobs by effective priority then FIFO.
@@ -223,34 +232,6 @@ type accel struct {
 	waiters []*job // priority-ordered, preallocated capacity
 }
 
-// channel is a statically sized FIFO (Table 1 channel_decl).
-type channel struct {
-	id   CID
-	name string
-	buf  []any
-	head int
-	n    int
-	cap  int
-}
-
-func (ch *channel) push(v any) bool {
-	if ch.n == ch.cap {
-		return false
-	}
-	ch.buf[(ch.head+ch.n)%ch.cap] = v
-	ch.n++
-	return true
-}
-
-func (ch *channel) pop() (any, bool) {
-	if ch.n == 0 {
-		return nil, false
-	}
-	v := ch.buf[ch.head]
-	ch.buf[ch.head] = nil
-	ch.head = (ch.head + 1) % ch.cap
-	ch.n--
-	return v, true
-}
-
-func (ch *channel) len() int { return ch.n }
+// The channel FIFO of Table 1 lives on as the degenerate topic: see
+// topic.go. ChannelDecl declares a topic with Reject overflow and a single
+// anonymous cursor, which behaves exactly like the paper's bounded FIFO.

@@ -180,8 +180,15 @@ type CostModel struct {
 	// DispatchIPI is the cost of kicking a remote core (inter-processor
 	// interrupt / futex wake crossing clusters).
 	DispatchIPI time.Duration
-	// ChannelOp is the cost of one FIFO channel push or pop.
+	// ChannelOp is the cost of one FIFO channel push or pop (also the base
+	// cost of a topic publish or take).
 	ChannelOp time.Duration
+	// TopicFanoutPerSub is the additional publish cost per registered
+	// subscriber of a topic: the per-cursor bookkeeping of fan-out delivery.
+	// Fan-out shares one buffered entry among all subscribers, so this is a
+	// cursor comparison, not a payload copy — an order of magnitude below
+	// ChannelOp.
+	TopicFanoutPerSub time.Duration
 }
 
 // Validate rejects negative costs.
@@ -204,6 +211,7 @@ func (cm *CostModel) Validate() error {
 		{"MallocJitterMax", cm.MallocJitterMax},
 		{"DispatchIPI", cm.DispatchIPI},
 		{"ChannelOp", cm.ChannelOp},
+		{"TopicFanoutPerSub", cm.TopicFanoutPerSub},
 	}
 	for _, c := range checks {
 		if c.d < 0 {
@@ -230,6 +238,7 @@ func DefaultCosts() CostModel {
 		MallocJitterMax:   6000 * time.Nanosecond,
 		DispatchIPI:       1800 * time.Nanosecond,
 		ChannelOp:         90 * time.Nanosecond,
+		TopicFanoutPerSub: 12 * time.Nanosecond,
 	}
 }
 

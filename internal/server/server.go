@@ -10,10 +10,11 @@
 // analysable share of the processor — the rest of the task set keeps its
 // guarantees regardless of the aperiodic load.
 //
-// Two classic flavours are provided: the polling server (unused budget is
-// lost at the end of the activation) and the deferrable server (a
-// bandwidth-preserving variant: the activation re-polls its queue until the
-// budget is exhausted, serving requests that arrive mid-activation).
+// Two classic flavours are provided: the polling server (an empty queue
+// ends the activation and the unused budget is lost) and the deferrable
+// server (a bandwidth-preserving variant: the activation stays open until
+// the end of its period, serving requests that arrive mid-window from the
+// budget it preserved while idle — idling sleeps, it never burns budget).
 package server
 
 import (
@@ -68,8 +69,14 @@ type Server struct {
 	budget time.Duration
 	period time.Duration
 
-	mu      sync.Mutex
+	mu sync.Mutex
+	// queue is a fixed-capacity ring: qhead is the oldest entry, qlen the
+	// count. The common pop (oldest request affordable) is O(1); only a
+	// head request too expensive for the remaining budget costs a shift —
+	// no reallocation or slice splice either way.
 	queue   []Request
+	qhead   int
+	qlen    int
 	dropped int64
 	served  int64
 
@@ -94,7 +101,7 @@ func New(app *core.App, name string, kind Kind, budget, period time.Duration, qu
 		kind:     kind,
 		budget:   budget,
 		period:   period,
-		queue:    make([]Request, 0, queueCap),
+		queue:    make([]Request, queueCap),
 		Response: trace.NewStat(name+"/response", false),
 	}
 	tid, err := app.TaskDecl(core.TData{Name: name, Period: period, Deadline: period})
@@ -125,12 +132,13 @@ func (s *Server) Submit(now time.Duration, req Request) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.queue) == cap(s.queue) {
+	if s.qlen == len(s.queue) {
 		s.dropped++
-		return fmt.Errorf("server: queue full (%d)", cap(s.queue))
+		return fmt.Errorf("server: queue full (%d)", len(s.queue))
 	}
 	req.submitted = now
-	s.queue = append(s.queue, req)
+	s.queue[(s.qhead+s.qlen)%len(s.queue)] = req
+	s.qlen++
 	return nil
 }
 
@@ -138,7 +146,7 @@ func (s *Server) Submit(now time.Duration, req Request) error {
 func (s *Server) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.qlen
 }
 
 // Served returns the number of completed requests.
@@ -155,40 +163,59 @@ func (s *Server) Dropped() int64 {
 	return s.dropped
 }
 
-// pop takes the oldest affordable request, or returns false.
+// pop takes the oldest affordable request, or returns false. The oldest
+// request is almost always affordable (ring head, O(1)); skipping over an
+// unaffordable head shifts the scanned prefix by one slot, still without
+// allocating.
 func (s *Server) pop(remaining time.Duration) (Request, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for i := range s.queue {
-		if s.queue[i].Cost <= remaining {
-			req := s.queue[i]
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			return req, true
+	n := len(s.queue)
+	for i := 0; i < s.qlen; i++ {
+		idx := (s.qhead + i) % n
+		if s.queue[idx].Cost > remaining {
+			continue
 		}
+		req := s.queue[idx]
+		// Close the gap towards the head (the scanned prefix is shorter
+		// than the unscanned tail in the common case).
+		for k := i; k > 0; k-- {
+			to := (s.qhead + k) % n
+			from := (s.qhead + k - 1) % n
+			s.queue[to] = s.queue[from]
+		}
+		s.queue[s.qhead] = Request{}
+		s.qhead = (s.qhead + 1) % n
+		s.qlen--
+		return req, true
 	}
 	return Request{}, false
 }
 
-// run is the server's periodic body: drain the queue within the budget.
+// run is the server's periodic body: serve queued requests within the
+// budget. Idle time never consumes budget OR CPU: a deferrable server
+// WAITS for late arrivals until its activation window closes with
+// ExecCtx.Sleep, which releases the worker for the duration — other tasks
+// of any priority run meanwhile — instead of burning budget in compute
+// slices as a spin-poll would.
 func (s *Server) run(x *core.ExecCtx, _ any) error {
 	remaining := s.budget
+	windowEnd := x.Release() + s.period
+	const poll = 100 * time.Microsecond
 	for {
 		req, ok := s.pop(remaining)
 		if !ok {
 			if s.kind == Polling {
-				return nil // polling: unused budget is lost
+				return nil // polling: an empty queue ends the activation
 			}
-			// Deferrable: requests may arrive while we still hold budget.
-			// Poll again after a short budget slice; give up when the
-			// slice would exceed the remaining budget.
-			const slice = 100 * time.Microsecond
-			if remaining < slice {
+			// Deferrable: the budget is preserved while idle; re-check the
+			// queue each poll interval until the window closes.
+			if x.Now()+poll >= windowEnd {
 				return nil
 			}
-			if err := x.Compute(slice); err != nil {
+			if err := x.Sleep(poll); err != nil {
 				return err
 			}
-			remaining -= slice
 			continue
 		}
 		if err := req.Fn(x); err != nil {

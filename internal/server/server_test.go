@@ -235,3 +235,58 @@ func TestQueueOverflowCounted(t *testing.T) {
 		t.Error("kind strings wrong")
 	}
 }
+
+// TestDeferrableIdleDoesNotStarveLowerPriority: with ONE worker and the
+// deferrable server as the most urgent task (RM, shortest period), its idle
+// window-wait must release the CPU — a lower-priority background task keeps
+// running (the old spin-poll implementation burned the budget; a naive
+// sleep would pin the worker for the whole period).
+func TestDeferrableIdleDoesNotStarveLowerPriority(t *testing.T) {
+	eng := sim.NewEngine(7)
+	env, err := rt.NewSimEnv(eng, platform.Generic(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := core.New(core.Config{
+		Workers: 1, Priority: core.PriorityRM, Preemption: true,
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(app, "srv", Deferrable, ms(3), ms(10), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := app.TaskDecl(core.TData{Name: "background", Period: ms(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.VersionDecl(bg, func(x *core.ExecCtx, _ any) error {
+		return x.Compute(ms(5))
+	}, nil, core.VSelect{}); err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		c.Sleep(ms(200))
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	st := app.Recorder().Task("background")
+	if st == nil || st.Jobs < 4 {
+		t.Fatalf("background task starved: %+v", st)
+	}
+	if st.Misses != 0 {
+		t.Errorf("background missed %d deadlines under an idle server", st.Misses)
+	}
+	_ = srv
+}

@@ -56,6 +56,11 @@ func (b *Builder) Spec() (*Spec, error) {
 	out := b.s
 	out.Accels = append([]AccelSpec(nil), b.s.Accels...)
 	out.Channels = append([]ChannelSpec(nil), b.s.Channels...)
+	out.Topics = append([]TopicSpec(nil), b.s.Topics...)
+	for i := range out.Topics {
+		out.Topics[i].Pubs = append([]string(nil), b.s.Topics[i].Pubs...)
+		out.Topics[i].Subs = append([]string(nil), b.s.Topics[i].Subs...)
+	}
 	out.Tasks = make([]TaskSpec, len(b.s.Tasks))
 	for i := range b.s.Tasks {
 		out.Tasks[i] = b.s.Tasks[i]
@@ -99,6 +104,12 @@ func (b *Builder) Channel(name string, capacity int) core.CID {
 		b.fail("channel needs a name")
 		return -1
 	}
+	if len(b.s.Topics) > 0 {
+		// CIDs are positional with channels before topics: a channel
+		// declared after a topic would shift the already-returned topic IDs.
+		b.fail("channel %q declared after a topic; declare channels first (IDs are positional)", name)
+		return -1
+	}
 	if b.s.ChannelID(name) >= 0 {
 		b.fail("duplicate channel name %q", name)
 		return -1
@@ -109,6 +120,48 @@ func (b *Builder) Channel(name string, capacity int) core.CID {
 	}
 	b.s.Channels = append(b.s.Channels, ChannelSpec{Name: name, Capacity: capacity})
 	return core.CID(len(b.s.Channels) - 1)
+}
+
+// Topic declares a pub-sub topic and returns the CID it will have at Build
+// (positional, channels first — so declare channels before topics). Attach
+// endpoints with Publishes/Subscribes on the task descriptions, and wrap
+// the CID in typed ports (core.PubOf / core.SubOf) for compile-time-checked
+// Send/Recv in version bodies.
+func (b *Builder) Topic(name string, opts core.TopicOpts) core.CID {
+	if name == "" {
+		b.fail("topic needs a name")
+		return -1
+	}
+	if b.s.TopicID(name) >= 0 || b.s.ChannelID(name) >= 0 {
+		b.fail("duplicate topic name %q", name)
+		return -1
+	}
+	if opts.Capacity < 1 {
+		b.fail("topic %q: capacity must be >= 1, got %d", name, opts.Capacity)
+		opts.Capacity = 1
+	}
+	policy := ""
+	if opts.Policy != core.Reject {
+		policy = opts.Policy.String() // Reject is the JSON default: omit it
+	}
+	b.s.Topics = append(b.s.Topics, TopicSpec{
+		Name:     name,
+		Capacity: opts.Capacity,
+		Policy:   policy,
+		Priority: opts.Priority,
+	})
+	return core.CID(len(b.s.Channels) + len(b.s.Topics) - 1)
+}
+
+// topicByName returns the TopicSpec or fails the builder.
+func (b *Builder) topicByName(verb, name string) *TopicSpec {
+	for i := range b.s.Topics {
+		if b.s.Topics[i].Name == name {
+			return &b.s.Topics[i]
+		}
+	}
+	b.fail("%s unknown topic %q; declare it with Topic first", verb, name)
+	return nil
 }
 
 // Connect makes channel c a precedence edge from src to dst (task names;
@@ -251,6 +304,45 @@ func (t *TaskBuilder) OnAccel(name string) *TaskBuilder {
 	return t
 }
 
+// Publishes registers this task as a publisher on the named topics
+// (declared earlier with Topic). The task's versions may then Publish/Send
+// on them; on the wall-clock backend multi-publisher topics fan in through
+// a lock-free MPSC ring.
+func (t *TaskBuilder) Publishes(topics ...string) *TaskBuilder {
+	name := t.spec().Name
+	if t.i < 0 {
+		t.b.fail("Publishes from unnamed task")
+		return t
+	}
+	for _, tn := range topics {
+		tp := t.b.topicByName("Publishes", tn)
+		if tp == nil {
+			continue
+		}
+		tp.Pubs = append(tp.Pubs, name)
+	}
+	return t
+}
+
+// Subscribes registers this task as a subscriber on the named topics: each
+// subscription is a private cursor over the topic's shared buffer, drained
+// with Take/Recv (or TakeAny in topic-priority order).
+func (t *TaskBuilder) Subscribes(topics ...string) *TaskBuilder {
+	name := t.spec().Name
+	if t.i < 0 {
+		t.b.fail("Subscribes from unnamed task")
+		return t
+	}
+	for _, tn := range topics {
+		tp := t.b.topicByName("Subscribes", tn)
+		if tp == nil {
+			continue
+		}
+		tp.Subs = append(tp.Subs, name)
+	}
+	return t
+}
+
 // ChanTo declares a FIFO channel of the given capacity from this task to
 // dst (which may be declared later) and connects it. The channel is named
 // "src->dst"; parallel channels between the same pair get a "#n" suffix.
@@ -283,6 +375,11 @@ func (t *TaskBuilder) Accel(name string) *Builder { return t.b.Accel(name) }
 // Channel declares a free-standing channel (application scope).
 func (t *TaskBuilder) Channel(name string, capacity int) core.CID {
 	return t.b.Channel(name, capacity)
+}
+
+// Topic declares a pub-sub topic (application scope).
+func (t *TaskBuilder) Topic(name string, opts core.TopicOpts) core.CID {
+	return t.b.Topic(name, opts)
 }
 
 // Connect connects a declared channel (application scope).

@@ -537,3 +537,130 @@ func TestApplyOnExistingApp(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// topicSpec builds a small pub-sub application: two sensors fan into one
+// monitor over a "bus" topic, and the first sensor also feeds a conflating
+// "latest" topic read by a dashboard.
+func topicSpec() *Spec {
+	return &Spec{
+		Name: "pubsub",
+		Topics: []TopicSpec{
+			{Name: "bus", Capacity: 16, Priority: 1,
+				Pubs: []string{"s0", "s1"}, Subs: []string{"monitor"}},
+			{Name: "latest", Capacity: 1, Policy: "latest", Priority: 0,
+				Pubs: []string{"s0"}, Subs: []string{"dashboard"}},
+		},
+		Tasks: []TaskSpec{
+			{Name: "s0", Period: Duration(10 * time.Millisecond),
+				Versions: []VersionSpec{{WCET: Duration(time.Millisecond)}}},
+			{Name: "s1", Period: Duration(20 * time.Millisecond),
+				Versions: []VersionSpec{{WCET: Duration(time.Millisecond)}}},
+			{Name: "monitor", Period: Duration(20 * time.Millisecond),
+				Versions: []VersionSpec{{WCET: Duration(2 * time.Millisecond)}}},
+			{Name: "dashboard", Period: Duration(50 * time.Millisecond),
+				Versions: []VersionSpec{{WCET: Duration(time.Millisecond)}}},
+		},
+	}
+}
+
+func TestTopicSpecRoundTripAndBuild(t *testing.T) {
+	s := topicSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TopicID("bus"); got != 0 {
+		t.Errorf("TopicID(bus) = %d, want 0 (no channels declared)", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, loaded) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", s, loaded)
+	}
+	// Synthesized bodies publish and drain the topics; no task errors.
+	tr := runSim(t, 5, time.Second, func(env *rt.SimEnv) (*core.App, error) {
+		return loaded.Build(core.Config{Workers: 2, RecordJobs: true}, env)
+	})
+	if len(tr) == 0 {
+		t.Fatal("no jobs recorded")
+	}
+}
+
+func TestTopicSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(s *Spec)
+		want string
+	}{
+		{"no pubs", func(s *Spec) { s.Topics[0].Pubs = nil }, "no publishers"},
+		{"no subs", func(s *Spec) { s.Topics[0].Subs = nil }, "no subscribers"},
+		{"bad policy", func(s *Spec) { s.Topics[0].Policy = "sometimes" }, "overflow policy"},
+		{"zero capacity", func(s *Spec) { s.Topics[0].Capacity = 0 }, "capacity"},
+		{"unknown pub", func(s *Spec) { s.Topics[0].Pubs = []string{"ghost"} }, "unknown publisher"},
+		{"unknown sub", func(s *Spec) { s.Topics[0].Subs = []string{"ghost"} }, "unknown subscriber"},
+		{"dup pub", func(s *Spec) { s.Topics[0].Pubs = []string{"s0", "s0"} }, "duplicate publisher"},
+		{"dup topic", func(s *Spec) { s.Topics[1].Name = "bus" }, "duplicate topic"},
+		{"collides with channel", func(s *Spec) {
+			s.Channels = append(s.Channels, ChannelSpec{Name: "bus", Capacity: 1})
+		}, "collides"},
+		{"unnamed", func(s *Spec) { s.Topics[0].Name = "" }, "no name"},
+	}
+	for _, tc := range cases {
+		s := topicSpec()
+		tc.mut(s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBuilderTopics(t *testing.T) {
+	b := NewApp("pubsub")
+	bus := b.Topic("bus", core.TopicOpts{Capacity: 16, Priority: 1})
+	latest := b.Topic("latest", core.TopicOpts{Capacity: 1, Policy: core.Latest})
+	if bus != 0 || latest != 1 {
+		t.Fatalf("topic CIDs = %d,%d, want 0,1", bus, latest)
+	}
+	b.Task("s0").Period(10*time.Millisecond).
+		Version(nil, core.VSelect{WCET: time.Millisecond}).
+		Publishes("bus", "latest").
+		Task("s1").Period(20*time.Millisecond).
+		Version(nil, core.VSelect{WCET: time.Millisecond}).
+		Publishes("bus").
+		Task("monitor").Period(20*time.Millisecond).
+		Version(nil, core.VSelect{WCET: 2 * time.Millisecond}).
+		Subscribes("bus").
+		Task("dashboard").Period(50*time.Millisecond).
+		Version(nil, core.VSelect{WCET: time.Millisecond}).
+		Subscribes("latest")
+	s, err := b.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topicSpec()
+	if !reflect.DeepEqual(s.Topics, want.Topics) {
+		t.Fatalf("builder topics:\n%+v\nwant:\n%+v", s.Topics, want.Topics)
+	}
+
+	// Channel after topic shifts positional IDs: rejected.
+	b2 := NewApp()
+	b2.Topic("t", core.TopicOpts{Capacity: 1})
+	b2.Channel("c", 1)
+	if err := b2.Err(); err == nil || !strings.Contains(err.Error(), "declare channels first") {
+		t.Errorf("channel-after-topic: got %v", err)
+	}
+	// Unknown topic in Publishes/Subscribes accumulates an error.
+	b3 := NewApp()
+	b3.Task("t").Period(time.Millisecond).
+		Version(nil, core.VSelect{WCET: time.Microsecond}).
+		Publishes("ghost")
+	if err := b3.Err(); err == nil || !strings.Contains(err.Error(), "unknown topic") {
+		t.Errorf("publishes unknown topic: got %v", err)
+	}
+}

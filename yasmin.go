@@ -29,20 +29,42 @@
 //		app.Cleanup(c)
 //	})
 //
+// # Communication: topics and typed ports
+//
+// Tasks communicate through topics: named pub-sub channels connecting N
+// publishers to M subscribers over ONE shared buffer (per-subscriber
+// cursors — no per-subscriber copies), with a per-topic priority, capacity
+// and overflow policy (Reject: publish fails when full, the paper's
+// Table-1 semantics; DropOldest: bounded-lag streaming; Latest: conflation
+// for sensor streams). Typed ports pin the element type and direction at
+// compile time:
+//
+//	tele := b.Topic("telemetry", yasmin.TopicOpts{Capacity: 1, Policy: yasmin.Latest})
+//	out := yasmin.PubOf[Reading](tele) // in the sensor task:  yasmin.Send(x, out, r)
+//	in := yasmin.SubOf[Reading](tele)  // in a monitor task:   yasmin.Recv(x, in)
+//
+// On the wall-clock backend, multi-publisher topics fan in through a
+// lock-free MPSC ring, so publishers never serialise on the middleware
+// lock. The paper's point-to-point FIFO API (ChannelDecl / Push / Pop) is
+// the degenerate case — a 1-publisher/1-subscriber Reject topic — and keeps
+// working unchanged.
+//
 // Applications can equally be loaded from declarative JSON spec files —
-// tasks, versions (with WCETs, energy budgets, accelerator bindings) and
-// channels — and instantiated on any environment:
+// tasks, versions (with WCETs, energy budgets, accelerator bindings),
+// channels and topics — and instantiated on any environment:
 //
 //	s, _ := yasmin.LoadSpecFile("app.json")
 //	app, _ := s.Build(yasmin.Config{Workers: 2}, env)
 //
 // The imperative Table-1 calls (TaskDecl, VersionDecl, ChannelDecl,
-// ChannelConnect, ...) remain available on App for fine-grained control;
-// the spec layer performs exactly those calls.
+// ChannelConnect, and the topic extensions TopicDecl/TopicPub/TopicSub)
+// remain available on App for fine-grained control; the spec layer performs
+// exactly those calls.
 //
 // See examples/ for the paper's diamond-graph listing, the Search & Rescue
-// drone application, off-line scheduling, and design-space exploration; see
-// cmd/ for the tools that regenerate the paper's Fig. 2, Table 2 and Fig. 4.
+// drone application, off-line scheduling, design-space exploration, and the
+// telemetry-fanout pub-sub demo; see cmd/ for the tools that regenerate the
+// paper's Fig. 2, Table 2 and Fig. 4.
 package yasmin
 
 import (
@@ -83,12 +105,52 @@ type (
 	// TableEntry is one off-line dispatch slot.
 	TableEntry = core.TableEntry
 	// TID, VID, HID and CID identify tasks, versions, accelerators and
-	// channels.
+	// channels/topics.
 	TID = core.TID
 	VID = core.VID
 	HID = core.HID
 	CID = core.CID
 )
+
+// Pub-sub messaging layer: topics connect N publishers to M subscribers
+// over one shared buffer; typed Ports make the endpoints compile-time safe.
+type (
+	// TopicOpts configures a topic (capacity, overflow policy, priority).
+	TopicOpts = core.TopicOpts
+	// OverflowPolicy selects what a full topic does on publish.
+	OverflowPolicy = core.OverflowPolicy
+	// Port is a typed, directional topic endpoint (see PubOf/SubOf).
+	Port[T any] = core.Port[T]
+	// PortDir distinguishes publish from subscribe ports.
+	PortDir = core.PortDir
+)
+
+// Overflow policies and port directions.
+const (
+	// Reject fails the publish when the slowest subscriber's backlog is at
+	// capacity — the Table-1 push-fails-when-full semantics.
+	Reject = core.Reject
+	// DropOldest overwrites the oldest retained entry when full.
+	DropOldest = core.DropOldest
+	// Latest conflates: a take returns only the newest published value.
+	Latest = core.Latest
+
+	PubPort = core.PubPort
+	SubPort = core.SubPort
+)
+
+// PubOf wraps topic c as a typed publish endpoint.
+func PubOf[T any](c CID) Port[T] { return core.PubOf[T](c) }
+
+// SubOf wraps topic c as a typed subscribe endpoint.
+func SubOf[T any](c CID) Port[T] { return core.SubOf[T](c) }
+
+// Send publishes v through a typed publish port.
+func Send[T any](x *ExecCtx, p Port[T], v T) error { return core.Send(x, p, v) }
+
+// Recv takes the next pending value through a typed subscribe port; ok is
+// false when nothing is pending.
+func Recv[T any](x *ExecCtx, p Port[T]) (v T, ok bool, err error) { return core.Recv(x, p) }
 
 // Configuration enums.
 const (
@@ -136,6 +198,8 @@ type (
 	VersionSpec = spec.VersionSpec
 	// ChannelSpec describes one FIFO channel and its endpoints.
 	ChannelSpec = spec.ChannelSpec
+	// TopicSpec describes one pub-sub topic and its endpoints.
+	TopicSpec = spec.TopicSpec
 	// AccelSpec describes one hardware accelerator.
 	AccelSpec = spec.AccelSpec
 	// Builder is the fluent, error-accumulating application constructor.
