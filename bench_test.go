@@ -260,6 +260,140 @@ func BenchmarkChannels(b *testing.B) {
 	}
 }
 
+// --- Live reconfiguration: admission latency and quiescent-barrier pause ---
+
+// reconfigBenchRow is the BENCH_reconfig.json record.
+type reconfigBenchRow struct {
+	Name         string `json:"name"`
+	LiveTasks    int    `json:"live_tasks"`
+	Transactions int64  `json:"transactions"`
+	// CallAvg/CallMax time the whole Reconfigure call: staging, validation,
+	// the online admission test and the commit.
+	CallAvgNS int64 `json:"call_avg_ns"`
+	CallMaxNS int64 `json:"call_max_ns"`
+	// PauseAvg/PauseMax time the quiescent barrier alone — how long tasks
+	// interacting with the middleware can be held while the tables swap.
+	PauseAvgNS int64 `json:"pause_avg_ns"`
+	PauseMaxNS int64 `json:"pause_max_ns"`
+}
+
+// BenchmarkReconfigure measures live reconfiguration against a running
+// wall-clock application: each iteration admits a task in one transaction
+// and retires it in the next, with admission analysing the full live task
+// set. Reported metrics split the admission-path latency (whole call) from
+// the worst-case pause at the quiescent barrier; BENCH_reconfig.json feeds
+// the CI trend job.
+func BenchmarkReconfigure(b *testing.B) {
+	rowByName := map[string]reconfigBenchRow{}
+	for _, nTasks := range []int{8, 64} {
+		name := fmt.Sprintf("live-tasks-%d", nTasks)
+		b.Run(name, func(b *testing.B) {
+			env := rt.NewOSEnv()
+			env.Spin = false
+			app, err := core.New(core.Config{
+				Workers: 4, Priority: core.PriorityEDF,
+				MaxTasks: nTasks + 2, MaxPendingJobs: 4 * (nTasks + 2),
+			}, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < nTasks; i++ {
+				tid, err := app.TaskDecl(core.TData{
+					Name:   fmt.Sprintf("t%d", i),
+					Period: time.Duration(5+i%7) * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+					return nil
+				}, nil, core.VSelect{WCET: 20 * time.Microsecond}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var callTotal, callMax time.Duration
+			env.RunMain(func(c rt.Ctx) {
+				if err := app.Start(c); err != nil {
+					b.Errorf("start: %v", err)
+					return
+				}
+				c.Sleep(5 * time.Millisecond) // let the schedule settle
+				body := func(x *core.ExecCtx, _ any) error { return nil }
+				for i := 0; i < b.N; i++ {
+					t0 := time.Now()
+					var err error
+					if i%2 == 0 {
+						err = app.Reconfigure(c, func(tx *core.Reconfig) error {
+							id, err := tx.AddTask(core.TData{Name: "dyn", Period: 5 * time.Millisecond})
+							if err != nil {
+								return err
+							}
+							_, err = tx.AddVersion(id, body, nil, core.VSelect{WCET: 20 * time.Microsecond})
+							return err
+						})
+					} else {
+						err = app.Reconfigure(c, func(tx *core.Reconfig) error {
+							return tx.RemoveTaskByName("dyn")
+						})
+					}
+					d := time.Since(t0)
+					callTotal += d
+					if d > callMax {
+						callMax = d
+					}
+					if err != nil {
+						b.Errorf("transaction %d: %v", i, err)
+						break
+					}
+				}
+				app.Stop(c)
+				app.Cleanup(c)
+			})
+			env.Wait()
+			if b.Failed() {
+				return
+			}
+			var pauseTotal, pauseMax time.Duration
+			recs := app.Recorder().Reconfigs()
+			for _, r := range recs {
+				pauseTotal += r.Pause
+				if r.Pause > pauseMax {
+					pauseMax = r.Pause
+				}
+			}
+			n := int64(len(recs))
+			if n == 0 {
+				b.Fatal("no committed transactions")
+			}
+			row := reconfigBenchRow{
+				Name:         name,
+				LiveTasks:    nTasks,
+				Transactions: n,
+				CallAvgNS:    callTotal.Nanoseconds() / int64(b.N),
+				CallMaxNS:    callMax.Nanoseconds(),
+				PauseAvgNS:   pauseTotal.Nanoseconds() / n,
+				PauseMaxNS:   pauseMax.Nanoseconds(),
+			}
+			rowByName[name] = row
+			b.ReportMetric(float64(row.CallAvgNS)/1e3, "admission-µs/op")
+			b.ReportMetric(float64(row.PauseMaxNS)/1e3, "worst-pause-µs")
+		})
+	}
+	rows := make([]reconfigBenchRow, 0, len(rowByName))
+	for _, n := range []int{8, 64} {
+		if row, ok := rowByName[fmt.Sprintf("live-tasks-%d", n)]; ok {
+			rows = append(rows, row)
+		}
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_reconfig.json", out, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- Micro-benchmarks of the scheduling fast path (real time, not
 // simulated: these measure the Go implementation itself) ---
 

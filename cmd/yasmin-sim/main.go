@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -49,13 +50,48 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	board := flag.String("platform", "odroid-xu4", "platform: odroid-xu4|apalis-tk1|generic-N")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the first 100ms")
+	var events reconfigEvents
+	flag.Var(&events, "reconfig-at",
+		"scripted mode switch \"TIME=MODE\" (repeatable, or comma-separated); MODE must be declared in the -app spec's \"modes\"")
 	flag.Parse()
 
 	if err := run(*setPath, *appPath, *workers, *mapping, *priority, *selectM,
-		*horizon, *seed, *board, *gantt); err != nil {
+		*horizon, *seed, *board, *gantt, events); err != nil {
 		fmt.Fprintln(os.Stderr, "yasmin-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// reconfigEvent is one scripted mode switch of the scenario.
+type reconfigEvent struct {
+	at   time.Duration
+	mode string
+}
+
+// reconfigEvents implements flag.Value for repeatable -reconfig-at flags.
+type reconfigEvents []reconfigEvent
+
+func (r *reconfigEvents) String() string {
+	parts := make([]string, len(*r))
+	for i, e := range *r {
+		parts[i] = fmt.Sprintf("%v=%s", e.at, e.mode)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *reconfigEvents) Set(s string) error {
+	for _, part := range strings.Split(s, ",") {
+		at, mode, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || mode == "" {
+			return fmt.Errorf("bad -reconfig-at %q; want TIME=MODE (e.g. 500ms=cruise)", part)
+		}
+		d, err := time.ParseDuration(at)
+		if err != nil || d < 0 {
+			return fmt.Errorf("bad -reconfig-at time %q", at)
+		}
+		*r = append(*r, reconfigEvent{at: d, mode: mode})
+	}
+	return nil
 }
 
 // loadSpec resolves the input into an application spec: either a full spec
@@ -101,10 +137,26 @@ func resolvePlatform(board string) (*platform.Platform, error) {
 }
 
 func run(setPath, appPath string, workers int, mapping, priority, selectM string,
-	horizon time.Duration, seed int64, board string, gantt bool) error {
+	horizon time.Duration, seed int64, board string, gantt bool, events reconfigEvents) error {
 	s, err := loadSpec(setPath, appPath)
 	if err != nil {
 		return err
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].at < events[j].at })
+	for _, ev := range events {
+		if ev.at > horizon {
+			return fmt.Errorf("-reconfig-at %v=%s: event beyond -horizon %v would never fire", ev.at, ev.mode, horizon)
+		}
+		found := false
+		for i := range s.Modes {
+			if s.Modes[i].Name == ev.mode {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-reconfig-at %v=%s: spec declares no mode %q", ev.at, ev.mode, ev.mode)
+		}
 	}
 
 	pl, err := resolvePlatform(board)
@@ -205,10 +257,20 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 		return err
 	}
 	var startErr error
+	var rejections []string
 	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
 		if err := app.Start(c); err != nil {
 			startErr = err
 			return
+		}
+		for _, ev := range events {
+			c.SleepUntil(ev.at)
+			if err := app.SwitchMode(c, ev.mode); err != nil {
+				// A rejected transaction leaves the running schedule
+				// untouched; report it and play the scenario on.
+				rejections = append(rejections,
+					fmt.Sprintf("t=%v mode=%s: %v", ev.at, ev.mode, err))
+			}
 		}
 		c.SleepUntil(horizon)
 		app.Stop(c)
@@ -239,6 +301,19 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 				tp.Name, tp.Capacity, pol, tp.Priority, len(tp.Pubs), len(tp.Subs),
 				app.TopicDropped(s.TopicID(tp.Name)))
 		}
+	}
+	// Reconfiguration epochs: which tasks each committed transaction
+	// admitted/retuned/retired and how long the quiescent barrier paused
+	// middleware interactions; retirements report when the drain finished.
+	for _, rc := range app.Recorder().Reconfigs() {
+		fmt.Printf("# reconfig epoch %d at %-10v admitted=%v retuned=%v retiring=%v mode=%d pause=%v\n",
+			rc.Epoch, rc.At, rc.Admitted, rc.Retuned, rc.Retiring, rc.Mode, rc.Pause)
+	}
+	for _, re := range app.Recorder().Retires() {
+		fmt.Printf("# retired %-14s at %-10v (epoch %d drain complete)\n", re.Task, re.At, re.Epoch)
+	}
+	for _, rj := range rejections {
+		fmt.Printf("# reconfig REJECTED: %s\n", rj)
 	}
 	if err := app.Recorder().WriteSummary(os.Stdout); err != nil {
 		return err

@@ -60,7 +60,7 @@ func (a *App) releaseAccel(c rt.Ctx, j *job) {
 		a.chargeQueueOp(c, q)
 		if err := q.push(wjob); err != nil {
 			a.overruns.Add(1)
-			a.freeJob(wjob)
+			a.freeJob(c, wjob)
 		}
 	}
 	ac.waiters = ac.waiters[:0]

@@ -63,6 +63,21 @@ type App struct {
 	fibersSpawned bool
 	schedTh       rt.Thread
 
+	// Live-reconfiguration state. Slot freelists recycle the fixed tables
+	// across retire/admit cycles so mode ping-pong never exhausts the
+	// static budgets; reconfigMu serialises whole transactions (declaration
+	// tables are only mutated by a transaction holding it, plus a.mu for
+	// the commit itself).
+	reconfigMu        rt.Lock
+	epoch             atomic.Int64
+	freeTaskSlots     []int
+	freeEdgeSlots     []int
+	freeTopicSlots    []int
+	pendingDeadTopics []CID
+	ntopicsA          atomic.Int32 // mirror of ntopics for lock-free bounds checks
+	modes             map[string]ModePreset
+	modeName          atomic.Pointer[string]
+
 	mode    uint32
 	maskBit uint32
 
@@ -76,9 +91,12 @@ type App struct {
 	taskErrors atomic.Int64
 	firstError atomic.Pointer[error] // first task-function error; read lock-free by FirstError
 
-	schedPeriod time.Duration
-	startTime   time.Duration
-	jobSeq      int64
+	// schedPeriodNs is the scheduler tick period in nanoseconds; atomic
+	// because a committed reconfiguration retunes it while the scheduler
+	// loop reads it every tick.
+	schedPeriodNs atomic.Int64
+	startTime     time.Duration
+	jobSeq        int64
 
 	offTable *OfflineTable
 }
@@ -94,6 +112,7 @@ func New(cfg Config, env rt.Env) (*App, error) {
 	}
 	a := &App{cfg: cfg, env: env}
 	a.mu = env.NewLock(cfg.Lock.rtKind())
+	a.reconfigMu = env.NewLock(cfg.Lock.rtKind())
 	a.tasks = make([]task, cfg.MaxTasks)
 	for i := range a.tasks {
 		a.tasks[i].versions = make([]version, 0, cfg.MaxVersionsPerTask)
@@ -135,12 +154,20 @@ func (a *App) Init() {
 	a.ntasks = 0
 	a.naccels = 0
 	a.ntopics = 0
+	a.ntopicsA.Store(0)
 	a.nedges = 0
 	a.freeJobs = a.freeJobs[:0]
 	for i := range a.jobPool {
 		a.jobPool[i] = job{poolIdx: i}
 		a.freeJobs = append(a.freeJobs, i)
 	}
+	a.epoch.Store(0)
+	a.freeTaskSlots = a.freeTaskSlots[:0]
+	a.freeEdgeSlots = a.freeEdgeSlots[:0]
+	a.freeTopicSlots = a.freeTopicSlots[:0]
+	a.pendingDeadTopics = a.pendingDeadTopics[:0]
+	a.modes = nil
+	a.modeName.Store(nil)
 	a.mode = 0
 	a.maskBit = ^uint32(0)
 	a.rec = trace.NewRecorder(a.cfg.RecordJobs)
@@ -152,6 +179,9 @@ func (a *App) Init() {
 
 // Env returns the execution environment.
 func (a *App) Env() rt.Env { return a.env }
+
+// Started reports whether the schedule is currently running.
+func (a *App) Started() bool { return a.started.Load() }
 
 // NumTasks returns the number of declared tasks.
 func (a *App) NumTasks() int { return a.ntasks }
@@ -215,25 +245,52 @@ func (a *App) Mode() uint32 { return atomic.LoadUint32(&a.mode) }
 // SetPermissionMask sets the bitmask for SelectBitmask.
 func (a *App) SetPermissionMask(mask uint32) { atomic.StoreUint32(&a.maskBit, mask) }
 
+// validateTData checks declaration-time task parameters (shared by TaskDecl
+// and the reconfiguration transaction).
+func validateTData(d TData) error {
+	if d.Name == "" {
+		return fmt.Errorf("core: task needs a name")
+	}
+	if d.Period < 0 || d.Deadline < 0 || d.ReleaseOffset < 0 {
+		return fmt.Errorf("core: task %s: negative timing parameter", d.Name)
+	}
+	return nil
+}
+
+// allocTaskSlot reserves a task slot, recycling retired slots before growing
+// the high-water mark. Caller holds a.mu when the schedule may be running.
+func (a *App) allocTaskSlot() (*task, TID, error) {
+	if n := len(a.freeTaskSlots); n > 0 {
+		idx := a.freeTaskSlots[n-1]
+		a.freeTaskSlots = a.freeTaskSlots[:n-1]
+		t := &a.tasks[idx]
+		*t = task{id: TID(idx), versions: t.versions[:0]}
+		return t, TID(idx), nil
+	}
+	if a.ntasks == len(a.tasks) {
+		return nil, -1, fmt.Errorf("%w: MaxTasks=%d", ErrTooMany, len(a.tasks))
+	}
+	id := TID(a.ntasks)
+	t := &a.tasks[a.ntasks]
+	*t = task{id: id, versions: t.versions[:0]}
+	a.ntasks++
+	return t, id, nil
+}
+
 // TaskDecl declares a task — the paper's yas_task_decl. The task has no
 // versions yet; add at least one with VersionDecl before Start.
 func (a *App) TaskDecl(d TData) (TID, error) {
 	if a.started.Load() {
 		return -1, ErrStarted
 	}
-	if d.Name == "" {
-		return -1, fmt.Errorf("core: task needs a name")
+	if err := validateTData(d); err != nil {
+		return -1, err
 	}
-	if d.Period < 0 || d.Deadline < 0 || d.ReleaseOffset < 0 {
-		return -1, fmt.Errorf("core: task %s: negative timing parameter", d.Name)
+	t, id, err := a.allocTaskSlot()
+	if err != nil {
+		return -1, err
 	}
-	if a.ntasks == len(a.tasks) {
-		return -1, fmt.Errorf("%w: MaxTasks=%d", ErrTooMany, len(a.tasks))
-	}
-	id := TID(a.ntasks)
-	t := &a.tasks[a.ntasks]
-	*t = task{id: id, d: d, versions: t.versions[:0]}
-	a.ntasks++
+	t.d = d
 	return id, nil
 }
 
@@ -365,10 +422,10 @@ func (a *App) connect(src, dst TID, c CID, delay int) error {
 	if int(c) < 0 || int(c) >= a.ntopics {
 		return fmt.Errorf("core: no channel %d", c)
 	}
-	if a.nedges == len(a.edges) {
+	if len(a.freeEdgeSlots) == 0 && a.nedges == len(a.edges) {
 		return fmt.Errorf("%w: MaxChannels=%d edges", ErrTooMany, len(a.edges))
 	}
-	e := &a.edges[a.nedges]
+	e := a.allocEdgeSlot()
 	*e = edge{src: src, dst: dst, ch: c, initial: delay, stamps: e.stamps}
 	if cap(e.stamps) < a.cfg.GraphInstanceCap {
 		e.stamps = make([]time.Duration, a.cfg.GraphInstanceCap)
@@ -376,7 +433,6 @@ func (a *App) connect(src, dst TID, c CID, delay int) error {
 		e.stamps = e.stamps[:a.cfg.GraphInstanceCap]
 	}
 	e.head, e.count, e.tokens = 0, 0, 0
-	a.nedges++
 	return nil
 }
 
@@ -400,7 +456,50 @@ func (a *App) taskByID(t TID) (*task, error) {
 	if int(t) < 0 || int(t) >= a.ntasks {
 		return nil, fmt.Errorf("core: no task %d", t)
 	}
-	return &a.tasks[t], nil
+	tk := &a.tasks[t]
+	if tk.state == taskRetired || tk.state == taskStaged {
+		return nil, fmt.Errorf("core: no task %d (slot %s)", t, tk.state)
+	}
+	return tk, nil
+}
+
+// taskIDByName returns the most recently declared non-retired task with the
+// given name, or -1. Draining incarnations are only returned when no
+// running/admitted task holds the name (name reuse across a drain).
+func (a *App) taskIDByName(name string) TID {
+	best := TID(-1)
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		if t.d.Name != name {
+			continue
+		}
+		switch t.state {
+		case taskAdmitted, taskRunning:
+			best = t.id
+		case taskDraining:
+			if best < 0 {
+				best = t.id
+			}
+		}
+	}
+	return best
+}
+
+// TaskIDByName returns the TID of the named live task, or -1. Like the other
+// declaration-surface accessors it must not race a concurrent Reconfigure;
+// call it from declaration time, task code, or after the run.
+func (a *App) TaskIDByName(name string) TID { return a.taskIDByName(name) }
+
+// Epoch returns the number of committed reconfiguration transactions.
+func (a *App) Epoch() int { return int(a.epoch.Load()) }
+
+// ModeName returns the name of the last mode preset switched to ("" before
+// any SwitchMode).
+func (a *App) ModeName() string {
+	if p := a.modeName.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // prioKeyOf computes the static part of a task's priority key.
@@ -418,8 +517,42 @@ func (a *App) prioKeyOf(t *task) int64 {
 }
 
 // resolve finishes the declaration phase: effective deadlines, root flags,
-// static priorities, and structural validation. Called by Start.
+// static priorities, and structural validation. Called by Start. Tasks left
+// draining by a reconfiguration whose jobs a previous Cleanup abandoned are
+// force-retired here (their threads are gone); retired slots are skipped.
 func (a *App) resolve() error {
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		if t.state == taskDraining {
+			t.live = 0
+			a.finishRetireLocked(t, a.env.Now())
+		}
+	}
+	if err := a.rebuildGraphLocked(); err != nil {
+		return err
+	}
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		if t.state == taskRetired {
+			continue
+		}
+		if err := a.deriveTaskLocked(t); err != nil {
+			return err
+		}
+		t.nextRelease = 0
+		t.lastActivation = 0
+		t.everActivated = false
+		t.jobSeq = 0
+		t.live = 0
+	}
+	a.resolveTopics()
+	return nil
+}
+
+// rebuildGraphLocked rebuilds the adjacency lists over alive edges and
+// re-checks acyclicity. Shared by resolve (Start) and reconfiguration
+// commits.
+func (a *App) rebuildGraphLocked() error {
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
 		t.outEdges = t.outEdges[:0]
@@ -427,53 +560,52 @@ func (a *App) resolve() error {
 	}
 	for i := 0; i < a.nedges; i++ {
 		e := &a.edges[i]
+		if e.dead {
+			continue
+		}
 		a.tasks[e.src].outEdges = append(a.tasks[e.src].outEdges, e)
 		a.tasks[e.dst].inEdges = append(a.tasks[e.dst].inEdges, e)
 	}
 	// Cycle check over the edge relation.
-	if err := a.checkAcyclic(); err != nil {
-		return err
+	return a.checkAcyclic()
+}
+
+// deriveTaskLocked computes one task's derived scheduling state (root flag,
+// effective deadline, static priority) and validates its structure. The
+// adjacency lists must be current.
+func (a *App) deriveTaskLocked(t *task) error {
+	if len(t.versions) == 0 {
+		return fmt.Errorf("core: task %s has no version", t.d.Name)
 	}
-	for i := 0; i < a.ntasks; i++ {
-		t := &a.tasks[i]
-		if len(t.versions) == 0 {
-			return fmt.Errorf("core: task %s has no version", t.d.Name)
+	t.root = t.d.Period > 0 || t.d.Sporadic || len(t.inEdges) == 0
+	for _, e := range t.inEdges {
+		if t.d.Period > 0 && e.initial == 0 {
+			return fmt.Errorf("core: task %s is data-activated but has a period; only root nodes carry periods (feedback into a periodic root needs delay tokens)", t.d.Name)
 		}
-		t.root = t.d.Period > 0 || t.d.Sporadic || len(t.inEdges) == 0
-		for _, e := range t.inEdges {
-			if t.d.Period > 0 && e.initial == 0 {
-				return fmt.Errorf("core: task %s is data-activated but has a period; only root nodes carry periods (feedback into a periodic root needs delay tokens)", t.d.Name)
-			}
-		}
-		t.effDeadline = t.d.Deadline
-		if t.effDeadline == 0 {
-			switch {
-			case t.d.Period > 0:
-				t.effDeadline = t.d.Period // implicit
-			case len(t.inEdges) > 0:
-				t.effDeadline = a.graphDeadlineFor(t) // inherit from graph roots
-			case a.cfg.Mapping == MappingOffline && a.offTable != nil:
-				// Table-driven tasks fall back to the table cycle: the
-				// off-line synthesiser already proved their placements meet
-				// the real deadlines.
-				t.effDeadline = a.offTable.Cycle
-			default:
-				return fmt.Errorf("core: aperiodic task %s needs an explicit deadline", t.d.Name)
-			}
-		}
-		if a.cfg.Mapping == MappingPartitioned {
-			if t.d.VirtCore < 0 || t.d.VirtCore >= a.cfg.Workers {
-				return fmt.Errorf("core: task %s: VirtCore %d out of [0,%d) for partitioned mapping",
-					t.d.Name, t.d.VirtCore, a.cfg.Workers)
-			}
-		}
-		t.staticPrio = a.prioKeyOf(t)
-		t.nextRelease = 0
-		t.lastActivation = 0
-		t.everActivated = false
-		t.jobSeq = 0
 	}
-	a.resolveTopics()
+	t.effDeadline = t.d.Deadline
+	if t.effDeadline == 0 {
+		switch {
+		case t.d.Period > 0:
+			t.effDeadline = t.d.Period // implicit
+		case len(t.inEdges) > 0:
+			t.effDeadline = a.graphDeadlineFor(t) // inherit from graph roots
+		case a.cfg.Mapping == MappingOffline && a.offTable != nil:
+			// Table-driven tasks fall back to the table cycle: the
+			// off-line synthesiser already proved their placements meet
+			// the real deadlines.
+			t.effDeadline = a.offTable.Cycle
+		default:
+			return fmt.Errorf("core: aperiodic task %s needs an explicit deadline", t.d.Name)
+		}
+	}
+	if a.cfg.Mapping == MappingPartitioned {
+		if t.d.VirtCore < 0 || t.d.VirtCore >= a.cfg.Workers {
+			return fmt.Errorf("core: task %s: VirtCore %d out of [0,%d) for partitioned mapping",
+				t.d.Name, t.d.VirtCore, a.cfg.Workers)
+		}
+	}
+	t.staticPrio = a.prioKeyOf(t)
 	return nil
 }
 
@@ -563,11 +695,12 @@ func (a *App) schedGCD() time.Duration {
 		}
 	}
 	for i := 0; i < a.ntasks; i++ {
-		if a.tasks[i].d.Sporadic {
+		t := &a.tasks[i]
+		if t.d.Sporadic || !(t.state == taskAdmitted || t.state == taskRunning) {
 			continue
 		}
-		acc(a.tasks[i].d.Period)
-		acc(a.tasks[i].d.ReleaseOffset)
+		acc(t.d.Period)
+		acc(t.d.ReleaseOffset)
 	}
 	if g == 0 {
 		g = time.Millisecond
@@ -599,12 +732,79 @@ func (a *App) allocJob() *job {
 	return j
 }
 
-func (a *App) freeJob(j *job) {
+func (a *App) freeJob(c rt.Ctx, j *job) {
 	if j.state == jobFree {
 		panic(fmt.Sprintf("core: double free of job %d", j.poolIdx))
 	}
+	t := j.t
 	j.state = jobFree
 	j.t = nil
 	j.fib = nil
 	a.freeJobs = append(a.freeJobs, j.poolIdx)
+	if t != nil {
+		t.live--
+		if t.live == 0 && t.state == taskDraining {
+			a.finishRetireLocked(t, c.Now())
+		}
+	}
+}
+
+// finishRetireLocked completes a draining task's retirement: the last
+// in-flight job finished, so the task's topic endpoints are scrubbed (its
+// cursors no longer hold back the shared buffers), its slot returns to the
+// freelist, and topics waiting on it may die. Caller holds the lock.
+func (a *App) finishRetireLocked(t *task, now time.Duration) {
+	t.state = taskRetired
+	for i := 0; i < a.ntopics; i++ {
+		tp := &a.topics[i]
+		if tp.dead {
+			continue
+		}
+		changed, subRemoved := false, false
+		for k := len(tp.pubs) - 1; k >= 0; k-- {
+			if tp.pubs[k] == t.id {
+				tp.pubs = append(tp.pubs[:k], tp.pubs[k+1:]...)
+				changed = true
+			}
+		}
+		for k := len(tp.subs) - 1; k >= 0; k-- {
+			if tp.subs[k].task == t.id {
+				tp.subs = append(tp.subs[:k], tp.subs[k+1:]...)
+				changed = true
+				subRemoved = true
+			}
+		}
+		if changed {
+			if subRemoved && len(tp.subs) == 0 {
+				// The last registered subscriber is gone: its unconsumed
+				// backlog is unclaimable, so discard it and park the
+				// anonymous cursor at the tail — a stale cursor must not
+				// block surviving publishers forever.
+				tp.anon = tp.tail
+			}
+			if tp.buf != nil {
+				tp.gc() // retired cursors no longer hold entries back
+			}
+			tp.publishView()
+		}
+	}
+	t.subTopics = t.subTopics[:0]
+	a.freeTaskSlots = append(a.freeTaskSlots, int(t.id))
+	a.rec.RecordRetire(trace.RetireEvent{Task: t.d.Name, Epoch: t.retireEpoch, At: now})
+	a.reapDeadTopicsLocked()
+}
+
+// reapDeadTopicsLocked kills pending-removal topics whose endpoints have all
+// retired. Caller holds the lock.
+func (a *App) reapDeadTopicsLocked() {
+	kept := a.pendingDeadTopics[:0]
+	for _, c := range a.pendingDeadTopics {
+		tp := &a.topics[c]
+		if len(tp.pubs) == 0 && len(tp.subs) == 0 {
+			a.killTopicLocked(tp)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	a.pendingDeadTopics = kept
 }

@@ -148,7 +148,7 @@ func TestSchedulerPeriodIsGCD(t *testing.T) {
 		}
 	}
 	r.runMain(t, ms(500), nil)
-	if got := r.app.schedPeriod; got != ms(10) {
+	if got := r.app.schedPeriodNow(); got != ms(10) {
 		t.Errorf("scheduler period = %v, want GCD 10ms", got)
 	}
 }

@@ -263,6 +263,17 @@ func (x *ExecCtx) Sleep(d time.Duration) error {
 	return x.rejoinWorker()
 }
 
+// Reconfigure runs a live reconfiguration transaction from task code —
+// e.g. a detector task retiring the search pipeline when the mission phase
+// changes. The calling job keeps running; removing the calling task itself
+// is legal (it drains once this job completes).
+func (x *ExecCtx) Reconfigure(fn func(tx *Reconfig) error) error {
+	return x.app.Reconfigure(x.c, fn)
+}
+
+// SwitchMode switches to a named mode preset from task code.
+func (x *ExecCtx) SwitchMode(name string) error { return x.app.SwitchMode(x.c, name) }
+
 // Publish appends a value to a topic under its overflow policy — the
 // pub-sub generalisation of the channel_push macro. One buffered entry
 // serves every subscriber (per-subscriber cursors; no per-subscriber
@@ -276,21 +287,26 @@ func (x *ExecCtx) Sleep(d time.Duration) error {
 // Capacity of entries).
 func (x *ExecCtx) Publish(c CID, v any) error {
 	a := x.app
-	if int(c) < 0 || int(c) >= a.ntopics {
+	if int(c) < 0 || int(c) >= int(a.ntopicsA.Load()) {
 		return fmt.Errorf("core: no channel %d", c)
 	}
 	tp := &a.topics[c]
-	// Endpoint discipline: the pubs list is immutable while started, so the
-	// check needs no lock.
-	if len(tp.pubs) > 0 && !tp.isPub(x.j.t.id) {
-		return fmt.Errorf("core: task %s does not publish on topic %s", x.j.t.d.Name, tp.name)
+	// Endpoint discipline and the staging fast path go through the atomic
+	// snapshot: a concurrent reconfiguration swaps in a new consistent view
+	// under the lock, so no field read here can tear.
+	vw := tp.view.Load()
+	if vw == nil || vw.dead {
+		return fmt.Errorf("core: channel %d was removed", c)
+	}
+	if len(vw.pubs) > 0 && !vw.isPub(x.j.t.id) {
+		return fmt.Errorf("core: task %s does not publish on topic %s", x.j.t.d.Name, vw.name)
 	}
 	costs := a.env.Costs()
-	opCost := costs.ChannelOp + time.Duration(len(tp.subs))*costs.TopicFanoutPerSub
-	if tp.staging != nil {
+	opCost := costs.ChannelOp + time.Duration(vw.nsubs)*costs.TopicFanoutPerSub
+	if vw.staging != nil {
 		// Wall-clock fan-in fast path: no middleware lock.
 		x.c.Charge(opCost)
-		if tp.staging.Push(v) {
+		if vw.staging.Push(v) {
 			return nil
 		}
 		// Staging full: drain it under the lock, then retry the ring. The
@@ -306,21 +322,25 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 			a.mu.Lock(x.c)
 			tp.drainStaging()
 			a.mu.Unlock(x.c)
-			if tp.staging.Push(v) {
+			if vw.staging.Push(v) {
 				return nil
 			}
-			if tp.opts.Policy == Reject {
-				return fmt.Errorf("core: channel %s full (%d)", tp.name, tp.opts.Capacity)
+			if vw.policy == Reject {
+				return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity)
 			}
 			x.c.Yield()
 		}
 	}
 	a.mu.Lock(x.c)
 	x.c.Charge(opCost)
+	if tp.dead { // removed between the snapshot read and the lock
+		a.mu.Unlock(x.c)
+		return fmt.Errorf("core: channel %d was removed", c)
+	}
 	ok := tp.publish(v)
 	a.mu.Unlock(x.c)
 	if !ok {
-		return fmt.Errorf("core: channel %s full (%d)", tp.name, tp.opts.Capacity)
+		return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity)
 	}
 	return nil
 }
@@ -344,12 +364,16 @@ func (x *ExecCtx) cursorFor(tp *topic) (*uint64, error) {
 // skips everything older (conflation).
 func (x *ExecCtx) Take(c CID) (v any, ok bool, err error) {
 	a := x.app
-	if int(c) < 0 || int(c) >= a.ntopics {
+	if int(c) < 0 || int(c) >= int(a.ntopicsA.Load()) {
 		return nil, false, fmt.Errorf("core: no channel %d", c)
 	}
 	a.mu.Lock(x.c)
 	x.c.Charge(a.env.Costs().ChannelOp)
 	tp := &a.topics[c]
+	if tp.dead {
+		a.mu.Unlock(x.c)
+		return nil, false, fmt.Errorf("core: channel %d was removed", c)
+	}
 	tp.drainStaging()
 	cur, err := x.cursorFor(tp)
 	if err == nil {
@@ -378,6 +402,10 @@ func (x *ExecCtx) TakeAny(cs ...CID) (from CID, v any, ok bool, err error) {
 			return -1, nil, false, fmt.Errorf("core: no channel %d", c)
 		}
 		tp := &a.topics[c]
+		if tp.dead {
+			a.mu.Unlock(x.c)
+			return -1, nil, false, fmt.Errorf("core: channel %d was removed", c)
+		}
 		tp.drainStaging()
 		cur, cerr := x.cursorFor(tp)
 		if cerr != nil {
@@ -418,11 +446,15 @@ func (x *ExecCtx) Pop(c CID) (any, error) {
 // a channel or topic (its unconsumed backlog).
 func (x *ExecCtx) ChannelLen(c CID) (int, error) {
 	a := x.app
-	if int(c) < 0 || int(c) >= a.ntopics {
+	if int(c) < 0 || int(c) >= int(a.ntopicsA.Load()) {
 		return 0, fmt.Errorf("core: no channel %d", c)
 	}
 	a.mu.Lock(x.c)
 	tp := &a.topics[c]
+	if tp.dead {
+		a.mu.Unlock(x.c)
+		return 0, fmt.Errorf("core: channel %d was removed", c)
+	}
 	tp.drainStaging()
 	cur, err := x.cursorFor(tp)
 	var n int

@@ -111,6 +111,7 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 	a.jobSeq++
 	t.jobSeq++
 	j.t = t
+	t.live++
 	j.seq = a.jobSeq
 	j.taskSeq = t.jobSeq
 	j.release = release
@@ -135,7 +136,7 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 	n := len(a.freeFib)
 	if n == 0 {
 		a.overruns.Add(1)
-		a.freeJob(j)
+		a.freeJob(c, j)
 		a.mu.Unlock(c)
 		return
 	}
@@ -185,7 +186,7 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 	a.accountEnergy(j)
 	f.job = nil
 	a.freeFib = append(a.freeFib, f.idx)
-	a.freeJob(j)
+	a.freeJob(c, j)
 	w.current = nil
 	a.mu.Unlock(c)
 }

@@ -17,26 +17,36 @@ func (a *App) Start(c rt.Ctx) error {
 	if a.started.Load() {
 		return ErrStarted
 	}
+	// Serialise against live-reconfiguration transactions: a Reconfigure
+	// racing Start must observe either the stopped or the fully started
+	// application, never the half-initialised tables.
+	a.reconfigMu.Lock(c)
+	defer a.reconfigMu.Unlock(c)
+	// A previous run's threads may still be draining; wait them out before
+	// mutating shared state and so the stopping flag can be reset safely.
+	for a.workersLive.Load() > 0 || a.schedLive.Load() > 0 {
+		c.Sleep(100 * time.Microsecond)
+	}
 	if err := a.resolve(); err != nil {
 		return err
 	}
 	if a.cfg.Mapping == MappingOffline && a.offTable == nil {
 		return fmt.Errorf("core: MappingOffline needs SetOfflineTable before Start")
 	}
-	// A previous run's threads may still be draining; wait them out so the
-	// stopping flag can be reset safely.
-	for a.workersLive.Load() > 0 || a.schedLive.Load() > 0 {
-		c.Sleep(100 * time.Microsecond)
-	}
 	a.stopping.Store(false)
 	a.terminating.Store(false)
 	a.startTime = c.Now()
-	a.schedPeriod = a.cfg.SchedulerPeriod
-	if a.schedPeriod == 0 {
-		a.schedPeriod = a.schedGCD()
+	if a.cfg.SchedulerPeriod != 0 {
+		a.schedPeriodNs.Store(int64(a.cfg.SchedulerPeriod))
+	} else {
+		a.schedPeriodNs.Store(int64(a.schedGCD()))
 	}
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
+		if t.state == taskRetired {
+			continue
+		}
+		t.state = taskRunning
 		t.nextRelease = a.startTime + t.d.ReleaseOffset
 		t.lastActivation = 0
 		t.everActivated = false
@@ -45,6 +55,9 @@ func (a *App) Start(c rt.Ctx) error {
 	// their first `initial` iterations on the seeds).
 	for i := 0; i < a.nedges; i++ {
 		e := &a.edges[i]
+		if e.dead {
+			continue
+		}
 		e.head, e.count, e.tokens = 0, 0, 0
 		for k := 0; k < e.initial; k++ {
 			e.pushStamp(a.startTime)
@@ -147,9 +160,15 @@ func (a *App) Cleanup(c rt.Ctx) {
 	}
 	a.stopping.Store(true)
 	// Let in-flight jobs drain: wait until all workers are idle and queues
-	// empty, then terminate.
+	// empty, then terminate. Poll at tick granularity but no slower than a
+	// millisecond — an application of hour-long periods (or one retuned to
+	// them) must not stall its own teardown by a scheduler period.
+	drainPoll := a.schedPeriodOr(time.Millisecond)
+	if drainPoll > time.Millisecond {
+		drainPoll = time.Millisecond
+	}
 	for !a.drained(c) {
-		c.Sleep(a.schedPeriodOr(time.Millisecond))
+		c.Sleep(drainPoll)
 	}
 	a.terminating.Store(true)
 	for _, w := range a.workers {
@@ -167,14 +186,25 @@ func (a *App) Cleanup(c rt.Ctx) {
 	for a.liveThreads.Load() > 0 {
 		c.Sleep(100 * time.Microsecond)
 	}
+	// Every middleware thread is gone; serialise the final teardown against
+	// reconfiguration transactions (which read schedTh to nudge the
+	// scheduler).
+	a.reconfigMu.Lock(c)
 	a.started.Store(false)
 	a.fibersSpawned = false
 	a.schedTh = nil
+	a.reconfigMu.Unlock(c)
+}
+
+// schedPeriodNow returns the current scheduler tick period; a committed
+// reconfiguration may retune it while the scheduler loop runs.
+func (a *App) schedPeriodNow() time.Duration {
+	return time.Duration(a.schedPeriodNs.Load())
 }
 
 func (a *App) schedPeriodOr(d time.Duration) time.Duration {
-	if a.schedPeriod > 0 {
-		return a.schedPeriod
+	if p := a.schedPeriodNow(); p > 0 {
+		return p
 	}
 	return d
 }
@@ -216,7 +246,6 @@ func (a *App) threadExit() { a.liveThreads.Add(-1) }
 func (a *App) schedulerLoop(c rt.Ctx) {
 	defer a.threadExit()
 	costs := a.env.Costs()
-	next := a.startTime
 	for {
 		if a.stopping.Load() || a.terminating.Load() {
 			return
@@ -230,12 +259,12 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 		}
 		a.mu.Unlock(c)
 		a.ovh.Add(trace.OverheadSchedule, c.Now()-t0)
-		next += a.schedPeriod
-		if next <= c.Now() {
-			// Overrun: catch up to the next grid point without drifting.
-			behind := c.Now() - a.startTime
-			next = a.startTime + (behind/a.schedPeriod+1)*a.schedPeriod
-		}
+		// Next grid point, recomputed from the activation grid every tick:
+		// a reconfiguration commit may retune the period (it interrupts the
+		// sleep below so a shorter grid takes effect immediately), and an
+		// overrun snaps forward to the next point without drifting.
+		period := a.schedPeriodNow()
+		next := a.startTime + ((c.Now()-a.startTime)/period+1)*period
 		c.Charge(costs.TimerProgram)
 		if interrupted := c.SleepUntil(next); interrupted {
 			if a.terminating.Load() {
@@ -257,7 +286,7 @@ func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
 	released := 0
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
-		if t.d.Period <= 0 || t.d.Sporadic || !t.root {
+		if t.state != taskRunning || t.d.Period <= 0 || t.d.Sporadic || !t.root {
 			continue
 		}
 		for t.nextRelease <= now {
@@ -284,7 +313,7 @@ func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
 	// the common case is still handled inline at producer completion.
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
-		if t.root {
+		if t.state != taskRunning || t.root {
 			continue
 		}
 		for a.allInputsReady(t) {
@@ -328,11 +357,12 @@ func (a *App) releaseJob(c rt.Ctx, t *task, release, stamp time.Duration) *job {
 	}
 	j.effPrio = j.basePrio
 	j.state = jobReady
+	t.live++
 	q := a.queueForTask(t)
 	a.chargeQueueOp(c, q)
 	if err := q.push(j); err != nil {
 		a.overruns.Add(1)
-		a.freeJob(j)
+		a.freeJob(c, j)
 		return nil
 	}
 	return j
@@ -454,6 +484,10 @@ func (a *App) TaskActivate(c rt.Ctx, id TID) error {
 	if err != nil {
 		a.mu.Unlock(c)
 		return err
+	}
+	if t.state != taskRunning {
+		a.mu.Unlock(c)
+		return fmt.Errorf("core: task %s is %s; cannot TaskActivate", t.d.Name, t.state)
 	}
 	if len(t.inEdges) > 0 {
 		a.mu.Unlock(c)

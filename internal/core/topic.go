@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/yasmin-rt/yasmin/internal/lockfree"
 )
@@ -72,13 +73,38 @@ type subscription struct {
 	cursor uint64 // absolute sequence of the next entry to take
 }
 
+// topicView is the immutable snapshot of the topic state that lock-free
+// readers (the Publish fast path) need: endpoint registration, fan-out
+// size for cost accounting, the staging ring, and liveness. A live
+// reconfiguration swaps in a fresh snapshot under the App lock; publishers
+// racing the swap observe either the old or the new consistent view.
+type topicView struct {
+	name     string
+	pubs     []TID // immutable after publication
+	nsubs    int
+	staging  *lockfree.MPSCRing[any]
+	policy   OverflowPolicy
+	capacity int
+	dead     bool
+}
+
+func (v *topicView) isPub(t TID) bool {
+	for _, p := range v.pubs {
+		if p == t {
+			return true
+		}
+	}
+	return false
+}
+
 // topic is the runtime pub-sub channel: one shared ring buffer with absolute
 // sequence numbers, N registered publishers, M subscriber cursors. A legacy
 // channel is a topic with no registered endpoints and a single anonymous
 // cursor, which collapses to the Table-1 bounded FIFO.
 //
 // All fields are guarded by the App lock, except staging (the wall-clock
-// fan-in ring) whose producer side is intentionally lock-free.
+// fan-in ring) whose producer side is intentionally lock-free, and view,
+// the atomic snapshot lock-free readers go through.
 type topic struct {
 	id   CID
 	name string
@@ -101,20 +127,45 @@ type topic struct {
 	// (determinism) and for legacy channels (byte-identical traces).
 	staging *lockfree.MPSCRing[any]
 
+	// dead marks a removed topic (its slot recycles once redeclared).
+	dead bool
+
+	// view is the lock-free reader snapshot; refreshed by publishView
+	// whenever an App-lock holder changes endpoints, staging or liveness.
+	view atomic.Pointer[topicView]
+
 	dropped int64 // entries lost to DropOldest/Latest overwrites
 }
 
+// publishView refreshes the lock-free reader snapshot. Caller holds the App
+// lock (or runs single-threaded at declaration time).
+func (tp *topic) publishView() {
+	tp.view.Store(&topicView{
+		name:     tp.name,
+		pubs:     append([]TID(nil), tp.pubs...),
+		nsubs:    len(tp.subs),
+		staging:  tp.staging,
+		policy:   tp.opts.Policy,
+		capacity: tp.opts.Capacity,
+		dead:     tp.dead,
+	})
+}
+
 // minCursor returns the slowest consumer position. With no subscribers the
-// anonymous cursor is the consumer.
+// anonymous cursor is the consumer. Cursors ahead of the tail (a subscriber
+// admitted mid-epoch that skips staged pre-epoch residue) count as tail.
 func (tp *topic) minCursor() uint64 {
-	if len(tp.subs) == 0 {
-		return tp.anon
-	}
-	min := tp.subs[0].cursor
-	for i := 1; i < len(tp.subs); i++ {
-		if tp.subs[i].cursor < min {
-			min = tp.subs[i].cursor
+	min := tp.anon
+	if len(tp.subs) > 0 {
+		min = tp.subs[0].cursor
+		for i := 1; i < len(tp.subs); i++ {
+			if tp.subs[i].cursor < min {
+				min = tp.subs[i].cursor
+			}
 		}
+	}
+	if min > tp.tail {
+		min = tp.tail
 	}
 	return min
 }
@@ -171,8 +222,8 @@ func (tp *topic) take(cursor *uint64) (v any, ok bool) {
 	if *cursor < tp.head {
 		*cursor = tp.head // entries lost to DropOldest: resume at the oldest retained
 	}
-	if *cursor == tp.tail {
-		return nil, false
+	if *cursor >= tp.tail {
+		return nil, false // drained — or parked ahead of staged pre-epoch residue
 	}
 	c := uint64(len(tp.buf))
 	if tp.opts.Policy == Latest {
@@ -188,6 +239,9 @@ func (tp *topic) take(cursor *uint64) (v any, ok bool) {
 
 // backlog returns the number of entries the cursor has not consumed.
 func (tp *topic) backlog(cursor uint64) int {
+	if cursor >= tp.tail {
+		return 0
+	}
 	if cursor < tp.head {
 		cursor = tp.head
 	}
@@ -258,23 +312,40 @@ func (a *App) TopicDecl(name string, opts TopicOpts) (CID, error) {
 	return a.declTopic(name, opts)
 }
 
-// declTopic is the shared declaration path of ChannelDecl and TopicDecl.
+// declTopic is the shared declaration path of ChannelDecl and TopicDecl,
+// recycling slots of removed topics before growing the high-water mark.
+// The topic struct embeds an atomic snapshot and is reset field by field.
 func (a *App) declTopic(name string, opts TopicOpts) (CID, error) {
-	if a.ntopics == len(a.topics) {
-		return -1, fmt.Errorf("%w: MaxChannels=%d", ErrTooMany, len(a.topics))
+	var id CID
+	if n := len(a.freeTopicSlots); n > 0 {
+		id = CID(a.freeTopicSlots[n-1])
+		a.freeTopicSlots = a.freeTopicSlots[:n-1]
+	} else {
+		if a.ntopics == len(a.topics) {
+			return -1, fmt.Errorf("%w: MaxChannels=%d", ErrTooMany, len(a.topics))
+		}
+		id = CID(a.ntopics)
+		a.ntopics++
+		a.ntopicsA.Store(int32(a.ntopics))
 	}
-	id := CID(a.ntopics)
-	tp := &a.topics[a.ntopics]
+	tp := &a.topics[id]
 	// Storage survives the wipe: Init+redeclare cycles reuse the buffer and
 	// the staging ring (resolveTopics drops or resizes staging as needed).
-	buf, staging := tp.buf, tp.staging
-	for staging != nil { // discard any entries of the previous incarnation
-		if _, ok := staging.Pop(); !ok {
+	for tp.staging != nil { // discard any entries of the previous incarnation
+		if _, ok := tp.staging.Pop(); !ok {
 			break
 		}
 	}
-	*tp = topic{id: id, name: name, opts: opts, pubs: tp.pubs[:0], subs: tp.subs[:0],
-		staging: staging}
+	tp.id = id
+	tp.name = name
+	tp.opts = opts
+	tp.pubs = tp.pubs[:0]
+	tp.subs = tp.subs[:0]
+	tp.head, tp.tail, tp.anon = 0, 0, 0
+	tp.dead = false
+	tp.dropped = 0
+	buf := tp.buf
+	tp.buf = nil
 	if opts.Capacity > 0 {
 		if cap(buf) < opts.Capacity {
 			buf = make([]any, opts.Capacity)
@@ -286,8 +357,28 @@ func (a *App) declTopic(name string, opts TopicOpts) (CID, error) {
 		}
 		tp.buf = buf
 	}
-	a.ntopics++
+	tp.publishView()
 	return id, nil
+}
+
+// killTopicLocked marks a topic removed, releases its storage references and
+// recycles the slot. Caller holds the App lock; every registered endpoint
+// task has already retired.
+func (a *App) killTopicLocked(tp *topic) {
+	tp.dead = true
+	tp.pubs = tp.pubs[:0]
+	tp.subs = tp.subs[:0]
+	for tp.staging != nil {
+		if _, ok := tp.staging.Pop(); !ok {
+			break
+		}
+	}
+	for i := range tp.buf {
+		tp.buf[i] = nil
+	}
+	tp.head, tp.tail, tp.anon = 0, 0, 0
+	tp.publishView()
+	a.freeTopicSlots = append(a.freeTopicSlots, int(tp.id))
 }
 
 // TopicPub registers task t as a publisher on topic c — its outbound Port.
@@ -309,6 +400,7 @@ func (a *App) TopicPub(t TID, c CID) error {
 		return fmt.Errorf("core: task %d already publishes on topic %s", t, tp.name)
 	}
 	tp.pubs = append(tp.pubs, t)
+	tp.publishView()
 	return nil
 }
 
@@ -334,13 +426,14 @@ func (a *App) TopicSub(t TID, c CID) error {
 		return fmt.Errorf("core: task %d already subscribes to topic %s", t, tp.name)
 	}
 	tp.subs = append(tp.subs, subscription{task: t})
+	tp.publishView()
 	return nil
 }
 
 // TopicID returns the CID of the named topic or channel, or -1.
 func (a *App) TopicID(name string) CID {
 	for i := 0; i < a.ntopics; i++ {
-		if a.topics[i].name == name {
+		if a.topics[i].name == name && !a.topics[i].dead {
 			return a.topics[i].id
 		}
 	}
@@ -361,13 +454,23 @@ func (a *App) topicByID(c CID) (*topic, error) {
 	if int(c) < 0 || int(c) >= a.ntopics {
 		return nil, fmt.Errorf("core: no channel %d", c)
 	}
+	if a.topics[c].dead {
+		return nil, fmt.Errorf("core: channel %d was removed", c)
+	}
 	return &a.topics[c], nil
 }
 
 // resolveTopics finishes topic setup at Start: wall-clock fan-in staging
 // rings and the per-task subscription lists that drive TakeAny. Called by
 // resolve with the declaration phase closed.
-func (a *App) resolveTopics() {
+func (a *App) resolveTopics() { a.refreshTopicsLocked(false) }
+
+// refreshTopicsLocked rebuilds staging rings, subscription lists and the
+// lock-free reader snapshots. With live=true (a reconfiguration commit while
+// the schedule runs) an existing staging ring is never discarded or resized:
+// it may hold staged wall-clock publishes whose per-publisher FIFO order
+// must survive the epoch.
+func (a *App) refreshTopicsLocked(live bool) {
 	wallClock := a.env.Platform() == nil // OS backend: no cost model, real threads
 	for i := 0; i < a.ntasks; i++ {
 		a.tasks[i].subTopics = a.tasks[i].subTopics[:0]
@@ -377,16 +480,22 @@ func (a *App) resolveTopics() {
 	// buffered data across the mode switch); Init clears everything.
 	for i := 0; i < a.ntopics; i++ {
 		tp := &a.topics[i]
+		if tp.dead {
+			continue
+		}
 		// Lock-free fan-in only where it pays: real threads and more than
 		// one registered publisher. The simulation backend keeps the locked
 		// path so traces stay deterministic and cost-accounted.
 		if wallClock && len(tp.pubs) > 1 && tp.opts.Capacity > 0 {
-			if tp.staging == nil || tp.staging.Cap() < tp.opts.Capacity {
+			if tp.staging == nil {
+				tp.staging, _ = lockfree.NewMPSCRing[any](tp.opts.Capacity)
+			} else if !live && tp.staging.Cap() < tp.opts.Capacity {
 				tp.staging, _ = lockfree.NewMPSCRing[any](tp.opts.Capacity)
 			}
-		} else {
+		} else if !live {
 			tp.staging = nil
 		}
+		tp.publishView()
 		for _, s := range tp.subs {
 			a.tasks[s.task].subTopics = append(a.tasks[s.task].subTopics, tp.id)
 		}

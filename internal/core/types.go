@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -102,6 +103,38 @@ type SelectState struct {
 // up).
 type SelectFunc func(t TID, versions []VersionInfo, st SelectState) VID
 
+// taskState tracks a task through the live-reconfiguration lifecycle
+// (Admitted -> Running -> Draining -> Retired). The zero value is Admitted:
+// every Table-1 declaration starts there and Start promotes it to Running.
+// Staged marks a slot reserved by an open Reconfig transaction — invisible
+// to the scheduler until the transaction commits (or rolled back on abort).
+type taskState int
+
+const (
+	taskAdmitted taskState = iota // declared; not yet released by a schedule
+	taskRunning                   // eligible for job releases
+	taskStaged                    // reserved by an uncommitted transaction
+	taskDraining                  // removed; in-flight jobs finish, no new releases
+	taskRetired                   // fully drained; slot reusable
+)
+
+func (s taskState) String() string {
+	switch s {
+	case taskAdmitted:
+		return "admitted"
+	case taskRunning:
+		return "running"
+	case taskStaged:
+		return "staged"
+	case taskDraining:
+		return "draining"
+	case taskRetired:
+		return "retired"
+	default:
+		return fmt.Sprintf("taskState(%d)", int(s))
+	}
+}
+
 // version is a registered implementation of a task.
 type version struct {
 	id    VID
@@ -116,6 +149,15 @@ type task struct {
 	id       TID
 	d        TData
 	versions []version // len grows to cfg.MaxVersionsPerTask
+	// state is the reconfiguration lifecycle state; read and written only
+	// under the App lock (or single-threaded declaration time).
+	state taskState
+	// live counts in-flight jobs (ready + running + suspended); a Draining
+	// task retires when it reaches zero.
+	live int
+	// retireEpoch is the reconfiguration epoch whose transaction started
+	// this task's drain.
+	retireEpoch int
 	// Graph links derived from ChannelConnect.
 	outEdges []*edge
 	inEdges  []*edge
@@ -150,6 +192,9 @@ type edge struct {
 	stamps   []time.Duration // ring buffer, preallocated
 	head     int
 	count    int
+	// dead marks an edge severed by a reconfiguration (its endpoint was
+	// removed or it was explicitly disconnected); the slot is recycled.
+	dead bool
 }
 
 func (e *edge) pushStamp(t time.Duration) bool {

@@ -212,7 +212,7 @@ func (a *App) prepareRun(c rt.Ctx, w *workerState, j *job) bool {
 	if n == 0 {
 		// Cannot happen: fiber pool >= workers + jobs. Drop defensively.
 		a.overruns.Add(1)
-		a.freeJob(j)
+		a.freeJob(c, j)
 		return false
 	}
 	fi := a.freeFib[n-1]
@@ -252,8 +252,9 @@ func (a *App) completeJob(c rt.Ctx, w *workerState, j *job) {
 		dst := &a.tasks[e.dst]
 		// Periodic/sporadic roots are released by the scheduler (or
 		// TaskActivate); a token arriving on their feedback edge only
-		// enables the next timed release.
-		if !dst.root && a.allInputsReady(dst) {
+		// enables the next timed release. Draining successors get no new
+		// activations: their in-flight jobs finish, nothing more.
+		if !dst.root && dst.state == taskRunning && a.allInputsReady(dst) {
 			stamp := a.consumeInputs(dst)
 			c.Charge(costs.QueueOpBase)
 			if a.releaseJob(c, dst, now, stamp) != nil {
@@ -301,7 +302,7 @@ func (a *App) completeJob(c rt.Ctx, w *workerState, j *job) {
 		j.fib.job = nil
 		a.freeFib = append(a.freeFib, j.fib.idx)
 	}
-	a.freeJob(j)
+	a.freeJob(c, j)
 	if moreWork {
 		a.dispatch(c)
 	}

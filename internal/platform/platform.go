@@ -189,6 +189,11 @@ type CostModel struct {
 	// cursor comparison, not a payload copy — an order of magnitude below
 	// ChannelOp.
 	TopicFanoutPerSub time.Duration
+	// ReconfigBarrier is the fixed cost of committing a live reconfiguration
+	// transaction: the quiescent barrier during which the application lock is
+	// held while the task/topic/edge tables are rewritten. The per-entry scan
+	// of those tables is charged on top via StaticScanPerItem.
+	ReconfigBarrier time.Duration
 }
 
 // Validate rejects negative costs.
@@ -212,6 +217,7 @@ func (cm *CostModel) Validate() error {
 		{"DispatchIPI", cm.DispatchIPI},
 		{"ChannelOp", cm.ChannelOp},
 		{"TopicFanoutPerSub", cm.TopicFanoutPerSub},
+		{"ReconfigBarrier", cm.ReconfigBarrier},
 	}
 	for _, c := range checks {
 		if c.d < 0 {
@@ -239,6 +245,7 @@ func DefaultCosts() CostModel {
 		DispatchIPI:       1800 * time.Nanosecond,
 		ChannelOp:         90 * time.Nanosecond,
 		TopicFanoutPerSub: 12 * time.Nanosecond,
+		ReconfigBarrier:   4000 * time.Nanosecond,
 	}
 }
 

@@ -66,6 +66,13 @@ func (b *Builder) Spec() (*Spec, error) {
 		out.Tasks[i] = b.s.Tasks[i]
 		out.Tasks[i].Versions = append([]VersionSpec(nil), b.s.Tasks[i].Versions...)
 	}
+	if len(b.s.Modes) > 0 {
+		out.Modes = make([]ModeSpec, len(b.s.Modes))
+		for i := range b.s.Modes {
+			out.Modes[i] = b.s.Modes[i]
+			out.Modes[i].Tasks = append([]string(nil), b.s.Modes[i].Tasks...)
+		}
+	}
 	if err := out.Validate(); err != nil {
 		return nil, err
 	}
@@ -183,6 +190,24 @@ func (b *Builder) ConnectDelayed(src, dst string, c core.CID, delay int) *Builde
 		return b
 	}
 	ch.Src, ch.Dst, ch.Delay = src, dst, delay
+	return b
+}
+
+// Mode declares a named mode preset activating the listed tasks (none =
+// all) with the given execution-mode word. Build installs the presets on
+// the App; App.SwitchMode(name) later reconfigures to them live.
+func (b *Builder) Mode(name string, mode uint32, tasks ...string) *Builder {
+	if name == "" {
+		b.fail("mode needs a name")
+		return b
+	}
+	for i := range b.s.Modes {
+		if b.s.Modes[i].Name == name {
+			b.fail("duplicate mode name %q", name)
+			return b
+		}
+	}
+	b.s.Modes = append(b.s.Modes, ModeSpec{Name: name, Mode: mode, Tasks: tasks})
 	return b
 }
 
@@ -380,6 +405,11 @@ func (t *TaskBuilder) Channel(name string, capacity int) core.CID {
 // Topic declares a pub-sub topic (application scope).
 func (t *TaskBuilder) Topic(name string, opts core.TopicOpts) core.CID {
 	return t.b.Topic(name, opts)
+}
+
+// Mode declares a mode preset (application scope).
+func (t *TaskBuilder) Mode(name string, mode uint32, tasks ...string) *Builder {
+	return t.b.Mode(name, mode, tasks...)
 }
 
 // Connect connects a declared channel (application scope).

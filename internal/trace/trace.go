@@ -143,13 +143,37 @@ type JobRecord struct {
 // ResponseTime returns finish - release.
 func (r *JobRecord) ResponseTime() time.Duration { return r.Finish - r.Release }
 
+// ReconfigRecord captures one committed live-reconfiguration epoch: which
+// tasks the transaction admitted, retuned and started draining, the mode
+// word installed, and how long the quiescent barrier (the application lock
+// hold while the tables were rewritten) paused middleware interactions.
+type ReconfigRecord struct {
+	Epoch    int
+	At       time.Duration
+	Admitted []string // task names added by the transaction
+	Retuned  []string // task names whose timing changed
+	Retiring []string // task names draining towards retirement
+	Mode     uint32   // execution-mode word after the commit
+	Pause    time.Duration
+}
+
+// RetireEvent records the completion of a task's drain: the instant its last
+// in-flight job finished and the slot was reclaimed.
+type RetireEvent struct {
+	Task  string
+	Epoch int // epoch whose transaction started the drain
+	At    time.Duration
+}
+
 // Recorder accumulates job records and per-task statistics. Safe for
 // concurrent use.
 type Recorder struct {
-	mu       sync.Mutex
-	jobs     []JobRecord
-	keepJobs bool
-	perTask  map[string]*TaskStats
+	mu        sync.Mutex
+	jobs      []JobRecord
+	keepJobs  bool
+	perTask   map[string]*TaskStats
+	reconfigs []ReconfigRecord
+	retires   []RetireEvent
 }
 
 // TaskStats aggregates per-task outcomes.
@@ -195,6 +219,38 @@ func (r *Recorder) Record(j JobRecord) {
 	}
 	ts.Response.Add(j.ResponseTime())
 	ts.Versions[j.Version]++
+}
+
+// RecordReconfig adds one committed reconfiguration epoch.
+func (r *Recorder) RecordReconfig(rec ReconfigRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reconfigs = append(r.reconfigs, rec)
+}
+
+// RecordRetire adds one completed task retirement.
+func (r *Recorder) RecordRetire(e RetireEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retires = append(r.retires, e)
+}
+
+// Reconfigs returns a copy of the recorded reconfiguration epochs.
+func (r *Recorder) Reconfigs() []ReconfigRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ReconfigRecord, len(r.reconfigs))
+	copy(out, r.reconfigs)
+	return out
+}
+
+// Retires returns a copy of the recorded retirement completions.
+func (r *Recorder) Retires() []RetireEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RetireEvent, len(r.retires))
+	copy(out, r.retires)
+	return out
 }
 
 // Jobs returns a copy of the retained job records.

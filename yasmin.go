@@ -61,6 +61,20 @@
 // remain available on App for fine-grained control; the spec layer performs
 // exactly those calls.
 //
+// # Live reconfiguration
+//
+// The Table-1 lifecycle freezes declarations at Start; YASMIN instead
+// reconfigures running applications transactionally. App.Reconfigure
+// batches add/remove/retune operations, validates them, runs an online
+// admission test (response-time / demand-bound / density analysis matching
+// the configured mapping and priority policy) and commits at a quiescent
+// point: removed tasks drain at job boundaries, surviving tasks — and their
+// in-flight topic state — are untouched. Infeasible transactions are
+// rejected with ErrNotSchedulable naming the offending task while the
+// application keeps running. Declaratively, Diff computes the transaction
+// between two AppSpecs, SwitchSpec applies it, and AppSpec.Modes +
+// App.SwitchMode drive named mission phases (see examples/mode-switch).
+//
 // See examples/ for the paper's diamond-graph listing, the Search & Rescue
 // drone application, off-line scheduling, design-space exploration, and the
 // telemetry-fanout pub-sub demo; see cmd/ for the tools that regenerate the
@@ -185,6 +199,46 @@ const (
 
 // New creates a middleware instance on the given environment.
 func New(cfg Config, env Env) (*App, error) { return core.New(cfg, env) }
+
+// Live reconfiguration: App.Reconfigure batches add/remove/retune of tasks,
+// topics and edges into one transaction, validates it, runs the online
+// admission test (internal/analysis keyed on Config.Mapping+Priority) and
+// commits at a quiescent point — removed tasks drain at job boundaries,
+// unaffected tasks never stop. Declaratively, Diff computes the same
+// transaction from two AppSpecs and SwitchSpec applies it; AppSpec.Modes
+// plus App.SwitchMode drive named mission phases.
+type (
+	// Reconfig is a live reconfiguration transaction (see App.Reconfigure).
+	Reconfig = core.Reconfig
+	// ModePreset is a named reconfiguration recipe (App.InstallMode).
+	ModePreset = core.ModePreset
+	// NotSchedulableError carries the task an admission rejection pins the
+	// violation on; it matches ErrNotSchedulable via errors.Is.
+	NotSchedulableError = core.NotSchedulableError
+	// ModeSpec declares a named mode (active task subset) in an AppSpec.
+	ModeSpec = spec.ModeSpec
+	// Plan is the transaction Diff derives from two AppSpecs.
+	Plan = spec.Plan
+	// PlanChannel identifies a channel a Plan removes.
+	PlanChannel = spec.PlanChannel
+)
+
+// Sentinel errors.
+var (
+	// ErrNotSchedulable matches every admission rejection (errors.Is); the
+	// concrete value is a *NotSchedulableError naming the offending task.
+	ErrNotSchedulable = core.ErrNotSchedulable
+	// ErrStarted is returned by declaration calls while the schedule runs;
+	// use Reconfigure/SwitchMode/SwitchSpec for live changes instead.
+	ErrStarted = core.ErrStarted
+)
+
+// Diff computes the reconfiguration Plan turning one AppSpec into another.
+var Diff = spec.Diff
+
+// SwitchSpec diffs two AppSpecs and applies the plan to a (running or
+// stopped) App in one admitted, quiescent transaction.
+var SwitchSpec = spec.SwitchSpec
 
 // Declarative application descriptions (the spec layer): a serializable
 // AppSpec mirrors the whole Table-1 construction surface, and the fluent
