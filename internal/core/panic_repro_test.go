@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/rt"
+)
+
+func TestReconfigSporadicNoDeadlinePanic(t *testing.T) {
+	env := rt.NewOSEnv()
+	env.Spin = false
+	app, err := New(Config{Workers: 1, MaxTasks: 4, MaxChannels: 2, MaxPendingJobs: 8}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		err := app.Reconfigure(c, func(tx *Reconfig) error {
+			id, err := tx.AddTask(TData{Name: "spore", Sporadic: true})
+			if err != nil {
+				return err
+			}
+			_, err = tx.AddVersion(id, func(x *ExecCtx, _ any) error { return nil }, nil, VSelect{WCET: time.Millisecond})
+			return err
+		})
+		t.Logf("Reconfigure returned: %v", err)
+	})
+	env.Wait()
+}
