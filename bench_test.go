@@ -24,6 +24,7 @@ import (
 	"github.com/yasmin-rt/yasmin/internal/sim"
 	"github.com/yasmin-rt/yasmin/internal/stress"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
+	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
 // --- Fig. 2: scheduling overhead, YASMIN vs Mollison & Anderson ---
@@ -392,6 +393,149 @@ func BenchmarkReconfigure(b *testing.B) {
 	if err := os.WriteFile("BENCH_reconfig.json", out, 0o644); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// --- Scheduler tick scaling: O(jobs released), not O(tasks declared) ---
+
+// schedTickRow is one BENCH_scale.json "sched_tick" record.
+type schedTickRow struct {
+	Name          string  `json:"name"`
+	DeclaredTasks int     `json:"declared_tasks"`
+	ActiveTasks   int     `json:"active_tasks"`
+	Ticks         int64   `json:"ticks"`
+	ReleasedJobs  int64   `json:"released_jobs"`
+	NsPerTick     float64 `json:"ns_per_tick"`
+	NsPerReleased float64 `json:"ns_per_released_job"`
+}
+
+// runSchedTick simulates a fixed horizon with `declared` tasks of which
+// only `active` ever release (the rest sit one hour out on the release
+// wheels) and returns host-time cost per scheduler tick. Before the wheel
+// refactor the tick scanned every declared task; now cost must track the
+// released-job count alone.
+func runSchedTick(b *testing.B, declared, active int) schedTickRow {
+	b.Helper()
+	eng := sim.NewEngine(1)
+	env, err := rt.NewSimEnv(eng, platform.Generic(5), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := core.New(core.Config{
+		Workers: 4, Priority: core.PriorityEDF,
+		MaxTasks: declared, MaxPendingJobs: 1024,
+	}, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < declared; i++ {
+		d := core.TData{Name: fmt.Sprintf("t%d", i), Period: time.Millisecond}
+		if i >= active {
+			// Cold task: parked an hour out; a full-scan scheduler still
+			// pays for it every tick, a wheel never touches it.
+			d.Period = time.Hour
+			d.ReleaseOffset = time.Hour
+		}
+		tid, err := app.TaskDecl(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+			return x.Compute(500 * time.Nanosecond)
+		}, nil, core.VSelect{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const horizon = 500 * time.Millisecond
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			b.Errorf("start: %v", err)
+			return
+		}
+		c.Sleep(horizon)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	t0 := time.Now()
+	if err := eng.Run(sim.Infinity); err != nil {
+		b.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	ticks := int64(0)
+	if st := app.Overheads().Kind(trace.OverheadSchedule); st != nil {
+		ticks = st.Count()
+	}
+	released := app.Recorder().TotalJobs()
+	if ticks == 0 || released == 0 {
+		b.Fatalf("degenerate run: %d ticks, %d jobs", ticks, released)
+	}
+	return schedTickRow{
+		DeclaredTasks: declared,
+		ActiveTasks:   active,
+		Ticks:         ticks,
+		ReleasedJobs:  released,
+		NsPerTick:     float64(elapsed.Nanoseconds()) / float64(ticks),
+		NsPerReleased: float64(elapsed.Nanoseconds()) / float64(released),
+	}
+}
+
+// BenchmarkSchedTick measures the scheduler tick across task-table sizes:
+// with the released-job rate held constant, ns/tick must stay flat as the
+// declared count grows 100x (the O(ready) hot path), and grow only with
+// the released rate. Rows land in BENCH_scale.json for CI trend tracking.
+func BenchmarkSchedTick(b *testing.B) {
+	shapes := []struct {
+		name             string
+		declared, active int
+	}{
+		{"declared-100-active-50", 100, 50},
+		{"declared-1k-active-50", 1000, 50},
+		{"declared-10k-active-50", 10000, 50},
+		{"declared-10k-active-500", 10000, 500},
+	}
+	rowByName := map[string]schedTickRow{}
+	for _, tc := range shapes {
+		b.Run(tc.name, func(b *testing.B) {
+			var row schedTickRow
+			for i := 0; i < b.N; i++ {
+				row = runSchedTick(b, tc.declared, tc.active)
+			}
+			row.Name = tc.name
+			rowByName[tc.name] = row
+			b.ReportMetric(row.NsPerTick, "ns/tick")
+			b.ReportMetric(float64(row.ReleasedJobs)/float64(row.Ticks), "released/tick")
+		})
+	}
+	rows := make([]schedTickRow, 0, len(shapes))
+	for _, tc := range shapes {
+		if row, ok := rowByName[tc.name]; ok {
+			rows = append(rows, row)
+		}
+	}
+	if err := mergeBenchScale("sched_tick", rows); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// mergeBenchScale read-modify-writes one top-level key of BENCH_scale.json,
+// preserving sections other writers (yasmin-stress -out) maintain.
+func mergeBenchScale(key string, payload any) error {
+	const path = "BENCH_scale.json"
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: existing file is not a JSON object: %w", path, err)
+		}
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	doc[key] = raw
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // --- Micro-benchmarks of the scheduling fast path (real time, not

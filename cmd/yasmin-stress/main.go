@@ -1,0 +1,128 @@
+// Command yasmin-stress drives a declarative stress scenario through the
+// middleware on the deterministic simulation backend and validates runtime
+// invariants (no lost topic entries, per-publisher FIFO,
+// drain-before-retire, admission monotonicity) while it runs.
+//
+// A scenario file (YAML or JSON; see the scenarios/ directory and the
+// "Stress & scale" section of the README for the schema) declares task
+// generator groups, pub-sub topic shapes, reconfiguration churn and failure
+// injection:
+//
+//	yasmin-stress -scenario scenarios/smoke.yaml
+//	yasmin-stress -scenario scenarios/scale10k.yaml -out BENCH_scale.json
+//
+// The exit status is non-zero when the checker finds violations, making the
+// command usable as a CI gate. With -out, the report is merged into the
+// given JSON file under the "scenarios" key (the same file
+// BenchmarkSchedTick writes its tick-scaling rows into).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/scenario"
+	"github.com/yasmin-rt/yasmin/internal/spec"
+)
+
+func main() {
+	var (
+		scenarioPath = flag.String("scenario", "", "scenario file (.yaml/.yml/.json); required")
+		seed         = flag.Int64("seed", -1, "override the scenario seed (-1 keeps the file's)")
+		duration     = flag.Duration("duration", 0, "override the scenario duration (0 keeps the file's)")
+		out          = flag.String("out", "", "merge the JSON report into this file under the \"scenarios\" key")
+		quiet        = flag.Bool("quiet", false, "suppress the human-readable summary")
+	)
+	flag.Parse()
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "yasmin-stress: -scenario is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, err := scenario.LoadFile(*scenarioPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+		os.Exit(2)
+	}
+	if *seed >= 0 {
+		sc.Seed = *seed
+	}
+	if *duration > 0 {
+		sc.Duration = spec.Duration(*duration)
+	}
+
+	rep, err := scenario.Run(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		printSummary(rep)
+	}
+	if *out != "" {
+		if err := mergeReport(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: %d invariant violations\n", len(rep.Violations))
+		os.Exit(1)
+	}
+}
+
+func printSummary(rep *scenario.Report) {
+	fmt.Printf("scenario %s (seed %d)\n", rep.Scenario, rep.Seed)
+	fmt.Printf("  tasks      %d declared (%d slots provisioned), %d workers\n", rep.Tasks, rep.PeakTasks, rep.Workers)
+	fmt.Printf("  simulated  %v in %v wall (%d engine steps)\n",
+		time.Duration(rep.SimDurationNS), time.Duration(rep.WallNS).Round(time.Millisecond), rep.EngineSteps)
+	fmt.Printf("  jobs       %d (%.0f jobs/wall-second), %d deadline misses, %d overruns\n",
+		rep.Jobs, rep.JobsPerWallSec, rep.Misses, rep.Overruns)
+	fmt.Printf("  data plane %d published, %d delivered\n", rep.Published, rep.Delivered)
+	fmt.Printf("  reconfig   %d epochs, %d retirements, %d admission rejections\n",
+		rep.Epochs, rep.Retires, rep.Rejections)
+	if len(rep.Violations) == 0 {
+		fmt.Printf("  checker    PASS (0 violations)\n")
+	} else {
+		fmt.Printf("  checker    FAIL (%d violations)\n", len(rep.Violations))
+		for _, v := range rep.Violations {
+			fmt.Printf("    - %s\n", v)
+		}
+	}
+}
+
+// mergeReport read-modify-writes the report into path under
+// "scenarios".<name>, preserving whatever else (e.g. BenchmarkSchedTick's
+// "sched_tick" rows) the file holds.
+func mergeReport(path string, rep *scenario.Report) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s: existing file is not a JSON object: %w", path, err)
+		}
+	}
+	scenarios := map[string]json.RawMessage{}
+	if raw, ok := doc["scenarios"]; ok {
+		if err := json.Unmarshal(raw, &scenarios); err != nil {
+			return fmt.Errorf("%s: \"scenarios\" key: %w", path, err)
+		}
+	}
+	repRaw, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	scenarios[rep.Scenario] = repRaw
+	scRaw, err := json.Marshal(scenarios)
+	if err != nil {
+		return err
+	}
+	doc["scenarios"] = scRaw
+	outData, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(outData, '\n'), 0o644)
+}

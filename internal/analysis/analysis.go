@@ -1,8 +1,3 @@
-// Package analysis implements classical schedulability tests used by the
-// off-line scheduler, the experiment harness and the test suite to
-// cross-check simulation results: response-time analysis for fixed-priority
-// scheduling, the EDF processor-demand criterion, utilisation bounds, and
-// first-fit partitioning.
 package analysis
 
 import (

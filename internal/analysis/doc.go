@@ -1,0 +1,14 @@
+// Package analysis implements classical schedulability tests used by the
+// off-line scheduler, the online admission guard, the experiment harness
+// and the test suite to cross-check simulation results: response-time
+// analysis for fixed-priority scheduling, the EDF processor-demand
+// criterion, utilisation/density bounds, and first-fit partitioning.
+//
+// The Admit entry point (admission.go) is the runtime-facing façade: it
+// selects the test matching a middleware configuration — per-core RTA or
+// EDF demand-bound under partitioned mappings, the global density (GFB)
+// bounds otherwise — and pins a rejection on the offending task, which
+// core.Reconfigure surfaces as a typed *NotSchedulableError. All tests are
+// sufficient: an admitted set is schedulable under the test's assumptions,
+// a rejected one may merely exceed the bound's pessimism.
+package analysis

@@ -54,6 +54,14 @@ type App struct {
 	fibers  []*fiber
 	freeFib []int
 
+	// Release shards: one hierarchical timer wheel per ready queue so the
+	// scheduler tick costs O(jobs released), not O(tasks declared). due is
+	// the per-tick scratch buffer (preallocated; the tick never allocates).
+	// dataPending queues data-activated tasks whose inputs became ready
+	// outside the inline producer-completion path. All guarded by mu.
+	shards      []*releaseShard
+	dataPending []*task
+
 	started       atomic.Bool
 	stopping      atomic.Bool
 	terminating   atomic.Bool
@@ -133,6 +141,11 @@ func New(cfg Config, env rt.Env) (*App, error) {
 	for i := range a.queues {
 		a.queues[i] = newReadyQueue(cfg.MaxPendingJobs)
 	}
+	a.shards = make([]*releaseShard, nq)
+	for i := range a.shards {
+		a.shards[i] = &releaseShard{due: make([]*task, 0, cfg.MaxTasks)}
+	}
+	a.dataPending = make([]*task, 0, cfg.MaxTasks)
 	a.workers = make([]*workerState, cfg.Workers)
 	for i := range a.workers {
 		a.workers[i] = &workerState{
@@ -264,7 +277,7 @@ func (a *App) allocTaskSlot() (*task, TID, error) {
 		idx := a.freeTaskSlots[n-1]
 		a.freeTaskSlots = a.freeTaskSlots[:n-1]
 		t := &a.tasks[idx]
-		*t = task{id: TID(idx), versions: t.versions[:0]}
+		resetTaskSlot(t, TID(idx))
 		return t, TID(idx), nil
 	}
 	if a.ntasks == len(a.tasks) {
@@ -272,9 +285,24 @@ func (a *App) allocTaskSlot() (*task, TID, error) {
 	}
 	id := TID(a.ntasks)
 	t := &a.tasks[a.ntasks]
-	*t = task{id: id, versions: t.versions[:0]}
+	resetTaskSlot(t, id)
 	a.ntasks++
 	return t, id, nil
+}
+
+// resetTaskSlot wipes a task slot for a new incarnation, keeping slice
+// capacity and — critically — the wheelGen counter: release-wheel entries of
+// the previous incarnation are invalidated by generation, so the counter
+// must stay monotonic across slot recycling or a stale entry could match a
+// reused generation and double-release the new task.
+func resetTaskSlot(t *task, id TID) {
+	*t = task{
+		id:        id,
+		versions:  t.versions[:0],
+		subTopics: t.subTopics[:0],
+		pubTopics: t.pubTopics[:0],
+		wheelGen:  t.wheelGen + 1,
+	}
 }
 
 // TaskDecl declares a task — the paper's yas_task_decl. The task has no
@@ -752,43 +780,57 @@ func (a *App) freeJob(c rt.Ctx, j *job) {
 // finishRetireLocked completes a draining task's retirement: the last
 // in-flight job finished, so the task's topic endpoints are scrubbed (its
 // cursors no longer hold back the shared buffers), its slot returns to the
-// freelist, and topics waiting on it may die. Caller holds the lock.
+// freelist, and topics waiting on it may die. Only the task's own endpoint
+// lists (pubTopics/subTopics) are visited — retirement cost is O(endpoints
+// of the retiring task), not O(topics declared), keeping cursor scans off
+// the reconfiguration hot path. Caller holds the lock.
 func (a *App) finishRetireLocked(t *task, now time.Duration) {
 	t.state = taskRetired
-	for i := 0; i < a.ntopics; i++ {
-		tp := &a.topics[i]
+	for _, c := range t.pubTopics {
+		tp := &a.topics[c]
 		if tp.dead {
 			continue
 		}
-		changed, subRemoved := false, false
+		changed := false
 		for k := len(tp.pubs) - 1; k >= 0; k-- {
 			if tp.pubs[k] == t.id {
 				tp.pubs = append(tp.pubs[:k], tp.pubs[k+1:]...)
 				changed = true
 			}
 		}
+		if changed {
+			tp.publishView()
+		}
+	}
+	for _, c := range t.subTopics {
+		tp := &a.topics[c]
+		if tp.dead {
+			continue
+		}
+		changed := false
 		for k := len(tp.subs) - 1; k >= 0; k-- {
 			if tp.subs[k].task == t.id {
 				tp.subs = append(tp.subs[:k], tp.subs[k+1:]...)
 				changed = true
-				subRemoved = true
 			}
 		}
-		if changed {
-			if subRemoved && len(tp.subs) == 0 {
-				// The last registered subscriber is gone: its unconsumed
-				// backlog is unclaimable, so discard it and park the
-				// anonymous cursor at the tail — a stale cursor must not
-				// block surviving publishers forever.
-				tp.anon = tp.tail
-			}
-			if tp.buf != nil {
-				tp.gc() // retired cursors no longer hold entries back
-			}
-			tp.publishView()
+		if !changed {
+			continue
 		}
+		if len(tp.subs) == 0 {
+			// The last registered subscriber is gone: its unconsumed
+			// backlog is unclaimable, so discard it and park the
+			// anonymous cursor at the tail — a stale cursor must not
+			// block surviving publishers forever.
+			tp.anon = tp.tail
+		}
+		if tp.buf != nil {
+			tp.gc() // retired cursors no longer hold entries back
+		}
+		tp.publishView()
 	}
 	t.subTopics = t.subTopics[:0]
+	t.pubTopics = t.pubTopics[:0]
 	a.freeTaskSlots = append(a.freeTaskSlots, int(t.id))
 	a.rec.RecordRetire(trace.RetireEvent{Task: t.d.Name, Epoch: t.retireEpoch, At: now})
 	a.reapDeadTopicsLocked()

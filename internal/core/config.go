@@ -1,16 +1,3 @@
-// Package core implements the YASMIN middleware: user-space real-time
-// scheduling of multi-version task sets on COTS heterogeneous platforms
-// (Rouxel, Altmeyer, Grelck — MIDDLEWARE 2021).
-//
-// The package mirrors the paper's C API (Table 1) in Go: an App is
-// configured statically (Config ~ the config.h header), tasks and their
-// versions are declared before Start, worker threads ("virtual CPUs") are
-// pinned to cores, a dedicated scheduler thread releases jobs periodically
-// at the GCD of all task periods, and preemption is delivered by signals
-// (rt.Thread.Interrupt) that suspend the running job's execution context.
-//
-// All structures are sized by the Config at New: nothing on the scheduling
-// path allocates, following the paper's MISRA-style discipline.
 package core
 
 import (

@@ -1,12 +1,23 @@
 package core
 
 import (
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/rt"
 )
 
+// TestReconfigSporadicNoDeadlinePanic is the regression test for the
+// sporadic-task-without-deadline panic: a transaction staging a sporadic
+// task with neither a minimum inter-arrival time nor an explicit deadline
+// used to pass validation (the deadline rule exempted sporadic tasks) and
+// then panic inside commit when deriveTaskLocked rejected it — while
+// holding the App lock, so the deferred rollback deadlocked on top.
+//
+// The fixed behaviour: Reconfigure rejects the transaction with a clean
+// validation error, the application is untouched, and a corrected
+// transaction on the same App succeeds.
 func TestReconfigSporadicNoDeadlinePanic(t *testing.T) {
 	env := rt.NewOSEnv()
 	env.Spin = false
@@ -23,7 +34,60 @@ func TestReconfigSporadicNoDeadlinePanic(t *testing.T) {
 			_, err = tx.AddVersion(id, func(x *ExecCtx, _ any) error { return nil }, nil, VSelect{WCET: time.Millisecond})
 			return err
 		})
-		t.Logf("Reconfigure returned: %v", err)
+		if err == nil {
+			t.Error("sporadic task without period or deadline must be rejected")
+		} else if !strings.Contains(err.Error(), "sporadic task spore") {
+			t.Errorf("rejection should name the offending task, got: %v", err)
+		}
+		if app.Epoch() != 0 {
+			t.Errorf("rejected transaction bumped the epoch to %d", app.Epoch())
+		}
+
+		// The rejection must roll back cleanly: the same App admits the
+		// corrected transaction (a minimum inter-arrival time gives the
+		// sporadic task its implicit deadline).
+		err = app.Reconfigure(c, func(tx *Reconfig) error {
+			id, err := tx.AddTask(TData{Name: "spore", Sporadic: true, Period: 10 * time.Millisecond})
+			if err != nil {
+				return err
+			}
+			_, err = tx.AddVersion(id, func(x *ExecCtx, _ any) error { return nil }, nil, VSelect{WCET: time.Millisecond})
+			return err
+		})
+		if err != nil {
+			t.Errorf("corrected sporadic task rejected: %v", err)
+		}
+		if app.Epoch() != 1 {
+			t.Errorf("committed transaction should report epoch 1, got %d", app.Epoch())
+		}
+		if id := app.TaskIDByName("spore"); id < 0 {
+			t.Error("committed sporadic task not found by name")
+		}
+	})
+	env.Wait()
+}
+
+// TestReconfigSporadicExplicitDeadline: a sporadic task with no minimum
+// inter-arrival time is admissible when it declares an explicit deadline.
+func TestReconfigSporadicExplicitDeadline(t *testing.T) {
+	env := rt.NewOSEnv()
+	env.Spin = false
+	app, err := New(Config{Workers: 1, MaxTasks: 4, MaxChannels: 2, MaxPendingJobs: 8}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		err := app.Reconfigure(c, func(tx *Reconfig) error {
+			id, err := tx.AddTask(TData{Name: "burst", Sporadic: true, Deadline: 5 * time.Millisecond})
+			if err != nil {
+				return err
+			}
+			_, err = tx.AddVersion(id, func(x *ExecCtx, _ any) error { return nil }, nil, VSelect{WCET: time.Millisecond})
+			return err
+		})
+		if err != nil {
+			t.Errorf("sporadic task with explicit deadline rejected: %v", err)
+		}
 	})
 	env.Wait()
 }

@@ -758,7 +758,14 @@ func (tx *Reconfig) validate() error {
 		if m.d.Period > 0 && zeroDelayIn[i] {
 			return fmt.Errorf("core: task %s is data-activated but has a period; only root nodes carry periods (feedback into a periodic root needs delay tokens)", m.d.Name)
 		}
-		if m.d.Period == 0 && !m.d.Sporadic && !hasIn[i] && m.d.Deadline == 0 {
+		// Every rule deriveTaskLocked re-checks at commit must be caught
+		// here, or an admitted transaction would panic mid-commit. A
+		// sporadic task without a minimum inter-arrival time has no implicit
+		// deadline to fall back on, exactly like an aperiodic one.
+		if m.d.Period == 0 && !hasIn[i] && m.d.Deadline == 0 {
+			if m.d.Sporadic {
+				return fmt.Errorf("core: sporadic task %s needs a minimum inter-arrival time (Period) or an explicit deadline", m.d.Name)
+			}
 			return fmt.Errorf("core: aperiodic task %s needs an explicit deadline (did a removal orphan it?)", m.d.Name)
 		}
 		if a.cfg.Mapping == MappingPartitioned {
@@ -975,29 +982,55 @@ func (tx *Reconfig) rootTiming(i int, seen []bool) (time.Duration, time.Duration
 // take effect immediately.
 func (tx *Reconfig) commit() {
 	a := tx.a
+	started := a.started.Load()
+	rec := tx.commitTables(started)
+	a.rec.RecordReconfig(rec)
+	// Nudge the scheduler so admitted tasks and retuned grids take effect
+	// now, not at the old grid's next tick.
+	if started && a.schedTh != nil {
+		a.schedTh.Interrupt()
+	}
+}
+
+// commitTables is the locked half of commit. The App lock is released by
+// defer so that an invariant-violation panic (a validated transaction
+// failing derivation — a bug, not a user error) crashes loudly instead of
+// deadlocking the deferred rollback on the still-held lock.
+func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
+	a := tx.a
 	c := tx.c
 	costs := a.env.Costs()
-	started := a.started.Load()
 
 	a.mu.Lock(c)
+	defer a.mu.Unlock(c)
 	t0 := c.Now()
 	now := t0
 	epoch := int(a.epoch.Load()) + 1
 	rec := trace.ReconfigRecord{Epoch: epoch, At: now}
+	liveWheels := started && a.shards[0].wheel != nil
 
-	// Removed tasks start draining.
+	// Removed tasks start draining; their pending releases leave the wheel.
 	for _, id := range tx.removeOrder {
 		t := &a.tasks[id]
 		t.state = taskDraining
 		t.retireEpoch = epoch
+		if liveWheels {
+			a.wheelRemoveLocked(t)
+		}
 		rec.Retiring = append(rec.Retiring, t.d.Name)
 	}
-	// Severed edges die and their slots recycle.
+	// Severed edges die and their slots recycle. Their consumers are
+	// remembered: losing an in-edge can complete a surviving task's input
+	// set (its other edges already hold tokens), which must then fire via
+	// the scheduler's catch-up queue, not wait for a producer that may
+	// never complete again.
+	var severedDsts []TID
 	for i := 0; i < a.nedges; i++ {
 		e := &a.edges[i]
 		if !e.dead && tx.severs(e) {
 			e.dead = true
 			a.freeEdgeSlots = append(a.freeEdgeSlots, i)
+			severedDsts = append(severedDsts, e.dst)
 		}
 	}
 	// Staged edges materialise, delay tokens seeded at the commit instant.
@@ -1077,7 +1110,7 @@ func (tx *Reconfig) commit() {
 			panic(fmt.Sprintf("core: validated transaction failed derivation: %v", err))
 		}
 	}
-	a.refreshTopicsLocked(started)
+	a.refreshTopicsAfterCommitLocked(tx)
 	// Instant retirements (removed tasks with no in-flight jobs) and topic
 	// reaping.
 	for _, id := range tx.removeOrder {
@@ -1087,9 +1120,45 @@ func (tx *Reconfig) commit() {
 		}
 	}
 	a.reapDeadTopicsLocked()
-	// Scheduler grid: the GCD may have changed.
+	// Scheduler grid: the GCD may have changed. The release wheels are
+	// granular at the grid, so a changed grid rebuilds them (O(tasks), only
+	// on grid-changing commits); an unchanged grid updates them
+	// incrementally below (O(changes)).
+	oldGrid := a.schedPeriodNow()
 	if a.cfg.SchedulerPeriod == 0 && started {
 		a.schedPeriodNs.Store(int64(a.schedGCD()))
+	}
+	if liveWheels && a.schedPeriodNow() != oldGrid {
+		a.rebuildWheelsLocked(now)
+	} else if liveWheels {
+		// Retuned tasks re-arm at their (possibly pulled-in) next release;
+		// admitted periodic roots arm for the first time.
+		for _, id := range tx.retuneOrder {
+			t := &a.tasks[id]
+			a.wheelRemoveLocked(t)
+			if t.state == taskRunning && t.root && t.d.Period > 0 && !t.d.Sporadic {
+				a.wheelInsertLocked(t)
+			}
+		}
+		for _, id := range tx.addedTasks {
+			t := &a.tasks[id]
+			if t.state == taskRunning && t.root && t.d.Period > 0 && !t.d.Sporadic {
+				a.wheelInsertLocked(t)
+			}
+		}
+	}
+	// Input backlogs the transaction exposed (delay-token seeds on staged
+	// edges, a severed edge completing a surviving consumer's input set)
+	// queue their consumers for the scheduler's catch-up release.
+	for _, se := range tx.stagedEdges {
+		if int(se.dst) < a.ntasks {
+			a.noteDataReadyLocked(&a.tasks[se.dst])
+		}
+	}
+	for _, dst := range severedDsts {
+		if int(dst) < a.ntasks {
+			a.noteDataReadyLocked(&a.tasks[dst])
+		}
 	}
 	if tx.mode != nil {
 		atomic.StoreUint32(&a.mode, *tx.mode)
@@ -1101,14 +1170,7 @@ func (tx *Reconfig) commit() {
 	c.Charge(costs.ReconfigBarrier +
 		time.Duration(a.ntasks+a.nedges+a.ntopics)*costs.StaticScanPerItem)
 	rec.Pause = c.Now() - t0
-	a.mu.Unlock(c)
-
-	a.rec.RecordReconfig(rec)
-	// Nudge the scheduler so admitted tasks and retuned grids take effect
-	// now, not at the old grid's next tick.
-	if started && a.schedTh != nil {
-		a.schedTh.Interrupt()
-	}
+	return rec
 }
 
 // allocEdgeSlot reserves an edge slot, recycling severed ones first. Caller

@@ -41,8 +41,19 @@ func (a *App) Start(c rt.Ctx) error {
 	} else {
 		a.schedPeriodNs.Store(int64(a.schedGCD()))
 	}
+	// Fresh release shards for this run: wheel granularity is the scheduler
+	// grid, so every periodic release instant falls exactly on a wheel tick.
+	gran := a.schedPeriodNow()
+	for _, sh := range a.shards {
+		sh.wheel = newTimerWheel(gran, a.startTime)
+		sh.due = sh.due[:0]
+	}
+	a.dataPending = a.dataPending[:0]
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
+		t.wheelLive = false
+		t.wheelGen++
+		t.pendingData = false
 		if t.state == taskRetired {
 			continue
 		}
@@ -50,6 +61,9 @@ func (a *App) Start(c rt.Ctx) error {
 		t.nextRelease = a.startTime + t.d.ReleaseOffset
 		t.lastActivation = 0
 		t.everActivated = false
+		if t.root && t.d.Period > 0 && !t.d.Sporadic {
+			a.wheelInsertLocked(t)
+		}
 	}
 	// Reset graph edges and pre-seed delay tokens (feedback loops fire
 	// their first `initial` iterations on the seeds).
@@ -62,6 +76,11 @@ func (a *App) Start(c rt.Ctx) error {
 		for k := 0; k < e.initial; k++ {
 			e.pushStamp(a.startTime)
 		}
+	}
+	// Data-activated tasks whose seeded delay tokens already satisfy every
+	// input fire on the first tick via the catch-up queue.
+	for i := 0; i < a.ntasks; i++ {
+		a.noteDataReadyLocked(&a.tasks[i])
 	}
 	// Reset runtime queues and pools.
 	for _, q := range a.queues {
@@ -238,11 +257,14 @@ func (a *App) drainedLocked() bool {
 
 func (a *App) threadExit() { a.liveThreads.Add(-1) }
 
-// schedulerLoop is the dedicated scheduler thread (Section 3.3): it wakes at
-// the GCD of all task periods, releases due jobs, dispatches them to worker
-// queues, wakes idle workers and sends preemption signals. Between ticks it
-// sleeps (WaitSleep) — unlike Mollison & Anderson, it never contends with
-// workers for CPU time.
+// schedulerLoop is the dedicated scheduler thread (Section 3.3): it wakes on
+// the activation grid (the GCD of all task periods), releases due jobs,
+// dispatches them to worker queues, wakes idle workers and sends preemption
+// signals. Between ticks it sleeps (WaitSleep) — unlike Mollison & Anderson,
+// it never contends with workers for CPU time. Grid points at which the
+// release wheels hold nothing due are skipped entirely: the thread sleeps
+// straight to the next populated instant, so an idle or sparse schedule
+// costs nothing per empty tick.
 func (a *App) schedulerLoop(c rt.Ctx) {
 	defer a.threadExit()
 	costs := a.env.Costs()
@@ -257,6 +279,7 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 		if released > 0 {
 			a.dispatch(c)
 		}
+		wheelNext, wheelOK := a.nextWheelDueLocked()
 		a.mu.Unlock(c)
 		a.ovh.Add(trace.OverheadSchedule, c.Now()-t0)
 		// Next grid point, recomputed from the activation grid every tick:
@@ -265,6 +288,14 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 		// overrun snaps forward to the next point without drifting.
 		period := a.schedPeriodNow()
 		next := a.startTime + ((c.Now()-a.startTime)/period+1)*period
+		if wheelOK && wheelNext > next {
+			// Nothing can fire before wheelNext: snap it up to the grid and
+			// sleep through the empty ticks. Commits that admit or retune
+			// tasks interrupt the sleep, so a new earlier release is never
+			// missed.
+			k := (wheelNext - a.startTime + period - 1) / period
+			next = a.startTime + k*period
+		}
 		c.Charge(costs.TimerProgram)
 		if interrupted := c.SleepUntil(next); interrupted {
 			if a.terminating.Load() {
@@ -274,45 +305,64 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 	}
 }
 
-// releaseDue releases every periodic job due at or before now. Caller holds
-// the lock. The scan over the statically allocated task table costs real
-// time in the C implementation too; it is charged once per activation — the
-// dedicated scheduler core pays it exactly once per tick, for all workers,
-// and the contiguous array scans far cheaper than the baseline's
-// dynamically allocated release entries.
+// releaseDue releases every periodic job due at or before now, pulling due
+// tasks from the per-shard release wheels instead of scanning the task
+// table: the tick costs O(jobs released), independent of how many tasks are
+// declared (the paper's static full scan — and its per-task charge — only
+// paid off for small task sets). Caller holds the lock.
 func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
 	costs := a.env.Costs()
-	c.Charge(time.Duration(a.ntasks) * costs.StaticScanPerItem)
 	released := 0
-	for i := 0; i < a.ntasks; i++ {
-		t := &a.tasks[i]
-		if t.state != taskRunning || t.d.Period <= 0 || t.d.Sporadic || !t.root {
+	for _, sh := range a.shards {
+		if sh.wheel == nil {
 			continue
 		}
-		for t.nextRelease <= now {
-			rel := t.nextRelease
-			t.nextRelease += t.d.Period
-			// A periodic root with (delayed) feedback in-edges only fires
-			// when every feedback token is present: a missing token means
-			// the previous loop iteration has not completed, and the
-			// activation is dropped (counted as an overrun).
-			if len(t.inEdges) > 0 {
-				if !a.allInputsReady(t) {
-					a.overruns.Add(1)
-					continue
-				}
-				a.consumeInputs(t)
+		sh.due = sh.due[:0]
+		sh.wheel.advanceTo(sh.wheel.tickAt(now), &sh.due)
+		for _, t := range sh.due {
+			// The modelled scan now prices exactly the entries touched.
+			c.Charge(costs.StaticScanPerItem)
+			if t.state != taskRunning || t.d.Period <= 0 || t.d.Sporadic || !t.root {
+				continue
 			}
-			c.Charge(costs.QueueOpBase)
-			a.releaseJob(c, t, rel, rel)
-			released++
+			for t.nextRelease <= now {
+				rel := t.nextRelease
+				t.nextRelease += t.d.Period
+				// A periodic root with (delayed) feedback in-edges only fires
+				// when every feedback token is present: a missing token means
+				// the previous loop iteration has not completed, and the
+				// activation is dropped (counted as an overrun).
+				if len(t.inEdges) > 0 {
+					if !a.allInputsReady(t) {
+						a.overruns.Add(1)
+						continue
+					}
+					a.consumeInputs(t)
+				}
+				c.Charge(costs.QueueOpBase)
+				a.releaseJob(c, t, rel, rel)
+				released++
+			}
+			a.wheelInsertLocked(t) // re-arm for the next period
 		}
 	}
-	// Data-activated tasks whose inputs are already present (seeded delay
-	// tokens, or activations that raced a previous drain) fire here too;
-	// the common case is still handled inline at producer completion.
-	for i := 0; i < a.ntasks; i++ {
-		t := &a.tasks[i]
+	released += a.releasePendingDataLocked(c, now)
+	return released
+}
+
+// releasePendingDataLocked fires queued data-activated tasks whose inputs
+// are complete (seeded delay tokens at Start, input backlogs exposed by a
+// reconfiguration commit). The common case — a producer completing — still
+// releases successors inline; this queue only catches activations that have
+// no future producer completion to ride on. Caller holds the lock.
+func (a *App) releasePendingDataLocked(c rt.Ctx, now time.Duration) int {
+	costs := a.env.Costs()
+	released := 0
+	for len(a.dataPending) > 0 {
+		n := len(a.dataPending) - 1
+		t := a.dataPending[n]
+		a.dataPending = a.dataPending[:n]
+		t.pendingData = false
 		if t.state != taskRunning || t.root {
 			continue
 		}
@@ -326,6 +376,82 @@ func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
 		}
 	}
 	return released
+}
+
+// noteDataReadyLocked queues a data-activated task on the scheduler's
+// catch-up list if its inputs are complete. Caller holds the lock (or runs
+// during a quiescent Start).
+func (a *App) noteDataReadyLocked(t *task) {
+	if t.pendingData || t.root || t.state != taskRunning || !a.allInputsReady(t) {
+		return
+	}
+	t.pendingData = true
+	a.dataPending = append(a.dataPending, t)
+}
+
+// wheelInsertLocked buckets a periodic root for its next release on its
+// shard's wheel. Caller holds the lock (or runs during a quiescent Start).
+func (a *App) wheelInsertLocked(t *task) {
+	sh := a.shardForTask(t)
+	t.wheelShard = sh
+	a.shards[sh].wheel.insert(t, t.nextRelease)
+}
+
+// wheelRemoveLocked drops a task's pending release entry, if any.
+func (a *App) wheelRemoveLocked(t *task) {
+	if !t.wheelLive {
+		return
+	}
+	a.shards[t.wheelShard].wheel.remove(t)
+}
+
+// shardForTask returns the release shard a task belongs to: its virtual
+// core under the partitioned mapping, the single global shard otherwise.
+func (a *App) shardForTask(t *task) int {
+	if a.cfg.Mapping == MappingPartitioned {
+		return t.d.VirtCore
+	}
+	return 0
+}
+
+// nextWheelDueLocked returns the earliest instant any shard's wheel can
+// fire. Caller holds the lock.
+func (a *App) nextWheelDueLocked() (time.Duration, bool) {
+	var best time.Duration
+	ok := false
+	for _, sh := range a.shards {
+		if sh.wheel == nil {
+			continue
+		}
+		if tick, live := sh.wheel.nextDueTick(); live {
+			at := sh.wheel.epoch + time.Duration(tick)*sh.wheel.gran
+			if !ok || at < best {
+				best, ok = at, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// rebuildWheelsLocked rebuilds every shard wheel from scratch — needed when
+// the activation grid itself changes (a reconfiguration retuned the GCD), so
+// release instants stay exactly representable at the new granularity. Caller
+// holds the lock; the schedule is running.
+func (a *App) rebuildWheelsLocked(now time.Duration) {
+	gran := a.schedPeriodNow()
+	for _, sh := range a.shards {
+		sh.wheel = newTimerWheel(gran, a.startTime)
+		sh.wheel.advanceTo(sh.wheel.tickAt(now), &sh.due) // cursor to "now"; nothing due in an empty wheel
+		sh.due = sh.due[:0]
+	}
+	for i := 0; i < a.ntasks; i++ {
+		t := &a.tasks[i]
+		t.wheelLive = false
+		t.wheelGen++
+		if t.state == taskRunning && t.root && t.d.Period > 0 && !t.d.Sporadic {
+			a.wheelInsertLocked(t)
+		}
+	}
 }
 
 // releaseJob creates and enqueues one job of t. stamp is the graph-instance

@@ -400,6 +400,7 @@ func (a *App) TopicPub(t TID, c CID) error {
 		return fmt.Errorf("core: task %d already publishes on topic %s", t, tp.name)
 	}
 	tp.pubs = append(tp.pubs, t)
+	a.tasks[t].pubTopics = append(a.tasks[t].pubTopics, c)
 	tp.publishView()
 	return nil
 }
@@ -426,8 +427,20 @@ func (a *App) TopicSub(t TID, c CID) error {
 		return fmt.Errorf("core: task %d already subscribes to topic %s", t, tp.name)
 	}
 	tp.subs = append(tp.subs, subscription{task: t})
+	a.addSubTopicLocked(&a.tasks[t], c)
 	tp.publishView()
 	return nil
+}
+
+// addSubTopicLocked inserts topic c into a task's priority-ordered
+// subscription list (stable: declaration order breaks ties). Caller holds
+// the lock or runs at declaration time.
+func (a *App) addSubTopicLocked(t *task, c CID) {
+	st := append(t.subTopics, c)
+	for y := len(st) - 1; y > 0 && a.topics[st[y]].opts.Priority < a.topics[st[y-1]].opts.Priority; y-- {
+		st[y], st[y-1] = st[y-1], st[y]
+	}
+	t.subTopics = st
 }
 
 // TopicID returns the CID of the named topic or channel, or -1.
@@ -461,19 +474,19 @@ func (a *App) topicByID(c CID) (*topic, error) {
 }
 
 // resolveTopics finishes topic setup at Start: wall-clock fan-in staging
-// rings and the per-task subscription lists that drive TakeAny. Called by
-// resolve with the declaration phase closed.
-func (a *App) resolveTopics() { a.refreshTopicsLocked(false) }
+// rings and the per-task endpoint lists that drive TakeAny and retirement
+// scrubbing. Called by resolve with the declaration phase closed.
+func (a *App) resolveTopics() { a.refreshTopicsLocked() }
 
-// refreshTopicsLocked rebuilds staging rings, subscription lists and the
-// lock-free reader snapshots. With live=true (a reconfiguration commit while
-// the schedule runs) an existing staging ring is never discarded or resized:
-// it may hold staged wall-clock publishes whose per-publisher FIFO order
-// must survive the epoch.
-func (a *App) refreshTopicsLocked(live bool) {
+// refreshTopicsLocked fully rebuilds staging rings, per-task endpoint lists
+// and the lock-free reader snapshots — the cold-path (Start) variant.
+// Reconfiguration commits use refreshTopicsAfterCommitLocked, which touches
+// only the topics and tasks the transaction changed.
+func (a *App) refreshTopicsLocked() {
 	wallClock := a.env.Platform() == nil // OS backend: no cost model, real threads
 	for i := 0; i < a.ntasks; i++ {
 		a.tasks[i].subTopics = a.tasks[i].subTopics[:0]
+		a.tasks[i].pubTopics = a.tasks[i].pubTopics[:0]
 	}
 	// Buffer contents and cursors survive Stop/Start on purpose, exactly as
 	// the Table-1 channel buffers always did (multi-mode scheduling hands
@@ -487,15 +500,16 @@ func (a *App) refreshTopicsLocked(live bool) {
 		// one registered publisher. The simulation backend keeps the locked
 		// path so traces stay deterministic and cost-accounted.
 		if wallClock && len(tp.pubs) > 1 && tp.opts.Capacity > 0 {
-			if tp.staging == nil {
-				tp.staging, _ = lockfree.NewMPSCRing[any](tp.opts.Capacity)
-			} else if !live && tp.staging.Cap() < tp.opts.Capacity {
+			if tp.staging == nil || tp.staging.Cap() < tp.opts.Capacity {
 				tp.staging, _ = lockfree.NewMPSCRing[any](tp.opts.Capacity)
 			}
-		} else if !live {
+		} else {
 			tp.staging = nil
 		}
 		tp.publishView()
+		for _, p := range tp.pubs {
+			a.tasks[p].pubTopics = append(a.tasks[p].pubTopics, tp.id)
+		}
 		for _, s := range tp.subs {
 			a.tasks[s.task].subTopics = append(a.tasks[s.task].subTopics, tp.id)
 		}
@@ -509,5 +523,37 @@ func (a *App) refreshTopicsLocked(live bool) {
 				st[y], st[y-1] = st[y-1], st[y]
 			}
 		}
+	}
+}
+
+// refreshTopicsAfterCommitLocked is the reconfiguration-commit variant of
+// refreshTopicsLocked: it refreshes exactly the topics the transaction
+// touched (new topics, topics with staged endpoints) and the endpoint lists
+// of the tasks it registered, so the commit pause is O(changes) rather than
+// O(topics + tasks). Existing staging rings are never discarded or resized:
+// they may hold staged wall-clock publishes whose per-publisher FIFO order
+// must survive the epoch. Caller holds the lock.
+func (a *App) refreshTopicsAfterCommitLocked(tx *Reconfig) {
+	wallClock := a.env.Platform() == nil
+	refresh := func(c CID) {
+		tp := &a.topics[c]
+		if tp.dead {
+			return
+		}
+		if wallClock && len(tp.pubs) > 1 && tp.opts.Capacity > 0 && tp.staging == nil {
+			tp.staging, _ = lockfree.NewMPSCRing[any](tp.opts.Capacity)
+		}
+		tp.publishView()
+	}
+	for _, id := range tx.addedTopics {
+		refresh(id)
+	}
+	for _, ep := range tx.pubs {
+		a.tasks[ep.t].pubTopics = append(a.tasks[ep.t].pubTopics, ep.c)
+		refresh(ep.c)
+	}
+	for _, ep := range tx.subs {
+		a.addSubTopicLocked(&a.tasks[ep.t], ep.c)
+		refresh(ep.c)
 	}
 }

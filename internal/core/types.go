@@ -175,8 +175,25 @@ type task struct {
 	// staticPrio caches the RM/DM/user priority key.
 	staticPrio int64
 	// subTopics lists the topics this task subscribes to, sorted by topic
-	// priority then declaration order (resolved at Start; drives TakeAny).
+	// priority then declaration order (maintained incrementally and rebuilt
+	// at Start; drives TakeAny).
 	subTopics []CID
+	// pubTopics lists the topics this task publishes on. Together with
+	// subTopics it lets retirement scrub exactly the task's own endpoints
+	// instead of scanning every declared topic.
+	pubTopics []CID
+
+	// Timer-wheel bookkeeping (periodic roots only; see wheel.go). wheelGen
+	// invalidates bucketed entries lazily, wheelTick is the pending release
+	// tick, wheelLive reports whether a live entry exists. All guarded by
+	// the App lock.
+	wheelGen   uint64
+	wheelTick  int64
+	wheelLive  bool
+	wheelShard int // shard whose wheel holds the live entry
+	// pendingData marks a data-activated task queued on the scheduler's
+	// catch-up list (seeded delay tokens, post-commit input backlogs).
+	pendingData bool
 }
 
 // edge is a producer->consumer dependency created by ChannelConnect. The

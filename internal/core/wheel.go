@@ -1,0 +1,283 @@
+package core
+
+import "time"
+
+// The scheduler hot path keeps periodic root tasks in hierarchical timing
+// wheels instead of scanning the whole task table every tick: a task is
+// bucketed by its next release instant, a tick advances the wheel cursor and
+// touches only the slots the elapsed time crossed, and the cost of a tick is
+// O(jobs released) — independent of how many tasks are declared. One wheel
+// exists per release shard (one per ready queue: a single shard under the
+// global mapping, one per virtual core under the partitioned mapping).
+//
+// Geometry: wheelLevels levels of wheelSlots slots. Level 0 buckets releases
+// less than wheelSlots granules away, level l covers wheelSlots^(l+1)
+// granules; releases beyond the top level wait in an overflow list that is
+// re-bucketed when the cursor crosses a top-level slot boundary. With the
+// granularity set to the scheduler grid (the GCD of all periods), every
+// release instant falls exactly on a tick boundary, so wheel firing instants
+// equal the legacy full-scan grid instants and traces are unchanged.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	// wheelHorizon is the number of granules the hierarchical levels cover;
+	// releases further out sit in the overflow list.
+	wheelHorizon = int64(1) << (wheelBits * wheelLevels)
+)
+
+// releaseShard is one ready queue's share of the release machinery: the
+// timer wheel bucketing its periodic roots and a preallocated scratch
+// buffer the tick drains due tasks into. Shards are only ever touched by
+// the scheduler thread (and by commits) under the App lock; the sharding
+// exists so a release only walks state of the core it lands on.
+type releaseShard struct {
+	wheel *timerWheel
+	due   []*task
+}
+
+// wheelEntry is one bucketed task. Entries are invalidated lazily: each
+// (re-)insertion bumps the task's wheelGen, and entries whose recorded
+// generation no longer matches are dropped when their slot is next visited —
+// removal never searches a slot.
+type wheelEntry struct {
+	t   *task
+	gen uint64
+}
+
+// timerWheel buckets periodic root tasks by next-release tick. It is not
+// synchronised; the caller holds the App lock.
+type timerWheel struct {
+	gran     time.Duration // granule; release instants quantise up to it
+	epoch    time.Duration // instant of tick 0 (the schedule's start time)
+	base     int64         // current cursor tick: slots <= base are flushed
+	slots    [wheelLevels][wheelSlots][]wheelEntry
+	overflow []wheelEntry
+	live     int // live (non-stale) entries, overflow included
+}
+
+// newTimerWheel creates a wheel with the given granularity anchored at
+// epoch. gran must be positive. The cursor starts one tick before the
+// epoch so releases at the epoch itself (offset-zero tasks on the first
+// tick) are not clamped into the future.
+func newTimerWheel(gran, epoch time.Duration) *timerWheel {
+	return &timerWheel{gran: gran, epoch: epoch, base: -1}
+}
+
+// tickOf converts an instant to the wheel tick that fires at or after it
+// (insertion rounding: a release never fires early).
+func (w *timerWheel) tickOf(at time.Duration) int64 {
+	if at <= w.epoch {
+		return 0
+	}
+	d := at - w.epoch
+	return int64((d + w.gran - 1) / w.gran)
+}
+
+// tickAt converts the current instant to the newest tick that has already
+// fired (advance rounding: the cursor never overtakes real time).
+func (w *timerWheel) tickAt(now time.Duration) int64 {
+	if now <= w.epoch {
+		return 0
+	}
+	return int64((now - w.epoch) / w.gran)
+}
+
+// insert buckets t for its release instant at. A task lives in at most one
+// slot: inserting again first invalidates the previous entry.
+func (w *timerWheel) insert(t *task, at time.Duration) {
+	if t.wheelLive {
+		w.live--
+	}
+	t.wheelGen++
+	t.wheelLive = true
+	tick := w.tickOf(at)
+	if tick <= w.base {
+		tick = w.base + 1 // already due: fire at the next advance
+	}
+	t.wheelTick = tick
+	w.live++
+	delta := tick - w.base
+	if delta >= wheelHorizon {
+		w.overflow = append(w.overflow, wheelEntry{t: t, gen: t.wheelGen})
+		return
+	}
+	lvl := 0
+	for delta >= int64(wheelSlots)<<(wheelBits*lvl) {
+		lvl++
+	}
+	slot := (tick >> (wheelBits * lvl)) & wheelMask
+	w.slots[lvl][slot] = append(w.slots[lvl][slot], wheelEntry{t: t, gen: t.wheelGen})
+}
+
+// remove invalidates t's pending entry (lazily: the slot is cleaned when
+// next visited).
+func (w *timerWheel) remove(t *task) {
+	if !t.wheelLive {
+		return
+	}
+	t.wheelGen++
+	t.wheelLive = false
+	w.live--
+}
+
+// advanceTo moves the cursor to nowTick, appending every due task to *due.
+// Entries that merely moved closer cascade down to finer levels. The cost is
+// O(slots crossed + entries touched): each entry cascades at most
+// wheelLevels times over its lifetime.
+func (w *timerWheel) advanceTo(nowTick int64, due *[]*task) {
+	if nowTick <= w.base {
+		return
+	}
+	oldBase := w.base
+	// Move the cursor first: cascading entries re-bucket relative to the NEW
+	// cursor, or a still-pending entry could land back in a coarse slot that
+	// was already crossed and not fire until a full wheel lap later.
+	w.base = nowTick
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		shift := uint(wheelBits * lvl)
+		from, to := oldBase>>shift, nowTick>>shift
+		if from == to {
+			break // this and all coarser levels are untouched
+		}
+		n := to - from
+		if n > wheelSlots {
+			n = wheelSlots
+		}
+		for i := int64(1); i <= n; i++ {
+			w.flushSlot(lvl, int((from+i)&wheelMask), nowTick, due)
+		}
+	}
+	crossedTop := (oldBase >> (wheelBits * (wheelLevels - 1))) != (nowTick >> (wheelBits * (wheelLevels - 1)))
+	if crossedTop && len(w.overflow) > 0 {
+		w.rebucketOverflow(due)
+	}
+}
+
+// flushSlot empties one slot: stale entries are dropped, due tasks are
+// emitted, the rest re-bucket relative to the new cursor.
+func (w *timerWheel) flushSlot(lvl, slot int, nowTick int64, due *[]*task) {
+	entries := w.slots[lvl][slot]
+	if len(entries) == 0 {
+		return
+	}
+	w.slots[lvl][slot] = entries[:0]
+	for _, e := range entries {
+		if e.gen != e.t.wheelGen {
+			continue // invalidated by remove or re-insert
+		}
+		if e.t.wheelTick <= nowTick {
+			e.t.wheelLive = false
+			e.t.wheelGen++
+			w.live--
+			*due = append(*due, e.t)
+			continue
+		}
+		w.reinsert(e)
+	}
+}
+
+// reinsert buckets a still-pending entry relative to the current cursor,
+// keeping its generation (the task was not rescheduled, only cascaded).
+func (w *timerWheel) reinsert(e wheelEntry) {
+	delta := e.t.wheelTick - w.base
+	if delta < 1 {
+		delta = 1
+	}
+	if delta >= wheelHorizon {
+		w.overflow = append(w.overflow, e)
+		return
+	}
+	lvl := 0
+	for delta >= int64(wheelSlots)<<(wheelBits*lvl) {
+		lvl++
+	}
+	slot := (e.t.wheelTick >> (wheelBits * lvl)) & wheelMask
+	w.slots[lvl][slot] = append(w.slots[lvl][slot], wheelEntry{t: e.t, gen: e.gen})
+}
+
+// rebucketOverflow re-buckets overflow entries that came within the
+// hierarchical horizon (and emits any that became due).
+func (w *timerWheel) rebucketOverflow(due *[]*task) {
+	kept := w.overflow[:0]
+	for _, e := range w.overflow {
+		if e.gen != e.t.wheelGen {
+			continue
+		}
+		switch {
+		case e.t.wheelTick <= w.base:
+			e.t.wheelLive = false
+			e.t.wheelGen++
+			w.live--
+			*due = append(*due, e.t)
+		case e.t.wheelTick-w.base < wheelHorizon:
+			w.reinsert(e)
+		default:
+			kept = append(kept, e)
+		}
+	}
+	w.overflow = kept
+}
+
+// nextDueTick returns a lower bound on the next tick at which an entry can
+// fire, and whether any live entry exists. Every level contributes a
+// candidate — the first live slot's boundary — and the minimum across
+// levels (and the overflow horizon) is returned: a coarse-level entry that
+// re-armed from an earlier cursor can be nearer in time than every
+// finer-level entry, so levels must not be short-circuited in order. The
+// bound is exact for level-0 entries; coarser levels report their slot
+// boundary (the scheduler wakes there, cascades the slot down, and
+// re-queries — at most wheelLevels wakes per entry, amortised O(1)).
+func (w *timerWheel) nextDueTick() (int64, bool) {
+	if w.live == 0 {
+		return 0, false
+	}
+	best := int64(0)
+	ok := false
+	consider := func(at int64) {
+		if at <= w.base {
+			at = w.base + 1
+		}
+		if !ok || at < best {
+			best, ok = at, true
+		}
+	}
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		shift := uint(wheelBits * lvl)
+		cur := w.base >> shift
+		for i := int64(1); i <= wheelSlots; i++ {
+			q := cur + i
+			if w.slotLive(lvl, int(q&wheelMask)) {
+				// Earliest instant any entry in this slot can fire: the
+				// slot's first tick. Within a level, slots scan in time
+				// order, so the first live one is the level's candidate.
+				consider(q << shift)
+				break
+			}
+		}
+	}
+	if len(w.overflow) > 0 {
+		// Far future: the overflow re-buckets when the cursor crosses the
+		// horizon boundary.
+		consider(w.base + wheelHorizon)
+	}
+	return best, ok
+}
+
+// slotLive reports whether a slot holds at least one non-stale entry,
+// compacting stale ones away as a side effect.
+func (w *timerWheel) slotLive(lvl, slot int) bool {
+	entries := w.slots[lvl][slot]
+	if len(entries) == 0 {
+		return false
+	}
+	kept := entries[:0]
+	for _, e := range entries {
+		if e.gen == e.t.wheelGen {
+			kept = append(kept, e)
+		}
+	}
+	w.slots[lvl][slot] = kept
+	return len(kept) > 0
+}

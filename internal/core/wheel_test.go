@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// collect advances the wheel to nowTick and returns the due tasks.
+func collect(w *timerWheel, nowTick int64) []*task {
+	var due []*task
+	w.advanceTo(nowTick, &due)
+	return due
+}
+
+func TestWheelFiresAtExactTicks(t *testing.T) {
+	w := newTimerWheel(time.Millisecond, 0)
+	tasks := make([]*task, 5)
+	at := []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 64 * time.Millisecond, 4096 * time.Millisecond}
+	for i := range tasks {
+		tasks[i] = &task{id: TID(i)}
+		w.insert(tasks[i], at[i])
+	}
+	if w.live != 5 {
+		t.Fatalf("live = %d, want 5", w.live)
+	}
+	fired := map[TID]int64{}
+	for tick := int64(0); tick <= 4096; tick++ {
+		for _, tk := range collect(w, tick) {
+			fired[tk.id] = tick
+		}
+	}
+	for i, want := range []int64{0, 1, 5, 64, 4096} {
+		if got, ok := fired[TID(i)]; !ok || got != want {
+			t.Errorf("task %d fired at tick %d (ok=%v), want %d", i, got, ok, want)
+		}
+	}
+	if w.live != 0 {
+		t.Errorf("live = %d after firing everything", w.live)
+	}
+}
+
+func TestWheelBigJumpsDoNotLoseEntries(t *testing.T) {
+	w := newTimerWheel(time.Microsecond, 0)
+	// Entries across all levels plus overflow.
+	offsets := []int64{1, 3, 63, 64, 100, 4095, 4096, 70000, 262143, 262144, 1 << 20, wheelHorizon + 5}
+	tasks := make([]*task, len(offsets))
+	for i, off := range offsets {
+		tasks[i] = &task{id: TID(i)}
+		w.insert(tasks[i], time.Duration(off)*time.Microsecond)
+	}
+	// Jump straight past everything in a few coarse strides.
+	seen := map[TID]bool{}
+	for _, tick := range []int64{2, 70, 5000, 100000, 300000, wheelHorizon + 10} {
+		for _, tk := range collect(w, tick) {
+			if seen[tk.id] {
+				t.Errorf("task %d fired twice", tk.id)
+			}
+			seen[tk.id] = true
+			if tk.wheelTick > tick {
+				t.Errorf("task %d fired early (due tick %d, now %d)", tk.id, tk.wheelTick, tick)
+			}
+		}
+	}
+	for i := range tasks {
+		if !seen[TID(i)] {
+			t.Errorf("task %d (offset %d) never fired", i, offsets[i])
+		}
+	}
+	if w.live != 0 {
+		t.Errorf("live = %d after firing everything", w.live)
+	}
+}
+
+func TestWheelRemoveAndReinsert(t *testing.T) {
+	w := newTimerWheel(time.Millisecond, 0)
+	tk := &task{id: 1}
+	w.insert(tk, 10*time.Millisecond)
+	w.remove(tk)
+	if due := collect(w, 20); len(due) != 0 {
+		t.Fatalf("removed task fired: %v", due)
+	}
+	// Re-insert after removal: exactly one firing, at the new instant.
+	w.insert(tk, 30*time.Millisecond)
+	var fired int
+	for tick := int64(21); tick <= 40; tick++ {
+		for range collect(w, tick) {
+			fired++
+			if tick != 30 {
+				t.Errorf("fired at tick %d, want 30", tick)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+}
+
+func TestWheelReinsertSupersedesPending(t *testing.T) {
+	w := newTimerWheel(time.Millisecond, 0)
+	tk := &task{id: 1}
+	w.insert(tk, 5*time.Millisecond)
+	w.insert(tk, 9*time.Millisecond) // retune: earlier entry must not fire
+	var ticks []int64
+	for tick := int64(0); tick <= 20; tick++ {
+		for range collect(w, tick) {
+			ticks = append(ticks, tick)
+		}
+	}
+	if len(ticks) != 1 || ticks[0] != 9 {
+		t.Fatalf("fired at %v, want exactly [9]", ticks)
+	}
+}
+
+func TestWheelNextDueNeverLate(t *testing.T) {
+	// Property: sleeping to nextDueTick and advancing there must fire every
+	// entry no later than its due tick would be reached by 1-tick stepping.
+	rng := rand.New(rand.NewSource(7))
+	w := newTimerWheel(time.Microsecond, 0)
+	type exp struct {
+		t    *task
+		tick int64
+	}
+	var pending []exp
+	for i := 0; i < 500; i++ {
+		tk := &task{id: TID(i)}
+		off := rng.Int63n(1 << 21)
+		w.insert(tk, time.Duration(off+1)*time.Microsecond)
+		pending = append(pending, exp{tk, tk.wheelTick})
+	}
+	fired := map[TID]int64{}
+	now := int64(0)
+	for steps := 0; w.live > 0 && steps < 100000; steps++ {
+		next, ok := w.nextDueTick()
+		if !ok {
+			break
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+		for _, tk := range collect(w, now) {
+			fired[tk.id] = now
+		}
+	}
+	for _, e := range pending {
+		got, ok := fired[e.t.id]
+		if !ok {
+			t.Fatalf("task %d never fired (due %d)", e.t.id, e.tick)
+		}
+		if got != e.tick {
+			t.Errorf("task %d fired at %d, want exactly %d (nextDue must not skip past a due tick)", e.t.id, got, e.tick)
+		}
+	}
+}
+
+// TestWheelNextDueAcrossLevels is the regression test for the
+// first-live-slot bug: nextDueTick must return the minimum over ALL
+// levels, not the first level with a live slot. A coarse-level entry that
+// re-armed from an earlier cursor can be due before every finer-level
+// entry; returning the finer bound made the scheduler sleep 62 ticks past
+// a due release.
+func TestWheelNextDueAcrossLevels(t *testing.T) {
+	w := newTimerWheel(time.Millisecond, 0)
+	tA := &task{id: 1}
+	tC := &task{id: 2}
+	// From the initial cursor, tick 64 lands in level 1.
+	w.insert(tA, 64*time.Millisecond)
+	// Advance to tick 63 without crossing level-1 slot 1 (tA stays coarse).
+	if due := collect(w, 63); len(due) != 0 {
+		t.Fatalf("premature firing: %v", due)
+	}
+	// Re-arm a second task from the new cursor: tick 126 is delta 63 away,
+	// so it lands in level 0 — nearer in level, farther in time.
+	w.insert(tC, 126*time.Millisecond)
+	next, ok := w.nextDueTick()
+	if !ok {
+		t.Fatal("no due tick with two live entries")
+	}
+	if next != 64 {
+		t.Fatalf("nextDueTick = %d, want 64 (level-1 entry is due before the level-0 one)", next)
+	}
+	// And the entries fire at their exact ticks.
+	if due := collect(w, 64); len(due) != 1 || due[0] != tA {
+		t.Fatalf("tick 64 fired %v, want tA", due)
+	}
+	if due := collect(w, 126); len(due) != 1 || due[0] != tC {
+		t.Fatalf("tick 126 fired %v, want tC", due)
+	}
+}
+
+// TestWheelNextDueNeverLateAfterRearm extends the property test with
+// continuous re-arming (the real scheduler's pattern): tasks re-insert
+// from ever-later cursors, so coarse and fine levels interleave in time.
+func TestWheelNextDueNeverLateAfterRearm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := newTimerWheel(time.Millisecond, 0)
+	type periodic struct {
+		t      *task
+		period int64
+		next   int64
+	}
+	var tasks []periodic
+	for i := 0; i < 40; i++ {
+		p := []int64{1, 3, 63, 64, 65, 100, 4095, 4096, 5000}[rng.Intn(9)]
+		pt := periodic{t: &task{id: TID(i)}, period: p, next: p}
+		w.insert(pt.t, time.Duration(p)*time.Millisecond)
+		tasks = append(tasks, pt)
+	}
+	now := int64(0)
+	fired := 0
+	for steps := 0; steps < 20000 && now < 20000; steps++ {
+		next, ok := w.nextDueTick()
+		if !ok {
+			t.Fatal("wheel empty while tasks are armed")
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+		var due []*task
+		w.advanceTo(now, &due)
+		for _, tk := range due {
+			pt := &tasks[tk.id]
+			if pt.next != now {
+				t.Fatalf("task %d (period %d) fired at %d, want exactly %d (late by %d)",
+					tk.id, pt.period, now, pt.next, now-pt.next)
+			}
+			fired++
+			pt.next += pt.period
+			w.insert(pt.t, time.Duration(pt.next)*time.Millisecond)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("nothing fired")
+	}
+}
+
+// TestSchedTickCostIndependentOfDeclaredTasks pins the O(ready) property at
+// the unit level: advancing a wheel holding many far-future tasks must not
+// walk them when nothing is due.
+func TestSchedTickCostIndependentOfDeclaredTasks(t *testing.T) {
+	w := newTimerWheel(time.Millisecond, 0)
+	for i := 0; i < 100000; i++ {
+		tk := &task{id: TID(i)}
+		// All due at the same far-future tick.
+		w.insert(tk, 50000*time.Millisecond)
+	}
+	var due []*task
+	touched := 0
+	for tick := int64(1); tick <= 1000; tick++ {
+		due = due[:0]
+		w.advanceTo(tick, &due)
+		touched += len(due)
+	}
+	if touched != 0 {
+		t.Fatalf("%d tasks touched while nothing was due", touched)
+	}
+}

@@ -1,0 +1,309 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// maxViolations caps recorded violation strings so a systematically broken
+// run reports a readable sample instead of gigabytes.
+const maxViolations = 64
+
+// Checker observes a scenario run from inside the instrumented task bodies
+// and verifies the middleware's runtime invariants:
+//
+//   - no lost topic entries: under Reject every successful publish is
+//     eventually consumed by every subscriber (up to the final retained
+//     backlog, which is bounded by the capacity);
+//   - per-publisher FIFO: each subscriber sees each publisher's sequence
+//     numbers strictly increasing — consecutively under Reject (no holes),
+//     monotonically under DropOldest/Latest (drops allowed, reordering not);
+//   - drain-before-retire: a retired task's last job activity precedes its
+//     RetireEvent instant — nothing runs past retirement;
+//   - admission monotonicity: committed epochs are consecutive, rejected
+//     transactions leave the epoch (and the task set) untouched.
+//
+// On the simulation backend every task body runs lock-step serialised, but
+// the checker locks anyway so the same instrumentation works on OSEnv.
+type Checker struct {
+	mu         sync.Mutex
+	topics     []*topicCheck
+	drains     map[string]*drainWatch
+	violations []string
+	dropped    int // violations beyond maxViolations
+
+	published int64
+	delivered int64
+
+	injected int64 // injected task errors
+
+	// admission bookkeeping, appended by the churn driver
+	attempts []admissionAttempt
+}
+
+// topicCheck tracks one instrumented topic.
+type topicCheck struct {
+	name     string
+	policy   core.OverflowPolicy
+	capacity int
+	// published[p] doubles as publisher p's last assigned sequence number:
+	// sequences are only consumed by successful publishes.
+	published []int64
+	subs      []*subWatch
+}
+
+// subWatch is one subscriber's view: last seen sequence and consumed count
+// per publisher.
+type subWatch struct {
+	lastSeq  []int64
+	consumed []int64
+}
+
+// drainWatch records the last observed job activity of a churn task.
+type drainWatch struct {
+	lastStart  time.Duration
+	lastFinish time.Duration
+	jobs       int64
+}
+
+// admissionAttempt is one Reconfigure call as the driver saw it.
+type admissionAttempt struct {
+	at          time.Duration
+	action      string
+	err         error
+	epochBefore int
+	epochAfter  int
+}
+
+// NewChecker creates an empty checker.
+func NewChecker() *Checker {
+	return &Checker{drains: make(map[string]*drainWatch)}
+}
+
+// violationf records one violation (bounded).
+func (ck *Checker) violationf(format string, args ...any) {
+	if len(ck.violations) >= maxViolations {
+		ck.dropped++
+		return
+	}
+	ck.violations = append(ck.violations, fmt.Sprintf(format, args...))
+}
+
+// addTopic registers an instrumented topic and returns its check index.
+func (ck *Checker) addTopic(name string, policy core.OverflowPolicy, capacity, pubs, subs int) int {
+	tc := &topicCheck{
+		name:      name,
+		policy:    policy,
+		capacity:  capacity,
+		published: make([]int64, pubs),
+	}
+	for i := 0; i < subs; i++ {
+		tc.subs = append(tc.subs, &subWatch{
+			lastSeq:  make([]int64, pubs),
+			consumed: make([]int64, pubs),
+		})
+	}
+	ck.topics = append(ck.topics, tc)
+	return len(ck.topics) - 1
+}
+
+// seqEncode packs (publisher index, sequence) into the published value;
+// 15 bits of publisher fan-in and 48 bits of sequence are beyond any
+// scenario this engine can physically run.
+func seqEncode(pub int, seq int64) int64 { return int64(pub)<<48 | seq }
+
+func seqDecode(v int64) (pub int, seq int64) { return int(v >> 48), v & (1<<48 - 1) }
+
+// nextSeq returns the sequence number publisher p of topic ti should stamp
+// on its next publish attempt.
+func (ck *Checker) nextSeq(ti, p int) int64 {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.topics[ti].published[p] + 1
+}
+
+// notePublished commits a successful publish of sequence seq.
+func (ck *Checker) notePublished(ti, p int, seq int64) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	tc := ck.topics[ti]
+	if seq != tc.published[p]+1 {
+		ck.violationf("topic %s pub %d: published seq %d after %d (publisher body raced itself)",
+			tc.name, p, seq, tc.published[p])
+	}
+	tc.published[p] = seq
+	ck.published++
+}
+
+// noteTaken verifies one taken value against subscriber si's FIFO state.
+func (ck *Checker) noteTaken(ti, si int, v any) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	tc := ck.topics[ti]
+	raw, ok := v.(int64)
+	if !ok {
+		ck.violationf("topic %s sub %d: foreign value %T in buffer", tc.name, si, v)
+		return
+	}
+	pub, seq := seqDecode(raw)
+	if pub < 0 || pub >= len(tc.published) {
+		ck.violationf("topic %s sub %d: value from unknown publisher %d", tc.name, si, pub)
+		return
+	}
+	sw := tc.subs[si]
+	last := sw.lastSeq[pub]
+	switch {
+	case seq <= last:
+		ck.violationf("topic %s sub %d: pub %d seq %d after %d (FIFO violated: reorder or duplicate)",
+			tc.name, si, pub, seq, last)
+	case tc.policy == core.Reject && seq != last+1:
+		ck.violationf("topic %s sub %d: pub %d seq %d after %d under Reject (entries lost in a gap)",
+			tc.name, si, pub, seq, last)
+	}
+	sw.lastSeq[pub] = seq
+	sw.consumed[pub]++
+	ck.delivered++
+}
+
+// noteStart/noteFinish instrument churn-task job lifecycles for the
+// drain-before-retire check. Churn task names are unique per incarnation.
+func (ck *Checker) noteStart(name string, at time.Duration) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	w := ck.drains[name]
+	if w == nil {
+		w = &drainWatch{}
+		ck.drains[name] = w
+	}
+	if at > w.lastStart {
+		w.lastStart = at
+	}
+	w.jobs++
+}
+
+func (ck *Checker) noteFinish(name string, at time.Duration) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if w := ck.drains[name]; w != nil && at > w.lastFinish {
+		w.lastFinish = at
+	}
+}
+
+// noteInjected counts one deliberately injected task error.
+func (ck *Checker) noteInjected() {
+	ck.mu.Lock()
+	ck.injected++
+	ck.mu.Unlock()
+}
+
+// noteAttempt records one Reconfigure outcome.
+func (ck *Checker) noteAttempt(a admissionAttempt) {
+	ck.mu.Lock()
+	ck.attempts = append(ck.attempts, a)
+	ck.mu.Unlock()
+}
+
+// Finish runs the end-of-run verdicts against the application's recorders
+// and returns every violation found (nil means a clean run).
+func (ck *Checker) Finish(app *core.App) []string {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+
+	// No lost topic entries: every subscriber consumed everything but the
+	// final retained backlog (Reject bounds it by the capacity; lossy
+	// policies bound nothing, their loss shows up as — allowed — seq gaps).
+	for _, tc := range ck.topics {
+		if tc.policy != core.Reject {
+			continue
+		}
+		for si, sw := range tc.subs {
+			for p := range tc.published {
+				missing := tc.published[p] - sw.lastSeq[p]
+				if missing < 0 {
+					ck.violationf("topic %s sub %d: consumed past publisher %d (%d > %d)",
+						tc.name, si, p, sw.lastSeq[p], tc.published[p])
+					continue
+				}
+				if missing > int64(tc.capacity) {
+					ck.violationf("topic %s sub %d: %d entries from pub %d unaccounted (backlog bound %d): entries lost",
+						tc.name, si, missing, p, tc.capacity)
+				}
+			}
+		}
+	}
+
+	// Drain-before-retire: no retired task saw job activity past its
+	// retirement instant.
+	for _, re := range app.Recorder().Retires() {
+		w := ck.drains[re.Task]
+		if w == nil {
+			continue // not an instrumented churn task (mode-switch retiree)
+		}
+		if w.lastStart > re.At {
+			ck.violationf("task %s: job started at %v after retirement at %v (drain-before-retire violated)",
+				re.Task, w.lastStart, re.At)
+		}
+		if w.lastFinish > re.At {
+			ck.violationf("task %s: job finished at %v after retirement at %v (drain-before-retire violated)",
+				re.Task, w.lastFinish, re.At)
+		}
+	}
+
+	// Admission monotonicity: commits bump the epoch by exactly one,
+	// rejections don't move it, and every rejection is the typed
+	// schedulability error (never a structural failure of a generated
+	// transaction, and never a panic-shaped mystery).
+	ck.checkAdmission(app.Recorder().Reconfigs())
+
+	// Failure injection round-trips through the error accounting.
+	if got := app.TaskErrors(); got != ck.injected {
+		ck.violationf("task errors: middleware counted %d, checker injected %d", got, ck.injected)
+	}
+
+	if ck.dropped > 0 {
+		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
+	}
+	return ck.violations
+}
+
+func (ck *Checker) checkAdmission(recs []trace.ReconfigRecord) {
+	for i, r := range recs {
+		if r.Epoch != i+1 {
+			ck.violationf("reconfig record %d has epoch %d (epochs must be consecutive)", i, r.Epoch)
+		}
+	}
+	commits := 0
+	for _, a := range ck.attempts {
+		if a.err == nil {
+			commits++
+			if a.epochAfter != a.epochBefore+1 {
+				ck.violationf("%s at %v: committed but epoch went %d -> %d",
+					a.action, a.at, a.epochBefore, a.epochAfter)
+			}
+		} else if a.epochAfter != a.epochBefore {
+			ck.violationf("%s at %v: rejected (%v) but epoch went %d -> %d",
+				a.action, a.at, a.err, a.epochBefore, a.epochAfter)
+		}
+	}
+	if commits != len(recs) {
+		ck.violationf("driver committed %d transactions, recorder has %d epochs", commits, len(recs))
+	}
+}
+
+// Published and Delivered return the checker's data-plane counters.
+func (ck *Checker) Published() int64 {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.published
+}
+
+// Delivered returns the total entries subscribers consumed.
+func (ck *Checker) Delivered() int64 {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.delivered
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+)
+
+// feed replays a publish/take trace through a checker topic.
+func feedChecker(policy core.OverflowPolicy) (*Checker, int) {
+	ck := NewChecker()
+	ti := ck.addTopic("t", policy, 4, 2, 1)
+	return ck, ti
+}
+
+func TestCheckerAcceptsCleanFIFO(t *testing.T) {
+	ck, ti := feedChecker(core.Reject)
+	for seq := int64(1); seq <= 5; seq++ {
+		ck.notePublished(ti, 0, seq)
+		ck.noteTaken(ti, 0, seqEncode(0, seq))
+	}
+	ck.mu.Lock()
+	got := len(ck.violations)
+	ck.mu.Unlock()
+	if got != 0 {
+		t.Fatalf("clean trace flagged: %v", ck.violations)
+	}
+}
+
+// TestCheckerCatchesSeededFIFOViolation feeds the checker a deliberately
+// broken delivery order and expects it to object — the checker must be able
+// to fail, or a clean scale run proves nothing.
+func TestCheckerCatchesSeededFIFOViolation(t *testing.T) {
+	cases := []struct {
+		label  string
+		policy core.OverflowPolicy
+		feed   func(ck *Checker, ti int)
+		want   string
+	}{
+		{
+			"reorder", core.Reject,
+			func(ck *Checker, ti int) {
+				ck.notePublished(ti, 0, 1)
+				ck.notePublished(ti, 0, 2)
+				ck.noteTaken(ti, 0, seqEncode(0, 2))
+				ck.noteTaken(ti, 0, seqEncode(0, 1)) // delivered backwards
+			},
+			"FIFO violated",
+		},
+		{
+			"duplicate", core.Reject,
+			func(ck *Checker, ti int) {
+				ck.notePublished(ti, 0, 1)
+				ck.noteTaken(ti, 0, seqEncode(0, 1))
+				ck.noteTaken(ti, 0, seqEncode(0, 1)) // delivered twice
+			},
+			"FIFO violated",
+		},
+		{
+			"gap under reject", core.Reject,
+			func(ck *Checker, ti int) {
+				for seq := int64(1); seq <= 3; seq++ {
+					ck.notePublished(ti, 0, seq)
+				}
+				ck.noteTaken(ti, 0, seqEncode(0, 1))
+				ck.noteTaken(ti, 0, seqEncode(0, 3)) // 2 vanished
+			},
+			"entries lost",
+		},
+		{
+			"reorder across drops", core.DropOldest,
+			func(ck *Checker, ti int) {
+				for seq := int64(1); seq <= 8; seq++ {
+					ck.notePublished(ti, 0, seq)
+				}
+				ck.noteTaken(ti, 0, seqEncode(0, 5)) // gaps fine under DropOldest
+				ck.noteTaken(ti, 0, seqEncode(0, 4)) // going backwards is not
+			},
+			"FIFO violated",
+		},
+		{
+			"foreign value", core.Reject,
+			func(ck *Checker, ti int) {
+				ck.noteTaken(ti, 0, "not a sequence")
+			},
+			"foreign value",
+		},
+	}
+	for _, tc := range cases {
+		ck, ti := feedChecker(tc.policy)
+		tc.feed(ck, ti)
+		ck.mu.Lock()
+		vs := append([]string(nil), ck.violations...)
+		ck.mu.Unlock()
+		if len(vs) == 0 {
+			t.Errorf("%s: checker stayed silent", tc.label)
+			continue
+		}
+		found := false
+		for _, v := range vs {
+			if strings.Contains(v, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v do not mention %q", tc.label, vs, tc.want)
+		}
+	}
+}
+
+func TestCheckerGapAllowedUnderDropOldest(t *testing.T) {
+	ck, ti := feedChecker(core.DropOldest)
+	for seq := int64(1); seq <= 10; seq++ {
+		ck.notePublished(ti, 0, seq)
+	}
+	ck.noteTaken(ti, 0, seqEncode(0, 7)) // 1..6 dropped: legal
+	ck.noteTaken(ti, 0, seqEncode(0, 10))
+	ck.mu.Lock()
+	got := len(ck.violations)
+	ck.mu.Unlock()
+	if got != 0 {
+		t.Fatalf("legal conflation flagged: %v", ck.violations)
+	}
+}
+
+func TestCheckerSeparatesPublishers(t *testing.T) {
+	// Per-publisher FIFO: interleaving publishers is fine as long as each
+	// publisher's own sequence stays ordered.
+	ck, ti := feedChecker(core.Reject)
+	ck.notePublished(ti, 0, 1)
+	ck.notePublished(ti, 1, 1)
+	ck.notePublished(ti, 0, 2)
+	ck.noteTaken(ti, 0, seqEncode(1, 1))
+	ck.noteTaken(ti, 0, seqEncode(0, 1))
+	ck.noteTaken(ti, 0, seqEncode(0, 2))
+	ck.mu.Lock()
+	got := len(ck.violations)
+	ck.mu.Unlock()
+	if got != 0 {
+		t.Fatalf("legal interleaving flagged: %v", ck.violations)
+	}
+}

@@ -1,0 +1,549 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin/internal/spec"
+)
+
+// Report is the machine-readable outcome of one scenario run — the
+// BENCH_scale.json payload.
+type Report struct {
+	Scenario string `json:"scenario"`
+	Seed     int64  `json:"seed"`
+	// Tasks is the statically declared task count; PeakTasks adds churn
+	// headroom actually provisioned.
+	Tasks     int `json:"tasks"`
+	PeakTasks int `json:"peak_tasks"`
+	Workers   int `json:"workers"`
+
+	SimDurationNS int64  `json:"sim_duration_ns"`
+	WallNS        int64  `json:"wall_ns"`
+	EngineSteps   uint64 `json:"engine_steps"`
+
+	Jobs     int64 `json:"jobs"`
+	Misses   int64 `json:"misses"`
+	Overruns int64 `json:"overruns"`
+
+	Published int64 `json:"published"`
+	Delivered int64 `json:"delivered"`
+
+	Epochs     int   `json:"epochs"`
+	Retires    int   `json:"retires"`
+	Rejections int64 `json:"rejections"`
+
+	JobsPerWallSec float64  `json:"jobs_per_wall_sec"`
+	Violations     []string `json:"violations"`
+}
+
+// Run executes the scenario on the deterministic simulation backend and
+// returns the report; the error covers harness failures (a violation-laden
+// run still returns its report).
+func Run(sc *Scenario) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	ck := NewChecker()
+
+	s, gen := sc.buildSpec(rng, ck)
+	maxTasks := sc.TaskCount() + sc.churnHeadroom()
+	pending := sc.MaxPendingJobs
+	if pending == 0 {
+		pending = maxTasks + 4*sc.Workers + 64
+	}
+	cfg := core.Config{
+		Workers:         sc.Workers,
+		Mapping:         core.MappingGlobal,
+		Priority:        core.PriorityEDF,
+		MaxTasks:        maxTasks,
+		MaxChannels:     len(s.Topics) + 1,
+		MaxPendingJobs:  pending,
+		SchedulerPeriod: sc.SchedulerPeriod.Std(),
+	}
+	switch sc.Mapping {
+	case "partitioned":
+		cfg.Mapping = core.MappingPartitioned
+	}
+	switch sc.Priority {
+	case "rm":
+		cfg.Priority = core.PriorityRM
+	case "dm":
+		cfg.Priority = core.PriorityDM
+	}
+
+	eng := sim.NewEngine(sc.Seed)
+	env, err := rt.NewSimEnv(eng, platform.Generic(sc.Workers+1), nil)
+	if err != nil {
+		return nil, err
+	}
+	app, err := s.Build(cfg, env)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: build: %w", sc.Name, err)
+	}
+	// The instrumented bodies captured spec-layer positional CIDs; fail
+	// fast if the built App disagrees (a silent mismatch would turn every
+	// publish/take into misleading checker violations).
+	for name, cid := range gen.topicCIDs {
+		if got := app.TopicID(name); got != cid {
+			return nil, fmt.Errorf("scenario %s: topic %s built as CID %d, bodies captured %d", sc.Name, name, got, cid)
+		}
+	}
+
+	events := sc.expandChurn()
+	horizon := sc.Duration.Std()
+	driver := &churnDriver{sc: sc, app: app, ck: ck, rng: rng, gen: gen}
+	var harnessErr error
+	env.Spawn("stress-driver", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			harnessErr = fmt.Errorf("scenario %s: start: %w", sc.Name, err)
+			return
+		}
+		for _, ev := range events {
+			if ev.at >= horizon {
+				break
+			}
+			c.SleepUntil(ev.at)
+			driver.fire(c, ev)
+		}
+		c.SleepUntil(horizon)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+
+	wall0 := time.Now()
+	if err := eng.RunUntilIdle(); err != nil {
+		return nil, fmt.Errorf("scenario %s: engine: %w", sc.Name, err)
+	}
+	if harnessErr != nil {
+		return nil, harnessErr
+	}
+	wall := time.Since(wall0)
+
+	rep := &Report{
+		Scenario:      sc.Name,
+		Seed:          sc.Seed,
+		Tasks:         sc.TaskCount(),
+		PeakTasks:     maxTasks,
+		Workers:       sc.Workers,
+		SimDurationNS: int64(horizon),
+		WallNS:        wall.Nanoseconds(),
+		EngineSteps:   eng.Steps(),
+		Jobs:          app.Recorder().TotalJobs(),
+		Misses:        app.Recorder().TotalMisses(),
+		Overruns:      app.Overruns(),
+		Published:     ck.Published(),
+		Delivered:     ck.Delivered(),
+		Epochs:        app.Epoch(),
+		Retires:       len(app.Recorder().Retires()),
+		Rejections:    driver.rejections,
+		Violations:    ck.Finish(app),
+	}
+	if wall > 0 {
+		rep.JobsPerWallSec = float64(rep.Jobs) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+// genState carries name lists the churn driver needs from spec generation.
+type genState struct {
+	groupTasks []string                 // plain compute task names
+	groupData  map[string]spec.TaskSpec // name -> declared timing (for retunes)
+	modes      []string                 // installed mode names, cycle order
+	topicCIDs  map[string]core.CID      // instrumented topic name -> captured CID
+}
+
+// buildSpec generates the declarative application (group tasks, topic
+// meshes with instrumented endpoints, mode presets) from the scenario.
+func (sc *Scenario) buildSpec(rng *rand.Rand, ck *Checker) (*spec.Spec, *genState) {
+	s := &spec.Spec{Name: sc.Name}
+	gen := &genState{
+		groupData: make(map[string]spec.TaskSpec),
+		topicCIDs: make(map[string]core.CID),
+	}
+
+	core0 := 0
+	nextCore := func() int {
+		c := core0 % sc.Workers
+		core0++
+		return c
+	}
+
+	for gi := range sc.Groups {
+		g := &sc.Groups[gi]
+		for i := 0; i < g.Count; i++ {
+			period := g.Period.sample(rng)
+			wcet := time.Duration(g.Utilization * float64(period))
+			if wcet < time.Microsecond {
+				wcet = time.Microsecond
+			}
+			t := spec.TaskSpec{
+				Name:   fmt.Sprintf("%s-%d", g.Name, i),
+				Period: spec.Duration(period),
+				Core:   nextCore(),
+				Versions: []spec.VersionSpec{{
+					WCET: spec.Duration(wcet),
+				}},
+			}
+			if g.DeadlineRatio > 0 {
+				t.Deadline = spec.Duration(float64(period) * g.DeadlineRatio)
+			}
+			if g.OffsetJitter {
+				t.Offset = spec.Duration(rng.Int63n(int64(period)))
+			}
+			s.Tasks = append(s.Tasks, t)
+			gen.groupTasks = append(gen.groupTasks, t.Name)
+			gen.groupData[t.Name] = t
+		}
+	}
+
+	for si := range sc.Topics {
+		sh := &sc.Topics[si]
+		pol, _ := core.ParsePolicy(sh.Policy)
+		for k := 0; k < sh.Count; k++ {
+			topicName := fmt.Sprintf("%s-%d", sh.Name, k)
+			ti := ck.addTopic(topicName, pol, sh.Capacity, sh.Pubs, sh.Subs)
+			ts := spec.TopicSpec{
+				Name:     topicName,
+				Capacity: sh.Capacity,
+				Policy:   sh.Policy,
+			}
+			// Reserve the spec slot first so the CID the instrumented
+			// bodies capture comes from the spec layer's documented
+			// positional contract (TopicID); the endpoint lists are filled
+			// in below and Run re-verifies every CID against the built App
+			// before starting.
+			s.Topics = append(s.Topics, ts)
+			tsIdx := len(s.Topics) - 1
+			cid := s.TopicID(topicName)
+			gen.topicCIDs[topicName] = cid
+			for p := 0; p < sh.Pubs; p++ {
+				name := fmt.Sprintf("%s-pub%d", topicName, p)
+				ts.Pubs = append(ts.Pubs, name)
+				s.Tasks = append(s.Tasks, spec.TaskSpec{
+					Name:   name,
+					Period: sh.PublishPeriod,
+					Offset: spec.Duration(rng.Int63n(int64(sh.PublishPeriod.Std()))),
+					Core:   nextCore(),
+					Versions: []spec.VersionSpec{{
+						Fn: pubBody(ck, ti, p, cid),
+					}},
+				})
+			}
+			for sub := 0; sub < sh.Subs; sub++ {
+				name := fmt.Sprintf("%s-sub%d", topicName, sub)
+				ts.Subs = append(ts.Subs, name)
+				s.Tasks = append(s.Tasks, spec.TaskSpec{
+					Name:   name,
+					Period: sh.ConsumePeriod,
+					Offset: spec.Duration(rng.Int63n(int64(sh.ConsumePeriod.Std()))),
+					Core:   nextCore(),
+					Versions: []spec.VersionSpec{{
+						Fn: subBody(ck, ti, sub, cid),
+					}},
+				})
+			}
+			s.Topics[tsIdx] = ts
+		}
+	}
+
+	// Mode presets for "mode" churn: "full" activates everything, "reduced"
+	// drops the second half of every group (topic meshes stay live in both
+	// so data-plane accounting is continuous).
+	needModes := false
+	for i := range sc.Churn {
+		if sc.Churn[i].Action == "mode" {
+			needModes = true
+		}
+	}
+	if needModes {
+		reduced := make([]string, 0, len(s.Tasks))
+		for gi := range sc.Groups {
+			g := &sc.Groups[gi]
+			for i := 0; i < g.Count/2; i++ {
+				reduced = append(reduced, fmt.Sprintf("%s-%d", g.Name, i))
+			}
+		}
+		for i := range s.Topics {
+			reduced = append(reduced, s.Topics[i].Pubs...)
+			reduced = append(reduced, s.Topics[i].Subs...)
+		}
+		s.Modes = []spec.ModeSpec{
+			{Name: "full", Mode: 0},
+			{Name: "reduced", Mode: 1, Tasks: reduced},
+		}
+		gen.modes = []string{"reduced", "full"}
+	}
+	return s, gen
+}
+
+// pubBody returns the instrumented publisher body: stamp, publish, account.
+// Under Reject a full buffer is a legitimate outcome (the entry was never
+// accepted and the sequence number is reused); any other Publish failure is
+// a middleware defect the harness exists to surface, so it becomes a
+// checker violation rather than being silently swallowed.
+func pubBody(ck *Checker, ti, p int, cid core.CID) core.TaskFunc {
+	return func(x *core.ExecCtx, _ any) error {
+		seq := ck.nextSeq(ti, p)
+		if err := x.Publish(cid, seqEncode(p, seq)); err != nil {
+			if !strings.Contains(err.Error(), " full (") {
+				ck.violationf("topic check %d pub %d: publish failed unexpectedly: %v", ti, p, err)
+			}
+			return nil
+		}
+		ck.notePublished(ti, p, seq)
+		return nil
+	}
+}
+
+// subBody returns the instrumented subscriber body: drain the backlog,
+// verifying per-publisher FIFO on every entry.
+func subBody(ck *Checker, ti, sub int, cid core.CID) core.TaskFunc {
+	return func(x *core.ExecCtx, _ any) error {
+		for {
+			v, ok, err := x.Take(cid)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			ck.noteTaken(ti, sub, v)
+		}
+	}
+}
+
+// churnEvent is one expanded churn firing.
+type churnEvent struct {
+	at    time.Duration
+	phase int
+	rep   int
+}
+
+// expandChurn unrolls repeating phases over the scenario duration into a
+// time-sorted firing list.
+func (sc *Scenario) expandChurn() []churnEvent {
+	var evs []churnEvent
+	horizon := sc.Duration.Std()
+	for pi := range sc.Churn {
+		cp := &sc.Churn[pi]
+		at := cp.At.Std()
+		rep := 0
+		for at < horizon {
+			evs = append(evs, churnEvent{at: at, phase: pi, rep: rep})
+			if cp.Every <= 0 {
+				break
+			}
+			at += cp.Every.Std()
+			rep++
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs
+}
+
+// churnDriver executes churn transactions and records their admission
+// outcomes for the checker.
+type churnDriver struct {
+	sc  *Scenario
+	app *core.App
+	ck  *Checker
+	rng *rand.Rand
+	gen *genState
+
+	rejections int64
+	// per-phase ping-pong state
+	alive      map[int][]string
+	generation map[int]int
+	modeIdx    int
+	retuneUp   map[string]bool
+}
+
+func (d *churnDriver) fire(c rt.Ctx, ev churnEvent) {
+	cp := &d.sc.Churn[ev.phase]
+	if d.alive == nil {
+		d.alive = make(map[int][]string)
+		d.generation = make(map[int]int)
+		d.retuneUp = make(map[string]bool)
+	}
+	before := d.app.Epoch()
+	var err error
+	var action string
+	switch cp.Action {
+	case "mode":
+		if len(d.gen.modes) == 0 {
+			return // no presets installed: nothing to attempt
+		}
+		name := d.gen.modes[d.modeIdx%len(d.gen.modes)]
+		d.modeIdx++
+		action = "mode:" + name
+		err = d.app.SwitchMode(c, name)
+	case "add":
+		action = "add"
+		err = d.admitTasks(c, ev, cp, nil)
+	case "ping_pong":
+		if len(d.alive[ev.phase]) == 0 {
+			action = "ping_pong:admit"
+			err = d.admitTasks(c, ev, cp, &ev.phase)
+		} else {
+			action = "ping_pong:retire"
+			names := d.alive[ev.phase]
+			err = d.app.Reconfigure(c, func(tx *core.Reconfig) error {
+				for _, n := range names {
+					if rerr := tx.RemoveTaskByName(n); rerr != nil {
+						return rerr
+					}
+				}
+				return nil
+			})
+			if err == nil {
+				d.alive[ev.phase] = nil
+			}
+		}
+	case "retune":
+		action = "retune"
+		if len(d.gen.groupTasks) == 0 {
+			// Topics-only scenario: nothing to retune. Skip the attempt
+			// record entirely — recording a "commit" that moved no epoch
+			// would read as an admission-monotonicity violation.
+			return
+		}
+		err = d.retuneTasks(c, cp)
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrNotSchedulable) {
+			d.rejections++
+		} else {
+			d.ck.violationf("churn %s at %v failed unexpectedly: %v", action, ev.at, err)
+		}
+	}
+	d.ck.noteAttempt(admissionAttempt{
+		at:          ev.at,
+		action:      action,
+		err:         err,
+		epochBefore: before,
+		epochAfter:  d.app.Epoch(),
+	})
+}
+
+// admitTasks stages cp.Count fresh tasks in one transaction. Names are
+// unique per incarnation (phase, generation, index) so retirements are
+// uniquely attributable. pingPhase non-nil tracks them for later removal.
+func (d *churnDriver) admitTasks(c rt.Ctx, ev churnEvent, cp *ChurnPhase, pingPhase *int) error {
+	g := d.generation[ev.phase]
+	d.generation[ev.phase] = g + 1
+	dist := cp.Period
+	if dist.Min == 0 && dist.Max == 0 && len(dist.Choices) == 0 {
+		dist = Dist{Min: spec.Duration(10 * time.Millisecond), Max: spec.Duration(100 * time.Millisecond)}
+	}
+	util := cp.Utilization
+	if util == 0 {
+		util = 0.01
+	}
+	var names []string
+	err := d.app.Reconfigure(c, func(tx *core.Reconfig) error {
+		names = names[:0]
+		for i := 0; i < cp.Count; i++ {
+			name := fmt.Sprintf("churn%d-g%d-%d", ev.phase, g, i)
+			period := dist.sample(d.rng)
+			wcet := time.Duration(util * float64(period))
+			if wcet < time.Microsecond {
+				wcet = time.Microsecond
+			}
+			id, err := tx.AddTask(core.TData{Name: name, Period: period, VirtCore: i % d.sc.Workers})
+			if err != nil {
+				return err
+			}
+			if _, err := tx.AddVersion(id, d.churnBody(name, wcet), nil, core.VSelect{WCET: wcet}); err != nil {
+				return err
+			}
+			names = append(names, name)
+		}
+		return nil
+	})
+	if err == nil && pingPhase != nil {
+		d.alive[*pingPhase] = append([]string(nil), names...)
+	}
+	return err
+}
+
+// churnBody is the instrumented body of churn-admitted tasks: drain
+// tracking for the retire check plus probabilistic failure injection. The
+// rng is shared but the simulation backend serialises all task bodies.
+func (d *churnDriver) churnBody(name string, wcet time.Duration) core.TaskFunc {
+	rate := d.sc.Failures.TaskErrorRate
+	return func(x *core.ExecCtx, _ any) error {
+		d.ck.noteStart(name, x.Now())
+		err := x.Compute(wcet)
+		d.ck.noteFinish(name, x.Now())
+		if err != nil {
+			return err
+		}
+		if rate > 0 && d.rng.Float64() < rate {
+			d.ck.noteInjected()
+			return fmt.Errorf("scenario: injected failure in %s", name)
+		}
+		return nil
+	}
+}
+
+// retuneTasks doubles or halves the periods of cp.Count random group tasks.
+func (d *churnDriver) retuneTasks(c rt.Ctx, cp *ChurnPhase) error {
+	if len(d.gen.groupTasks) == 0 {
+		return nil
+	}
+	picks := make(map[string]bool, cp.Count)
+	for len(picks) < cp.Count && len(picks) < len(d.gen.groupTasks) {
+		picks[d.gen.groupTasks[d.rng.Intn(len(d.gen.groupTasks))]] = true
+	}
+	err := d.app.Reconfigure(c, func(tx *core.Reconfig) error {
+		for name := range picks {
+			ts, ok := d.gen.groupData[name]
+			if !ok {
+				continue
+			}
+			id := tx.TaskID(name)
+			if id < 0 {
+				continue // mode-retired right now; skip
+			}
+			// Alternate between the declared period and half of it; an
+			// explicit deadline scales with the period so D <= T holds.
+			period := ts.Period.Std()
+			deadline := ts.Deadline.Std()
+			if !d.retuneUp[name] {
+				period /= 2
+				deadline /= 2
+				if period < time.Millisecond {
+					period = time.Millisecond
+					deadline = ts.Deadline.Std()
+				}
+			}
+			nd := core.TData{
+				Name:          name,
+				Period:        period,
+				Deadline:      deadline,
+				ReleaseOffset: ts.Offset.Std(),
+				VirtCore:      ts.Core,
+			}
+			if err := tx.Retune(id, nd); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		for name := range picks {
+			d.retuneUp[name] = !d.retuneUp[name]
+		}
+	}
+	return err
+}

@@ -1,0 +1,357 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/spec"
+)
+
+// Scenario is a complete stress-scenario description. All durations accept
+// human-readable strings ("250ms") in both YAML and JSON.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name"`
+	// Seed drives every random choice; equal seeds reproduce runs exactly.
+	Seed int64 `json:"seed,omitempty"`
+	// Duration is the simulated run length.
+	Duration spec.Duration `json:"duration"`
+	// Workers is the number of worker threads (virtual CPUs).
+	Workers int `json:"workers"`
+	// Mapping selects the ready-queue scheme: "global" (default) or
+	// "partitioned" (tasks are spread round-robin over the workers).
+	Mapping string `json:"mapping,omitempty"`
+	// Priority selects the priority assignment: "edf" (default), "rm",
+	// "dm".
+	Priority string `json:"priority,omitempty"`
+	// SchedulerPeriod overrides the scheduler grid; zero derives the GCD.
+	SchedulerPeriod spec.Duration `json:"scheduler_period,omitempty"`
+	// MaxPendingJobs bounds simultaneously live jobs; zero derives a bound
+	// from the task count.
+	MaxPendingJobs int `json:"max_pending_jobs,omitempty"`
+
+	// Groups generate plain periodic compute tasks.
+	Groups []TaskGroup `json:"groups,omitempty"`
+	// Topics generate pub-sub meshes with instrumented endpoint tasks the
+	// invariant checker observes.
+	Topics []TopicShape `json:"topics,omitempty"`
+	// Churn schedules live-reconfiguration phases.
+	Churn []ChurnPhase `json:"churn,omitempty"`
+	// Failures injects task-function errors.
+	Failures Failures `json:"failures,omitempty"`
+}
+
+// Dist describes a duration distribution: either explicit Choices or a
+// log-uniform range [Min, Max].
+type Dist struct {
+	Min     spec.Duration   `json:"min,omitempty"`
+	Max     spec.Duration   `json:"max,omitempty"`
+	Choices []spec.Duration `json:"choices,omitempty"`
+}
+
+// sample draws one duration.
+func (d *Dist) sample(rng *rand.Rand) time.Duration {
+	if len(d.Choices) > 0 {
+		return d.Choices[rng.Intn(len(d.Choices))].Std()
+	}
+	lo, hi := float64(d.Min.Std()), float64(d.Max.Std())
+	if lo >= hi {
+		return d.Min.Std()
+	}
+	// Log-uniform: spreads samples across magnitudes, the standard choice
+	// for period generation (harmonic pile-ups at one magnitude are not
+	// representative workloads).
+	return time.Duration(math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo))))
+}
+
+func (d *Dist) validate(what string) error {
+	if len(d.Choices) > 0 {
+		for _, c := range d.Choices {
+			if c <= 0 {
+				return fmt.Errorf("scenario: %s: non-positive choice %v", what, c.Std())
+			}
+		}
+		return nil
+	}
+	if d.Min <= 0 || d.Max <= 0 {
+		return fmt.Errorf("scenario: %s: range needs positive min and max (got %v..%v)", what, d.Min.Std(), d.Max.Std())
+	}
+	if d.Min > d.Max {
+		return fmt.Errorf("scenario: %s: impossible range %v..%v (min > max)", what, d.Min.Std(), d.Max.Std())
+	}
+	return nil
+}
+
+// TaskGroup generates Count periodic tasks with sampled periods and a fixed
+// per-task utilisation (WCET = Utilization × period).
+type TaskGroup struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	// Period is the per-task period distribution.
+	Period Dist `json:"period"`
+	// Utilization is the per-task utilisation in (0, 1].
+	Utilization float64 `json:"utilization"`
+	// DeadlineRatio sets D = ratio × T; zero keeps the implicit deadline.
+	DeadlineRatio float64 `json:"deadline_ratio,omitempty"`
+	// OffsetJitter staggers first releases uniformly over one period,
+	// avoiding a synchronous release storm at t=0.
+	OffsetJitter bool `json:"offset_jitter,omitempty"`
+}
+
+func (g *TaskGroup) validate(i int) error {
+	if g.Name == "" {
+		return fmt.Errorf("scenario: group %d has no name", i)
+	}
+	if g.Count <= 0 {
+		return fmt.Errorf("scenario: group %q: count must be positive, got %d", g.Name, g.Count)
+	}
+	if err := g.Period.validate("group " + g.Name + " period"); err != nil {
+		return err
+	}
+	if g.Utilization <= 0 || g.Utilization > 1 {
+		return fmt.Errorf("scenario: group %q: impossible utilization %g (need 0 < u <= 1)", g.Name, g.Utilization)
+	}
+	if g.DeadlineRatio < 0 || g.DeadlineRatio > 1 {
+		return fmt.Errorf("scenario: group %q: deadline ratio %g out of [0,1]", g.Name, g.DeadlineRatio)
+	}
+	return nil
+}
+
+// TopicShape generates Count topics, each with Pubs publisher tasks and
+// Subs subscriber tasks whose bodies are instrumented for the invariant
+// checker (sequence-stamped publishes, per-publisher FIFO verification on
+// take).
+type TopicShape struct {
+	Name string `json:"name"`
+	// Count is the number of topic instances of this shape.
+	Count int `json:"count"`
+	// Pubs/Subs are the fan-in and fan-out degrees per instance.
+	Pubs int `json:"pubs"`
+	Subs int `json:"subs"`
+	// Capacity is the shared buffer depth.
+	Capacity int `json:"capacity"`
+	// Policy is the overflow policy: "reject" (default), "drop_oldest",
+	// "latest".
+	Policy string `json:"policy,omitempty"`
+	// PublishPeriod / ConsumePeriod are the endpoint task periods.
+	PublishPeriod spec.Duration `json:"publish_period"`
+	ConsumePeriod spec.Duration `json:"consume_period"`
+}
+
+func (tp *TopicShape) validate(i int) error {
+	if tp.Name == "" {
+		return fmt.Errorf("scenario: topic shape %d has no name", i)
+	}
+	if tp.Count <= 0 || tp.Pubs <= 0 || tp.Subs <= 0 {
+		return fmt.Errorf("scenario: topic %q: count/pubs/subs must be positive", tp.Name)
+	}
+	if tp.Capacity < 1 {
+		return fmt.Errorf("scenario: topic %q: capacity must be >= 1, got %d", tp.Name, tp.Capacity)
+	}
+	switch tp.Policy {
+	case "", "reject", "drop_oldest", "drop-oldest", "latest":
+	default:
+		return fmt.Errorf("scenario: topic %q: unknown policy %q", tp.Name, tp.Policy)
+	}
+	if tp.PublishPeriod <= 0 || tp.ConsumePeriod <= 0 {
+		return fmt.Errorf("scenario: topic %q: publish_period and consume_period must be positive", tp.Name)
+	}
+	return nil
+}
+
+// ChurnPhase schedules reconfiguration transactions.
+type ChurnPhase struct {
+	// At is the first firing instant; Every repeats it until the scenario
+	// ends (zero fires once).
+	At    spec.Duration `json:"at"`
+	Every spec.Duration `json:"every,omitempty"`
+	// Action selects the transaction shape:
+	//   "ping_pong" — admit Count tasks, remove them at the next firing,
+	//                 re-admit at the one after, ... (fresh names per
+	//                 incarnation so retirements are uniquely attributable)
+	//   "add"       — admit Count tasks (cumulative)
+	//   "retune"    — retune Count random churn tasks (period ×2 or ÷2)
+	//   "mode"      — cycle through the spec's installed modes
+	Action string `json:"action"`
+	// Count is the number of tasks per transaction (ping_pong/add/retune).
+	Count int `json:"count,omitempty"`
+	// Period/Utilization describe tasks this phase admits; zero values
+	// default to 10–100ms log-uniform at 1% utilisation each.
+	Period      Dist    `json:"period,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+}
+
+func (cp *ChurnPhase) validate(i int) error {
+	switch cp.Action {
+	case "ping_pong", "add", "retune", "mode":
+	default:
+		return fmt.Errorf("scenario: churn %d: unknown action %q", i, cp.Action)
+	}
+	if cp.At < 0 || cp.Every < 0 {
+		return fmt.Errorf("scenario: churn %d: negative time", i)
+	}
+	if cp.Action != "mode" && cp.Count <= 0 {
+		return fmt.Errorf("scenario: churn %d (%s): count must be positive", i, cp.Action)
+	}
+	if cp.Utilization < 0 || cp.Utilization > 1 {
+		return fmt.Errorf("scenario: churn %d: impossible utilization %g", i, cp.Utilization)
+	}
+	if cp.Period.Min != 0 || cp.Period.Max != 0 || len(cp.Period.Choices) > 0 {
+		if err := cp.Period.validate(fmt.Sprintf("churn %d period", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Failures configures fault injection.
+type Failures struct {
+	// TaskErrorRate is the probability a churn-task job returns an error
+	// (exercising the recordTaskError path under load).
+	TaskErrorRate float64 `json:"task_error_rate,omitempty"`
+}
+
+// Validate checks the scenario for structural and distributional
+// impossibilities. It is called by Load; call it directly on hand-built
+// scenarios.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: needs a name")
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("scenario: needs a positive duration, got %v", sc.Duration.Std())
+	}
+	if sc.Workers <= 0 {
+		return fmt.Errorf("scenario: needs workers >= 1, got %d", sc.Workers)
+	}
+	switch sc.Mapping {
+	case "", "global", "partitioned":
+	default:
+		return fmt.Errorf("scenario: unknown mapping %q", sc.Mapping)
+	}
+	switch sc.Priority {
+	case "", "edf", "rm", "dm":
+	default:
+		return fmt.Errorf("scenario: unknown priority %q", sc.Priority)
+	}
+	if sc.SchedulerPeriod < 0 {
+		return fmt.Errorf("scenario: negative scheduler period")
+	}
+	if len(sc.Groups) == 0 && len(sc.Topics) == 0 {
+		return fmt.Errorf("scenario: needs at least one task group or topic shape")
+	}
+	names := map[string]bool{}
+	for i := range sc.Groups {
+		if err := sc.Groups[i].validate(i); err != nil {
+			return err
+		}
+		if names[sc.Groups[i].Name] {
+			return fmt.Errorf("scenario: duplicate group name %q", sc.Groups[i].Name)
+		}
+		names[sc.Groups[i].Name] = true
+	}
+	for i := range sc.Topics {
+		if err := sc.Topics[i].validate(i); err != nil {
+			return err
+		}
+		if names[sc.Topics[i].Name] {
+			return fmt.Errorf("scenario: duplicate topic shape name %q", sc.Topics[i].Name)
+		}
+		names[sc.Topics[i].Name] = true
+	}
+	totalU := 0.0
+	for i := range sc.Groups {
+		totalU += float64(sc.Groups[i].Count) * sc.Groups[i].Utilization
+	}
+	if totalU > float64(sc.Workers) {
+		return fmt.Errorf("scenario: impossible load: groups demand %.2f workers' worth of utilisation on %d workers", totalU, sc.Workers)
+	}
+	for i := range sc.Churn {
+		if err := sc.Churn[i].validate(i); err != nil {
+			return err
+		}
+	}
+	if sc.Failures.TaskErrorRate < 0 || sc.Failures.TaskErrorRate > 1 {
+		return fmt.Errorf("scenario: task error rate %g out of [0,1]", sc.Failures.TaskErrorRate)
+	}
+	return nil
+}
+
+// Load parses a scenario from YAML (.yaml/.yml) or JSON (anything else)
+// and validates it. Unknown fields are rejected in both syntaxes.
+func Load(data []byte, path string) (*Scenario, error) {
+	ext := strings.ToLower(filepath.Ext(path))
+	jsonBytes := data
+	if ext == ".yaml" || ext == ".yml" {
+		doc, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		jsonBytes, err = json.Marshal(doc)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	var sc Scenario
+	dec := json.NewDecoder(strings.NewReader(string(jsonBytes)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// LoadFile reads and validates a scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Load(data, path)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// TaskCount returns the number of statically declared tasks (groups plus
+// topic endpoints), before churn headroom.
+func (sc *Scenario) TaskCount() int {
+	n := 0
+	for i := range sc.Groups {
+		n += sc.Groups[i].Count
+	}
+	for i := range sc.Topics {
+		n += sc.Topics[i].Count * (sc.Topics[i].Pubs + sc.Topics[i].Subs)
+	}
+	return n
+}
+
+// churnHeadroom returns extra task slots churn phases may occupy at once:
+// live adds plus up-to-one draining generation of ping-pong tasks.
+func (sc *Scenario) churnHeadroom() int {
+	n := 0
+	for i := range sc.Churn {
+		cp := &sc.Churn[i]
+		switch cp.Action {
+		case "add":
+			reps := 1
+			if cp.Every > 0 {
+				reps = int(sc.Duration.Std()/cp.Every.Std()) + 1
+			}
+			n += cp.Count * reps
+		case "ping_pong":
+			n += 2 * cp.Count // one live + one draining generation
+		}
+	}
+	return n
+}

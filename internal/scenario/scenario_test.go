@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/spec"
+)
+
+const smokeYAML = `
+# Small but complete scenario: every schema feature in one file.
+name: smoke
+seed: 7
+duration: 300ms
+workers: 2
+mapping: global
+priority: edf
+groups:
+  - name: bulk
+    count: 8
+    period:
+      min: 20ms
+      max: 80ms
+    utilization: 0.05
+    offset_jitter: true
+  - name: fast
+    count: 4
+    period:
+      choices: [5ms, 10ms]
+    utilization: 0.02
+topics:
+  - name: fan
+    count: 2
+    pubs: 2
+    subs: 3
+    capacity: 16
+    policy: reject
+    publish_period: 10ms
+    consume_period: 15ms
+churn:
+  - at: 50ms
+    every: 60ms
+    count: 3
+    action: ping_pong
+  - at: 80ms
+    every: 90ms
+    count: 2
+    action: retune
+  - at: 100ms
+    every: 120ms
+    action: mode
+failures:
+  task_error_rate: 0.05
+`
+
+func TestLoadYAMLSmoke(t *testing.T) {
+	sc, err := Load([]byte(smokeYAML), "smoke.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "smoke" || sc.Workers != 2 {
+		t.Fatalf("header mis-parsed: %+v", sc)
+	}
+	if len(sc.Groups) != 2 || sc.Groups[0].Count != 8 || !sc.Groups[0].OffsetJitter {
+		t.Fatalf("groups mis-parsed: %+v", sc.Groups)
+	}
+	if sc.Groups[0].Period.Min.Std() != 20*time.Millisecond {
+		t.Fatalf("period min = %v", sc.Groups[0].Period.Min.Std())
+	}
+	if got := sc.Groups[1].Period.Choices; len(got) != 2 || got[1].Std() != 10*time.Millisecond {
+		t.Fatalf("choices mis-parsed: %v", got)
+	}
+	if len(sc.Topics) != 1 || sc.Topics[0].Subs != 3 {
+		t.Fatalf("topics mis-parsed: %+v", sc.Topics)
+	}
+	if len(sc.Churn) != 3 || sc.Churn[2].Action != "mode" {
+		t.Fatalf("churn mis-parsed: %+v", sc.Churn)
+	}
+	if sc.Failures.TaskErrorRate != 0.05 {
+		t.Fatalf("failures mis-parsed: %+v", sc.Failures)
+	}
+	if sc.TaskCount() != 8+4+2*(2+3) {
+		t.Fatalf("TaskCount = %d", sc.TaskCount())
+	}
+}
+
+func TestLoadJSONEquivalent(t *testing.T) {
+	js := `{
+	  "name": "j", "seed": 1, "duration": "100ms", "workers": 1,
+	  "groups": [{"name": "g", "count": 2, "period": {"min": "10ms", "max": "20ms"}, "utilization": 0.1}]
+	}`
+	sc, err := Load([]byte(js), "j.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Groups[0].Period.Max.Std() != 20*time.Millisecond {
+		t.Fatalf("json period mis-parsed: %+v", sc.Groups[0].Period)
+	}
+}
+
+func TestLoadRejectsMalformedYAML(t *testing.T) {
+	cases := map[string]string{
+		"tab indent":       "name: x\n\tworkers: 1\n",
+		"flow collection":  "name: x\n[a, b]: 1\n",
+		"missing space":    "name:x\n",
+		"bad indentation":  "name: x\ngroups:\n   - name: g\n  count: 1\n",
+		"duplicate key":    "name: x\nname: y\n",
+		"sequence in map":  "name: x\n- item\n",
+		"no key":           "name: x\njust words\n",
+		"unknown field":    "name: x\nduration: 1s\nworkers: 1\nbogus_field: 3\ngroups:\n  - name: g\n    count: 1\n    period:\n      min: 1ms\n      max: 2ms\n    utilization: 0.1\n",
+		"empty document":   "# only comments\n",
+		"wrong value type": "name: x\nduration: 1s\nworkers: many\ngroups:\n  - name: g\n    count: 1\n    period:\n      min: 1ms\n      max: 2ms\n    utilization: 0.1\n",
+	}
+	for label, doc := range cases {
+		if _, err := Load([]byte(doc), "bad.yaml"); err == nil {
+			t.Errorf("%s: accepted %q", label, doc)
+		}
+	}
+}
+
+func TestValidateRejectsImpossibleDistributions(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{
+			Name: "v", Duration: spec.Duration(time.Second), Workers: 2,
+			Groups: []TaskGroup{{
+				Name: "g", Count: 4,
+				Period:      Dist{Min: spec.Duration(10 * time.Millisecond), Max: spec.Duration(20 * time.Millisecond)},
+				Utilization: 0.1,
+			}},
+		}
+	}
+	cases := []struct {
+		label string
+		mut   func(*Scenario)
+		want  string
+	}{
+		{"min > max", func(s *Scenario) { s.Groups[0].Period.Min = spec.Duration(time.Second) }, "impossible range"},
+		{"zero period", func(s *Scenario) { s.Groups[0].Period = Dist{} }, "positive min and max"},
+		{"negative choice", func(s *Scenario) { s.Groups[0].Period = Dist{Choices: []spec.Duration{-1}} }, "non-positive choice"},
+		{"utilization > 1", func(s *Scenario) { s.Groups[0].Utilization = 1.5 }, "impossible utilization"},
+		{"zero utilization", func(s *Scenario) { s.Groups[0].Utilization = 0 }, "impossible utilization"},
+		{"overcommitted", func(s *Scenario) { s.Groups[0].Count = 400; s.Groups[0].Utilization = 0.9 }, "impossible load"},
+		{"deadline ratio", func(s *Scenario) { s.Groups[0].DeadlineRatio = 2 }, "deadline ratio"},
+		{"zero count", func(s *Scenario) { s.Groups[0].Count = 0 }, "count must be positive"},
+		{"no name", func(s *Scenario) { s.Name = "" }, "needs a name"},
+		{"no duration", func(s *Scenario) { s.Duration = 0 }, "positive duration"},
+		{"no workers", func(s *Scenario) { s.Workers = 0 }, "workers"},
+		{"bad mapping", func(s *Scenario) { s.Mapping = "clustered" }, "unknown mapping"},
+		{"bad priority", func(s *Scenario) { s.Priority = "fifo" }, "unknown priority"},
+		{"bad churn action", func(s *Scenario) { s.Churn = []ChurnPhase{{Action: "explode", Count: 1}} }, "unknown action"},
+		{"churn no count", func(s *Scenario) { s.Churn = []ChurnPhase{{Action: "add"}} }, "count must be positive"},
+		{"bad error rate", func(s *Scenario) { s.Failures.TaskErrorRate = 2 }, "error rate"},
+		{"dup group", func(s *Scenario) { s.Groups = append(s.Groups, s.Groups[0]) }, "duplicate group"},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mut(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validated", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.label, err, tc.want)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base scenario invalid: %v", err)
+	}
+}
+
+func TestRunSmokeScenarioCleans(t *testing.T) {
+	sc, err := Load([]byte(smokeYAML), "smoke.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Jobs == 0 {
+		t.Fatal("no jobs ran")
+	}
+	if rep.Published == 0 || rep.Delivered == 0 {
+		t.Fatalf("data plane silent: published=%d delivered=%d", rep.Published, rep.Delivered)
+	}
+	if rep.Epochs == 0 {
+		t.Fatal("no reconfiguration epochs committed")
+	}
+	if rep.Retires == 0 {
+		t.Fatal("no retirements (ping-pong and mode churn should retire tasks)")
+	}
+	// Determinism: same seed, same counters.
+	rep2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Jobs != rep.Jobs || rep2.Published != rep.Published ||
+		rep2.Delivered != rep.Delivered || rep2.Epochs != rep.Epochs {
+		t.Fatalf("non-deterministic: %+v vs %+v", rep, rep2)
+	}
+}
+
+func TestRunInjectsFailures(t *testing.T) {
+	sc, err := Load([]byte(smokeYAML), "smoke.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5% error rate over the churn jobs: expect at least one injected
+	// error, and the checker verified the middleware counted exactly them.
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+}

@@ -1,0 +1,271 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A deliberately small YAML-subset reader, so scenario files can be written
+// in the friendlier YAML syntax without pulling a dependency into the
+// module (the repository is dependency-free by policy). The subset covers
+// what scenario files need:
+//
+//   - block mappings  `key: value` and nested blocks `key:` + indent
+//   - block sequences `- item`, including `- key: value` inline-map items
+//   - scalars: strings (bare or quoted), integers, floats, booleans, null
+//   - comments (`# ...`) and blank lines
+//
+// NOT supported (parse errors, never silent misreads): flow collections
+// ([a, b], {k: v}), anchors/aliases, multi-line scalars, tabs as
+// indentation, duplicate keys. Durations stay strings ("250ms") and are
+// parsed by the JSON layer, exactly as in JSON scenario files.
+
+// yamlLine is one significant line of input.
+type yamlLine struct {
+	num    int // 1-based line number in the source
+	indent int
+	text   string // content with indentation stripped
+}
+
+// parseYAML parses the subset into the same shape encoding/json produces:
+// map[string]any, []any, string, float64, bool, nil.
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimRight(raw, " \r")
+		content := strings.TrimLeft(trimmed, " ")
+		if strings.HasPrefix(content, "\t") {
+			return nil, fmt.Errorf("yaml line %d: tab indentation is not supported", i+1)
+		}
+		if content == "" || strings.HasPrefix(content, "#") {
+			continue
+		}
+		lines = append(lines, yamlLine{num: i + 1, indent: len(trimmed) - len(content), text: content})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("yaml line %d: unexpected content %q (bad indentation?)", l.num, l.text)
+	}
+	return v, nil
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses a mapping or sequence whose entries sit at exactly
+// `indent`.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	first := p.lines[p.pos]
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	out := make(map[string]any)
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return nil, fmt.Errorf("yaml line %d: sequence item inside a mapping", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			out[key] = scalar(rest)
+			continue
+		}
+		// Nested block (or null when nothing deeper follows).
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		} else {
+			out[key] = nil
+		}
+	}
+	return out, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var out []any
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (!strings.HasPrefix(l.text, "- ") && l.text != "-") {
+			if l.indent > indent {
+				return nil, fmt.Errorf("yaml line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		item := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if item == "" {
+			// `-` alone: nested block item.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		if key, rest, err := splitKey(yamlLine{num: l.num, text: item}); err == nil {
+			// `- key: value` opens an inline mapping item whose further keys
+			// sit two columns deeper (aligned under the key).
+			itemIndent := indent + 2
+			m := map[string]any{}
+			p.pos++
+			if rest != "" {
+				m[key] = scalar(rest)
+			} else if p.pos < len(p.lines) && p.lines[p.pos].indent > itemIndent {
+				v, err := p.parseBlock(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = v
+			} else {
+				m[key] = nil
+			}
+			if p.pos < len(p.lines) && p.lines[p.pos].indent == itemIndent &&
+				!strings.HasPrefix(p.lines[p.pos].text, "- ") {
+				more, err := p.parseMapping(itemIndent)
+				if err != nil {
+					return nil, err
+				}
+				for k, v := range more.(map[string]any) {
+					if _, dup := m[k]; dup {
+						return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.num, k)
+					}
+					m[k] = v
+				}
+			}
+			out = append(out, m)
+			continue
+		}
+		// Plain scalar item.
+		p.pos++
+		out = append(out, scalar(item))
+	}
+	return out, nil
+}
+
+// splitKey splits "key: value" / "key:"; an error means the line is not a
+// mapping entry.
+func splitKey(l yamlLine) (key, rest string, err error) {
+	if strings.HasPrefix(l.text, "[") || strings.HasPrefix(l.text, "{") {
+		return "", "", fmt.Errorf("yaml line %d: flow collections are not supported", l.num)
+	}
+	i := strings.Index(l.text, ":")
+	if i < 0 {
+		return "", "", fmt.Errorf("yaml line %d: expected \"key: value\", got %q", l.num, l.text)
+	}
+	if i+1 < len(l.text) && l.text[i+1] != ' ' {
+		return "", "", fmt.Errorf("yaml line %d: missing space after ':' in %q", l.num, l.text)
+	}
+	key = strings.TrimSpace(l.text[:i])
+	if key == "" {
+		return "", "", fmt.Errorf("yaml line %d: empty key", l.num)
+	}
+	if strings.HasPrefix(key, `"`) {
+		unq, uerr := strconv.Unquote(key)
+		if uerr != nil {
+			return "", "", fmt.Errorf("yaml line %d: bad quoted key %s", l.num, key)
+		}
+		key = unq
+	}
+	rest = strings.TrimSpace(l.text[i+1:])
+	if j := findComment(rest); j >= 0 {
+		rest = strings.TrimSpace(rest[:j])
+	}
+	return key, rest, nil
+}
+
+// findComment locates an unquoted ` #` comment start.
+func findComment(s string) int {
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inQuote != 0:
+			if s[i] == inQuote {
+				inQuote = 0
+			}
+		case s[i] == '"' || s[i] == '\'':
+			inQuote = s[i]
+		case s[i] == '#' && i > 0 && s[i-1] == ' ':
+			return i
+		}
+	}
+	return -1
+}
+
+// scalar types a scalar the way JSON unmarshalling would. One flow form is
+// allowed as a convenience: a flat list of scalars `[a, b, c]` (no nesting,
+// no quoted commas) — the natural spelling for `choices: [5ms, 10ms]`.
+func scalar(s string) any {
+	if j := findComment(s); j >= 0 {
+		s = strings.TrimSpace(s[:j])
+	}
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}
+		}
+		var out []any
+		for _, part := range strings.Split(inner, ",") {
+			out = append(out, scalar(strings.TrimSpace(part)))
+		}
+		return out
+	}
+	switch s {
+	case "null", "~", "":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if strings.HasPrefix(s, `"`) || strings.HasPrefix(s, `'`) {
+		q := s[0]
+		if len(s) >= 2 && s[len(s)-1] == q {
+			if q == '\'' {
+				return strings.ReplaceAll(s[1:len(s)-1], "''", "'")
+			}
+			if unq, err := strconv.Unquote(s); err == nil {
+				return unq
+			}
+		}
+		return s
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

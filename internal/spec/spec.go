@@ -1,22 +1,3 @@
-// Package spec is YASMIN's declarative application-description layer: a
-// serializable Spec mirrors everything the imperative Table-1 API
-// (TaskDecl/VersionDecl/ChannelDecl/ChannelConnect/HwAccelDecl/HwAccelUse)
-// can express, so whole applications can be stored as JSON, validated with
-// rich multi-error diagnostics, generated by tools, round-tripped through
-// scenario libraries, and instantiated on any environment with Build.
-//
-// Three entry points:
-//
-//   - Spec: the plain data description (JSON-(de)serializable). Version
-//     bodies are code and therefore not serialized; versions without a
-//     function get a synthesized body that pops its input channels, computes
-//     its WCET (split around an accelerator section for accelerator
-//     versions) and pushes its output channels — exactly what simulation
-//     tools need.
-//   - Builder: a fluent, error-accumulating constructor for Specs from code
-//     (see builder.go), for programs that do attach real task functions.
-//   - bridges to the analysis side (bridge.go): taskset.Set and
-//     offline.TaskSpec views of the same description.
 package spec
 
 import (

@@ -149,7 +149,9 @@ const (
 	// Latest conflates: a take returns only the newest published value.
 	Latest = core.Latest
 
+	// PubPort marks a typed port as a publish endpoint.
 	PubPort = core.PubPort
+	// SubPort marks a typed port as a subscribe endpoint.
 	SubPort = core.SubPort
 )
 
@@ -168,27 +170,46 @@ func Recv[T any](x *ExecCtx, p Port[T]) (v T, ok bool, err error) { return core.
 
 // Configuration enums.
 const (
-	MappingGlobal      = core.MappingGlobal
+	// MappingGlobal shares one ready queue among all worker threads.
+	MappingGlobal = core.MappingGlobal
+	// MappingPartitioned gives each worker its own ready queue; every task
+	// is bound to a virtual core.
 	MappingPartitioned = core.MappingPartitioned
-	MappingOffline     = core.MappingOffline
+	// MappingOffline runs a pre-computed time-triggered dispatch table.
+	MappingOffline = core.MappingOffline
 
-	PriorityRM   = core.PriorityRM
-	PriorityDM   = core.PriorityDM
-	PriorityEDF  = core.PriorityEDF
+	// PriorityRM orders ready jobs by period (rate monotonic).
+	PriorityRM = core.PriorityRM
+	// PriorityDM orders ready jobs by relative deadline (deadline
+	// monotonic).
+	PriorityDM = core.PriorityDM
+	// PriorityEDF orders ready jobs by absolute deadline.
+	PriorityEDF = core.PriorityEDF
+	// PriorityUser orders ready jobs by the user-assigned static priority.
 	PriorityUser = core.PriorityUser
 
-	SelectFirst    = core.SelectFirst
-	SelectEnergy   = core.SelectEnergy
+	// SelectFirst always runs the first declared runnable version.
+	SelectFirst = core.SelectFirst
+	// SelectEnergy runs the best-quality version the battery affords.
+	SelectEnergy = core.SelectEnergy
+	// SelectTradeoff minimises alpha*WCET + (1-alpha)*energy.
 	SelectTradeoff = core.SelectTradeoff
-	SelectMode     = core.SelectMode
-	SelectBitmask  = core.SelectBitmask
-	SelectUser     = core.SelectUser
+	// SelectMode runs the first version matching the execution mode.
+	SelectMode = core.SelectMode
+	// SelectBitmask runs the first version whose permission mask matches.
+	SelectBitmask = core.SelectBitmask
+	// SelectUser delegates version selection to a user callback.
+	SelectUser = core.SelectUser
 
+	// WaitSleep parks idle workers in the kernel (energy over latency).
 	WaitSleep = core.WaitSleep
-	WaitSpin  = core.WaitSpin
+	// WaitSpin busy-waits idle workers (latency over energy).
+	WaitSpin = core.WaitSpin
 
+	// LockPOSIX uses POSIX-style mutexes for the internal locks.
 	LockPOSIX = core.LockPOSIX
-	LockFree  = core.LockFree
+	// LockFree uses spin/lock-free algorithms for the internal locks.
+	LockFree = core.LockFree
 
 	// NoAccel marks CPU-only versions.
 	NoAccel = core.NoAccel
@@ -334,7 +355,8 @@ var (
 	NewBattery = platform.NewBattery
 )
 
-// Kernel substrate models for Table 2-style latency studies.
+// KernelModel is a kernel substrate model (vanilla Linux, PREEMPT_RT,
+// Xenomai, ...) for Table 2-style latency studies.
 type KernelModel = kernel.Model
 
 // Kernel model constructors.
