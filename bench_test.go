@@ -538,6 +538,158 @@ func mergeBenchScale(key string, payload any) error {
 	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
+// --- Accelerator contention: PIP arbitration cost and pool scaling ---
+
+// accelBenchRow is one BENCH_accel.json record.
+type accelBenchRow struct {
+	Name       string  `json:"name"`
+	PoolSize   int     `json:"pool_size"`
+	Contenders int     `json:"contenders"`
+	Jobs       int64   `json:"jobs"`
+	Misses     int64   `json:"misses"`
+	Acquires   int64   `json:"acquires"`
+	Parks      int64   `json:"parks"`
+	Boosts     int64   `json:"boosts"`
+	MaxWaitNS  int64   `json:"max_wait_ns"`
+	ParkRatio  float64 `json:"park_ratio"` // parks / acquires
+}
+
+// runAccelContention simulates `contenders` accel-bound tasks hammering one
+// pool of `poolSize` instances (plus one tight-deadline urgent task whose
+// misses expose unbounded inversion) and returns the arbitration counters.
+func runAccelContention(b *testing.B, poolSize, contenders int, seed int64) accelBenchRow {
+	b.Helper()
+	eng := sim.NewEngine(seed)
+	env, err := rt.NewSimEnv(eng, platform.Generic(4), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := core.New(core.Config{
+		Workers: 2, Priority: core.PriorityEDF, Preemption: true, RecordAccel: true,
+		MaxTasks: contenders + 1, MaxAccels: poolSize, MaxPendingJobs: 4 * (contenders + 1),
+	}, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpu, err := app.HwAccelDeclPool("gpu", poolSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(name string, period, deadline, wcet, cs time.Duration) {
+		tid, err := app.TaskDecl(core.TData{Name: name, Period: period, Deadline: deadline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pre := (wcet - cs) / 2
+		vid, err := app.VersionDecl(tid, func(x *core.ExecCtx, _ any) error {
+			if err := x.Compute(pre); err != nil {
+				return err
+			}
+			if err := x.AccelSection(cs); err != nil {
+				return err
+			}
+			return x.Compute(wcet - cs - pre)
+		}, nil, core.VSelect{WCET: wcet, AccelCS: cs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := app.HwAccelUse(tid, vid, gpu); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < contenders; i++ {
+		period := time.Duration(10+3*i) * time.Millisecond
+		wcet := period / 12
+		mk(fmt.Sprintf("load%d", i), period, 0, wcet, wcet/2)
+	}
+	mk("urgent", 5*time.Millisecond, 3*time.Millisecond, 400*time.Microsecond, 200*time.Microsecond)
+
+	env.Spawn("main", rt.UnpinnedCore, func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			b.Errorf("start: %v", err)
+			return
+		}
+		c.Sleep(time.Second)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	if err := eng.Run(sim.Infinity); err != nil {
+		b.Fatal(err)
+	}
+	row := accelBenchRow{
+		PoolSize:   poolSize,
+		Contenders: contenders,
+		Jobs:       app.Recorder().TotalJobs(),
+		Misses:     app.Recorder().TotalMisses(),
+	}
+	parkAt := map[string]time.Duration{}
+	for _, e := range app.Recorder().AccelEvents() {
+		key := fmt.Sprintf("%s#%d", e.Task, e.Job)
+		switch e.Kind {
+		case trace.AccelAcquire, trace.AccelGrant:
+			row.Acquires++
+			if at, ok := parkAt[key]; ok {
+				if w := int64(e.At - at); w > row.MaxWaitNS {
+					row.MaxWaitNS = w
+				}
+				delete(parkAt, key)
+			}
+		case trace.AccelPark:
+			row.Parks++
+			parkAt[key] = e.At
+		case trace.AccelBoost:
+			row.Boosts++
+		}
+	}
+	if row.Acquires > 0 {
+		row.ParkRatio = float64(row.Parks) / float64(row.Acquires)
+	}
+	return row
+}
+
+// BenchmarkAccelContention measures shared-accelerator arbitration across
+// pool sizes: with the same contenders, a larger pool must cut parks and
+// PIP boosts while the urgent task's misses stay at zero (bounded
+// inversion). Rows land in BENCH_accel.json for CI trend tracking.
+func BenchmarkAccelContention(b *testing.B) {
+	shapes := []struct {
+		name                 string
+		poolSize, contenders int
+	}{
+		{"pool-1-contenders-4", 1, 4},
+		{"pool-2-contenders-4", 2, 4},
+		{"pool-2-contenders-8", 2, 8},
+	}
+	rowByName := map[string]accelBenchRow{}
+	for _, tc := range shapes {
+		b.Run(tc.name, func(b *testing.B) {
+			var row accelBenchRow
+			for i := 0; i < b.N; i++ {
+				row = runAccelContention(b, tc.poolSize, tc.contenders, int64(i+1))
+			}
+			row.Name = tc.name
+			rowByName[tc.name] = row
+			b.ReportMetric(float64(row.Parks), "parks")
+			b.ReportMetric(float64(row.Boosts), "pip-boosts")
+			b.ReportMetric(float64(row.MaxWaitNS)/1e3, "max-wait-µs")
+			b.ReportMetric(float64(row.Misses), "misses")
+		})
+	}
+	rows := make([]accelBenchRow, 0, len(shapes))
+	for _, tc := range shapes {
+		if row, ok := rowByName[tc.name]; ok {
+			rows = append(rows, row)
+		}
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_accel.json", out, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- Micro-benchmarks of the scheduling fast path (real time, not
 // simulated: these measure the Go implementation itself) ---
 

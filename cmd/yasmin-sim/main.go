@@ -37,6 +37,7 @@ import (
 	"github.com/yasmin-rt/yasmin/internal/sim"
 	"github.com/yasmin-rt/yasmin/internal/spec"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
+	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
 func main() {
@@ -172,6 +173,8 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 		Workers:    workers,
 		Preemption: true,
 		RecordJobs: gantt,
+		// Arbitration events feed the per-pool accel report below.
+		RecordAccel: true,
 	}
 	// Prefer big cores for workers where the platform distinguishes them.
 	big := pl.CoresOfKind(platform.BigCore)
@@ -314,6 +317,46 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 	}
 	for _, rj := range rejections {
 		fmt.Printf("# reconfig REJECTED: %s\n", rj)
+	}
+	// Accelerator arbitration: per-pool acquisition/contention counters and
+	// the longest single park (the observed priority-inversion span).
+	if events := app.Recorder().AccelEvents(); len(events) > 0 {
+		type poolStat struct {
+			acquires, parks, boosts int
+			maxWait                 time.Duration
+		}
+		stats := map[string]*poolStat{}
+		parkAt := map[string]time.Duration{}
+		var pools []string
+		for _, e := range events {
+			st := stats[e.Pool]
+			if st == nil {
+				st = &poolStat{}
+				stats[e.Pool] = st
+				pools = append(pools, e.Pool)
+			}
+			key := fmt.Sprintf("%s#%d", e.Task, e.Job)
+			switch e.Kind {
+			case trace.AccelAcquire, trace.AccelGrant:
+				st.acquires++
+				if at, ok := parkAt[key]; ok {
+					if w := e.At - at; w > st.maxWait {
+						st.maxWait = w
+					}
+					delete(parkAt, key)
+				}
+			case trace.AccelPark:
+				st.parks++
+				parkAt[key] = e.At
+			case trace.AccelBoost:
+				st.boosts++
+			}
+		}
+		for _, p := range pools {
+			st := stats[p]
+			fmt.Printf("# accel %-12s acquires=%-5d parks=%-4d pip-boosts=%-4d max-wait=%v\n",
+				p, st.acquires, st.parks, st.boosts, st.maxWait)
+		}
 	}
 	if err := app.Recorder().WriteSummary(os.Stdout); err != nil {
 		return err

@@ -84,6 +84,11 @@ func printSummary(rep *scenario.Report) {
 	fmt.Printf("  data plane %d published, %d delivered\n", rep.Published, rep.Delivered)
 	fmt.Printf("  reconfig   %d epochs, %d retirements, %d admission rejections\n",
 		rep.Epochs, rep.Retires, rep.Rejections)
+	if rep.AccelAcquires > 0 || rep.AccelParks > 0 {
+		fmt.Printf("  accel      %d acquires, %d parks, %d PIP boosts, max wait %v\n",
+			rep.AccelAcquires, rep.AccelParks, rep.AccelBoosts,
+			time.Duration(rep.AccelMaxWaitNS).Round(time.Microsecond))
+	}
 	if len(rep.Violations) == 0 {
 		fmt.Printf("  checker    PASS (0 violations)\n")
 	} else {

@@ -28,6 +28,13 @@ type Admission struct {
 	// Cores assigns each task to a worker (only read when Partitioned);
 	// len == set.Len().
 	Cores []int
+	// Blocking is the per-task worst-case blocking term (e.g. the PIP
+	// priority-inversion bound from PIPBlocking); nil means no blocking.
+	// Fixed-priority response-time analysis consumes it natively; the
+	// demand-bound and density tests fold it into the WCETs
+	// (InflateBlocking), which can only overestimate demand — every test
+	// stays sufficient.
+	Blocking []time.Duration
 }
 
 // Result reports an admission decision. When the set is not schedulable,
@@ -55,6 +62,9 @@ func Admit(set *taskset.Set, adm Admission) (Result, error) {
 	if adm.Workers <= 0 {
 		return Result{}, fmt.Errorf("analysis: admission with %d workers", adm.Workers)
 	}
+	if adm.Blocking != nil && len(adm.Blocking) != n {
+		return Result{}, fmt.Errorf("analysis: admission has %d blocking terms for %d tasks", len(adm.Blocking), n)
+	}
 	if adm.Partitioned {
 		if len(adm.Cores) != n {
 			return Result{}, fmt.Errorf("analysis: admission has %d core assignments for %d tasks", len(adm.Cores), n)
@@ -64,10 +74,13 @@ func Admit(set *taskset.Set, adm Admission) (Result, error) {
 	if adm.Workers == 1 {
 		return admitUniprocessor(set, adm, "")
 	}
+	// The global sufficient bounds have no native blocking parameter: fold
+	// the terms into the WCETs (conservative).
+	inflated := InflateBlocking(set, adm.Blocking)
 	if adm.FixedPriority {
-		return admitDensity(set, adm.Workers, "global-fp-density"), nil
+		return admitDensity(inflated, adm.Workers, "global-fp-density"), nil
 	}
-	return admitDensity(set, adm.Workers, "global-edf-gfb"), nil
+	return admitDensity(inflated, adm.Workers, "global-edf-gfb"), nil
 }
 
 // admitPartitioned runs the uniprocessor test per core over the explicit
@@ -76,6 +89,7 @@ func admitPartitioned(set *taskset.Set, adm Admission) (Result, error) {
 	for core := 0; core < adm.Workers; core++ {
 		var sub taskset.Set
 		var keys []int64
+		var blocking []time.Duration
 		for i := range set.Tasks {
 			if adm.Cores[i] != core {
 				continue
@@ -84,12 +98,16 @@ func admitPartitioned(set *taskset.Set, adm Admission) (Result, error) {
 			if adm.PrioKey != nil {
 				keys = append(keys, adm.PrioKey[i])
 			}
+			if adm.Blocking != nil {
+				blocking = append(blocking, adm.Blocking[i])
+			}
 		}
 		if sub.Len() == 0 {
 			continue
 		}
 		subAdm := adm
 		subAdm.PrioKey = keys
+		subAdm.Blocking = blocking
 		res, err := admitUniprocessor(&sub, subAdm, fmt.Sprintf(" on core %d", core))
 		if err != nil || !res.Schedulable {
 			return res, err
@@ -104,23 +122,34 @@ func admitUniprocessor(set *taskset.Set, adm Admission, where string) (Result, e
 	if adm.FixedPriority {
 		order := priorityOrder(set, adm.PrioKey)
 		sorted := make([]taskset.Task, len(order))
+		var blocking []time.Duration
+		if adm.Blocking != nil {
+			blocking = make([]time.Duration, len(order))
+		}
 		for k, i := range order {
 			sorted[k] = set.Tasks[i]
+			if blocking != nil {
+				blocking[k] = adm.Blocking[i]
+			}
 		}
-		resp, ok, err := ResponseTimeFP(sorted, nil)
+		resp, ok, err := ResponseTimeFP(sorted, blocking)
 		if err != nil {
 			// Arbitrary deadlines (or divergence) fall back to the density
 			// bound so admission stays decidable.
-			return admitDensity(set, 1, "fp-density"+where), nil
+			return admitDensity(InflateBlocking(set, adm.Blocking), 1, "fp-density"+where), nil
 		}
 		if !ok {
 			for k := range sorted {
 				if resp[k] > sorted[k].Deadline {
+					detail := fmt.Sprintf("response time %v exceeds deadline %v",
+						resp[k], sorted[k].Deadline)
+					if blocking != nil && blocking[k] > 0 {
+						detail += fmt.Sprintf(" (includes blocking %v)", blocking[k])
+					}
 					return Result{
 						Offender: sorted[k].Name,
 						Test:     "fp-rta" + where,
-						Detail: fmt.Sprintf("response time %v exceeds deadline %v",
-							resp[k], sorted[k].Deadline),
+						Detail:   detail,
 					}, nil
 				}
 			}
@@ -132,17 +161,24 @@ func admitUniprocessor(set *taskset.Set, adm Admission, where string) (Result, e
 		}
 		return Result{Schedulable: true, Test: "fp-rta" + where}, nil
 	}
-	ok, err := DemandBoundEDF(set)
+	// EDF: the demand-bound criterion has no native blocking parameter;
+	// fold the terms into the WCETs (conservative).
+	inflated := InflateBlocking(set, adm.Blocking)
+	ok, err := DemandBoundEDF(inflated)
 	if err != nil {
-		return admitDensity(set, 1, "edf-density"+where), nil
+		return admitDensity(inflated, 1, "edf-density"+where), nil
 	}
 	if !ok {
-		t := densest(set)
+		t := densest(inflated)
+		detail := fmt.Sprintf("processor demand exceeds capacity (U=%.3f)", inflated.TotalUtilization())
+		if inflated != set {
+			detail = fmt.Sprintf("processor demand exceeds capacity (U=%.3f incl. blocking)",
+				inflated.TotalUtilization())
+		}
 		return Result{
 			Offender: t.Name,
 			Test:     "edf-demand-bound" + where,
-			Detail: fmt.Sprintf("processor demand exceeds capacity (U=%.3f)",
-				set.TotalUtilization()),
+			Detail:   detail,
 		}, nil
 	}
 	return Result{Schedulable: true, Test: "edf-demand-bound" + where}, nil

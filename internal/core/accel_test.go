@@ -1,0 +1,552 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// accelEvents filters the recorded arbitration events by kind.
+func accelEvents(app *App, kind trace.AccelEventKind) []trace.AccelEvent {
+	var out []trace.AccelEvent
+	for _, e := range app.Recorder().AccelEvents() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestAccelPoolTakesAnyFreeInstance: a 2-instance pool serves two
+// simultaneous jobs in parallel; a third contender parks. Instance names
+// carry the pool name with a #k suffix.
+func TestAccelPoolTakesAnyFreeInstance(t *testing.T) {
+	r := newRig(t, Config{Workers: 3, Priority: PriorityEDF}, nil)
+	dsp, err := r.app.HwAccelDeclPool("dsp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.app.NumAccels(); got != 2 {
+		t.Fatalf("NumAccels = %d, want 2 instances", got)
+	}
+	if got := r.app.AccelPoolSize(dsp); got != 2 {
+		t.Fatalf("AccelPoolSize = %d, want 2", got)
+	}
+	for i := 0; i < 3; i++ {
+		tid, err := r.app.TaskDecl(TData{Name: fmt.Sprintf("t%d", i), Period: ms(50)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vid, err := r.app.VersionDecl(tid, func(x *ExecCtx, _ any) error {
+			return x.AccelSection(ms(10))
+		}, nil, VSelect{WCET: ms(10), AccelCS: ms(10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.app.HwAccelUse(tid, vid, dsp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.runMain(t, ms(45), nil)
+
+	instances := map[string]bool{}
+	for _, e := range accelEvents(r.app, trace.AccelAcquire) {
+		instances[e.Accel] = true
+	}
+	if !instances["dsp"] || !instances["dsp#1"] {
+		t.Errorf("acquired instances %v, want both dsp and dsp#1 busy in parallel", instances)
+	}
+	if parks := accelEvents(r.app, trace.AccelPark); len(parks) == 0 {
+		t.Error("third contender never parked: pool admitted more jobs than instances")
+	}
+	for i := 0; i < 3; i++ {
+		st := r.app.Recorder().Task(fmt.Sprintf("t%d", i))
+		if st == nil || st.Jobs == 0 {
+			t.Errorf("t%d never ran", i)
+		}
+	}
+}
+
+// TestPIPChainPropagationThreeDeep is the regression test for one-hop
+// boosting: urgent parks on pool A whose holder waits on B whose holder
+// waits on C. The boost must reach all three holders (the pre-fix code
+// stopped at A's holder), and the chain must then unwind so every job
+// completes.
+func TestPIPChainPropagationThreeDeep(t *testing.T) {
+	r := newRig(t, Config{Workers: 3, Priority: PriorityUser, Preemption: true}, nil)
+	accA, _ := r.app.HwAccelDecl("a")
+	accB, _ := r.app.HwAccelDecl("b")
+	accC, _ := r.app.HwAccelDecl("c")
+
+	// tC (least urgent) holds C for a long section.
+	tC, _ := r.app.TaskDecl(TData{Name: "holdC", Period: ms(200), Priority: 40})
+	vC, _ := r.app.VersionDecl(tC, func(x *ExecCtx, _ any) error {
+		return x.AccelSection(ms(20))
+	}, nil, VSelect{WCET: ms(20)})
+	if err := r.app.HwAccelUse(tC, vC, accC); err != nil {
+		t.Fatal(err)
+	}
+	// tB holds B (version-bound) and parks on C mid-job.
+	tB, _ := r.app.TaskDecl(TData{Name: "holdB", Period: ms(200), Priority: 30, ReleaseOffset: ms(1)})
+	vB, _ := r.app.VersionDecl(tB, func(x *ExecCtx, _ any) error {
+		if err := x.Compute(ms(1)); err != nil {
+			return err
+		}
+		return x.AccelSectionOn(accC, ms(3))
+	}, nil, VSelect{WCET: ms(4)})
+	if err := r.app.HwAccelUse(tB, vB, accB); err != nil {
+		t.Fatal(err)
+	}
+	// tA holds A (version-bound) and parks on B mid-job.
+	tA, _ := r.app.TaskDecl(TData{Name: "holdA", Period: ms(200), Priority: 20, ReleaseOffset: ms(3)})
+	vA, _ := r.app.VersionDecl(tA, func(x *ExecCtx, _ any) error {
+		if err := x.Compute(ms(1)); err != nil {
+			return err
+		}
+		return x.AccelSectionOn(accB, ms(3))
+	}, nil, VSelect{WCET: ms(4)})
+	if err := r.app.HwAccelUse(tA, vA, accA); err != nil {
+		t.Fatal(err)
+	}
+	// urgent wants A: its park must boost holdA, holdB AND holdC.
+	tU, _ := r.app.TaskDecl(TData{Name: "urgent", Period: ms(200), Priority: 10, ReleaseOffset: ms(6)})
+	vU, _ := r.app.VersionDecl(tU, func(x *ExecCtx, _ any) error {
+		return x.AccelSection(ms(2))
+	}, nil, VSelect{WCET: ms(2)})
+	if err := r.app.HwAccelUse(tU, vU, accA); err != nil {
+		t.Fatal(err)
+	}
+
+	r.runMain(t, ms(150), nil)
+
+	boosted := map[string]int64{}
+	for _, e := range accelEvents(r.app, trace.AccelBoost) {
+		if cur, ok := boosted[e.Task]; !ok || e.Prio < cur {
+			boosted[e.Task] = e.Prio
+		}
+	}
+	for _, holder := range []string{"holdA", "holdB", "holdC"} {
+		prio, ok := boosted[holder]
+		if !ok {
+			t.Errorf("%s never boosted: chain propagation stopped early (boosted=%v)", holder, boosted)
+			continue
+		}
+		if prio != 10 {
+			t.Errorf("%s boosted to %d, want urgent's priority 10", holder, prio)
+		}
+	}
+	for _, name := range []string{"holdA", "holdB", "holdC", "urgent"} {
+		st := r.app.Recorder().Task(name)
+		if st == nil || st.Jobs == 0 {
+			t.Errorf("%s never completed: chain did not unwind", name)
+		}
+	}
+	if err := r.app.FirstError(); err != nil {
+		t.Errorf("task error: %v", err)
+	}
+}
+
+// TestWaiterResortOnChainBoost is the regression test for stale waiter
+// ordering: a parked job's slot was fixed at park time, so a chain boost
+// arriving later must re-sort the list. Here tLow parks on X behind tMid;
+// an urgent job then parks on the pool tLow still holds, boosting tLow
+// above tMid — when X frees, tLow must be granted first.
+func TestWaiterResortOnChainBoost(t *testing.T) {
+	r := newRig(t, Config{Workers: 4, Priority: PriorityUser, Preemption: true}, nil)
+	accX, _ := r.app.HwAccelDecl("x")
+	accY, _ := r.app.HwAccelDecl("y")
+
+	// tHold keeps X busy so the waiter list can form.
+	tHold, _ := r.app.TaskDecl(TData{Name: "hold", Period: ms(200), Priority: 50})
+	vH, _ := r.app.VersionDecl(tHold, func(x *ExecCtx, _ any) error {
+		return x.AccelSection(ms(10))
+	}, nil, VSelect{WCET: ms(10)})
+	if err := r.app.HwAccelUse(tHold, vH, accX); err != nil {
+		t.Fatal(err)
+	}
+	// tMid parks on X first (fresh waiter, priority 30).
+	tMid, _ := r.app.TaskDecl(TData{Name: "mid", Period: ms(200), Priority: 30, ReleaseOffset: ms(1)})
+	vM, _ := r.app.VersionDecl(tMid, func(x *ExecCtx, _ any) error {
+		return x.AccelSection(ms(2))
+	}, nil, VSelect{WCET: ms(2)})
+	if err := r.app.HwAccelUse(tMid, vM, accX); err != nil {
+		t.Fatal(err)
+	}
+	// tLow holds Y and parks on X behind tMid (mid-job waiter, priority 40).
+	tLow, _ := r.app.TaskDecl(TData{Name: "low", Period: ms(200), Priority: 40, ReleaseOffset: ms(2)})
+	vL, _ := r.app.VersionDecl(tLow, func(x *ExecCtx, _ any) error {
+		if err := x.Compute(ms(1)); err != nil {
+			return err
+		}
+		return x.AccelSectionOn(accX, ms(2))
+	}, nil, VSelect{WCET: ms(3)})
+	if err := r.app.HwAccelUse(tLow, vL, accY); err != nil {
+		t.Fatal(err)
+	}
+	// urgent parks on Y at ~5ms: tLow (holder of Y, parked on X) inherits
+	// priority 10 and must move ahead of tMid in X's waiter list.
+	tU, _ := r.app.TaskDecl(TData{Name: "urgent", Period: ms(200), Priority: 10, ReleaseOffset: ms(5)})
+	vU, _ := r.app.VersionDecl(tU, func(x *ExecCtx, _ any) error {
+		return x.AccelSection(ms(1))
+	}, nil, VSelect{WCET: ms(1)})
+	if err := r.app.HwAccelUse(tU, vU, accY); err != nil {
+		t.Fatal(err)
+	}
+
+	r.runMain(t, ms(150), nil)
+
+	// The freed X must go to the boosted tLow (direct grant), not tMid.
+	grants := accelEvents(r.app, trace.AccelGrant)
+	var xGrant *trace.AccelEvent
+	for i := range grants {
+		if grants[i].Pool == "x" {
+			xGrant = &grants[i]
+			break
+		}
+	}
+	if xGrant == nil {
+		t.Fatalf("no direct grant on pool x; events: %v", r.app.Recorder().AccelEvents())
+	}
+	if xGrant.Task != "low" {
+		t.Errorf("first grant of x went to %s, want the chain-boosted low (stale waiter order?)", xGrant.Task)
+	}
+	for _, name := range []string{"hold", "mid", "low", "urgent"} {
+		st := r.app.Recorder().Task(name)
+		if st == nil || st.Jobs == 0 {
+			t.Errorf("%s never completed", name)
+		}
+	}
+}
+
+// TestMixedWaitersRequeueThenGrant pins the release semantics for a mixed
+// waiter list (a more urgent pre-run waiter ahead of a mid-job waiter):
+// the pre-run waiters are requeued for re-selection AND the instance is
+// eagerly granted to the remaining mid-job head — leaving it free could
+// strand the mid-job waiter forever if the requeued job picks another
+// version, while a re-parking requeued job simply boosts the new holder.
+func TestMixedWaitersRequeueThenGrant(t *testing.T) {
+	r := newRig(t, Config{Workers: 4, Priority: PriorityUser, Preemption: true}, nil)
+	accX, _ := r.app.HwAccelDecl("x")
+	accY, _ := r.app.HwAccelDecl("y")
+
+	tHold, _ := r.app.TaskDecl(TData{Name: "hold", Period: ms(200), Priority: 50})
+	vH, _ := r.app.VersionDecl(tHold, func(x *ExecCtx, _ any) error {
+		return x.AccelSection(ms(10))
+	}, nil, VSelect{WCET: ms(10)})
+	if err := r.app.HwAccelUse(tHold, vH, accX); err != nil {
+		t.Fatal(err)
+	}
+	// fresh (more urgent) parks on X pre-run.
+	tFresh, _ := r.app.TaskDecl(TData{Name: "fresh", Period: ms(200), Priority: 20, ReleaseOffset: ms(1)})
+	vF, _ := r.app.VersionDecl(tFresh, func(x *ExecCtx, _ any) error {
+		return x.AccelSection(ms(2))
+	}, nil, VSelect{WCET: ms(2)})
+	if err := r.app.HwAccelUse(tFresh, vF, accX); err != nil {
+		t.Fatal(err)
+	}
+	// lowmid (less urgent) holds Y and parks on X mid-job, behind fresh.
+	tLow, _ := r.app.TaskDecl(TData{Name: "lowmid", Period: ms(200), Priority: 40, ReleaseOffset: ms(2)})
+	vL, _ := r.app.VersionDecl(tLow, func(x *ExecCtx, _ any) error {
+		if err := x.Compute(ms(1)); err != nil {
+			return err
+		}
+		return x.AccelSectionOn(accX, ms(2))
+	}, nil, VSelect{WCET: ms(3)})
+	if err := r.app.HwAccelUse(tLow, vL, accY); err != nil {
+		t.Fatal(err)
+	}
+
+	r.runMain(t, ms(150), nil)
+
+	requeued, granted := false, false
+	for _, e := range r.app.Recorder().AccelEvents() {
+		switch {
+		case e.Kind == trace.AccelRequeue && e.Task == "fresh":
+			requeued = true
+		case e.Kind == trace.AccelGrant && e.Pool == "x" && e.Task == "lowmid":
+			if !requeued {
+				t.Error("grant to the mid-job waiter preceded the pre-run requeue")
+			}
+			granted = true
+		}
+	}
+	if !requeued {
+		t.Error("pre-run waiter was never requeued for re-selection")
+	}
+	if !granted {
+		t.Error("mid-job waiter was never granted the freed instance (stranded)")
+	}
+	for _, name := range []string{"hold", "fresh", "lowmid"} {
+		st := r.app.Recorder().Task(name)
+		if st == nil || st.Jobs == 0 {
+			t.Errorf("%s never completed", name)
+		}
+	}
+}
+
+// TestBoostRestoredOnRelease: a holder boosted through PIP must return to
+// its base priority when it releases the contended instance — and not
+// before, while a waiter still depends on it.
+func TestBoostRestoredOnRelease(t *testing.T) {
+	r := newRig(t, Config{Workers: 2, Priority: PriorityUser, Preemption: true}, nil)
+	accX, _ := r.app.HwAccelDecl("x")
+
+	// hold takes X at t=0 for 10ms inside a longer job.
+	tHold, _ := r.app.TaskDecl(TData{Name: "hold", Period: ms(200), Priority: 40})
+	if _, err := r.app.VersionDecl(tHold, func(x *ExecCtx, _ any) error {
+		if err := x.AccelSectionOn(accX, ms(10)); err != nil {
+			return err
+		}
+		return x.Compute(ms(20))
+	}, nil, VSelect{WCET: ms(30)}); err != nil {
+		t.Fatal(err)
+	}
+	// urgent parks on X at ~2ms, boosting hold until the 10ms release.
+	tU, _ := r.app.TaskDecl(TData{Name: "urgent", Period: ms(200), Priority: 10, ReleaseOffset: ms(2)})
+	if _, err := r.app.VersionDecl(tU, func(x *ExecCtx, _ any) error {
+		return x.AccelSectionOn(accX, ms(2))
+	}, nil, VSelect{WCET: ms(2)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe hold's live job under the lock: boosted mid-wait, restored
+	// after the release.
+	probe := func(c rt.Ctx) int64 {
+		r.app.mu.Lock(c)
+		defer r.app.mu.Unlock(c)
+		for i := range r.app.jobPool {
+			j := &r.app.jobPool[i]
+			if j.state != jobFree && j.t != nil && j.t.d.Name == "hold" {
+				return j.effPrio
+			}
+		}
+		return -1
+	}
+	var atBoost, atRestore int64
+	r.env.Spawn("probe", rt.UnpinnedCore, func(c rt.Ctx) {
+		c.SleepUntil(ms(6))
+		atBoost = probe(c)
+		c.SleepUntil(ms(15))
+		atRestore = probe(c)
+	})
+	r.runMain(t, ms(100), nil)
+
+	if atBoost != 10 {
+		t.Errorf("effPrio during contention = %d, want inherited 10", atBoost)
+	}
+	if atRestore != 40 {
+		t.Errorf("effPrio after release = %d, want base 40 restored", atRestore)
+	}
+}
+
+// TestAccelBlockingAdmission: a transaction whose target set is schedulable
+// ignoring accelerator contention but not with the PIP blocking terms must
+// be rejected with a typed *NotSchedulableError naming the blocking term —
+// and the same timing without the shared accelerator must be admitted.
+func TestAccelBlockingAdmission(t *testing.T) {
+	r := newRig(t, Config{Workers: 1, Priority: PriorityDM, MaxTasks: 4}, nil)
+	gpu, err := r.app.HwAccelDecl("gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// high: D=10ms, C=3ms on the gpu. Alone: R = 3ms, fine.
+	tHigh, _ := r.app.TaskDecl(TData{Name: "high", Period: ms(20), Deadline: ms(10)})
+	vH, _ := r.app.VersionDecl(tHigh, spin(ms(3)), nil, VSelect{WCET: ms(3), AccelCS: ms(2)})
+	if err := r.app.HwAccelUse(tHigh, vH, gpu); err != nil {
+		t.Fatal(err)
+	}
+
+	r.runMain(t, ms(30), func(c rt.Ctx) {
+		// low's 8ms gpu critical section can block high for 8ms: R(high) =
+		// 3 + 8 = 11ms > D = 10ms. Ignoring blocking both tasks pass RTA.
+		err := r.app.Reconfigure(c, func(tx *Reconfig) error {
+			id, err := tx.AddTask(TData{Name: "low", Period: ms(100)})
+			if err != nil {
+				return err
+			}
+			vid, err := tx.AddVersion(id, spin(ms(9)), nil, VSelect{WCET: ms(9), AccelCS: ms(8)})
+			if err != nil {
+				return err
+			}
+			return tx.UseAccel(id, vid, gpu)
+		})
+		if err == nil {
+			t.Fatal("accel-hungry task admitted despite blocking making high unschedulable")
+		}
+		if !errors.Is(err, ErrNotSchedulable) {
+			t.Fatalf("want ErrNotSchedulable, got %v", err)
+		}
+		var nse *NotSchedulableError
+		if !errors.As(err, &nse) {
+			t.Fatalf("want *NotSchedulableError, got %T", err)
+		}
+		if nse.Task != "high" {
+			t.Errorf("offender = %q, want high (the task whose deadline the blocking breaks)", nse.Task)
+		}
+		if !strings.Contains(nse.Test, "accel-blocking") {
+			t.Errorf("Test = %q, want the accel-blocking marker", nse.Test)
+		}
+		if !strings.Contains(nse.Detail, "blocking term") || !strings.Contains(nse.Detail, "gpu") {
+			t.Errorf("Detail = %q, want the blocking term named with its pool", nse.Detail)
+		}
+
+		// The identical timing WITHOUT the shared accelerator is admissible:
+		// the rejection above was priced purely on contention.
+		err = r.app.Reconfigure(c, func(tx *Reconfig) error {
+			id, err := tx.AddTask(TData{Name: "low-cpu", Period: ms(100)})
+			if err != nil {
+				return err
+			}
+			_, err = tx.AddVersion(id, spin(ms(9)), nil, VSelect{WCET: ms(9)})
+			return err
+		})
+		if err != nil {
+			t.Fatalf("CPU-only twin rejected: %v", err)
+		}
+	})
+}
+
+// TestAccelBlockingPoolHeadroom: growing a pool so that every contender can
+// hold an instance simultaneously removes the blocking term — the same
+// transaction rejected on a 1-instance pool is admitted on a 2-instance
+// pool.
+func TestAccelBlockingPoolHeadroom(t *testing.T) {
+	for _, tc := range []struct {
+		count int
+		admit bool
+	}{
+		{1, false},
+		{2, true},
+	} {
+		r := newRig(t, Config{Workers: 2, Priority: PriorityDM, MaxTasks: 4, MaxAccels: 2}, nil)
+		gpu, err := r.app.HwAccelDeclPool("gpu", tc.count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tHigh, _ := r.app.TaskDecl(TData{Name: "high", Period: ms(20), Deadline: ms(10)})
+		vH, _ := r.app.VersionDecl(tHigh, spin(ms(3)), nil, VSelect{WCET: ms(3), AccelCS: ms(2)})
+		if err := r.app.HwAccelUse(tHigh, vH, gpu); err != nil {
+			t.Fatal(err)
+		}
+		r.runMain(t, ms(30), func(c rt.Ctx) {
+			err := r.app.Reconfigure(c, func(tx *Reconfig) error {
+				id, err := tx.AddTask(TData{Name: "low", Period: ms(100), VirtCore: 1})
+				if err != nil {
+					return err
+				}
+				vid, err := tx.AddVersion(id, spin(ms(9)), nil, VSelect{WCET: ms(9), AccelCS: ms(8)})
+				if err != nil {
+					return err
+				}
+				return tx.UseAccel(id, vid, gpu)
+			})
+			if tc.admit && err != nil {
+				t.Errorf("count=%d: rejected despite an instance per contender: %v", tc.count, err)
+			}
+			if !tc.admit && err == nil {
+				t.Errorf("count=%d: admitted despite contention blocking", tc.count)
+			}
+		})
+	}
+}
+
+// TestAccelSectionOnRaceStress races pools, mid-job sections, PIP
+// boosts/releases and live reconfiguration churn on the wall-clock backend
+// under -race: steady accel-bound tasks hammer a 2-instance pool and a
+// single contended accelerator with nested sections while a churn thread
+// admits and retires accel-hungry tasks.
+func TestAccelSectionOnRaceStress(t *testing.T) {
+	env := rt.NewOSEnv()
+	env.Spin = false
+	app, err := New(Config{
+		Workers: 4, Priority: PriorityEDF, Preemption: true, RecordAccel: true,
+		MaxTasks: 12, MaxAccels: 3, MaxPendingJobs: 64,
+	}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsp, err := app.HwAccelDeclPool("dsp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := app.HwAccelDecl("gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	for i := 0; i < 4; i++ {
+		tid, err := app.TaskDecl(TData{Name: fmt.Sprintf("steady%d", i), Period: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nested := i%2 == 0
+		vid, err := app.VersionDecl(tid, func(x *ExecCtx, _ any) error {
+			if err := x.AccelSection(100 * time.Microsecond); err != nil {
+				return err
+			}
+			if nested {
+				// Hold dsp, contend on gpu: builds real holder chains.
+				return x.AccelSectionOn(gpu, 50*time.Microsecond)
+			}
+			return nil
+		}, nil, VSelect{WCET: 200 * time.Microsecond, AccelCS: 150 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.HwAccelUse(tid, vid, dsp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	env.RunMain(func(c rt.Ctx) {
+		if err := app.Start(c); err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		deadline := time.Now().Add(500 * time.Millisecond)
+		gen := 0
+		for time.Now().Before(deadline) {
+			gen++
+			name := fmt.Sprintf("churn-%d", gen)
+			err := app.Reconfigure(c, func(tx *Reconfig) error {
+				id, err := tx.AddTask(TData{Name: name, Period: 3 * time.Millisecond})
+				if err != nil {
+					return err
+				}
+				vid, err := tx.AddVersion(id, func(x *ExecCtx, _ any) error {
+					return x.AccelSection(80 * time.Microsecond)
+				}, nil, VSelect{WCET: 80 * time.Microsecond, AccelCS: 80 * time.Microsecond})
+				if err != nil {
+					return err
+				}
+				return tx.UseAccel(id, vid, gpu)
+			})
+			if err != nil && !errors.Is(err, ErrNotSchedulable) {
+				t.Errorf("churn admit %d: %v", gen, err)
+				break
+			}
+			c.Sleep(time.Millisecond)
+			if err == nil {
+				if rerr := app.Reconfigure(c, func(tx *Reconfig) error {
+					return tx.RemoveTaskByName(name)
+				}); rerr != nil {
+					t.Errorf("churn retire %d: %v", gen, rerr)
+					break
+				}
+			}
+		}
+		stop.Store(true)
+		app.Stop(c)
+		app.Cleanup(c)
+	})
+	env.Wait()
+	if err := app.FirstError(); err != nil {
+		t.Fatalf("task error under churn: %v", err)
+	}
+}

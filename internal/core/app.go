@@ -89,6 +89,13 @@ type App struct {
 	mode    uint32
 	maskBit uint32
 
+	// boostSeen marks pool heads visited by one PIP chain-boost walk (cycle
+	// guard); vselRest is the version-selection scratch for unaffordable
+	// versions (orderByEnergy). Both are reused under the App lock so the
+	// scheduling hot path never allocates.
+	boostSeen []bool
+	vselRest  []VID
+
 	battery *platform.Battery
 	meter   *platform.EnergyMeter
 
@@ -129,6 +136,8 @@ func New(cfg Config, env rt.Env) (*App, error) {
 	for i := range a.accels {
 		a.accels[i].waiters = make([]*job, 0, cfg.MaxPendingJobs)
 	}
+	a.boostSeen = make([]bool, cfg.MaxAccels)
+	a.vselRest = make([]VID, 0, cfg.MaxVersionsPerTask)
 	a.topics = make([]topic, cfg.MaxChannels)
 	a.edges = make([]edge, cfg.MaxChannels)
 	a.jobPool = make([]job, cfg.MaxPendingJobs)
@@ -346,13 +355,26 @@ func (a *App) VersionDecl(t TID, fn TaskFunc, args any, props VSelect) (VID, err
 // HwAccelDecl declares a hardware accelerator — yas_hwaccel_decl. If the
 // platform knows an accelerator with this name its speed/power are used.
 func (a *App) HwAccelDecl(name string) (HID, error) {
+	return a.HwAccelDeclPool(name, 1)
+}
+
+// HwAccelDeclPool declares a pool of count interchangeable accelerator
+// instances (e.g. two identical DSP cores). The returned HID is the pool
+// head: version bindings (HwAccelUse) reference it, version selection takes
+// any free instance, and contention parks jobs on one pool-wide
+// priority-ordered waiter list. Instances beyond the head are named
+// "name#1", "name#2", ... and each consumes one MaxAccels slot.
+func (a *App) HwAccelDeclPool(name string, count int) (HID, error) {
 	if a.started.Load() {
 		return -1, ErrStarted
 	}
 	if name == "" {
 		return -1, fmt.Errorf("core: accelerator needs a name")
 	}
-	if a.naccels == len(a.accels) {
+	if count < 1 {
+		return -1, fmt.Errorf("core: accelerator pool %s needs count >= 1, got %d", name, count)
+	}
+	if a.naccels+count > len(a.accels) {
 		return -1, fmt.Errorf("%w: MaxAccels=%d", ErrTooMany, len(a.accels))
 	}
 	platIdx := -1
@@ -361,16 +383,28 @@ func (a *App) HwAccelDecl(name string) (HID, error) {
 			platIdx = acc.ID
 		}
 	}
-	id := HID(a.naccels)
-	ac := &a.accels[a.naccels]
-	ac.id = id
-	ac.name = name
-	ac.platIdx = platIdx
-	ac.busy = false
-	ac.holder = nil
-	ac.waiters = ac.waiters[:0]
-	a.naccels++
-	return id, nil
+	head := HID(a.naccels)
+	for k := 0; k < count; k++ {
+		ac := &a.accels[a.naccels]
+		ac.id = HID(a.naccels)
+		ac.name = name
+		if k > 0 {
+			ac.name = fmt.Sprintf("%s#%d", name, k)
+		}
+		ac.platIdx = platIdx
+		ac.busy = false
+		ac.holder = nil
+		ac.group = head
+		ac.members = nil
+		ac.waiters = ac.waiters[:0]
+		a.naccels++
+	}
+	hd := &a.accels[head]
+	hd.members = hd.members[:0]
+	for k := 0; k < count; k++ {
+		hd.members = append(hd.members, head+HID(k))
+	}
+	return head, nil
 }
 
 // HwAccelUse declares that version v of task t uses accelerator h —
@@ -390,7 +424,9 @@ func (a *App) HwAccelUse(t TID, v VID, h HID) error {
 	if int(h) < 0 || int(h) >= a.naccels {
 		return fmt.Errorf("core: no accelerator %d", h)
 	}
-	tk.versions[v].accel = h
+	// Bindings are normalised to the pool head: acquisition then takes any
+	// free instance of the pool.
+	tk.versions[v].accel = a.poolHead(h)
 	return nil
 }
 
@@ -756,7 +792,7 @@ func (a *App) allocJob() *job {
 		panic(fmt.Sprintf("core: allocJob handing out live job %d (state=%d, task=%v)",
 			idx, j.state, j.t != nil))
 	}
-	*j = job{poolIdx: idx, worker: -1, accel: NoAccel, heapIdx: -1}
+	*j = job{poolIdx: idx, worker: -1, accel: NoAccel, nested: NoAccel, waitingOn: NoAccel, heapIdx: -1}
 	return j
 }
 

@@ -200,6 +200,12 @@ type Config struct {
 	// SchedulerPeriod overrides the scheduler thread period; 0 derives the
 	// GCD of all task periods, as the paper specifies.
 	SchedulerPeriod time.Duration
+	// RecordAccel retains every accelerator-arbitration event
+	// (acquire/park/boost/grant/requeue/release; memory grows with run
+	// length). The scenario checker, yasmin-sim's per-pool report and the
+	// contention benchmarks need it; steady production runs leave it off so
+	// the arbitration path stays allocation-free.
+	RecordAccel bool
 	// RecordJobs retains every job record (memory grows with run length);
 	// per-task aggregates are always kept.
 	RecordJobs bool

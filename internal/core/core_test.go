@@ -24,6 +24,7 @@ func newRig(t *testing.T, cfg Config, pl *platform.Platform) *rig {
 	if pl == nil {
 		pl = platform.Generic(8)
 	}
+	cfg.RecordAccel = true // tests assert on arbitration events
 	eng := sim.NewEngine(42)
 	env, err := rt.NewSimEnv(eng, pl, nil)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
 // ExecCtx is the execution context handed to task version functions. It is
@@ -143,14 +144,19 @@ func (x *ExecCtx) AccelSection(d time.Duration) error {
 	return x.asyncAccelSection(scaled, d)
 }
 
-// accelScaled converts nominal accelerator work to the accelerator's speed.
+// accelScaled converts nominal accelerator work to the speed of the
+// version-bound instance.
 func (x *ExecCtx) accelScaled(d time.Duration) time.Duration {
-	a := x.app
+	return x.app.accelScaledOn(x.j.accel, d)
+}
+
+// accelScaledOn converts nominal accelerator work to instance h's speed.
+func (a *App) accelScaledOn(h HID, d time.Duration) time.Duration {
 	pl := a.env.Platform()
 	if pl == nil {
 		return d
 	}
-	pi := a.accels[x.j.accel].platIdx
+	pi := a.accels[h].platIdx
 	if pi < 0 || pi >= len(pl.Accels) {
 		return d
 	}
@@ -158,6 +164,96 @@ func (x *ExecCtx) accelScaled(d time.Duration) time.Duration {
 		return time.Duration(float64(d) / s)
 	}
 	return d
+}
+
+// AccelSectionOn executes d of work on an explicitly named accelerator
+// pool — in addition to (and possibly while holding) the version-bound
+// accelerator of AccelSection. When every instance of the pool is busy the
+// job parks on the pool's waiter list mid-execution: the CPU worker is
+// released to run other jobs (the detach/rejoin handshake of asynchronous
+// sections), the holders inherit the waiter's priority transitively along
+// the holder chain, and the freed instance is granted directly to the most
+// urgent waiter. Because the calling job may already hold its version-bound
+// accelerator, nested sections form holder chains; keeping a global
+// acquisition order across pools is the application's responsibility, as
+// with any nested locking.
+func (x *ExecCtx) AccelSectionOn(h HID, d time.Duration) error {
+	a := x.app
+	j := x.j
+	if int(h) < 0 || int(h) >= a.naccels {
+		return fmt.Errorf("core: no accelerator %d", h)
+	}
+	if d <= 0 {
+		return nil
+	}
+	if a.cfg.Mapping == MappingOffline {
+		// The off-line table accounts for explicit sections like any other
+		// work; the dispatcher has no park/grant handshake.
+		x.c.Charge(a.accelScaledOn(h, d))
+		j.computed += d
+		return nil
+	}
+	a.mu.Lock(x.c)
+	head := a.poolHead(h)
+	if j.nested != NoAccel {
+		a.mu.Unlock(x.c)
+		return fmt.Errorf("core: task %s: nested AccelSectionOn sections cannot themselves nest", j.t.d.Name)
+	}
+	var inst HID
+	if j.accel != NoAccel && a.poolHead(j.accel) == head {
+		// Re-entering the pool whose instance the job already holds: run the
+		// section on it.
+		inst = j.accel
+		a.mu.Unlock(x.c)
+	} else if inst = a.poolAvailableForLocked(j, head); inst != NoAccel {
+		a.acquireInstanceLocked(x.c, inst, j)
+		j.nested = inst
+		a.mu.Unlock(x.c)
+	} else {
+		// Park mid-job: hand the worker back (it runs other jobs meanwhile)
+		// and wait for a direct grant from a releasing holder.
+		j.state = jobAccelWait
+		j.waitingOn = head
+		j.midWait = true
+		a.insertWaiterLocked(head, j)
+		a.recordAccel(x.c, trace.AccelPark, head, j)
+		a.boostChainLocked(x.c, head, j.effPrio)
+		w := a.workers[j.worker]
+		w.wakeReason = wakeAsyncFree
+		w.wakeJob = j
+		a.mu.Unlock(x.c)
+		x.c.Charge(a.env.Costs().ContextSwitch)
+		w.th.Unpark()
+		// Park until a worker resumes us after the grant; stale preemption
+		// interrupts must not self-resume the job.
+		for {
+			intr := x.c.Park()
+			if !intr {
+				break
+			}
+			if a.terminating.Load() {
+				return ErrTerminated
+			}
+		}
+		inst = j.nested
+	}
+	// The section itself: not preemptible (a signal cannot stop a running
+	// kernel), charged at the instance's speed.
+	x.c.Charge(a.accelScaledOn(inst, d))
+	j.computed += d
+	if inst != j.accel {
+		a.mu.Lock(x.c)
+		j.nested = NoAccel
+		a.releaseInstanceLocked(x.c, inst, j)
+		if a.cfg.Preemption {
+			// The restored (lower) priority may no longer beat the queue
+			// head; let the dispatcher raise the preemption signal now
+			// rather than at the next release tick.
+			a.dispatch(x.c)
+		}
+		a.mu.Unlock(x.c)
+	}
+	return nil
 }
 
 // asyncAccelSection releases the CPU worker, waits out the accelerator time

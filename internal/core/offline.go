@@ -165,8 +165,11 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 	w.wakeReason = wakeNone
 	now := c.Now()
 	a.recordTaskError(j.err)
-	if j.accel != NoAccel {
-		ac := &a.accels[j.accel]
+	heldInst := j.accel
+	accelName := ""
+	if heldInst != NoAccel {
+		ac := &a.accels[heldInst]
+		accelName = ac.name
 		ac.busy = false
 		ac.holder = nil
 		j.accel = NoAccel
@@ -177,13 +180,14 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 		Job:      j.taskSeq,
 		Version:  int(j.version),
 		Core:     w.core,
+		Accel:    accelName,
 		Release:  release,
 		Start:    j.start,
 		Finish:   now,
 		Deadline: j.absDL,
 		Missed:   now > j.absDL,
 	})
-	a.accountEnergy(j)
+	a.accountEnergy(j, heldInst)
 	f.job = nil
 	a.freeFib = append(a.freeFib, f.idx)
 	a.freeJob(c, j)

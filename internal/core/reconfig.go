@@ -68,13 +68,16 @@ type stagedEdge struct {
 }
 
 // mergedTask is the validation/admission view of one task of the target
-// configuration (post-drain steady state).
+// configuration (post-drain steady state). accels carries the task's worst
+// critical section per accelerator pool for the blocking-aware admission
+// test.
 type mergedTask struct {
 	id     TID
 	d      TData
 	wcet   time.Duration
 	nver   int
 	staged bool
+	accels []taskset.AccelUse
 }
 
 // Reconfig is a live-reconfiguration transaction. All operations stage
@@ -331,7 +334,8 @@ func (tx *Reconfig) UseAccel(t TID, v VID, h HID) error {
 	if int(h) < 0 || int(h) >= tx.a.naccels {
 		return fmt.Errorf("core: no accelerator %d", h)
 	}
-	tk.versions[v].accel = h
+	// Normalised to the pool head, matching HwAccelUse.
+	tk.versions[v].accel = tx.a.poolHead(h)
 	return nil
 }
 
@@ -686,7 +690,8 @@ func (tx *Reconfig) validate() error {
 			}
 		}
 		index[t.id] = len(tx.merged)
-		tx.merged = append(tx.merged, mergedTask{id: t.id, d: d, wcet: wcet, nver: len(t.versions)})
+		tx.merged = append(tx.merged, mergedTask{id: t.id, d: d, wcet: wcet, nver: len(t.versions),
+			accels: a.accelUsesLocked(t)})
 	}
 	for _, id := range tx.addedTasks {
 		t := &a.tasks[id]
@@ -697,7 +702,8 @@ func (tx *Reconfig) validate() error {
 			}
 		}
 		index[id] = len(tx.merged)
-		tx.merged = append(tx.merged, mergedTask{id: id, d: t.d, wcet: wcet, nver: len(t.versions), staged: true})
+		tx.merged = append(tx.merged, mergedTask{id: id, d: t.d, wcet: wcet, nver: len(t.versions), staged: true,
+			accels: a.accelUsesLocked(t)})
 	}
 
 	// Merged edge relation: alive edges not severed by the transaction,
@@ -903,6 +909,8 @@ func (tx *Reconfig) admit() error {
 		if speed > 0 && speed != 1.0 {
 			wcet = time.Duration(float64(wcet) / speed)
 		}
+		// Accelerator sections run at the accelerator's speed, not the
+		// core's: the critical-section lengths stay nominal.
 		set.Tasks = append(set.Tasks, taskset.Task{
 			ID:       int(m.id),
 			Name:     m.d.Name,
@@ -911,6 +919,7 @@ func (tx *Reconfig) admit() error {
 			Offset:   m.d.ReleaseOffset,
 			WCET:     wcet,
 			Sporadic: m.d.Sporadic,
+			Accels:   m.accels,
 		})
 		switch a.cfg.Priority {
 		case PriorityRM:
@@ -920,7 +929,10 @@ func (tx *Reconfig) admit() error {
 		case PriorityUser:
 			keys = append(keys, int64(m.d.Priority))
 		default:
-			keys = append(keys, 0)
+			// EDF: dynamic priorities; the key is only consumed by the
+			// blocking analysis, whose preemption levels are the relative
+			// deadlines.
+			keys = append(keys, int64(deadline))
 		}
 		cores = append(cores, m.d.VirtCore)
 	}
@@ -933,6 +945,13 @@ func (tx *Reconfig) admit() error {
 	if adm.FixedPriority {
 		adm.PrioKey = keys
 	}
+	// Accelerator contention is priced into admission: the per-task PIP
+	// blocking bounds (worst lower-priority critical section per shared
+	// pool) join the schedulability test. Under EDF the blocking priority
+	// order is the deadline order (preemption levels).
+	terms := analysis.PIPBlocking(set, keys)
+	blocking := analysis.Durations(terms)
+	adm.Blocking = blocking
 	res, err := analysis.Admit(set, adm)
 	if err != nil {
 		return err
@@ -942,9 +961,38 @@ func (tx *Reconfig) admit() error {
 		if offender == "" && len(tx.addedTasks) > 0 {
 			offender = tx.a.tasks[tx.addedTasks[0]].d.Name
 		}
-		return &NotSchedulableError{Task: offender, Test: res.Test, Detail: res.Detail}
+		detail := res.Detail
+		test := res.Test
+		// When the set is schedulable ignoring blocking, the accelerator
+		// contention alone is the reason for rejection: say so, naming the
+		// blocking term the offender pays.
+		if anyBlocking(blocking) {
+			noBlock := adm
+			noBlock.Blocking = nil
+			if res2, err2 := analysis.Admit(set, noBlock); err2 == nil && res2.Schedulable {
+				test += "+accel-blocking"
+				for i := range set.Tasks {
+					if set.Tasks[i].Name == offender && terms[i].Dur > 0 {
+						detail = fmt.Sprintf("%s; schedulable without accelerator contention — blocking term %s",
+							detail, terms[i])
+						break
+					}
+				}
+			}
+		}
+		return &NotSchedulableError{Task: offender, Test: test, Detail: detail}
 	}
 	return nil
+}
+
+// anyBlocking reports whether at least one blocking term is non-zero.
+func anyBlocking(blocking []time.Duration) bool {
+	for _, b := range blocking {
+		if b > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // rootTiming walks the merged predecessor relation back to periodic roots

@@ -62,6 +62,11 @@ type VSelect struct {
 	// WCET is the version's worst-case execution time (informative; used by
 	// SelectTradeoff and the off-line scheduler).
 	WCET time.Duration
+	// AccelCS is the worst-case length of the version's accelerator
+	// critical section (the AccelSection part of WCET). The blocking-aware
+	// admission test derives priority-inversion bounds from it; zero on an
+	// accelerator-bound version falls back to the full WCET (conservative).
+	AccelCS time.Duration
 	// EnergyBudget is the version's per-job energy in millijoules
 	// (SelectEnergy, SelectTradeoff).
 	EnergyBudget float64
@@ -261,16 +266,28 @@ type job struct {
 	basePrio int64
 	effPrio  int64 // may be boosted by PIP
 	version  VID
-	accel    HID // accelerator held while running, NoAccel otherwise
-	fib      *fiber
-	worker   int // executing worker index, -1 otherwise
-	preempts int
-	started  bool
-	fnDone   bool // version function returned (set by the fiber)
-	start    time.Duration
-	computed time.Duration // accumulated Compute time (energy accounting)
-	err      error
-	poolIdx  int
+	accel    HID // version-bound accelerator instance held, NoAccel otherwise
+	// nested is the instance held by an in-flight ExecCtx.AccelSectionOn
+	// (explicit mid-job section on a second accelerator), NoAccel otherwise.
+	// A job holds at most one version-bound and one nested instance; holder
+	// chains of arbitrary depth form across jobs (A holds X and waits for Y,
+	// B holds Y and waits for Z, ...).
+	nested HID
+	// waitingOn is the pool head this job is parked on while jobAccelWait
+	// (NoAccel otherwise); midWait distinguishes a mid-job waiter (bound
+	// fiber, granted the freed instance directly) from a pre-run waiter
+	// (requeued for a fresh version-selection pass on release).
+	waitingOn HID
+	midWait   bool
+	fib       *fiber
+	worker    int // executing worker index, -1 otherwise
+	preempts  int
+	started   bool
+	fnDone    bool // version function returned (set by the fiber)
+	start     time.Duration
+	computed  time.Duration // accumulated Compute time (energy accounting)
+	err       error
+	poolIdx   int
 	// heapIdx is the job's slot in its ready queue's heap, -1 while not
 	// enqueued (intrusive index: no per-queue position map on the hot path).
 	heapIdx int
@@ -284,14 +301,19 @@ func (j *job) before(k *job) bool {
 	return j.seq < k.seq
 }
 
-// accel is a declared hardware accelerator and its PIP state.
+// accel is one declared hardware accelerator INSTANCE and its PIP state.
+// Instances declared together (HwAccelDeclPool with Count > 1) form a pool:
+// version bindings reference the pool head, acquisition takes any free
+// instance, and waiters park on the head's list only.
 type accel struct {
 	id      HID
 	name    string
 	platIdx int // index into platform.Accels, -1 when simulated generically
 	busy    bool
 	holder  *job
-	waiters []*job // priority-ordered, preallocated capacity
+	group   HID    // pool head HID (== id for the head / single accelerators)
+	members []HID  // pool head only: every instance HID, head first
+	waiters []*job // pool head only: priority-ordered, preallocated capacity
 }
 
 // The channel FIFO of Table 1 lives on as the degenerate topic: see

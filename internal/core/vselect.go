@@ -40,25 +40,29 @@ func (a *App) selectVersion(c rt.Ctx, j *job) (vid VID, blockedOn HID) {
 			order = append(order, VID(i))
 		}
 	}
-	// First preference whose accelerator is free (or absent).
+	// First preference whose accelerator pool has an instance this job may
+	// take (free, and not reserved for a more urgent parked waiter).
 	for _, v := range order {
 		h := t.versions[v].accel
-		if h == NoAccel || !a.accels[h].busy {
+		if h == NoAccel || a.poolAvailableForLocked(j, h) != NoAccel {
 			return v, NoAccel
 		}
 	}
 	// All admissible versions need busy accelerators: block on the top
-	// preference's accelerator.
+	// preference's pool.
 	return order[0], t.versions[order[0]].accel
 }
 
 // orderByEnergy implements SelectEnergy: among affordable versions (battery
 // at or above MinBattery) prefer the highest Quality; unaffordable versions
-// come last, cheapest first (graceful degradation).
+// come last, cheapest first (graceful degradation). The unaffordable
+// overflow reuses the App-level scratch buffer (caller holds the lock):
+// version selection runs once per job, so a per-call allocation here was
+// measurable on the hot path.
 func (a *App) orderByEnergy(t *task, order []VID) []VID {
 	level := a.batteryLevelFor(t)
 	afford := order[:0]
-	var rest []VID
+	rest := a.vselRest[:0]
 	for i := range t.versions {
 		p := &t.versions[i].props
 		if p.MinBattery <= level {
@@ -67,6 +71,7 @@ func (a *App) orderByEnergy(t *task, order []VID) []VID {
 			rest = append(rest, VID(i))
 		}
 	}
+	a.vselRest = rest[:0]
 	// Sort affordable by Quality descending (stable insertion; tiny n).
 	for i := 1; i < len(afford); i++ {
 		for k := i; k > 0; k-- {
@@ -177,10 +182,14 @@ func (a *App) selectByUser(c rt.Ctx, j *job) (VID, HID) {
 		v := &t.versions[i]
 		info := VersionInfo{ID: VID(i), Props: v.props, Accel: v.accel}
 		if v.accel != NoAccel {
-			ac := &a.accels[v.accel]
-			info.AccelBusy = ac.busy
-			if ac.busy && ac.holder != nil {
-				info.AccelOwner = ac.holder.t.id
+			// Pool-level view: busy means no instance is available to this
+			// job; the owner is the holder of the first busy instance.
+			info.AccelBusy = a.poolAvailableForLocked(j, v.accel) == NoAccel
+			for _, m := range a.poolMembers(v.accel) {
+				if ac := &a.accels[m]; ac.busy && ac.holder != nil {
+					info.AccelOwner = ac.holder.t.id
+					break
+				}
 			}
 		}
 		infos[i] = info
@@ -197,16 +206,16 @@ func (a *App) selectByUser(c rt.Ctx, j *job) (VID, HID) {
 	}
 	v := a.cfg.UserSelect(t.id, infos, st)
 	if int(v) < 0 || int(v) >= len(t.versions) {
-		// Defer: block on the first accelerator-bound version, or fall back
-		// to version 0.
+		// Defer: block on the first accelerator-bound version whose pool
+		// has nothing available, or fall back to version 0.
 		for i := range t.versions {
-			if h := t.versions[i].accel; h != NoAccel && a.accels[h].busy {
+			if h := t.versions[i].accel; h != NoAccel && a.poolAvailableForLocked(j, h) == NoAccel {
 				return VID(i), h
 			}
 		}
 		return 0, NoAccel
 	}
-	if h := t.versions[v].accel; h != NoAccel && a.accels[h].busy {
+	if h := t.versions[v].accel; h != NoAccel && a.poolAvailableForLocked(j, h) == NoAccel {
 		return v, h
 	}
 	return v, NoAccel

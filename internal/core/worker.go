@@ -38,8 +38,11 @@ func (w *workerState) stackTop() (int, *job) {
 	bestIdx := -1
 	var best *job
 	for i, j := range w.preempted {
-		if j.state == jobAccelAsync {
-			continue // still on the accelerator; not resumable
+		if j.state == jobAccelAsync || j.state == jobAccelWait {
+			// Still on the accelerator, or parked mid-job on a busy pool's
+			// waiter list (AccelSectionOn); not resumable until the section
+			// ends / the instance is granted.
+			continue
 		}
 		if best == nil || j.before(best) {
 			best, bestIdx = j, i
@@ -202,10 +205,15 @@ func (a *App) prepareRun(c rt.Ctx, w *workerState, j *job) bool {
 	j.version = vid
 	v := &j.t.versions[vid]
 	if v.accel != NoAccel {
-		ac := &a.accels[v.accel]
-		ac.busy = true
-		ac.holder = j
-		j.accel = v.accel
+		inst := a.poolAvailableForLocked(j, v.accel)
+		if inst == NoAccel {
+			// The pool filled (or a more urgent waiter holds the admission
+			// slot) since selection looked: park like any other contender.
+			a.parkOnAccel(c, j, v.accel)
+			return false
+		}
+		a.acquireInstanceLocked(c, inst, j)
+		j.accel = inst
 	}
 	// Bind a fiber.
 	n := len(a.freeFib)
@@ -238,10 +246,23 @@ func (a *App) completeJob(c rt.Ctx, w *workerState, j *job) {
 	now := c.Now()
 	costs := a.env.Costs()
 	a.recordTaskError(j.err)
-	// Release the accelerator and reschedule its waiters.
+	heldInst := j.accel
+	accelName := ""
+	if heldInst != NoAccel {
+		accelName = a.accels[heldInst].name
+	}
+	// Release held accelerators and reschedule their waiters. A nested
+	// instance (AccelSectionOn) is normally released by the section itself;
+	// an error return from inside the section must not leak it.
+	if j.nested != NoAccel {
+		inst := j.nested
+		j.nested = NoAccel
+		a.releaseInstanceLocked(c, inst, j)
+	}
 	if j.accel != NoAccel {
 		a.releaseAccel(c, j)
 	}
+	j.effPrio = j.basePrio
 	// Activate successors whose inputs are all present.
 	moreWork := false
 	for _, e := range j.t.outEdges {
@@ -270,6 +291,7 @@ func (a *App) completeJob(c rt.Ctx, w *workerState, j *job) {
 		Job:      int64(j.taskSeq),
 		Version:  int(j.version),
 		Core:     w.core,
+		Accel:    accelName,
 		Release:  j.release,
 		Start:    j.start,
 		Finish:   now,
@@ -296,7 +318,7 @@ func (a *App) completeJob(c rt.Ctx, w *workerState, j *job) {
 		})
 	}
 	// Energy accounting.
-	a.accountEnergy(j)
+	a.accountEnergy(j, heldInst)
 	// Recycle fiber and job.
 	if j.fib != nil {
 		j.fib.job = nil
@@ -331,8 +353,10 @@ func (a *App) consumeInputs(t *task) time.Duration {
 	return stamp
 }
 
-// accountEnergy drains the battery / meter for the finished job.
-func (a *App) accountEnergy(j *job) {
+// accountEnergy drains the battery / meter for the finished job. accel is
+// the instance the job held while executing (already released by the
+// caller, so it is passed explicitly).
+func (a *App) accountEnergy(j *job, accel HID) {
 	if a.battery == nil && a.meter == nil {
 		return
 	}
@@ -342,8 +366,8 @@ func (a *App) accountEnergy(j *job) {
 		if w != nil && w.core >= 0 && w.core < len(pl.Cores) {
 			powerMW = pl.Cores[w.core].PowerActive
 		}
-		if j.accel != NoAccel {
-			ai := a.accels[j.accel].platIdx
+		if accel != NoAccel {
+			ai := a.accels[accel].platIdx
 			if ai >= 0 && ai < len(pl.Accels) {
 				powerMW += pl.Accels[ai].PowerActive
 			}

@@ -25,7 +25,14 @@ const maxViolations = 64
 //   - drain-before-retire: a retired task's last job activity precedes its
 //     RetireEvent instant — nothing runs past retirement;
 //   - admission monotonicity: committed epochs are consecutive, rejected
-//     transactions leave the epoch (and the task set) untouched.
+//     transactions leave the epoch (and the task set) untouched;
+//   - accelerator arbitration (replayed from the trace's AccelEvents): no
+//     instance is granted or taken while a strictly more urgent job is
+//     parked on the pool (a boosted holder finishes — releases — before
+//     any job it blocks gets the accelerator), holds and grants pair up
+//     structurally, and with accel_wait_bound set, no park lasts longer
+//     than the bound (inversion duration limited by the longest critical
+//     section the scenario author budgeted for).
 //
 // On the simulation backend every task body runs lock-step serialised, but
 // the checker locks anyway so the same instrumentation works on OSEnv.
@@ -43,6 +50,19 @@ type Checker struct {
 
 	// admission bookkeeping, appended by the churn driver
 	attempts []admissionAttempt
+
+	// accelWaitBound arms the inversion-duration invariant (zero = off);
+	// accelStats is filled by the Finish replay.
+	accelWaitBound time.Duration
+	accelStats     AccelStats
+}
+
+// AccelStats summarises the accelerator arbitration of one run.
+type AccelStats struct {
+	Acquires int64 // free-instance takes plus direct grants
+	Parks    int64
+	Boosts   int64
+	MaxWait  time.Duration // longest park→grant/requeue wait
 }
 
 // topicCheck tracks one instrumented topic.
@@ -259,6 +279,9 @@ func (ck *Checker) Finish(app *core.App) []string {
 	// transaction, and never a panic-shaped mystery).
 	ck.checkAdmission(app.Recorder().Reconfigs())
 
+	// Accelerator arbitration: replay the PIP events.
+	ck.checkAccel(app.Recorder().AccelEvents())
+
 	// Failure injection round-trips through the error accounting.
 	if got := app.TaskErrors(); got != ck.injected {
 		ck.violationf("task errors: middleware counted %d, checker injected %d", got, ck.injected)
@@ -292,6 +315,117 @@ func (ck *Checker) checkAdmission(recs []trace.ReconfigRecord) {
 	if commits != len(recs) {
 		ck.violationf("driver committed %d transactions, recorder has %d epochs", commits, len(recs))
 	}
+}
+
+// checkAccel replays the recorded accelerator-arbitration events and
+// verifies the PIP invariants: priority-ordered admission (no grant or
+// acquisition while a strictly more urgent job is parked on the pool —
+// which is exactly "a boosted holder must finish, i.e. release, before any
+// job it blocks runs on the accelerator"), structural hold/release pairing
+// per instance, and — when accel_wait_bound is set — a cap on how long any
+// job stays parked (inversion duration bounded by the critical-section
+// budget).
+func (ck *Checker) checkAccel(events []trace.AccelEvent) {
+	type jobKey struct {
+		task string
+		job  int64
+	}
+	type parkInfo struct {
+		pool string
+		prio int64
+		at   time.Duration
+	}
+	parked := make(map[jobKey]parkInfo)
+	holders := make(map[string]jobKey) // instance -> holder
+	var st AccelStats
+
+	// endWait closes one park episode: bound check and stats.
+	endWait := func(k jobKey, p parkInfo, now time.Duration, how string) {
+		wait := now - p.at
+		if wait > st.MaxWait {
+			st.MaxWait = wait
+		}
+		if ck.accelWaitBound > 0 && wait > ck.accelWaitBound {
+			ck.violationf("accel %s: job %s#%d waited %v for %s (bound %v): inversion not bounded by the critical-section budget",
+				p.pool, k.task, k.job, wait, how, ck.accelWaitBound)
+		}
+	}
+	// mostUrgentParked flags an admission that overtakes a parked waiter.
+	checkOrder := func(pool string, k jobKey, prio int64, now time.Duration, how string) {
+		for wk, p := range parked {
+			if wk == k || p.pool != pool {
+				continue
+			}
+			if p.prio < prio {
+				ck.violationf("accel %s at %v: %s to %s#%d (prio %d) while more urgent %s#%d (prio %d) was parked",
+					pool, now, how, k.task, k.job, prio, wk.task, wk.job, p.prio)
+			}
+		}
+	}
+
+	for _, e := range events {
+		k := jobKey{task: e.Task, job: e.Job}
+		switch e.Kind {
+		case trace.AccelPark:
+			st.Parks++
+			if p, dup := parked[k]; dup {
+				ck.violationf("accel %s at %v: %s#%d parked again while already parked on %s",
+					e.Pool, e.At, e.Task, e.Job, p.pool)
+			}
+			parked[k] = parkInfo{pool: e.Pool, prio: e.Prio, at: e.At}
+		case trace.AccelBoost:
+			st.Boosts++
+			// A chain boost re-prioritises parked holders: keep the replay's
+			// view of their urgency current.
+			if p, ok := parked[k]; ok {
+				p.prio = e.Prio
+				parked[k] = p
+			}
+		case trace.AccelAcquire, trace.AccelGrant:
+			st.Acquires++
+			how := "acquire"
+			if e.Kind == trace.AccelGrant {
+				how = "grant"
+			}
+			checkOrder(e.Pool, k, e.Prio, e.At, how)
+			if h, busy := holders[e.Accel]; busy {
+				ck.violationf("accel instance %s at %v: %s to %s#%d while %s#%d still holds it",
+					e.Accel, e.At, how, e.Task, e.Job, h.task, h.job)
+			}
+			holders[e.Accel] = k
+			if p, ok := parked[k]; ok {
+				endWait(k, p, e.At, how)
+				delete(parked, k)
+			} else if e.Kind == trace.AccelGrant {
+				ck.violationf("accel %s at %v: grant to %s#%d which was not parked", e.Pool, e.At, e.Task, e.Job)
+			}
+		case trace.AccelRequeue:
+			// The waiter leaves the list for a fresh scheduling pass; its
+			// park episode ends here (it may park again and is then timed
+			// anew).
+			if p, ok := parked[k]; ok {
+				endWait(k, p, e.At, "requeue")
+				delete(parked, k)
+			}
+		case trace.AccelRelease:
+			if h, busy := holders[e.Accel]; !busy {
+				ck.violationf("accel instance %s at %v: released by %s#%d but no hold was recorded",
+					e.Accel, e.At, e.Task, e.Job)
+			} else if h != k {
+				ck.violationf("accel instance %s at %v: released by %s#%d but held by %s#%d",
+					e.Accel, e.At, e.Task, e.Job, h.task, h.job)
+			}
+			delete(holders, e.Accel)
+		}
+	}
+	ck.accelStats = st
+}
+
+// AccelStats returns the arbitration counters gathered by Finish.
+func (ck *Checker) AccelStats() AccelStats {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.accelStats
 }
 
 // Published and Delivered return the checker's data-plane counters.

@@ -3,8 +3,10 @@ package scenario
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
 // feed replays a publish/take trace through a checker topic.
@@ -121,6 +123,98 @@ func TestCheckerGapAllowedUnderDropOldest(t *testing.T) {
 	ck.mu.Unlock()
 	if got != 0 {
 		t.Fatalf("legal conflation flagged: %v", ck.violations)
+	}
+}
+
+// accelEv builds one arbitration event for replay tests.
+func accelEv(kind trace.AccelEventKind, inst, pool, task string, job, prio int64, at time.Duration) trace.AccelEvent {
+	return trace.AccelEvent{Kind: kind, Accel: inst, Pool: pool, Task: task, Job: job, Prio: prio, At: at}
+}
+
+func TestCheckerAcceptsCleanAccelTrace(t *testing.T) {
+	ck := NewChecker()
+	ck.accelWaitBound = 10 * time.Millisecond
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	ck.checkAccel([]trace.AccelEvent{
+		accelEv(trace.AccelAcquire, "gpu", "gpu", "holder", 1, 40, 0),
+		accelEv(trace.AccelPark, "gpu", "gpu", "urgent", 1, 10, ms(1)),
+		accelEv(trace.AccelBoost, "gpu", "gpu", "holder", 1, 10, ms(1)),
+		accelEv(trace.AccelRelease, "gpu", "gpu", "holder", 1, 40, ms(3)),
+		accelEv(trace.AccelGrant, "gpu", "gpu", "urgent", 1, 10, ms(3)),
+		accelEv(trace.AccelRelease, "gpu", "gpu", "urgent", 1, 10, ms(5)),
+	})
+	if len(ck.violations) != 0 {
+		t.Fatalf("clean PIP trace flagged: %v", ck.violations)
+	}
+	st := ck.AccelStats()
+	if st.Acquires != 2 || st.Parks != 1 || st.Boosts != 1 || st.MaxWait != ms(2) {
+		t.Errorf("stats = %+v, want 2 acquires, 1 park, 1 boost, 2ms max wait", st)
+	}
+}
+
+// TestCheckerCatchesSeededAccelViolations feeds deliberately broken
+// arbitration traces: the accel invariants must be able to fail or a clean
+// scenario run proves nothing.
+func TestCheckerCatchesSeededAccelViolations(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		label string
+		bound time.Duration
+		trace []trace.AccelEvent
+		want  string
+	}{
+		{
+			"less urgent overtakes parked waiter", 0,
+			[]trace.AccelEvent{
+				accelEv(trace.AccelPark, "gpu", "gpu", "urgent", 1, 10, 0),
+				accelEv(trace.AccelAcquire, "gpu", "gpu", "sneaky", 1, 50, ms(1)),
+			},
+			"more urgent",
+		},
+		{
+			"inversion exceeds the wait bound", ms(5),
+			[]trace.AccelEvent{
+				accelEv(trace.AccelAcquire, "gpu", "gpu", "holder", 1, 40, 0),
+				accelEv(trace.AccelPark, "gpu", "gpu", "urgent", 1, 10, ms(1)),
+				accelEv(trace.AccelRelease, "gpu", "gpu", "holder", 1, 40, ms(9)),
+				accelEv(trace.AccelGrant, "gpu", "gpu", "urgent", 1, 10, ms(9)),
+			},
+			"inversion not bounded",
+		},
+		{
+			"grant of a still-held instance", 0,
+			[]trace.AccelEvent{
+				accelEv(trace.AccelAcquire, "gpu", "gpu", "holder", 1, 40, 0),
+				accelEv(trace.AccelPark, "gpu", "gpu", "urgent", 1, 10, ms(1)),
+				accelEv(trace.AccelGrant, "gpu", "gpu", "urgent", 1, 10, ms(2)),
+			},
+			"still holds",
+		},
+		{
+			"release without a hold", 0,
+			[]trace.AccelEvent{
+				accelEv(trace.AccelRelease, "gpu", "gpu", "ghost", 1, 40, ms(1)),
+			},
+			"no hold",
+		},
+	}
+	for _, tc := range cases {
+		ck := NewChecker()
+		ck.accelWaitBound = tc.bound
+		ck.checkAccel(tc.trace)
+		if len(ck.violations) == 0 {
+			t.Errorf("%s: checker stayed silent", tc.label)
+			continue
+		}
+		found := false
+		for _, v := range ck.violations {
+			if strings.Contains(v, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v do not mention %q", tc.label, ck.violations, tc.want)
+		}
 	}
 }
 

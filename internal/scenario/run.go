@@ -37,6 +37,14 @@ type Report struct {
 	Published int64 `json:"published"`
 	Delivered int64 `json:"delivered"`
 
+	// Accelerator arbitration counters (zero without accels): acquisitions
+	// (free-instance takes plus direct grants), parks, PIP boosts and the
+	// longest park→grant/acquire wait observed.
+	AccelAcquires  int64 `json:"accel_acquires,omitempty"`
+	AccelParks     int64 `json:"accel_parks,omitempty"`
+	AccelBoosts    int64 `json:"accel_boosts,omitempty"`
+	AccelMaxWaitNS int64 `json:"accel_max_wait_ns,omitempty"`
+
 	Epochs     int   `json:"epochs"`
 	Retires    int   `json:"retires"`
 	Rejections int64 `json:"rejections"`
@@ -54,6 +62,7 @@ func Run(sc *Scenario) (*Report, error) {
 	}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	ck := NewChecker()
+	ck.accelWaitBound = sc.AccelWaitBound.Std()
 
 	s, gen := sc.buildSpec(rng, ck)
 	maxTasks := sc.TaskCount() + sc.churnHeadroom()
@@ -69,6 +78,8 @@ func Run(sc *Scenario) (*Report, error) {
 		MaxChannels:     len(s.Topics) + 1,
 		MaxPendingJobs:  pending,
 		SchedulerPeriod: sc.SchedulerPeriod.Std(),
+		// The checker replays the arbitration events.
+		RecordAccel: len(sc.Accels) > 0,
 	}
 	switch sc.Mapping {
 	case "partitioned":
@@ -148,6 +159,11 @@ func Run(sc *Scenario) (*Report, error) {
 		Rejections:    driver.rejections,
 		Violations:    ck.Finish(app),
 	}
+	st := ck.AccelStats()
+	rep.AccelAcquires = st.Acquires
+	rep.AccelParks = st.Parks
+	rep.AccelBoosts = st.Boosts
+	rep.AccelMaxWaitNS = st.MaxWait.Nanoseconds()
 	if wall > 0 {
 		rep.JobsPerWallSec = float64(rep.Jobs) / wall.Seconds()
 	}
@@ -178,6 +194,11 @@ func (sc *Scenario) buildSpec(rng *rand.Rand, ck *Checker) (*spec.Spec, *genStat
 		return c
 	}
 
+	for ai := range sc.Accels {
+		a := &sc.Accels[ai]
+		s.Accels = append(s.Accels, spec.AccelSpec{Name: a.Name, Count: a.Count})
+	}
+
 	for gi := range sc.Groups {
 		g := &sc.Groups[gi]
 		for i := 0; i < g.Count; i++ {
@@ -186,13 +207,20 @@ func (sc *Scenario) buildSpec(rng *rand.Rand, ck *Checker) (*spec.Spec, *genStat
 			if wcet < time.Microsecond {
 				wcet = time.Microsecond
 			}
+			v := spec.VersionSpec{WCET: spec.Duration(wcet)}
+			if g.Accel != "" {
+				share := g.AccelShare
+				if share == 0 {
+					share = 0.5
+				}
+				v.Accel = g.Accel
+				v.AccelCS = spec.Duration(float64(wcet) * share)
+			}
 			t := spec.TaskSpec{
-				Name:   fmt.Sprintf("%s-%d", g.Name, i),
-				Period: spec.Duration(period),
-				Core:   nextCore(),
-				Versions: []spec.VersionSpec{{
-					WCET: spec.Duration(wcet),
-				}},
+				Name:     fmt.Sprintf("%s-%d", g.Name, i),
+				Period:   spec.Duration(period),
+				Core:     nextCore(),
+				Versions: []spec.VersionSpec{v},
 			}
 			if g.DeadlineRatio > 0 {
 				t.Deadline = spec.Duration(float64(period) * g.DeadlineRatio)
@@ -449,6 +477,16 @@ func (d *churnDriver) admitTasks(c rt.Ctx, ev churnEvent, cp *ChurnPhase, pingPh
 	if util == 0 {
 		util = 0.01
 	}
+	accel := core.NoAccel
+	if cp.Accel != "" {
+		if accel = d.app.AccelIDByName(cp.Accel); accel == core.NoAccel {
+			return fmt.Errorf("scenario: churn references unknown accelerator %q", cp.Accel)
+		}
+	}
+	share := cp.AccelShare
+	if share == 0 {
+		share = 0.5
+	}
 	var names []string
 	err := d.app.Reconfigure(c, func(tx *core.Reconfig) error {
 		names = names[:0]
@@ -463,8 +501,18 @@ func (d *churnDriver) admitTasks(c rt.Ctx, ev churnEvent, cp *ChurnPhase, pingPh
 			if err != nil {
 				return err
 			}
-			if _, err := tx.AddVersion(id, d.churnBody(name, wcet), nil, core.VSelect{WCET: wcet}); err != nil {
+			var cs time.Duration
+			if accel != core.NoAccel {
+				cs = time.Duration(float64(wcet) * share)
+			}
+			vid, err := tx.AddVersion(id, d.churnBody(name, wcet, cs), nil, core.VSelect{WCET: wcet, AccelCS: cs})
+			if err != nil {
 				return err
+			}
+			if accel != core.NoAccel {
+				if err := tx.UseAccel(id, vid, accel); err != nil {
+					return err
+				}
 			}
 			names = append(names, name)
 		}
@@ -477,13 +525,25 @@ func (d *churnDriver) admitTasks(c rt.Ctx, ev churnEvent, cp *ChurnPhase, pingPh
 }
 
 // churnBody is the instrumented body of churn-admitted tasks: drain
-// tracking for the retire check plus probabilistic failure injection. The
-// rng is shared but the simulation backend serialises all task bodies.
-func (d *churnDriver) churnBody(name string, wcet time.Duration) core.TaskFunc {
+// tracking for the retire check plus probabilistic failure injection; a
+// non-zero cs runs that much of the WCET as an accelerator critical
+// section (the version is accelerator-bound by the transaction). The rng
+// is shared but the simulation backend serialises all task bodies.
+func (d *churnDriver) churnBody(name string, wcet, cs time.Duration) core.TaskFunc {
 	rate := d.sc.Failures.TaskErrorRate
 	return func(x *core.ExecCtx, _ any) error {
 		d.ck.noteStart(name, x.Now())
-		err := x.Compute(wcet)
+		var err error
+		if cs > 0 {
+			pre := (wcet - cs) / 2
+			if err = x.Compute(pre); err == nil {
+				if err = x.AccelSection(cs); err == nil {
+					err = x.Compute(wcet - cs - pre)
+				}
+			}
+		} else {
+			err = x.Compute(wcet)
+		}
 		d.ck.noteFinish(name, x.Now())
 		if err != nil {
 			return err

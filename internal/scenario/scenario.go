@@ -36,6 +36,15 @@ type Scenario struct {
 	// from the task count.
 	MaxPendingJobs int `json:"max_pending_jobs,omitempty"`
 
+	// Accels declares shared accelerator pools; accel-bound task groups and
+	// churn phases reference them by name and contend under PIP.
+	Accels []AccelDecl `json:"accels,omitempty"`
+	// AccelWaitBound, when positive, arms the checker's inversion-duration
+	// invariant: no job may wait longer than this between parking on a pool
+	// and being granted (or taking) an instance. Pick it from the workload
+	// (longest critical section × chain depth plus scheduling slack); zero
+	// disables the bound while the structural PIP checks stay on.
+	AccelWaitBound spec.Duration `json:"accel_wait_bound,omitempty"`
 	// Groups generate plain periodic compute tasks.
 	Groups []TaskGroup `json:"groups,omitempty"`
 	// Topics generate pub-sub meshes with instrumented endpoint tasks the
@@ -88,6 +97,23 @@ func (d *Dist) validate(what string) error {
 	return nil
 }
 
+// AccelDecl declares one shared accelerator pool.
+type AccelDecl struct {
+	Name string `json:"name"`
+	// Count is the number of interchangeable instances (0 reads as 1).
+	Count int `json:"count,omitempty"`
+}
+
+func (a *AccelDecl) validate(i int) error {
+	if a.Name == "" {
+		return fmt.Errorf("scenario: accelerator %d has no name", i)
+	}
+	if a.Count < 0 {
+		return fmt.Errorf("scenario: accelerator %q: negative instance count %d", a.Name, a.Count)
+	}
+	return nil
+}
+
 // TaskGroup generates Count periodic tasks with sampled periods and a fixed
 // per-task utilisation (WCET = Utilization × period).
 type TaskGroup struct {
@@ -102,6 +128,11 @@ type TaskGroup struct {
 	// OffsetJitter staggers first releases uniformly over one period,
 	// avoiding a synchronous release storm at t=0.
 	OffsetJitter bool `json:"offset_jitter,omitempty"`
+	// Accel binds every task of the group to the named accelerator pool:
+	// AccelShare of each WCET runs as the accelerator critical section
+	// (default 0.5), so the group contends on the pool under PIP.
+	Accel      string  `json:"accel,omitempty"`
+	AccelShare float64 `json:"accel_share,omitempty"`
 }
 
 func (g *TaskGroup) validate(i int) error {
@@ -119,6 +150,12 @@ func (g *TaskGroup) validate(i int) error {
 	}
 	if g.DeadlineRatio < 0 || g.DeadlineRatio > 1 {
 		return fmt.Errorf("scenario: group %q: deadline ratio %g out of [0,1]", g.Name, g.DeadlineRatio)
+	}
+	if g.AccelShare < 0 || g.AccelShare >= 1 {
+		return fmt.Errorf("scenario: group %q: accelerator share %g out of [0,1)", g.Name, g.AccelShare)
+	}
+	if g.AccelShare > 0 && g.Accel == "" {
+		return fmt.Errorf("scenario: group %q: accel_share without an accel", g.Name)
 	}
 	return nil
 }
@@ -185,6 +222,12 @@ type ChurnPhase struct {
 	// default to 10–100ms log-uniform at 1% utilisation each.
 	Period      Dist    `json:"period,omitempty"`
 	Utilization float64 `json:"utilization,omitempty"`
+	// Accel binds admitted tasks to the named accelerator pool (AccelShare
+	// of each WCET as the critical section, default 0.5): churn then
+	// exercises the blocking-aware admission test and PIP arbitration
+	// against a live contended pool.
+	Accel      string  `json:"accel,omitempty"`
+	AccelShare float64 `json:"accel_share,omitempty"`
 }
 
 func (cp *ChurnPhase) validate(i int) error {
@@ -206,6 +249,12 @@ func (cp *ChurnPhase) validate(i int) error {
 		if err := cp.Period.validate(fmt.Sprintf("churn %d period", i)); err != nil {
 			return err
 		}
+	}
+	if cp.AccelShare < 0 || cp.AccelShare >= 1 {
+		return fmt.Errorf("scenario: churn %d: accelerator share %g out of [0,1)", i, cp.AccelShare)
+	}
+	if cp.AccelShare > 0 && cp.Accel == "" {
+		return fmt.Errorf("scenario: churn %d: accel_share without an accel", i)
 	}
 	return nil
 }
@@ -246,6 +295,19 @@ func (sc *Scenario) Validate() error {
 	if len(sc.Groups) == 0 && len(sc.Topics) == 0 {
 		return fmt.Errorf("scenario: needs at least one task group or topic shape")
 	}
+	if sc.AccelWaitBound < 0 {
+		return fmt.Errorf("scenario: negative accel_wait_bound")
+	}
+	accels := map[string]bool{}
+	for i := range sc.Accels {
+		if err := sc.Accels[i].validate(i); err != nil {
+			return err
+		}
+		if accels[sc.Accels[i].Name] {
+			return fmt.Errorf("scenario: duplicate accelerator name %q", sc.Accels[i].Name)
+		}
+		accels[sc.Accels[i].Name] = true
+	}
 	names := map[string]bool{}
 	for i := range sc.Groups {
 		if err := sc.Groups[i].validate(i); err != nil {
@@ -253,6 +315,9 @@ func (sc *Scenario) Validate() error {
 		}
 		if names[sc.Groups[i].Name] {
 			return fmt.Errorf("scenario: duplicate group name %q", sc.Groups[i].Name)
+		}
+		if a := sc.Groups[i].Accel; a != "" && !accels[a] {
+			return fmt.Errorf("scenario: group %q: unknown accelerator %q", sc.Groups[i].Name, a)
 		}
 		names[sc.Groups[i].Name] = true
 	}
@@ -275,6 +340,9 @@ func (sc *Scenario) Validate() error {
 	for i := range sc.Churn {
 		if err := sc.Churn[i].validate(i); err != nil {
 			return err
+		}
+		if a := sc.Churn[i].Accel; a != "" && !accels[a] {
+			return fmt.Errorf("scenario: churn %d: unknown accelerator %q", i, a)
 		}
 	}
 	if sc.Failures.TaskErrorRate < 0 || sc.Failures.TaskErrorRate > 1 {

@@ -17,6 +17,7 @@ import (
 func FromTaskSet(set *taskset.Set) *Spec {
 	s := &Spec{Name: "taskset", Tasks: make([]TaskSpec, 0, len(set.Tasks))}
 	seen := make(map[string]bool, len(set.Tasks))
+	accelCount := make(map[string]int)
 	for i := range set.Tasks {
 		t := &set.Tasks[i]
 		name := t.Name
@@ -27,14 +28,53 @@ func FromTaskSet(set *taskset.Set) *Spec {
 			name = fmt.Sprintf("%s#%d", name, t.ID)
 		}
 		seen[name] = true
+		// One version per accelerator use, so TaskSet() round-trips the
+		// blocking model exactly; CPU-only tasks get one plain version.
+		var versions []VersionSpec
+		for _, u := range t.Accels {
+			cs := u.CS
+			if cs > t.WCET {
+				cs = t.WCET
+			}
+			versions = append(versions, VersionSpec{
+				WCET:    Duration(t.WCET),
+				Accel:   u.Pool,
+				AccelCS: Duration(cs),
+			})
+			cnt := u.Count
+			if cnt < 1 {
+				cnt = 1
+			}
+			if cnt > accelCount[u.Pool] {
+				accelCount[u.Pool] = cnt
+			}
+		}
+		if len(versions) == 0 {
+			versions = []VersionSpec{{WCET: Duration(t.WCET)}}
+		}
 		s.Tasks = append(s.Tasks, TaskSpec{
 			Name:     name,
 			Period:   Duration(t.Period),
 			Deadline: Duration(t.Deadline),
 			Offset:   Duration(t.Offset),
 			Sporadic: t.Sporadic,
-			Versions: []VersionSpec{{WCET: Duration(t.WCET)}},
+			Versions: versions,
 		})
+	}
+	// Accelerator pools referenced by the tasks, in first-use order.
+	declared := make(map[string]bool, len(accelCount))
+	for i := range set.Tasks {
+		for _, u := range set.Tasks[i].Accels {
+			if u.Pool == "" || declared[u.Pool] {
+				continue
+			}
+			declared[u.Pool] = true
+			as := AccelSpec{Name: u.Pool}
+			if accelCount[u.Pool] > 1 {
+				as.Count = accelCount[u.Pool]
+			}
+			s.Accels = append(s.Accels, as)
+		}
 	}
 	return s
 }
@@ -51,12 +91,48 @@ func (s *Spec) TaskSet() (*taskset.Set, error) {
 	}
 	preds := s.predIndices()
 	out := &taskset.Set{Tasks: make([]taskset.Task, 0, len(s.Tasks))}
+	poolCount := func(name string) int {
+		for ai := range s.Accels {
+			if s.Accels[ai].Name == name {
+				return s.Accels[ai].instances()
+			}
+		}
+		return 1
+	}
 	for i := range s.Tasks {
 		t := &s.Tasks[i]
 		var wcet time.Duration
+		var uses []taskset.AccelUse
 		for vi := range t.Versions {
-			if w := t.Versions[vi].WCET.Std(); w > wcet {
+			v := &t.Versions[vi]
+			if w := v.WCET.Std(); w > wcet {
 				wcet = w
+			}
+			if v.Accel == "" {
+				continue
+			}
+			cs := v.AccelCS.Std()
+			if cs <= 0 {
+				cs = v.WCET.Std() // undeclared section: whole WCET, conservative
+			}
+			if cs <= 0 {
+				continue
+			}
+			// Aggregate per pool across ALL versions: version selection is
+			// dynamic, so the analysis must see every pool the task can
+			// touch.
+			found := false
+			for ui := range uses {
+				if uses[ui].Pool == v.Accel {
+					if cs > uses[ui].CS {
+						uses[ui].CS = cs
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				uses = append(uses, taskset.AccelUse{Pool: v.Accel, CS: cs, Count: poolCount(v.Accel)})
 			}
 		}
 		if wcet <= 0 {
@@ -85,6 +161,7 @@ func (s *Spec) TaskSet() (*taskset.Set, error) {
 			Offset:   t.Offset.Std(),
 			WCET:     wcet,
 			Sporadic: t.Sporadic,
+			Accels:   uses,
 		})
 	}
 	if err := out.Validate(); err != nil {

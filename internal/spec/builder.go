@@ -102,6 +102,34 @@ func (b *Builder) Accel(name string) *Builder {
 	return b
 }
 
+// AccelPool declares a pool of count interchangeable accelerator instances
+// (HwAccelDeclPool): version bindings reference the pool by name and the
+// runtime takes any free instance. Re-declaring a name with a different
+// count is an error; OnAccel's auto-declaration (count 1) upgrades cleanly
+// when AccelPool names the same accelerator first.
+func (b *Builder) AccelPool(name string, count int) *Builder {
+	if name == "" {
+		b.fail("accelerator needs a name")
+		return b
+	}
+	if count < 1 {
+		b.fail("accelerator pool %q needs count >= 1, got %d", name, count)
+		return b
+	}
+	for i := range b.s.Accels {
+		if b.s.Accels[i].Name != name {
+			continue
+		}
+		if b.s.Accels[i].instances() != count {
+			b.fail("accelerator %q re-declared with count %d (was %d)",
+				name, count, b.s.Accels[i].instances())
+		}
+		return b
+	}
+	b.s.Accels = append(b.s.Accels, AccelSpec{Name: name, Count: count})
+	return b
+}
+
 // Channel declares a free-standing FIFO channel and returns the CID it will
 // have at Build (assignment is positional, so the ID is known immediately —
 // version bodies may capture it). Connect it to tasks with Connect, or
@@ -304,6 +332,7 @@ func (t *TaskBuilder) VersionArgs(fn core.TaskFunc, args any, props core.VSelect
 	s := t.spec()
 	s.Versions = append(s.Versions, VersionSpec{
 		WCET:       Duration(props.WCET),
+		AccelCS:    Duration(props.AccelCS),
 		Energy:     props.EnergyBudget,
 		MinBattery: props.MinBattery,
 		Quality:    props.Quality,
@@ -396,6 +425,11 @@ func (t *TaskBuilder) Task(name string) *TaskBuilder { return t.b.Task(name) }
 
 // Accel declares an accelerator (application scope).
 func (t *TaskBuilder) Accel(name string) *Builder { return t.b.Accel(name) }
+
+// AccelPool declares an accelerator pool (application scope).
+func (t *TaskBuilder) AccelPool(name string, count int) *Builder {
+	return t.b.AccelPool(name, count)
+}
 
 // Channel declares a free-standing channel (application scope).
 func (t *TaskBuilder) Channel(name string, capacity int) core.CID {

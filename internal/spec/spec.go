@@ -133,6 +133,12 @@ type VersionSpec struct {
 	// WCET is the worst-case execution time; it also sizes the synthesized
 	// body of function-less versions.
 	WCET Duration `json:"wcet,omitempty"`
+	// AccelCS is the worst-case length of the version's accelerator
+	// critical section (the AccelSection part of WCET). Blocking-aware
+	// admission derives priority-inversion bounds from it; zero on an
+	// accelerator version falls back to the whole WCET (conservative). It
+	// also sizes the accelerator section of synthesized bodies.
+	AccelCS Duration `json:"accel_cs,omitempty"`
 	// Energy is the per-job energy budget in millijoules.
 	Energy float64 `json:"energy,omitempty"`
 	// MinBattery is the battery percentage below which this version is not
@@ -192,9 +198,22 @@ type TopicSpec struct {
 	Subs []string `json:"subs"`
 }
 
-// AccelSpec describes one hardware accelerator.
+// AccelSpec describes one hardware accelerator pool. Count > 1 declares
+// that many interchangeable instances (e.g. two identical DSP cores):
+// version bindings reference the pool by name, the runtime takes any free
+// instance, and contention parks jobs on one pool-wide priority-ordered
+// waiter list. Every instance consumes one MaxAccels slot.
 type AccelSpec struct {
-	Name string `json:"name"`
+	Name  string `json:"name"`
+	Count int    `json:"count,omitempty"` // instances; 0 reads as 1
+}
+
+// instances returns the pool's instance count (Count, at least 1).
+func (a *AccelSpec) instances() int {
+	if a.Count > 1 {
+		return a.Count
+	}
+	return 1
 }
 
 // TaskID returns the TID task `name` will get at Build, or -1.
@@ -228,15 +247,28 @@ func (s *Spec) TopicID(name string) core.CID {
 	return -1
 }
 
-// AccelID returns the HID accelerator `name` will get at Build, or
-// core.NoAccel.
+// AccelID returns the pool-head HID accelerator `name` will get at Build,
+// or core.NoAccel. Assignment stays positional, but a pool occupies Count
+// consecutive instance slots, so later pools' heads shift accordingly.
 func (s *Spec) AccelID(name string) core.HID {
+	id := 0
 	for i := range s.Accels {
 		if s.Accels[i].Name == name {
-			return core.HID(i)
+			return core.HID(id)
 		}
+		id += s.Accels[i].instances()
 	}
 	return core.NoAccel
+}
+
+// accelInstances returns the total instance count across all pools (the
+// MaxAccels demand).
+func (s *Spec) accelInstances() int {
+	n := 0
+	for i := range s.Accels {
+		n += s.Accels[i].instances()
+	}
+	return n
 }
 
 // Validate checks the whole description and reports every problem it finds
@@ -263,6 +295,9 @@ func (s *Spec) Validate() error {
 		}
 		if accels[a.Name] {
 			bad("duplicate accelerator name %q", a.Name)
+		}
+		if a.Count < 0 {
+			bad("accelerator %q: negative instance count %d", a.Name, a.Count)
 		}
 		accels[a.Name] = true
 	}
@@ -299,6 +334,16 @@ func (s *Spec) Validate() error {
 			}
 			if v.Accel != "" && !accels[v.Accel] {
 				bad("task %q version %d: unknown accelerator %q", t.Name, vi, v.Accel)
+			}
+			if v.AccelCS < 0 {
+				bad("task %q version %d: negative accelerator critical section %v", t.Name, vi, v.AccelCS.Std())
+			}
+			if v.AccelCS > 0 && v.Accel == "" {
+				bad("task %q version %d: accel_cs without an accelerator binding", t.Name, vi)
+			}
+			if v.AccelCS > 0 && v.WCET > 0 && v.AccelCS > v.WCET {
+				bad("task %q version %d: accelerator critical section %v exceeds WCET %v",
+					t.Name, vi, v.AccelCS.Std(), v.WCET.Std())
 			}
 			if v.Fn == nil && v.WCET == 0 {
 				bad("task %q version %d: needs a function or a WCET to synthesize one", t.Name, vi)
@@ -547,8 +592,8 @@ func (s *Spec) preflight(app *core.App) error {
 		return fmt.Errorf("spec: %d channels+topics exceed MaxChannels=%d",
 			len(s.Channels)+len(s.Topics), cfg.MaxChannels)
 	}
-	if len(s.Accels) > cfg.MaxAccels {
-		return fmt.Errorf("spec: %d accelerators exceed MaxAccels=%d", len(s.Accels), cfg.MaxAccels)
+	if s.accelInstances() > cfg.MaxAccels {
+		return fmt.Errorf("spec: %d accelerator instances exceed MaxAccels=%d", s.accelInstances(), cfg.MaxAccels)
 	}
 	for i := range s.Tasks {
 		if n := len(s.Tasks[i].Versions); n > cfg.MaxVersionsPerTask {
@@ -568,7 +613,7 @@ func (s *Spec) sizeConfig(cfg *core.Config) {
 		cfg.MaxChannels = len(s.Channels) + len(s.Topics)
 	}
 	if cfg.MaxAccels == 0 && len(s.Accels) > 0 {
-		cfg.MaxAccels = len(s.Accels)
+		cfg.MaxAccels = s.accelInstances()
 	}
 	if cfg.MaxVersionsPerTask == 0 {
 		for i := range s.Tasks {
@@ -624,8 +669,9 @@ func (s *Spec) apply(app *core.App) error {
 	}
 
 	for i := range s.Accels {
-		if _, err := app.HwAccelDecl(s.Accels[i].Name); err != nil {
-			return fmt.Errorf("spec: accel %q: %w", s.Accels[i].Name, err)
+		a := &s.Accels[i]
+		if _, err := app.HwAccelDeclPool(a.Name, a.instances()); err != nil {
+			return fmt.Errorf("spec: accel %q: %w", a.Name, err)
 		}
 	}
 	for i := range s.Channels {
@@ -664,6 +710,7 @@ func (s *Spec) apply(app *core.App) error {
 			}
 			props := core.VSelect{
 				WCET:             v.WCET.Std(),
+				AccelCS:          v.AccelCS.Std(),
 				EnergyBudget:     v.Energy,
 				GetBatteryStatus: v.GetBattery,
 				MinBattery:       v.MinBattery,
@@ -717,14 +764,16 @@ func (s *Spec) apply(app *core.App) error {
 
 // synthBody generates the body of a function-less version: pop one value
 // from every data-carrying input channel, take the pending backlog of every
-// subscribed topic, model the WCET as computation (split 5%/90%/5% around
-// the accelerator section for accelerator versions), and push/publish the
-// job index to every output channel and topic — the standard workload
-// stand-in simulation tools use. Pops are guarded by ChannelLen: an
-// activation fired by a delay token finds the edge seeded but the FIFO
-// empty (only real producer completions buffer values).
+// subscribed topic, model the WCET as computation (an explicit AccelCS —
+// defaulting to 90% of the WCET — framed by equal CPU halves for
+// accelerator versions), and push/publish the job index to every output
+// channel and topic — the standard workload stand-in simulation tools use.
+// Pops are guarded by ChannelLen: an activation fired by a delay token
+// finds the edge seeded but the FIFO empty (only real producer completions
+// buffer values).
 func synthBody(ins, outs, tins, touts []core.CID, v *VersionSpec) core.TaskFunc {
 	wcet := v.WCET.Std()
+	accelCS := v.AccelCS.Std()
 	onAccel := v.Accel != ""
 	return func(x *core.ExecCtx, _ any) error {
 		for _, c := range ins {
@@ -751,12 +800,20 @@ func synthBody(ins, outs, tins, touts []core.CID, v *VersionSpec) core.TaskFunc 
 			}
 		}
 		if onAccel {
+			// Default split 5%/90%/5%; an explicit AccelCS sizes the
+			// section, framed by equal CPU halves.
 			pre := wcet / 20
 			post := wcet / 20
+			cs := wcet - pre - post
+			if accelCS > 0 && accelCS <= wcet {
+				cs = accelCS
+				pre = (wcet - cs) / 2
+				post = wcet - cs - pre
+			}
 			if err := x.Compute(pre); err != nil {
 				return err
 			}
-			if err := x.AccelSection(wcet - pre - post); err != nil {
+			if err := x.AccelSection(cs); err != nil {
 				return err
 			}
 			if err := x.Compute(post); err != nil {

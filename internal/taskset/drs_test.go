@@ -3,6 +3,7 @@ package taskset
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -161,7 +162,7 @@ func TestGenerateDeterministicPerSeed(t *testing.T) {
 	}
 	a, b := gen(), gen()
 	for i := range a.Tasks {
-		if a.Tasks[i] != b.Tasks[i] {
+		if !reflect.DeepEqual(a.Tasks[i], b.Tasks[i]) {
 			t.Fatalf("task %d differs between identical seeds", i)
 		}
 	}

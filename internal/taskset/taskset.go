@@ -47,6 +47,36 @@ type Task struct {
 	Offset   time.Duration `json:"offset"`   // release offset
 	WCET     time.Duration `json:"wcet"`     // worst-case execution time C
 	Sporadic bool          `json:"sporadic,omitempty"`
+
+	// Accels lists, per shared accelerator pool any of the task's versions
+	// may run on, the worst-case critical section the task can hold an
+	// instance for. Empty for CPU-only tasks. The blocking analysis
+	// (analysis.PIPBlocking) derives per-task priority-inversion bounds
+	// from these; omitting a pool a version can touch makes the analysis
+	// unsound, so bridges aggregate across ALL versions.
+	Accels []AccelUse `json:"accels,omitempty"`
+}
+
+// AccelUse is one task's worst-case use of one shared accelerator pool.
+type AccelUse struct {
+	// Pool names the accelerator pool.
+	Pool string `json:"pool"`
+	// CS is the worst-case critical-section length on the pool (part of
+	// the task's WCET).
+	CS time.Duration `json:"cs"`
+	// Count is the pool's instance count (0 reads as 1).
+	Count int `json:"count,omitempty"`
+}
+
+// AccelOn returns the task's worst-case critical section on the named
+// pool (zero when the task does not use it).
+func (t *Task) AccelOn(pool string) time.Duration {
+	for i := range t.Accels {
+		if t.Accels[i].Pool == pool {
+			return t.Accels[i].CS
+		}
+	}
+	return 0
 }
 
 // Utilization returns C/T.

@@ -129,9 +129,10 @@ func (s *Stat) String() string {
 type JobRecord struct {
 	Task     string
 	TaskID   int
-	Job      int64 // job index of the task
-	Version  int   // selected version
-	Core     int   // executing virtual core
+	Job      int64  // job index of the task
+	Version  int    // selected version
+	Core     int    // executing virtual core
+	Accel    string // accelerator instance held ("" for CPU-only jobs)
 	Release  time.Duration
 	Start    time.Duration
 	Finish   time.Duration
@@ -165,6 +166,61 @@ type RetireEvent struct {
 	At    time.Duration
 }
 
+// AccelEventKind labels one accelerator-arbitration action.
+type AccelEventKind int
+
+// Accelerator arbitration actions (Section 3.2 of the paper: shared
+// accelerators with priority inheritance).
+const (
+	// AccelAcquire: a job took a free instance during version selection.
+	AccelAcquire AccelEventKind = iota + 1
+	// AccelPark: a job parked on a pool's waiter list (all instances busy).
+	AccelPark
+	// AccelBoost: a holder inherited a more urgent waiter's priority (PIP),
+	// possibly transitively along a holder chain.
+	AccelBoost
+	// AccelGrant: a freed instance was handed directly to the most urgent
+	// parked waiter.
+	AccelGrant
+	// AccelRequeue: a parked waiter was pushed back to the ready queues for
+	// a fresh version-selection pass (it may now pick the freed accelerator
+	// or a CPU version).
+	AccelRequeue
+	// AccelRelease: a holder released its instance.
+	AccelRelease
+)
+
+var accelEventNames = map[AccelEventKind]string{
+	AccelAcquire: "acquire",
+	AccelPark:    "park",
+	AccelBoost:   "boost",
+	AccelGrant:   "grant",
+	AccelRequeue: "requeue",
+	AccelRelease: "release",
+}
+
+func (k AccelEventKind) String() string {
+	if n, ok := accelEventNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("AccelEventKind(%d)", int(k))
+}
+
+// AccelEvent records one accelerator-arbitration action: which job touched
+// which instance of which pool, at what effective priority (after the
+// action). The scenario checker replays these to verify the PIP invariants
+// (priority-ordered grants, bounded inversion); park events carry the pool
+// head as Accel since no instance is assigned yet.
+type AccelEvent struct {
+	Kind  AccelEventKind
+	Accel string // instance name ("gpu", "gpu#1", ...); pool head for parks
+	Pool  string // pool (head) name
+	Task  string
+	Job   int64 // job index within the task
+	Prio  int64 // effective priority after the event (lower = more urgent)
+	At    time.Duration
+}
+
 // Recorder accumulates job records and per-task statistics. Safe for
 // concurrent use.
 type Recorder struct {
@@ -174,6 +230,7 @@ type Recorder struct {
 	perTask   map[string]*TaskStats
 	reconfigs []ReconfigRecord
 	retires   []RetireEvent
+	accels    []AccelEvent
 }
 
 // TaskStats aggregates per-task outcomes.
@@ -233,6 +290,23 @@ func (r *Recorder) RecordRetire(e RetireEvent) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.retires = append(r.retires, e)
+}
+
+// RecordAccel adds one accelerator-arbitration event.
+func (r *Recorder) RecordAccel(e AccelEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.accels = append(r.accels, e)
+}
+
+// AccelEvents returns a copy of the recorded accelerator events, in the
+// order the arbitration actions happened.
+func (r *Recorder) AccelEvents() []AccelEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]AccelEvent, len(r.accels))
+	copy(out, r.accels)
+	return out
 }
 
 // Reconfigs returns a copy of the recorded reconfiguration epochs.

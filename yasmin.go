@@ -75,6 +75,20 @@
 // between two AppSpecs, SwitchSpec applies it, and AppSpec.Modes +
 // App.SwitchMode drive named mission phases (see examples/mode-switch).
 //
+// # Accelerators
+//
+// Shared accelerators (Section 3.2) are declared as pools of
+// interchangeable instances (App.HwAccelDeclPool, AccelSpec.Count,
+// Builder.AccelPool); version selection takes any free instance and
+// contention is arbitrated with the Priority Inheritance Protocol —
+// transitively along holder chains, since ExecCtx.AccelSectionOn lets a
+// job run a section on a second accelerator while still holding its
+// version-bound one. Admission prices the contention: per-task PIP
+// blocking bounds (declare section lengths with VSelect.AccelCS) join the
+// schedulability tests, so a Reconfigure transaction that only fits by
+// ignoring priority inversion is rejected with the blocking term named.
+// See examples/accel-pool.
+//
 // See examples/ for the paper's diamond-graph listing, the Search & Rescue
 // drone application, off-line scheduling, design-space exploration, and the
 // telemetry-fanout pub-sub demo; see cmd/ for the tools that regenerate the
