@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"github.com/yasmin-rt/yasmin/internal/sim"
 	"github.com/yasmin-rt/yasmin/internal/stress"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
+	"github.com/yasmin-rt/yasmin/internal/telemetry"
 	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
@@ -686,6 +688,198 @@ func BenchmarkAccelContention(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_accel.json", out, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Telemetry export: batched vs unbatched sink throughput ---
+
+// telemetryBenchRow is one BENCH_telemetry.json record.
+type telemetryBenchRow struct {
+	Name          string  `json:"name"`
+	BatchSize     int     `json:"batch_size"`
+	Records       int64   `json:"records"`
+	NSPerRecord   float64 `json:"ns_per_record"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// benchJobEvent returns a representative job event for export benchmarks.
+func benchJobEvent(i int) telemetry.Event {
+	return telemetry.Event{Kind: telemetry.KindJob, Seq: uint64(i + 1), Job: trace.JobRecord{
+		Task: "bench-task-7", TaskID: 7, Job: int64(i), Version: 1, Core: 2,
+		Release: 10 * time.Millisecond, Start: 11 * time.Millisecond,
+		Finish: 12 * time.Millisecond, Deadline: 20 * time.Millisecond,
+	}}
+}
+
+// runTelemetrySinkPaired measures the exporter's drain path (encode +
+// write), isolated from producer scheduling, unbatched against batched.
+// Both configurations run as interleaved pairs of equal rounds — unbatched
+// round, batched round, repeat — so drift in filesystem writeback or
+// scheduler state hits both sides alike and cancels out of the ratio. The
+// speedup is the median of the per-pair ratios (robust against a stalled
+// round); each row reports its fastest round as steady-state throughput.
+func runTelemetrySinkPaired(b *testing.B, batchSize int) (un, ba telemetryBenchRow, speedup float64) {
+	b.Helper()
+	dir := b.TempDir()
+	unSink, err := telemetry.NewFileSink(dir + "/unbatched.jsonl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	baSink, err := telemetry.NewFileSink(dir + "/batched.jsonl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]telemetry.Event, batchSize)
+	for i := range batch {
+		batch[i] = benchJobEvent(i)
+	}
+	round := func(sink *telemetry.FileSink, n, size int) time.Duration {
+		t0 := time.Now()
+		for w := 0; w < n; w += size {
+			chunk := batch[:min(size, n-w)]
+			if err := sink.WriteBatch(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(t0)
+	}
+	const pairs = 7
+	per := b.N / pairs
+	if per < batchSize {
+		per = b.N
+	}
+	ratios := make([]float64, 0, pairs)
+	var bestUn, bestBa time.Duration
+	b.ResetTimer()
+	for done := 0; done < b.N; done += per {
+		n := min(per, b.N-done)
+		// Untimed breather: let the filesystem flusher drain dirty pages so
+		// each round starts from comparable state instead of paying for the
+		// previous round's writeback.
+		b.StopTimer()
+		time.Sleep(2 * time.Millisecond)
+		b.StartTimer()
+		tu := round(unSink, n, 1)
+		tb := round(baSink, n, batchSize)
+		if n < per || tu <= 0 || tb <= 0 {
+			continue // short or unmeasurable tail round
+		}
+		ratios = append(ratios, float64(tu)/float64(tb))
+		if bestUn == 0 || tu < bestUn {
+			bestUn = tu
+		}
+		if bestBa == 0 || tb < bestBa {
+			bestBa = tb
+		}
+	}
+	b.StopTimer()
+	if err := unSink.Finish(telemetry.Stats{}); err != nil {
+		b.Fatal(err)
+	}
+	if err := baSink.Finish(telemetry.Stats{}); err != nil {
+		b.Fatal(err)
+	}
+	un = telemetryBenchRow{BatchSize: 1, Records: int64(b.N)}
+	ba = telemetryBenchRow{BatchSize: batchSize, Records: int64(b.N)}
+	if bestUn > 0 && bestBa > 0 {
+		un.NSPerRecord = float64(bestUn.Nanoseconds()) / float64(per)
+		un.RecordsPerSec = float64(per) / bestUn.Seconds()
+		ba.NSPerRecord = float64(bestBa.Nanoseconds()) / float64(per)
+		ba.RecordsPerSec = float64(per) / bestBa.Seconds()
+	}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		speedup = ratios[len(ratios)/2]
+	}
+	return un, ba, speedup
+}
+
+// BenchmarkTelemetryExport measures the streaming export pipeline: the
+// record path itself (ring publish, no sink I/O — must be allocation-free),
+// the full pipeline end to end (publish through Close, drain and trailer
+// included), and the exporter drain path unbatched (one file write per
+// record) vs batched. Rows and the batched/unbatched speedup land in
+// BENCH_telemetry.json; CI tracks where batching stops paying for itself.
+func BenchmarkTelemetryExport(b *testing.B) {
+	rows := map[string]telemetryBenchRow{}
+
+	// The paired sink comparison runs first: the other sub-benchmarks write
+	// tens of megabytes, and their pending writeback would skew it.
+	var speedup float64
+	b.Run("sink-paired", func(b *testing.B) {
+		un, ba, sp := runTelemetrySinkPaired(b, 512)
+		rows["sink-unbatched"], rows["sink-batched-512"], speedup = un, ba, sp
+	})
+
+	b.Run("record-path", func(b *testing.B) {
+		p, err := telemetry.New(telemetry.NewDiscardSink(), telemetry.Options{RingCapacity: 1 << 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+		ev := benchJobEvent(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Job.Job = int64(i)
+			p.PublishWait(ev)
+		}
+		b.StopTimer()
+		rows["record-path"] = telemetryBenchRow{
+			Records:       int64(b.N),
+			NSPerRecord:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			RecordsPerSec: float64(b.N) / b.Elapsed().Seconds(),
+		}
+	})
+	b.Run("pipeline-batched-512", func(b *testing.B) {
+		sink, err := telemetry.NewFileSink(b.TempDir() + "/bench.jsonl")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := telemetry.New(sink, telemetry.Options{BatchSize: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev := benchJobEvent(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev.Job.Job = int64(i)
+			p.PublishWait(ev)
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st := p.Stats(); st.Dropped != 0 || st.Exported != uint64(b.N) {
+			b.Fatalf("exporter lost records: %+v with N=%d", st, b.N)
+		}
+		rows["pipeline-batched-512"] = telemetryBenchRow{
+			BatchSize:     512,
+			Records:       int64(b.N),
+			NSPerRecord:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			RecordsPerSec: float64(b.N) / b.Elapsed().Seconds(),
+		}
+	})
+	out := struct {
+		Rows    []telemetryBenchRow `json:"rows"`
+		Speedup float64             `json:"speedup_batched_vs_unbatched"`
+	}{Speedup: speedup}
+	for _, name := range []string{"record-path", "pipeline-batched-512", "sink-unbatched", "sink-batched-512"} {
+		if row, ok := rows[name]; ok {
+			row.Name = name
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	un, ba := rows["sink-unbatched"], rows["sink-batched-512"]
+	if un.RecordsPerSec > 0 && ba.RecordsPerSec > 0 {
+		b.Logf("batched %.0f rec/s vs unbatched %.0f rec/s: %.1fx (median of paired rounds)", ba.RecordsPerSec, un.RecordsPerSec, speedup)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_telemetry.json", data, 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

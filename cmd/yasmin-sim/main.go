@@ -37,6 +37,7 @@ import (
 	"github.com/yasmin-rt/yasmin/internal/sim"
 	"github.com/yasmin-rt/yasmin/internal/spec"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
+	"github.com/yasmin-rt/yasmin/internal/telemetry"
 	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
@@ -51,13 +52,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	board := flag.String("platform", "odroid-xu4", "platform: odroid-xu4|apalis-tk1|generic-N")
 	gantt := flag.Bool("gantt", false, "print a text Gantt chart of the first 100ms")
+	traceOut := flag.String("trace-out", "",
+		"stream every trace record (jobs, reconfigs, retirements, accel events) to this JSONL file (schema: docs/TRACE.md)")
 	var events reconfigEvents
 	flag.Var(&events, "reconfig-at",
 		"scripted mode switch \"TIME=MODE\" (repeatable, or comma-separated); MODE must be declared in the -app spec's \"modes\"")
 	flag.Parse()
 
 	if err := run(*setPath, *appPath, *workers, *mapping, *priority, *selectM,
-		*horizon, *seed, *board, *gantt, events); err != nil {
+		*horizon, *seed, *board, *gantt, *traceOut, events); err != nil {
 		fmt.Fprintln(os.Stderr, "yasmin-sim:", err)
 		os.Exit(1)
 	}
@@ -138,7 +141,7 @@ func resolvePlatform(board string) (*platform.Platform, error) {
 }
 
 func run(setPath, appPath string, workers int, mapping, priority, selectM string,
-	horizon time.Duration, seed int64, board string, gantt bool, events reconfigEvents) error {
+	horizon time.Duration, seed int64, board string, gantt bool, traceOut string, events reconfigEvents) error {
 	s, err := loadSpec(setPath, appPath)
 	if err != nil {
 		return err
@@ -175,6 +178,20 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 		RecordJobs: gantt,
 		// Arbitration events feed the per-pool accel report below.
 		RecordAccel: true,
+	}
+	var pipe *telemetry.Pipeline
+	if traceOut != "" {
+		sink, err := telemetry.NewFileSink(traceOut)
+		if err != nil {
+			return err
+		}
+		pipe, err = telemetry.New(sink, telemetry.Options{})
+		if err != nil {
+			return err
+		}
+		// The simulation can produce records faster than the disk drains
+		// them; wait for ring space so the export stays lossless.
+		cfg.Telemetry = pipe.Blocking()
 	}
 	// Prefer big cores for workers where the platform distinguishes them.
 	big := pl.CoresOfKind(platform.BigCore)
@@ -279,8 +296,16 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 		app.Stop(c)
 		app.Cleanup(c)
 	})
-	if err := eng.Run(sim.Time(horizon + time.Minute)); err != nil {
-		return err
+	runErr := eng.Run(sim.Time(horizon + time.Minute))
+	if pipe != nil {
+		// Producers are quiesced once the engine stops; drain and seal the
+		// export before reporting.
+		if err := pipe.Close(); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+	}
+	if runErr != nil {
+		return runErr
 	}
 	if startErr != nil {
 		return fmt.Errorf("start: %w", startErr)
@@ -365,6 +390,11 @@ func run(setPath, appPath string, workers int, mapping, priority, selectM string
 	fmt.Printf("# totals: jobs=%d misses=%d (%.2f%%) overruns=%d sched-overhead avg=%v max=%v\n",
 		rec.TotalJobs(), rec.TotalMisses(), 100*rec.MissRatio(), app.Overruns(),
 		app.Overheads().Total().Mean(), app.Overheads().Total().Max())
+	if pipe != nil {
+		st := pipe.Stats()
+		fmt.Printf("# telemetry %s: exported=%d dropped=%d batches=%d\n",
+			traceOut, st.Exported, st.Dropped, st.Batches)
+	}
 	if gantt {
 		if err := rec.Gantt(os.Stdout, 100*time.Millisecond, 100); err != nil {
 			return err

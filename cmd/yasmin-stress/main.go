@@ -15,6 +15,15 @@
 // command usable as a CI gate. With -out, the report is merged into the
 // given JSON file under the "scenarios" key (the same file
 // BenchmarkSchedTick writes its tick-scaling rows into).
+//
+// With -export FILE the run streams every trace record (jobs, reconfig
+// epochs, retirements, accel events) through the telemetry pipeline into a
+// JSONL file (docs/TRACE.md), then immediately replays the file and re-runs
+// the scenario invariants on it — proving the export is lossless. -replay
+// FILE verifies a previously exported stream without running anything:
+//
+//	yasmin-stress -scenario scenarios/smoke.yaml -export smoke.jsonl
+//	yasmin-stress -replay smoke.jsonl
 package main
 
 import (
@@ -26,35 +35,75 @@ import (
 
 	"github.com/yasmin-rt/yasmin/internal/scenario"
 	"github.com/yasmin-rt/yasmin/internal/spec"
+	"github.com/yasmin-rt/yasmin/internal/telemetry"
 )
 
 func main() {
 	var (
-		scenarioPath = flag.String("scenario", "", "scenario file (.yaml/.yml/.json); required")
+		scenarioPath = flag.String("scenario", "", "scenario file (.yaml/.yml/.json); required unless -replay")
 		seed         = flag.Int64("seed", -1, "override the scenario seed (-1 keeps the file's)")
 		duration     = flag.Duration("duration", 0, "override the scenario duration (0 keeps the file's)")
 		out          = flag.String("out", "", "merge the JSON report into this file under the \"scenarios\" key")
 		quiet        = flag.Bool("quiet", false, "suppress the human-readable summary")
+		export       = flag.String("export", "", "stream the run's trace records into this JSONL file, then verify it by replay")
+		replay       = flag.String("replay", "", "verify a previously exported JSONL stream and exit (no run; -scenario optional, supplies accel_wait_bound)")
 	)
 	flag.Parse()
-	if *scenarioPath == "" {
+
+	var sc *scenario.Scenario
+	if *scenarioPath != "" {
+		var err error
+		sc, err = scenario.LoadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+			os.Exit(2)
+		}
+		if *seed >= 0 {
+			sc.Seed = *seed
+		}
+		if *duration > 0 {
+			sc.Duration = spec.Duration(*duration)
+		}
+	}
+
+	if *replay != "" {
+		var bound time.Duration
+		if sc != nil {
+			bound = sc.AccelWaitBound.Std()
+		}
+		os.Exit(replayVerify(*replay, bound, *quiet))
+	}
+	if sc == nil {
 		fmt.Fprintln(os.Stderr, "yasmin-stress: -scenario is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	sc, err := scenario.LoadFile(*scenarioPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
-		os.Exit(2)
-	}
-	if *seed >= 0 {
-		sc.Seed = *seed
-	}
-	if *duration > 0 {
-		sc.Duration = spec.Duration(*duration)
+
+	var opts scenario.RunOpts
+	var pipe *telemetry.Pipeline
+	if *export != "" {
+		sink, err := telemetry.NewFileSink(*export)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+			os.Exit(1)
+		}
+		pipe, err = telemetry.New(sink, telemetry.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+			os.Exit(1)
+		}
+		// The sim producer can outrun the disk; block for ring space rather
+		// than drop so the export is lossless by construction.
+		opts.Telemetry = pipe.Blocking()
 	}
 
-	rep, err := scenario.Run(sc)
+	rep, err := scenario.RunWith(sc, opts)
+	if pipe != nil {
+		if cerr := pipe.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: export: %v\n", cerr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
 		os.Exit(1)
@@ -68,10 +117,81 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	status := 0
+	if pipe != nil {
+		st := pipe.Stats()
+		if !*quiet {
+			fmt.Printf("  export     %s: %d records in %d batches, %d dropped\n",
+				*export, st.Exported, st.Batches, st.Dropped)
+		}
+		if rc := exportVerify(*export, rep, sc.AccelWaitBound.Std(), *quiet); rc != 0 {
+			status = rc
+		}
+	}
 	if len(rep.Violations) > 0 {
 		fmt.Fprintf(os.Stderr, "yasmin-stress: %d invariant violations\n", len(rep.Violations))
-		os.Exit(1)
+		status = 1
 	}
+	os.Exit(status)
+}
+
+// replayVerify reloads an exported stream, re-runs the scenario invariants
+// on it and reports transport losslessness; 0 = clean.
+func replayVerify(path string, bound time.Duration, quiet bool) int {
+	st, err := telemetry.ReplayFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+		return 2
+	}
+	viol := scenario.CheckStream(st, scenario.StreamCheckOpts{AccelWaitBound: bound})
+	lost := st.Lost()
+	if !quiet {
+		fmt.Printf("replay %s\n", path)
+		fmt.Printf("  stream     %d events: %d jobs, %d reconfigs, %d retires, %d accel\n",
+			len(st.Events), len(st.Jobs), len(st.Reconfigs), len(st.Retires), len(st.Accels))
+		if st.Summary != nil {
+			fmt.Printf("  trailer    published=%d exported=%d dropped=%d batches=%d\n",
+				st.Summary.Published, st.Summary.Exported, st.Summary.Dropped, st.Summary.Batches)
+		}
+		fmt.Printf("  lost       %d records\n", lost)
+	}
+	if len(viol) > 0 || lost > 0 {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: replay %s: %d lost records, %d violations\n", path, lost, len(viol))
+		for _, v := range viol {
+			fmt.Fprintf(os.Stderr, "    - %s\n", v)
+		}
+		return 1
+	}
+	if !quiet {
+		fmt.Printf("  replay     PASS (0 violations, 0 lost records)\n")
+	}
+	return 0
+}
+
+// exportVerify replays the just-written export and additionally cross-checks
+// the stream's record counts against the live run's report — the end-to-end
+// proof that everything the recorder saw reached the file.
+func exportVerify(path string, rep *scenario.Report, bound time.Duration, quiet bool) int {
+	rc := replayVerify(path, bound, quiet)
+	st, err := telemetry.ReplayFile(path)
+	if err != nil {
+		return 2
+	}
+	mismatch := func(what string, got, want int64) {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: export %s: stream has %d %s, live run recorded %d\n",
+			path, got, what, want)
+		rc = 1
+	}
+	if int64(len(st.Jobs)) != rep.Jobs {
+		mismatch("jobs", int64(len(st.Jobs)), rep.Jobs)
+	}
+	if len(st.Reconfigs) != rep.Epochs {
+		mismatch("reconfig epochs", int64(len(st.Reconfigs)), int64(rep.Epochs))
+	}
+	if len(st.Retires) != rep.Retires {
+		mismatch("retirements", int64(len(st.Retires)), int64(rep.Retires))
+	}
+	return rc
 }
 
 func printSummary(rep *scenario.Report) {

@@ -193,6 +193,12 @@ func (a *App) Init() {
 	a.mode = 0
 	a.maskBit = ^uint32(0)
 	a.rec = trace.NewRecorder(a.cfg.RecordJobs)
+	if a.cfg.Telemetry != nil {
+		// Stream every record (job completions, reconfig commits,
+		// retirements, accel arbitration) into the telemetry pipeline;
+		// the forward happens lock-free on the record paths.
+		a.rec.SetStream(a.cfg.Telemetry)
+	}
 	a.ovh = trace.NewOverheads()
 	a.overruns.Store(0)
 	a.taskErrors.Store(0)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
 // MappingScheme selects where ready jobs live (paper Section 3.3/3.4).
@@ -209,6 +210,14 @@ type Config struct {
 	// RecordJobs retains every job record (memory grows with run length);
 	// per-task aggregates are always kept.
 	RecordJobs bool
+	// Telemetry, when set, streams every trace record (jobs, reconfig
+	// epochs, retirements, accel events — the latter still gated on
+	// RecordAccel) into the given consumer as it is produced, without
+	// taking the recorder mutex. Wire a *telemetry.Pipeline here for
+	// batched JSONL export with backpressure; retention flags above are
+	// unaffected (streaming replaces retention only if you turn retention
+	// off). The consumer must not block: it runs on the record hot path.
+	Telemetry trace.Stream
 }
 
 // Validate checks the configuration and fills defaulted fields in place.

@@ -293,12 +293,19 @@ func (ck *Checker) Finish(app *core.App) []string {
 	return ck.violations
 }
 
-func (ck *Checker) checkAdmission(recs []trace.ReconfigRecord) {
+// checkEpochs verifies that committed reconfiguration records carry
+// consecutive epochs starting at 1 — shared between the live verdict and
+// the telemetry-stream replay (CheckStream).
+func (ck *Checker) checkEpochs(recs []trace.ReconfigRecord) {
 	for i, r := range recs {
 		if r.Epoch != i+1 {
 			ck.violationf("reconfig record %d has epoch %d (epochs must be consecutive)", i, r.Epoch)
 		}
 	}
+}
+
+func (ck *Checker) checkAdmission(recs []trace.ReconfigRecord) {
+	ck.checkEpochs(recs)
 	commits := 0
 	for _, a := range ck.attempts {
 		if a.err == nil {

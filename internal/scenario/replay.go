@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/telemetry"
+)
+
+// StreamCheckOpts configures CheckStream.
+type StreamCheckOpts struct {
+	// AccelWaitBound arms the inversion-duration invariant of the accel
+	// replay, exactly like the scenario's accel_wait_bound (zero = off).
+	AccelWaitBound time.Duration
+	// RelaxedOrder skips the strict stream-order check for exports produced
+	// by concurrent OS-thread producers; sim-backed exports (yasmin-stress,
+	// yasmin-sim) are strictly ordered and should leave this false.
+	RelaxedOrder bool
+}
+
+// CheckStream re-runs the scenario invariants on a replayed telemetry
+// export and returns every violation found (nil means the stream is
+// provably complete and consistent):
+//
+//   - transport: every published record is on the stream or explicitly
+//     accounted as dropped, no duplicates, stream order intact
+//     (telemetry.Stream.Verify);
+//   - admission monotonicity: committed epochs are consecutive from 1;
+//   - drain-before-retire: once a task's RetireEvent is on the stream, no
+//     further job record of that task may appear until a reconfiguration
+//     re-admits it, and the retiring incarnation's last job activity
+//     precedes the retirement instant;
+//   - accelerator arbitration: the same PIP replay the live checker runs
+//     (priority-ordered admission, hold/release pairing, bounded waits).
+//
+// The data-plane FIFO invariants need the instrumented task bodies and only
+// run live; everything the recorder emits is re-verified here from the
+// export alone.
+func CheckStream(st *telemetry.Stream, opts StreamCheckOpts) []string {
+	ck := NewChecker()
+	ck.accelWaitBound = opts.AccelWaitBound
+	for _, v := range st.Verify(!opts.RelaxedOrder) {
+		ck.violationf("%s", v)
+	}
+	ck.checkEpochs(st.Reconfigs)
+	ck.checkRetireStream(st.Events)
+	ck.checkAccel(st.Accels)
+	if ck.dropped > 0 {
+		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
+	}
+	return ck.violations
+}
+
+// checkRetireStream replays drain-before-retire from the event stream.
+// Unlike the live check (which relies on instrumented churn bodies with
+// per-incarnation-unique names), the stream sees every task — including
+// mode-switch retirees that are later re-admitted under the same name — so
+// incarnations are tracked by balancing RetireEvents against the admissions
+// reconfiguration records report.
+func (ck *Checker) checkRetireStream(events []telemetry.Event) {
+	type watch struct {
+		// live balances incarnations: the statically admitted one plus one
+		// per ReconfigRecord.Admitted entry, minus one per RetireEvent.
+		live                  int
+		lastStart, lastFinish time.Duration
+	}
+	tasks := make(map[string]*watch)
+	get := func(name string) *watch {
+		w := tasks[name]
+		if w == nil {
+			w = &watch{live: 1}
+			tasks[name] = w
+		}
+		return w
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case telemetry.KindJob:
+			w := get(ev.Job.Task)
+			if w.live <= 0 {
+				ck.violationf("task %s: job %d on stream after retirement (drain-before-retire violated in replay)",
+					ev.Job.Task, ev.Job.Job)
+			}
+			if ev.Job.Start > w.lastStart {
+				w.lastStart = ev.Job.Start
+			}
+			if ev.Job.Finish > w.lastFinish {
+				w.lastFinish = ev.Job.Finish
+			}
+		case telemetry.KindRetire:
+			w := get(ev.Retire.Task)
+			w.live--
+			if w.live <= 0 {
+				// No overlapping incarnation: the activity seen so far all
+				// belongs to the retiree and must precede the retirement.
+				if w.lastStart > ev.Retire.At {
+					ck.violationf("task %s: job started at %v after retirement at %v (drain-before-retire violated in replay)",
+						ev.Retire.Task, w.lastStart, ev.Retire.At)
+				}
+				if w.lastFinish > ev.Retire.At {
+					ck.violationf("task %s: job finished at %v after retirement at %v (drain-before-retire violated in replay)",
+						ev.Retire.Task, w.lastFinish, ev.Retire.At)
+				}
+			}
+			w.lastStart, w.lastFinish = 0, 0
+		case telemetry.KindReconfig:
+			for _, name := range ev.Reconfig.Admitted {
+				if w := tasks[name]; w != nil {
+					w.live++
+				}
+				// Unseen names need no entry: get() seeds live=1 on first
+				// sight, which is exactly this admission.
+			}
+		}
+	}
+}

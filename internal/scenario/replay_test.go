@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/yasmin-rt/yasmin/internal/telemetry"
+)
+
+// exportScenario runs the given scenario with a file-backed telemetry
+// pipeline and returns the export path and the live report.
+func exportScenario(t *testing.T, yaml string) (string, *Report) {
+	t.Helper()
+	sc, err := Load([]byte(yaml), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "export.jsonl")
+	sink, err := telemetry.NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := telemetry.New(sink, telemetry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunWith(sc, RunOpts{Telemetry: pipe.Blocking()})
+	if cerr := pipe.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("live run not clean: %v", rep.Violations)
+	}
+	st := pipe.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("blocking exporter dropped %d records", st.Dropped)
+	}
+	return path, rep
+}
+
+func TestCheckStreamPassesOnCleanExport(t *testing.T) {
+	path, rep := exportScenario(t, smokeYAML)
+	st, err := telemetry.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckStream(st, StreamCheckOpts{}); len(v) != 0 {
+		t.Fatalf("replayed clean run has violations: %v", v)
+	}
+	if st.Lost() != 0 {
+		t.Fatalf("Lost() = %d", st.Lost())
+	}
+	// End-to-end completeness: the stream holds exactly what the live run
+	// recorded.
+	if int64(len(st.Jobs)) != rep.Jobs {
+		t.Fatalf("stream has %d jobs, live run %d", len(st.Jobs), rep.Jobs)
+	}
+	if len(st.Reconfigs) != rep.Epochs {
+		t.Fatalf("stream has %d epochs, live run %d", len(st.Reconfigs), rep.Epochs)
+	}
+	if len(st.Retires) != rep.Retires {
+		t.Fatalf("stream has %d retires, live run %d", len(st.Retires), rep.Retires)
+	}
+}
+
+func TestCheckStreamVerifiesAccelInvariants(t *testing.T) {
+	path, rep := exportScenario(t, accelYAML)
+	st, err := telemetry.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AccelAcquires == 0 || len(st.Accels) == 0 {
+		t.Fatalf("scenario exercised no accel events (live %d, stream %d)",
+			rep.AccelAcquires, len(st.Accels))
+	}
+	// The accel scenario declares accel_wait_bound: 25ms; the replayed
+	// stream must satisfy the same inversion bound the live checker proved.
+	sc, err := Load([]byte(accelYAML), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckStream(st, StreamCheckOpts{AccelWaitBound: sc.AccelWaitBound.Std()}); len(v) != 0 {
+		t.Fatalf("accel replay has violations: %v", v)
+	}
+}
+
+// mutateExport rewrites the export with a line-level corruption and replays
+// it.
+func mutateExport(t *testing.T, path string, mutate func([]string) []string) *telemetry.Stream {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	out := filepath.Join(t.TempDir(), "mutated.jsonl")
+	if err := os.WriteFile(out, []byte(strings.Join(mutate(lines), "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := telemetry.ReplayFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCheckStreamFailsOnSeededGapAndReorder(t *testing.T) {
+	path, _ := exportScenario(t, smokeYAML)
+
+	cases := []struct {
+		label  string
+		mutate func([]string) []string
+	}{
+		// Delete one record: a silent gap the trailer can't account for.
+		{"gap", func(ls []string) []string {
+			return append(ls[:20:20], ls[21:]...)
+		}},
+		// Swap two adjacent records: stream order broken.
+		{"reorder", func(ls []string) []string {
+			ls[10], ls[11] = ls[11], ls[10]
+			return ls
+		}},
+		// Repeat a record: duplicated sequence number.
+		{"duplicate", func(ls []string) []string {
+			return append(ls[:15:15], append([]string{ls[14]}, ls[15:]...)...)
+		}},
+	}
+	for _, tc := range cases {
+		st := mutateExport(t, path, tc.mutate)
+		v := CheckStream(st, StreamCheckOpts{})
+		if len(v) == 0 {
+			t.Errorf("%s: CheckStream found nothing on a corrupted export", tc.label)
+			continue
+		}
+		t.Logf("%s: detected: %s", tc.label, v[0])
+		if tc.label == "gap" && st.Lost() == 0 {
+			t.Error("gap: Lost() = 0 after deleting a record")
+		}
+	}
+}
+
+// TestCheckStreamFlagsRetireViolation seeds a semantic violation: move a
+// task's retirement record earlier than its last job, breaking
+// drain-before-retire in a stream whose transport framing is untouched.
+func TestCheckStreamFlagsRetireViolation(t *testing.T) {
+	path, _ := exportScenario(t, smokeYAML)
+	st, err := telemetry.ReplayFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a retire event and pull its At below the retiree's last finish.
+	seeded := false
+	for i := range st.Events {
+		ev := &st.Events[i]
+		if ev.Kind != telemetry.KindRetire {
+			continue
+		}
+		for j := range st.Events {
+			jb := &st.Events[j]
+			if jb.Kind == telemetry.KindJob && jb.Job.Task == ev.Retire.Task && jb.Job.Finish > 0 {
+				ev.Retire.At = jb.Job.Finish - 1
+				seeded = true
+				break
+			}
+		}
+		if seeded {
+			break
+		}
+	}
+	if !seeded {
+		t.Fatal("no retire event with prior jobs in the smoke export")
+	}
+	v := CheckStream(st, StreamCheckOpts{})
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "drain-before-retire") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded retire-before-drain not flagged; violations: %v", v)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/yasmin-rt/yasmin/internal/rt"
 	"github.com/yasmin-rt/yasmin/internal/sim"
 	"github.com/yasmin-rt/yasmin/internal/spec"
+	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
 // Report is the machine-readable outcome of one scenario run — the
@@ -53,10 +54,22 @@ type Report struct {
 	Violations     []string `json:"violations"`
 }
 
+// RunOpts carries optional harness wiring for RunWith.
+type RunOpts struct {
+	// Telemetry, when set, streams every trace record of the run into the
+	// given consumer as it is produced (see core.Config.Telemetry). Wire a
+	// *telemetry.Pipeline here to export the run as JSONL and re-verify it
+	// offline with CheckStream.
+	Telemetry trace.Stream
+}
+
 // Run executes the scenario on the deterministic simulation backend and
 // returns the report; the error covers harness failures (a violation-laden
 // run still returns its report).
-func Run(sc *Scenario) (*Report, error) {
+func Run(sc *Scenario) (*Report, error) { return RunWith(sc, RunOpts{}) }
+
+// RunWith is Run with harness options.
+func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,6 +93,7 @@ func Run(sc *Scenario) (*Report, error) {
 		SchedulerPeriod: sc.SchedulerPeriod.Std(),
 		// The checker replays the arbitration events.
 		RecordAccel: len(sc.Accels) > 0,
+		Telemetry:   opts.Telemetry,
 	}
 	switch sc.Mapping {
 	case "partitioned":

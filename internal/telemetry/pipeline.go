@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/lockfree"
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// Sink receives batches of events from the pipeline's writer goroutine.
+// WriteBatch and Finish are only ever called from that one goroutine, so
+// implementations need no locking against the pipeline (MemorySink locks
+// anyway so tests can read concurrently). The batch slice is reused across
+// calls — a sink that retains events must copy them.
+type Sink interface {
+	// WriteBatch persists one batch (len >= 1).
+	WriteBatch(batch []Event) error
+	// Finish is called exactly once, after the final batch, with the
+	// pipeline's closing counters; sinks that persist a stream append them
+	// as a trailer so a replay can verify losslessness, then release their
+	// resources.
+	Finish(st Stats) error
+}
+
+// Stats are the pipeline's overflow-accounting counters. Published =
+// Exported + Dropped + (events still buffered); after Close the buffer is
+// empty and the identity is exact. Dropped is never silent: it is surfaced
+// here, in the file trailer, and by every CLI that attaches a pipeline.
+type Stats struct {
+	Published uint64 `json:"published"` // sequence numbers assigned
+	Exported  uint64 `json:"exported"`  // events handed to the sink
+	Dropped   uint64 `json:"dropped"`   // ring-full (or post-Close) rejections
+	Batches   uint64 `json:"batches"`   // WriteBatch calls
+}
+
+// Options tunes a Pipeline. The zero value gets sensible defaults.
+type Options struct {
+	// RingCapacity bounds the in-flight queue (rounded up to a power of
+	// two; default 1<<15). A full ring drops — and counts — new events
+	// rather than blocking the record path.
+	RingCapacity int
+	// BatchSize is the flush-by-size trigger (default 256). 1 means one
+	// sink write per event — the unbatched baseline.
+	BatchSize int
+	// MaxBatchAge is the flush-by-age trigger: a partial batch is flushed
+	// when its oldest event has been buffered this long (default 5ms;
+	// negative disables the age trigger).
+	MaxBatchAge time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.RingCapacity <= 0 {
+		o.RingCapacity = 1 << 15
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.MaxBatchAge == 0 {
+		o.MaxBatchAge = 5 * time.Millisecond
+	}
+}
+
+// Pipeline is the streaming exporter: lock-free MPSC ring on the publish
+// side, one batching writer goroutine on the drain side. It implements
+// trace.Stream, so attaching it to a Recorder (Recorder.SetStream, or
+// core.Config.Telemetry) streams every record as it is produced.
+//
+// Publish never blocks and never allocates; overflow is dropped and
+// counted. Close after all producers have quiesced — events published
+// concurrently with Close may be counted as published without being
+// exported or dropped, which a replay will (correctly) flag as lost.
+type Pipeline struct {
+	ring *lockfree.MPSCRing[Event]
+	sink Sink
+	opt  Options
+
+	pub     atomic.Uint64 // sequence numbers assigned
+	dropped atomic.Uint64
+	expo    atomic.Uint64 // events handed to the sink
+	batches atomic.Uint64
+
+	closed  atomic.Bool
+	wake    chan struct{}
+	quit    chan struct{}
+	done    chan struct{}
+	sinkErr atomic.Pointer[error]
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New creates a pipeline over sink and starts its writer goroutine.
+func New(sink Sink, opt Options) (*Pipeline, error) {
+	opt.defaults()
+	ring, err := lockfree.NewMPSCRing[Event](opt.RingCapacity)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	p := &Pipeline{
+		ring: ring,
+		sink: sink,
+		opt:  opt,
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go p.run()
+	return p, nil
+}
+
+// Publish stamps ev with the next sequence number and enqueues it. It
+// returns false — after counting the drop — when the ring is full or the
+// pipeline is closed. Safe from any number of goroutines; per-goroutine
+// publish order is preserved for the events the ring retains.
+func (p *Pipeline) Publish(ev Event) bool {
+	ev.Seq = p.pub.Add(1)
+	if p.closed.Load() || !p.ring.Push(ev) {
+		p.dropped.Add(1)
+		return false
+	}
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// PublishWait enqueues like Publish but spins (yielding) instead of
+// dropping when the ring is full. For bulk or offline producers only —
+// record paths inside the middleware must use Publish, which never blocks.
+// Returns false once the pipeline is closed.
+func (p *Pipeline) PublishWait(ev Event) bool {
+	ev.Seq = p.pub.Add(1)
+	for !p.ring.Push(ev) {
+		if p.closed.Load() {
+			p.dropped.Add(1)
+			return false
+		}
+		runtime.Gosched()
+	}
+	if p.closed.Load() {
+		// The writer may already be past its final drain; it still empties
+		// the ring before finishing, so the event is not lost — but flag
+		// the misuse by not confirming it.
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+		return false
+	}
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Stream implements trace.Stream: each record becomes one Event.
+
+// StreamJob forwards one job record.
+func (p *Pipeline) StreamJob(j trace.JobRecord) {
+	p.Publish(Event{Kind: KindJob, Job: j})
+}
+
+// StreamReconfig forwards one committed reconfiguration epoch.
+func (p *Pipeline) StreamReconfig(r trace.ReconfigRecord) {
+	p.Publish(Event{Kind: KindReconfig, Reconfig: r})
+}
+
+// StreamRetire forwards one completed retirement.
+func (p *Pipeline) StreamRetire(r trace.RetireEvent) {
+	p.Publish(Event{Kind: KindRetire, Retire: r})
+}
+
+// StreamAccel forwards one accelerator-arbitration event.
+func (p *Pipeline) StreamAccel(a trace.AccelEvent) {
+	p.Publish(Event{Kind: KindAccel, Accel: a})
+}
+
+// blockingStream adapts a pipeline into a trace.Stream that waits for ring
+// space (PublishWait) instead of dropping.
+type blockingStream struct{ p *Pipeline }
+
+func (b blockingStream) StreamJob(j trace.JobRecord) {
+	b.p.PublishWait(Event{Kind: KindJob, Job: j})
+}
+
+func (b blockingStream) StreamReconfig(r trace.ReconfigRecord) {
+	b.p.PublishWait(Event{Kind: KindReconfig, Reconfig: r})
+}
+
+func (b blockingStream) StreamRetire(r trace.RetireEvent) {
+	b.p.PublishWait(Event{Kind: KindRetire, Retire: r})
+}
+
+func (b blockingStream) StreamAccel(a trace.AccelEvent) {
+	b.p.PublishWait(Event{Kind: KindAccel, Accel: a})
+}
+
+// Blocking returns a trace.Stream view that waits for ring space instead of
+// dropping on overflow — for offline exporters (simulation-backed runs,
+// bulk conversions) where losslessness matters more than bounded record
+// latency. Live record paths must attach the pipeline itself, which never
+// blocks.
+func (p *Pipeline) Blocking() trace.Stream { return blockingStream{p: p} }
+
+// Stats returns the current counters. Exact only after Close (while
+// running, published events may still be buffered in the ring).
+func (p *Pipeline) Stats() Stats {
+	return Stats{
+		Published: p.pub.Load(),
+		Exported:  p.expo.Load(),
+		Dropped:   p.dropped.Load(),
+		Batches:   p.batches.Load(),
+	}
+}
+
+// Err returns the first sink error, if any. Sink failures do not stop the
+// pipeline — events keep draining (and dropping at the sink) so producers
+// are never back-pressured by a broken disk; the error is reported here and
+// by Close.
+func (p *Pipeline) Err() error {
+	if e := p.sinkErr.Load(); e != nil {
+		return *e
+	}
+	return nil
+}
+
+// Close stops accepting events, drains everything still buffered through
+// the sink, writes the trailer (Sink.Finish) and waits for the writer to
+// exit. It returns the first sink error. Idempotent.
+func (p *Pipeline) Close() error {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		close(p.quit)
+		<-p.done
+		p.closeErr = p.Err()
+	})
+	return p.closeErr
+}
+
+// noteErr records the first sink error.
+func (p *Pipeline) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	p.sinkErr.CompareAndSwap(nil, &err)
+}
+
+// run is the writer goroutine: drain the ring into a reused batch, flush on
+// size, age, or shutdown. Everything here is off the record path; its
+// steady state also allocates nothing (batch, timer and encoder buffers are
+// reused).
+func (p *Pipeline) run() {
+	defer close(p.done)
+	// Start the batch at a bounded capacity and let append grow it toward
+	// BatchSize: preallocating a huge batch up front would burn hundreds of
+	// megabytes (and a visible pause) for a trigger that may never fill.
+	batch := make([]Event, 0, min(p.opt.BatchSize, 1024))
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	stopTimer := func() {
+		if timerLive {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timerLive = false
+		}
+	}
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := p.sink.WriteBatch(batch); err != nil {
+			p.noteErr(err)
+		}
+		p.expo.Add(uint64(len(batch)))
+		p.batches.Add(1)
+		batch = batch[:0]
+		stopTimer()
+	}
+	for {
+		// Drain until the ring is empty or the batch is full.
+		for len(batch) < p.opt.BatchSize {
+			ev, ok := p.ring.Pop()
+			if !ok {
+				break
+			}
+			if len(batch) == 0 && p.opt.MaxBatchAge > 0 {
+				stopTimer()
+				timer.Reset(p.opt.MaxBatchAge)
+				timerLive = true
+			}
+			batch = append(batch, ev)
+		}
+		if len(batch) >= p.opt.BatchSize {
+			flush()
+			continue
+		}
+		select {
+		case <-p.wake:
+		case <-timer.C:
+			timerLive = false
+			flush()
+		case <-p.quit:
+			// Final drain: everything in the ring at shutdown is exported.
+			for {
+				ev, ok := p.ring.Pop()
+				if !ok {
+					break
+				}
+				batch = append(batch, ev)
+				if len(batch) >= p.opt.BatchSize {
+					flush()
+				}
+			}
+			flush()
+			stopTimer()
+			if err := p.sink.Finish(p.Stats()); err != nil {
+				p.noteErr(err)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/trace"
+)
+
+// Stream is a reloaded export: the events in stream order, split per record
+// kind for convenience, plus the trailer (when the export was closed
+// cleanly). Verify proves transport-level losslessness; internal/scenario's
+// CheckStream re-runs the scenario invariants on top.
+type Stream struct {
+	Events []Event
+
+	Jobs      []trace.JobRecord
+	Reconfigs []trace.ReconfigRecord
+	Retires   []trace.RetireEvent
+	Accels    []trace.AccelEvent
+
+	// Summary is the trailer (nil when the export was truncated before
+	// Close — Verify reports that as a violation).
+	Summary *Stats
+}
+
+func newStream() *Stream { return &Stream{} }
+
+func (s *Stream) add(ev Event) {
+	s.Events = append(s.Events, ev)
+	switch ev.Kind {
+	case KindJob:
+		s.Jobs = append(s.Jobs, ev.Job)
+	case KindReconfig:
+		s.Reconfigs = append(s.Reconfigs, ev.Reconfig)
+	case KindRetire:
+		s.Retires = append(s.Retires, ev.Retire)
+	case KindAccel:
+		s.Accels = append(s.Accels, ev.Accel)
+	}
+}
+
+// Lost returns how many published records are absent from the stream:
+// the dropped count the exporter accounted for (ring overflow) plus any
+// silent loss. 0 means the export is provably complete.
+func (s *Stream) Lost() uint64 {
+	published := uint64(len(s.Events))
+	if s.Summary != nil {
+		published = s.Summary.Published
+	} else {
+		for i := range s.Events {
+			if s.Events[i].Seq > published {
+				published = s.Events[i].Seq
+			}
+		}
+	}
+	if published < uint64(len(s.Events)) {
+		return 0 // duplicate seqs; Verify flags them
+	}
+	return published - uint64(len(s.Events))
+}
+
+// Verify checks the transport-level invariants of the stream and returns
+// the violations found (nil = clean):
+//
+//   - every sequence number in 1..Published appears exactly once (no
+//     duplicates; gaps beyond the exporter's accounted drops mean records
+//     were lost silently);
+//   - a trailer is present and consistent (Exported == events on stream,
+//     Published == Exported + Dropped);
+//   - with strictOrder, sequence numbers are strictly increasing in stream
+//     order. Sim-backed exports are strictly ordered (producers run
+//     lock-step); on OSEnv concurrent producers may legally interleave a
+//     few positions, so pass false there — per-producer order is still
+//     guaranteed by the ring.
+func (s *Stream) Verify(strictOrder bool) []string {
+	var v []string
+	seen := make(map[uint64]int, len(s.Events))
+	var maxSeq, prev uint64
+	for i := range s.Events {
+		seq := s.Events[i].Seq
+		if seq == 0 {
+			v = append(v, fmt.Sprintf("event %d: missing seq", i))
+			continue
+		}
+		if first, dup := seen[seq]; dup {
+			v = append(v, fmt.Sprintf("event %d: seq %d duplicates event %d", i, seq, first))
+		}
+		seen[seq] = i
+		if strictOrder && seq <= prev {
+			v = append(v, fmt.Sprintf("event %d: seq %d after %d (stream reordered)", i, seq, prev))
+		}
+		prev = seq
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	published := maxSeq
+	accounted := uint64(0)
+	if s.Summary == nil {
+		v = append(v, "no summary trailer: export was truncated before Close")
+	} else {
+		published = s.Summary.Published
+		accounted = s.Summary.Dropped
+		if s.Summary.Exported != uint64(len(s.Events)) {
+			v = append(v, fmt.Sprintf("trailer says %d exported, stream has %d events",
+				s.Summary.Exported, len(s.Events)))
+		}
+		if s.Summary.Published != s.Summary.Exported+s.Summary.Dropped {
+			v = append(v, fmt.Sprintf("trailer inconsistent: published %d != exported %d + dropped %d",
+				s.Summary.Published, s.Summary.Exported, s.Summary.Dropped))
+		}
+		if maxSeq > published {
+			v = append(v, fmt.Sprintf("seq %d beyond trailer published %d", maxSeq, published))
+		}
+	}
+	if published >= uint64(len(seen)) {
+		if missing := published - uint64(len(seen)); missing != accounted {
+			v = append(v, fmt.Sprintf("%d of %d records missing from stream, exporter accounted %d drops (silent loss)",
+				missing, published, accounted))
+		}
+	}
+	return v
+}
+
+// wireEvent is the decode shape of one JSONL line — the union of every
+// event type's fields plus the trailer's (docs/TRACE.md).
+type wireEvent struct {
+	Type string `json:"type"`
+	Seq  uint64 `json:"seq"`
+
+	Task string `json:"task"`
+	TID  int    `json:"tid"`
+	Job  int64  `json:"job"`
+	Ver  int    `json:"ver"`
+	Core int    `json:"core"`
+	Rel  int64  `json:"rel"`
+	Strt int64  `json:"start"`
+	Fin  int64  `json:"fin"`
+	DL   int64  `json:"dl"`
+	Miss bool   `json:"miss"`
+	Pre  int    `json:"pre"`
+
+	Epoch    int      `json:"epoch"`
+	At       int64    `json:"at"`
+	Admitted []string `json:"admitted"`
+	Retuned  []string `json:"retuned"`
+	Retiring []string `json:"retiring"`
+	Mode     uint32   `json:"mode"`
+	Pause    int64    `json:"pause"`
+
+	Kind  string `json:"kind"`
+	Accel string `json:"accel"`
+	Pool  string `json:"pool"`
+	Prio  int64  `json:"prio"`
+
+	Published uint64 `json:"published"`
+	Exported  uint64 `json:"exported"`
+	Dropped   uint64 `json:"dropped"`
+	Batches   uint64 `json:"batches"`
+}
+
+var accelKindByName = map[string]trace.AccelEventKind{
+	trace.AccelAcquire.String(): trace.AccelAcquire,
+	trace.AccelPark.String():    trace.AccelPark,
+	trace.AccelBoost.String():   trace.AccelBoost,
+	trace.AccelGrant.String():   trace.AccelGrant,
+	trace.AccelRequeue.String(): trace.AccelRequeue,
+	trace.AccelRelease.String(): trace.AccelRelease,
+}
+
+// Replay decodes a JSONL export back into a Stream. Unknown line types are
+// an error (the schema is versioned by construction: every type this
+// package writes, it reads).
+func Replay(r io.Reader) (*Stream, error) {
+	st := newStream()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var w wireEvent
+		if err := json.Unmarshal(raw, &w); err != nil {
+			return nil, fmt.Errorf("telemetry: replay line %d: %w", line, err)
+		}
+		switch w.Type {
+		case "job":
+			st.add(Event{Kind: KindJob, Seq: w.Seq, Job: trace.JobRecord{
+				Task: w.Task, TaskID: w.TID, Job: w.Job, Version: w.Ver,
+				Core: w.Core, Accel: w.Accel,
+				Release: time.Duration(w.Rel), Start: time.Duration(w.Strt),
+				Finish: time.Duration(w.Fin), Deadline: time.Duration(w.DL),
+				Missed: w.Miss, Preempts: w.Pre,
+			}})
+		case "reconfig":
+			st.add(Event{Kind: KindReconfig, Seq: w.Seq, Reconfig: trace.ReconfigRecord{
+				Epoch: w.Epoch, At: time.Duration(w.At),
+				Admitted: w.Admitted, Retuned: w.Retuned, Retiring: w.Retiring,
+				Mode: w.Mode, Pause: time.Duration(w.Pause),
+			}})
+		case "retire":
+			st.add(Event{Kind: KindRetire, Seq: w.Seq, Retire: trace.RetireEvent{
+				Task: w.Task, Epoch: w.Epoch, At: time.Duration(w.At),
+			}})
+		case "accel":
+			kind, ok := accelKindByName[w.Kind]
+			if !ok {
+				return nil, fmt.Errorf("telemetry: replay line %d: unknown accel kind %q", line, w.Kind)
+			}
+			st.add(Event{Kind: KindAccel, Seq: w.Seq, Accel: trace.AccelEvent{
+				Kind: kind, Accel: w.Accel, Pool: w.Pool, Task: w.Task,
+				Job: w.Job, Prio: w.Prio, At: time.Duration(w.At),
+			}})
+		case "summary":
+			st.Summary = &Stats{
+				Published: w.Published, Exported: w.Exported,
+				Dropped: w.Dropped, Batches: w.Batches,
+			}
+		default:
+			return nil, fmt.Errorf("telemetry: replay line %d: unknown type %q", line, w.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: replay: %w", err)
+	}
+	return st, nil
+}
+
+// ReplayFile decodes the JSONL export at path.
+func ReplayFile(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	defer f.Close()
+	return Replay(f)
+}

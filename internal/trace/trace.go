@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -221,8 +222,25 @@ type AccelEvent struct {
 	At    time.Duration
 }
 
+// Stream receives every record the instant it is recorded — the streaming
+// hook behind the telemetry export pipeline (internal/telemetry implements
+// it with a lock-free ring). Implementations must not block: they run on
+// the record hot path, before the Recorder takes its own mutex. Methods may
+// be called concurrently.
+type Stream interface {
+	StreamJob(JobRecord)
+	StreamReconfig(ReconfigRecord)
+	StreamRetire(RetireEvent)
+	StreamAccel(AccelEvent)
+}
+
+// streamBox wraps the Stream interface so it can live in an atomic.Pointer
+// (record paths load it without taking the Recorder mutex).
+type streamBox struct{ s Stream }
+
 // Recorder accumulates job records and per-task statistics. Safe for
-// concurrent use.
+// concurrent use. With a Stream attached (SetStream), every record is
+// additionally forwarded lock-free before local aggregation.
 type Recorder struct {
 	mu        sync.Mutex
 	jobs      []JobRecord
@@ -231,6 +249,8 @@ type Recorder struct {
 	reconfigs []ReconfigRecord
 	retires   []RetireEvent
 	accels    []AccelEvent
+
+	stream atomic.Pointer[streamBox]
 }
 
 // TaskStats aggregates per-task outcomes.
@@ -250,8 +270,25 @@ func NewRecorder(keepJobs bool) *Recorder {
 	return &Recorder{keepJobs: keepJobs, perTask: make(map[string]*TaskStats)}
 }
 
+// SetStream attaches (or, with nil, detaches) a streaming consumer. From
+// then on every record is forwarded to it on the recording goroutine,
+// without the Recorder mutex, before being aggregated locally. Retention
+// semantics (keepJobs, reconfig/retire/accel lists) are unchanged —
+// streaming is additive, and callers that only want the stream simply
+// leave retention off.
+func (r *Recorder) SetStream(s Stream) {
+	if s == nil {
+		r.stream.Store(nil)
+		return
+	}
+	r.stream.Store(&streamBox{s: s})
+}
+
 // Record adds a completed job.
 func (r *Recorder) Record(j JobRecord) {
+	if b := r.stream.Load(); b != nil {
+		b.s.StreamJob(j)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.keepJobs {
@@ -280,6 +317,9 @@ func (r *Recorder) Record(j JobRecord) {
 
 // RecordReconfig adds one committed reconfiguration epoch.
 func (r *Recorder) RecordReconfig(rec ReconfigRecord) {
+	if b := r.stream.Load(); b != nil {
+		b.s.StreamReconfig(rec)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.reconfigs = append(r.reconfigs, rec)
@@ -287,6 +327,9 @@ func (r *Recorder) RecordReconfig(rec ReconfigRecord) {
 
 // RecordRetire adds one completed task retirement.
 func (r *Recorder) RecordRetire(e RetireEvent) {
+	if b := r.stream.Load(); b != nil {
+		b.s.StreamRetire(e)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.retires = append(r.retires, e)
@@ -294,6 +337,9 @@ func (r *Recorder) RecordRetire(e RetireEvent) {
 
 // RecordAccel adds one accelerator-arbitration event.
 func (r *Recorder) RecordAccel(e AccelEvent) {
+	if b := r.stream.Load(); b != nil {
+		b.s.StreamAccel(e)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.accels = append(r.accels, e)
@@ -386,13 +432,32 @@ func (r *Recorder) MissRatio() float64 {
 	return float64(r.TotalMisses()) / float64(jobs)
 }
 
-// WriteSummary prints a per-task table.
+// WriteSummary prints a per-task table, sorted by task name so the output
+// is byte-stable across runs and record interleavings (CI diffs the
+// summaries). The whole table is one consistent snapshot: the task list and
+// every row come from a single lock acquisition, so concurrent Record calls
+// cannot tear the view mid-print.
 func (r *Recorder) WriteSummary(w io.Writer) error {
-	for _, name := range r.TaskNames() {
-		ts := r.Task(name)
+	type row struct {
+		task           string
+		jobs, misses   int64
+		preempts       int64
+		min, max, mean time.Duration
+	}
+	r.mu.Lock()
+	rows := make([]row, 0, len(r.perTask))
+	for _, ts := range r.perTask {
 		min, max, mean := ts.Response.Summary()
+		rows = append(rows, row{
+			task: ts.Task, jobs: ts.Jobs, misses: ts.Misses,
+			preempts: ts.Preempts, min: min, max: max, mean: mean,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].task < rows[j].task })
+	for _, ts := range rows {
 		_, err := fmt.Fprintf(w, "%-24s jobs=%-6d misses=%-5d resp<%v,%v,%v> preempts=%d\n",
-			name, ts.Jobs, ts.Misses, min, max, mean, ts.Preempts)
+			ts.task, ts.jobs, ts.misses, ts.min, ts.max, ts.mean, ts.preempts)
 		if err != nil {
 			return fmt.Errorf("trace: write summary: %w", err)
 		}

@@ -168,3 +168,99 @@ func TestJobRecordResponseTime(t *testing.T) {
 		t.Errorf("response = %v, want 25ms", got)
 	}
 }
+
+func TestWriteSummaryByteStable(t *testing.T) {
+	// Two recorders fed the same records in different orders must print
+	// byte-identical summaries (CI diffs them).
+	recs := []JobRecord{
+		{Task: "zeta", Finish: ms(3), Deadline: ms(5)},
+		{Task: "alpha", Finish: ms(2), Deadline: ms(5)},
+		{Task: "mid", Finish: ms(9), Deadline: ms(5), Missed: true, Preempts: 1},
+		{Task: "alpha", Finish: ms(4), Deadline: ms(5)},
+	}
+	r1, r2 := NewRecorder(false), NewRecorder(false)
+	for _, j := range recs {
+		r1.Record(j)
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		r2.Record(recs[i])
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteSummary(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteSummary(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("summaries differ by record order:\n%s\n---\n%s", b1.String(), b2.String())
+	}
+	// Tasks must appear in sorted order.
+	out := b1.String()
+	if !(strings.Index(out, "alpha") < strings.Index(out, "mid") &&
+		strings.Index(out, "mid") < strings.Index(out, "zeta")) {
+		t.Fatalf("tasks not sorted:\n%s", out)
+	}
+	// And repeated prints are stable too.
+	var b3 bytes.Buffer
+	if err := r1.WriteSummary(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if b3.String() != b1.String() {
+		t.Fatal("repeated WriteSummary not byte-identical")
+	}
+}
+
+// countingStream counts forwarded records, per kind.
+type countingStream struct {
+	jobs, reconfigs, retires, accels int
+	lastJob                          JobRecord
+}
+
+func (c *countingStream) StreamJob(j JobRecord)         { c.jobs++; c.lastJob = j }
+func (c *countingStream) StreamReconfig(ReconfigRecord) { c.reconfigs++ }
+func (c *countingStream) StreamRetire(RetireEvent)      { c.retires++ }
+func (c *countingStream) StreamAccel(AccelEvent)        { c.accels++ }
+
+func TestRecorderForwardsToStream(t *testing.T) {
+	r := NewRecorder(false)
+	cs := &countingStream{}
+	r.SetStream(cs)
+	r.Record(JobRecord{Task: "a", Job: 7, Finish: ms(1), Deadline: ms(2)})
+	r.RecordReconfig(ReconfigRecord{Epoch: 1})
+	r.RecordRetire(RetireEvent{Task: "a"})
+	r.RecordAccel(AccelEvent{Kind: AccelAcquire, Pool: "gpu"})
+	if cs.jobs != 1 || cs.reconfigs != 1 || cs.retires != 1 || cs.accels != 1 {
+		t.Fatalf("stream saw %+v", *cs)
+	}
+	if cs.lastJob.Job != 7 {
+		t.Fatalf("job record mangled in forwarding: %+v", cs.lastJob)
+	}
+	// Retention is unchanged by streaming.
+	if r.TotalJobs() != 1 || len(r.Reconfigs()) != 1 || len(r.Retires()) != 1 || len(r.AccelEvents()) != 1 {
+		t.Fatal("streaming replaced retention instead of adding to it")
+	}
+	// Detach: no further forwards.
+	r.SetStream(nil)
+	r.Record(JobRecord{Task: "a"})
+	if cs.jobs != 1 {
+		t.Fatal("detached stream still receives records")
+	}
+}
+
+// nopStream does nothing — the alloc-measurement stand-in for a pipeline.
+type nopStream struct{}
+
+func (nopStream) StreamJob(JobRecord)           {}
+func (nopStream) StreamReconfig(ReconfigRecord) {}
+func (nopStream) StreamRetire(RetireEvent)      {}
+func (nopStream) StreamAccel(AccelEvent)        {}
+
+func TestRecordWithStreamAllocationFree(t *testing.T) {
+	r := NewRecorder(false)
+	r.SetStream(nopStream{})
+	j := JobRecord{Task: "steady", Finish: ms(1), Deadline: ms(2)}
+	if avg := testing.AllocsPerRun(1000, func() { r.Record(j) }); avg != 0 {
+		t.Fatalf("steady-state Record with a stream allocates %.1f times per call", avg)
+	}
+}
