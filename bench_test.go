@@ -16,12 +16,14 @@ import (
 	"testing"
 	"time"
 
+	"github.com/yasmin-rt/yasmin/internal/cluster"
 	"github.com/yasmin-rt/yasmin/internal/core"
 	"github.com/yasmin-rt/yasmin/internal/cyclictest"
 	"github.com/yasmin-rt/yasmin/internal/experiments"
 	"github.com/yasmin-rt/yasmin/internal/kernel"
 	"github.com/yasmin-rt/yasmin/internal/platform"
 	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/scenario"
 	"github.com/yasmin-rt/yasmin/internal/sim"
 	"github.com/yasmin-rt/yasmin/internal/stress"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
@@ -259,6 +261,137 @@ func BenchmarkChannels(b *testing.B) {
 		b.Fatal(err)
 	}
 	if err := os.WriteFile("BENCH_channels.json", out, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// --- Cluster data plane: wire codec and cross-node forwarding ---
+
+// clusterBenchRow is one BENCH_cluster.json record.
+type clusterBenchRow struct {
+	Name          string  `json:"name"`
+	Frames        int64   `json:"frames"`
+	NSPerFrame    float64 `json:"ns_per_frame"`
+	FramesPerSec  float64 `json:"frames_per_sec"`
+	BytesPerFrame float64 `json:"bytes_per_frame,omitempty"`
+}
+
+// clusterBenchYAML saturates the cross-node path: every topic publishes on
+// node 0 at 1ms and is consumed on node 1, so the run is dominated by
+// forward -> transport -> shard ingress -> remote publish.
+const clusterBenchYAML = `
+name: cluster-bench
+seed: 17
+duration: 200ms
+workers: 2
+nodes:
+  count: 2
+groups:
+  - name: bg
+    count: 2
+    period:
+      min: 20ms
+      max: 40ms
+    utilization: 0.02
+topics:
+  - name: link
+    count: 4
+    pubs: 1
+    subs: 1
+    capacity: 64
+    policy: reject
+    publish_period: 1ms
+    consume_period: 1ms
+    pub_nodes: [0]
+    sub_nodes: [1]
+`
+
+// BenchmarkClusterDataPlane measures the cluster data plane: the wire codec
+// in isolation (encode + parse one data frame, allocation-free), and a
+// 2-node co-simulated cluster saturating cross-node topics end to end
+// (declaration-time forwarder -> in-memory transport -> sharded ingress ->
+// remote publish, checker running). Rows land in BENCH_cluster.json for CI
+// trend tracking.
+func BenchmarkClusterDataPlane(b *testing.B) {
+	// Keyed by sub-benchmark: the harness re-runs each body while
+	// calibrating b.N, and only the final (largest-N) row should land in
+	// the JSON.
+	rows := map[string]clusterBenchRow{}
+
+	b.Run("frame-codec", func(b *testing.B) {
+		f := cluster.Frame{
+			Kind: cluster.FrameData, Origin: 3, Topic: "camera-detections-1",
+			Pub: 17, Epoch: 4, SentAt: 123456789, Val: 987654321,
+		}
+		buf := make([]byte, 0, 256)
+		var bytes int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Seq = uint64(i + 1)
+			buf = cluster.AppendFrame(buf[:0], &f)
+			bytes += int64(len(buf))
+			g, err := cluster.ParseFrame(buf)
+			if err != nil || g.Seq != f.Seq {
+				b.Fatalf("round-trip broke at seq %d: %v", f.Seq, err)
+			}
+		}
+		b.StopTimer()
+		rows["frame-codec"] = clusterBenchRow{
+			Name:          "frame-codec",
+			Frames:        int64(b.N),
+			NSPerFrame:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			FramesPerSec:  float64(b.N) / b.Elapsed().Seconds(),
+			BytesPerFrame: float64(bytes) / float64(b.N),
+		}
+	})
+
+	b.Run("sim-2node", func(b *testing.B) {
+		sc, err := scenario.Load([]byte(clusterBenchYAML), "bench.yaml")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var frames int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := scenario.Run(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rep.Violations) != 0 {
+				b.Fatalf("violations: %v", rep.Violations)
+			}
+			for _, n := range rep.Nodes {
+				frames += int64(n.FramesReceived)
+			}
+		}
+		b.StopTimer()
+		if frames == 0 {
+			b.Fatal("no frames crossed the wire")
+		}
+		perSec := float64(frames) / b.Elapsed().Seconds()
+		b.ReportMetric(perSec, "frames/s")
+		rows["sim-2node"] = clusterBenchRow{
+			Name:         "sim-2node",
+			Frames:       frames,
+			NSPerFrame:   float64(b.Elapsed().Nanoseconds()) / float64(frames),
+			FramesPerSec: perSec,
+		}
+	})
+
+	var report struct {
+		Rows []clusterBenchRow `json:"rows"`
+	}
+	for _, name := range []string{"frame-codec", "sim-2node"} {
+		if row, ok := rows[name]; ok {
+			report.Rows = append(report.Rows, row)
+		}
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_cluster.json", out, 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

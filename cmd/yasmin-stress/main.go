@@ -24,6 +24,15 @@
 //
 //	yasmin-stress -scenario scenarios/smoke.yaml -export smoke.jsonl
 //	yasmin-stress -replay smoke.jsonl
+//
+// Cluster scenarios (a "nodes:" section) run one node per export stream:
+// -export base.jsonl writes base.node0.jsonl, base.node1.jsonl, ... — one
+// file per node — and reconciles them offline (frame accounting closes,
+// epoch histories agree, per-publisher FIFO holds across the wire). -replay
+// accepts the same comma-separated list to re-verify later:
+//
+//	yasmin-stress -scenario scenarios/cluster.yaml -export cl.jsonl
+//	yasmin-stress -replay cl.node0.jsonl,cl.node1.jsonl,cl.node2.jsonl
 package main
 
 import (
@@ -31,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/scenario"
@@ -45,8 +56,8 @@ func main() {
 		duration     = flag.Duration("duration", 0, "override the scenario duration (0 keeps the file's)")
 		out          = flag.String("out", "", "merge the JSON report into this file under the \"scenarios\" key")
 		quiet        = flag.Bool("quiet", false, "suppress the human-readable summary")
-		export       = flag.String("export", "", "stream the run's trace records into this JSONL file, then verify it by replay")
-		replay       = flag.String("replay", "", "verify a previously exported JSONL stream and exit (no run; -scenario optional, supplies accel_wait_bound)")
+		export       = flag.String("export", "", "stream the run's trace records into this JSONL file, then verify it by replay (cluster runs write one .node<i>.jsonl per node)")
+		replay       = flag.String("replay", "", "verify previously exported JSONL streams and exit (comma-separated per-node files reconcile as one cluster run; -scenario optional, supplies accel_wait_bound)")
 	)
 	flag.Parse()
 
@@ -71,6 +82,10 @@ func main() {
 		if sc != nil {
 			bound = sc.AccelWaitBound.Std()
 		}
+		paths := strings.Split(*replay, ",")
+		if len(paths) > 1 {
+			os.Exit(replayVerifyCluster(paths, bound, *quiet))
+		}
 		os.Exit(replayVerify(*replay, bound, *quiet))
 	}
 	if sc == nil {
@@ -81,25 +96,53 @@ func main() {
 
 	var opts scenario.RunOpts
 	var pipe *telemetry.Pipeline
+	var nodePipes []*telemetry.Pipeline
+	var nodePaths []string
 	if *export != "" {
-		sink, err := telemetry.NewFileSink(*export)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
-			os.Exit(1)
+		if sc.Nodes != nil {
+			// One pipeline per node: each node's trace records, frame events
+			// and cluster-epoch marks land in their own stamped file.
+			nodePipes = make([]*telemetry.Pipeline, sc.Nodes.Count)
+			nodePaths = make([]string, sc.Nodes.Count)
+			for i := range nodePipes {
+				nodePaths[i] = nodeExportPath(*export, i)
+				sink, err := telemetry.NewFileSink(nodePaths[i])
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+					os.Exit(1)
+				}
+				if nodePipes[i], err = telemetry.New(sink, telemetry.Options{Node: i}); err != nil {
+					fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			opts.NodeTelemetry = nodePipes
+		} else {
+			sink, err := telemetry.NewFileSink(*export)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+				os.Exit(1)
+			}
+			pipe, err = telemetry.New(sink, telemetry.Options{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+				os.Exit(1)
+			}
+			// The sim producer can outrun the disk; block for ring space
+			// rather than drop so the export is lossless by construction.
+			opts.Telemetry = pipe.Blocking()
 		}
-		pipe, err = telemetry.New(sink, telemetry.Options{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
-			os.Exit(1)
-		}
-		// The sim producer can outrun the disk; block for ring space rather
-		// than drop so the export is lossless by construction.
-		opts.Telemetry = pipe.Blocking()
 	}
 
 	rep, err := scenario.RunWith(sc, opts)
 	if pipe != nil {
 		if cerr := pipe.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: export: %v\n", cerr)
+			os.Exit(1)
+		}
+	}
+	for _, p := range nodePipes {
+		if cerr := p.Close(); cerr != nil {
 			fmt.Fprintf(os.Stderr, "yasmin-stress: export: %v\n", cerr)
 			os.Exit(1)
 		}
@@ -125,6 +168,18 @@ func main() {
 				*export, st.Exported, st.Batches, st.Dropped)
 		}
 		if rc := exportVerify(*export, rep, sc.AccelWaitBound.Std(), *quiet); rc != 0 {
+			status = rc
+		}
+	}
+	if nodePipes != nil {
+		for i, p := range nodePipes {
+			st := p.Stats()
+			if !*quiet {
+				fmt.Printf("  export     %s: %d records in %d batches, %d dropped\n",
+					nodePaths[i], st.Exported, st.Batches, st.Dropped)
+			}
+		}
+		if rc := clusterExportVerify(nodePaths, rep, *quiet); rc != 0 {
 			status = rc
 		}
 	}
@@ -168,6 +223,73 @@ func replayVerify(path string, bound time.Duration, quiet bool) int {
 	return 0
 }
 
+// nodeExportPath derives node i's export file from the -export base:
+// base.jsonl -> base.node<i>.jsonl.
+func nodeExportPath(path string, node int) string {
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.node%d%s", strings.TrimSuffix(path, ext), node, ext)
+}
+
+// replayVerifyCluster reloads the per-node exports of one cluster run and
+// reconciles them: each stream checks individually, frame accounting closes
+// across files, epoch histories agree; 0 = clean.
+func replayVerifyCluster(paths []string, bound time.Duration, quiet bool) int {
+	sts := make([]*telemetry.Stream, len(paths))
+	var lost uint64
+	for i, path := range paths {
+		st, err := telemetry.ReplayFile(strings.TrimSpace(path))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+			return 2
+		}
+		sts[i] = st
+		lost += st.Lost()
+		if !quiet {
+			fmt.Printf("replay %s (node %d)\n", strings.TrimSpace(path), st.Node())
+			fmt.Printf("  stream     %d events: %d jobs, %d frames, %d cluster epochs\n",
+				len(st.Events), len(st.Jobs), len(st.Frames), len(st.CEpochs))
+		}
+	}
+	viol := scenario.CheckStreams(sts, scenario.StreamCheckOpts{AccelWaitBound: bound})
+	if len(viol) > 0 || lost > 0 {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: replay: %d lost records, %d violations\n", lost, len(viol))
+		for _, v := range viol {
+			fmt.Fprintf(os.Stderr, "    - %s\n", v)
+		}
+		return 1
+	}
+	if !quiet {
+		fmt.Printf("  replay     PASS (%d node streams reconciled, 0 violations, 0 lost records)\n", len(sts))
+	}
+	return 0
+}
+
+// clusterExportVerify reconciles the just-written per-node exports and
+// cross-checks them against the live report: the streams must jointly carry
+// every job the cluster ran and every node must have logged the full
+// cluster-epoch history.
+func clusterExportVerify(paths []string, rep *scenario.Report, quiet bool) int {
+	rc := replayVerifyCluster(paths, 0, quiet)
+	var jobs int64
+	for _, path := range paths {
+		st, err := telemetry.ReplayFile(path)
+		if err != nil {
+			return 2
+		}
+		jobs += int64(len(st.Jobs))
+		if len(st.CEpochs) != rep.Epochs {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: export %s: node %d logged %d cluster epochs, run committed %d\n",
+				path, st.Node(), len(st.CEpochs), rep.Epochs)
+			rc = 1
+		}
+	}
+	if jobs != rep.Jobs {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: export: streams hold %d jobs, live run recorded %d\n", jobs, rep.Jobs)
+		rc = 1
+	}
+	return rc
+}
+
 // exportVerify replays the just-written export and additionally cross-checks
 // the stream's record counts against the live run's report — the end-to-end
 // proof that everything the recorder saw reached the file.
@@ -204,6 +326,12 @@ func printSummary(rep *scenario.Report) {
 	fmt.Printf("  data plane %d published, %d delivered\n", rep.Published, rep.Delivered)
 	fmt.Printf("  reconfig   %d epochs, %d retirements, %d admission rejections\n",
 		rep.Epochs, rep.Retires, rep.Rejections)
+	for _, n := range rep.Nodes {
+		fmt.Printf("  node %-5d %d tasks, %d jobs, %d misses; frames %d sent / %d recv / %d dropped / %d rexmit; clock offset %v (%d syncs)\n",
+			n.Node, n.Tasks, n.Jobs, n.Misses,
+			n.FramesSent, n.FramesReceived, n.FramesDropped, n.FramesRetransmitted,
+			time.Duration(n.ClockOffsetNS).Round(time.Microsecond), n.ClockSamples)
+	}
 	if rep.AccelAcquires > 0 || rep.AccelParks > 0 {
 		fmt.Printf("  accel      %d acquires, %d parks, %d PIP boosts, max wait %v\n",
 			rep.AccelAcquires, rep.AccelParks, rep.AccelBoosts,

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// maxDatagram bounds one encoded frame on the wire. Frames are compact
+// (a topic name plus a handful of integers), so this stays well under
+// typical path MTUs; AppendFrame output beyond it is a configuration
+// error (an absurd topic name), surfaced at send time.
+const maxDatagram = 1400
+
+// UDPTransport is the OSEnv data plane: one datagram socket per node,
+// frames sent point-to-point to each peer's address. Best-effort by
+// construction — exactly the delivery model the ingress discipline is
+// built for (loss tolerated, reorder/duplication filtered).
+type UDPTransport struct {
+	node  *Node
+	conn  *net.UDPConn
+	peers map[int]*net.UDPAddr
+
+	mu     sync.Mutex // serializes Send (publisher threads) and Close
+	closed bool
+	done   chan struct{}
+}
+
+// NewUDPTransport binds laddr (e.g. ":7070", or "" for an ephemeral
+// port) for the given node and starts the receive loop feeding the
+// node's ingress shards. peers maps node id -> "host:port" for every
+// other cluster member; entries may be added for nodes that start later,
+// but all must be present before traffic flows to them.
+func NewUDPTransport(n *Node, laddr string, peers map[int]string) (*UDPTransport, error) {
+	la, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: udp: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: udp: %w", err)
+	}
+	t := &UDPTransport{
+		node:  n,
+		conn:  conn,
+		peers: make(map[int]*net.UDPAddr, len(peers)),
+		done:  make(chan struct{}),
+	}
+	for id, addr := range peers {
+		ra, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: udp: peer %d: %w", id, err)
+		}
+		t.peers[id] = ra
+	}
+	n.SetTransport(t)
+	go t.readLoop()
+	return t, nil
+}
+
+// LocalAddr returns the bound address (useful with ephemeral ports).
+func (t *UDPTransport) LocalAddr() *net.UDPAddr {
+	return t.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// AddPeer registers (or replaces) a peer's address after construction —
+// the ephemeral-port bootstrap: bind everyone first, then exchange the
+// addresses.
+func (t *UDPTransport) AddPeer(id int, addr string) error {
+	ra, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: udp: peer %d: %w", id, err)
+	}
+	t.mu.Lock()
+	t.peers[id] = ra
+	t.mu.Unlock()
+	return nil
+}
+
+// readLoop is the receive goroutine: one datagram is one frame, parsed
+// and queued before the next read — the buffer is reused, which is safe
+// because Ingest copies the frame into the shard ring.
+func (t *UDPTransport) readLoop() {
+	defer close(t.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		sz, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket (shutdown) or transient error; either way the
+			// loop ends only on close.
+			if t.isClosed() {
+				return
+			}
+			continue
+		}
+		// A malformed datagram is counted as ingress overflow would be:
+		// dropped without ceremony. UDP delivers garbage sometimes; the
+		// parser is the firewall.
+		_ = t.node.Ingest(buf[:sz])
+	}
+}
+
+func (t *UDPTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// Send transmits one frame to dst. Unknown destinations and oversized
+// frames are dropped (best-effort plane; the counters on the receive
+// side are the observability story, and a frame that cannot leave the
+// node shows up there as a gap).
+func (t *UDPTransport) Send(dst int, pkt []byte) {
+	if len(pkt) > maxDatagram {
+		return
+	}
+	t.mu.Lock()
+	ra := t.peers[dst]
+	closed := t.closed
+	t.mu.Unlock()
+	if ra == nil || closed {
+		return
+	}
+	_, _ = t.conn.WriteToUDP(pkt, ra)
+}
+
+// Close shuts the socket and waits for the receive loop to exit.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.done
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+)
+
+// TestUDPTransportLoopback runs the real datagram plane over localhost:
+// two nodes on the OS environment, frame ingress through actual sockets,
+// and a live clock-sync exchange recovering an injected skew. Timing
+// assertions are loose — this is a wall-clock test.
+func TestUDPTransportLoopback(t *testing.T) {
+	env := rt.NewOSEnv()
+	cl := New()
+	var nodes [2]*Node
+	for i := 0; i < 2; i++ {
+		app, err := core.New(core.Config{Workers: 1}, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := NodeConfig{App: app, Env: env, IngressCore: rt.UnpinnedCore,
+			Shards: 2, SyncInterval: 10 * time.Millisecond}
+		if i == 1 {
+			cfg.ClockSkew = 2 * time.Millisecond
+		}
+		n, err := cl.AddNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	var trs [2]*UDPTransport
+	for i, n := range nodes {
+		tr, err := NewUDPTransport(n, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	for i, tr := range trs {
+		if err := tr.AddPeer(1-i, trs[1-i].LocalAddr().String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A data frame for an unwired topic must cross the socket, parse, and
+	// be accounted as an unroutable drop on the receiver.
+	f := Frame{Kind: FrameData, Origin: 0, Topic: "nowhere", Pub: 1, Seq: 1, Val: 7}
+	trs[0].Send(1, AppendFrame(nil, &f))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := nodes[1].Stats()
+		if s.Unroutable >= 1 && s.ClockSamples >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := nodes[1].Stats()
+	if s.Unroutable != 1 || s.FramesDropped != 1 {
+		t.Errorf("unroutable/dropped = %d/%d, want 1/1", s.Unroutable, s.FramesDropped)
+	}
+	if s.ClockSamples < 3 {
+		t.Fatalf("only %d sync exchanges completed over UDP", s.ClockSamples)
+	}
+	// Node 1 runs 2ms ahead; loopback RTT is microseconds, so the
+	// estimate should land near -2ms even on a loaded machine.
+	off := time.Duration(s.ClockOffsetNS)
+	if off > -500*time.Microsecond || off < -3500*time.Microsecond {
+		t.Errorf("estimated offset %v, want ≈ -2ms", off)
+	}
+
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	env.Wait()
+}

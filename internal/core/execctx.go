@@ -403,6 +403,9 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 		// Wall-clock fan-in fast path: no middleware lock.
 		x.c.Charge(opCost)
 		if vw.staging.Push(v) {
+			if vw.fwd != nil {
+				vw.fwd(x.j.t.id, v)
+			}
 			return nil
 		}
 		// Staging full: drain it under the lock, then retry the ring. The
@@ -419,6 +422,9 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 			tp.drainStaging()
 			a.mu.Unlock(x.c)
 			if vw.staging.Push(v) {
+				if vw.fwd != nil {
+					vw.fwd(x.j.t.id, v)
+				}
 				return nil
 			}
 			if vw.policy == Reject {
@@ -437,6 +443,12 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 	a.mu.Unlock(x.c)
 	if !ok {
 		return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity)
+	}
+	// Remote fan-out rides the publisher's thread, outside the App lock
+	// and only after the local buffer accepted the value — local and
+	// remote subscribers see the same per-publisher prefix.
+	if vw.fwd != nil {
+		vw.fwd(x.j.t.id, v)
 	}
 	return nil
 }

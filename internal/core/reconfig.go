@@ -127,11 +127,39 @@ type Reconfig struct {
 // static. Transactions serialise against each other; callers may invoke it
 // from any environment thread or from task code via ExecCtx.Reconfigure.
 func (a *App) Reconfigure(c rt.Ctx, fn func(tx *Reconfig) error) error {
+	p, err := a.PrepareReconfigure(c, fn)
+	if err != nil {
+		return err
+	}
+	p.Commit(c)
+	return nil
+}
+
+// PreparedReconfig is a staged, validated and admitted — but not yet
+// applied — reconfiguration transaction: the outcome of phase one of a
+// two-phase (cluster-wide) reconfiguration. While prepared it holds the
+// app's reconfiguration lock, so the admitted headroom cannot be claimed
+// by a competing transaction; exactly one of Commit or Abort must follow,
+// from the same environment thread that prepared (lock ownership).
+type PreparedReconfig struct {
+	a    *App
+	tx   *Reconfig
+	done bool
+}
+
+// PrepareReconfigure runs phase one of a reconfiguration: fn stages the
+// changes, the batch is validated as a whole, and the target
+// configuration passes the online admission test — but nothing is
+// applied. On success the returned transaction holds the staged slots
+// and the reconfiguration lock until Commit or Abort. On any error
+// nothing changes: staged slots are rolled back, the lock is released,
+// and the running application continues untouched. Admission rejections
+// are typed *NotSchedulableError values matching ErrNotSchedulable.
+func (a *App) PrepareReconfigure(c rt.Ctx, fn func(tx *Reconfig) error) (*PreparedReconfig, error) {
 	if a.cfg.Mapping == MappingOffline {
-		return fmt.Errorf("core: live reconfiguration requires an online mapping (the offline dispatch table is static)")
+		return nil, fmt.Errorf("core: live reconfiguration requires an online mapping (the offline dispatch table is static)")
 	}
 	a.reconfigMu.Lock(c)
-	defer a.reconfigMu.Unlock(c)
 	tx := &Reconfig{
 		a:            a,
 		c:            c,
@@ -139,26 +167,52 @@ func (a *App) Reconfigure(c rt.Ctx, fn func(tx *Reconfig) error) error {
 		removeTopics: make(map[CID]bool),
 		retunes:      make(map[TID]TData),
 	}
-	// Roll back on every non-commit exit — including a panic inside fn —
-	// so staged slots never leak from an abandoned transaction.
-	committed := false
+	// Roll back on every failed exit — including a panic inside fn — so
+	// staged slots never leak from an abandoned transaction.
+	prepared := false
 	defer func() {
-		if !committed {
+		if !prepared {
 			tx.rollback()
+			a.reconfigMu.Unlock(c)
 		}
 	}()
 	if err := fn(tx); err != nil {
-		return err
+		return nil, err
 	}
 	if err := tx.validate(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := tx.admit(); err != nil {
-		return err
+		return nil, err
 	}
-	tx.commit()
-	committed = true
-	return nil
+	prepared = true
+	return &PreparedReconfig{a: a, tx: tx}, nil
+}
+
+// Commit applies the prepared transaction — at a quiescent point, under
+// the App lock, between job boundaries — and releases the
+// reconfiguration lock. Safe to call at most once; a second call (or one
+// after Abort) is a no-op.
+func (p *PreparedReconfig) Commit(c rt.Ctx) {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.tx.commit()
+	p.a.reconfigMu.Unlock(c)
+}
+
+// Abort rolls the prepared transaction back — staged slots are released,
+// nothing the application runs changes — and releases the
+// reconfiguration lock. Safe to call at most once; a second call (or one
+// after Commit) is a no-op.
+func (p *PreparedReconfig) Abort(c rt.Ctx) {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.tx.rollback()
+	p.a.reconfigMu.Unlock(c)
 }
 
 // InstallMode registers a named mode preset; SwitchMode(name) later runs it

@@ -86,6 +86,16 @@ type topicView struct {
 	policy   OverflowPolicy
 	capacity int
 	dead     bool
+	// fwd is the remote-subscriber forwarder (internal/cluster): a
+	// successful local Publish also hands the value to fwd, on the
+	// publisher's own thread, without ever taking the App lock. Nil on
+	// purely local topics — the common case costs one pointer test.
+	fwd func(pub TID, v any)
+	// remote marks a topic with remote publishers: cluster ingress
+	// injects entries via RemotePublish from a non-task thread, so the
+	// wall-clock backend needs the staging ring even with a single
+	// local publisher.
+	remote bool
 }
 
 func (v *topicView) isPub(t TID) bool {
@@ -130,6 +140,10 @@ type topic struct {
 	// dead marks a removed topic (its slot recycles once redeclared).
 	dead bool
 
+	// fwd/remote are the cluster attachment points (see topicView).
+	fwd    func(pub TID, v any)
+	remote bool
+
 	// view is the lock-free reader snapshot; refreshed by publishView
 	// whenever an App-lock holder changes endpoints, staging or liveness.
 	view atomic.Pointer[topicView]
@@ -148,6 +162,8 @@ func (tp *topic) publishView() {
 		policy:   tp.opts.Policy,
 		capacity: tp.opts.Capacity,
 		dead:     tp.dead,
+		fwd:      tp.fwd,
+		remote:   tp.remote,
 	})
 }
 
@@ -344,6 +360,8 @@ func (a *App) declTopic(name string, opts TopicOpts) (CID, error) {
 	tp.head, tp.tail, tp.anon = 0, 0, 0
 	tp.dead = false
 	tp.dropped = 0
+	tp.fwd = nil
+	tp.remote = false
 	buf := tp.buf
 	tp.buf = nil
 	if opts.Capacity > 0 {
@@ -377,6 +395,8 @@ func (a *App) killTopicLocked(tp *topic) {
 		tp.buf[i] = nil
 	}
 	tp.head, tp.tail, tp.anon = 0, 0, 0
+	tp.fwd = nil
+	tp.remote = false
 	tp.publishView()
 	a.freeTopicSlots = append(a.freeTopicSlots, int(tp.id))
 }
@@ -499,7 +519,7 @@ func (a *App) refreshTopicsLocked() {
 		// Lock-free fan-in only where it pays: real threads and more than
 		// one registered publisher. The simulation backend keeps the locked
 		// path so traces stay deterministic and cost-accounted.
-		if wallClock && len(tp.pubs) > 1 && tp.opts.Capacity > 0 {
+		if wallClock && (len(tp.pubs) > 1 || tp.remote) && tp.opts.Capacity > 0 {
 			if tp.staging == nil || tp.staging.Cap() < tp.opts.Capacity {
 				tp.staging, _ = lockfree.NewMPSCRing[any](tp.opts.Capacity)
 			}
@@ -540,7 +560,7 @@ func (a *App) refreshTopicsAfterCommitLocked(tx *Reconfig) {
 		if tp.dead {
 			return
 		}
-		if wallClock && len(tp.pubs) > 1 && tp.opts.Capacity > 0 && tp.staging == nil {
+		if wallClock && (len(tp.pubs) > 1 || tp.remote) && tp.opts.Capacity > 0 && tp.staging == nil {
 			tp.staging, _ = lockfree.NewMPSCRing[any](tp.opts.Capacity)
 		}
 		tp.publishView()

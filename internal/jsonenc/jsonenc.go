@@ -1,0 +1,145 @@
+// Package jsonenc holds the shared allocation-free append-style JSON
+// encoding helpers used by every hot serialization path in the tree: the
+// telemetry JSONL exporter and the cluster wire codec both build their
+// line-oriented records from these primitives, so there is exactly one
+// copy of the decimal/escape machinery to tune and test.
+//
+// The style contract (see docs/TRACE.md "Streaming export"): callers
+// append field keys as precomposed constant literals — `,"name":` with
+// the separating comma and colon baked in — directly at the call site,
+// where the compiler turns a constant-string append into immediate
+// stores instead of a memmove call. The helpers here only ever append
+// *values* onto a caller-owned buffer and allocate only when that buffer
+// grows.
+package jsonenc
+
+import "math/bits"
+
+const hexDigits = "0123456789abcdef"
+
+// esc marks the bytes that need escaping inside a JSON string: quote,
+// backslash, and the C0 control range. One table load per byte beats the
+// three-comparison chain on the encode hot path.
+var esc = [256]bool{'"': true, '\\': true}
+
+func init() {
+	for c := 0; c < 0x20; c++ {
+		esc[c] = true
+	}
+}
+
+// AppendString appends s as a JSON string literal, escaping quotes,
+// backslashes and control characters. Multi-byte UTF-8 passes through raw
+// (valid JSON). Clean runs between escapes are copied in one append —
+// task, topic and pool names almost never need escaping, so the common
+// case is a single bulk copy.
+func AppendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !esc[c] {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		if c == '"' || c == '\\' {
+			b = append(b, '\\', c)
+		} else {
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// digitPairs is the two-digit lookup table for AppendDec: index 2n holds
+// the tens digit of n, 2n+1 the ones digit.
+const digitPairs = "00010203040506070809" +
+	"10111213141516171819" +
+	"20212223242526272829" +
+	"30313233343536373839" +
+	"40414243444546474849" +
+	"50515253545556575859" +
+	"60616263646566676869" +
+	"70717273747576777879" +
+	"80818283848586878889" +
+	"90919293949596979899"
+
+var pow10 = [20]uint64{
+	1, 10, 100, 1000, 10000, 100000, 1000000, 10000000, 100000000,
+	1000000000, 10000000000, 100000000000, 1000000000000,
+	10000000000000, 100000000000000, 1000000000000000,
+	10000000000000000, 100000000000000000, 1000000000000000000,
+	10000000000000000000,
+}
+
+// DecLen returns the number of decimal digits in v in constant time:
+// floor(log2 · 1233/4096) approximates log10, then one table compare
+// corrects the boundary. No divisions — those are AppendDec's whole cost,
+// and doing them twice would defeat it.
+func DecLen(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	t := (bits.Len64(v) * 1233) >> 12
+	if v >= pow10[t] {
+		t++
+	}
+	return t
+}
+
+// AppendDec appends v in decimal. It beats strconv.AppendUint on hot
+// paths with small-value fast paths (most record fields are one or two
+// digits) and by writing two digits per division directly into the
+// destination — no intermediate buffer, no copy. Integer fields dominate
+// an encoded record, so this is where encode throughput is won.
+func AppendDec(b []byte, v uint64) []byte {
+	if v < 10 {
+		return append(b, byte('0'+v))
+	}
+	if v < 100 {
+		return append(b, digitPairs[v*2], digitPairs[v*2+1])
+	}
+	if cap(b)-len(b) < 20 {
+		b = append(b, make([]byte, 20)...)[:len(b)]
+	}
+	i := len(b) + DecLen(v)
+	b = b[:i]
+	for v >= 100 {
+		q := v / 100
+		r := (v - q*100) * 2
+		i -= 2
+		b[i] = digitPairs[r]
+		b[i+1] = digitPairs[r+1]
+		v = q
+	}
+	if v >= 10 {
+		b[i-2] = digitPairs[v*2]
+		b[i-1] = digitPairs[v*2+1]
+	} else {
+		b[i-1] = byte('0' + v)
+	}
+	return b
+}
+
+// AppendSigned appends v in decimal with a sign when negative.
+func AppendSigned(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	return AppendDec(b, uint64(v))
+}
+
+// AppendStringList appends vs as a JSON array of strings.
+func AppendStringList(b []byte, vs []string) []byte {
+	b = append(b, '[')
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = AppendString(b, v)
+	}
+	return append(b, ']')
+}

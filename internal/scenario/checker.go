@@ -70,6 +70,11 @@ type topicCheck struct {
 	name     string
 	policy   core.OverflowPolicy
 	capacity int
+	// lossy relaxes the Reject invariants for cross-node topics under
+	// injected frame loss/reorder: per-publisher FIFO must still hold
+	// (the ingress filter guarantees it), but sequence gaps and unbounded
+	// missing tails are legal — the frames died on the wire, on purpose.
+	lossy bool
 	// published[p] doubles as publisher p's last assigned sequence number:
 	// sequences are only consumed by successful publishes.
 	published []int64
@@ -131,6 +136,14 @@ func (ck *Checker) addTopic(name string, policy core.OverflowPolicy, capacity, p
 	return len(ck.topics) - 1
 }
 
+// setLossy marks topic ti as riding a faulty cross-node wire (see
+// topicCheck.lossy).
+func (ck *Checker) setLossy(ti int) {
+	ck.mu.Lock()
+	ck.topics[ti].lossy = true
+	ck.mu.Unlock()
+}
+
 // seqEncode packs (publisher index, sequence) into the published value;
 // 15 bits of publisher fan-in and 48 bits of sequence are beyond any
 // scenario this engine can physically run.
@@ -180,7 +193,7 @@ func (ck *Checker) noteTaken(ti, si int, v any) {
 	case seq <= last:
 		ck.violationf("topic %s sub %d: pub %d seq %d after %d (FIFO violated: reorder or duplicate)",
 			tc.name, si, pub, seq, last)
-	case tc.policy == core.Reject && seq != last+1:
+	case tc.policy == core.Reject && !tc.lossy && seq != last+1:
 		ck.violationf("topic %s sub %d: pub %d seq %d after %d under Reject (entries lost in a gap)",
 			tc.name, si, pub, seq, last)
 	}
@@ -233,28 +246,7 @@ func (ck *Checker) Finish(app *core.App) []string {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 
-	// No lost topic entries: every subscriber consumed everything but the
-	// final retained backlog (Reject bounds it by the capacity; lossy
-	// policies bound nothing, their loss shows up as — allowed — seq gaps).
-	for _, tc := range ck.topics {
-		if tc.policy != core.Reject {
-			continue
-		}
-		for si, sw := range tc.subs {
-			for p := range tc.published {
-				missing := tc.published[p] - sw.lastSeq[p]
-				if missing < 0 {
-					ck.violationf("topic %s sub %d: consumed past publisher %d (%d > %d)",
-						tc.name, si, p, sw.lastSeq[p], tc.published[p])
-					continue
-				}
-				if missing > int64(tc.capacity) {
-					ck.violationf("topic %s sub %d: %d entries from pub %d unaccounted (backlog bound %d): entries lost",
-						tc.name, si, missing, p, tc.capacity)
-				}
-			}
-		}
-	}
+	ck.checkTopicsLocked()
 
 	// Drain-before-retire: no retired task saw job activity past its
 	// retirement instant.
@@ -287,6 +279,73 @@ func (ck *Checker) Finish(app *core.App) []string {
 		ck.violationf("task errors: middleware counted %d, checker injected %d", got, ck.injected)
 	}
 
+	if ck.dropped > 0 {
+		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
+	}
+	return ck.violations
+}
+
+// checkTopicsLocked runs the no-lost-entries verdict: every subscriber
+// consumed everything but the final retained backlog (Reject bounds it by
+// the capacity; lossy policies bound nothing, their loss shows up as —
+// allowed — seq gaps; lossy cross-node topics likewise). Callers hold
+// ck.mu.
+func (ck *Checker) checkTopicsLocked() {
+	for _, tc := range ck.topics {
+		for si, sw := range tc.subs {
+			for p := range tc.published {
+				missing := tc.published[p] - sw.lastSeq[p]
+				if missing < 0 {
+					ck.violationf("topic %s sub %d: consumed past publisher %d (%d > %d)",
+						tc.name, si, p, sw.lastSeq[p], tc.published[p])
+					continue
+				}
+				if tc.policy == core.Reject && !tc.lossy && missing > int64(tc.capacity) {
+					ck.violationf("topic %s sub %d: %d entries from pub %d unaccounted (backlog bound %d): entries lost",
+						tc.name, si, missing, p, tc.capacity)
+				}
+			}
+		}
+	}
+}
+
+// FinishCluster is the cluster-mode verdict: the topic data-plane
+// invariants (with the lossy relaxation for cross-node topics) plus the
+// admission audit on every member application — committed epochs must be
+// consecutive on each node, and all nodes must have committed the same
+// number of cluster transactions. The single-app audits that need
+// instrumented churn bodies (drain-before-retire, accelerator arbitration,
+// task-error accounting) do not apply: cluster churn is pure admission and
+// never retires tasks.
+func (ck *Checker) FinishCluster(apps []*core.App) []string {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.checkTopicsLocked()
+	commits := 0
+	for _, a := range ck.attempts {
+		if a.err == nil {
+			commits++
+			if a.epochAfter != a.epochBefore+1 {
+				ck.violationf("%s at %v: committed but cluster epoch went %d -> %d",
+					a.action, a.at, a.epochBefore, a.epochAfter)
+			}
+		} else if a.epochAfter != a.epochBefore {
+			ck.violationf("%s at %v: rejected (%v) but cluster epoch went %d -> %d",
+				a.action, a.at, a.err, a.epochBefore, a.epochAfter)
+		}
+	}
+	for node, app := range apps {
+		recs := app.Recorder().Reconfigs()
+		for i, r := range recs {
+			if r.Epoch != i+1 {
+				ck.violationf("node %d: reconfig record %d has epoch %d (epochs must be consecutive)", node, i, r.Epoch)
+			}
+		}
+		if len(recs) != commits {
+			ck.violationf("node %d committed %d epochs, cluster driver committed %d (nodes diverged)",
+				node, len(recs), commits)
+		}
+	}
 	if ck.dropped > 0 {
 		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
 	}

@@ -1,0 +1,486 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/cluster"
+	"github.com/yasmin-rt/yasmin/internal/core"
+	"github.com/yasmin-rt/yasmin/internal/platform"
+	"github.com/yasmin-rt/yasmin/internal/rt"
+	"github.com/yasmin-rt/yasmin/internal/sim"
+	"github.com/yasmin-rt/yasmin/internal/spec"
+)
+
+// runCluster executes a cluster scenario: Nodes.Count co-simulated YASMIN
+// instances on one engine (one virtual timeline, each node with its own
+// scheduler core and worker set), stitched together by the internal/cluster
+// data plane over the deterministic in-memory transport. Cross-node topics
+// carry the same sequence-stamped values the single-node checker verifies,
+// so per-publisher FIFO is proven end to end across the wire — under
+// injected loss/reorder the lossy relaxation admits gaps but still no
+// inversions. Churn is cluster-wide two-phase: every firing admits tasks on
+// every node atomically at a common cluster epoch.
+func runCluster(sc *Scenario, opts RunOpts) (*Report, error) {
+	ns := sc.Nodes
+	nodes := ns.Count
+	if opts.NodeTelemetry != nil && len(opts.NodeTelemetry) != nodes {
+		return nil, fmt.Errorf("scenario %s: %d telemetry pipelines for %d nodes", sc.Name, len(opts.NodeTelemetry), nodes)
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	ck := NewChecker()
+
+	gspec, gen := sc.buildClusterSpec(rng, ck)
+	if err := gspec.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: generated cluster spec invalid: %w", sc.Name, err)
+	}
+
+	// Per-node churn headroom: the cluster action admits Count tasks on
+	// every node per firing, cumulatively.
+	headroom := 0
+	for i := range sc.Churn {
+		cp := &sc.Churn[i]
+		reps := 1
+		if cp.Every > 0 {
+			reps = int(sc.Duration.Std()/cp.Every.Std()) + 1
+		}
+		headroom += cp.Count * reps
+	}
+
+	eng := sim.NewEngine(sc.Seed)
+	env, err := rt.NewSimEnv(eng, platform.Generic(nodes*(sc.Workers+1)), nil)
+	if err != nil {
+		return nil, err
+	}
+
+	cl := cluster.New()
+	apps := make([]*core.App, nodes)
+	peakTasks := 0
+	for i := 0; i < nodes; i++ {
+		p := gspec.ForNode(i)
+		maxTasks := len(p.Tasks) + headroom
+		peakTasks += maxTasks
+		pending := sc.MaxPendingJobs
+		if pending == 0 {
+			pending = maxTasks + 4*sc.Workers + 64
+		}
+		base := i * (sc.Workers + 1)
+		wcores := make([]int, sc.Workers)
+		for w := range wcores {
+			wcores[w] = base + 1 + w
+		}
+		cfg := core.Config{
+			Workers:         sc.Workers,
+			SchedulerCore:   base,
+			WorkerCores:     wcores,
+			Mapping:         core.MappingGlobal,
+			Priority:        core.PriorityEDF,
+			MaxTasks:        maxTasks,
+			MaxChannels:     len(p.Topics) + 1,
+			MaxPendingJobs:  pending,
+			SchedulerPeriod: sc.SchedulerPeriod.Std(),
+		}
+		switch sc.Mapping {
+		case "partitioned":
+			cfg.Mapping = core.MappingPartitioned
+		}
+		switch sc.Priority {
+		case "rm":
+			cfg.Priority = core.PriorityRM
+		case "dm":
+			cfg.Priority = core.PriorityDM
+		}
+		if opts.NodeTelemetry != nil {
+			cfg.Telemetry = opts.NodeTelemetry[i].Blocking()
+		}
+		app, err := p.Build(cfg, env)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: node %d build: %w", sc.Name, i, err)
+		}
+		// The instrumented bodies captured node-local CIDs computed at
+		// generation time; fail fast if the built projection disagrees.
+		for name, cid := range gen.nodeCIDs[i] {
+			if got := app.TopicID(name); got != cid {
+				return nil, fmt.Errorf("scenario %s: node %d: topic %s built as CID %d, bodies captured %d", sc.Name, i, name, got, cid)
+			}
+		}
+		apps[i] = app
+		ncfg := cluster.NodeConfig{
+			App:          app,
+			Env:          env,
+			IngressCore:  base, // middleware overhead rides the scheduler core
+			SyncInterval: ns.SyncInterval.Std(),
+		}
+		if i < len(ns.ClockSkew) {
+			ncfg.ClockSkew = ns.ClockSkew[i].Std()
+		}
+		if opts.NodeTelemetry != nil {
+			ncfg.Pipeline = opts.NodeTelemetry[i]
+		}
+		if _, err := cl.AddNode(ncfg); err != nil {
+			return nil, fmt.Errorf("scenario %s: node %d: %w", sc.Name, i, err)
+		}
+	}
+
+	// Wire every cross-node topic: the publishers' nodes forward to every
+	// remote subscriber node; the subscribers' nodes provision ingress.
+	for _, w := range gen.wires {
+		for n := 0; n < nodes; n++ {
+			if !w.pubNodes[n] && !w.subNodes[n] {
+				continue
+			}
+			var dests []int
+			if w.pubNodes[n] {
+				for d := 0; d < nodes; d++ {
+					if d != n && w.subNodes[d] {
+						dests = append(dests, d)
+					}
+				}
+			}
+			remote := false
+			if w.subNodes[n] {
+				for p := range w.pubNodes {
+					if p != n {
+						remote = true
+					}
+				}
+			}
+			if len(dests) == 0 && !remote {
+				continue // purely node-local topic
+			}
+			if err := cl.Node(n).Topic(w.name, dests, remote); err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+		}
+	}
+	cluster.NewMemTransport(cl, cluster.MemOpts{
+		Seed:        sc.Seed,
+		LossRate:    ns.LossRate,
+		ReorderRate: ns.ReorderRate,
+	})
+	if err := cl.Start(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+
+	events := sc.expandChurn()
+	horizon := sc.Duration.Std()
+	driver := &clusterDriver{sc: sc, cl: cl, ck: ck, rng: rng}
+	var harnessErr error
+	env.Spawn("stress-driver", rt.UnpinnedCore, func(c rt.Ctx) {
+		started := 0
+		for i, app := range apps {
+			if err := app.Start(c); err != nil {
+				harnessErr = fmt.Errorf("scenario %s: node %d start: %w", sc.Name, i, err)
+				for j := 0; j < started; j++ {
+					apps[j].Stop(c)
+				}
+				_ = cl.Close()
+				return
+			}
+			started++
+		}
+		for _, ev := range events {
+			if ev.at >= horizon {
+				break
+			}
+			c.SleepUntil(ev.at)
+			driver.fire(c, ev)
+		}
+		c.SleepUntil(horizon)
+		for _, app := range apps {
+			app.Stop(c)
+		}
+		if err := cl.Close(); err != nil && harnessErr == nil {
+			harnessErr = fmt.Errorf("scenario %s: cluster close: %w", sc.Name, err)
+		}
+		for _, app := range apps {
+			app.Cleanup(c)
+		}
+	})
+
+	wall0 := time.Now()
+	if err := eng.RunUntilIdle(); err != nil {
+		return nil, fmt.Errorf("scenario %s: engine: %w", sc.Name, err)
+	}
+	if harnessErr != nil {
+		return nil, harnessErr
+	}
+	wall := time.Since(wall0)
+
+	violations := ck.FinishCluster(apps)
+	// All-or-nothing across the cluster: every node's application epoch
+	// must equal the cluster epoch (a node ahead or behind means a commit
+	// was not atomic cluster-wide).
+	for i, app := range apps {
+		if app.Epoch() != int(cl.Epoch()) {
+			violations = append(violations, fmt.Sprintf(
+				"node %d at epoch %d, cluster at %d (two-phase commit diverged)", i, app.Epoch(), cl.Epoch()))
+		}
+	}
+
+	rep := &Report{
+		Scenario:      sc.Name,
+		Seed:          sc.Seed,
+		Tasks:         sc.TaskCount(),
+		PeakTasks:     peakTasks,
+		Workers:       sc.Workers,
+		SimDurationNS: int64(horizon),
+		WallNS:        wall.Nanoseconds(),
+		EngineSteps:   eng.Steps(),
+		Published:     ck.Published(),
+		Delivered:     ck.Delivered(),
+		Epochs:        int(cl.Epoch()),
+		Rejections:    driver.rejections,
+		Violations:    violations,
+	}
+	for i, app := range apps {
+		nr := NodeReport{
+			Node:      i,
+			Tasks:     gen.nodeTasks[i],
+			Jobs:      app.Recorder().TotalJobs(),
+			Misses:    app.Recorder().TotalMisses(),
+			NodeStats: cl.Node(i).Stats(),
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+		rep.Jobs += nr.Jobs
+		rep.Misses += nr.Misses
+		rep.Overruns += app.Overruns()
+		rep.Retires += len(app.Recorder().Retires())
+	}
+	if wall > 0 {
+		rep.JobsPerWallSec = float64(rep.Jobs) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+// clusterGen carries what the cluster runner needs from spec generation.
+type clusterGen struct {
+	// nodeCIDs maps, per node, topic name -> the CID the topic will get in
+	// that node's ForNode projection. Computed at generation time from the
+	// positional contract (projections keep topics in declaration order and
+	// have no channels), re-verified against the built apps.
+	nodeCIDs []map[string]core.CID
+	// nodeTasks counts statically declared tasks per node.
+	nodeTasks []int
+	// wires lists every generated topic with its endpoint node sets.
+	wires []topicWire
+}
+
+// topicWire is one topic's placement: which nodes host publishers and
+// which host subscribers.
+type topicWire struct {
+	name     string
+	pubNodes map[int]bool
+	subNodes map[int]bool
+}
+
+// buildClusterSpec generates the global (cluster-wide) declarative
+// application with node placements, mirroring buildSpec. Instrumented
+// endpoint bodies capture the node-local CID of their topic, not the
+// global one — ForNode renumbers topics per projection.
+func (sc *Scenario) buildClusterSpec(rng *rand.Rand, ck *Checker) (*spec.Spec, *clusterGen) {
+	ns := sc.Nodes
+	nodes := ns.Count
+	s := &spec.Spec{Name: sc.Name, Nodes: nodes}
+	gen := &clusterGen{
+		nodeCIDs:  make([]map[string]core.CID, nodes),
+		nodeTasks: make([]int, nodes),
+	}
+	for i := range gen.nodeCIDs {
+		gen.nodeCIDs[i] = make(map[string]core.CID)
+	}
+
+	cores := make([]int, nodes)
+	nextCore := func(node int) int {
+		c := cores[node] % sc.Workers
+		cores[node]++
+		return c
+	}
+
+	for gi := range sc.Groups {
+		g := &sc.Groups[gi]
+		for i := 0; i < g.Count; i++ {
+			period := g.Period.sample(rng)
+			wcet := time.Duration(g.Utilization * float64(period))
+			if wcet < time.Microsecond {
+				wcet = time.Microsecond
+			}
+			t := spec.TaskSpec{
+				Name:     fmt.Sprintf("%s-%d", g.Name, i),
+				Period:   spec.Duration(period),
+				Core:     nextCore(g.Node),
+				Node:     g.Node,
+				Versions: []spec.VersionSpec{{WCET: spec.Duration(wcet)}},
+			}
+			if g.DeadlineRatio > 0 {
+				t.Deadline = spec.Duration(float64(period) * g.DeadlineRatio)
+			}
+			if g.OffsetJitter {
+				t.Offset = spec.Duration(rng.Int63n(int64(period)))
+			}
+			s.Tasks = append(s.Tasks, t)
+		}
+	}
+
+	lossy := ns.lossy()
+	for si := range sc.Topics {
+		sh := &sc.Topics[si]
+		pol, _ := core.ParsePolicy(sh.Policy)
+		pubNode := func(p int) int {
+			if len(sh.PubNodes) == 0 {
+				return 0
+			}
+			return sh.PubNodes[p%len(sh.PubNodes)]
+		}
+		subNode := func(su int) int {
+			if len(sh.SubNodes) == 0 {
+				return 0
+			}
+			return sh.SubNodes[su%len(sh.SubNodes)]
+		}
+		for k := 0; k < sh.Count; k++ {
+			topicName := fmt.Sprintf("%s-%d", sh.Name, k)
+			ti := ck.addTopic(topicName, pol, sh.Capacity, sh.Pubs, sh.Subs)
+			w := topicWire{name: topicName, pubNodes: map[int]bool{}, subNodes: map[int]bool{}}
+			for p := 0; p < sh.Pubs; p++ {
+				w.pubNodes[pubNode(p)] = true
+			}
+			for su := 0; su < sh.Subs; su++ {
+				w.subNodes[subNode(su)] = true
+			}
+			cross := false
+			for p := range w.pubNodes {
+				for su := range w.subNodes {
+					if p != su {
+						cross = true
+					}
+				}
+			}
+			if cross && lossy {
+				// Frames of this topic ride the faulty wire: gaps are legal,
+				// inversions still are not.
+				ck.setLossy(ti)
+			}
+			// Node-local CIDs follow the projection's positional contract:
+			// the topic's index among topics present on that node.
+			for n := 0; n < nodes; n++ {
+				if w.pubNodes[n] || w.subNodes[n] {
+					gen.nodeCIDs[n][topicName] = core.CID(len(gen.nodeCIDs[n]))
+				}
+			}
+			ts := spec.TopicSpec{
+				Name:     topicName,
+				Capacity: sh.Capacity,
+				Policy:   sh.Policy,
+			}
+			for p := 0; p < sh.Pubs; p++ {
+				node := pubNode(p)
+				name := fmt.Sprintf("%s-pub%d", topicName, p)
+				ts.Pubs = append(ts.Pubs, name)
+				s.Tasks = append(s.Tasks, spec.TaskSpec{
+					Name:   name,
+					Period: sh.PublishPeriod,
+					Offset: spec.Duration(rng.Int63n(int64(sh.PublishPeriod.Std()))),
+					Core:   nextCore(node),
+					Node:   node,
+					Versions: []spec.VersionSpec{{
+						Fn: pubBody(ck, ti, p, gen.nodeCIDs[node][topicName]),
+					}},
+				})
+			}
+			for su := 0; su < sh.Subs; su++ {
+				node := subNode(su)
+				name := fmt.Sprintf("%s-sub%d", topicName, su)
+				ts.Subs = append(ts.Subs, name)
+				s.Tasks = append(s.Tasks, spec.TaskSpec{
+					Name:   name,
+					Period: sh.ConsumePeriod,
+					Offset: spec.Duration(rng.Int63n(int64(sh.ConsumePeriod.Std()))),
+					Core:   nextCore(node),
+					Node:   node,
+					Versions: []spec.VersionSpec{{
+						Fn: subBody(ck, ti, su, gen.nodeCIDs[node][topicName]),
+					}},
+				})
+			}
+			s.Topics = append(s.Topics, ts)
+			gen.wires = append(gen.wires, w)
+		}
+	}
+
+	for i := range s.Tasks {
+		gen.nodeTasks[s.Tasks[i].Node]++
+	}
+	return s, gen
+}
+
+// clusterDriver fires the cluster-wide churn transactions.
+type clusterDriver struct {
+	sc  *Scenario
+	cl  *cluster.Cluster
+	ck  *Checker
+	rng *rand.Rand
+
+	rejections int64
+	generation int
+}
+
+// fire runs one cluster churn firing: admit Count fresh tasks on every
+// node in a single two-phase transaction. All nodes commit at a common
+// cluster epoch or none do; a rejection must leave every node untouched.
+func (d *clusterDriver) fire(c rt.Ctx, ev churnEvent) {
+	cp := &d.sc.Churn[ev.phase]
+	g := d.generation
+	d.generation++
+	dist := cp.Period
+	if dist.Min == 0 && dist.Max == 0 && len(dist.Choices) == 0 {
+		dist = Dist{Min: spec.Duration(10 * time.Millisecond), Max: spec.Duration(100 * time.Millisecond)}
+	}
+	util := cp.Utilization
+	if util == 0 {
+		util = 0.01
+	}
+	nodes := len(d.cl.Nodes())
+	before := int(d.cl.Epoch())
+	txs := make([]cluster.NodeTx, 0, nodes)
+	for node := 0; node < nodes; node++ {
+		node := node
+		txs = append(txs, cluster.NodeTx{Node: node, Fn: func(tx *core.Reconfig) error {
+			for i := 0; i < cp.Count; i++ {
+				name := fmt.Sprintf("cchurn-g%d-n%d-%d", g, node, i)
+				period := dist.sample(d.rng)
+				wcet := time.Duration(util * float64(period))
+				if wcet < time.Microsecond {
+					wcet = time.Microsecond
+				}
+				id, err := tx.AddTask(core.TData{Name: name, Period: period, VirtCore: i % d.sc.Workers})
+				if err != nil {
+					return err
+				}
+				w := wcet
+				body := func(x *core.ExecCtx, _ any) error { return x.Compute(w) }
+				if _, err := tx.AddVersion(id, body, nil, core.VSelect{WCET: wcet}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}})
+	}
+	err := d.cl.Reconfigure(c, txs)
+	if err != nil {
+		if errors.Is(err, core.ErrNotSchedulable) {
+			d.rejections++
+		} else {
+			d.ck.violationf("cluster churn at %v failed unexpectedly: %v", ev.at, err)
+		}
+	}
+	d.ck.noteAttempt(admissionAttempt{
+		at:          ev.at,
+		action:      "cluster",
+		err:         err,
+		epochBefore: before,
+		epochAfter:  int(d.cl.Epoch()),
+	})
+}

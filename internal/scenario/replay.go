@@ -51,6 +51,163 @@ func CheckStream(st *telemetry.Stream, opts StreamCheckOpts) []string {
 	return ck.violations
 }
 
+// CheckStreams reconciles the per-node telemetry exports of one cluster
+// run (one Stream per node, any order) and returns every violation found:
+//
+//   - each stream individually passes CheckStream, prefixed with its node;
+//   - every stream carries one consistent node stamp, and no two streams
+//     claim the same node (a corrupt merge is reported loudly, not
+//     reconciled);
+//   - cluster-epoch histories agree: every node's export must record the
+//     identical sequence of committed cluster epochs — a divergence means
+//     a node ran (and stamped frames) in a stale epoch;
+//   - frame accounting closes: every recorded send whose destination
+//     stream is present matches exactly one receive or one recorded drop
+//     on that destination (an unmatched send is silent loss; a receive or
+//     drop without a send is a phantom frame), and per remote publisher
+//     the received frame sequences are strictly increasing (the transport
+//     FIFO discipline, re-proven offline).
+//
+// A single-element slice degrades to CheckStream plus the self-consistency
+// checks; sends to nodes whose stream was not supplied are left
+// unreconciled rather than flagged.
+func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
+	ck := NewChecker()
+	if len(sts) == 0 {
+		ck.violationf("no streams to check")
+		return ck.violations
+	}
+	byNode := make(map[int]*telemetry.Stream, len(sts))
+	order := make([]int, 0, len(sts))
+	for i, st := range sts {
+		n := st.Node()
+		if n < 0 {
+			ck.violationf("stream %d: mixed node stamps (corrupt merge input)", i)
+			continue
+		}
+		if byNode[n] != nil {
+			ck.violationf("stream %d: node %d already supplied by another file", i, n)
+			continue
+		}
+		byNode[n] = st
+		order = append(order, n)
+		for _, v := range CheckStream(st, opts) {
+			ck.violationf("node %d: %s", n, v)
+		}
+	}
+	sortInts2(order)
+
+	// Cluster-epoch agreement: identical histories everywhere.
+	if len(order) > 1 {
+		ref := byNode[order[0]]
+		for _, n := range order[1:] {
+			if !sameEpochHistory(ref.CEpochs, byNode[n].CEpochs) {
+				ck.violationf("cluster epoch history diverges: node %d saw %v, node %d saw %v (stale-epoch execution)",
+					order[0], epochList(ref.CEpochs), n, epochList(byNode[n].CEpochs))
+			}
+		}
+	}
+
+	// Frame reconciliation across files.
+	type frameKey struct {
+		origin, dst, pub int
+		topic            string
+		fseq             uint64
+	}
+	sends := make(map[frameKey]int)
+	recvs := make(map[frameKey]int)
+	type pubKey struct {
+		origin, pub int
+		topic       string
+	}
+	for _, n := range order {
+		lastRecv := make(map[pubKey]uint64)
+		for _, f := range byNode[n].Frames {
+			k := frameKey{origin: f.Origin, dst: f.Dst, pub: f.Pub, topic: f.Topic, fseq: f.FSeq}
+			switch f.Dir {
+			case telemetry.FrameSend:
+				if f.Origin != n {
+					ck.violationf("node %d: send record claims origin %d", n, f.Origin)
+				}
+				sends[k]++
+				if sends[k] == 2 {
+					ck.violationf("node %d: frame %s pub %d seq %d to node %d sent twice", n, f.Topic, f.Pub, f.FSeq, f.Dst)
+				}
+			case telemetry.FrameRecv, telemetry.FrameDrop:
+				if f.Dst != n {
+					ck.violationf("node %d: %s record claims destination %d", n, f.Dir, f.Dst)
+				}
+				recvs[k]++
+				if recvs[k] == 2 {
+					ck.violationf("node %d: frame %s pub %d seq %d from node %d accounted twice", n, f.Topic, f.Pub, f.FSeq, f.Origin)
+				}
+				if f.Dir == telemetry.FrameRecv {
+					pk := pubKey{origin: f.Origin, pub: f.Pub, topic: f.Topic}
+					if last, ok := lastRecv[pk]; ok && f.FSeq <= last {
+						ck.violationf("node %d: topic %s pub %d (node %d): received frame seq %d after %d (transport FIFO broken)",
+							n, f.Topic, f.Pub, f.Origin, f.FSeq, last)
+					}
+					lastRecv[pk] = f.FSeq
+				}
+			}
+		}
+	}
+	for k := range sends {
+		if byNode[k.dst] == nil {
+			continue // destination's export not supplied; can't reconcile
+		}
+		if recvs[k] == 0 {
+			ck.violationf("frame %s pub %d seq %d, node %d -> %d: sent but neither received nor accounted dropped (silent loss)",
+				k.topic, k.pub, k.fseq, k.origin, k.dst)
+		}
+	}
+	for k := range recvs {
+		if byNode[k.origin] == nil {
+			continue
+		}
+		if sends[k] == 0 {
+			ck.violationf("frame %s pub %d seq %d, node %d -> %d: received/dropped but never sent (phantom frame)",
+				k.topic, k.pub, k.fseq, k.origin, k.dst)
+		}
+	}
+
+	if ck.dropped > 0 {
+		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
+	}
+	return ck.violations
+}
+
+// sameEpochHistory compares two cluster-epoch record sequences by epoch.
+func sameEpochHistory(a, b []telemetry.ClusterEpochRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Epoch != b[i].Epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// epochList renders an epoch history for a violation message.
+func epochList(recs []telemetry.ClusterEpochRecord) []uint64 {
+	out := make([]uint64, len(recs))
+	for i := range recs {
+		out[i] = recs[i].Epoch
+	}
+	return out
+}
+
+// sortInts2 is an insertion sort over node ids (a handful of entries).
+func sortInts2(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
 // checkRetireStream replays drain-before-retire from the event stream.
 // Unlike the live check (which relies on instrumented churn bodies with
 // per-incarnation-unique names), the stream sees every task — including

@@ -8,11 +8,13 @@ import (
 	"strings"
 	"time"
 
+	"github.com/yasmin-rt/yasmin/internal/cluster"
 	"github.com/yasmin-rt/yasmin/internal/core"
 	"github.com/yasmin-rt/yasmin/internal/platform"
 	"github.com/yasmin-rt/yasmin/internal/rt"
 	"github.com/yasmin-rt/yasmin/internal/sim"
 	"github.com/yasmin-rt/yasmin/internal/spec"
+	"github.com/yasmin-rt/yasmin/internal/telemetry"
 	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
@@ -52,6 +54,21 @@ type Report struct {
 
 	JobsPerWallSec float64  `json:"jobs_per_wall_sec"`
 	Violations     []string `json:"violations"`
+
+	// Nodes is the per-node breakdown of a cluster run (nil single-node);
+	// top-level Jobs/Misses/Epochs then aggregate over the cluster, and
+	// Epochs is the common cluster epoch every node committed.
+	Nodes []NodeReport `json:"nodes,omitempty"`
+}
+
+// NodeReport is one cluster node's share of a scenario run: its scheduler
+// counters plus the data-plane accounting of its cluster adapter.
+type NodeReport struct {
+	Node   int   `json:"node"`
+	Tasks  int   `json:"tasks"`
+	Jobs   int64 `json:"jobs"`
+	Misses int64 `json:"misses"`
+	cluster.NodeStats
 }
 
 // RunOpts carries optional harness wiring for RunWith.
@@ -59,8 +76,15 @@ type RunOpts struct {
 	// Telemetry, when set, streams every trace record of the run into the
 	// given consumer as it is produced (see core.Config.Telemetry). Wire a
 	// *telemetry.Pipeline here to export the run as JSONL and re-verify it
-	// offline with CheckStream.
+	// offline with CheckStream. Ignored in cluster mode (use NodeTelemetry).
 	Telemetry trace.Stream
+	// NodeTelemetry supplies one pipeline per cluster node (index = node
+	// id; construct each with telemetry.Options{Node: id} so its export
+	// carries the stamp). Every node's trace records, frame events and
+	// cluster-epoch marks flow through its own pipeline, and the per-node
+	// files reconcile offline with CheckStreams. nil disables; any other
+	// length must equal the node count.
+	NodeTelemetry []*telemetry.Pipeline
 }
 
 // Run executes the scenario on the deterministic simulation backend and
@@ -72,6 +96,9 @@ func Run(sc *Scenario) (*Report, error) { return RunWith(sc, RunOpts{}) }
 func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	if sc.Nodes != nil {
+		return runCluster(sc, opts)
 	}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	ck := NewChecker()

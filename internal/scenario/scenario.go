@@ -36,6 +36,12 @@ type Scenario struct {
 	// from the task count.
 	MaxPendingJobs int `json:"max_pending_jobs,omitempty"`
 
+	// Nodes switches the scenario to cluster mode: Count co-simulated YASMIN
+	// instances stitched together by the internal/cluster data plane, each
+	// with its own Workers-wide core set. Task groups and topic endpoints
+	// then carry node placements, and churn is cluster-wide two-phase.
+	Nodes *NodesSpec `json:"nodes,omitempty"`
+
 	// Accels declares shared accelerator pools; accel-bound task groups and
 	// churn phases reference them by name and contend under PIP.
 	Accels []AccelDecl `json:"accels,omitempty"`
@@ -54,6 +60,51 @@ type Scenario struct {
 	Churn []ChurnPhase `json:"churn,omitempty"`
 	// Failures injects task-function errors.
 	Failures Failures `json:"failures,omitempty"`
+}
+
+// NodesSpec configures a cluster scenario: the node count plus the fault
+// injection and clock discipline of the simulated data plane.
+type NodesSpec struct {
+	// Count is the cluster size (>= 2; single-node scenarios omit the
+	// nodes section entirely).
+	Count int `json:"count"`
+	// LossRate / ReorderRate inject datagram faults into the in-memory
+	// transport (probabilities in [0,1); reordering is one-slot holdback).
+	// Cross-node topics are then checked under the lossy relaxation: FIFO
+	// must still hold per publisher, but gaps are legal.
+	LossRate    float64 `json:"loss_rate,omitempty"`
+	ReorderRate float64 `json:"reorder_rate,omitempty"`
+	// SyncInterval turns on PTP-style clock sync against node 0 at this
+	// period (zero = off).
+	SyncInterval spec.Duration `json:"sync_interval,omitempty"`
+	// ClockSkew offsets each node's local clock (index = node id; shorter
+	// lists leave the remaining nodes unskewed). Node 0 is the reference.
+	ClockSkew []spec.Duration `json:"clock_skew,omitempty"`
+}
+
+func (ns *NodesSpec) validate() error {
+	if ns.Count < 2 {
+		return fmt.Errorf("scenario: nodes: count must be >= 2, got %d (omit the nodes section for single-node runs)", ns.Count)
+	}
+	if ns.LossRate < 0 || ns.LossRate >= 1 {
+		return fmt.Errorf("scenario: nodes: loss rate %g out of [0,1)", ns.LossRate)
+	}
+	if ns.ReorderRate < 0 || ns.ReorderRate >= 1 {
+		return fmt.Errorf("scenario: nodes: reorder rate %g out of [0,1)", ns.ReorderRate)
+	}
+	if ns.SyncInterval < 0 {
+		return fmt.Errorf("scenario: nodes: negative sync interval")
+	}
+	if len(ns.ClockSkew) > ns.Count {
+		return fmt.Errorf("scenario: nodes: %d clock skews for %d nodes", len(ns.ClockSkew), ns.Count)
+	}
+	return nil
+}
+
+// lossy reports whether the data plane may legitimately lose or reorder
+// frames (which relaxes the cross-node topic invariants).
+func (ns *NodesSpec) lossy() bool {
+	return ns != nil && (ns.LossRate > 0 || ns.ReorderRate > 0)
 }
 
 // Dist describes a duration distribution: either explicit Choices or a
@@ -133,6 +184,9 @@ type TaskGroup struct {
 	// (default 0.5), so the group contends on the pool under PIP.
 	Accel      string  `json:"accel,omitempty"`
 	AccelShare float64 `json:"accel_share,omitempty"`
+	// Node places the whole group on one cluster node (cluster mode only;
+	// the zero value is node 0).
+	Node int `json:"node,omitempty"`
 }
 
 func (g *TaskGroup) validate(i int) error {
@@ -179,6 +233,13 @@ type TopicShape struct {
 	// PublishPeriod / ConsumePeriod are the endpoint task periods.
 	PublishPeriod spec.Duration `json:"publish_period"`
 	ConsumePeriod spec.Duration `json:"consume_period"`
+	// PubNodes / SubNodes place the endpoint tasks in cluster mode:
+	// publisher p lands on PubNodes[p mod len], subscriber s on
+	// SubNodes[s mod len]. Empty lists mean node 0. A topic whose
+	// publishers and subscribers land on different nodes becomes a
+	// cross-node topic carried by the cluster data plane.
+	PubNodes []int `json:"pub_nodes,omitempty"`
+	SubNodes []int `json:"sub_nodes,omitempty"`
 }
 
 func (tp *TopicShape) validate(i int) error {
@@ -215,6 +276,9 @@ type ChurnPhase struct {
 	//   "add"       — admit Count tasks (cumulative)
 	//   "retune"    — retune Count random churn tasks (period ×2 or ÷2)
 	//   "mode"      — cycle through the spec's installed modes
+	//   "cluster"   — cluster mode only: admit Count tasks on EVERY node in
+	//                 one cluster-wide two-phase transaction (all nodes
+	//                 switch at a common cluster epoch, or none do)
 	Action string `json:"action"`
 	// Count is the number of tasks per transaction (ping_pong/add/retune).
 	Count int `json:"count,omitempty"`
@@ -232,7 +296,7 @@ type ChurnPhase struct {
 
 func (cp *ChurnPhase) validate(i int) error {
 	switch cp.Action {
-	case "ping_pong", "add", "retune", "mode":
+	case "ping_pong", "add", "retune", "mode", "cluster":
 	default:
 		return fmt.Errorf("scenario: churn %d: unknown action %q", i, cp.Action)
 	}
@@ -330,12 +394,19 @@ func (sc *Scenario) Validate() error {
 		}
 		names[sc.Topics[i].Name] = true
 	}
-	totalU := 0.0
+	// Utilisation feasibility is per node: every node has its own Workers
+	// cores (single-node scenarios are the one-node special case).
+	perNodeU := map[int]float64{}
 	for i := range sc.Groups {
-		totalU += float64(sc.Groups[i].Count) * sc.Groups[i].Utilization
+		perNodeU[sc.Groups[i].Node] += float64(sc.Groups[i].Count) * sc.Groups[i].Utilization
 	}
-	if totalU > float64(sc.Workers) {
-		return fmt.Errorf("scenario: impossible load: groups demand %.2f workers' worth of utilisation on %d workers", totalU, sc.Workers)
+	for node, u := range perNodeU {
+		if u > float64(sc.Workers) {
+			return fmt.Errorf("scenario: impossible load: groups demand %.2f workers' worth of utilisation on node %d's %d workers", u, node, sc.Workers)
+		}
+	}
+	if err := sc.validateCluster(); err != nil {
+		return err
 	}
 	for i := range sc.Churn {
 		if err := sc.Churn[i].validate(i); err != nil {
@@ -347,6 +418,63 @@ func (sc *Scenario) Validate() error {
 	}
 	if sc.Failures.TaskErrorRate < 0 || sc.Failures.TaskErrorRate > 1 {
 		return fmt.Errorf("scenario: task error rate %g out of [0,1]", sc.Failures.TaskErrorRate)
+	}
+	return nil
+}
+
+// validateCluster enforces the cluster-mode rules — and, symmetrically,
+// that single-node scenarios use no cluster-only knobs.
+func (sc *Scenario) validateCluster() error {
+	if sc.Nodes == nil {
+		for i := range sc.Groups {
+			if sc.Groups[i].Node != 0 {
+				return fmt.Errorf("scenario: group %q places node %d without a nodes section", sc.Groups[i].Name, sc.Groups[i].Node)
+			}
+		}
+		for i := range sc.Topics {
+			if len(sc.Topics[i].PubNodes) > 0 || len(sc.Topics[i].SubNodes) > 0 {
+				return fmt.Errorf("scenario: topic %q places endpoints on nodes without a nodes section", sc.Topics[i].Name)
+			}
+		}
+		for i := range sc.Churn {
+			if sc.Churn[i].Action == "cluster" {
+				return fmt.Errorf("scenario: churn %d: \"cluster\" action needs a nodes section", i)
+			}
+		}
+		return nil
+	}
+	if err := sc.Nodes.validate(); err != nil {
+		return err
+	}
+	if len(sc.Accels) > 0 {
+		// Accelerators are node-local hardware; a cluster scenario sharing
+		// one pool across nodes would be physically meaningless. Per-node
+		// pools are future work — reject rather than silently mis-model.
+		return fmt.Errorf("scenario: accelerator pools are not supported in cluster mode")
+	}
+	n := sc.Nodes.Count
+	for i := range sc.Groups {
+		if g := &sc.Groups[i]; g.Node < 0 || g.Node >= n {
+			return fmt.Errorf("scenario: group %q: node %d out of range [0,%d)", g.Name, g.Node, n)
+		}
+	}
+	for i := range sc.Topics {
+		tp := &sc.Topics[i]
+		for _, lists := range [][]int{tp.PubNodes, tp.SubNodes} {
+			for _, nd := range lists {
+				if nd < 0 || nd >= n {
+					return fmt.Errorf("scenario: topic %q: node %d out of range [0,%d)", tp.Name, nd, n)
+				}
+			}
+		}
+	}
+	for i := range sc.Churn {
+		if sc.Churn[i].Action != "cluster" {
+			// Single-app churn inside a cluster run would move one node's
+			// epoch without the others — exactly the divergence the
+			// cluster-wide transaction exists to prevent.
+			return fmt.Errorf("scenario: churn %d: only the \"cluster\" action is allowed in cluster mode, got %q", i, sc.Churn[i].Action)
+		}
 	}
 	return nil
 }

@@ -89,6 +89,18 @@ func (b *Builder) Build(cfg core.Config, env rt.Env) (*core.App, error) {
 	return s.build(cfg, env)
 }
 
+// Nodes declares the cluster size the application is placed over (see
+// Spec.Nodes); tasks then pick their node with OnNode. Zero or one keeps
+// the ordinary single-node application.
+func (b *Builder) Nodes(n int) *Builder {
+	if n < 0 {
+		b.fail("negative node count %d", n)
+		return b
+	}
+	b.s.Nodes = n
+	return b
+}
+
 // Accel declares a hardware accelerator. Declaring the same name twice is
 // harmless (OnAccel auto-declares).
 func (b *Builder) Accel(name string) *Builder {
@@ -303,6 +315,13 @@ func (t *TaskBuilder) Offset(d time.Duration) *TaskBuilder {
 // Core binds the task to a virtual core (partitioned mapping).
 func (t *TaskBuilder) Core(vc int) *TaskBuilder {
 	t.spec().Core = vc
+	return t
+}
+
+// OnNode places the task on a cluster node (requires Builder.Nodes > 1;
+// validated at Spec/Build).
+func (t *TaskBuilder) OnNode(node int) *TaskBuilder {
+	t.spec().Node = node
 	return t
 }
 

@@ -1,0 +1,148 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/yasmin-rt/yasmin/internal/core"
+)
+
+// clusterSpec builds a 2-node application: cam@0 -> filter@0 over a local
+// channel, both publishing/subscribing topic "det" that log@1 consumes,
+// while beat@1 publishes "pulse" back to filter@0 — a fan-in/fan-out pair
+// crossing the node boundary in both directions.
+func clusterSpec(t *testing.T) *Spec {
+	t.Helper()
+	s, err := NewApp("vision").
+		Nodes(2).
+		Task("cam").Period(10*time.Millisecond).OnNode(0).
+		Version(nil, core.VSelect{WCET: time.Millisecond}).
+		ChanTo("filter", 4).
+		Task("filter").OnNode(0).
+		Version(nil, core.VSelect{WCET: time.Millisecond}).
+		Task("log").Period(20*time.Millisecond).OnNode(1).
+		Version(nil, core.VSelect{WCET: time.Millisecond}).
+		Task("beat").Period(50*time.Millisecond).OnNode(1).
+		Version(nil, core.VSelect{WCET: time.Millisecond}).
+		Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Topics = []TopicSpec{
+		{Name: "det", Capacity: 8, Pubs: []string{"filter"}, Subs: []string{"log"}},
+		{Name: "pulse", Capacity: 4, Pubs: []string{"beat"}, Subs: []string{"filter"}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNodePlacementValidation(t *testing.T) {
+	t.Run("node-out-of-range", func(t *testing.T) {
+		s := clusterSpec(t)
+		s.Tasks[2].Node = 5
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), "node 5 out of range [0,2)") {
+			t.Fatalf("want out-of-range error, got %v", err)
+		}
+	})
+	t.Run("single-node-rejects-placement", func(t *testing.T) {
+		s := clusterSpec(t)
+		s.Nodes = 0 // single-node: any Node > 0 is now out of range
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), "out of range [0,1)") {
+			t.Fatalf("want out-of-range error, got %v", err)
+		}
+	})
+	t.Run("cross-node-channel", func(t *testing.T) {
+		s := clusterSpec(t)
+		s.Tasks[1].Node = 1 // filter moves; cam->filter now crosses nodes
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), "crosses nodes 0 and 1") {
+			t.Fatalf("want cross-node channel error, got %v", err)
+		}
+	})
+	t.Run("negative-nodes", func(t *testing.T) {
+		s := clusterSpec(t)
+		s.Nodes = -1
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), "negative node count") {
+			t.Fatalf("want negative node count error, got %v", err)
+		}
+	})
+}
+
+func TestForNodeProjection(t *testing.T) {
+	s := clusterSpec(t)
+	s.Modes = []ModeSpec{{Name: "eco", Mode: 1, Tasks: []string{"cam"}}}
+
+	p0 := s.ForNode(0)
+	if p0.Name != "vision@node0" {
+		t.Errorf("projection name %q", p0.Name)
+	}
+	if got := len(p0.Tasks); got != 2 {
+		t.Fatalf("node 0 has %d tasks, want 2", got)
+	}
+	if p0.Tasks[0].Name != "cam" || p0.Tasks[1].Name != "filter" {
+		t.Errorf("node 0 tasks %q/%q, want cam/filter (declaration order)",
+			p0.Tasks[0].Name, p0.Tasks[1].Name)
+	}
+	if len(p0.Channels) != 1 || p0.Channels[0].Name != "cam->filter" {
+		t.Errorf("node 0 channels = %+v, want just cam->filter", p0.Channels)
+	}
+	// Both topics survive on node 0: "det" keeps only its publisher,
+	// "pulse" only its subscriber — the missing sides are remote.
+	if len(p0.Topics) != 2 {
+		t.Fatalf("node 0 has %d topics, want 2", len(p0.Topics))
+	}
+	if len(p0.Topics[0].Pubs) != 1 || len(p0.Topics[0].Subs) != 0 {
+		t.Errorf("det on node 0: pubs=%v subs=%v, want local pub only",
+			p0.Topics[0].Pubs, p0.Topics[0].Subs)
+	}
+	if len(p0.Topics[1].Pubs) != 0 || len(p0.Topics[1].Subs) != 1 {
+		t.Errorf("pulse on node 0: pubs=%v subs=%v, want local sub only",
+			p0.Topics[1].Pubs, p0.Topics[1].Subs)
+	}
+	if len(p0.Modes) != 0 {
+		t.Errorf("projection kept modes %+v; they must be dropped", p0.Modes)
+	}
+	// One-sided topics validate only because the spec is a projection.
+	if err := p0.Validate(); err != nil {
+		t.Fatalf("projection must validate: %v", err)
+	}
+
+	p1 := s.ForNode(1)
+	if got := len(p1.Tasks); got != 2 {
+		t.Fatalf("node 1 has %d tasks, want 2", got)
+	}
+	if len(p1.Channels) != 0 {
+		t.Errorf("node 1 channels = %+v, want none", p1.Channels)
+	}
+	if err := p1.Validate(); err != nil {
+		t.Fatalf("projection must validate: %v", err)
+	}
+	// Positional CID contract inside the projection: topics start at
+	// len(Channels), in projected declaration order.
+	if id := p1.TopicID("det"); id != 0 {
+		t.Errorf("det on node 1 has CID %d, want 0", id)
+	}
+	if id := p1.TopicID("pulse"); id != 1 {
+		t.Errorf("pulse on node 1 has CID %d, want 1", id)
+	}
+
+	// The projection does not alias the parent.
+	p0.Topics[0].Pubs[0] = "mutated"
+	if s.Topics[0].Pubs[0] != "filter" {
+		t.Error("projection aliases the parent spec's topic endpoint slice")
+	}
+
+	// A full (non-projected) spec still demands both sides.
+	bad := clusterSpec(t)
+	bad.Topics[0].Subs = nil
+	if err := bad.Validate(); err == nil ||
+		!strings.Contains(err.Error(), "no subscribers") {
+		t.Fatalf("full spec with sub-less topic must fail, got %v", err)
+	}
+}

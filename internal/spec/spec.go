@@ -55,6 +55,12 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 type Spec struct {
 	// Name labels the application (reports, scenario libraries).
 	Name string `json:"name,omitempty"`
+	// Nodes is the cluster size this application is placed over; zero or
+	// one describes the ordinary single-node application. With Nodes > 1
+	// every task carries a Node placement and ForNode projects the
+	// per-node sub-application (see internal/cluster for the data plane
+	// that stitches the projections together).
+	Nodes int `json:"nodes,omitempty"`
 	// Accels declares hardware accelerators; names matching a platform
 	// accelerator (e.g. "kepler-gk20a") inherit its speed and power.
 	Accels []AccelSpec `json:"accels,omitempty"`
@@ -73,6 +79,12 @@ type Spec struct {
 	// task-set diff from the current state and applies it as an admitted,
 	// quiescent reconfiguration transaction.
 	Modes []ModeSpec `json:"modes,omitempty"`
+
+	// projected marks a ForNode projection: its topics may keep only the
+	// endpoints local to that node (the missing side lives on other nodes
+	// and reaches the topic over the cluster data plane), which relaxes
+	// the needs-a-publisher/needs-a-subscriber validation.
+	projected bool
 }
 
 // ModeSpec names one application mode: the set of active tasks (empty =
@@ -115,6 +127,9 @@ type TaskSpec struct {
 	Offset Duration `json:"offset,omitempty"`
 	// Core binds the task to a worker under partitioned mapping.
 	Core int `json:"core,omitempty"`
+	// Node places the task on a cluster node (Spec.Nodes > 1); the zero
+	// value is node 0, which is also every single-node task's placement.
+	Node int `json:"node,omitempty"`
 	// Priority is the static priority under PriorityUser.
 	Priority int `json:"priority,omitempty"`
 	// Sporadic marks tasks released by TaskActivate.
@@ -286,6 +301,13 @@ func (s *Spec) Validate() error {
 	if len(s.Tasks) == 0 {
 		bad("no tasks declared")
 	}
+	if s.Nodes < 0 {
+		bad("negative node count %d", s.Nodes)
+	}
+	nodeCount := s.Nodes
+	if nodeCount < 1 {
+		nodeCount = 1
+	}
 
 	accels := make(map[string]bool, len(s.Accels))
 	for i, a := range s.Accels {
@@ -323,6 +345,9 @@ func (s *Spec) Validate() error {
 		}
 		if t.Core < 0 {
 			bad("task %q: negative core %d", t.Name, t.Core)
+		}
+		if t.Node < 0 || t.Node >= nodeCount {
+			bad("task %q: node %d out of range [0,%d)", t.Name, t.Node, nodeCount)
 		}
 		if len(t.Versions) == 0 {
 			bad("task %q has no versions", t.Name)
@@ -385,6 +410,10 @@ func (s *Spec) Validate() error {
 		if sok && dok && si == di {
 			bad("channel %q: self-loop on task %q", c.Name, c.Src)
 		}
+		if sok && dok && s.Tasks[si].Node != s.Tasks[di].Node {
+			bad("channel %q: crosses nodes %d and %d (precedence edges are node-local; cross-node data flows over a topic and the cluster data plane)",
+				c.Name, s.Tasks[si].Node, s.Tasks[di].Node)
+		}
 		if dok && c.Delay == 0 && s.Tasks[di].Period > 0 {
 			bad("channel %q: destination %q is data-activated but has a period; only root nodes carry periods (feedback into a periodic root needs delay tokens)", c.Name, c.Dst)
 		}
@@ -405,11 +434,16 @@ func (s *Spec) Validate() error {
 		if _, err := core.ParsePolicy(tp.Policy); err != nil {
 			bad("topic %q: %v", tp.Name, err)
 		}
-		if len(tp.Pubs) == 0 {
+		// A ForNode projection legitimately keeps only one side of a topic
+		// (the other side lives on other nodes); a full spec needs both.
+		if len(tp.Pubs) == 0 && !s.projected {
 			bad("topic %q has no publishers", tp.Name)
 		}
-		if len(tp.Subs) == 0 {
+		if len(tp.Subs) == 0 && !s.projected {
 			bad("topic %q has no subscribers", tp.Name)
+		}
+		if len(tp.Pubs)+len(tp.Subs) == 0 {
+			bad("topic %q has no endpoints at all", tp.Name)
 		}
 		seenPub := make(map[string]bool, len(tp.Pubs))
 		for _, p := range tp.Pubs {
@@ -524,6 +558,68 @@ func (s *Spec) checkAcyclic(tasks map[string]int) error {
 		}
 	}
 	return nil
+}
+
+// ForNode projects the per-node sub-application of a clustered spec: the
+// tasks placed on `node` (declaration order preserved), the channels whose
+// endpoints are both local (plus free-standing FIFOs, replicated
+// everywhere), and the topics with at least one local endpoint — keeping
+// only the local side of their Pubs/Subs lists. A topic that loses a side
+// this way is exactly a cross-node topic: the missing publishers or
+// subscribers live on other nodes and reach it over the cluster data plane
+// (cluster.Node.Topic wires the forwarding), so the projection is marked
+// `projected` to relax the both-sides validation.
+//
+// Modes are dropped from projections: a mode's task list filtered down to
+// one node could become empty, which ModeSpec reads as "all tasks active" —
+// silently inverting the mode's meaning. Cluster-wide mode switches are the
+// control plane's job (cluster.Reconfigure), not a per-node preset's.
+//
+// The projection is a deep-enough copy: mutating its slices does not alias
+// the parent spec.
+func (s *Spec) ForNode(node int) *Spec {
+	out := &Spec{
+		Name:      fmt.Sprintf("%s@node%d", s.Name, node),
+		Accels:    append([]AccelSpec(nil), s.Accels...),
+		projected: true,
+	}
+	local := make(map[string]bool, len(s.Tasks))
+	for i := range s.Tasks {
+		if s.Tasks[i].Node == node {
+			t := s.Tasks[i]
+			t.Node = 0 // placement is resolved; the projection is single-node
+			t.Versions = append([]VersionSpec(nil), s.Tasks[i].Versions...)
+			out.Tasks = append(out.Tasks, t)
+			local[t.Name] = true
+		}
+	}
+	for i := range s.Channels {
+		c := s.Channels[i]
+		free := c.Src == "" && c.Dst == ""
+		if free || (local[c.Src] && local[c.Dst]) {
+			out.Channels = append(out.Channels, c)
+		}
+	}
+	for i := range s.Topics {
+		tp := s.Topics[i]
+		var pubs, subs []string
+		for _, p := range tp.Pubs {
+			if local[p] {
+				pubs = append(pubs, p)
+			}
+		}
+		for _, sb := range tp.Subs {
+			if local[sb] {
+				subs = append(subs, sb)
+			}
+		}
+		if len(pubs)+len(subs) == 0 {
+			continue // no local endpoint: the topic does not exist here
+		}
+		tp.Pubs, tp.Subs = pubs, subs
+		out.Topics = append(out.Topics, tp)
+	}
+	return out
 }
 
 // Build validates the spec, sizes the configuration to fit it (only zero

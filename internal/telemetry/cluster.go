@@ -1,0 +1,58 @@
+package telemetry
+
+// Cluster record shapes. These are produced by internal/cluster (not by
+// trace.Recorder, so they are not part of trace.Stream): the data plane
+// publishes one FrameRecord per frame action on the local node's
+// pipeline, and the control plane publishes one ClusterEpochRecord per
+// committed cluster-wide reconfiguration. Both land in the same JSONL
+// export as the job/reconfig/retire/accel records, tagged with the
+// node id, so scenario.CheckStreams can reconcile the per-node files of
+// a cluster run into one verified timeline.
+
+// FrameDir says which side of the transport recorded a frame action.
+type FrameDir uint8
+
+// Frame actions, one per FrameRecord direction.
+const (
+	// FrameSend is a frame handed to the transport by the origin node.
+	FrameSend FrameDir = iota + 1
+	// FrameRecv is a frame accepted by a destination node's ingress.
+	FrameRecv
+	// FrameDrop is a frame rejected by a destination node's ingress
+	// (stale sequence after loss/reorder, stale epoch, or injected loss).
+	FrameDrop
+)
+
+var frameDirNames = [...]string{FrameSend: "send", FrameRecv: "recv", FrameDrop: "drop"}
+
+func (d FrameDir) String() string {
+	if int(d) < len(frameDirNames) && frameDirNames[d] != "" {
+		return frameDirNames[d]
+	}
+	return "FrameDir?"
+}
+
+// FrameRecord is one data-plane frame action. Send records carry the
+// origin's clock in both SentAt and At; recv/drop records keep the
+// sender's SentAt and stamp At from the receiving node's clock, which is
+// what the clock-discipline estimator and the replay reconciler consume.
+type FrameRecord struct {
+	Dir    FrameDir
+	Origin int    // origin node id
+	Dst    int    // destination node id (== the recording node for recv/drop)
+	Topic  string // topic name (cluster-wide namespace)
+	Pub    int    // publisher task id on the origin node
+	FSeq   uint64 // per-(origin,topic,pub) frame sequence, 1-based
+	Epoch  uint64 // cluster epoch stamped by the sender
+	SentAt int64  // sender-local send timestamp (ns since env start)
+	At     int64  // local timestamp of this action (ns since env start)
+}
+
+// ClusterEpochRecord marks a committed cluster-wide reconfiguration: all
+// nodes switch to Epoch at their local instant At. CheckStreams requires
+// the per-node epoch sequences of one run to be identical — a mismatch
+// means a node committed an epoch the others never saw.
+type ClusterEpochRecord struct {
+	Epoch uint64
+	At    int64 // local commit timestamp (ns since env start)
+}

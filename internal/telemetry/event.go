@@ -2,8 +2,8 @@ package telemetry
 
 import (
 	"fmt"
-	"math/bits"
 
+	"github.com/yasmin-rt/yasmin/internal/jsonenc"
 	"github.com/yasmin-rt/yasmin/internal/trace"
 )
 
@@ -21,13 +21,20 @@ const (
 	KindRetire
 	// KindAccel is one accelerator-arbitration action (trace.AccelEvent).
 	KindAccel
+	// KindFrame is one cluster data-plane frame action (FrameRecord).
+	KindFrame
+	// KindClusterEpoch is one committed cluster-wide reconfiguration
+	// (ClusterEpochRecord).
+	KindClusterEpoch
 )
 
 var kindNames = map[Kind]string{
-	KindJob:      "job",
-	KindReconfig: "reconfig",
-	KindRetire:   "retire",
-	KindAccel:    "accel",
+	KindJob:          "job",
+	KindReconfig:     "reconfig",
+	KindRetire:       "retire",
+	KindAccel:        "accel",
+	KindFrame:        "frame",
+	KindClusterEpoch: "cepoch",
 }
 
 func (k Kind) String() string {
@@ -47,11 +54,19 @@ type Event struct {
 	// Pipeline.Publish. Dropped events consume their number, so a gap in
 	// an exported stream is exactly one lost record.
 	Seq uint64
+	// Node is the cluster node id of the pipeline that published the
+	// event, stamped by Pipeline.Publish from Options.Node. A
+	// single-node run is node 0 of a one-node cluster, so the zero value
+	// is always correct; node 0 is elided from the wire (the decoder's
+	// zero default reconstructs it losslessly).
+	Node int
 
 	Job      trace.JobRecord
 	Reconfig trace.ReconfigRecord
 	Retire   trace.RetireEvent
 	Accel    trace.AccelEvent
+	Frame    FrameRecord
+	CEpoch   ClusterEpochRecord
 }
 
 // At returns the event's timestamp (the record's own instant field).
@@ -65,152 +80,40 @@ func (e *Event) At() int64 {
 		return int64(e.Retire.At)
 	case KindAccel:
 		return int64(e.Accel.At)
+	case KindFrame:
+		return e.Frame.At
+	case KindClusterEpoch:
+		return e.CEpoch.At
 	}
 	return 0
 }
 
 // --- JSONL encoding -------------------------------------------------------
 //
-// One JSON object per line, tagged with "type". The encoder is hand-rolled
-// append-style so the writer goroutine reuses one buffer across batches and
-// the steady-state export path performs zero allocations. Durations are
+// One JSON object per line, tagged with "type". The encoder is built on
+// internal/jsonenc's append-style helpers (shared with the cluster wire
+// codec) so the writer goroutine reuses one buffer across batches and the
+// steady-state export path performs zero allocations. Durations are
 // nanosecond integers (offsets from environment start, as everywhere in
-// internal/trace). Decoding (the replay path, never hot) uses encoding/json
-// against the same schema; see docs/TRACE.md "Streaming export".
-
-const hexDigits = "0123456789abcdef"
-
-// jsonEsc marks the bytes that need escaping inside a JSON string: quote,
-// backslash, and the C0 control range. One table load per byte beats the
-// three-comparison chain on the encode hot path.
-var jsonEsc = [256]bool{'"': true, '\\': true}
-
-func init() {
-	for c := 0; c < 0x20; c++ {
-		jsonEsc[c] = true
-	}
-}
-
-// appendJSONString appends s as a JSON string literal, escaping quotes,
-// backslashes and control characters. Multi-byte UTF-8 passes through raw
-// (valid JSON). Clean runs between escapes are copied in one append — task
-// and pool names almost never need escaping, so the common case is a single
-// bulk copy.
-func appendJSONString(b []byte, s string) []byte {
-	b = append(b, '"')
-	start := 0
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if !jsonEsc[c] {
-			continue
-		}
-		b = append(b, s[start:i]...)
-		if c == '"' || c == '\\' {
-			b = append(b, '\\', c)
-		} else {
-			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
-		}
-		start = i + 1
-	}
-	b = append(b, s[start:]...)
-	return append(b, '"')
-}
-
+// internal/trace). Decoding (the replay path, never hot) uses
+// encoding/json against the same schema; see docs/TRACE.md "Streaming
+// export".
+//
 // Field keys are precomposed literals — `,"name":` with the separating
-// comma and colon baked in — appended at the call site, where the compiler
-// turns a constant-string append into immediate stores instead of a memmove
-// call. (Passing a key through a helper parameter defeats that, so the
-// value helpers below take the buffer with the key already appended.)
+// comma and colon baked in — appended at the call site, where the
+// compiler turns a constant-string append into immediate stores instead
+// of a memmove call. (Passing a key through a helper parameter defeats
+// that, so the jsonenc value helpers take the buffer with the key
+// already appended.)
 
-// digitPairs is the two-digit lookup table for appendDec: index 2n holds
-// the tens digit of n, 2n+1 the ones digit.
-const digitPairs = "00010203040506070809" +
-	"10111213141516171819" +
-	"20212223242526272829" +
-	"30313233343536373839" +
-	"40414243444546474849" +
-	"50515253545556575859" +
-	"60616263646566676869" +
-	"70717273747576777879" +
-	"80818283848586878889" +
-	"90919293949596979899"
-
-var pow10 = [20]uint64{
-	1, 10, 100, 1000, 10000, 100000, 1000000, 10000000, 100000000,
-	1000000000, 10000000000, 100000000000, 1000000000000,
-	10000000000000, 100000000000000, 1000000000000000,
-	10000000000000000, 100000000000000000, 1000000000000000000,
-	10000000000000000000,
-}
-
-// decLen returns the number of decimal digits in v in constant time:
-// floor(log2 · 1233/4096) approximates log10, then one table compare
-// corrects the boundary. No divisions — those are appendDec's whole cost,
-// and doing them twice would defeat it.
-func decLen(v uint64) int {
-	if v == 0 {
-		return 1
+// appendNode appends the ",node":N field unless the event belongs to
+// node 0 (single-node runs and the cluster coordinator's own node), which
+// is elided: the decoder's zero default reconstructs it.
+func appendNode(b []byte, ev *Event) []byte {
+	if ev.Node == 0 {
+		return b
 	}
-	t := (bits.Len64(v) * 1233) >> 12
-	if v >= pow10[t] {
-		t++
-	}
-	return t
-}
-
-// appendDec appends v in decimal. It beats strconv.AppendUint on this hot
-// path with small-value fast paths (most job-record fields are one or two
-// digits) and by writing two digits per division directly into the
-// destination — no intermediate buffer, no copy. Integer fields dominate an
-// encoded job record, so this is where export throughput is won.
-func appendDec(b []byte, v uint64) []byte {
-	if v < 10 {
-		return append(b, byte('0'+v))
-	}
-	if v < 100 {
-		return append(b, digitPairs[v*2], digitPairs[v*2+1])
-	}
-	if cap(b)-len(b) < 20 {
-		b = append(b, make([]byte, 20)...)[:len(b)]
-	}
-	i := len(b) + decLen(v)
-	b = b[:i]
-	for v >= 100 {
-		q := v / 100
-		r := (v - q*100) * 2
-		i -= 2
-		b[i] = digitPairs[r]
-		b[i+1] = digitPairs[r+1]
-		v = q
-	}
-	if v >= 10 {
-		b[i-2] = digitPairs[v*2]
-		b[i-1] = digitPairs[v*2+1]
-	} else {
-		b[i-1] = byte('0' + v)
-	}
-	return b
-}
-
-// appendSigned appends v in decimal with a sign when negative.
-func appendSigned(b []byte, v int64) []byte {
-	if v < 0 {
-		b = append(b, '-')
-		v = -v
-	}
-	return appendDec(b, uint64(v))
-}
-
-// appendList appends vs as a JSON array of strings.
-func appendList(b []byte, vs []string) []byte {
-	b = append(b, '[')
-	for i, v := range vs {
-		if i > 0 {
-			b = append(b, ',')
-		}
-		b = appendJSONString(b, v)
-	}
-	return append(b, ']')
+	return jsonenc.AppendSigned(append(b, `,"node":`...), int64(ev.Node))
 }
 
 // AppendEvent appends ev as one JSON object (no trailing newline) and
@@ -219,54 +122,77 @@ func AppendEvent(b []byte, ev *Event) []byte {
 	switch ev.Kind {
 	case KindJob:
 		j := &ev.Job
-		b = appendDec(append(b, `{"type":"job","seq":`...), ev.Seq)
-		b = appendJSONString(append(b, `,"task":`...), j.Task)
-		b = appendSigned(append(b, `,"tid":`...), int64(j.TaskID))
-		b = appendSigned(append(b, `,"job":`...), j.Job)
-		b = appendSigned(append(b, `,"ver":`...), int64(j.Version))
-		b = appendSigned(append(b, `,"core":`...), int64(j.Core))
+		b = jsonenc.AppendDec(append(b, `{"type":"job","seq":`...), ev.Seq)
+		b = appendNode(b, ev)
+		b = jsonenc.AppendString(append(b, `,"task":`...), j.Task)
+		b = jsonenc.AppendSigned(append(b, `,"tid":`...), int64(j.TaskID))
+		b = jsonenc.AppendSigned(append(b, `,"job":`...), j.Job)
+		b = jsonenc.AppendSigned(append(b, `,"ver":`...), int64(j.Version))
+		b = jsonenc.AppendSigned(append(b, `,"core":`...), int64(j.Core))
 		if j.Accel != "" {
-			b = appendJSONString(append(b, `,"accel":`...), j.Accel)
+			b = jsonenc.AppendString(append(b, `,"accel":`...), j.Accel)
 		}
-		b = appendSigned(append(b, `,"rel":`...), int64(j.Release))
-		b = appendSigned(append(b, `,"start":`...), int64(j.Start))
-		b = appendSigned(append(b, `,"fin":`...), int64(j.Finish))
-		b = appendSigned(append(b, `,"dl":`...), int64(j.Deadline))
+		b = jsonenc.AppendSigned(append(b, `,"rel":`...), int64(j.Release))
+		b = jsonenc.AppendSigned(append(b, `,"start":`...), int64(j.Start))
+		b = jsonenc.AppendSigned(append(b, `,"fin":`...), int64(j.Finish))
+		b = jsonenc.AppendSigned(append(b, `,"dl":`...), int64(j.Deadline))
 		if j.Missed {
 			b = append(b, `,"miss":true`...)
 		}
 		if j.Preempts != 0 {
-			b = appendSigned(append(b, `,"pre":`...), int64(j.Preempts))
+			b = jsonenc.AppendSigned(append(b, `,"pre":`...), int64(j.Preempts))
 		}
 	case KindReconfig:
 		r := &ev.Reconfig
-		b = appendDec(append(b, `{"type":"reconfig","seq":`...), ev.Seq)
-		b = appendSigned(append(b, `,"epoch":`...), int64(r.Epoch))
-		b = appendSigned(append(b, `,"at":`...), int64(r.At))
-		b = appendList(append(b, `,"admitted":`...), r.Admitted)
-		b = appendList(append(b, `,"retuned":`...), r.Retuned)
-		b = appendList(append(b, `,"retiring":`...), r.Retiring)
-		b = appendDec(append(b, `,"mode":`...), uint64(r.Mode))
-		b = appendSigned(append(b, `,"pause":`...), int64(r.Pause))
+		b = jsonenc.AppendDec(append(b, `{"type":"reconfig","seq":`...), ev.Seq)
+		b = appendNode(b, ev)
+		b = jsonenc.AppendSigned(append(b, `,"epoch":`...), int64(r.Epoch))
+		b = jsonenc.AppendSigned(append(b, `,"at":`...), int64(r.At))
+		b = jsonenc.AppendStringList(append(b, `,"admitted":`...), r.Admitted)
+		b = jsonenc.AppendStringList(append(b, `,"retuned":`...), r.Retuned)
+		b = jsonenc.AppendStringList(append(b, `,"retiring":`...), r.Retiring)
+		b = jsonenc.AppendDec(append(b, `,"mode":`...), uint64(r.Mode))
+		b = jsonenc.AppendSigned(append(b, `,"pause":`...), int64(r.Pause))
 	case KindRetire:
 		r := &ev.Retire
-		b = appendDec(append(b, `{"type":"retire","seq":`...), ev.Seq)
-		b = appendJSONString(append(b, `,"task":`...), r.Task)
-		b = appendSigned(append(b, `,"epoch":`...), int64(r.Epoch))
-		b = appendSigned(append(b, `,"at":`...), int64(r.At))
+		b = jsonenc.AppendDec(append(b, `{"type":"retire","seq":`...), ev.Seq)
+		b = appendNode(b, ev)
+		b = jsonenc.AppendString(append(b, `,"task":`...), r.Task)
+		b = jsonenc.AppendSigned(append(b, `,"epoch":`...), int64(r.Epoch))
+		b = jsonenc.AppendSigned(append(b, `,"at":`...), int64(r.At))
 	case KindAccel:
 		a := &ev.Accel
-		b = appendDec(append(b, `{"type":"accel","seq":`...), ev.Seq)
-		b = appendJSONString(append(b, `,"kind":`...), a.Kind.String())
-		b = appendJSONString(append(b, `,"accel":`...), a.Accel)
-		b = appendJSONString(append(b, `,"pool":`...), a.Pool)
-		b = appendJSONString(append(b, `,"task":`...), a.Task)
-		b = appendSigned(append(b, `,"job":`...), a.Job)
-		b = appendSigned(append(b, `,"prio":`...), a.Prio)
-		b = appendSigned(append(b, `,"at":`...), int64(a.At))
+		b = jsonenc.AppendDec(append(b, `{"type":"accel","seq":`...), ev.Seq)
+		b = appendNode(b, ev)
+		b = jsonenc.AppendString(append(b, `,"kind":`...), a.Kind.String())
+		b = jsonenc.AppendString(append(b, `,"accel":`...), a.Accel)
+		b = jsonenc.AppendString(append(b, `,"pool":`...), a.Pool)
+		b = jsonenc.AppendString(append(b, `,"task":`...), a.Task)
+		b = jsonenc.AppendSigned(append(b, `,"job":`...), a.Job)
+		b = jsonenc.AppendSigned(append(b, `,"prio":`...), a.Prio)
+		b = jsonenc.AppendSigned(append(b, `,"at":`...), int64(a.At))
+	case KindFrame:
+		f := &ev.Frame
+		b = jsonenc.AppendDec(append(b, `{"type":"frame","seq":`...), ev.Seq)
+		b = appendNode(b, ev)
+		b = jsonenc.AppendString(append(b, `,"dir":`...), f.Dir.String())
+		b = jsonenc.AppendSigned(append(b, `,"origin":`...), int64(f.Origin))
+		b = jsonenc.AppendSigned(append(b, `,"dst":`...), int64(f.Dst))
+		b = jsonenc.AppendString(append(b, `,"topic":`...), f.Topic)
+		b = jsonenc.AppendSigned(append(b, `,"pub":`...), int64(f.Pub))
+		b = jsonenc.AppendDec(append(b, `,"fseq":`...), f.FSeq)
+		b = jsonenc.AppendDec(append(b, `,"epoch":`...), f.Epoch)
+		b = jsonenc.AppendSigned(append(b, `,"sent":`...), f.SentAt)
+		b = jsonenc.AppendSigned(append(b, `,"at":`...), f.At)
+	case KindClusterEpoch:
+		c := &ev.CEpoch
+		b = jsonenc.AppendDec(append(b, `{"type":"cepoch","seq":`...), ev.Seq)
+		b = appendNode(b, ev)
+		b = jsonenc.AppendDec(append(b, `,"epoch":`...), c.Epoch)
+		b = jsonenc.AppendSigned(append(b, `,"at":`...), c.At)
 	default:
-		b = appendJSONString(append(b, `{"type":`...), ev.Kind.String())
-		b = appendDec(append(b, `,"seq":`...), ev.Seq)
+		b = jsonenc.AppendString(append(b, `{"type":`...), ev.Kind.String())
+		b = jsonenc.AppendDec(append(b, `,"seq":`...), ev.Seq)
 	}
 	return append(b, '}')
 }
@@ -275,9 +201,9 @@ func AppendEvent(b []byte, ev *Event) []byte {
 // the pipeline's final counters, which a replay checks the reloaded stream
 // against to prove losslessness.
 func AppendSummary(b []byte, st Stats) []byte {
-	b = appendDec(append(b, `{"type":"summary","published":`...), st.Published)
-	b = appendDec(append(b, `,"exported":`...), st.Exported)
-	b = appendDec(append(b, `,"dropped":`...), st.Dropped)
-	b = appendDec(append(b, `,"batches":`...), st.Batches)
+	b = jsonenc.AppendDec(append(b, `{"type":"summary","published":`...), st.Published)
+	b = jsonenc.AppendDec(append(b, `,"exported":`...), st.Exported)
+	b = jsonenc.AppendDec(append(b, `,"dropped":`...), st.Dropped)
+	b = jsonenc.AppendDec(append(b, `,"batches":`...), st.Batches)
 	return append(b, '}')
 }

@@ -50,6 +50,10 @@ type Options struct {
 	// when its oldest event has been buffered this long (default 5ms;
 	// negative disables the age trigger).
 	MaxBatchAge time.Duration
+	// Node is the cluster node id stamped into every published event
+	// (Event.Node). A single-node run is node 0 of a one-node cluster,
+	// so the zero value is always correct.
+	Node int
 }
 
 func (o *Options) defaults() {
@@ -118,6 +122,7 @@ func New(sink Sink, opt Options) (*Pipeline, error) {
 // publish order is preserved for the events the ring retains.
 func (p *Pipeline) Publish(ev Event) bool {
 	ev.Seq = p.pub.Add(1)
+	ev.Node = p.opt.Node
 	if p.closed.Load() || !p.ring.Push(ev) {
 		p.dropped.Add(1)
 		return false
@@ -135,6 +140,7 @@ func (p *Pipeline) Publish(ev Event) bool {
 // Returns false once the pipeline is closed.
 func (p *Pipeline) PublishWait(ev Event) bool {
 	ev.Seq = p.pub.Add(1)
+	ev.Node = p.opt.Node
 	for !p.ring.Push(ev) {
 		if p.closed.Load() {
 			p.dropped.Add(1)

@@ -22,6 +22,8 @@ type Stream struct {
 	Reconfigs []trace.ReconfigRecord
 	Retires   []trace.RetireEvent
 	Accels    []trace.AccelEvent
+	Frames    []FrameRecord
+	CEpochs   []ClusterEpochRecord
 
 	// Summary is the trailer (nil when the export was truncated before
 	// Close — Verify reports that as a violation).
@@ -41,7 +43,28 @@ func (s *Stream) add(ev Event) {
 		s.Retires = append(s.Retires, ev.Retire)
 	case KindAccel:
 		s.Accels = append(s.Accels, ev.Accel)
+	case KindFrame:
+		s.Frames = append(s.Frames, ev.Frame)
+	case KindClusterEpoch:
+		s.CEpochs = append(s.CEpochs, ev.CEpoch)
 	}
+}
+
+// Node returns the cluster node id the stream was exported by: the node
+// stamp shared by every event (a pipeline stamps all its events with one
+// id). Mixed stamps return -1 — CheckStreams flags that as a corrupt
+// merge input. An empty stream is node 0.
+func (s *Stream) Node() int {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	n := s.Events[0].Node
+	for i := range s.Events {
+		if s.Events[i].Node != n {
+			return -1
+		}
+	}
+	return n
 }
 
 // Lost returns how many published records are absent from the stream:
@@ -132,6 +155,15 @@ func (s *Stream) Verify(strictOrder bool) []string {
 type wireEvent struct {
 	Type string `json:"type"`
 	Seq  uint64 `json:"seq"`
+	Node int    `json:"node"` // elided when 0, so the decode default matches
+
+	Dir    string `json:"dir"`
+	Origin int    `json:"origin"`
+	Dst    int    `json:"dst"`
+	Topic  string `json:"topic"`
+	Pub    int    `json:"pub"`
+	FSeq   uint64 `json:"fseq"`
+	Sent   int64  `json:"sent"`
 
 	Task string `json:"task"`
 	TID  int    `json:"tid"`
@@ -164,6 +196,12 @@ type wireEvent struct {
 	Batches   uint64 `json:"batches"`
 }
 
+var frameDirByName = map[string]FrameDir{
+	FrameSend.String(): FrameSend,
+	FrameRecv.String(): FrameRecv,
+	FrameDrop.String(): FrameDrop,
+}
+
 var accelKindByName = map[string]trace.AccelEventKind{
 	trace.AccelAcquire.String(): trace.AccelAcquire,
 	trace.AccelPark.String():    trace.AccelPark,
@@ -193,7 +231,7 @@ func Replay(r io.Reader) (*Stream, error) {
 		}
 		switch w.Type {
 		case "job":
-			st.add(Event{Kind: KindJob, Seq: w.Seq, Job: trace.JobRecord{
+			st.add(Event{Kind: KindJob, Seq: w.Seq, Node: w.Node, Job: trace.JobRecord{
 				Task: w.Task, TaskID: w.TID, Job: w.Job, Version: w.Ver,
 				Core: w.Core, Accel: w.Accel,
 				Release: time.Duration(w.Rel), Start: time.Duration(w.Strt),
@@ -201,13 +239,13 @@ func Replay(r io.Reader) (*Stream, error) {
 				Missed: w.Miss, Preempts: w.Pre,
 			}})
 		case "reconfig":
-			st.add(Event{Kind: KindReconfig, Seq: w.Seq, Reconfig: trace.ReconfigRecord{
+			st.add(Event{Kind: KindReconfig, Seq: w.Seq, Node: w.Node, Reconfig: trace.ReconfigRecord{
 				Epoch: w.Epoch, At: time.Duration(w.At),
 				Admitted: w.Admitted, Retuned: w.Retuned, Retiring: w.Retiring,
 				Mode: w.Mode, Pause: time.Duration(w.Pause),
 			}})
 		case "retire":
-			st.add(Event{Kind: KindRetire, Seq: w.Seq, Retire: trace.RetireEvent{
+			st.add(Event{Kind: KindRetire, Seq: w.Seq, Node: w.Node, Retire: trace.RetireEvent{
 				Task: w.Task, Epoch: w.Epoch, At: time.Duration(w.At),
 			}})
 		case "accel":
@@ -215,9 +253,22 @@ func Replay(r io.Reader) (*Stream, error) {
 			if !ok {
 				return nil, fmt.Errorf("telemetry: replay line %d: unknown accel kind %q", line, w.Kind)
 			}
-			st.add(Event{Kind: KindAccel, Seq: w.Seq, Accel: trace.AccelEvent{
+			st.add(Event{Kind: KindAccel, Seq: w.Seq, Node: w.Node, Accel: trace.AccelEvent{
 				Kind: kind, Accel: w.Accel, Pool: w.Pool, Task: w.Task,
 				Job: w.Job, Prio: w.Prio, At: time.Duration(w.At),
+			}})
+		case "frame":
+			dir, ok := frameDirByName[w.Dir]
+			if !ok {
+				return nil, fmt.Errorf("telemetry: replay line %d: unknown frame dir %q", line, w.Dir)
+			}
+			st.add(Event{Kind: KindFrame, Seq: w.Seq, Node: w.Node, Frame: FrameRecord{
+				Dir: dir, Origin: w.Origin, Dst: w.Dst, Topic: w.Topic, Pub: w.Pub,
+				FSeq: w.FSeq, Epoch: uint64(w.Epoch), SentAt: w.Sent, At: w.At,
+			}})
+		case "cepoch":
+			st.add(Event{Kind: KindClusterEpoch, Seq: w.Seq, Node: w.Node, CEpoch: ClusterEpochRecord{
+				Epoch: uint64(w.Epoch), At: w.At,
 			}})
 		case "summary":
 			st.Summary = &Stats{
