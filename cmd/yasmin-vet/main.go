@@ -1,0 +1,153 @@
+// Command yasmin-vet runs the project's invariant analyzers (lockorder,
+// lockedblock, noalloc, determinism, atomicview) over the tree, in the
+// spirit of a go/analysis multichecker:
+//
+//	yasmin-vet ./...
+//	yasmin-vet -baseline vet-baseline.txt ./internal/core/...
+//
+// Exit status is 1 if any diagnostic is not covered by the baseline file.
+// Baseline entries are position-free ("analyzer<TAB>file<TAB>message") so
+// unrelated edits do not invalidate them; -write-baseline regenerates the
+// file from the current findings for deliberate grandfathering (target:
+// empty).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers"
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+func main() {
+	var (
+		baselinePath  = flag.String("baseline", "", "baseline file of grandfathered findings to tolerate")
+		writeBaseline = flag.Bool("write-baseline", false, "rewrite the baseline file from current findings and exit 0")
+		list          = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := anlz.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := anlz.Analyze(pkgs, analyzers.All)
+	if err != nil {
+		fatal(err)
+	}
+	analyzed := 0
+	for _, p := range pkgs {
+		if p.Match {
+			analyzed++
+		}
+	}
+
+	type entry struct{ analyzer, file, message string }
+	var entries []entry
+	var lines []string
+	fset := func() *anlz.Package {
+		if len(pkgs) > 0 {
+			return pkgs[0]
+		}
+		return nil
+	}()
+	for _, d := range diags {
+		pos := fset.Fset.Position(d.Pos)
+		rel, relErr := filepath.Rel(cwd, pos.Filename)
+		if relErr != nil {
+			rel = pos.Filename
+		}
+		entries = append(entries, entry{d.Analyzer, rel, d.Message})
+		lines = append(lines, fmt.Sprintf("%s:%d:%d: [%s] %s", rel, pos.Line, pos.Column, d.Analyzer, d.Message))
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fatal(fmt.Errorf("-write-baseline requires -baseline"))
+		}
+		var b strings.Builder
+		b.WriteString("# yasmin-vet baseline: grandfathered findings tolerated by CI.\n")
+		b.WriteString("# Format: analyzer<TAB>file<TAB>message (position-free). Target: empty.\n")
+		keys := make([]string, 0, len(entries))
+		for _, e := range entries {
+			keys = append(keys, e.analyzer+"\t"+e.file+"\t"+e.message)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString(k + "\n")
+		}
+		if err := os.WriteFile(*baselinePath, []byte(b.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("yasmin-vet: wrote %d baseline entries to %s\n", len(entries), *baselinePath)
+		return
+	}
+
+	baseline := map[string]int{}
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fatal(fmt.Errorf("baseline: %w", err))
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			baseline[line]++
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			fatal(fmt.Errorf("baseline: %w", err))
+		}
+	}
+
+	bad := 0
+	for i, e := range entries {
+		key := e.analyzer + "\t" + e.file + "\t" + e.message
+		if baseline[key] > 0 {
+			baseline[key]--
+			continue
+		}
+		fmt.Println(lines[i])
+		bad++
+	}
+	for key, n := range baseline {
+		if n > 0 {
+			fmt.Printf("yasmin-vet: stale baseline entry (finding no longer present): %s\n",
+				strings.ReplaceAll(key, "\t", " | "))
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("yasmin-vet: %d finding(s) across %d package(s)\n", bad, analyzed)
+		os.Exit(1)
+	}
+	fmt.Printf("yasmin-vet: ok (%d packages, %d analyzers)\n", analyzed, len(analyzers.All))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "yasmin-vet:", err)
+	os.Exit(1)
+}

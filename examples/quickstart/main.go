@@ -44,7 +44,7 @@ func describeDiamond(battery func() float64) *yasmin.Builder {
 	lv1 := yasmin.VSelect{EnergyBudget: 5, Quality: 1, GetBatteryStatus: battery}
 	lv2 := yasmin.VSelect{EnergyBudget: 12, Quality: 9, MinBattery: 40, GetBatteryStatus: battery}
 
-	b.Task("fork").Period(250 * time.Millisecond).
+	b.Task("fork").Period(250*time.Millisecond).
 		Version(func(x *yasmin.ExecCtx, _ any) error {
 			if err := x.Compute(200 * time.Microsecond); err != nil {
 				return err

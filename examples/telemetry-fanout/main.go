@@ -72,7 +72,7 @@ func main() {
 
 	var stabTaken, stabGaps int64
 	var stabLast int64
-	b.Task("stabiliser").Period(10 * time.Millisecond).
+	b.Task("stabiliser").Period(10*time.Millisecond).
 		Version(func(x *yasmin.ExecCtx, _ any) error {
 			if err := x.Compute(100 * time.Microsecond); err != nil {
 				return err
@@ -92,7 +92,7 @@ func main() {
 
 	var logTaken int64
 	var logSeqs []int64
-	b.Task("logger").Period(200 * time.Millisecond).
+	b.Task("logger").Period(200*time.Millisecond).
 		Version(func(x *yasmin.ExecCtx, _ any) error {
 			if err := x.Compute(500 * time.Microsecond); err != nil {
 				return err
@@ -111,8 +111,8 @@ func main() {
 	for zone := 0; zone < 4; zone++ {
 		zone := zone
 		var seq int64
-		b.Task(fmt.Sprintf("zone%d", zone)).Period(25 * time.Millisecond).
-			Offset(time.Duration(zone) * time.Millisecond).
+		b.Task(fmt.Sprintf("zone%d", zone)).Period(25*time.Millisecond).
+			Offset(time.Duration(zone)*time.Millisecond).
 			Version(func(x *yasmin.ExecCtx, _ any) error {
 				if err := x.Compute(50 * time.Microsecond); err != nil {
 					return err
@@ -132,7 +132,7 @@ func main() {
 	var alertFirst = true
 	lastZoneSeq := map[int]int64{}
 	orderOK := true
-	b.Task("aggregator").Period(50 * time.Millisecond).
+	b.Task("aggregator").Period(50*time.Millisecond).
 		Version(func(x *yasmin.ExecCtx, _ any) error {
 			if err := x.Compute(200 * time.Microsecond); err != nil {
 				return err

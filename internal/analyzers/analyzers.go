@@ -1,0 +1,19 @@
+// Package analyzers holds yasmin-vet's project-specific invariant checkers.
+// Each analyzer mechanically enforces one convention that the runtime's
+// correctness rests on (docs/ARCHITECTURE.md, "Invariants & enforcement"):
+// the reconfigMu-outside-App.mu lock order, the no-blocking-under-App.mu
+// rule, the zero-allocation hot paths, SimEnv determinism, and the atomic
+// snapshot discipline. Code opts in and communicates exceptions through
+// //yasmin: directives; see each analyzer's Doc for its vocabulary.
+package analyzers
+
+import "github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+
+// All is the yasmin-vet suite in the order diagnostics are grouped.
+var All = []*anlz.Analyzer{
+	LockOrder,
+	LockedBlock,
+	NoAlloc,
+	Determinism,
+	AtomicView,
+}

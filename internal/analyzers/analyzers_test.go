@@ -1,0 +1,28 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers"
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.LockOrder, "lockorder")
+}
+
+func TestLockedBlock(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.LockedBlock, "lockedblock")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.NoAlloc, "noalloc")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Determinism, "determinism", "determinismpkg")
+}
+
+func TestAtomicView(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.AtomicView, "atomicview")
+}

@@ -1,0 +1,143 @@
+// Package analysistest runs an anlz.Analyzer over fixture packages under
+// testdata/src and checks its diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on top of
+// the stdlib-only shim.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// wantRe matches one expectation in a // want comment: either a
+// double-quoted (Go-unquoted) or backtick-quoted (raw) regexp, as in
+// x/tools analysistest.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run analyzes each package fixture testdata/src/<pkg> with the analyzer
+// and reports mismatches between emitted diagnostics and // want comments.
+func Run(t *testing.T, testdata string, a *anlz.Analyzer, pkgNames ...string) {
+	t.Helper()
+	for _, name := range pkgNames {
+		t.Run(name, func(t *testing.T) {
+			runOne(t, filepath.Join(testdata, "src", name), a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *anlz.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {},
+	}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+
+	store := anlz.NewStore()
+	dirs := store.CollectDirectives(fset, files, pkg, info)
+	diags, err := anlz.RunOne(a, fset, files, pkg, info, dirs)
+	if err != nil {
+		t.Fatalf("analyzer: %v", err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "// want ") && !strings.Contains(text, "// want ") {
+					continue
+				}
+				idx = strings.Index(text, "want ")
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text[idx:], -1) {
+					unq := m[1] // backtick-quoted: raw
+					if m[1] == "" && m[2] != "" {
+						var err error
+						unq, err = strconv.Unquote(`"` + m[2] + `"`)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, m[2], err)
+						}
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, unq, err)
+					}
+					wants[key] = append(wants[key], &want{re: re, raw: unq})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package anlz is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis driver surface: Analyzer, Pass, Diagnostic,
+// a package loader built on `go list` plus the standard library's source
+// importer, and a cross-package directive ("fact") store. The repository's
+// build environment is hermetic — x/tools cannot be fetched — so yasmin-vet
+// carries this shim instead; the analyzer API is kept call-compatible so the
+// checkers port to the real framework mechanically if it ever lands in the
+// module cache.
+package anlz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and baselines.
+	Name string
+	// Doc is the one-paragraph description shown by yasmin-vet -help.
+	Doc string
+	// Run executes the analyzer on one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one analyzed package into an Analyzer's Run, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Dirs holds the package's directives (this package's own plus, via
+	// the shared store, every dependency's).
+	Dirs *Directives
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos. Exact duplicates (same position,
+// analyzer, and message) are dropped: flow-based checkers may legitimately
+// traverse a loop body more than once to reach a fixpoint.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	for _, d := range *p.diags {
+		if d.Pos == pos && d.Analyzer == p.Analyzer.Name && d.Message == msg {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  msg,
+	})
+}
+
+// A directive is a magic comment of the form //yasmin:<verb> [args...].
+// Directives attach to the declaration they document (func, struct field,
+// interface method, type) or — for file/package scope — to any comment in
+// the file.
+const directivePrefix = "//yasmin:"
+
+// Directive is one parsed //yasmin: comment.
+type Directive struct {
+	Verb string   // e.g. "noalloc", "lockrank", "deterministic"
+	Args []string // whitespace-split arguments after the verb
+	Pos  token.Pos
+}
+
+// Directives indexes a package's //yasmin: comments three ways: by declared
+// object key (functions, fields, types, interface methods), by file (scoped
+// verbs like deterministic), and by source line (statement-level escapes
+// like alloc-ok / wallclock / orderinvariant). Object keys are stable
+// strings so they can be looked up across packages through the shared
+// Store.
+type Directives struct {
+	store *Store
+	// objs maps object key -> directives on its declaration.
+	objs map[string][]Directive
+	// files maps file name (fset-resolved) -> file-scope directives.
+	files map[string][]Directive
+	// lines maps "file:line" -> directives written on that line.
+	lines map[string][]Directive
+	// pkgPath of the package these were collected from.
+	pkgPath string
+}
+
+// Store accumulates every analyzed package's directives so later packages
+// can consult annotations on their dependencies' objects — the shim's
+// equivalent of analysis facts. The driver analyzes packages in dependency
+// order, so lookups always hit a fully collected package.
+type Store struct {
+	pkgs map[string]*Directives
+}
+
+// NewStore creates an empty cross-package directive store.
+func NewStore() *Store { return &Store{pkgs: map[string]*Directives{}} }
+
+// ObjKey computes the stable cross-package key for a declared object:
+// "pkgpath.Name" for package-level objects, "pkgpath.Type.Name" for
+// methods and struct fields. Returns "" for objects without a package
+// (builtins) or local variables.
+func ObjKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			return obj.Pkg().Path() + "." + baseTypeName(sig.Recv().Type()) + "." + obj.Name()
+		}
+		return obj.Pkg().Path() + "." + obj.Name()
+	case *types.Var:
+		// Struct fields are keyed by owner type at collection time; a
+		// bare var key covers package-level vars.
+		if o.IsField() {
+			return "" // callers use FieldKey with the owner type
+		}
+		if o.Parent() == o.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	case *types.TypeName:
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return ""
+}
+
+// FieldKey is the object key of a struct field or interface method given
+// its owner's named type.
+func FieldKey(pkgPath, typeName, fieldName string) string {
+	return pkgPath + "." + typeName + "." + fieldName
+}
+
+func baseTypeName(t types.Type) string {
+	t = derefAll(t)
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return strings.ReplaceAll(types.TypeString(t, nil), " ", "")
+}
+
+func derefAll(t types.Type) types.Type {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// CollectDirectives walks the package's files once and indexes every
+// //yasmin: comment. It registers the result in the store under the
+// package's import path.
+func (s *Store) CollectDirectives(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Directives {
+	d := &Directives{
+		store:   s,
+		objs:    map[string][]Directive{},
+		files:   map[string][]Directive{},
+		lines:   map[string][]Directive{},
+		pkgPath: pkg.Path(),
+	}
+	for _, f := range files {
+		fname := fset.Position(f.Package).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				dir, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				dir.Pos = c.Pos()
+				pos := fset.Position(c.Pos())
+				d.files[fname] = append(d.files[fname], dir)
+				d.lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] =
+					append(d.lines[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)], dir)
+			}
+		}
+		// Attach directives to the declarations they document.
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				for _, dir := range commentDirectives(dd.Doc) {
+					if obj := info.Defs[dd.Name]; obj != nil {
+						if k := ObjKey(obj); k != "" {
+							d.objs[k] = append(d.objs[k], dir)
+						}
+					}
+				}
+			case *ast.GenDecl:
+				d.collectGenDecl(fset, dd, pkg, info)
+			}
+		}
+	}
+	s.pkgs[pkg.Path()] = d
+	return d
+}
+
+// collectGenDecl attaches directives inside type declarations: the type
+// itself, struct fields, and interface methods. Field and method
+// directives may ride the doc comment or the same-line trailing comment.
+func (d *Directives) collectGenDecl(fset *token.FileSet, g *ast.GenDecl, pkg *types.Package, info *types.Info) {
+	for _, spec := range g.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		typeName := ts.Name.Name
+		docs := commentDirectives(g.Doc)
+		docs = append(docs, commentDirectives(ts.Doc)...)
+		docs = append(docs, commentDirectives(ts.Comment)...)
+		for _, dir := range docs {
+			d.objs[FieldKey(pkg.Path(), typeName, "")] = append(d.objs[FieldKey(pkg.Path(), typeName, "")], dir)
+			if obj := info.Defs[ts.Name]; obj != nil {
+				if k := ObjKey(obj); k != "" {
+					d.objs[k] = append(d.objs[k], dir)
+				}
+			}
+		}
+		var fields *ast.FieldList
+		switch t := ts.Type.(type) {
+		case *ast.StructType:
+			fields = t.Fields
+		case *ast.InterfaceType:
+			fields = t.Methods
+		default:
+			continue
+		}
+		for _, f := range fields.List {
+			dirs := commentDirectives(f.Doc)
+			dirs = append(dirs, commentDirectives(f.Comment)...)
+			if len(dirs) == 0 {
+				continue
+			}
+			for _, name := range f.Names {
+				for _, dir := range dirs {
+					d.objs[FieldKey(pkg.Path(), typeName, name.Name)] =
+						append(d.objs[FieldKey(pkg.Path(), typeName, name.Name)], dir)
+				}
+			}
+		}
+	}
+}
+
+func commentDirectives(cg *ast.CommentGroup) []Directive {
+	if cg == nil {
+		return nil
+	}
+	var out []Directive
+	for _, c := range cg.List {
+		if dir, ok := parseDirective(c.Text); ok {
+			dir.Pos = c.Pos()
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+func parseDirective(text string) (Directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Verb: fields[0], Args: fields[1:]}, true
+}
+
+// ObjHas reports whether obj's declaration carries the verb, looking the
+// declaring package up in the shared store (works across packages).
+func (d *Directives) ObjHas(obj types.Object, verb string) bool {
+	_, ok := d.ObjDirective(obj, verb)
+	return ok
+}
+
+// ObjDirective returns the first directive with the verb on obj's
+// declaration.
+func (d *Directives) ObjDirective(obj types.Object, verb string) (Directive, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return Directive{}, false
+	}
+	return d.KeyDirective(ObjKey(obj), obj.Pkg().Path(), verb)
+}
+
+// FieldDirective returns the first directive with the verb on the named
+// struct field or interface method.
+func (d *Directives) FieldDirective(pkgPath, typeName, fieldName, verb string) (Directive, bool) {
+	return d.KeyDirective(FieldKey(pkgPath, typeName, fieldName), pkgPath, verb)
+}
+
+// KeyDirective resolves a directive by precomputed object key.
+func (d *Directives) KeyDirective(key, pkgPath, verb string) (Directive, bool) {
+	if key == "" {
+		return Directive{}, false
+	}
+	src := d
+	if pkgPath != d.pkgPath && d.store != nil {
+		src = d.store.pkgs[pkgPath]
+		if src == nil {
+			return Directive{}, false
+		}
+	}
+	for _, dir := range src.objs[key] {
+		if dir.Verb == verb {
+			return dir, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FileDirectives returns every file-scope directive with the verb in the
+// file containing pos (this package only).
+func (d *Directives) FileDirectives(fset *token.FileSet, pos token.Pos, verb string) []Directive {
+	fname := fset.Position(pos).Filename
+	var out []Directive
+	for _, dir := range d.files[fname] {
+		if dir.Verb == verb {
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// FileHas reports whether the file containing pos carries a file-scope
+// directive with the verb (in this package).
+func (d *Directives) FileHas(fset *token.FileSet, pos token.Pos, verb string) bool {
+	fname := fset.Position(pos).Filename
+	for _, dir := range d.files[fname] {
+		if dir.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// LineHas reports whether the source line of pos (or the line above it)
+// carries the verb — the statement-level escape hatch: the annotation may
+// trail the statement or sit on its own line immediately before it.
+func (d *Directives) LineHas(fset *token.FileSet, pos token.Pos, verb string) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, dir := range d.lines[fmt.Sprintf("%s:%d", p.Filename, line)] {
+			if dir.Verb == verb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunOne executes a single analyzer over one already-type-checked package
+// (the analysistest entry point).
+func RunOne(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, dirs *Directives) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Dirs:      dirs,
+		diags:     &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	SortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by position then analyzer for stable
+// output.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,208 @@
+package anlz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	Imports []string
+	// Match reports whether the package was named by the load patterns
+	// (false: an in-module dependency loaded only so its //yasmin:
+	// directives enter the store — it is not itself analyzed).
+	Match bool
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+// Load enumerates the packages matching patterns with `go list`, parses and
+// type-checks them (imports resolve through the standard library's source
+// importer, so the loader works offline), and returns them topologically
+// sorted: every package appears after the packages it imports. In-module
+// dependencies of the matched packages are loaded too — with Match=false —
+// so their //yasmin: directives are visible when only a subset of the tree
+// is analyzed; dependencies outside the module are type-checked on demand
+// by the importer but never surfaced.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	matched, err := golist(dir, patterns, false)
+	if err != nil {
+		return nil, err
+	}
+	matchSet := make(map[string]bool, len(matched))
+	for _, e := range matched {
+		matchSet[e.ImportPath] = true
+	}
+	// Second pass with -deps picks up in-module dependencies of the matched
+	// set (stdlib and external modules are filtered by the Module stamp).
+	entries, err := golist(dir, patterns, true)
+	if err != nil {
+		return nil, err
+	}
+	entries = toposort(entries)
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, e := range entries {
+		p, err := typecheck(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		p.Match = matchSet[p.Path]
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// golist runs `go list -json` (with -deps when deps is set) and returns the
+// module-local entries that have Go sources.
+func golist(dir string, patterns []string, deps bool) ([]listEntry, error) {
+	args := []string{"list", "-json=ImportPath,Dir,GoFiles,Imports,Module"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("anlz: go list: %v\n%s", err, errb.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("anlz: go list decode: %v", err)
+		}
+		if len(e.GoFiles) > 0 && e.Module != nil {
+			entries = append(entries, e)
+		}
+	}
+	return entries, nil
+}
+
+// toposort orders entries so imports precede importers (stable for
+// unrelated packages: lexical by import path).
+func toposort(entries []listEntry) []listEntry {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ImportPath < entries[j].ImportPath })
+	byPath := make(map[string]*listEntry, len(entries))
+	for i := range entries {
+		byPath[entries[i].ImportPath] = &entries[i]
+	}
+	var out []listEntry
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(e *listEntry)
+	visit = func(e *listEntry) {
+		if state[e.ImportPath] != 0 {
+			return
+		}
+		state[e.ImportPath] = 1
+		for _, imp := range e.Imports {
+			if dep := byPath[imp]; dep != nil && state[imp] == 0 {
+				visit(dep)
+			}
+		}
+		state[e.ImportPath] = 2
+		out = append(out, *e)
+	}
+	for i := range entries {
+		visit(&entries[i])
+	}
+	return out
+}
+
+func typecheck(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("anlz: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	pkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("anlz: typecheck %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		Path:    e.ImportPath,
+		Dir:     e.Dir,
+		Fset:    fset,
+		Files:   files,
+		Pkg:     pkg,
+		Info:    info,
+		Imports: e.Imports,
+	}, nil
+}
+
+// Analyze runs the analyzers over every matched loaded package (which must
+// be in dependency order, as Load returns them) sharing one directive
+// store, and returns all diagnostics sorted by position. Directives are
+// collected from every package — analyzers run only on matched ones, so a
+// subset run still sees the annotations of its in-module dependencies.
+func Analyze(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	store := NewStore()
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		dirs := store.CollectDirectives(p.Fset, p.Files, p.Pkg, p.Info)
+		if !p.Match {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Dirs:      dirs,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("anlz: %s on %s: %v", a.Name, p.Path, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		SortDiagnostics(pkgs[0].Fset, diags)
+	}
+	return diags, nil
+}

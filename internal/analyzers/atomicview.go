@@ -1,0 +1,159 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// AtomicView protects the lock-free snapshot discipline around topicView
+// and friends. Three rules:
+//
+//  1. struct fields of sync/atomic types (atomic.Pointer[T], atomic.Uint32,
+//     atomic.Value, …) may only appear as the receiver of their own method
+//     calls (Load/Store/Swap/CompareAndSwap/Add/…) — never copied, plainly
+//     assigned, or address-taken;
+//  2. fields that are passed as &x.f to the legacy atomic.LoadUint32-style
+//     functions anywhere in the package must be accessed that way
+//     everywhere — a single plain read or write next to atomic uses is a
+//     data race;
+//  3. types annotated //yasmin:immutable (the published topicView snapshot)
+//     must never have a field written after construction: build a new value
+//     with a composite literal and publish it via its atomic pointer.
+var AtomicView = &anlz.Analyzer{
+	Name: "atomicview",
+	Doc: "check that atomic fields are only touched through atomic " +
+		"operations and //yasmin:immutable snapshots are never mutated",
+	Run: runAtomicView,
+}
+
+func runAtomicView(pass *anlz.Pass) error {
+	ok := map[ast.Node]bool{}            // selector uses proven legal
+	legacy := map[*types.Var]token.Pos{} // fields used via atomic.XxxUint32(&x.f, …)
+
+	// Pass 1: mark legal uses — method-call receivers on atomic-typed
+	// fields, and &x.f arguments to sync/atomic package functions (which
+	// also enroll x.f in the must-always-be-atomic set).
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+				if recv, isRecvSel := ast.Unparen(sel.X).(*ast.SelectorExpr); isRecvSel {
+					if atomicField(pass, recv) != nil {
+						ok[recv] = true // x.f.Load() etc.
+					}
+				}
+				if callee, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFn &&
+					callee.Pkg() != nil && callee.Pkg().Path() == "sync/atomic" &&
+					callee.Type().(*types.Signature).Recv() == nil {
+					for _, arg := range call.Args {
+						if ue, isAddr := ast.Unparen(arg).(*ast.UnaryExpr); isAddr && ue.Op == token.AND {
+							if fs, isFieldSel := ast.Unparen(ue.X).(*ast.SelectorExpr); isFieldSel {
+								if v, isVar := pass.TypesInfo.Uses[fs.Sel].(*types.Var); isVar && v.IsField() {
+									if _, seen := legacy[v]; !seen {
+										legacy[v] = fs.Pos()
+									}
+									ok[fs] = true
+								}
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	immutable := func(t types.Type) (string, bool) {
+		n, okN := derefNamed(t)
+		if !okN {
+			return "", false
+		}
+		if _, has := pass.Dirs.ObjDirective(n.Obj(), "immutable"); has {
+			return n.Obj().Name(), true
+		}
+		return "", false
+	}
+
+	// Pass 2: report violations.
+	for _, f := range pass.Files {
+		var writes = map[ast.Node]bool{} // LHS selector nodes of assignments
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if sel, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel {
+						writes[sel] = true
+						if name, isImm := immutable(pass.TypesInfo.Types[sel.X].Type); isImm {
+							pass.Reportf(x.Pos(), "write to field %s of //yasmin:immutable type %s; build a fresh snapshot and republish it instead", sel.Sel.Name, name)
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, isSel := ast.Unparen(x.X).(*ast.SelectorExpr); isSel {
+					writes[sel] = true
+					if name, isImm := immutable(pass.TypesInfo.Types[sel.X].Type); isImm {
+						pass.Reportf(x.Pos(), "write to field %s of //yasmin:immutable type %s; build a fresh snapshot and republish it instead", sel.Sel.Name, name)
+					}
+				}
+			case *ast.SelectorExpr:
+				if ok[x] {
+					return true
+				}
+				if fld := atomicField(pass, x); fld != nil {
+					pass.Reportf(x.Pos(), "atomic field %s used outside its atomic methods (Load/Store/…); plain access defeats the snapshot discipline", fld.Name())
+					return true
+				}
+				if v, isVar := pass.TypesInfo.Uses[x.Sel].(*types.Var); isVar && v.IsField() {
+					if first, enrolled := legacy[v]; enrolled {
+						kind := "read"
+						if writes[x] {
+							kind = "write"
+						}
+						pass.Reportf(x.Pos(), "plain %s of field %s, which is accessed with sync/atomic at %s; every access must be atomic", kind, v.Name(), posOf(pass, first))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicField resolves sel to a struct field whose type is declared in
+// sync/atomic, or nil.
+func atomicField(pass *anlz.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, isVar := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !isVar || !v.IsField() {
+		return nil
+	}
+	if n, okN := derefNamed(v.Type()); okN {
+		if p := n.Obj().Pkg(); p != nil && p.Path() == "sync/atomic" {
+			return v
+		}
+	}
+	return nil
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt, true
+		case *types.Alias:
+			t = types.Unalias(tt)
+		default:
+			return nil, false
+		}
+	}
+}

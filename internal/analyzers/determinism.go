@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// Determinism enforces the SimEnv reproducibility contract: code tagged
+// //yasmin:deterministic (file scope; `//yasmin:deterministic package`
+// extends to the whole package) must produce identical behaviour run to
+// run. That bans the wall clock (time.Now/Since/Until, timers), the global
+// math/rand source (seeded *rand.Rand instances are fine), crypto/rand,
+// and ranging over maps — Go randomizes iteration order, so any map range
+// whose effect reaches output diverges between runs. Escapes:
+// //yasmin:wallclock on a line that deliberately measures host time,
+// //yasmin:orderinvariant on a map range whose body is provably
+// order-insensitive.
+var Determinism = &anlz.Analyzer{
+	Name: "determinism",
+	Doc: "check that //yasmin:deterministic files avoid wall-clock time, " +
+		"global math/rand, crypto/rand, and map iteration",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *anlz.Pass) error {
+	// A `deterministic package` directive in any file covers them all.
+	pkgWide := false
+	for _, f := range pass.Files {
+		for _, d := range pass.Dirs.FileDirectives(pass.Fset, f.Pos(), "deterministic") {
+			if len(d.Args) > 0 && d.Args[0] == "package" {
+				pkgWide = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if !pkgWide && !pass.Dirs.FileHas(pass.Fset, f.Pos(), "deterministic") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				callee := staticCalleeOf(pass, x)
+				if callee == nil || callee.Pkg() == nil {
+					return true
+				}
+				if msg := nondeterministicCall(callee); msg != "" &&
+					!pass.Dirs.LineHas(pass.Fset, x.Pos(), "wallclock") {
+					pass.Reportf(x.Pos(), "%s in deterministic scope; use the injected env clock/seeded source or annotate //yasmin:wallclock", msg)
+				}
+			case *ast.RangeStmt:
+				t := pass.TypesInfo.Types[x.X].Type
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap &&
+					!pass.Dirs.LineHas(pass.Fset, x.Pos(), "orderinvariant") {
+					pass.Reportf(x.Pos(), "map iteration order is randomized; sort keys first or annotate //yasmin:orderinvariant in deterministic scope")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nondeterministicCall classifies callees whose result differs run to run.
+func nondeterministicCall(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch f.Pkg().Path() {
+	case "time":
+		if isMethod {
+			return "" // arithmetic on time values is fine
+		}
+		switch f.Name() {
+		case "Now", "Since", "Until", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+			return "wall-clock time." + f.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level sampling funcs draw from the shared global source.
+		// The constructors are the blessed escape: rand.New(rand.NewSource(seed))
+		// builds the private seeded generator deterministic code should use.
+		if !isMethod {
+			switch f.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+				return ""
+			}
+			return "global " + f.Pkg().Path() + "." + f.Name()
+		}
+	case "crypto/rand":
+		return "crypto/rand." + f.Name()
+	}
+	return ""
+}

@@ -1,0 +1,613 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// lockID identifies one mutex as the analysis sees it: the declared field
+// or variable object (identity across every access path), a display name,
+// and its declared //yasmin:lockrank, if any.
+type lockID struct {
+	obj     types.Object
+	display string
+	rank    int
+	hasRank bool
+	noSleep bool // //yasmin:lockrank N nosleep — no blocking ops while held
+}
+
+// heldSet is the set of locks that may be held at a program point, keyed by
+// lock object. Conservative: a lock held on any path into the point counts
+// as held.
+type heldSet map[types.Object]lockID
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+func (h heldSet) union(o heldSet) heldSet {
+	c := h.clone()
+	for k, v := range o {
+		c[k] = v
+	}
+	return c
+}
+
+// events receives the walker's callbacks. held snapshots are only valid for
+// the duration of the call.
+type events interface {
+	// acquire fires when a lock's Lock/RLock is called, before it joins held.
+	acquire(n ast.Node, lk lockID, held heldSet)
+	// call fires for every non-lock function call. callee is nil for
+	// dynamic calls (closures, function values).
+	call(n *ast.CallExpr, callee *types.Func, held heldSet)
+	// blocking fires for AST-level blocking constructs: channel send,
+	// channel receive, select without default.
+	blocking(n ast.Node, desc string, held heldSet)
+}
+
+// walker performs a structured abstract interpretation of one function
+// body, tracking the may-held lock set through branches, loops, switches
+// and defers. Deferred Unlocks keep the lock held to function exit (which
+// is exactly the runtime behaviour); function literals are not entered
+// (they execute later, not at their definition point).
+type walker struct {
+	pass  *anlz.Pass
+	on    events
+	locks map[types.Object]lockID // resolution cache
+}
+
+func newWalker(pass *anlz.Pass, on events) *walker {
+	return &walker{pass: pass, on: on, locks: map[types.Object]lockID{}}
+}
+
+// flowOut is the dataflow result of one statement (or block).
+type flowOut struct {
+	out        heldSet   // fall-through exit state
+	terminated bool      // no fall-through (all paths return/panic)
+	breaks     []heldSet // states flowing to the innermost breakable stmt
+	continues  []heldSet // states flowing to the innermost loop head
+}
+
+func (w *walker) funcBody(body *ast.BlockStmt) {
+	w.block(body, heldSet{})
+}
+
+func (w *walker) block(b *ast.BlockStmt, held heldSet) flowOut {
+	cur := held.clone()
+	res := flowOut{}
+	for _, s := range b.List {
+		r := w.stmt(s, cur)
+		res.breaks = append(res.breaks, r.breaks...)
+		res.continues = append(res.continues, r.continues...)
+		if r.terminated {
+			res.terminated = true
+			return res
+		}
+		cur = r.out
+	}
+	res.out = cur
+	return res
+}
+
+func (w *walker) stmt(s ast.Stmt, held heldSet) flowOut {
+	switch st := s.(type) {
+	case nil:
+		return flowOut{out: held}
+	case *ast.BlockStmt:
+		return w.block(st, held)
+	case *ast.ExprStmt:
+		return flowOut{out: w.expr(st.X, held)}
+	case *ast.AssignStmt:
+		cur := held
+		for _, e := range st.Rhs {
+			cur = w.expr(e, cur)
+		}
+		for _, e := range st.Lhs {
+			cur = w.expr(e, cur)
+		}
+		return flowOut{out: cur}
+	case *ast.DeclStmt:
+		cur := held
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						cur = w.expr(e, cur)
+					}
+				}
+			}
+		}
+		return flowOut{out: cur}
+	case *ast.IncDecStmt:
+		return flowOut{out: w.expr(st.X, held)}
+	case *ast.SendStmt:
+		cur := w.expr(st.Chan, held)
+		cur = w.expr(st.Value, cur)
+		w.on.blocking(st, "channel send", cur)
+		return flowOut{out: cur}
+	case *ast.GoStmt:
+		// Argument expressions evaluate here; the goroutine itself runs
+		// without our locks.
+		cur := held
+		for _, a := range st.Call.Args {
+			cur = w.expr(a, cur)
+		}
+		return flowOut{out: cur}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the remainder of the
+		// function — model it by simply not releasing. A deferred Lock is
+		// nonsensical; other deferred calls are reported as calls (they
+		// run at return, when held-on-entry locks may still be held).
+		cur := held
+		for _, a := range st.Call.Args {
+			cur = w.expr(a, cur)
+		}
+		if _, _, isRelease := w.lockCall(st.Call); isRelease {
+			return flowOut{out: cur}
+		}
+		w.on.call(st.Call, w.staticCallee(st.Call), cur)
+		return flowOut{out: cur}
+	case *ast.ReturnStmt:
+		cur := held
+		for _, e := range st.Results {
+			cur = w.expr(e, cur)
+		}
+		return flowOut{terminated: true}
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			return flowOut{terminated: true, breaks: []heldSet{held.clone()}}
+		case token.CONTINUE:
+			return flowOut{terminated: true, continues: []heldSet{held.clone()}}
+		default: // goto, fallthrough: treat as fall-through (rare; conservative enough)
+			return flowOut{out: held}
+		}
+	case *ast.IfStmt:
+		cur := held
+		if st.Init != nil {
+			cur = w.stmt(st.Init, cur).out
+		}
+		cur = w.expr(st.Cond, cur)
+		thenR := w.stmt(st.Body, cur)
+		var elseR flowOut
+		if st.Else != nil {
+			elseR = w.stmt(st.Else, cur)
+		} else {
+			elseR = flowOut{out: cur.clone()}
+		}
+		return mergeBranches(thenR, elseR)
+	case *ast.ForStmt:
+		cur := held
+		if st.Init != nil {
+			cur = w.stmt(st.Init, cur).out
+		}
+		return w.loop(cur, st.Cond != nil, func(entry heldSet) flowOut {
+			c := entry
+			if st.Cond != nil {
+				c = w.expr(st.Cond, c)
+			}
+			r := w.stmt(st.Body, c)
+			if !r.terminated && st.Post != nil {
+				r.out = w.stmt(st.Post, r.out).out
+			}
+			return r
+		})
+	case *ast.RangeStmt:
+		cur := w.expr(st.X, held)
+		return w.loop(cur, true, func(entry heldSet) flowOut {
+			return w.stmt(st.Body, entry)
+		})
+	case *ast.SwitchStmt:
+		cur := held
+		if st.Init != nil {
+			cur = w.stmt(st.Init, cur).out
+		}
+		if st.Tag != nil {
+			cur = w.expr(st.Tag, cur)
+		}
+		return w.switchBody(st.Body, cur)
+	case *ast.TypeSwitchStmt:
+		cur := held
+		if st.Init != nil {
+			cur = w.stmt(st.Init, cur).out
+		}
+		cur = w.stmt(st.Assign, cur).out
+		return w.switchBody(st.Body, cur)
+	case *ast.SelectStmt:
+		if !selectHasDefault(st) {
+			w.on.blocking(st, "select without default", held)
+		}
+		// Each comm clause: the comm op itself, then the body.
+		out := flowOut{}
+		any := false
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			cur := held.clone()
+			if cc.Comm != nil {
+				cur = w.commStmt(cc.Comm, cur)
+			}
+			r := w.stmts(cc.Body, cur)
+			out.breaks = append(out.breaks, r.breaks...)
+			out.continues = append(out.continues, r.continues...)
+			if !r.terminated {
+				if out.out == nil {
+					out.out = r.out
+				} else {
+					out.out = out.out.union(r.out)
+				}
+				any = true
+			}
+		}
+		if !any && len(st.Body.List) > 0 {
+			out.terminated = true
+		}
+		if out.out == nil {
+			out.out = held.clone()
+		}
+		return out
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, held)
+	default:
+		return flowOut{out: held}
+	}
+}
+
+// commStmt walks a select communication op without re-reporting it as a
+// blocking construct (the select itself already was, when it had no
+// default).
+func (w *walker) commStmt(s ast.Stmt, held heldSet) heldSet {
+	switch st := s.(type) {
+	case *ast.SendStmt:
+		cur := w.exprNoBlock(st.Chan, held)
+		return w.exprNoBlock(st.Value, cur)
+	case *ast.AssignStmt:
+		cur := held
+		for _, e := range st.Rhs {
+			cur = w.exprNoBlock(e, cur)
+		}
+		return cur
+	case *ast.ExprStmt:
+		return w.exprNoBlock(st.X, held)
+	}
+	return held
+}
+
+func (w *walker) stmts(list []ast.Stmt, held heldSet) flowOut {
+	cur := held
+	res := flowOut{}
+	for _, s := range list {
+		r := w.stmt(s, cur)
+		res.breaks = append(res.breaks, r.breaks...)
+		res.continues = append(res.continues, r.continues...)
+		if r.terminated {
+			res.terminated = true
+			return res
+		}
+		cur = r.out
+	}
+	res.out = cur
+	return res
+}
+
+// switchBody walks case clauses; unlabeled breaks inside them exit the
+// switch, so they merge into the fall-through state instead of escaping to
+// an enclosing loop.
+func (w *walker) switchBody(body *ast.BlockStmt, held heldSet) flowOut {
+	out := flowOut{}
+	var exits []heldSet
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		cur := held.clone()
+		for _, e := range cc.List {
+			cur = w.expr(e, cur)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		r := w.stmts(cc.Body, cur)
+		exits = append(exits, r.breaks...) // break exits the switch
+		out.continues = append(out.continues, r.continues...)
+		if !r.terminated {
+			exits = append(exits, r.out)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, held.clone()) // no case matched
+	}
+	if len(exits) == 0 {
+		return flowOut{terminated: true, continues: out.continues}
+	}
+	m := exits[0]
+	for _, e := range exits[1:] {
+		m = m.union(e)
+	}
+	out.out = m
+	return out
+}
+
+// loop runs the body analysis twice (the second pass feeds back the first
+// pass's fall-through and continue states) so a lock acquired in iteration
+// N is seen held at the top of iteration N+1. Exit = body breaks plus — for
+// loops with a condition — every state that can reach the condition test.
+func (w *walker) loop(entry heldSet, conditional bool, body func(heldSet) flowOut) flowOut {
+	r1 := body(entry.clone())
+	second := entry.clone()
+	if !r1.terminated {
+		second = second.union(r1.out)
+	}
+	for _, c := range r1.continues {
+		second = second.union(c)
+	}
+	r2 := body(second)
+
+	var exits []heldSet
+	exits = append(exits, r1.breaks...)
+	exits = append(exits, r2.breaks...)
+	if conditional {
+		exits = append(exits, entry.clone())
+		if !r2.terminated {
+			exits = append(exits, r2.out)
+		}
+		for _, c := range r2.continues {
+			exits = append(exits, c)
+		}
+	}
+	if len(exits) == 0 {
+		return flowOut{terminated: true}
+	}
+	m := exits[0]
+	for _, e := range exits[1:] {
+		m = m.union(e)
+	}
+	return flowOut{out: m}
+}
+
+func mergeBranches(a, b flowOut) flowOut {
+	res := flowOut{
+		breaks:    append(append([]heldSet{}, a.breaks...), b.breaks...),
+		continues: append(append([]heldSet{}, a.continues...), b.continues...),
+	}
+	switch {
+	case a.terminated && b.terminated:
+		res.terminated = true
+	case a.terminated:
+		res.out = b.out
+	case b.terminated:
+		res.out = a.out
+	default:
+		res.out = a.out.union(b.out)
+	}
+	return res
+}
+
+func selectHasDefault(st *ast.SelectStmt) bool {
+	for _, c := range st.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// expr walks an expression, firing events for calls and channel receives,
+// and returns the held set after evaluation (lock calls mutate it).
+func (w *walker) expr(e ast.Expr, held heldSet) heldSet {
+	return w.exprInner(e, held, true)
+}
+
+func (w *walker) exprNoBlock(e ast.Expr, held heldSet) heldSet {
+	return w.exprInner(e, held, false)
+}
+
+func (w *walker) exprInner(e ast.Expr, held heldSet, reportBlocking bool) heldSet {
+	switch ex := e.(type) {
+	case nil:
+		return held
+	case *ast.CallExpr:
+		cur := held
+		// Receiver/operand expressions inside Fun evaluate first; skip
+		// descending into plain identifiers and selectors (no calls there)
+		// except when Fun itself nests calls, e.g. f().g().
+		if sel, ok := ex.Fun.(*ast.SelectorExpr); ok {
+			cur = w.exprInner(sel.X, cur, reportBlocking)
+		}
+		for _, a := range ex.Args {
+			cur = w.exprInner(a, cur, reportBlocking)
+		}
+		if lk, isAcq, isRel := w.lockCall(ex); isAcq {
+			w.on.acquire(ex, lk, cur)
+			cur = cur.clone()
+			cur[lk.obj] = lk
+			return cur
+		} else if isRel {
+			cur = cur.clone()
+			delete(cur, lk.obj)
+			return cur
+		}
+		w.on.call(ex, w.staticCallee(ex), cur)
+		return cur
+	case *ast.UnaryExpr:
+		cur := w.exprInner(ex.X, held, reportBlocking)
+		if ex.Op == token.ARROW && reportBlocking {
+			w.on.blocking(ex, "channel receive", cur)
+		}
+		return cur
+	case *ast.BinaryExpr:
+		cur := w.exprInner(ex.X, held, reportBlocking)
+		return w.exprInner(ex.Y, cur, reportBlocking)
+	case *ast.ParenExpr:
+		return w.exprInner(ex.X, held, reportBlocking)
+	case *ast.SelectorExpr:
+		return w.exprInner(ex.X, held, reportBlocking)
+	case *ast.IndexExpr:
+		cur := w.exprInner(ex.X, held, reportBlocking)
+		return w.exprInner(ex.Index, cur, reportBlocking)
+	case *ast.SliceExpr:
+		cur := w.exprInner(ex.X, held, reportBlocking)
+		cur = w.exprInner(ex.Low, cur, reportBlocking)
+		cur = w.exprInner(ex.High, cur, reportBlocking)
+		return w.exprInner(ex.Max, cur, reportBlocking)
+	case *ast.StarExpr:
+		return w.exprInner(ex.X, held, reportBlocking)
+	case *ast.TypeAssertExpr:
+		return w.exprInner(ex.X, held, reportBlocking)
+	case *ast.CompositeLit:
+		cur := held
+		for _, el := range ex.Elts {
+			cur = w.exprInner(el, cur, reportBlocking)
+		}
+		return cur
+	case *ast.KeyValueExpr:
+		cur := w.exprInner(ex.Key, held, reportBlocking)
+		return w.exprInner(ex.Value, cur, reportBlocking)
+	case *ast.FuncLit:
+		// Not executed here; closures are outside the walk (conservative
+		// gap shared with the real x/tools-based checkers of this shape).
+		return held
+	default:
+		return held
+	}
+}
+
+// staticCallee resolves a call to its declared *types.Func, or nil for
+// dynamic calls and builtins/conversions.
+func (w *walker) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := w.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := w.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// lockCall classifies a call as a lock acquisition (Lock/RLock) or release
+// (Unlock/RUnlock) on a trackable mutex value: the receiver type must also
+// carry the counterpart method, and the receiver expression must resolve to
+// a field or variable object.
+func (w *walker) lockCall(call *ast.CallExpr) (lk lockID, acquire, release bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockID{}, false, false
+	}
+	var counterpart string
+	switch sel.Sel.Name {
+	case "Lock":
+		counterpart, acquire = "Unlock", true
+	case "RLock":
+		counterpart, acquire = "RUnlock", true
+	case "Unlock":
+		counterpart, release = "Lock", true
+	case "RUnlock":
+		counterpart, release = "RLock", true
+	default:
+		return lockID{}, false, false
+	}
+	callee, ok := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || callee.Type().(*types.Signature).Recv() == nil {
+		return lockID{}, false, false
+	}
+	recvT := w.pass.TypesInfo.Types[sel.X].Type
+	if recvT == nil {
+		return lockID{}, false, false
+	}
+	if obj, _, _ := types.LookupFieldOrMethod(recvT, true, callee.Pkg(), counterpart); obj == nil {
+		return lockID{}, false, false
+	}
+	obj, owner := w.lockTarget(sel.X)
+	if obj == nil {
+		return lockID{}, false, false
+	}
+	if cached, ok := w.locks[obj]; ok {
+		return cached, acquire, release
+	}
+	lk = lockID{obj: obj, display: obj.Name()}
+	var rankDir anlz.Directive
+	var hasDir bool
+	if owner != "" {
+		lk.display = owner + "." + obj.Name()
+		rankDir, hasDir = w.pass.Dirs.FieldDirective(obj.Pkg().Path(), owner, obj.Name(), "lockrank")
+	} else if k := anlz.ObjKey(obj); k != "" {
+		rankDir, hasDir = w.pass.Dirs.KeyDirective(k, obj.Pkg().Path(), "lockrank")
+	}
+	if hasDir && len(rankDir.Args) > 0 {
+		if n, err := strconv.Atoi(rankDir.Args[0]); err == nil {
+			lk.rank = n
+			lk.hasRank = true
+		}
+		for _, arg := range rankDir.Args[1:] {
+			if arg == "nosleep" {
+				lk.noSleep = true
+			}
+		}
+	}
+	w.locks[obj] = lk
+	return lk, acquire, release
+}
+
+// lockTarget resolves the lock expression to its declaring object and, for
+// struct fields, the owning type's name (for display and rank lookup).
+func (w *walker) lockTarget(e ast.Expr) (types.Object, string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v, ""
+		}
+	case *ast.SelectorExpr:
+		obj := w.pass.TypesInfo.Uses[x.Sel]
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return nil, ""
+		}
+		owner := ""
+		if selInfo, ok := w.pass.TypesInfo.Selections[x]; ok {
+			owner = namedTypeName(selInfo.Recv())
+		}
+		return v, owner
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.lockTarget(x.X)
+		}
+	}
+	return nil, ""
+}
+
+func namedTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}
+
+func posOf(pass *anlz.Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

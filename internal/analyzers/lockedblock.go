@@ -1,0 +1,88 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// LockedBlock forbids blocking operations on any path that holds a lock
+// declared `//yasmin:lockrank N nosleep` (App.mu). Blocking means: channel
+// send/receive, select without default, time.Sleep, WaitGroup/Cond Wait,
+// calls into os/net/syscall, fmt printing, and any call annotated
+// //yasmin:blocking (the rt.Ctx park/sleep/compute surface) — found at any
+// depth through the call graph. //yasmin:nonblocking on a callee vouches
+// for it and stops the walk.
+var LockedBlock = &anlz.Analyzer{
+	Name: "lockedblock",
+	Doc: "check that no blocking operation (channel ops, sleeps, waits, I/O, " +
+		"//yasmin:blocking calls) is reachable while a `lockrank … nosleep` " +
+		"mutex such as App.mu is held",
+	Run: runLockedBlock,
+}
+
+func runLockedBlock(pass *anlz.Pass) error {
+	sums := summarize(pass)
+	for _, decl := range declMap(pass) {
+		ev := &lockedBlockEvents{pass: pass, local: sums}
+		newWalker(pass, ev).funcBody(decl.Body)
+	}
+	return nil
+}
+
+type lockedBlockEvents struct {
+	pass  *anlz.Pass
+	local map[*types.Func]*fnSummary
+}
+
+func (e *lockedBlockEvents) acquire(ast.Node, lockID, heldSet) {}
+
+// noSleepHeld returns the display names of held nosleep locks.
+func noSleepHeld(held heldSet) []string {
+	var names []string
+	for _, h := range held {
+		if h.noSleep {
+			names = append(names, h.display)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *lockedBlockEvents) blocking(n ast.Node, desc string, held heldSet) {
+	if names := noSleepHeld(held); len(names) > 0 {
+		e.pass.Reportf(n.Pos(), "blocking operation (%s) while holding %s", desc, names[0])
+	}
+}
+
+func (e *lockedBlockEvents) call(n *ast.CallExpr, callee *types.Func, held heldSet) {
+	names := noSleepHeld(held)
+	if len(names) == 0 || callee == nil {
+		return
+	}
+	if e.pass.Dirs.ObjHas(callee, "nonblocking") {
+		return
+	}
+	if e.pass.Dirs.ObjHas(callee, "blocking") {
+		e.pass.Reportf(n.Pos(), "call to %s (annotated //yasmin:blocking) while holding %s",
+			callee.Name(), names[0])
+		return
+	}
+	if desc, ok := stdBlocking(callee); ok {
+		e.pass.Reportf(n.Pos(), "blocking operation (%s) while holding %s", desc, names[0])
+		return
+	}
+	if sum := lookupSummary(e.local, callee); sum != nil && sum.block != nil {
+		e.pass.Reportf(n.Pos(), "call to %s blocks (%s%s) while holding %s",
+			callee.Name(), sum.block.desc, chainSuffix(sum.block.chain), names[0])
+	}
+}
+
+func chainSuffix(chain string) string {
+	if chain == "" {
+		return ""
+	}
+	return " via " + chain
+}

@@ -1,0 +1,111 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// LockOrder enforces the runtime's declared lock hierarchy. Locks opt in
+// with a //yasmin:lockrank N directive on their field or var declaration;
+// acquisitions must then happen in strictly increasing rank order on every
+// path, through any depth of calls. Concretely for this codebase:
+// reconfigMu (rank 1) must never be acquired while App.mu (rank 2) is held,
+// and any new, unranked mutex acquired under a ranked one is flagged until
+// it declares its place in the hierarchy.
+var LockOrder = &anlz.Analyzer{
+	Name: "lockorder",
+	Doc: "check that ranked locks (//yasmin:lockrank) are acquired in strictly " +
+		"increasing rank order, including through transitive calls, and that no " +
+		"unranked lock is acquired while a ranked lock is held",
+	Run: runLockOrder,
+}
+
+func runLockOrder(pass *anlz.Pass) error {
+	sums := summarize(pass)
+	for _, decl := range declMap(pass) {
+		ev := &lockOrderEvents{pass: pass, local: sums}
+		newWalker(pass, ev).funcBody(decl.Body)
+	}
+	return nil
+}
+
+type lockOrderEvents struct {
+	pass  *anlz.Pass
+	local map[*types.Func]*fnSummary
+}
+
+func (e *lockOrderEvents) acquire(n ast.Node, lk lockID, held heldSet) {
+	e.check(n.Pos(), lk, "", held)
+}
+
+func (e *lockOrderEvents) blocking(ast.Node, string, heldSet) {}
+
+func (e *lockOrderEvents) call(n *ast.CallExpr, callee *types.Func, held heldSet) {
+	if len(held) == 0 || callee == nil {
+		return
+	}
+	sum := lookupSummary(e.local, callee)
+	if sum == nil {
+		return
+	}
+	var entries []acqEntry
+	for _, entry := range sum.acquires {
+		entries = append(entries, entry)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].lk.display < entries[j].lk.display })
+	for _, entry := range entries {
+		e.check(n.Pos(), entry.lk, prependChain(callee.Name(), entry.chain), held)
+	}
+}
+
+// check validates one (possibly transitive) acquisition against the held
+// set.
+func (e *lockOrderEvents) check(pos token.Pos, lk lockID, chain string, held heldSet) {
+	via := ""
+	if chain != "" {
+		via = " (via " + chain + ")"
+	}
+	if h, ok := held[lk.obj]; ok {
+		e.pass.Reportf(pos, "lock %s acquired while already held%s: self-deadlock", h.display, via)
+		return
+	}
+	var worst *lockID
+	anyRanked := false
+	for _, h := range held {
+		h := h
+		if !h.hasRank {
+			continue
+		}
+		anyRanked = true
+		if lk.hasRank && h.rank >= lk.rank && (worst == nil || h.rank > worst.rank) {
+			worst = &h
+		}
+	}
+	if lk.hasRank && worst != nil {
+		e.pass.Reportf(pos,
+			"lock order violation: %s (rank %d) acquired while holding %s (rank %d)%s; ranks must be strictly increasing",
+			lk.display, lk.rank, worst.display, worst.rank, via)
+		return
+	}
+	if !lk.hasRank && anyRanked {
+		e.pass.Reportf(pos,
+			"unranked lock %s acquired while holding ranked lock %s%s; declare //yasmin:lockrank on %s",
+			lk.display, rankedNames(held), via, lk.display)
+	}
+}
+
+func rankedNames(held heldSet) string {
+	var names []string
+	for _, h := range held {
+		if h.hasRank {
+			names = append(names, h.display)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

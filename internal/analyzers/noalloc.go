@@ -1,0 +1,283 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// NoAlloc verifies the zero-allocation contract on hot-path functions
+// annotated //yasmin:noalloc (Publish, the scheduler tick, the telemetry
+// record path, cluster ingress shard delivery, AppendFrame/AppendEvent).
+// Inside them it flags heap-allocating constructs — make/new, slice and map
+// literals, &T{…}, string concatenation and string<->[]byte conversions,
+// closures, go statements — and walks calls: same-package unannotated
+// callees are verified transitively (any depth); cross-package and
+// interface callees must themselves be annotated //yasmin:noalloc or sit on
+// the short allocation-free stdlib allowlist (sync/atomic, math, math/bits,
+// plain sync lock ops, time arithmetic). append/copy/delete and map stores
+// are allowed (amortized, pre-sized by design); a trailing
+// //yasmin:alloc-ok escapes one deliberate cold-path line.
+var NoAlloc = &anlz.Analyzer{
+	Name: "noalloc",
+	Doc: "check that //yasmin:noalloc functions contain no allocating " +
+		"constructs and only call allocation-free callees, transitively",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *anlz.Pass) error {
+	decls := declMap(pass)
+	v := &allocVerifier{
+		pass:   pass,
+		decls:  decls,
+		byFunc: map[*types.Func]*allocFinding{},
+		active: map[*types.Func]bool{},
+	}
+	var order []*types.Func
+	for fn := range decls {
+		order = append(order, fn)
+	}
+	sort.Slice(order, func(i, j int) bool { return decls[order[i]].Pos() < decls[order[j]].Pos() })
+	for _, fn := range order {
+		if !pass.Dirs.ObjHas(fn, "noalloc") {
+			continue
+		}
+		for _, f := range v.findings(fn) {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil
+}
+
+// allocFinding is one allocation (or unverifiable call) inside a noalloc
+// region.
+type allocFinding struct {
+	pos token.Pos
+	msg string
+}
+
+type allocVerifier struct {
+	pass  *anlz.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// byFunc memoizes the first finding (nil = proven clean) per
+	// same-package function reached transitively.
+	byFunc map[*types.Func]*allocFinding
+	active map[*types.Func]bool // cycle guard: optimistic on recursion
+}
+
+// findings walks fn's body and returns every allocation finding in it
+// (positions inside fn; transitive callee problems are reported at the call
+// site with the chain in the message).
+func (v *allocVerifier) findings(fn *types.Func) []allocFinding {
+	decl := v.decls[fn]
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	var out []allocFinding
+	v.walkBody(decl.Body, func(f allocFinding) { out = append(out, f) })
+	return out
+}
+
+// verdict reports whether a transitively-reached, unannotated same-package
+// function allocates, memoized. Returns the first finding or nil.
+func (v *allocVerifier) verdict(fn *types.Func) *allocFinding {
+	if f, ok := v.byFunc[fn]; ok {
+		return f
+	}
+	if v.active[fn] {
+		return nil // cycle: optimistic, the outer walk still covers each body once
+	}
+	v.active[fn] = true
+	defer delete(v.active, fn)
+	var first *allocFinding
+	decl := v.decls[fn]
+	if decl != nil && decl.Body != nil {
+		v.walkBody(decl.Body, func(f allocFinding) {
+			if first == nil {
+				first = &f
+			}
+		})
+	}
+	v.byFunc[fn] = first
+	return first
+}
+
+// walkBody visits a function body in source order, emitting findings. It
+// skips function-literal bodies (reported as an allocation themselves),
+// panic arguments (panicking paths may allocate their message), and any
+// node whose line carries //yasmin:alloc-ok.
+func (v *allocVerifier) walkBody(body *ast.BlockStmt, emit func(allocFinding)) {
+	report := func(n ast.Node, msg string) {
+		if v.pass.Dirs.LineHas(v.pass.Fset, n.Pos(), "alloc-ok") {
+			return
+		}
+		emit(allocFinding{pos: n.Pos(), msg: msg})
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x, "function literal allocates a closure in noalloc function")
+			return false
+		case *ast.GoStmt:
+			report(x, "go statement allocates a goroutine in noalloc function")
+			// Still check the call's arguments, which evaluate here.
+			for _, a := range x.Call.Args {
+				ast.Inspect(a, walk)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					report(x, "&composite literal escapes to the heap in noalloc function")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := v.pass.TypesInfo.Types[x].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(x, "slice literal allocates in noalloc function")
+				case *types.Map:
+					report(x, "map literal allocates in noalloc function")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t, ok := v.pass.TypesInfo.Types[x].Type.Underlying().(*types.Basic); ok &&
+					t.Info()&types.IsString != 0 {
+					report(x, "string concatenation allocates in noalloc function")
+				}
+			}
+		case *ast.CallExpr:
+			return v.checkCall(x, report, walk)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// checkCall classifies one call inside a noalloc region. Returns whether
+// ast.Inspect should descend into the call's children.
+func (v *allocVerifier) checkCall(call *ast.CallExpr, report func(ast.Node, string), walk func(ast.Node) bool) bool {
+	// Type conversions: only string <-> []byte/[]rune copy.
+	if tv, ok := v.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && stringBytesConv(tv.Type, v.pass.TypesInfo.Types[call.Args[0]].Type) {
+			report(call, "string conversion copies and allocates in noalloc function")
+		}
+		return true
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := v.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				report(call, b.Name()+" allocates in noalloc function")
+			case "panic":
+				return false // failing paths may build their message
+			}
+			return true
+		}
+	}
+	callee := staticCalleeOf(v.pass, call)
+	if callee == nil {
+		report(call, "call through function value cannot be proven allocation-free in noalloc function")
+		return true
+	}
+	switch {
+	case v.pass.Dirs.ObjHas(callee, "noalloc"):
+		// Annotated: verified at its own definition (or trusted, for
+		// interface methods — every implementation is checked where
+		// declared).
+	case allocFreeStd(callee):
+	case callee.Pkg() == v.pass.Pkg:
+		if _, hasBody := v.decls[callee]; hasBody {
+			if f := v.verdict(callee); f != nil {
+				report(call, "calls "+callee.Name()+" which allocates ("+f.msg+
+					" at "+posOf(v.pass, f.pos)+")")
+			}
+		} else {
+			report(call, "calls "+callee.Name()+" (no body found) from noalloc function")
+		}
+	default:
+		report(call, "calls "+calleeDisplay(callee)+" which is not annotated //yasmin:noalloc")
+	}
+	return true
+}
+
+func staticCalleeOf(pass *anlz.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func calleeDisplay(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return types.TypeString(sig.Recv().Type(), types.RelativeTo(f.Pkg())) + "." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+// stringBytesConv reports whether converting from -> to copies string
+// contents ([]byte/[]rune <-> string in either direction).
+func stringBytesConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// allocFreeStd is the short allowlist of standard-library callees known not
+// to allocate: atomics, pure math, mutex ops, and time arithmetic (not
+// formatting).
+func allocFreeStd(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync/atomic", "math/bits", "math":
+		return true
+	case "sync":
+		switch f.Name() {
+		case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock", "Add", "Done", "Load", "Store", "Swap", "CompareAndSwap":
+			return true
+		}
+	case "time":
+		switch f.Name() {
+		case "String", "Format", "AppendFormat", "GoString", "MarshalJSON", "MarshalText", "MarshalBinary", "Parse", "ParseDuration", "ParseInLocation":
+			return false
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"sync"
+
+	"github.com/yasmin-rt/yasmin/internal/analyzers/anlz"
+)
+
+// acqEntry records that a function (possibly transitively) acquires a lock.
+type acqEntry struct {
+	lk    lockID
+	chain string // "g → h" call chain, "" for a direct acquisition
+	pos   token.Pos
+}
+
+// blockEntry records one representative blocking operation a function
+// (possibly transitively) performs.
+type blockEntry struct {
+	desc  string
+	chain string
+	pos   token.Pos
+}
+
+// fnSummary is the transitive effect summary of one function: every lock it
+// may acquire anywhere below it, and one example blocking operation. Both
+// grow monotonically during the fixpoint, so convergence is by size.
+type fnSummary struct {
+	acquires map[types.Object]acqEntry
+	block    *blockEntry
+}
+
+func (s *fnSummary) size() int {
+	n := len(s.acquires)
+	if s.block != nil {
+		n++
+	}
+	return n
+}
+
+// sumReg holds summaries for every package analyzed so far in this process,
+// keyed by the function's stable object key — the shim's fact surface for
+// cross-package call-graph walks. Packages are analyzed in dependency
+// order, so a callee's summary is always registered before its callers'
+// packages run. Re-summarizing a package (same name in a different test
+// fixture) overwrites cleanly.
+var sumReg = struct {
+	sync.Mutex
+	byKey map[string]*fnSummary
+	// byPkg memoizes the per-package summary map so lockorder and
+	// lockedblock share one fixpoint per *types.Package instance.
+	byPkg map[*types.Package]map[*types.Func]*fnSummary
+}{byKey: map[string]*fnSummary{}, byPkg: map[*types.Package]map[*types.Func]*fnSummary{}}
+
+// summarize computes (or returns memoized) transitive lock/blocking
+// summaries for every function declared in the pass's package.
+func summarize(pass *anlz.Pass) map[*types.Func]*fnSummary {
+	sumReg.Lock()
+	defer sumReg.Unlock()
+	if m, ok := sumReg.byPkg[pass.Pkg]; ok {
+		return m
+	}
+
+	decls := declMap(pass)
+	var order []*types.Func
+	for fn := range decls {
+		order = append(order, fn)
+	}
+	sort.Slice(order, func(i, j int) bool { return decls[order[i]].Pos() < decls[order[j]].Pos() })
+
+	sums := map[*types.Func]*fnSummary{}
+	for _, fn := range order {
+		sums[fn] = &fnSummary{acquires: map[types.Object]acqEntry{}}
+	}
+
+	// Fixpoint: each round re-walks every body, merging callee summaries.
+	// Entries only ever get added, so stop when nothing grows; depth of the
+	// longest local call chain bounds the round count.
+	for round := 0; round <= len(order)+1; round++ {
+		grew := false
+		for _, fn := range order {
+			before := sums[fn].size()
+			ev := &summaryEvents{pass: pass, cur: sums[fn], local: sums}
+			newWalker(pass, ev).funcBody(decls[fn].Body)
+			if sums[fn].size() > before {
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	for _, fn := range order {
+		if k := anlz.ObjKey(fn); k != "" {
+			sumReg.byKey[k] = sums[fn]
+		}
+	}
+	sumReg.byPkg[pass.Pkg] = sums
+	return sums
+}
+
+// declMap collects every function/method declared with a body in the
+// package, keyed by its types object.
+func declMap(pass *anlz.Pass) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				m[fn] = fd
+			}
+		}
+	}
+	return m
+}
+
+// summaryEvents folds walker events into one function's summary.
+type summaryEvents struct {
+	pass  *anlz.Pass
+	cur   *fnSummary
+	local map[*types.Func]*fnSummary
+}
+
+func (e *summaryEvents) acquire(n ast.Node, lk lockID, held heldSet) {
+	if _, ok := e.cur.acquires[lk.obj]; !ok {
+		e.cur.acquires[lk.obj] = acqEntry{lk: lk, pos: n.Pos()}
+	}
+}
+
+func (e *summaryEvents) blocking(n ast.Node, desc string, held heldSet) {
+	if e.cur.block == nil {
+		e.cur.block = &blockEntry{desc: desc, pos: n.Pos()}
+	}
+}
+
+func (e *summaryEvents) call(n *ast.CallExpr, callee *types.Func, held heldSet) {
+	if callee == nil {
+		return
+	}
+	if e.pass.Dirs.ObjHas(callee, "nonblocking") {
+		// Explicitly declared non-blocking; trust the annotation for the
+		// blocking half, but lock effects still merge below.
+	} else if e.pass.Dirs.ObjHas(callee, "blocking") {
+		if e.cur.block == nil {
+			e.cur.block = &blockEntry{
+				desc: "call to " + callee.Name() + " (annotated //yasmin:blocking)",
+				pos:  n.Pos(),
+			}
+		}
+	} else if desc, ok := stdBlocking(callee); ok {
+		if e.cur.block == nil {
+			e.cur.block = &blockEntry{desc: desc, pos: n.Pos()}
+		}
+	}
+	sum := lookupSummary(e.local, callee)
+	if sum == nil {
+		return
+	}
+	for obj, entry := range sum.acquires {
+		if _, ok := e.cur.acquires[obj]; ok {
+			continue
+		}
+		e.cur.acquires[obj] = acqEntry{
+			lk:    entry.lk,
+			chain: prependChain(callee.Name(), entry.chain),
+			pos:   n.Pos(),
+		}
+	}
+	if e.cur.block == nil && sum.block != nil && !e.pass.Dirs.ObjHas(callee, "nonblocking") {
+		e.cur.block = &blockEntry{
+			desc:  sum.block.desc,
+			chain: prependChain(callee.Name(), sum.block.chain),
+			pos:   n.Pos(),
+		}
+	}
+}
+
+// lookupSummary resolves a callee's summary: same-package by object
+// identity, cross-package through the registry by stable key.
+func lookupSummary(local map[*types.Func]*fnSummary, callee *types.Func) *fnSummary {
+	if s, ok := local[callee]; ok {
+		return s
+	}
+	k := anlz.ObjKey(callee)
+	if k == "" {
+		return nil
+	}
+	return sumReg.byKey[k]
+}
+
+func prependChain(name, chain string) string {
+	if chain == "" {
+		return name
+	}
+	return name + " → " + chain
+}
+
+// stdBlocking classifies well-known standard-library calls that block or
+// perform I/O. The net is deliberately wide for os/net/syscall — code under
+// a nosleep lock has no business near those packages; a false positive is
+// escaped with //yasmin:nonblocking on the callee or restructured.
+func stdBlocking(f *types.Func) (string, bool) {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch pkg.Path() {
+	case "time":
+		if f.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if f.Name() == "Wait" { // WaitGroup.Wait, Cond.Wait
+			recv := "sync"
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recv = types.TypeString(sig.Recv().Type(), nil)
+			}
+			return recv + ".Wait", true
+		}
+	case "os", "net", "syscall", "os/exec", "io/fs", "net/http":
+		return "call into " + pkg.Path() + " (I/O or syscall)", true
+	case "fmt":
+		switch f.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln", "Scan", "Scanf", "Scanln":
+			return "fmt." + f.Name() + " (I/O)", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,60 @@
+// Fixture for the atomicview analyzer: atomic-typed fields only via their
+// methods, legacy atomic.XxxUint32 fields atomically everywhere, and
+// //yasmin:immutable snapshots never mutated.
+package atomicview
+
+import "sync/atomic"
+
+type view struct{ n int }
+
+type holder struct {
+	v    atomic.Pointer[view]
+	c    atomic.Uint32
+	mode uint32
+}
+
+func (h *holder) okMethods() *view {
+	h.v.Store(&view{n: 1})
+	h.c.Add(1)
+	_ = h.c.Load()
+	return h.v.Load()
+}
+
+func (h *holder) badCopy() atomic.Uint32 {
+	return h.c // want `atomic field c used outside its atomic methods`
+}
+
+func (h *holder) badAddr() *atomic.Uint32 {
+	return &h.c // want `atomic field c used outside its atomic methods`
+}
+
+func (h *holder) okLegacy() uint32 {
+	atomic.StoreUint32(&h.mode, 1)
+	return atomic.LoadUint32(&h.mode)
+}
+
+func (h *holder) badMixedWrite() {
+	h.mode = 3 // want `plain write of field mode, which is accessed with sync/atomic`
+}
+
+func (h *holder) badMixedRead() uint32 {
+	return h.mode // want `plain read of field mode, which is accessed with sync/atomic`
+}
+
+// snap mirrors topicView: a published, never-mutated snapshot.
+//
+//yasmin:immutable
+type snap struct {
+	subs []int
+}
+
+func build() *snap { return &snap{subs: []int{1, 2}} }
+
+func badMutate(s *snap) {
+	s.subs = nil // want `write to field subs of //yasmin:immutable type snap`
+}
+
+func okRepublish(h2 *atomic.Pointer[snap], s *snap) {
+	next := &snap{subs: append([]int(nil), s.subs...)}
+	h2.Store(next)
+}

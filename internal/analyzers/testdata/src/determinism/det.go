@@ -1,0 +1,47 @@
+// Fixture for the determinism analyzer: this file is tagged deterministic,
+// its sibling nondet.go is not.
+//
+//yasmin:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want `wall-clock time.Now in deterministic scope`
+}
+
+func okWallclockEscape() int64 {
+	return time.Now().UnixNano() //yasmin:wallclock host-side measurement only
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn in deterministic scope`
+}
+
+func okSeededSource(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func badMapRange(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want `map iteration order is randomized`
+		out = append(out, k)
+	}
+	return out
+}
+
+func okOrderInvariant(m map[string]int) int {
+	n := 0
+	//yasmin:orderinvariant commutative count
+	for range m {
+		n++
+	}
+	return n
+}
+
+func okDurationMath(d time.Duration) time.Duration {
+	return d * 2
+}

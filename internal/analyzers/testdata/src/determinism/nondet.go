@@ -1,0 +1,18 @@
+package determinism
+
+import "time"
+
+// This file carries no //yasmin:deterministic tag, so wall-clock use and
+// map iteration are fine here.
+
+func hostClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func anyOrder(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

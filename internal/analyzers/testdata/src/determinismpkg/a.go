@@ -1,0 +1,7 @@
+// Fixture: `//yasmin:deterministic package` in one file extends the scope
+// to every file of the package.
+//
+//yasmin:deterministic package
+package determinismpkg
+
+func pure(x int) int { return x * 3 }

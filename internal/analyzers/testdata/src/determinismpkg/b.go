@@ -1,0 +1,10 @@
+package determinismpkg
+
+import "time"
+
+// No directive in this file, but a.go declared the whole package
+// deterministic.
+
+func badNowOtherFile() int64 {
+	return time.Now().UnixNano() // want `wall-clock time.Now in deterministic scope`
+}

@@ -1,0 +1,111 @@
+// Fixture for the lockedblock analyzer: App.mu is `lockrank 2 nosleep`, so
+// no blocking operation may be reachable while it is held.
+package lockedblock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type lk struct{ held bool }
+
+func (l *lk) Lock()   { l.held = true }
+func (l *lk) Unlock() { l.held = false }
+
+type App struct {
+	//yasmin:lockrank 2 nosleep
+	mu lk
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// Ctx mirrors the rt.Ctx park/sleep surface.
+type Ctx interface {
+	//yasmin:blocking
+	Park()
+	//yasmin:nonblocking
+	Yield()
+}
+
+func (a *App) badSend() {
+	a.mu.Lock()
+	a.ch <- 1 // want `blocking operation \(channel send\) while holding App.mu`
+	a.mu.Unlock()
+}
+
+func (a *App) badRecv() {
+	a.mu.Lock()
+	<-a.ch // want `blocking operation \(channel receive\) while holding App.mu`
+	a.mu.Unlock()
+}
+
+func (a *App) badSleep() {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking operation \(time.Sleep\) while holding App.mu`
+	a.mu.Unlock()
+}
+
+func (a *App) badWait() {
+	a.mu.Lock()
+	a.wg.Wait() // want `WaitGroup.Wait\) while holding App.mu`
+	a.mu.Unlock()
+}
+
+func (a *App) badPrint() {
+	a.mu.Lock()
+	fmt.Println("state") // want `blocking operation \(fmt.Println \(I/O\)\) while holding App.mu`
+	a.mu.Unlock()
+}
+
+func (a *App) badSelect() {
+	a.mu.Lock()
+	select { // want `blocking operation \(select without default\) while holding App.mu`
+	case <-a.ch:
+	}
+	a.mu.Unlock()
+}
+
+func (a *App) badPark(c Ctx) {
+	a.mu.Lock()
+	c.Park() // want `call to Park \(annotated //yasmin:blocking\) while holding App.mu`
+	a.mu.Unlock()
+}
+
+func (a *App) okYield(c Ctx) {
+	a.mu.Lock()
+	c.Yield()
+	a.mu.Unlock()
+}
+
+func (a *App) okSelectDefault() {
+	a.mu.Lock()
+	select {
+	case v := <-a.ch:
+		_ = v
+	default:
+	}
+	a.mu.Unlock()
+}
+
+func (a *App) okAfterUnlock() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	<-a.ch
+}
+
+// badTransitive blocks two calls deep: step1 → step2 → channel receive.
+func (a *App) badTransitive() {
+	a.mu.Lock()
+	a.step1() // want `call to step1 blocks \(channel receive via step2\) while holding App.mu`
+	a.mu.Unlock()
+}
+
+func (a *App) step1() { a.step2() }
+func (a *App) step2() { <-a.ch }
+
+// okTransitive: calling the same chain without the lock is fine.
+func (a *App) okTransitive() {
+	a.step1()
+}

@@ -1,0 +1,85 @@
+// Fixture for the lockorder analyzer: a two-rank hierarchy mirroring the
+// real App (reconfigMu rank 1 outside mu rank 2), plus an unranked mutex.
+package lockorder
+
+import "sync"
+
+type lk struct{ held bool }
+
+func (l *lk) Lock()   { l.held = true }
+func (l *lk) Unlock() { l.held = false }
+
+type App struct {
+	//yasmin:lockrank 1
+	cfg lk
+	//yasmin:lockrank 2 nosleep
+	mu  lk
+	aux sync.Mutex
+}
+
+func (a *App) good() {
+	a.cfg.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.cfg.Unlock()
+}
+
+func (a *App) goodSequential() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.cfg.Lock()
+	a.cfg.Unlock()
+}
+
+func (a *App) badOrder() {
+	a.mu.Lock()
+	a.cfg.Lock() // want `lock order violation: App.cfg \(rank 1\) acquired while holding App.mu \(rank 2\)`
+	a.cfg.Unlock()
+	a.mu.Unlock()
+}
+
+func (a *App) badUnranked() {
+	a.mu.Lock()
+	a.aux.Lock() // want `unranked lock App.aux acquired while holding ranked lock App.mu`
+	a.aux.Unlock()
+	a.mu.Unlock()
+}
+
+func (a *App) badReacquire() {
+	a.mu.Lock()
+	a.mu.Lock() // want `lock App.mu acquired while already held: self-deadlock`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (a *App) badUnderDefer() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cfg.Lock() // want `lock order violation: App.cfg \(rank 1\) acquired while holding App.mu \(rank 2\)`
+	a.cfg.Unlock()
+}
+
+func (a *App) badInBranch(x bool) {
+	a.mu.Lock()
+	if x {
+		a.cfg.Lock() // want `lock order violation: App.cfg \(rank 1\) acquired while holding App.mu \(rank 2\)`
+		a.cfg.Unlock()
+	}
+	a.mu.Unlock()
+}
+
+// badTransitive acquires cfg two calls deep while holding mu — the PR 5
+// PIP-chain shape applied to the linter: the walk must not be one-hop.
+func (a *App) badTransitive() {
+	a.mu.Lock()
+	a.mid() // want `lock order violation: App.cfg \(rank 1\) acquired while holding App.mu \(rank 2\) \(via mid → leaf\)`
+	a.mu.Unlock()
+}
+
+func (a *App) mid()  { a.leaf() }
+func (a *App) leaf() { a.cfg.Lock(); a.cfg.Unlock() }
+
+// goodTransitive: the same helper chain is fine when nothing is held.
+func (a *App) goodTransitive() {
+	a.mid()
+}

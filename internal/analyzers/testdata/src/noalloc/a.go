@@ -1,0 +1,101 @@
+// Fixture for the noalloc analyzer: annotated hot-path functions must not
+// allocate, directly or through any depth of same-package calls.
+package noalloc
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+type buf struct {
+	dst []byte
+	m   map[string]int
+	n   atomic.Uint64
+}
+
+//yasmin:noalloc
+func (b *buf) ok(vs []int) int {
+	s := 0
+	for _, v := range vs {
+		s += v
+	}
+	b.dst = append(b.dst, byte(s)) // append: amortized, allowed
+	b.m["k"] = s                   // map store: allowed
+	b.n.Add(1)                     // sync/atomic: allowed
+	return s
+}
+
+//yasmin:noalloc
+func (b *buf) badMake() {
+	b.dst = make([]byte, 8) // want `make allocates in noalloc function`
+}
+
+//yasmin:noalloc
+func (b *buf) badLits() {
+	_ = []int{1, 2}      // want `slice literal allocates in noalloc function`
+	_ = map[string]int{} // want `map literal allocates in noalloc function`
+}
+
+//yasmin:noalloc
+func (b *buf) badPtrLit() *buf {
+	return &buf{} // want `&composite literal escapes to the heap in noalloc function`
+}
+
+//yasmin:noalloc
+func (b *buf) badConcat(a, c string) string {
+	return a + c // want `string concatenation allocates in noalloc function`
+}
+
+//yasmin:noalloc
+func (b *buf) badConv(s string) []byte {
+	return []byte(s) // want `string conversion copies and allocates in noalloc function`
+}
+
+//yasmin:noalloc
+func (b *buf) badClosure() func() {
+	return func() {} // want `function literal allocates a closure in noalloc function`
+}
+
+//yasmin:noalloc
+func (b *buf) badGo() {
+	go b.badMake() // want `go statement allocates a goroutine in noalloc function`
+}
+
+//yasmin:noalloc
+func (b *buf) badCrossPkg(s string) string {
+	return strings.Repeat(s, 2) // want `calls strings.Repeat which is not annotated //yasmin:noalloc`
+}
+
+//yasmin:noalloc
+func (b *buf) badDynamic(f func()) {
+	f() // want `call through function value cannot be proven allocation-free`
+}
+
+//yasmin:noalloc
+func (b *buf) okEscape() {
+	b.dst = make([]byte, 8) //yasmin:alloc-ok deliberate cold-path resize
+}
+
+//yasmin:noalloc
+func (b *buf) okPanicArgs(n int) {
+	if n < 0 {
+		panic("negative input: " + string(rune(n))) // panicking paths may build their message
+	}
+}
+
+//yasmin:noalloc
+func helperAnnotated(x int) int { return x * 2 }
+
+//yasmin:noalloc
+func (b *buf) okCallAnnotated() int { return helperAnnotated(3) }
+
+// badTransitive allocates two calls deep through unannotated helpers; the
+// analyzer recurses rather than stopping one hop in.
+//
+//yasmin:noalloc
+func (b *buf) badTransitive() {
+	b.level1() // want `calls level1 which allocates \(calls level2 which allocates \(make allocates in noalloc function`
+}
+
+func (b *buf) level1() { b.level2() }
+func (b *buf) level2() { b.dst = make([]byte, 1) }

@@ -47,6 +47,8 @@ type Frame struct {
 // returns the extended buffer — the same zero-alloc append style as the
 // telemetry exporter, built on the shared internal/jsonenc helpers.
 // Sync frames elide the topic fields; data frames elide t1/t2.
+//
+//yasmin:noalloc
 func AppendFrame(b []byte, f *Frame) []byte {
 	b = jsonenc.AppendDec(append(b, `{"k":`...), uint64(f.Kind))
 	b = jsonenc.AppendSigned(append(b, `,"o":`...), int64(f.Origin))

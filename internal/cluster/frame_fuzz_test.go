@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseFrame drives the hand-rolled wire codec with arbitrary bytes.
+// Beyond crash-freedom, it checks that the canonical encoding is a fixed
+// point: whatever ParseFrame accepts, re-encoding with AppendFrame and
+// parsing again must produce byte-identical output. (Numeric overflow is
+// covered too: decode wraps mod 2^64, which re-encoding preserves.)
+func FuzzParseFrame(f *testing.F) {
+	seeds := []Frame{
+		{Kind: FrameData, Origin: 1, Topic: "sensor/a", Pub: 3, Seq: 7, Epoch: 2, SentAt: 123456, Val: -5},
+		{Kind: FrameSyncReq, Origin: 0, Epoch: 1, SentAt: 999},
+		{Kind: FrameSyncResp, Origin: 2, Epoch: 1, SentAt: 1500, T1: 1000, T2: 1200},
+		{Kind: FrameData, Topic: "a\"b\\c\x01", Seq: 1},
+	}
+	for i := range seeds {
+		f.Add(AppendFrame(nil, &seeds[i]))
+	}
+	f.Add([]byte(`{"k":`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"k":0,"zz":1}`))
+	f.Add([]byte(`{"k":0,"t":"\u00zz"}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := ParseFrame(b)
+		if err != nil {
+			return
+		}
+		c1 := AppendFrame(nil, &fr)
+		fr2, err := ParseFrame(c1)
+		if err != nil {
+			t.Fatalf("re-parse of canonical encoding %q failed: %v", c1, err)
+		}
+		c2 := AppendFrame(nil, &fr2)
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n c1=%q\n c2=%q", c1, c2)
+		}
+	})
+}

@@ -1,3 +1,5 @@
+//yasmin:deterministic
+
 package cluster
 
 import (

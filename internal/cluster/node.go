@@ -61,12 +61,12 @@ type NodeStats struct {
 	// schema stay stable when a reliability layer lands.
 	FramesRetransmitted uint64 `json:"frames_retransmitted"`
 
-	StaleSeq     uint64 `json:"stale_seq"`      // seq <= last delivered (loss/reorder/dup)
-	StaleEpoch   uint64 `json:"stale_epoch"`    // frame from >= 2 epochs ago
-	InjectedLoss uint64 `json:"injected_loss"`  // dropped by the transport's loss injection
-	Rejected     uint64 `json:"rejected"`       // refused by the topic's overflow policy
-	Unroutable   uint64 `json:"unroutable"`     // no local route for the topic
-	NonInt64     uint64 `json:"non_int64"`      // local publishes not forwarded (payload type)
+	StaleSeq     uint64 `json:"stale_seq"`        // seq <= last delivered (loss/reorder/dup)
+	StaleEpoch   uint64 `json:"stale_epoch"`      // frame from >= 2 epochs ago
+	InjectedLoss uint64 `json:"injected_loss"`    // dropped by the transport's loss injection
+	Rejected     uint64 `json:"rejected"`         // refused by the topic's overflow policy
+	Unroutable   uint64 `json:"unroutable"`       // no local route for the topic
+	NonInt64     uint64 `json:"non_int64"`        // local publishes not forwarded (payload type)
 	Overflow     uint64 `json:"ingress_overflow"` // shard ring full
 
 	// ClockOffsetNS is the estimated offset to the reference clock.
@@ -77,10 +77,10 @@ type NodeStats struct {
 
 // route is one cross-node topic as seen from this node.
 type route struct {
-	name   string
-	cid    core.CID
-	dests  []int     // remote nodes hosting subscribers (forwarding fan-out)
-	seqs   []pubSeq  // per-publisher frame state, indexed by local TID
+	name  string
+	cid   core.CID
+	dests []int    // remote nodes hosting subscribers (forwarding fan-out)
+	seqs  []pubSeq // per-publisher frame state, indexed by local TID
 }
 
 // pubSeq is one local publisher's forwarding state. It is only ever
@@ -136,9 +136,9 @@ type Node struct {
 	// to publish the shard-thread writes to the ingesting goroutine.
 	running atomic.Bool
 
-	sent, received, dropped                        atomic.Uint64
-	staleSeq, staleEpoch, injected                 atomic.Uint64
-	rejected, unroutable, nonInt64, overflow       atomic.Uint64
+	sent, received, dropped                  atomic.Uint64
+	staleSeq, staleEpoch, injected           atomic.Uint64
+	rejected, unroutable, nonInt64, overflow atomic.Uint64
 }
 
 // ID returns the node id.
@@ -355,6 +355,8 @@ func (n *Node) runShard(c rt.Ctx, sh *shard) {
 
 // deliver applies the ingress discipline to one frame and hands data
 // frames to the local topic.
+//
+//yasmin:noalloc
 func (n *Node) deliver(c rt.Ctx, sh *shard, f *Frame) {
 	switch f.Kind {
 	case FrameSyncReq:
@@ -370,7 +372,7 @@ func (n *Node) deliver(c rt.Ctx, sh *shard, f *Frame) {
 			T2:     now,
 		}
 		sh.buf = AppendFrame(sh.buf[:0], &resp)
-		n.tr.Send(f.Origin, sh.buf)
+		n.tr.Send(f.Origin, sh.buf) //yasmin:alloc-ok transport egress is backend I/O
 		return
 	case FrameSyncResp:
 		t4 := n.NowNS()

@@ -35,7 +35,11 @@ type App struct {
 	cfg Config
 	env rt.Env
 
-	mu rt.Lock // protects all mutable state below
+	// mu protects all mutable state below. Innermost lock of the package's
+	// two-level hierarchy; scheduling-critical, so no blocking operation may
+	// run while it is held (enforced by yasmin-vet's lockedblock analyzer).
+	//yasmin:lockrank 2 nosleep
+	mu rt.Lock
 
 	tasks   []task
 	ntasks  int
@@ -76,6 +80,10 @@ type App struct {
 	// static budgets; reconfigMu serialises whole transactions (declaration
 	// tables are only mutated by a transaction holding it, plus a.mu for
 	// the commit itself).
+	// reconfigMu ranks strictly outside mu: a transaction may take mu while
+	// holding reconfigMu (the commit), never the reverse (enforced by
+	// yasmin-vet's lockorder analyzer).
+	//yasmin:lockrank 1
 	reconfigMu        rt.Lock
 	epoch             atomic.Int64
 	freeTaskSlots     []int
@@ -86,8 +94,8 @@ type App struct {
 	modes             map[string]ModePreset
 	modeName          atomic.Pointer[string]
 
-	mode    uint32
-	maskBit uint32
+	mode    atomic.Uint32
+	maskBit atomic.Uint32
 
 	// boostSeen marks pool heads visited by one PIP chain-boost walk (cycle
 	// guard); vselRest is the version-selection scratch for unaffordable
@@ -190,8 +198,8 @@ func (a *App) Init() {
 	a.pendingDeadTopics = a.pendingDeadTopics[:0]
 	a.modes = nil
 	a.modeName.Store(nil)
-	a.mode = 0
-	a.maskBit = ^uint32(0)
+	a.mode.Store(0)
+	a.maskBit.Store(^uint32(0))
 	a.rec = trace.NewRecorder(a.cfg.RecordJobs)
 	if a.cfg.Telemetry != nil {
 		// Stream every record (job completions, reconfig commits,
@@ -265,13 +273,13 @@ func (a *App) SetMeter(m *platform.EnergyMeter) { a.meter = m }
 // SetMode switches the execution mode (SelectMode); mode is a small integer
 // < 32 matched against VSelect.Modes bitmasks. Callable at runtime: the
 // paper's multi-security-mode example switches modes while running.
-func (a *App) SetMode(mode uint32) { atomic.StoreUint32(&a.mode, mode) }
+func (a *App) SetMode(mode uint32) { a.mode.Store(mode) }
 
 // Mode returns the current execution mode.
-func (a *App) Mode() uint32 { return atomic.LoadUint32(&a.mode) }
+func (a *App) Mode() uint32 { return a.mode.Load() }
 
 // SetPermissionMask sets the bitmask for SelectBitmask.
-func (a *App) SetPermissionMask(mask uint32) { atomic.StoreUint32(&a.maskBit, mask) }
+func (a *App) SetPermissionMask(mask uint32) { a.maskBit.Store(mask) }
 
 // validateTData checks declaration-time task parameters (shared by TaskDecl
 // and the reconfiguration transaction).

@@ -381,10 +381,12 @@ func (x *ExecCtx) SwitchMode(name string) error { return x.app.SwitchMode(x.c, n
 // lock-free MPSC ring, so concurrent publishers never serialise on the
 // middleware lock (the staging ring may transiently hold up to one extra
 // Capacity of entries).
+//
+//yasmin:noalloc
 func (x *ExecCtx) Publish(c CID, v any) error {
 	a := x.app
 	if int(c) < 0 || int(c) >= int(a.ntopicsA.Load()) {
-		return fmt.Errorf("core: no channel %d", c)
+		return fmt.Errorf("core: no channel %d", c) //yasmin:alloc-ok cold error path
 	}
 	tp := &a.topics[c]
 	// Endpoint discipline and the staging fast path go through the atomic
@@ -392,10 +394,10 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 	// under the lock, so no field read here can tear.
 	vw := tp.view.Load()
 	if vw == nil || vw.dead {
-		return fmt.Errorf("core: channel %d was removed", c)
+		return fmt.Errorf("core: channel %d was removed", c) //yasmin:alloc-ok cold error path
 	}
 	if len(vw.pubs) > 0 && !vw.isPub(x.j.t.id) {
-		return fmt.Errorf("core: task %s does not publish on topic %s", x.j.t.d.Name, vw.name)
+		return fmt.Errorf("core: task %s does not publish on topic %s", x.j.t.d.Name, vw.name) //yasmin:alloc-ok cold error path
 	}
 	costs := a.env.Costs()
 	opCost := costs.ChannelOp + time.Duration(vw.nsubs)*costs.TopicFanoutPerSub
@@ -404,7 +406,7 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 		x.c.Charge(opCost)
 		if vw.staging.Push(v) {
 			if vw.fwd != nil {
-				vw.fwd(x.j.t.id, v)
+				vw.fwd(x.j.t.id, v) //yasmin:alloc-ok cluster egress hook owns its buffers
 			}
 			return nil
 		}
@@ -423,32 +425,32 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 			a.mu.Unlock(x.c)
 			if vw.staging.Push(v) {
 				if vw.fwd != nil {
-					vw.fwd(x.j.t.id, v)
+					vw.fwd(x.j.t.id, v) //yasmin:alloc-ok cluster egress hook owns its buffers
 				}
 				return nil
 			}
 			if vw.policy == Reject {
-				return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity)
+				return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity) //yasmin:alloc-ok cold error path
 			}
-			x.c.Yield()
+			x.c.Yield() //yasmin:alloc-ok contended slow path
 		}
 	}
 	a.mu.Lock(x.c)
 	x.c.Charge(opCost)
 	if tp.dead { // removed between the snapshot read and the lock
 		a.mu.Unlock(x.c)
-		return fmt.Errorf("core: channel %d was removed", c)
+		return fmt.Errorf("core: channel %d was removed", c) //yasmin:alloc-ok cold error path
 	}
 	ok := tp.publish(v)
 	a.mu.Unlock(x.c)
 	if !ok {
-		return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity)
+		return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity) //yasmin:alloc-ok cold error path
 	}
 	// Remote fan-out rides the publisher's thread, outside the App lock
 	// and only after the local buffer accepted the value — local and
 	// remote subscribers see the same per-publisher prefix.
 	if vw.fwd != nil {
-		vw.fwd(x.j.t.id, v)
+		vw.fwd(x.j.t.id, v) //yasmin:alloc-ok cluster egress hook owns its buffers
 	}
 	return nil
 }

@@ -38,7 +38,7 @@ func (q *readyQueue) contains(j *job) bool {
 
 func (q *readyQueue) push(j *job) error {
 	if q.n == len(q.heap) {
-		return fmt.Errorf("core: ready queue full (%d)", q.n)
+		return fmt.Errorf("core: ready queue full (%d)", q.n) //yasmin:alloc-ok cold error path
 	}
 	if q.contains(j) {
 		panic(fmt.Sprintf("core: job %d (seq %d) pushed twice", j.poolIdx, j.seq))

@@ -14,7 +14,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/analysis"
@@ -1263,9 +1262,9 @@ func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
 		}
 	}
 	if tx.mode != nil {
-		atomic.StoreUint32(&a.mode, *tx.mode)
+		a.mode.Store(*tx.mode)
 	}
-	rec.Mode = atomic.LoadUint32(&a.mode)
+	rec.Mode = a.mode.Load()
 	a.epoch.Store(int64(epoch))
 	// The quiescent barrier's modelled price: a fixed commit cost plus the
 	// table scans the rebuild performed.

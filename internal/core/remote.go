@@ -60,14 +60,16 @@ func (a *App) MarkTopicRemote(c CID) error {
 // discipline) and no forwarder invocation (frames must not bounce back
 // into the data plane). Call it from a cluster ingress thread of the
 // same environment; c is that thread's rt.Ctx.
+//
+//yasmin:noalloc
 func (a *App) RemotePublish(c rt.Ctx, id CID, v any) error {
 	if int(id) < 0 || int(id) >= int(a.ntopicsA.Load()) {
-		return fmt.Errorf("core: no channel %d", id)
+		return fmt.Errorf("core: no channel %d", id) //yasmin:alloc-ok cold error path
 	}
 	tp := &a.topics[id]
 	vw := tp.view.Load()
 	if vw == nil || vw.dead {
-		return fmt.Errorf("core: channel %d was removed", id)
+		return fmt.Errorf("core: channel %d was removed", id) //yasmin:alloc-ok cold error path
 	}
 	if vw.staging != nil {
 		// Wall-clock ingress fast path: no middleware lock. Overflow
@@ -84,20 +86,20 @@ func (a *App) RemotePublish(c rt.Ctx, id CID, v any) error {
 				return nil
 			}
 			if vw.policy == Reject {
-				return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity)
+				return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity) //yasmin:alloc-ok cold error path
 			}
-			c.Yield()
+			c.Yield() //yasmin:alloc-ok contended slow path
 		}
 	}
 	a.mu.Lock(c)
 	if tp.dead { // removed between the snapshot read and the lock
 		a.mu.Unlock(c)
-		return fmt.Errorf("core: channel %d was removed", id)
+		return fmt.Errorf("core: channel %d was removed", id) //yasmin:alloc-ok cold error path
 	}
 	ok := tp.publish(v)
 	a.mu.Unlock(c)
 	if !ok {
-		return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity)
+		return fmt.Errorf("core: channel %s full (%d)", vw.name, vw.capacity) //yasmin:alloc-ok cold error path
 	}
 	return nil
 }

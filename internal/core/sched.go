@@ -310,6 +310,8 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 // table: the tick costs O(jobs released), independent of how many tasks are
 // declared (the paper's static full scan — and its per-task charge — only
 // paid off for small task sets). Caller holds the lock.
+//
+//yasmin:noalloc
 func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
 	costs := a.env.Costs()
 	released := 0
@@ -488,7 +490,7 @@ func (a *App) releaseJob(c rt.Ctx, t *task, release, stamp time.Duration) *job {
 	a.chargeQueueOp(c, q)
 	if err := q.push(j); err != nil {
 		a.overruns.Add(1)
-		a.freeJob(c, j)
+		a.freeJob(c, j) //yasmin:alloc-ok overrun recovery may retire the task, a reconfiguration event
 		return nil
 	}
 	return j

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"github.com/yasmin-rt/yasmin/internal/rt"
 )
 
@@ -151,7 +149,7 @@ func (a *App) orderByTradeoff(t *task, order []VID) []VID {
 // filterByMode implements SelectMode: versions whose Modes bitmask includes
 // the current mode (bit m set); Modes==0 serves every mode.
 func (a *App) filterByMode(t *task, order []VID) []VID {
-	mode := atomic.LoadUint32(&a.mode)
+	mode := a.mode.Load()
 	bit := uint32(1) << (mode % 32)
 	for i := range t.versions {
 		m := t.versions[i].props.Modes
@@ -165,7 +163,7 @@ func (a *App) filterByMode(t *task, order []VID) []VID {
 // filterByMask implements SelectBitmask: versions whose permission mask
 // intersects the app's current mask.
 func (a *App) filterByMask(t *task, order []VID) []VID {
-	mask := atomic.LoadUint32(&a.maskBit)
+	mask := a.maskBit.Load()
 	for i := range t.versions {
 		if t.versions[i].props.Mask&mask != 0 {
 			order = append(order, VID(i))
@@ -200,8 +198,8 @@ func (a *App) selectByUser(c rt.Ctx, j *job) (VID, HID) {
 	}
 	st := SelectState{
 		Now:     c.Now(),
-		Mode:    atomic.LoadUint32(&a.mode),
-		Mask:    atomic.LoadUint32(&a.maskBit),
+		Mode:    a.mode.Load(),
+		Mask:    a.maskBit.Load(),
 		Battery: battery,
 	}
 	v := a.cfg.UserSelect(t.id, infos, st)

@@ -33,6 +33,8 @@ func init() {
 // (valid JSON). Clean runs between escapes are copied in one append —
 // task, topic and pool names almost never need escaping, so the common
 // case is a single bulk copy.
+//
+//yasmin:noalloc
 func AppendString(b []byte, s string) []byte {
 	b = append(b, '"')
 	start := 0
@@ -78,6 +80,8 @@ var pow10 = [20]uint64{
 // floor(log2 · 1233/4096) approximates log10, then one table compare
 // corrects the boundary. No divisions — those are AppendDec's whole cost,
 // and doing them twice would defeat it.
+//
+//yasmin:noalloc
 func DecLen(v uint64) int {
 	if v == 0 {
 		return 1
@@ -94,6 +98,8 @@ func DecLen(v uint64) int {
 // digits) and by writing two digits per division directly into the
 // destination — no intermediate buffer, no copy. Integer fields dominate
 // an encoded record, so this is where encode throughput is won.
+//
+//yasmin:noalloc
 func AppendDec(b []byte, v uint64) []byte {
 	if v < 10 {
 		return append(b, byte('0'+v))
@@ -102,7 +108,7 @@ func AppendDec(b []byte, v uint64) []byte {
 		return append(b, digitPairs[v*2], digitPairs[v*2+1])
 	}
 	if cap(b)-len(b) < 20 {
-		b = append(b, make([]byte, 20)...)[:len(b)]
+		b = append(b, make([]byte, 20)...)[:len(b)] //yasmin:alloc-ok amortized buffer growth
 	}
 	i := len(b) + DecLen(v)
 	b = b[:i]
@@ -124,6 +130,8 @@ func AppendDec(b []byte, v uint64) []byte {
 }
 
 // AppendSigned appends v in decimal with a sign when negative.
+//
+//yasmin:noalloc
 func AppendSigned(b []byte, v int64) []byte {
 	if v < 0 {
 		b = append(b, '-')
@@ -133,6 +141,8 @@ func AppendSigned(b []byte, v int64) []byte {
 }
 
 // AppendStringList appends vs as a JSON array of strings.
+//
+//yasmin:noalloc
 func AppendStringList(b []byte, vs []string) []byte {
 	b = append(b, '[')
 	for i, v := range vs {

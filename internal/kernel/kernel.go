@@ -24,6 +24,8 @@
 //
 // All sampling is driven by the caller-provided deterministic RNG, so
 // simulations remain reproducible.
+//yasmin:deterministic package
+
 package kernel
 
 import (

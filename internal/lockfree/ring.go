@@ -36,6 +36,8 @@ func (r *SPSCRing[T]) Len() int { return int(r.tail.Load() - r.head.Load()) }
 
 // Push appends v; it fails (returns false) when the ring is full.
 // Only one goroutine may push.
+//
+//yasmin:noalloc
 func (r *SPSCRing[T]) Push(v T) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() >= uint64(len(r.buf)) {
@@ -48,6 +50,8 @@ func (r *SPSCRing[T]) Push(v T) bool {
 
 // Pop removes the oldest element; ok is false when the ring is empty.
 // Only one goroutine may pop.
+//
+//yasmin:noalloc
 func (r *SPSCRing[T]) Pop() (v T, ok bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
@@ -113,6 +117,8 @@ func (q *MPSCRing[T]) Len() int {
 
 // Push appends v; returns false when full. Safe from any number of
 // goroutines.
+//
+//yasmin:noalloc
 func (q *MPSCRing[T]) Push(v T) bool {
 	for {
 		pos := q.enq.Load()
@@ -135,6 +141,8 @@ func (q *MPSCRing[T]) Push(v T) bool {
 // Pop removes the oldest element; ok is false when empty (or when the
 // oldest producer has claimed its slot but not finished writing it — the
 // consumer simply retries on its next drain). Only ONE goroutine may pop.
+//
+//yasmin:noalloc
 func (q *MPSCRing[T]) Pop() (v T, ok bool) {
 	pos := q.deq.Load()
 	slot := &q.slots[pos&q.mask]
@@ -194,6 +202,8 @@ func (q *MPMCRing[T]) Len() int {
 }
 
 // Push appends v; returns false when full.
+//
+//yasmin:noalloc
 func (q *MPMCRing[T]) Push(v T) bool {
 	for {
 		pos := q.enq.Load()
@@ -214,6 +224,8 @@ func (q *MPMCRing[T]) Push(v T) bool {
 }
 
 // Pop removes the oldest element; ok is false when empty.
+//
+//yasmin:noalloc
 func (q *MPMCRing[T]) Pop() (v T, ok bool) {
 	for {
 		pos := q.deq.Load()

@@ -53,6 +53,7 @@ func (k LockKind) String() string {
 // Env is an execution environment.
 type Env interface {
 	// Now returns the time elapsed since environment start.
+	//yasmin:noalloc
 	Now() time.Duration
 	// Spawn creates a thread pinned to the given core (or UnpinnedCore)
 	// running fn. The thread starts immediately.
@@ -62,6 +63,7 @@ type Env interface {
 	// Costs returns the cost model threads should charge for middleware
 	// operations. The OS backend returns zeros (real time accrues
 	// naturally).
+	//yasmin:noalloc
 	Costs() *platform.CostModel
 	// Platform returns the hardware description, or nil for the OS backend.
 	Platform() *platform.Platform
@@ -92,31 +94,50 @@ type Thread interface {
 type Ctx interface {
 	Env() Env
 	Self() Thread
+	//yasmin:noalloc
 	Now() time.Duration
 	// Sleep blocks for d; returns true when interrupted early.
+	//yasmin:blocking
 	Sleep(d time.Duration) (interrupted bool)
 	// SleepUntil blocks until the given instant; returns true on interrupt.
+	//yasmin:blocking
 	SleepUntil(t time.Duration) (interrupted bool)
 	// Park blocks until Unpark or Interrupt; returns true on interrupt.
 	// It models an in-process context handoff (the paper's swapcontext):
 	// no kernel wake-up latency applies.
+	//yasmin:blocking
 	Park() (interrupted bool)
 	// ParkIdle blocks like Park but models a kernel-level wait (futex):
 	// the simulation backend charges the kernel model's futex wake-up
 	// latency on resume. Idle workers use this; fiber handoffs use Park.
+	//yasmin:blocking
 	ParkIdle() (interrupted bool)
-	// Yield lets same-instant work run first.
+	// Yield lets same-instant work run first. Blocking: same-instant peers
+	// may run arbitrarily long before this thread resumes.
+	//yasmin:blocking
 	Yield()
 	// Compute consumes d of nominal CPU work (scaled by the bound core's
 	// speed). Returns the unconsumed nominal work and whether an interrupt
 	// cut it short.
+	//yasmin:blocking
 	Compute(d time.Duration) (remaining time.Duration, interrupted bool)
-	// Charge consumes CPU time non-interruptibly (middleware bookkeeping).
+	// Charge consumes CPU time non-interruptibly (middleware bookkeeping):
+	// it never deschedules the caller and is safe under the App lock.
+	//yasmin:nonblocking
+	//yasmin:noalloc
 	Charge(d time.Duration)
 }
 
-// Lock is a mutual-exclusion lock usable from thread context.
+// Lock is a mutual-exclusion lock usable from thread context. Acquiring a
+// lock may of course wait, but that is the lockorder analyzer's domain;
+// for lockedblock/noalloc purposes the operations themselves are
+// bookkeeping: they neither perform I/O nor heap-allocate (both backends
+// park through preallocated waiter structures).
 type Lock interface {
+	//yasmin:nonblocking
+	//yasmin:noalloc
 	Lock(c Ctx)
+	//yasmin:nonblocking
+	//yasmin:noalloc
 	Unlock(c Ctx)
 }

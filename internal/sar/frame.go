@@ -1,3 +1,5 @@
+//yasmin:deterministic package
+
 package sar
 
 import (

@@ -418,7 +418,7 @@ func (ck *Checker) checkAccel(events []trace.AccelEvent) {
 	}
 	// mostUrgentParked flags an admission that overtakes a parked waiter.
 	checkOrder := func(pool string, k jobKey, prio int64, now time.Duration, how string) {
-		for wk, p := range parked {
+		for wk, p := range parked { //yasmin:orderinvariant every overtaken waiter violates independently
 			if wk == k || p.pool != pool {
 				continue
 			}

@@ -101,7 +101,7 @@ func runCluster(sc *Scenario, opts RunOpts) (*Report, error) {
 		}
 		// The instrumented bodies captured node-local CIDs computed at
 		// generation time; fail fast if the built projection disagrees.
-		for name, cid := range gen.nodeCIDs[i] {
+		for name, cid := range gen.nodeCIDs[i] { //yasmin:orderinvariant fail-fast validation, any mismatch is fatal
 			if got := app.TopicID(name); got != cid {
 				return nil, fmt.Errorf("scenario %s: node %d: topic %s built as CID %d, bodies captured %d", sc.Name, i, name, got, cid)
 			}
@@ -141,7 +141,7 @@ func runCluster(sc *Scenario, opts RunOpts) (*Report, error) {
 			}
 			remote := false
 			if w.subNodes[n] {
-				for p := range w.pubNodes {
+				for p := range w.pubNodes { //yasmin:orderinvariant boolean OR
 					if p != n {
 						remote = true
 					}
@@ -200,14 +200,14 @@ func runCluster(sc *Scenario, opts RunOpts) (*Report, error) {
 		}
 	})
 
-	wall0 := time.Now()
+	wall0 := time.Now() //yasmin:wallclock host-side duration report, not simulation state
 	if err := eng.RunUntilIdle(); err != nil {
 		return nil, fmt.Errorf("scenario %s: engine: %w", sc.Name, err)
 	}
 	if harnessErr != nil {
 		return nil, harnessErr
 	}
-	wall := time.Since(wall0)
+	wall := time.Since(wall0) //yasmin:wallclock host-side duration report
 
 	violations := ck.FinishCluster(apps)
 	// All-or-nothing across the cluster: every node's application epoch
@@ -351,8 +351,8 @@ func (sc *Scenario) buildClusterSpec(rng *rand.Rand, ck *Checker) (*spec.Spec, *
 				w.subNodes[subNode(su)] = true
 			}
 			cross := false
-			for p := range w.pubNodes {
-				for su := range w.subNodes {
+			for p := range w.pubNodes { //yasmin:orderinvariant boolean OR
+				for su := range w.subNodes { //yasmin:orderinvariant boolean OR
 					if p != su {
 						cross = true
 					}

@@ -13,4 +13,6 @@
 // cmd/yasmin-stress command is the CLI wrapper; the scenarios/ directory
 // at the repository root holds reference scenario files, and the README's
 // "Stress & scale" section documents the schema.
+//yasmin:deterministic package
+
 package scenario

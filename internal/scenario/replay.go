@@ -152,7 +152,7 @@ func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
 			}
 		}
 	}
-	for k := range sends {
+	for k := range sends { //yasmin:orderinvariant violation set is order-independent
 		if byNode[k.dst] == nil {
 			continue // destination's export not supplied; can't reconcile
 		}
@@ -161,7 +161,7 @@ func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
 				k.topic, k.pub, k.fseq, k.origin, k.dst)
 		}
 	}
-	for k := range recvs {
+	for k := range recvs { //yasmin:orderinvariant violation set is order-independent
 		if byNode[k.origin] == nil {
 			continue
 		}

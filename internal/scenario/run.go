@@ -145,7 +145,7 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 	// The instrumented bodies captured spec-layer positional CIDs; fail
 	// fast if the built App disagrees (a silent mismatch would turn every
 	// publish/take into misleading checker violations).
-	for name, cid := range gen.topicCIDs {
+	for name, cid := range gen.topicCIDs { //yasmin:orderinvariant fail-fast validation, any mismatch is fatal
 		if got := app.TopicID(name); got != cid {
 			return nil, fmt.Errorf("scenario %s: topic %s built as CID %d, bodies captured %d", sc.Name, name, got, cid)
 		}
@@ -172,14 +172,14 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 		app.Cleanup(c)
 	})
 
-	wall0 := time.Now()
+	wall0 := time.Now() //yasmin:wallclock host-side duration report, not simulation state
 	if err := eng.RunUntilIdle(); err != nil {
 		return nil, fmt.Errorf("scenario %s: engine: %w", sc.Name, err)
 	}
 	if harnessErr != nil {
 		return nil, harnessErr
 	}
-	wall := time.Since(wall0)
+	wall := time.Since(wall0) //yasmin:wallclock host-side duration report
 
 	rep := &Report{
 		Scenario:      sc.Name,
@@ -606,8 +606,15 @@ func (d *churnDriver) retuneTasks(c rt.Ctx, cp *ChurnPhase) error {
 	for len(picks) < cp.Count && len(picks) < len(d.gen.groupTasks) {
 		picks[d.gen.groupTasks[d.rng.Intn(len(d.gen.groupTasks))]] = true
 	}
+	// Retune in sorted order: the transaction's operations land in the
+	// telemetry stream, so map-iteration order would leak into the trace.
+	names := make([]string, 0, len(picks))
+	for name := range picks { //yasmin:orderinvariant sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	err := d.app.Reconfigure(c, func(tx *core.Reconfig) error {
-		for name := range picks {
+		for _, name := range names {
 			ts, ok := d.gen.groupData[name]
 			if !ok {
 				continue
@@ -642,7 +649,7 @@ func (d *churnDriver) retuneTasks(c rt.Ctx, cp *ChurnPhase) error {
 		return nil
 	})
 	if err == nil {
-		for name := range picks {
+		for _, name := range names {
 			d.retuneUp[name] = !d.retuneUp[name]
 		}
 	}

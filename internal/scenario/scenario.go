@@ -400,7 +400,7 @@ func (sc *Scenario) Validate() error {
 	for i := range sc.Groups {
 		perNodeU[sc.Groups[i].Node] += float64(sc.Groups[i].Count) * sc.Groups[i].Utilization
 	}
-	for node, u := range perNodeU {
+	for node, u := range perNodeU { //yasmin:orderinvariant fail-fast validation, any overload is fatal
 		if u > float64(sc.Workers) {
 			return fmt.Errorf("scenario: impossible load: groups demand %.2f workers' worth of utilisation on node %d's %d workers", u, node, sc.Workers)
 		}

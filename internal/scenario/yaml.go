@@ -160,7 +160,7 @@ func (p *yamlParser) parseSequence(indent int) (any, error) {
 				if err != nil {
 					return nil, err
 				}
-				for k, v := range more.(map[string]any) {
+				for k, v := range more.(map[string]any) { //yasmin:orderinvariant commutative merge, duplicate keys fatal
 					if _, dup := m[k]; dup {
 						return nil, fmt.Errorf("yaml line %d: duplicate key %q", l.num, k)
 					}

@@ -11,6 +11,8 @@
 // repository: the YASMIN middleware, the Mollison & Anderson baseline, the
 // kernel latency models, cyclictest and the SAR drone application all run as
 // sim processes.
+//yasmin:deterministic package
+
 package sim
 
 import (

@@ -37,11 +37,12 @@ var kindNames = map[Kind]string{
 	KindClusterEpoch: "cepoch",
 }
 
+//yasmin:noalloc
 func (k Kind) String() string {
 	if n, ok := kindNames[k]; ok {
 		return n
 	}
-	return fmt.Sprintf("Kind(%d)", int(k))
+	return fmt.Sprintf("Kind(%d)", int(k)) //yasmin:alloc-ok unknown-kind fallback, cold
 }
 
 // Event is the ring-buffer element: a tagged union over the trace record
@@ -109,6 +110,8 @@ func (e *Event) At() int64 {
 // appendNode appends the ",node":N field unless the event belongs to
 // node 0 (single-node runs and the cluster coordinator's own node), which
 // is elided: the decoder's zero default reconstructs it.
+//
+//yasmin:noalloc
 func appendNode(b []byte, ev *Event) []byte {
 	if ev.Node == 0 {
 		return b
@@ -118,6 +121,8 @@ func appendNode(b []byte, ev *Event) []byte {
 
 // AppendEvent appends ev as one JSON object (no trailing newline) and
 // returns the extended buffer. It allocates only when the buffer grows.
+//
+//yasmin:noalloc
 func AppendEvent(b []byte, ev *Event) []byte {
 	switch ev.Kind {
 	case KindJob:

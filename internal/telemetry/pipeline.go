@@ -120,6 +120,8 @@ func New(sink Sink, opt Options) (*Pipeline, error) {
 // returns false — after counting the drop — when the ring is full or the
 // pipeline is closed. Safe from any number of goroutines; per-goroutine
 // publish order is preserved for the events the ring retains.
+//
+//yasmin:noalloc
 func (p *Pipeline) Publish(ev Event) bool {
 	ev.Seq = p.pub.Add(1)
 	ev.Node = p.opt.Node
@@ -168,21 +170,29 @@ func (p *Pipeline) PublishWait(ev Event) bool {
 // Stream implements trace.Stream: each record becomes one Event.
 
 // StreamJob forwards one job record.
+//
+//yasmin:noalloc
 func (p *Pipeline) StreamJob(j trace.JobRecord) {
 	p.Publish(Event{Kind: KindJob, Job: j})
 }
 
 // StreamReconfig forwards one committed reconfiguration epoch.
+//
+//yasmin:noalloc
 func (p *Pipeline) StreamReconfig(r trace.ReconfigRecord) {
 	p.Publish(Event{Kind: KindReconfig, Reconfig: r})
 }
 
 // StreamRetire forwards one completed retirement.
+//
+//yasmin:noalloc
 func (p *Pipeline) StreamRetire(r trace.RetireEvent) {
 	p.Publish(Event{Kind: KindRetire, Retire: r})
 }
 
 // StreamAccel forwards one accelerator-arbitration event.
+//
+//yasmin:noalloc
 func (p *Pipeline) StreamAccel(a trace.AccelEvent) {
 	p.Publish(Event{Kind: KindAccel, Accel: a})
 }

@@ -18,6 +18,7 @@ import (
 // optionally the full sample set for percentiles. The zero value is ready to
 // use (unbounded sample retention disabled). Safe for concurrent use.
 type Stat struct {
+	//yasmin:lockrank 4
 	mu      sync.Mutex
 	name    string
 	count   int64
@@ -200,11 +201,12 @@ var accelEventNames = map[AccelEventKind]string{
 	AccelRelease: "release",
 }
 
+//yasmin:noalloc
 func (k AccelEventKind) String() string {
 	if n, ok := accelEventNames[k]; ok {
 		return n
 	}
-	return fmt.Sprintf("AccelEventKind(%d)", int(k))
+	return fmt.Sprintf("AccelEventKind(%d)", int(k)) //yasmin:alloc-ok unknown-kind fallback, cold
 }
 
 // AccelEvent records one accelerator-arbitration action: which job touched
@@ -242,6 +244,7 @@ type streamBox struct{ s Stream }
 // concurrent use. With a Stream attached (SetStream), every record is
 // additionally forwarded lock-free before local aggregation.
 type Recorder struct {
+	//yasmin:lockrank 3
 	mu        sync.Mutex
 	jobs      []JobRecord
 	keepJobs  bool
@@ -537,6 +540,7 @@ func (k OverheadKind) String() string {
 // Overheads aggregates overhead samples by kind plus a global stat — the
 // measurement behind Fig. 2. Safe for concurrent use.
 type Overheads struct {
+	//yasmin:lockrank 3
 	mu     sync.Mutex
 	all    *Stat
 	byKind map[OverheadKind]*Stat
