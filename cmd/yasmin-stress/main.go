@@ -33,6 +33,23 @@
 //
 //	yasmin-stress -scenario scenarios/cluster.yaml -export cl.jsonl
 //	yasmin-stress -replay cl.node0.jsonl,cl.node1.jsonl,cl.node2.jsonl
+//
+// -fuzz N swaps the scenario file for the property-based generator
+// (internal/scenario/fuzz): N seeded random-but-valid scenarios run through
+// the live checker, failing ones are minimised with -shrink and written as
+// YAML reproducers, and -diff additionally executes every single-node
+// scenario on the wall-clock OS backend and diffs the checker-visible
+// behaviour. Output is byte-deterministic for a fixed -seed (without -diff),
+// so CI pins generator determinism by comparing two runs:
+//
+//	yasmin-stress -fuzz 50 -seed 1 -shrink
+//	yasmin-stress -fuzz 20 -seed 1 -diff
+//
+// -corpus DIR replays every scenario file in DIR (the committed regression
+// corpus lives in scenarios/corpus/) through the simulation backend and the
+// live checker; with -diff each single-node file also runs differentially:
+//
+//	yasmin-stress -corpus scenarios/corpus
 package main
 
 import (
@@ -45,6 +62,7 @@ import (
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/scenario"
+	"github.com/yasmin-rt/yasmin/internal/scenario/fuzz"
 	"github.com/yasmin-rt/yasmin/internal/spec"
 	"github.com/yasmin-rt/yasmin/internal/telemetry"
 )
@@ -58,8 +76,23 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress the human-readable summary")
 		export       = flag.String("export", "", "stream the run's trace records into this JSONL file, then verify it by replay (cluster runs write one .node<i>.jsonl per node)")
 		replay       = flag.String("replay", "", "verify previously exported JSONL streams and exit (comma-separated per-node files reconcile as one cluster run; -scenario optional, supplies accel_wait_bound)")
+		fuzzN        = flag.Int("fuzz", 0, "generate and check N random scenarios (seeded from -seed) instead of running a scenario file")
+		shrinkFlag   = flag.Bool("shrink", false, "with -fuzz: minimise failing scenarios to small reproducers before reporting them")
+		diffFlag     = flag.Bool("diff", false, "with -fuzz/-corpus: additionally run each single-node scenario on the OS backend and diff checker-visible behaviour")
+		corpus       = flag.String("corpus", "", "replay every scenario file in this directory through the live checker and exit")
 	)
 	flag.Parse()
+
+	if *fuzzN > 0 {
+		base := *seed
+		if base < 0 {
+			base = 0
+		}
+		os.Exit(fuzzMain(*fuzzN, base, *shrinkFlag, *diffFlag, *quiet))
+	}
+	if *corpus != "" {
+		os.Exit(corpusMain(*corpus, *diffFlag, *quiet))
+	}
 
 	var sc *scenario.Scenario
 	if *scenarioPath != "" {
@@ -188,6 +221,119 @@ func main() {
 		status = 1
 	}
 	os.Exit(status)
+}
+
+// fuzzMain runs a property-based campaign: n generated scenarios through
+// the live checker (and, with diff, differentially against the OS backend).
+// Failing scenarios are written as YAML reproducers next to the working
+// directory so they can be re-run with -scenario and triaged into
+// scenarios/corpus/. Campaign log lines go to stdout and are derived from
+// seeds and counters only, so two invocations with the same flags produce
+// byte-identical output (without -diff); 0 = clean.
+func fuzzMain(n int, seed int64, shrink, diff, quiet bool) int {
+	opts := fuzz.Options{
+		N:      n,
+		Seed:   seed,
+		Shrink: shrink,
+		Diff:   diff,
+		Config: fuzz.Config{Cluster: true},
+	}
+	if !quiet {
+		opts.Out = os.Stdout
+	}
+	res, err := fuzz.Campaign(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+		return 2
+	}
+	if len(res.Failures) == 0 {
+		return 0
+	}
+	for _, f := range res.Failures {
+		path := fmt.Sprintf("fuzz-fail-%d.yaml", f.Seed)
+		if err := os.WriteFile(path, f.Scenario.WriteYAML(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: reproducer %s: %v\n", path, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: seed %d failed; reproducer written to %s\n", f.Seed, path)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "yasmin-stress: fuzz: %d of %d scenarios failed\n", len(res.Failures), res.Ran)
+	return 1
+}
+
+// corpusMain replays every scenario file in dir (sorted by name) through the
+// simulation backend and the live checker; with diff, single-node files also
+// run differentially against the OS backend. The committed corpus under
+// scenarios/corpus/ holds minimised reproducers of past defects plus
+// shape-covering scenarios, so a clean pass is a regression gate; 0 = clean.
+func corpusMain(dir string, diff, quiet bool) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: %v\n", err)
+		return 2
+	}
+	rc, ran := 0, 0
+	for _, e := range entries {
+		name := e.Name()
+		switch filepath.Ext(name) {
+		case ".yaml", ".yml", ".json":
+		default:
+			continue
+		}
+		path := filepath.Join(dir, name)
+		sc, err := scenario.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %s: %v\n", path, err)
+			rc = 2
+			continue
+		}
+		ran++
+		rep, err := scenario.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %s: %v\n", path, err)
+			rc = 2
+			continue
+		}
+		if len(rep.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %s: %d violations; first: %s\n", path, len(rep.Violations), rep.Violations[0])
+			rc = 1
+			continue
+		}
+		status := fmt.Sprintf("ok (%d jobs, %d epochs)", rep.Jobs, rep.Epochs)
+		if diff {
+			dr, err := fuzz.RunDiff(sc, fuzz.DiffOpts{})
+			if err == nil && !dr.Skipped && !dr.Ok() {
+				// Wall-clock leg: retry once so a host load spike doesn't
+				// fail the gate; deterministic mismatches reproduce.
+				dr, err = fuzz.RunDiff(sc, fuzz.DiffOpts{})
+			}
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "yasmin-stress: %s: diff: %v\n", path, err)
+				rc = 2
+			case dr.Skipped:
+				status += "; diff skipped: " + dr.Reason
+			case !dr.Ok():
+				fmt.Fprintf(os.Stderr, "yasmin-stress: %s: %d differential mismatches; first: %s\n",
+					path, len(dr.Mismatches), dr.Mismatches[0])
+				rc = 1
+				continue
+			default:
+				status += "; diff ok"
+			}
+		}
+		if !quiet {
+			fmt.Printf("corpus %s: %s\n", name, status)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: corpus %s: no scenario files\n", dir)
+		return 2
+	}
+	if !quiet {
+		fmt.Printf("corpus: %d scenarios, %s\n", ran, map[bool]string{true: "PASS", false: "FAIL"}[rc == 0])
+	}
+	return rc
 }
 
 // replayVerify reloads an exported stream, re-runs the scenario invariants

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/yasmin-rt/yasmin/internal/rt"
 	"github.com/yasmin-rt/yasmin/internal/taskset"
@@ -103,6 +104,19 @@ func (a *App) insertWaiterLocked(head HID, j *job) {
 	ac.waiters[pos] = j
 }
 
+// staleWaiterResortBug re-introduces the pre-fix PR 5 defect (stale waiter
+// slots after a chain boost) when enabled: boostPoolLocked skips the
+// re-sort, so a boosted holder parked on a second pool keeps its
+// park-time position and less urgent waiters can be granted ahead of it.
+// It exists solely so the scenario fuzzer's self-test can prove the
+// generator + checker rediscover a real, historical bug; nothing outside
+// tests may enable it.
+var staleWaiterResortBug atomic.Bool
+
+// TestingSetStaleWaiterResortBug toggles the seeded PR 5 regression (see
+// staleWaiterResortBug). Test-only; the production path never sets it.
+func TestingSetStaleWaiterResortBug(on bool) { staleWaiterResortBug.Store(on) }
+
 // resortWaiterLocked re-inserts a parked job whose effective priority just
 // changed: a waiter's slot is assigned at park time, so a later PIP boost
 // along a holder chain must re-order the list or the most urgent waiter is
@@ -161,7 +175,9 @@ func (a *App) boostPoolLocked(c rt.Ctx, head HID, prio int64) {
 		if holder.state == jobAccelWait && holder.waitingOn != NoAccel {
 			// The holder is itself parked on another pool: fix its now-stale
 			// waiter slot and push the boost one hop further down the chain.
-			a.resortWaiterLocked(holder.waitingOn, holder)
+			if !staleWaiterResortBug.Load() {
+				a.resortWaiterLocked(holder.waitingOn, holder)
+			}
 			a.boostPoolLocked(c, holder.waitingOn, prio)
 			continue
 		}

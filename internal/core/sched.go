@@ -275,6 +275,18 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 		t0 := c.Now()
 		c.Charge(costs.ClockRead)
 		a.mu.Lock(c)
+		// Re-check under the lock: Stop may have flipped the flag after the
+		// loop-top check. Workers retire the moment they observe stopping
+		// with everything drained, so a release slipping in here would push
+		// a job no worker is left to run — Cleanup would then wait on a
+		// queue that can never drain. Checking under the same lock the
+		// retire decision takes makes release-vs-retire atomic: either the
+		// job lands while workers are still obliged to drain it, or it is
+		// never released.
+		if a.stopping.Load() || a.terminating.Load() {
+			a.mu.Unlock(c)
+			return
+		}
 		released := a.releaseDue(c, t0)
 		if released > 0 {
 			a.dispatch(c)

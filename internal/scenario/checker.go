@@ -13,6 +13,49 @@ import (
 // run reports a readable sample instead of gigabytes.
 const maxViolations = 64
 
+// Context stamps a violation with its provenance, so a reproducer shrunk
+// out of a fuzz run is self-describing: the message alone names the
+// generator seed and the churn epoch current when the invariant broke.
+type Context struct {
+	// Scenario is the scenario name ("fuzz-17-accel_chain" for generated
+	// ones, which encodes the generator seed and traffic shape).
+	Scenario string `json:"scenario,omitempty"`
+	// Seed is the scenario seed that reproduces the run byte-for-byte.
+	Seed int64 `json:"seed"`
+	// Epoch is the reconfiguration epoch current when the violation was
+	// recorded (0 = before any churn committed).
+	Epoch int `json:"epoch"`
+	// Node is the cluster node (-1 for single-node runs).
+	Node int `json:"node"`
+}
+
+// Violation is one invariant breach plus the context that reproduces it.
+type Violation struct {
+	Msg     string  `json:"msg"`
+	Context Context `json:"context"`
+}
+
+// String renders the violation with its context suffix; a zero context
+// (offline replays of foreign streams) renders the bare message.
+func (v Violation) String() string {
+	if v.Context == (Context{}) {
+		return v.Msg
+	}
+	if v.Context.Node >= 0 {
+		return fmt.Sprintf("%s [scenario=%s seed=%d epoch=%d node=%d]",
+			v.Msg, v.Context.Scenario, v.Context.Seed, v.Context.Epoch, v.Context.Node)
+	}
+	return fmt.Sprintf("%s [scenario=%s seed=%d epoch=%d]",
+		v.Msg, v.Context.Scenario, v.Context.Seed, v.Context.Epoch)
+}
+
+// TopicAccount is one instrumented topic's data-plane totals.
+type TopicAccount struct {
+	Topic     string `json:"topic"`
+	Published int64  `json:"published"`
+	Delivered int64  `json:"delivered"` // summed over subscribers
+}
+
 // Checker observes a scenario run from inside the instrumented task bodies
 // and verifies the middleware's runtime invariants:
 //
@@ -38,9 +81,10 @@ const maxViolations = 64
 // the checker locks anyway so the same instrumentation works on OSEnv.
 type Checker struct {
 	mu         sync.Mutex
+	ctx        Context // provenance stamped on every violation
 	topics     []*topicCheck
 	drains     map[string]*drainWatch
-	violations []string
+	violations []Violation
 	dropped    int // violations beyond maxViolations
 
 	published int64
@@ -109,13 +153,54 @@ func NewChecker() *Checker {
 	return &Checker{drains: make(map[string]*drainWatch)}
 }
 
-// violationf records one violation (bounded).
-func (ck *Checker) violationf(format string, args ...any) {
+// SetContext installs the provenance stamped on every violation recorded
+// from now on. Runners call it once before the run starts; the churn
+// driver keeps the epoch current through noteAttempt.
+func (ck *Checker) SetContext(ctx Context) {
+	ck.mu.Lock()
+	ck.ctx = ctx
+	ck.mu.Unlock()
+}
+
+// violationLocked records one violation (bounded) stamped with the
+// current context. Callers hold ck.mu.
+func (ck *Checker) violationLocked(format string, args ...any) {
 	if len(ck.violations) >= maxViolations {
 		ck.dropped++
 		return
 	}
-	ck.violations = append(ck.violations, fmt.Sprintf(format, args...))
+	ck.violations = append(ck.violations, Violation{Msg: fmt.Sprintf(format, args...), Context: ck.ctx})
+}
+
+// renderLocked converts the recorded violations to their string forms,
+// appending the drop summary. Callers hold ck.mu.
+func (ck *Checker) renderLocked() []string {
+	if len(ck.violations) == 0 && ck.dropped == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(ck.violations)+1)
+	for _, v := range ck.violations {
+		out = append(out, v.String())
+	}
+	if ck.dropped > 0 {
+		out = append(out, fmt.Sprintf("... and %d more violations", ck.dropped))
+	}
+	return out
+}
+
+// violationf is violationLocked for callers that do NOT hold ck.mu (the
+// churn drivers and instrumented task bodies, which race on OSEnv).
+func (ck *Checker) violationf(format string, args ...any) {
+	ck.mu.Lock()
+	ck.violationLocked(format, args...)
+	ck.mu.Unlock()
+}
+
+// Violations returns the structured violations recorded so far.
+func (ck *Checker) Violations() []Violation {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return append([]Violation(nil), ck.violations...)
 }
 
 // addTopic registers an instrumented topic and returns its check index.
@@ -165,7 +250,7 @@ func (ck *Checker) notePublished(ti, p int, seq int64) {
 	defer ck.mu.Unlock()
 	tc := ck.topics[ti]
 	if seq != tc.published[p]+1 {
-		ck.violationf("topic %s pub %d: published seq %d after %d (publisher body raced itself)",
+		ck.violationLocked("topic %s pub %d: published seq %d after %d (publisher body raced itself)",
 			tc.name, p, seq, tc.published[p])
 	}
 	tc.published[p] = seq
@@ -179,22 +264,22 @@ func (ck *Checker) noteTaken(ti, si int, v any) {
 	tc := ck.topics[ti]
 	raw, ok := v.(int64)
 	if !ok {
-		ck.violationf("topic %s sub %d: foreign value %T in buffer", tc.name, si, v)
+		ck.violationLocked("topic %s sub %d: foreign value %T in buffer", tc.name, si, v)
 		return
 	}
 	pub, seq := seqDecode(raw)
 	if pub < 0 || pub >= len(tc.published) {
-		ck.violationf("topic %s sub %d: value from unknown publisher %d", tc.name, si, pub)
+		ck.violationLocked("topic %s sub %d: value from unknown publisher %d", tc.name, si, pub)
 		return
 	}
 	sw := tc.subs[si]
 	last := sw.lastSeq[pub]
 	switch {
 	case seq <= last:
-		ck.violationf("topic %s sub %d: pub %d seq %d after %d (FIFO violated: reorder or duplicate)",
+		ck.violationLocked("topic %s sub %d: pub %d seq %d after %d (FIFO violated: reorder or duplicate)",
 			tc.name, si, pub, seq, last)
 	case tc.policy == core.Reject && !tc.lossy && seq != last+1:
-		ck.violationf("topic %s sub %d: pub %d seq %d after %d under Reject (entries lost in a gap)",
+		ck.violationLocked("topic %s sub %d: pub %d seq %d after %d under Reject (entries lost in a gap)",
 			tc.name, si, pub, seq, last)
 	}
 	sw.lastSeq[pub] = seq
@@ -233,10 +318,15 @@ func (ck *Checker) noteInjected() {
 	ck.mu.Unlock()
 }
 
-// noteAttempt records one Reconfigure outcome.
+// noteAttempt records one Reconfigure outcome and keeps the violation
+// context's epoch current, so later violations name the churn epoch they
+// happened under.
 func (ck *Checker) noteAttempt(a admissionAttempt) {
 	ck.mu.Lock()
 	ck.attempts = append(ck.attempts, a)
+	if a.epochAfter > ck.ctx.Epoch {
+		ck.ctx.Epoch = a.epochAfter
+	}
 	ck.mu.Unlock()
 }
 
@@ -256,11 +346,11 @@ func (ck *Checker) Finish(app *core.App) []string {
 			continue // not an instrumented churn task (mode-switch retiree)
 		}
 		if w.lastStart > re.At {
-			ck.violationf("task %s: job started at %v after retirement at %v (drain-before-retire violated)",
+			ck.violationLocked("task %s: job started at %v after retirement at %v (drain-before-retire violated)",
 				re.Task, w.lastStart, re.At)
 		}
 		if w.lastFinish > re.At {
-			ck.violationf("task %s: job finished at %v after retirement at %v (drain-before-retire violated)",
+			ck.violationLocked("task %s: job finished at %v after retirement at %v (drain-before-retire violated)",
 				re.Task, w.lastFinish, re.At)
 		}
 	}
@@ -276,13 +366,10 @@ func (ck *Checker) Finish(app *core.App) []string {
 
 	// Failure injection round-trips through the error accounting.
 	if got := app.TaskErrors(); got != ck.injected {
-		ck.violationf("task errors: middleware counted %d, checker injected %d", got, ck.injected)
+		ck.violationLocked("task errors: middleware counted %d, checker injected %d", got, ck.injected)
 	}
 
-	if ck.dropped > 0 {
-		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
-	}
-	return ck.violations
+	return ck.renderLocked()
 }
 
 // checkTopicsLocked runs the no-lost-entries verdict: every subscriber
@@ -296,12 +383,12 @@ func (ck *Checker) checkTopicsLocked() {
 			for p := range tc.published {
 				missing := tc.published[p] - sw.lastSeq[p]
 				if missing < 0 {
-					ck.violationf("topic %s sub %d: consumed past publisher %d (%d > %d)",
+					ck.violationLocked("topic %s sub %d: consumed past publisher %d (%d > %d)",
 						tc.name, si, p, sw.lastSeq[p], tc.published[p])
 					continue
 				}
 				if tc.policy == core.Reject && !tc.lossy && missing > int64(tc.capacity) {
-					ck.violationf("topic %s sub %d: %d entries from pub %d unaccounted (backlog bound %d): entries lost",
+					ck.violationLocked("topic %s sub %d: %d entries from pub %d unaccounted (backlog bound %d): entries lost",
 						tc.name, si, missing, p, tc.capacity)
 				}
 			}
@@ -326,11 +413,11 @@ func (ck *Checker) FinishCluster(apps []*core.App) []string {
 		if a.err == nil {
 			commits++
 			if a.epochAfter != a.epochBefore+1 {
-				ck.violationf("%s at %v: committed but cluster epoch went %d -> %d",
+				ck.violationLocked("%s at %v: committed but cluster epoch went %d -> %d",
 					a.action, a.at, a.epochBefore, a.epochAfter)
 			}
 		} else if a.epochAfter != a.epochBefore {
-			ck.violationf("%s at %v: rejected (%v) but cluster epoch went %d -> %d",
+			ck.violationLocked("%s at %v: rejected (%v) but cluster epoch went %d -> %d",
 				a.action, a.at, a.err, a.epochBefore, a.epochAfter)
 		}
 	}
@@ -338,18 +425,15 @@ func (ck *Checker) FinishCluster(apps []*core.App) []string {
 		recs := app.Recorder().Reconfigs()
 		for i, r := range recs {
 			if r.Epoch != i+1 {
-				ck.violationf("node %d: reconfig record %d has epoch %d (epochs must be consecutive)", node, i, r.Epoch)
+				ck.violationLocked("node %d: reconfig record %d has epoch %d (epochs must be consecutive)", node, i, r.Epoch)
 			}
 		}
 		if len(recs) != commits {
-			ck.violationf("node %d committed %d epochs, cluster driver committed %d (nodes diverged)",
+			ck.violationLocked("node %d committed %d epochs, cluster driver committed %d (nodes diverged)",
 				node, len(recs), commits)
 		}
 	}
-	if ck.dropped > 0 {
-		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
-	}
-	return ck.violations
+	return ck.renderLocked()
 }
 
 // checkEpochs verifies that committed reconfiguration records carry
@@ -358,7 +442,7 @@ func (ck *Checker) FinishCluster(apps []*core.App) []string {
 func (ck *Checker) checkEpochs(recs []trace.ReconfigRecord) {
 	for i, r := range recs {
 		if r.Epoch != i+1 {
-			ck.violationf("reconfig record %d has epoch %d (epochs must be consecutive)", i, r.Epoch)
+			ck.violationLocked("reconfig record %d has epoch %d (epochs must be consecutive)", i, r.Epoch)
 		}
 	}
 }
@@ -370,16 +454,16 @@ func (ck *Checker) checkAdmission(recs []trace.ReconfigRecord) {
 		if a.err == nil {
 			commits++
 			if a.epochAfter != a.epochBefore+1 {
-				ck.violationf("%s at %v: committed but epoch went %d -> %d",
+				ck.violationLocked("%s at %v: committed but epoch went %d -> %d",
 					a.action, a.at, a.epochBefore, a.epochAfter)
 			}
 		} else if a.epochAfter != a.epochBefore {
-			ck.violationf("%s at %v: rejected (%v) but epoch went %d -> %d",
+			ck.violationLocked("%s at %v: rejected (%v) but epoch went %d -> %d",
 				a.action, a.at, a.err, a.epochBefore, a.epochAfter)
 		}
 	}
 	if commits != len(recs) {
-		ck.violationf("driver committed %d transactions, recorder has %d epochs", commits, len(recs))
+		ck.violationLocked("driver committed %d transactions, recorder has %d epochs", commits, len(recs))
 	}
 }
 
@@ -412,7 +496,7 @@ func (ck *Checker) checkAccel(events []trace.AccelEvent) {
 			st.MaxWait = wait
 		}
 		if ck.accelWaitBound > 0 && wait > ck.accelWaitBound {
-			ck.violationf("accel %s: job %s#%d waited %v for %s (bound %v): inversion not bounded by the critical-section budget",
+			ck.violationLocked("accel %s: job %s#%d waited %v for %s (bound %v): inversion not bounded by the critical-section budget",
 				p.pool, k.task, k.job, wait, how, ck.accelWaitBound)
 		}
 	}
@@ -423,7 +507,7 @@ func (ck *Checker) checkAccel(events []trace.AccelEvent) {
 				continue
 			}
 			if p.prio < prio {
-				ck.violationf("accel %s at %v: %s to %s#%d (prio %d) while more urgent %s#%d (prio %d) was parked",
+				ck.violationLocked("accel %s at %v: %s to %s#%d (prio %d) while more urgent %s#%d (prio %d) was parked",
 					pool, now, how, k.task, k.job, prio, wk.task, wk.job, p.prio)
 			}
 		}
@@ -435,7 +519,7 @@ func (ck *Checker) checkAccel(events []trace.AccelEvent) {
 		case trace.AccelPark:
 			st.Parks++
 			if p, dup := parked[k]; dup {
-				ck.violationf("accel %s at %v: %s#%d parked again while already parked on %s",
+				ck.violationLocked("accel %s at %v: %s#%d parked again while already parked on %s",
 					e.Pool, e.At, e.Task, e.Job, p.pool)
 			}
 			parked[k] = parkInfo{pool: e.Pool, prio: e.Prio, at: e.At}
@@ -455,7 +539,7 @@ func (ck *Checker) checkAccel(events []trace.AccelEvent) {
 			}
 			checkOrder(e.Pool, k, e.Prio, e.At, how)
 			if h, busy := holders[e.Accel]; busy {
-				ck.violationf("accel instance %s at %v: %s to %s#%d while %s#%d still holds it",
+				ck.violationLocked("accel instance %s at %v: %s to %s#%d while %s#%d still holds it",
 					e.Accel, e.At, how, e.Task, e.Job, h.task, h.job)
 			}
 			holders[e.Accel] = k
@@ -463,7 +547,7 @@ func (ck *Checker) checkAccel(events []trace.AccelEvent) {
 				endWait(k, p, e.At, how)
 				delete(parked, k)
 			} else if e.Kind == trace.AccelGrant {
-				ck.violationf("accel %s at %v: grant to %s#%d which was not parked", e.Pool, e.At, e.Task, e.Job)
+				ck.violationLocked("accel %s at %v: grant to %s#%d which was not parked", e.Pool, e.At, e.Task, e.Job)
 			}
 		case trace.AccelRequeue:
 			// The waiter leaves the list for a fresh scheduling pass; its
@@ -475,10 +559,10 @@ func (ck *Checker) checkAccel(events []trace.AccelEvent) {
 			}
 		case trace.AccelRelease:
 			if h, busy := holders[e.Accel]; !busy {
-				ck.violationf("accel instance %s at %v: released by %s#%d but no hold was recorded",
+				ck.violationLocked("accel instance %s at %v: released by %s#%d but no hold was recorded",
 					e.Accel, e.At, e.Task, e.Job)
 			} else if h != k {
-				ck.violationf("accel instance %s at %v: released by %s#%d but held by %s#%d",
+				ck.violationLocked("accel instance %s at %v: released by %s#%d but held by %s#%d",
 					e.Accel, e.At, e.Task, e.Job, h.task, h.job)
 			}
 			delete(holders, e.Accel)
@@ -506,4 +590,25 @@ func (ck *Checker) Delivered() int64 {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	return ck.delivered
+}
+
+// TopicTotals returns the per-topic data-plane accounting, in topic
+// registration order (deterministic for a given scenario).
+func (ck *Checker) TopicTotals() []TopicAccount {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	out := make([]TopicAccount, 0, len(ck.topics))
+	for _, tc := range ck.topics {
+		ta := TopicAccount{Topic: tc.name}
+		for _, n := range tc.published {
+			ta.Published += n
+		}
+		for _, sw := range tc.subs {
+			for _, n := range sw.consumed {
+				ta.Delivered += n
+			}
+		}
+		out = append(out, ta)
+	}
+	return out
 }

@@ -92,16 +92,14 @@ func TestCheckerCatchesSeededFIFOViolation(t *testing.T) {
 	for _, tc := range cases {
 		ck, ti := feedChecker(tc.policy)
 		tc.feed(ck, ti)
-		ck.mu.Lock()
-		vs := append([]string(nil), ck.violations...)
-		ck.mu.Unlock()
+		vs := ck.Violations()
 		if len(vs) == 0 {
 			t.Errorf("%s: checker stayed silent", tc.label)
 			continue
 		}
 		found := false
 		for _, v := range vs {
-			if strings.Contains(v, tc.want) {
+			if strings.Contains(v.Msg, tc.want) {
 				found = true
 			}
 		}
@@ -208,7 +206,7 @@ func TestCheckerCatchesSeededAccelViolations(t *testing.T) {
 		}
 		found := false
 		for _, v := range ck.violations {
-			if strings.Contains(v, tc.want) {
+			if strings.Contains(v.Msg, tc.want) {
 				found = true
 			}
 		}

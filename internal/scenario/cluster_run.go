@@ -31,6 +31,7 @@ func runCluster(sc *Scenario, opts RunOpts) (*Report, error) {
 	}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	ck := NewChecker()
+	ck.SetContext(Context{Scenario: sc.Name, Seed: sc.Seed, Node: -1})
 
 	gspec, gen := sc.buildClusterSpec(rng, ck)
 	if err := gspec.Validate(); err != nil {

@@ -1,0 +1,267 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"github.com/yasmin-rt/yasmin/internal/scenario"
+	"github.com/yasmin-rt/yasmin/internal/telemetry"
+)
+
+// Tolerance is the comparison model for counters that legitimately differ
+// between the simulated and wall-clock backends: the OS scheduler preempts
+// when it pleases, so anything proportional to elapsed-time progress
+// (jobs, publishes, deliveries, failure draws) lands near — not at — the
+// simulated figure. A pair (a, b) agrees when |a-b| <= max(Abs, Rel*max(a,b)).
+type Tolerance struct {
+	Rel float64
+	Abs int64
+}
+
+func (t Tolerance) ok(a, b int64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	bound := int64(t.Rel * float64(m))
+	if t.Abs > bound {
+		bound = t.Abs
+	}
+	return d <= bound
+}
+
+// DiffOpts configures RunDiff.
+type DiffOpts struct {
+	// Tol overrides the default tolerance (Rel 0.5, Abs 50) for the
+	// timing-derived counters.
+	Tol *Tolerance
+	// OS is passed through to the wall-clock leg (spin vs sleep, pinning).
+	OS scenario.OSRunOpts
+}
+
+func (o *DiffOpts) tol() Tolerance {
+	if o.Tol != nil {
+		return *o.Tol
+	}
+	return Tolerance{Rel: 0.5, Abs: 50}
+}
+
+// DiffResult is the outcome of one differential run.
+type DiffResult struct {
+	// Skipped is set (with Reason) when the scenario cannot run on the OS
+	// backend at all — cluster scenarios are simulation-only.
+	Skipped bool
+	Reason  string
+
+	Sim *scenario.Report
+	OS  *scenario.Report
+
+	// SimStream/OSStream hold the offline CheckStream verdicts for each
+	// leg's telemetry export (the OS leg is checked under RelaxedOrder).
+	SimStream []string
+	OSStream  []string
+
+	// Mismatches lists every disagreement: exact-field divergence, tolerance
+	// breaches, and checker violations from either leg. Empty means the two
+	// backends agree on everything checker-visible.
+	Mismatches []string
+}
+
+// Ok reports whether the differential run passed (or was skipped).
+func (r *DiffResult) Ok() bool { return r.Skipped || len(r.Mismatches) == 0 }
+
+// RunDiff executes the same scenario on the simulation backend and the
+// wall-clock OS backend and diffs the checker-visible behaviour:
+//
+//   - both legs must be violation-free, live and in telemetry replay
+//     (the OS replay runs under RelaxedOrder — concurrent OS threads
+//     publish records in nondeterministic order, so only order-free
+//     invariants re-verify offline);
+//   - deterministic fields must match exactly: static shape (tasks, peak
+//     tasks, workers) and driver-sequenced outcomes (epochs, retires,
+//     admission rejections) — the churn driver makes identical decisions
+//     on both backends by construction (same seeded rng);
+//   - timing-derived counters (jobs, publishes, deliveries, task errors,
+//     per-topic accounting) must agree within the tolerance model; topics
+//     that can saturate their reject-policy capacity are compared for
+//     progress only (see saturableTopics).
+//
+// The OS leg runs with accel_wait_bound disabled: the bound asserts
+// simulated-time inversion lengths, which wall-clock preemption noise
+// would trip spuriously.
+func RunDiff(sc *scenario.Scenario, opts DiffOpts) (*DiffResult, error) {
+	if sc.Nodes != nil {
+		return &DiffResult{Skipped: true, Reason: "cluster scenarios run on the simulation backend only"}, nil
+	}
+	res := &DiffResult{}
+
+	simSink := telemetry.NewMemorySink()
+	simPipe, err := telemetry.New(simSink, telemetry.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: sim telemetry: %w", err)
+	}
+	simRep, err := scenario.RunWith(sc, scenario.RunOpts{
+		Telemetry: simPipe.Blocking(),
+		PerTopic:  true,
+	})
+	if cerr := simPipe.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("fuzz: sim telemetry close: %w", cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: sim leg: %w", err)
+	}
+	res.Sim = simRep
+	res.SimStream = scenario.CheckStream(simSink.Stream(), scenario.StreamCheckOpts{
+		AccelWaitBound: sc.AccelWaitBound.Std(),
+	})
+
+	osSC := clone(sc)
+	osSC.AccelWaitBound = 0
+	osSink := telemetry.NewMemorySink()
+	osPipe, err := telemetry.New(osSink, telemetry.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: os telemetry: %w", err)
+	}
+	osRep, err := scenario.RunOS(osSC, scenario.RunOpts{
+		Telemetry: osPipe.Blocking(),
+		PerTopic:  true,
+		OS:        opts.OS,
+	})
+	if cerr := osPipe.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("fuzz: os telemetry close: %w", cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: os leg: %w", err)
+	}
+	res.OS = osRep
+	res.OSStream = scenario.CheckStream(osSink.Stream(), scenario.StreamCheckOpts{RelaxedOrder: true})
+
+	res.Mismatches = diffReports(sc, simRep, osRep, res.SimStream, res.OSStream, opts.tol())
+	return res, nil
+}
+
+// saturableTopics returns the instance names of reject-policy topics whose
+// offered load can exceed the drain rate: more publishes arrive per consume
+// period than the capacity holds, so some publishes are rejected by design.
+// For those topics the accepted-publish count measures admission
+// INTERLEAVING — how publishes and takes happen to alternate — not progress,
+// and the two backends legitimately schedule that interleaving differently.
+// Their counters are compared for progress only (both zero or both nonzero).
+func saturableTopics(sc *scenario.Scenario) map[string]bool {
+	out := map[string]bool{}
+	for _, tp := range sc.Topics {
+		if tp.Policy != "reject" || tp.PublishPeriod == 0 {
+			continue
+		}
+		perDrain := float64(tp.Pubs) * float64(tp.ConsumePeriod) / float64(tp.PublishPeriod)
+		if perDrain > float64(tp.Capacity) {
+			for k := 0; k < tp.Count; k++ {
+				out[fmt.Sprintf("%s-%d", tp.Name, k)] = true
+			}
+		}
+	}
+	return out
+}
+
+// diffReports compares the two legs and collects every disagreement.
+func diffReports(sc *scenario.Scenario, sim, os *scenario.Report, simStream, osStream []string, tol Tolerance) []string {
+	var out []string
+	for _, v := range sim.Violations {
+		out = append(out, fmt.Sprintf("sim checker: %s", v))
+	}
+	for _, v := range os.Violations {
+		out = append(out, fmt.Sprintf("os checker: %s", v))
+	}
+	for _, v := range simStream {
+		out = append(out, fmt.Sprintf("sim stream: %s", v))
+	}
+	for _, v := range osStream {
+		out = append(out, fmt.Sprintf("os stream: %s", v))
+	}
+
+	exact := []struct {
+		name     string
+		sim, os_ int64
+	}{
+		{"tasks", int64(sim.Tasks), int64(os.Tasks)},
+		{"peak_tasks", int64(sim.PeakTasks), int64(os.PeakTasks)},
+		{"workers", int64(sim.Workers), int64(os.Workers)},
+		{"epochs", int64(sim.Epochs), int64(os.Epochs)},
+		{"retires", int64(sim.Retires), int64(os.Retires)},
+		{"rejections", sim.Rejections, os.Rejections},
+	}
+	for _, f := range exact {
+		if f.sim != f.os_ {
+			out = append(out, fmt.Sprintf("exact field %s diverges: sim %d, os %d", f.name, f.sim, f.os_))
+		}
+	}
+
+	saturable := saturableTopics(sc)
+	loose := []struct {
+		name     string
+		sim, os_ int64
+	}{
+		{"jobs", int64(sim.Jobs), int64(os.Jobs)},
+		{"task_errors", sim.TaskErrors, os.TaskErrors},
+	}
+	// The global publish/deliver sums inherit the weakest member: with any
+	// saturable topic in the mix they only prove joint progress, otherwise
+	// they get the full tolerance check.
+	if len(saturable) == 0 {
+		loose = append(loose,
+			struct {
+				name     string
+				sim, os_ int64
+			}{"published", sim.Published, os.Published},
+			struct {
+				name     string
+				sim, os_ int64
+			}{"delivered", sim.Delivered, os.Delivered})
+	} else {
+		if (sim.Published > 0) != (os.Published > 0) {
+			out = append(out, fmt.Sprintf("published progress diverges: sim %d, os %d", sim.Published, os.Published))
+		}
+		if (sim.Delivered > 0) != (os.Delivered > 0) {
+			out = append(out, fmt.Sprintf("delivered progress diverges: sim %d, os %d", sim.Delivered, os.Delivered))
+		}
+	}
+	for _, f := range loose {
+		if !tol.ok(f.sim, f.os_) {
+			out = append(out, fmt.Sprintf("counter %s outside tolerance: sim %d, os %d", f.name, f.sim, f.os_))
+		}
+	}
+
+	osTopics := map[string]scenario.TopicAccount{}
+	for _, ta := range os.Topics {
+		osTopics[ta.Topic] = ta
+	}
+	for _, sa := range sim.Topics {
+		oa, ok := osTopics[sa.Topic]
+		if !ok {
+			out = append(out, fmt.Sprintf("topic %s present on sim leg only", sa.Topic))
+			continue
+		}
+		if saturable[sa.Topic] {
+			if (sa.Published > 0) != (oa.Published > 0) || (sa.Delivered > 0) != (oa.Delivered > 0) {
+				out = append(out, fmt.Sprintf("saturated topic %s progress diverges: sim %d/%d, os %d/%d",
+					sa.Topic, sa.Published, sa.Delivered, oa.Published, oa.Delivered))
+			}
+			delete(osTopics, sa.Topic)
+			continue
+		}
+		if !tol.ok(sa.Published, oa.Published) {
+			out = append(out, fmt.Sprintf("topic %s published outside tolerance: sim %d, os %d", sa.Topic, sa.Published, oa.Published))
+		}
+		if !tol.ok(sa.Delivered, oa.Delivered) {
+			out = append(out, fmt.Sprintf("topic %s delivered outside tolerance: sim %d, os %d", sa.Topic, sa.Delivered, oa.Delivered))
+		}
+		delete(osTopics, sa.Topic)
+	}
+	for name := range osTopics { //yasmin:orderinvariant leftover-set violations are order-independent
+		out = append(out, fmt.Sprintf("topic %s present on os leg only", name))
+	}
+	return out
+}

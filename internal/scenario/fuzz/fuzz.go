@@ -1,0 +1,134 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/yasmin-rt/yasmin/internal/scenario"
+)
+
+// Options configures a Campaign.
+type Options struct {
+	// N is the number of scenarios to generate and run (default 50).
+	N int
+	// Seed is the campaign base seed: scenario i uses Seed+i.
+	Seed int64
+	// Config bounds the generator.
+	Config Config
+	// Shrink minimises every failing scenario before reporting it.
+	Shrink bool
+	// ShrinkRuns caps predicate evaluations per shrink (default 400).
+	ShrinkRuns int
+	// Diff additionally runs every (single-node) scenario on the OS
+	// backend and diffs the checker-visible behaviour. Campaign output is
+	// byte-deterministic for a fixed (Seed, N, Config) without Diff; with
+	// it, tolerance breaches depend on host timing.
+	Diff bool
+	// Out receives one line per scenario plus a trailer (nil = silent).
+	Out io.Writer
+}
+
+func (o *Options) n() int {
+	if o.N > 0 {
+		return o.N
+	}
+	return 50
+}
+
+// Failure is one minimised finding of a campaign.
+type Failure struct {
+	// Seed is the generator seed that produced the scenario.
+	Seed int64
+	// Scenario is the failing scenario — shrunk when Options.Shrink is set,
+	// otherwise as generated.
+	Scenario *scenario.Scenario
+	// Violations is what the checker reported on the (original) failing run.
+	Violations []string
+	// ShrinkRuns is how many predicate evaluations the shrink spent (zero
+	// when shrinking was off).
+	ShrinkRuns int
+	// DiffMismatches is set when the failure came from the differential
+	// leg rather than the live checker.
+	DiffMismatches []string
+}
+
+// Result summarises a campaign.
+type Result struct {
+	Ran      int
+	Failures []Failure
+	// DiffSkipped counts scenarios the differential leg skipped (cluster
+	// shapes when Diff was requested).
+	DiffSkipped int
+}
+
+// Campaign generates and runs n seeded scenarios, checking every run with
+// the live checker (and, with opts.Diff, differentially against the OS
+// backend). Failing scenarios are optionally shrunk to minimal reproducers.
+// All log output is derived from seeds and counters only — two campaigns
+// with the same options produce byte-identical output (without Diff), which
+// CI exploits to pin generator determinism.
+func Campaign(opts Options) (*Result, error) {
+	res := &Result{}
+	logf := func(format string, args ...any) {
+		if opts.Out != nil {
+			fmt.Fprintf(opts.Out, format+"\n", args...)
+		}
+	}
+	for i := 0; i < opts.n(); i++ {
+		seed := (opts.Seed + int64(i)) & seedMask
+		sc := Gen(seed, opts.Config)
+		rep, err := scenario.Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: seed %d (%s): %w", seed, sc.Name, err)
+		}
+		res.Ran++
+		if len(rep.Violations) > 0 {
+			f := Failure{Seed: seed, Scenario: sc, Violations: rep.Violations}
+			logf("seed %d %s: %d violations; first: %s", seed, sc.Name, len(rep.Violations), rep.Violations[0])
+			if opts.Shrink {
+				f.Scenario, f.ShrinkRuns = Shrink(sc, ViolationPredicate(), ShrinkOpts{MaxRuns: opts.ShrinkRuns})
+				logf("seed %d %s: shrunk to %d tasks, %d churn phases in %d runs",
+					seed, sc.Name, f.Scenario.TaskCount(), len(f.Scenario.Churn), f.ShrinkRuns)
+			}
+			res.Failures = append(res.Failures, f)
+			continue
+		}
+		if opts.Diff {
+			dr, err := RunDiff(sc, DiffOpts{})
+			if err != nil {
+				return nil, fmt.Errorf("fuzz: seed %d (%s) diff: %w", seed, sc.Name, err)
+			}
+			if !dr.Skipped && !dr.Ok() {
+				// The OS leg is wall-clock: a host load spike can push a
+				// timing-derived counter past tolerance without any real
+				// divergence. Deterministic mismatches reproduce; one retry
+				// filters the spikes.
+				dr, err = RunDiff(sc, DiffOpts{})
+				if err != nil {
+					return nil, fmt.Errorf("fuzz: seed %d (%s) diff: %w", seed, sc.Name, err)
+				}
+			}
+			if dr.Skipped {
+				res.DiffSkipped++
+			} else if !dr.Ok() {
+				logf("seed %d %s: %d differential mismatches; first: %s", seed, sc.Name, len(dr.Mismatches), dr.Mismatches[0])
+				res.Failures = append(res.Failures, Failure{Seed: seed, Scenario: sc, DiffMismatches: dr.Mismatches})
+				continue
+			}
+		}
+		logf("seed %d %s: ok (%d jobs, %d epochs)", seed, sc.Name, rep.Jobs, rep.Epochs)
+	}
+	logf("campaign: %d run, %d failing, %d diff-skipped", res.Ran, len(res.Failures), res.DiffSkipped)
+	return res, nil
+}
+
+// ViolationPredicate returns the standard shrink predicate: the scenario
+// runs on the simulation backend and the live checker flags at least one
+// violation. Run errors (invalid builds after an aggressive reduction) do
+// not count as failures.
+func ViolationPredicate() Predicate {
+	return func(sc *scenario.Scenario) bool {
+		rep, err := scenario.Run(sc)
+		return err == nil && len(rep.Violations) > 0
+	}
+}

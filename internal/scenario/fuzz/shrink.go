@@ -1,0 +1,292 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/yasmin-rt/yasmin/internal/scenario"
+)
+
+// Predicate reports whether a candidate scenario still exhibits the
+// behaviour being minimised (typically "the checker flags a violation").
+// It must be deterministic for a given scenario — Shrink caches verdicts
+// by serialized form and re-runs nothing it has already judged.
+type Predicate func(*scenario.Scenario) bool
+
+// ShrinkOpts bounds the search.
+type ShrinkOpts struct {
+	// MaxRuns caps predicate evaluations (default 400). The shrinker is
+	// greedy — it keeps the first reduction that still fails — so the cap
+	// bounds worst-case work, not result quality on typical reproducers.
+	MaxRuns int
+}
+
+func (o *ShrinkOpts) maxRuns() int {
+	if o.MaxRuns > 0 {
+		return o.MaxRuns
+	}
+	return 400
+}
+
+// Shrink minimises a failing scenario with delta debugging: list elements
+// (groups, topics, churn phases, accel pools) are dropped ddmin-style —
+// halves first, then single elements — and surviving scalars are reduced
+// (counts and fan-in/out toward 1, duration toward a floor, optional
+// features toward absent). Every candidate is validated before the
+// predicate runs; invalid candidates are skipped, so the result is always
+// a valid scenario. Returns the smallest failing scenario found and the
+// number of predicate evaluations spent. The input scenario must satisfy
+// pred (Shrink panics otherwise — a non-failing "reproducer" means the
+// caller lost determinism, and minimising it would be meaningless).
+func Shrink(sc *scenario.Scenario, pred Predicate, opts ShrinkOpts) (*scenario.Scenario, int) {
+	if !pred(sc) {
+		panic(fmt.Sprintf("fuzz: Shrink of %s: predicate does not fail on the input scenario", sc.Name))
+	}
+	runs := 0
+	budget := opts.maxRuns()
+	cache := map[string]bool{key(sc): true}
+
+	// check evaluates one candidate, consulting the cache and budget.
+	check := func(cand *scenario.Scenario) bool {
+		if cand.Validate() != nil {
+			return false
+		}
+		k := key(cand)
+		if v, ok := cache[k]; ok {
+			return v
+		}
+		if runs >= budget {
+			return false
+		}
+		runs++
+		v := pred(cand)
+		cache[k] = v
+		return v
+	}
+
+	cur := clone(sc)
+	// Alternate structural drops and scalar reductions until a full pass
+	// changes nothing (or the budget is gone).
+	for changed := true; changed && runs < budget; {
+		changed = false
+		if shrinkLists(cur, check) {
+			changed = true
+		}
+		if shrinkScalars(cur, check) {
+			changed = true
+		}
+	}
+	return cur, runs
+}
+
+// clone deep-copies a scenario through its JSON form (every field is
+// serialisable by construction — the YAML loader builds the same struct).
+func clone(sc *scenario.Scenario) *scenario.Scenario {
+	b, err := json.Marshal(sc)
+	if err != nil {
+		panic(fmt.Sprintf("fuzz: clone marshal: %v", err))
+	}
+	out := &scenario.Scenario{}
+	if err := json.Unmarshal(b, out); err != nil {
+		panic(fmt.Sprintf("fuzz: clone unmarshal: %v", err))
+	}
+	return out
+}
+
+// key is the cache identity of a candidate.
+func key(sc *scenario.Scenario) string {
+	b, err := json.Marshal(sc)
+	if err != nil {
+		panic(fmt.Sprintf("fuzz: key marshal: %v", err))
+	}
+	return string(b)
+}
+
+// shrinkLists runs one ddmin pass over every list-valued field. Returns
+// true if anything was removed.
+func shrinkLists(cur *scenario.Scenario, check func(*scenario.Scenario) bool) bool {
+	changed := false
+	if ddminList(cur, len(cur.Churn), check,
+		func(sc *scenario.Scenario, keep []int) { sc.Churn = pick(sc.Churn, keep) }) {
+		changed = true
+	}
+	if ddminList(cur, len(cur.Topics), check,
+		func(sc *scenario.Scenario, keep []int) { sc.Topics = pick(sc.Topics, keep) }) {
+		changed = true
+	}
+	if ddminList(cur, len(cur.Groups), check,
+		func(sc *scenario.Scenario, keep []int) { sc.Groups = pick(sc.Groups, keep) }) {
+		changed = true
+	}
+	// Dropping a pool only validates once no group references it, so pools
+	// shrink after groups.
+	if ddminList(cur, len(cur.Accels), check,
+		func(sc *scenario.Scenario, keep []int) { sc.Accels = pick(sc.Accels, keep) }) {
+		changed = true
+	}
+	return changed
+}
+
+// pick returns the elements of xs at the kept indices, in order.
+func pick[T any](xs []T, keep []int) []T {
+	out := make([]T, 0, len(keep))
+	for _, i := range keep {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+// ddminList removes elements of one n-element list: first complement-of-half
+// chunks (classic ddmin), then single elements. apply rebuilds the candidate
+// from the kept index set. Greedy: the first failing reduction is adopted
+// and the pass restarts on the smaller list.
+func ddminList(cur *scenario.Scenario, n int, check func(*scenario.Scenario) bool,
+	apply func(*scenario.Scenario, []int)) bool {
+	if n == 0 {
+		return false
+	}
+	changed := false
+	kept := make([]int, n)
+	for i := range kept {
+		kept[i] = i
+	}
+	for chunk := (len(kept) + 1) / 2; chunk >= 1; {
+		removedAny := false
+		for start := 0; start < len(kept); start += chunk {
+			end := start + chunk
+			if end > len(kept) {
+				end = len(kept)
+			}
+			rest := append(append([]int{}, kept[:start]...), kept[end:]...)
+			cand := clone(cur)
+			apply(cand, rest)
+			if check(cand) {
+				*cur = *cand
+				kept = rangeInts(len(rest))
+				changed, removedAny = true, true
+				break // restart the scan on the reduced list
+			}
+		}
+		if !removedAny {
+			if chunk == 1 {
+				break
+			}
+			chunk = (chunk + 1) / 2
+			if chunk < 1 {
+				chunk = 1
+			}
+		} else {
+			chunk = (len(kept) + 1) / 2
+			if chunk < 1 {
+				chunk = 1
+			}
+		}
+	}
+	return changed
+}
+
+func rangeInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// shrinkScalars reduces surviving magnitudes: group/topic/churn counts and
+// fan-in/out toward 1, duration toward 20ms by halving, and optional
+// features (failure injection, jitter, deadline ratio, second accel stage,
+// node spec extras) toward absent. One pass; returns true if any reduction
+// stuck.
+func shrinkScalars(cur *scenario.Scenario, check func(*scenario.Scenario) bool) bool {
+	changed := false
+	try := func(mut func(*scenario.Scenario)) {
+		cand := clone(cur)
+		mut(cand)
+		if key(cand) == key(cur) {
+			return
+		}
+		if check(cand) {
+			*cur = *cand
+			changed = true
+		}
+	}
+
+	for gi := range cur.Groups {
+		gi := gi
+		for cur.Groups[gi].Count > 1 {
+			before := cur.Groups[gi].Count
+			try(func(sc *scenario.Scenario) { sc.Groups[gi].Count = (sc.Groups[gi].Count + 1) / 2 })
+			if cur.Groups[gi].Count == before {
+				break
+			}
+		}
+		try(func(sc *scenario.Scenario) { sc.Groups[gi].OffsetJitter = false })
+		try(func(sc *scenario.Scenario) { sc.Groups[gi].DeadlineRatio = 0 })
+		try(func(sc *scenario.Scenario) { sc.Groups[gi].Accel2 = ""; sc.Groups[gi].Accel2Share = 0 })
+		try(func(sc *scenario.Scenario) {
+			sc.Groups[gi].Accel = ""
+			sc.Groups[gi].AccelShare = 0
+			sc.Groups[gi].Accel2 = ""
+			sc.Groups[gi].Accel2Share = 0
+		})
+	}
+	for ti := range cur.Topics {
+		ti := ti
+		for _, f := range []func(*scenario.TopicShape) *int{
+			func(tp *scenario.TopicShape) *int { return &tp.Count },
+			func(tp *scenario.TopicShape) *int { return &tp.Pubs },
+			func(tp *scenario.TopicShape) *int { return &tp.Subs },
+		} {
+			f := f
+			for *f(&cur.Topics[ti]) > 1 {
+				before := *f(&cur.Topics[ti])
+				try(func(sc *scenario.Scenario) { p := f(&sc.Topics[ti]); *p = (*p + 1) / 2 })
+				if *f(&cur.Topics[ti]) == before {
+					break
+				}
+			}
+		}
+	}
+	for ci := range cur.Churn {
+		ci := ci
+		for cur.Churn[ci].Count > 1 {
+			before := cur.Churn[ci].Count
+			try(func(sc *scenario.Scenario) { sc.Churn[ci].Count = (sc.Churn[ci].Count + 1) / 2 })
+			if cur.Churn[ci].Count == before {
+				break
+			}
+		}
+		try(func(sc *scenario.Scenario) { sc.Churn[ci].Every = 0 })
+	}
+	try(func(sc *scenario.Scenario) { sc.Failures = scenario.Failures{} })
+	try(func(sc *scenario.Scenario) { sc.Mapping = "" })
+	if cur.Nodes != nil {
+		try(func(sc *scenario.Scenario) {
+			sc.Nodes.LossRate = 0
+			sc.Nodes.ReorderRate = 0
+			sc.Nodes.SyncInterval = 0
+			sc.Nodes.ClockSkew = nil
+		})
+	}
+	for ms(20) < cur.Duration {
+		before := cur.Duration
+		try(func(sc *scenario.Scenario) {
+			sc.Duration = sc.Duration / 2
+			if sc.Duration < ms(20) {
+				sc.Duration = ms(20)
+			}
+		})
+		if cur.Duration == before {
+			break
+		}
+	}
+	for cur.Workers > 1 {
+		before := cur.Workers
+		try(func(sc *scenario.Scenario) { sc.Workers-- })
+		if cur.Workers == before {
+			break
+		}
+	}
+	return changed
+}

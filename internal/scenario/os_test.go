@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+func loadSmokeScenario(t *testing.T) *Scenario {
+	t.Helper()
+	b, err := os.ReadFile("../../scenarios/smoke.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Load(b, "smoke.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestOSEnvSmokeScenario runs the committed smoke scenario on the wall-clock
+// backend. Compute sleeps (the RunOS default), so the run needs no RT
+// scheduling privileges and is safe under -race on shared CI boxes. The live
+// checker must stay silent: every order-free invariant (FIFO per topic,
+// no-lost-entries, drain-before-retire, admission monotonicity, failure
+// accounting) holds under real preemption, not just simulated time.
+func TestOSEnvSmokeScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("300ms wall-clock run")
+	}
+	sc := loadSmokeScenario(t)
+	rep, err := RunOS(sc, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations on OS backend: %v", rep.Violations)
+	}
+	if rep.Jobs == 0 {
+		t.Fatal("no jobs ran on the OS backend")
+	}
+	if rep.Epochs == 0 {
+		t.Fatal("no reconfiguration epochs: churn never fired on the OS backend")
+	}
+}
+
+// TestOSEnvSmokeScenarioSpinning exercises the spin-compute, pinned-thread
+// path — the configuration a real-time deployment would use. Spinning burns
+// a full core per worker and pinning wants dedicated CPUs, so the test is
+// gated: it only runs when the box advertises RT headroom via
+// YASMIN_RT_TEST=1 and has spare cores.
+func TestOSEnvSmokeScenarioSpinning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock run")
+	}
+	if os.Getenv("YASMIN_RT_TEST") == "" {
+		t.Skip("set YASMIN_RT_TEST=1 to run the spinning/pinned OS leg (burns dedicated cores)")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("only %d CPUs; the spinning leg wants dedicated cores", runtime.NumCPU())
+	}
+	sc := loadSmokeScenario(t)
+	rep, err := RunOS(sc, RunOpts{OS: OSRunOpts{Spin: true, Pin: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations on spinning OS backend: %v", rep.Violations)
+	}
+}

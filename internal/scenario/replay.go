@@ -1,7 +1,6 @@
 package scenario
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/telemetry"
@@ -12,9 +11,15 @@ type StreamCheckOpts struct {
 	// AccelWaitBound arms the inversion-duration invariant of the accel
 	// replay, exactly like the scenario's accel_wait_bound (zero = off).
 	AccelWaitBound time.Duration
-	// RelaxedOrder skips the strict stream-order check for exports produced
-	// by concurrent OS-thread producers; sim-backed exports (yasmin-stress,
-	// yasmin-sim) are strictly ordered and should leave this false.
+	// RelaxedOrder skips the order-dependent checks for exports produced
+	// by concurrent OS-thread producers: the strict stream-order check,
+	// drain-before-retire (which sequences job records against retirement
+	// records), and the accelerator replay (whose park/boost/grant
+	// interleaving is only meaningful in recording order). Sim-backed
+	// exports (yasmin-stress, yasmin-sim) are strictly ordered and should
+	// leave this false; the live checker still covers retires and accel
+	// arbitration on the OS backend, so relaxing the replay loses no
+	// invariant, only the offline re-proof.
 	RelaxedOrder bool
 }
 
@@ -39,16 +44,17 @@ type StreamCheckOpts struct {
 func CheckStream(st *telemetry.Stream, opts StreamCheckOpts) []string {
 	ck := NewChecker()
 	ck.accelWaitBound = opts.AccelWaitBound
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
 	for _, v := range st.Verify(!opts.RelaxedOrder) {
-		ck.violationf("%s", v)
+		ck.violationLocked("%s", v)
 	}
 	ck.checkEpochs(st.Reconfigs)
-	ck.checkRetireStream(st.Events)
-	ck.checkAccel(st.Accels)
-	if ck.dropped > 0 {
-		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
+	if !opts.RelaxedOrder {
+		ck.checkRetireStream(st.Events)
+		ck.checkAccel(st.Accels)
 	}
-	return ck.violations
+	return ck.renderLocked()
 }
 
 // CheckStreams reconciles the per-node telemetry exports of one cluster
@@ -72,27 +78,40 @@ func CheckStream(st *telemetry.Stream, opts StreamCheckOpts) []string {
 // checks; sends to nodes whose stream was not supplied are left
 // unreconciled rather than flagged.
 func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
+	// Per-stream verdicts run on their own checkers BEFORE the reconciling
+	// checker's lock is taken: Checker.mu is self-ranked, so nesting two
+	// instances would trip the lock-order gate (and encode a real deadlock
+	// shape if the instances ever aliased).
+	perStream := make([][]string, len(sts))
+	for i, st := range sts {
+		if st.Node() >= 0 {
+			perStream[i] = CheckStream(st, opts)
+		}
+	}
+
 	ck := NewChecker()
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
 	if len(sts) == 0 {
-		ck.violationf("no streams to check")
-		return ck.violations
+		ck.violationLocked("no streams to check")
+		return ck.renderLocked()
 	}
 	byNode := make(map[int]*telemetry.Stream, len(sts))
 	order := make([]int, 0, len(sts))
 	for i, st := range sts {
 		n := st.Node()
 		if n < 0 {
-			ck.violationf("stream %d: mixed node stamps (corrupt merge input)", i)
+			ck.violationLocked("stream %d: mixed node stamps (corrupt merge input)", i)
 			continue
 		}
 		if byNode[n] != nil {
-			ck.violationf("stream %d: node %d already supplied by another file", i, n)
+			ck.violationLocked("stream %d: node %d already supplied by another file", i, n)
 			continue
 		}
 		byNode[n] = st
 		order = append(order, n)
-		for _, v := range CheckStream(st, opts) {
-			ck.violationf("node %d: %s", n, v)
+		for _, v := range perStream[i] {
+			ck.violationLocked("node %d: %s", n, v)
 		}
 	}
 	sortInts2(order)
@@ -102,7 +121,7 @@ func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
 		ref := byNode[order[0]]
 		for _, n := range order[1:] {
 			if !sameEpochHistory(ref.CEpochs, byNode[n].CEpochs) {
-				ck.violationf("cluster epoch history diverges: node %d saw %v, node %d saw %v (stale-epoch execution)",
+				ck.violationLocked("cluster epoch history diverges: node %d saw %v, node %d saw %v (stale-epoch execution)",
 					order[0], epochList(ref.CEpochs), n, epochList(byNode[n].CEpochs))
 			}
 		}
@@ -127,24 +146,24 @@ func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
 			switch f.Dir {
 			case telemetry.FrameSend:
 				if f.Origin != n {
-					ck.violationf("node %d: send record claims origin %d", n, f.Origin)
+					ck.violationLocked("node %d: send record claims origin %d", n, f.Origin)
 				}
 				sends[k]++
 				if sends[k] == 2 {
-					ck.violationf("node %d: frame %s pub %d seq %d to node %d sent twice", n, f.Topic, f.Pub, f.FSeq, f.Dst)
+					ck.violationLocked("node %d: frame %s pub %d seq %d to node %d sent twice", n, f.Topic, f.Pub, f.FSeq, f.Dst)
 				}
 			case telemetry.FrameRecv, telemetry.FrameDrop:
 				if f.Dst != n {
-					ck.violationf("node %d: %s record claims destination %d", n, f.Dir, f.Dst)
+					ck.violationLocked("node %d: %s record claims destination %d", n, f.Dir, f.Dst)
 				}
 				recvs[k]++
 				if recvs[k] == 2 {
-					ck.violationf("node %d: frame %s pub %d seq %d from node %d accounted twice", n, f.Topic, f.Pub, f.FSeq, f.Origin)
+					ck.violationLocked("node %d: frame %s pub %d seq %d from node %d accounted twice", n, f.Topic, f.Pub, f.FSeq, f.Origin)
 				}
 				if f.Dir == telemetry.FrameRecv {
 					pk := pubKey{origin: f.Origin, pub: f.Pub, topic: f.Topic}
 					if last, ok := lastRecv[pk]; ok && f.FSeq <= last {
-						ck.violationf("node %d: topic %s pub %d (node %d): received frame seq %d after %d (transport FIFO broken)",
+						ck.violationLocked("node %d: topic %s pub %d (node %d): received frame seq %d after %d (transport FIFO broken)",
 							n, f.Topic, f.Pub, f.Origin, f.FSeq, last)
 					}
 					lastRecv[pk] = f.FSeq
@@ -157,7 +176,7 @@ func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
 			continue // destination's export not supplied; can't reconcile
 		}
 		if recvs[k] == 0 {
-			ck.violationf("frame %s pub %d seq %d, node %d -> %d: sent but neither received nor accounted dropped (silent loss)",
+			ck.violationLocked("frame %s pub %d seq %d, node %d -> %d: sent but neither received nor accounted dropped (silent loss)",
 				k.topic, k.pub, k.fseq, k.origin, k.dst)
 		}
 	}
@@ -166,15 +185,12 @@ func CheckStreams(sts []*telemetry.Stream, opts StreamCheckOpts) []string {
 			continue
 		}
 		if sends[k] == 0 {
-			ck.violationf("frame %s pub %d seq %d, node %d -> %d: received/dropped but never sent (phantom frame)",
+			ck.violationLocked("frame %s pub %d seq %d, node %d -> %d: received/dropped but never sent (phantom frame)",
 				k.topic, k.pub, k.fseq, k.origin, k.dst)
 		}
 	}
 
-	if ck.dropped > 0 {
-		ck.violations = append(ck.violations, fmt.Sprintf("... and %d more violations", ck.dropped))
-	}
-	return ck.violations
+	return ck.renderLocked()
 }
 
 // sameEpochHistory compares two cluster-epoch record sequences by epoch.
@@ -236,7 +252,7 @@ func (ck *Checker) checkRetireStream(events []telemetry.Event) {
 		case telemetry.KindJob:
 			w := get(ev.Job.Task)
 			if w.live <= 0 {
-				ck.violationf("task %s: job %d on stream after retirement (drain-before-retire violated in replay)",
+				ck.violationLocked("task %s: job %d on stream after retirement (drain-before-retire violated in replay)",
 					ev.Job.Task, ev.Job.Job)
 			}
 			if ev.Job.Start > w.lastStart {
@@ -252,11 +268,11 @@ func (ck *Checker) checkRetireStream(events []telemetry.Event) {
 				// No overlapping incarnation: the activity seen so far all
 				// belongs to the retiree and must precede the retirement.
 				if w.lastStart > ev.Retire.At {
-					ck.violationf("task %s: job started at %v after retirement at %v (drain-before-retire violated in replay)",
+					ck.violationLocked("task %s: job started at %v after retirement at %v (drain-before-retire violated in replay)",
 						ev.Retire.Task, w.lastStart, ev.Retire.At)
 				}
 				if w.lastFinish > ev.Retire.At {
-					ck.violationf("task %s: job finished at %v after retirement at %v (drain-before-retire violated in replay)",
+					ck.violationLocked("task %s: job finished at %v after retirement at %v (drain-before-retire violated in replay)",
 						ev.Retire.Task, w.lastFinish, ev.Retire.At)
 				}
 			}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/yasmin-rt/yasmin/internal/cluster"
@@ -51,9 +52,16 @@ type Report struct {
 	Epochs     int   `json:"epochs"`
 	Retires    int   `json:"retires"`
 	Rejections int64 `json:"rejections"`
+	// TaskErrors is the middleware's count of failed jobs (equals the
+	// checker's injected count on a clean run).
+	TaskErrors int64 `json:"task_errors,omitempty"`
 
 	JobsPerWallSec float64  `json:"jobs_per_wall_sec"`
 	Violations     []string `json:"violations"`
+
+	// Topics is the per-topic data-plane accounting (RunOpts.PerTopic;
+	// the differential runner compares it between backends).
+	Topics []TopicAccount `json:"topics,omitempty"`
 
 	// Nodes is the per-node breakdown of a cluster run (nil single-node);
 	// top-level Jobs/Misses/Epochs then aggregate over the cluster, and
@@ -85,6 +93,30 @@ type RunOpts struct {
 	// files reconcile offline with CheckStreams. nil disables; any other
 	// length must equal the node count.
 	NodeTelemetry []*telemetry.Pipeline
+	// PerTopic adds per-topic accounting to the report (Report.Topics) —
+	// the differential runner diffs it between the Sim and OS backends.
+	PerTopic bool
+	// OS configures the wall-clock backend; RunWith ignores it.
+	OS OSRunOpts
+}
+
+// OSRunOpts tunes RunOS.
+type OSRunOpts struct {
+	// Spin selects busy-wait Compute (really burns CPU); the default
+	// sleeps instead, which models the load without needing idle cores.
+	Spin bool
+	// Pin wires threads to OS threads and attempts CPU affinity (needs
+	// privileges / enough cores; best-effort).
+	Pin bool
+}
+
+// runBackend is what a scenario execution backend must provide: an
+// environment to build the application in, a way to drive the world to
+// completion, and (sim only) an engine-step counter.
+type runBackend struct {
+	env   rt.Env
+	drive func() error
+	steps func() uint64
 }
 
 // Run executes the scenario on the deterministic simulation backend and
@@ -100,9 +132,25 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 	if sc.Nodes != nil {
 		return runCluster(sc, opts)
 	}
+	eng := sim.NewEngine(sc.Seed)
+	env, err := rt.NewSimEnv(eng, platform.Generic(sc.Workers+1), nil)
+	if err != nil {
+		return nil, err
+	}
+	return runScenario(sc, opts, runBackend{env: env, drive: eng.RunUntilIdle, steps: eng.Steps})
+}
+
+// runScenario executes a validated single-node scenario on the given
+// backend. The spec/driver rng is seeded from the scenario seed alone and
+// only ever touched by spec generation and the single driver thread, so
+// driver decisions (admitted task shapes, retune picks) are identical
+// between the Sim and OS backends; task bodies draw from their own locked
+// stream (see lockedUnitRand).
+func runScenario(sc *Scenario, opts RunOpts, bk runBackend) (*Report, error) {
 	rng := rand.New(rand.NewSource(sc.Seed))
 	ck := NewChecker()
 	ck.accelWaitBound = sc.AccelWaitBound.Std()
+	ck.SetContext(Context{Scenario: sc.Name, Seed: sc.Seed, Node: -1})
 
 	s, gen := sc.buildSpec(rng, ck)
 	maxTasks := sc.TaskCount() + sc.churnHeadroom()
@@ -133,12 +181,7 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 		cfg.Priority = core.PriorityDM
 	}
 
-	eng := sim.NewEngine(sc.Seed)
-	env, err := rt.NewSimEnv(eng, platform.Generic(sc.Workers+1), nil)
-	if err != nil {
-		return nil, err
-	}
-	app, err := s.Build(cfg, env)
+	app, err := s.Build(cfg, bk.env)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: build: %w", sc.Name, err)
 	}
@@ -153,9 +196,10 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 
 	events := sc.expandChurn()
 	horizon := sc.Duration.Std()
-	driver := &churnDriver{sc: sc, app: app, ck: ck, rng: rng, gen: gen}
+	driver := &churnDriver{sc: sc, app: app, ck: ck, rng: rng, gen: gen,
+		frand: lockedUnitRand(sc.Seed)}
 	var harnessErr error
-	env.Spawn("stress-driver", rt.UnpinnedCore, func(c rt.Ctx) {
+	bk.env.Spawn("stress-driver", rt.UnpinnedCore, func(c rt.Ctx) {
 		if err := app.Start(c); err != nil {
 			harnessErr = fmt.Errorf("scenario %s: start: %w", sc.Name, err)
 			return
@@ -173,7 +217,7 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 	})
 
 	wall0 := time.Now() //yasmin:wallclock host-side duration report, not simulation state
-	if err := eng.RunUntilIdle(); err != nil {
+	if err := bk.drive(); err != nil {
 		return nil, fmt.Errorf("scenario %s: engine: %w", sc.Name, err)
 	}
 	if harnessErr != nil {
@@ -189,7 +233,7 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 		Workers:       sc.Workers,
 		SimDurationNS: int64(horizon),
 		WallNS:        wall.Nanoseconds(),
-		EngineSteps:   eng.Steps(),
+		EngineSteps:   bk.steps(),
 		Jobs:          app.Recorder().TotalJobs(),
 		Misses:        app.Recorder().TotalMisses(),
 		Overruns:      app.Overruns(),
@@ -198,7 +242,11 @@ func RunWith(sc *Scenario, opts RunOpts) (*Report, error) {
 		Epochs:        app.Epoch(),
 		Retires:       len(app.Recorder().Retires()),
 		Rejections:    driver.rejections,
+		TaskErrors:    app.TaskErrors(),
 		Violations:    ck.Finish(app),
+	}
+	if opts.PerTopic {
+		rep.Topics = ck.TopicTotals()
 	}
 	st := ck.AccelStats()
 	rep.AccelAcquires = st.Acquires
@@ -256,6 +304,18 @@ func (sc *Scenario) buildSpec(rng *rand.Rand, ck *Checker) (*spec.Spec, *genStat
 				}
 				v.Accel = g.Accel
 				v.AccelCS = spec.Duration(float64(wcet) * share)
+				if g.Accel2 != "" {
+					share2 := g.Accel2Share
+					if share2 == 0 {
+						share2 = 0.25
+					}
+					cs1 := v.AccelCS.Std()
+					cs2 := time.Duration(float64(wcet) * share2)
+					// Admission sees one conservative blocking term
+					// covering both sections.
+					v.AccelCS = spec.Duration(cs1 + cs2)
+					v.Fn = chainBody(wcet, cs1, cs2, g.Accel2)
+				}
 			}
 			t := spec.TaskSpec{
 				Name:     fmt.Sprintf("%s-%d", g.Name, i),
@@ -391,6 +451,49 @@ func subBody(ck *Checker, ti, sub int, cid core.CID) core.TaskFunc {
 	}
 }
 
+// chainBody is the explicit body of Accel2 groups. The version's bound
+// pool is acquired at dispatch and held for the whole job; cs1 of the WCET
+// runs as an explicit section on it, then cs2 parks on the second pool
+// while the first is still held — the holder-chain shape whose transitive
+// PIP boost (and waiter re-sort) broke in PR 5.
+func chainBody(wcet, cs1, cs2 time.Duration, accel2 string) core.TaskFunc {
+	return func(x *core.ExecCtx, _ any) error {
+		h := x.App().AccelIDByName(accel2)
+		if h == core.NoAccel {
+			return fmt.Errorf("scenario: chain body: unknown accelerator %q", accel2)
+		}
+		pre := (wcet - cs1 - cs2) / 2
+		if err := x.Compute(pre); err != nil {
+			return err
+		}
+		if err := x.AccelSection(cs1); err != nil {
+			return err
+		}
+		if err := x.AccelSectionOn(h, cs2); err != nil {
+			return err
+		}
+		return x.Compute(wcet - cs1 - cs2 - pre)
+	}
+}
+
+// lockedUnitRand returns a mutex-guarded uniform [0,1) source for task
+// bodies, seeded away from the spec/driver stream. Bodies run concurrently
+// on the OS backend, so they must never touch the driver's rng — both for
+// memory safety and so the driver's decision sequence stays identical
+// between backends.
+func lockedUnitRand(seed int64) func() float64 {
+	var mu sync.Mutex
+	r := rand.New(rand.NewSource(seed ^ bodySeedSalt))
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+}
+
+// bodySeedSalt decorrelates the body stream from the spec/driver stream.
+const bodySeedSalt = 0x51cc5a7a93e5
+
 // churnEvent is one expanded churn firing.
 type churnEvent struct {
 	at    time.Duration
@@ -428,6 +531,8 @@ type churnDriver struct {
 	ck  *Checker
 	rng *rand.Rand
 	gen *genState
+	// frand is the locked body-side rand (failure-injection draws).
+	frand func() float64
 
 	rejections int64
 	// per-phase ping-pong state
@@ -568,8 +673,8 @@ func (d *churnDriver) admitTasks(c rt.Ctx, ev churnEvent, cp *ChurnPhase, pingPh
 // churnBody is the instrumented body of churn-admitted tasks: drain
 // tracking for the retire check plus probabilistic failure injection; a
 // non-zero cs runs that much of the WCET as an accelerator critical
-// section (the version is accelerator-bound by the transaction). The rng
-// is shared but the simulation backend serialises all task bodies.
+// section (the version is accelerator-bound by the transaction). Failure
+// draws come from the locked body-side rand, never the driver rng.
 func (d *churnDriver) churnBody(name string, wcet, cs time.Duration) core.TaskFunc {
 	rate := d.sc.Failures.TaskErrorRate
 	return func(x *core.ExecCtx, _ any) error {
@@ -589,7 +694,7 @@ func (d *churnDriver) churnBody(name string, wcet, cs time.Duration) core.TaskFu
 		if err != nil {
 			return err
 		}
-		if rate > 0 && d.rng.Float64() < rate {
+		if rate > 0 && d.frand() < rate {
 			d.ck.noteInjected()
 			return fmt.Errorf("scenario: injected failure in %s", name)
 		}

@@ -1,0 +1,34 @@
+package scenario
+
+import (
+	"fmt"
+
+	"github.com/yasmin-rt/yasmin/internal/rt"
+)
+
+// RunOS executes the scenario on the wall-clock backend (rt.OSEnv) — the
+// second leg of the differential runner. The same spec generation, churn
+// driver and checker run unchanged; only the environment differs, so any
+// divergence in checker-visible behaviour is the middleware's, not the
+// harness's. Timing-derived counters (jobs, publishes) legitimately differ
+// from the simulation: the OS scheduler preempts whenever it pleases.
+// Compute defaults to sleeping (no CPU burn, no RT privileges needed);
+// opts.OS selects spinning and thread pinning for machines that allow it.
+//
+// Cluster scenarios are rejected: the cluster data plane is simulation-only.
+func RunOS(sc *Scenario, opts RunOpts) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Nodes != nil {
+		return nil, fmt.Errorf("scenario %s: cluster scenarios run on the simulation backend only", sc.Name)
+	}
+	env := rt.NewOSEnv()
+	env.Spin = opts.OS.Spin
+	env.PinThreads = opts.OS.Pin
+	return runScenario(sc, opts, runBackend{
+		env:   env,
+		drive: func() error { env.Wait(); return nil },
+		steps: func() uint64 { return 0 },
+	})
+}

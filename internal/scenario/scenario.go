@@ -184,6 +184,12 @@ type TaskGroup struct {
 	// (default 0.5), so the group contends on the pool under PIP.
 	Accel      string  `json:"accel,omitempty"`
 	AccelShare float64 `json:"accel_share,omitempty"`
+	// Accel2 nests a mid-job section on a SECOND pool (Accel2Share of the
+	// WCET) inside the first pool's hold: each job acquires Accel, then
+	// parks on Accel2 while still holding Accel — the holder-chain shape
+	// whose PIP boost path broke in PR 5. Requires Accel.
+	Accel2      string  `json:"accel2,omitempty"`
+	Accel2Share float64 `json:"accel2_share,omitempty"`
 	// Node places the whole group on one cluster node (cluster mode only;
 	// the zero value is node 0).
 	Node int `json:"node,omitempty"`
@@ -210,6 +216,30 @@ func (g *TaskGroup) validate(i int) error {
 	}
 	if g.AccelShare > 0 && g.Accel == "" {
 		return fmt.Errorf("scenario: group %q: accel_share without an accel", g.Name)
+	}
+	if g.Accel2Share < 0 || g.Accel2Share >= 1 {
+		return fmt.Errorf("scenario: group %q: accel2 share %g out of [0,1)", g.Name, g.Accel2Share)
+	}
+	if g.Accel2 != "" {
+		if g.Accel == "" {
+			return fmt.Errorf("scenario: group %q: accel2 without an accel (the chain needs an outer hold)", g.Name)
+		}
+		if g.Accel2 == g.Accel {
+			return fmt.Errorf("scenario: group %q: accel2 must name a different pool than accel", g.Name)
+		}
+		share := g.AccelShare
+		if share == 0 {
+			share = 0.5
+		}
+		share2 := g.Accel2Share
+		if share2 == 0 {
+			share2 = 0.25
+		}
+		if share+share2 >= 1 {
+			return fmt.Errorf("scenario: group %q: accel shares %g + %g leave no compute in the WCET", g.Name, share, share2)
+		}
+	} else if g.Accel2Share > 0 {
+		return fmt.Errorf("scenario: group %q: accel2_share without an accel2", g.Name)
 	}
 	return nil
 }
@@ -381,6 +411,9 @@ func (sc *Scenario) Validate() error {
 			return fmt.Errorf("scenario: duplicate group name %q", sc.Groups[i].Name)
 		}
 		if a := sc.Groups[i].Accel; a != "" && !accels[a] {
+			return fmt.Errorf("scenario: group %q: unknown accelerator %q", sc.Groups[i].Name, a)
+		}
+		if a := sc.Groups[i].Accel2; a != "" && !accels[a] {
 			return fmt.Errorf("scenario: group %q: unknown accelerator %q", sc.Groups[i].Name, a)
 		}
 		names[sc.Groups[i].Name] = true
