@@ -50,6 +50,16 @@
 // live checker; with -diff each single-node file also runs differentially:
 //
 //	yasmin-stress -corpus scenarios/corpus
+//
+// -ratchet BASE is the CI perf gate: it compares the "sched_tick"
+// ns-per-released-job rows of the current benchmark file (-out, default
+// BENCH_scale.json) against the committed baseline BASE and exits non-zero
+// when any shape regressed beyond -ratchet-tolerance (default 15%), so
+// scheduler speed wins are ratcheted rather than transient:
+//
+//	cp BENCH_scale.json /tmp/base.json
+//	go test -bench BenchmarkSchedTick -benchtime=1x -run '^$' .
+//	yasmin-stress -ratchet /tmp/base.json
 package main
 
 import (
@@ -80,8 +90,18 @@ func main() {
 		shrinkFlag   = flag.Bool("shrink", false, "with -fuzz: minimise failing scenarios to small reproducers before reporting them")
 		diffFlag     = flag.Bool("diff", false, "with -fuzz/-corpus: additionally run each single-node scenario on the OS backend and diff checker-visible behaviour")
 		corpus       = flag.String("corpus", "", "replay every scenario file in this directory through the live checker and exit")
+		ratchet      = flag.String("ratchet", "", "compare \"sched_tick\" ns/released-job rows in the -out file (default BENCH_scale.json) against this baseline file and exit non-zero on regression beyond -ratchet-tolerance")
+		ratchetTol   = flag.Float64("ratchet-tolerance", 0.15, "fractional regression tolerance for -ratchet (0.15 = 15%)")
 	)
 	flag.Parse()
+
+	if *ratchet != "" {
+		cur := *out
+		if cur == "" {
+			cur = "BENCH_scale.json"
+		}
+		os.Exit(ratchetMain(*ratchet, cur, *ratchetTol, *quiet))
+	}
 
 	if *fuzzN > 0 {
 		base := *seed
@@ -472,6 +492,9 @@ func printSummary(rep *scenario.Report) {
 	fmt.Printf("  data plane %d published, %d delivered\n", rep.Published, rep.Delivered)
 	fmt.Printf("  reconfig   %d epochs, %d retirements, %d admission rejections\n",
 		rep.Epochs, rep.Retires, rep.Rejections)
+	fmt.Printf("  scheduler  %d steals (%d misses), %d migrations, %d idle wakes, %d signals (%d deduped), %d view publishes\n",
+		rep.Sched.Steals, rep.Sched.StealMisses, rep.Sched.Migrations, rep.Sched.IdleWakes,
+		rep.Sched.Signals, rep.Sched.SignalsDeduped, rep.Sched.ViewPublishes)
 	for _, n := range rep.Nodes {
 		fmt.Printf("  node %-5d %d tasks, %d jobs, %d misses; frames %d sent / %d recv / %d dropped / %d rexmit; clock offset %v (%d syncs)\n",
 			n.Node, n.Tasks, n.Jobs, n.Misses,

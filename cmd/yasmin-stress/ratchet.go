@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ratchetRow is the slice of a BenchmarkSchedTick "sched_tick" row the
+// ratchet compares; extra fields in the file are ignored.
+type ratchetRow struct {
+	Name             string  `json:"name"`
+	NsPerReleasedJob float64 `json:"ns_per_released_job"`
+}
+
+// loadSchedTick reads the "sched_tick" rows out of a BENCH_scale.json-shaped
+// file, keyed by shape name.
+func loadSchedTick(path string) (map[string]ratchetRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		SchedTick []ratchetRow `json:"sched_tick"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.SchedTick) == 0 {
+		return nil, fmt.Errorf("%s: no \"sched_tick\" rows", path)
+	}
+	rows := make(map[string]ratchetRow, len(doc.SchedTick))
+	for _, r := range doc.SchedTick {
+		rows[r.Name] = r
+	}
+	return rows, nil
+}
+
+// ratchetMain is the CI perf ratchet: compare the freshly benchmarked
+// ns-per-released-job of every sched_tick shape in curPath against the
+// committed baseline in basePath and fail on a regression beyond tol
+// (fractional, e.g. 0.15 = 15%). Shapes present in the baseline must still
+// exist in the current run — dropping a shape would silently un-ratchet it —
+// while new shapes pass unchecked (their first committed run becomes the
+// baseline). Improvements are reported so maintainers know when to commit a
+// tighter BENCH_scale.json; 0 = within tolerance.
+func ratchetMain(basePath, curPath string, tol float64, quiet bool) int {
+	base, err := loadSchedTick(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: ratchet baseline: %v\n", err)
+		return 2
+	}
+	cur, err := loadSchedTick(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "yasmin-stress: ratchet current: %v\n", err)
+		return 2
+	}
+	names := make([]string, 0, len(base))
+	for name := range base { //yasmin:orderinvariant sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rc := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: ratchet: shape %s in baseline but missing from %s\n", name, curPath)
+			rc = 1
+			continue
+		}
+		delta := (c.NsPerReleasedJob - b.NsPerReleasedJob) / b.NsPerReleasedJob
+		line := fmt.Sprintf("ratchet %-28s %9.0f -> %9.0f ns/released-job (%+.1f%%, tolerance %.0f%%)",
+			name, b.NsPerReleasedJob, c.NsPerReleasedJob, delta*100, tol*100)
+		if delta > tol {
+			fmt.Fprintf(os.Stderr, "yasmin-stress: %s: REGRESSION\n", line)
+			rc = 1
+			continue
+		}
+		if !quiet {
+			fmt.Println(line)
+		}
+	}
+	if !quiet {
+		fmt.Printf("ratchet: %d shapes, %s\n", len(names), map[bool]string{true: "PASS", false: "FAIL"}[rc == 0])
+	}
+	return rc
+}

@@ -81,9 +81,9 @@ func (a *App) recordAccel(c rt.Ctx, kind trace.AccelEventKind, inst HID, j *job)
 		Kind:  kind,
 		Accel: a.accels[inst].name,
 		Pool:  a.accels[a.accels[inst].group].name,
-		Task:  j.t.d.Name,
+		Task:  j.name,
 		Job:   j.taskSeq,
-		Prio:  j.effPrio,
+		Prio:  j.effPrio.Load(),
 		At:    c.Now(),
 	})
 }
@@ -139,11 +139,13 @@ func (a *App) resortWaiterLocked(head HID, j *job) {
 // Caller holds the lock; h may be any instance of the pool.
 func (a *App) parkOnAccel(c rt.Ctx, j *job, h HID) {
 	head := a.poolHead(h)
-	j.state = jobAccelWait
+	// A pre-run waiter is owned by no shard queue and no worker yet, so the
+	// lifecycle store has no concurrent reader to synchronise with.
+	j.state.Store(jobAccelWait)
 	j.waitingOn = head
 	a.insertWaiterLocked(head, j)
 	a.recordAccel(c, trace.AccelPark, head, j)
-	a.boostChainLocked(c, head, j.effPrio)
+	a.boostChainLocked(c, head, j.effPrio.Load())
 }
 
 // boostChainLocked raises every holder of pool head (and, transitively, of
@@ -166,25 +168,62 @@ func (a *App) boostPoolLocked(c rt.Ctx, head HID, prio int64) {
 	a.boostSeen[head] = true
 	for _, m := range a.poolMembers(head) {
 		holder := a.accels[m].holder
-		if holder == nil || holder.effPrio <= prio {
+		if holder == nil || holder.effPrio.Load() <= prio {
 			continue
 		}
-		// PIP boost: the holder inherits the waiter's priority.
-		holder.effPrio = prio
+		// PIP boost: the holder inherits the waiter's priority. setEffPrio
+		// publishes it where the holder currently lives — heap re-fix if
+		// queued, mirror refresh if running, plain store otherwise (a
+		// suspended stack job is picked up by the next stackTop scan).
+		a.setEffPrio(holder, prio)
 		a.recordAccel(c, trace.AccelBoost, m, holder)
-		if holder.state == jobAccelWait && holder.waitingOn != NoAccel {
+		if holder.state.Load() == jobAccelWait && holder.waitingOn != NoAccel {
 			// The holder is itself parked on another pool: fix its now-stale
 			// waiter slot and push the boost one hop further down the chain.
 			if !staleWaiterResortBug.Load() {
 				a.resortWaiterLocked(holder.waitingOn, holder)
 			}
 			a.boostPoolLocked(c, holder.waitingOn, prio)
-			continue
 		}
-		// If the holder is still queued (not yet running), fix its heap
-		// position; if it is suspended on a worker stack the next stackTop
-		// scan picks the boost up automatically.
-		a.queueForTask(holder.t).fix(holder)
+	}
+}
+
+// setEffPrio publishes an effective-priority change on a job that may
+// concurrently sit in a shard's ready queue (its heap position must be
+// fixed under that shard's lock) or run on a worker (the preemption
+// mirror must be refreshed). Caller holds App.mu; the shard lock is taken
+// inside (rank 2 -> 3), resolved with the usual load/lock/re-validate loop.
+func (a *App) setEffPrio(j *job, prio int64) {
+	for {
+		if si := j.shardIdx.Load(); si >= 0 {
+			sh := a.shards[si]
+			sh.mu.Lock()
+			if j.shardIdx.Load() != si {
+				sh.mu.Unlock()
+				continue
+			}
+			j.effPrio.Store(prio)
+			if j.heapIdx >= 0 {
+				sh.q.fix(j)
+				sh.updateHeadLocked()
+			}
+			sh.mu.Unlock()
+			return
+		}
+		if wi := j.worker.Load(); wi >= 0 {
+			sh := a.shards[wi]
+			sh.mu.Lock()
+			j.effPrio.Store(prio)
+			if w := a.workers[wi]; w.current == j {
+				w.curPrio.Store(prio)
+			}
+			sh.mu.Unlock()
+			return
+		}
+		// Neither queued nor worker-attached (pre-run accel waiter): no
+		// concurrent heap or mirror to maintain.
+		j.effPrio.Store(prio)
+		return
 	}
 }
 
@@ -200,11 +239,11 @@ func (a *App) restoreBoostLocked(j *job) {
 			continue
 		}
 		head := &a.accels[a.poolHead(held)]
-		if len(head.waiters) > 0 && head.waiters[0].effPrio < prio {
-			prio = head.waiters[0].effPrio
+		if len(head.waiters) > 0 && head.waiters[0].effPrio.Load() < prio {
+			prio = head.waiters[0].effPrio.Load()
 		}
 	}
-	j.effPrio = prio
+	a.setEffPrio(j, prio)
 }
 
 // releaseInstanceLocked frees instance inst (held by j), restores j's
@@ -241,14 +280,12 @@ func (a *App) releaseInstanceLocked(c rt.Ctx, inst HID, j *job) {
 				kept = append(kept, wjob)
 				continue
 			}
-			wjob.state = jobReady
+			wjob.state.Store(jobReady)
 			wjob.waitingOn = NoAccel
 			a.recordAccel(c, trace.AccelRequeue, head.id, wjob)
-			q := a.queueForTask(wjob.t)
-			a.chargeQueueOp(c, q)
-			if err := q.push(wjob); err != nil {
+			if !a.pushReady(c, wjob) {
 				a.overruns.Add(1)
-				a.freeJob(c, wjob)
+				a.freeJobLocked(c, wjob)
 			}
 		}
 		for i := len(kept); i < len(head.waiters); i++ {
@@ -270,21 +307,30 @@ func (a *App) releaseInstanceLocked(c rt.Ctx, inst HID, j *job) {
 		head.waiters = head.waiters[:len(head.waiters)-1]
 		w.waitingOn = NoAccel
 		w.midWait = false
-		w.state = jobAccelResumed
 		w.nested = inst
 		ac.busy = true
 		ac.holder = w
 		a.recordAccel(c, trace.AccelGrant, inst, w)
-		// Re-attach the waiter to a CPU, mirroring rejoinWorker: wake its
-		// idle worker, or preempt the worker's less urgent current job.
-		ww := a.workers[w.worker]
-		if ww.idle {
-			ww.idle = false
+		// Re-attach the waiter to a CPU, mirroring rejoinWorker: flip it
+		// resumable under its worker's shard lock (rank 2 -> 3) so the
+		// worker's stackTop scan sees it, then wake the idle worker or
+		// preempt the worker's less urgent current job.
+		ww := a.workers[w.worker.Load()]
+		wsh := a.shards[ww.idx]
+		wsh.mu.Lock()
+		w.state.Store(jobAccelResumed)
+		cur := ww.current
+		var preemptFib *fiber
+		if a.cfg.Preemption && cur != nil &&
+			cur.state.Load() == jobRunning && w.before(cur) && cur.fib != nil {
+			preemptFib = cur.fib
+		}
+		wsh.mu.Unlock()
+		if a.claimIdle(ww) {
 			c.Charge(a.env.Costs().DispatchIPI)
 			ww.th.Unpark()
-		} else if a.cfg.Preemption && ww.current != nil &&
-			ww.current.state == jobRunning && w.before(ww.current) {
-			a.signalWorker(c, ww)
+		} else if preemptFib != nil {
+			a.signalFiber(c, preemptFib)
 		}
 	}
 	a.ovh.Add(trace.OverheadDispatch, c.Now()-t0)

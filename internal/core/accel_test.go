@@ -322,8 +322,8 @@ func TestBoostRestoredOnRelease(t *testing.T) {
 		defer r.app.mu.Unlock(c)
 		for i := range r.app.jobPool {
 			j := &r.app.jobPool[i]
-			if j.state != jobFree && j.t != nil && j.t.d.Name == "hold" {
-				return j.effPrio
+			if j.state.Load() != jobFree && j.t != nil && j.t.d.Name == "hold" {
+				return j.effPrio.Load()
 			}
 		}
 		return -1

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,9 +36,12 @@ type App struct {
 	cfg Config
 	env rt.Env
 
-	// mu protects all mutable state below. Innermost lock of the package's
-	// two-level hierarchy; scheduling-critical, so no blocking operation may
-	// run while it is held (enforced by yasmin-vet's lockedblock analyzer).
+	// mu protects the reconfiguration surface, the task graph (edges,
+	// pending-data backlog), and accelerator arbitration. It is OFF the
+	// steady-state scheduling path: releases, dispatch, execution and
+	// isolated-task completion run under the per-shard leaf locks alone.
+	// Scheduling-critical, so no blocking operation may run while it is held
+	// (enforced by yasmin-vet's lockedblock analyzer).
 	//yasmin:lockrank 2 nosleep
 	mu rt.Lock
 
@@ -50,21 +54,65 @@ type App struct {
 	edges   []edge
 	nedges  int
 
-	jobPool  []job
-	freeJobs []int
+	// jobPool recycles through a lock-free Treiber freelist: freeJobHead
+	// packs (generation<<32 | poolIdx+1), jobs link via job.nextFree, and
+	// the generation counter defeats ABA. jobsLive counts in-flight jobs;
+	// the drain and retire protocols poll it instead of scanning queues.
+	jobPool     []job
+	freeJobHead atomic.Uint64
+	jobsLive    atomic.Int64
 
-	queues  []*readyQueue
 	workers []*workerState
 	fibers  []*fiber
-	freeFib []int
+	// Fiber recycling uses the same lock-free freelist scheme as jobs.
+	freeFibHead atomic.Uint64
 
-	// Release shards: one hierarchical timer wheel per ready queue so the
-	// scheduler tick costs O(jobs released), not O(tasks declared). due is
-	// the per-tick scratch buffer (preallocated; the tick never allocates).
-	// dataPending queues data-activated tasks whose inputs became ready
-	// outside the inline producer-completion path. All guarded by mu.
-	shards      []*releaseShard
-	dataPending []*task
+	// Release shards: one per worker (ready queue + timer wheel + due
+	// scratch behind one leaf lock; see releaseShard). dataPending queues
+	// data-activated tasks whose inputs became ready outside the inline
+	// producer-completion path; it is App.mu state, with dataPendingN
+	// mirroring its length so the tick skips the App.mu phase when empty.
+	shards       []*releaseShard
+	dataPending  []*task
+	dataPendingN atomic.Int32
+	// slowDue is the scheduler's scratch for feedback-root releases (roots
+	// with in-edges consume delay tokens, which is graph state) deferred to
+	// the App.mu phase of the tick. schedDue/schedDueOK snapshot each
+	// shard's next wheel deadline during phase 1 (scheduler-thread private).
+	slowDue    []slowRelease
+	schedDue   []time.Duration
+	schedDueOK []bool
+
+	// ticking is the tick seqlock: odd while a release pass is in flight.
+	// A worker may retire only when stopping is set and it observes the
+	// same even ticking value around a zero jobsLive load — that closes the
+	// release-vs-retire race without App.mu. tickSeq numbers dispatch
+	// passes for preemption-signal dedup.
+	ticking atomic.Int64
+	tickSeq atomic.Int64
+
+	// Intrusive doubly-linked idle-worker list: dispatch pops exactly the
+	// workers it wakes, O(jobs dispatched), instead of scanning all workers.
+	// List membership under idleMu is the single source of truth for
+	// idleness (there is no per-worker idle flag).
+	//yasmin:lockrank 4 nosleep
+	idleMu   sync.Mutex
+	idleHead *workerState
+
+	// view is the epoch-published immutable scheduling snapshot (schedView),
+	// rebuilt at Start and at every reconfiguration commit; lock-free
+	// readers (TaskActivate) load it to pre-validate before touching any
+	// lock.
+	view atomic.Pointer[schedView]
+
+	// Sharded-scheduler counters (exported via SchedStats).
+	steals         atomic.Int64
+	stealMisses    atomic.Int64
+	migrations     atomic.Int64
+	idleWakes      atomic.Int64
+	signalsSent    atomic.Int64
+	signalsDeduped atomic.Int64
+	viewPublishes  atomic.Int64
 
 	started       atomic.Bool
 	stopping      atomic.Bool
@@ -119,7 +167,9 @@ type App struct {
 	// loop reads it every tick.
 	schedPeriodNs atomic.Int64
 	startTime     time.Duration
-	jobSeq        int64
+	// jobSeq numbers releases globally; atomic because phase-1 ticks,
+	// TaskActivate and App.mu release paths allocate concurrently.
+	jobSeq atomic.Int64
 
 	offTable *OfflineTable
 }
@@ -149,19 +199,23 @@ func New(cfg Config, env rt.Env) (*App, error) {
 	a.topics = make([]topic, cfg.MaxChannels)
 	a.edges = make([]edge, cfg.MaxChannels)
 	a.jobPool = make([]job, cfg.MaxPendingJobs)
-	a.freeJobs = make([]int, 0, cfg.MaxPendingJobs)
-	nq := 1
-	if cfg.Mapping == MappingPartitioned {
-		nq = cfg.Workers
-	}
-	a.queues = make([]*readyQueue, nq)
-	for i := range a.queues {
-		a.queues[i] = newReadyQueue(cfg.MaxPendingJobs)
-	}
+	// One shard (ready queue + wheel + leaf lock) per worker, regardless of
+	// mapping: global routes tasks by id modulo shard count and lets idle
+	// workers steal; partitioned routes by VirtCore with no stealing. Each
+	// queue holds the whole pool in the worst case, so migrations and
+	// steals can never overflow a destination queue.
+	nq := cfg.Workers
 	a.shards = make([]*releaseShard, nq)
 	for i := range a.shards {
-		a.shards[i] = &releaseShard{due: make([]*task, 0, cfg.MaxTasks)}
+		a.shards[i] = &releaseShard{
+			q:   newReadyQueue(cfg.MaxPendingJobs),
+			due: make([]*task, 0, cfg.MaxTasks),
+		}
+		a.shards[i].headPrio.Store(noRunPrio)
 	}
+	a.slowDue = make([]slowRelease, 0, cfg.MaxTasks)
+	a.schedDue = make([]time.Duration, nq)
+	a.schedDueOK = make([]bool, nq)
 	a.dataPending = make([]*task, 0, cfg.MaxTasks)
 	a.workers = make([]*workerState, cfg.Workers)
 	for i := range a.workers {
@@ -169,11 +223,12 @@ func New(cfg Config, env rt.Env) (*App, error) {
 			idx:       i,
 			core:      cfg.WorkerCores[i],
 			preempted: make([]*job, 0, cfg.MaxPendingJobs),
+			vselOrder: make([]VID, 0, cfg.MaxVersionsPerTask),
+			vselRest:  make([]VID, 0, cfg.MaxVersionsPerTask),
 		}
 	}
 	nfib := cfg.Workers + cfg.MaxPendingJobs
 	a.fibers = make([]*fiber, nfib)
-	a.freeFib = make([]int, 0, nfib)
 	a.Init()
 	return a, nil
 }
@@ -186,11 +241,12 @@ func (a *App) Init() {
 	a.ntopics = 0
 	a.ntopicsA.Store(0)
 	a.nedges = 0
-	a.freeJobs = a.freeJobs[:0]
-	for i := range a.jobPool {
-		a.jobPool[i] = job{poolIdx: i}
-		a.freeJobs = append(a.freeJobs, i)
+	a.freeJobHead.Store(0)
+	for i := len(a.jobPool) - 1; i >= 0; i-- {
+		resetJob(&a.jobPool[i], i)
+		a.pushFreeJob(&a.jobPool[i])
 	}
+	a.jobsLive.Store(0)
 	a.epoch.Store(0)
 	a.freeTaskSlots = a.freeTaskSlots[:0]
 	a.freeEdgeSlots = a.freeEdgeSlots[:0]
@@ -211,6 +267,17 @@ func (a *App) Init() {
 	a.overruns.Store(0)
 	a.taskErrors.Store(0)
 	a.firstError.Store(nil)
+	a.ticking.Store(0)
+	a.tickSeq.Store(0)
+	a.dataPendingN.Store(0)
+	a.view.Store(nil)
+	a.steals.Store(0)
+	a.stealMisses.Store(0)
+	a.migrations.Store(0)
+	a.idleWakes.Store(0)
+	a.signalsSent.Store(0)
+	a.signalsDeduped.Store(0)
+	a.viewPublishes.Store(0)
 }
 
 // Env returns the execution environment.
@@ -319,13 +386,34 @@ func (a *App) allocTaskSlot() (*task, TID, error) {
 // must stay monotonic across slot recycling or a stale entry could match a
 // reused generation and double-release the new task.
 func resetTaskSlot(t *task, id TID) {
-	*t = task{
-		id:        id,
-		versions:  t.versions[:0],
-		subTopics: t.subTopics[:0],
-		pubTopics: t.pubTopics[:0],
-		wheelGen:  t.wheelGen + 1,
-	}
+	// Field-wise reset: the struct carries atomics and cannot be copied.
+	t.id = id
+	t.d = TData{}
+	t.versions = t.versions[:0]
+	t.state = taskAdmitted
+	t.shard.Store(0)
+	t.live.Store(0)
+	t.draining.Store(false)
+	t.retireEpoch = 0
+	t.outEdges = t.outEdges[:0]
+	t.inEdges = t.inEdges[:0]
+	t.effDeadline = 0
+	t.root = false
+	t.nextRelease = 0
+	t.lastActivation = 0
+	t.everActivated = false
+	t.jobSeq = 0
+	t.staticPrio = 0
+	t.subTopics = t.subTopics[:0]
+	t.pubTopics = t.pubTopics[:0]
+	t.hasIns = false
+	t.fastSel = false
+	t.fastDone = false
+	t.wheelGen.Add(1)
+	t.wheelTick = 0
+	t.wheelLive = false
+	t.wheelShard = 0
+	t.pendingData = false
 }
 
 // TaskDecl declares a task — the paper's yas_task_decl. The task has no
@@ -602,7 +690,7 @@ func (a *App) resolve() error {
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
 		if t.state == taskDraining {
-			t.live = 0
+			t.live.Store(0)
 			a.finishRetireLocked(t, a.env.Now())
 		}
 	}
@@ -621,7 +709,8 @@ func (a *App) resolve() error {
 		t.lastActivation = 0
 		t.everActivated = false
 		t.jobSeq = 0
-		t.live = 0
+		t.live.Store(0)
+		t.draining.Store(false)
 	}
 	a.resolveTopics()
 	return nil
@@ -655,6 +744,15 @@ func (a *App) deriveTaskLocked(t *task) error {
 	if len(t.versions) == 0 {
 		return fmt.Errorf("core: task %s has no version", t.d.Name)
 	}
+	// Derived fields are shard-guarded (the release tick reads them under
+	// the home shard lock, without App.mu), so rewriting them for a new
+	// epoch takes that lock on top of App.mu (rank 2 -> 3). A home move
+	// (partitioned retune changing VirtCore) is published under the OLD
+	// home's lock, after dropping any wheel entry still bucketed there —
+	// the commit's re-arm pass re-inserts under the new home.
+	sh := a.shards[t.shard.Load()]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	t.root = t.d.Period > 0 || t.d.Sporadic || len(t.inEdges) == 0
 	for _, e := range t.inEdges {
 		if t.d.Period > 0 && e.initial == 0 {
@@ -684,7 +782,32 @@ func (a *App) deriveTaskLocked(t *task) error {
 		}
 	}
 	t.staticPrio = a.prioKeyOf(t)
+	t.hasIns = len(t.inEdges) > 0
+	t.fastDone = len(t.inEdges) == 0 && len(t.outEdges) == 0
+	t.fastSel = a.cfg.VersionSelect != SelectUser
+	for i := range t.versions {
+		if t.versions[i].accel != NoAccel {
+			t.fastSel = false
+			break
+		}
+	}
+	if nsi := int32(a.homeShardOf(t)); nsi != t.shard.Load() {
+		a.wheelRemoveShardLocked(t)
+		t.shard.Store(nsi)
+	}
 	return nil
+}
+
+// homeShardOf routes a task to its home release shard: its virtual core
+// under the partitioned mapping, id modulo shard count under global.
+func (a *App) homeShardOf(t *task) int {
+	if a.cfg.Mapping == MappingPartitioned {
+		if t.d.VirtCore >= 0 && t.d.VirtCore < len(a.shards) {
+			return t.d.VirtCore
+		}
+		return 0
+	}
+	return int(t.id) % len(a.shards)
 }
 
 // graphDeadlineFor walks back to the graph roots and returns the smallest
@@ -793,37 +916,136 @@ func gcdDur(x, y time.Duration) time.Duration {
 	return x
 }
 
-// allocJob takes a job from the pool; nil when exhausted (counted by caller).
-func (a *App) allocJob() *job {
-	n := len(a.freeJobs)
-	if n == 0 {
-		return nil
-	}
-	idx := a.freeJobs[n-1]
-	a.freeJobs = a.freeJobs[:n-1]
-	j := &a.jobPool[idx]
-	if j.state != jobFree {
-		panic(fmt.Sprintf("core: allocJob handing out live job %d (state=%d, task=%v)",
-			idx, j.state, j.t != nil))
-	}
-	*j = job{poolIdx: idx, worker: -1, accel: NoAccel, nested: NoAccel, waitingOn: NoAccel, heapIdx: -1}
-	return j
+// resetJob wipes a job slot for a new incarnation. Field-wise: the struct
+// carries atomics and cannot be copied.
+func resetJob(j *job, idx int) {
+	j.t = nil
+	j.seq, j.taskSeq = 0, 0
+	j.state.Store(jobFree)
+	j.release, j.stamp, j.absDL = 0, 0, 0
+	j.basePrio = 0
+	j.effPrio.Store(0)
+	j.version = 0
+	j.accel, j.nested, j.waitingOn = NoAccel, NoAccel, NoAccel
+	j.midWait = false
+	j.fib = nil
+	j.worker.Store(-1)
+	j.preempts = 0
+	j.started, j.fnDone = false, false
+	j.start, j.computed = 0, 0
+	j.err = nil
+	j.poolIdx = idx
+	j.heapIdx = -1
+	j.shardIdx.Store(-1)
+	j.fastSel, j.fastPath = false, false
+	j.pendingCharge = 0
 }
 
-func (a *App) freeJob(c rt.Ctx, j *job) {
-	if j.state == jobFree {
+// pushFreeJob returns a job slot to the lock-free pool freelist. The slot
+// must not be touched after the CAS succeeds: it may be re-allocated
+// immediately by another thread.
+//
+//yasmin:noalloc
+func (a *App) pushFreeJob(j *job) {
+	idx := uint64(uint32(j.poolIdx + 1))
+	for {
+		h := a.freeJobHead.Load()
+		j.nextFree.Store(int32(uint32(h)) - 1)
+		nh := (h>>32+1)<<32 | idx
+		if a.freeJobHead.CompareAndSwap(h, nh) {
+			return
+		}
+	}
+}
+
+// allocJob pops a job from the pool freelist lock-free; nil when exhausted
+// (counted by caller). The generation counter in the packed head defeats
+// ABA on concurrent pop/push/pop interleavings.
+//
+//yasmin:noalloc
+func (a *App) allocJob() *job {
+	for {
+		h := a.freeJobHead.Load()
+		idx := int(int32(uint32(h))) - 1
+		if idx < 0 {
+			return nil
+		}
+		j := &a.jobPool[idx]
+		next := uint64(uint32(j.nextFree.Load() + 1))
+		nh := (h>>32+1)<<32 | next
+		if !a.freeJobHead.CompareAndSwap(h, nh) {
+			continue
+		}
+		if j.state.Load() != jobFree {
+			panic(fmt.Sprintf("core: allocJob handing out live job %d (state=%d, task=%v)",
+				idx, j.state.Load(), j.t != nil))
+		}
+		resetJob(j, idx)
+		a.jobsLive.Add(1)
+		return j
+	}
+}
+
+// recycleJobUnreleased returns a just-allocated job that never became
+// visible to any scheduler structure (ready-queue overflow). Safe under any
+// lock: touches only atomics.
+//
+//yasmin:noalloc
+func (a *App) recycleJobUnreleased(j *job) {
+	j.state.Store(jobFree)
+	j.t = nil
+	a.pushFreeJob(j)
+	if a.jobsLive.Add(-1) == 0 && a.stopping.Load() {
+		a.wakeAllWorkers() //yasmin:alloc-ok stop-drain wake, only on the last-job edge of a stop
+	}
+}
+
+// freeJobLocked recycles a finished (or never-run) job; caller holds App.mu.
+// The slow completion paths, accelerator requeue overflow and the offline
+// dispatcher use this variant so draining tasks retire inline.
+func (a *App) freeJobLocked(c rt.Ctx, j *job) {
+	if j.state.Load() == jobFree {
 		panic(fmt.Sprintf("core: double free of job %d", j.poolIdx))
 	}
 	t := j.t
-	j.state = jobFree
+	j.state.Store(jobFree)
 	j.t = nil
 	j.fib = nil
-	a.freeJobs = append(a.freeJobs, j.poolIdx)
+	a.pushFreeJob(j)
+	var live int32
 	if t != nil {
-		t.live--
-		if t.live == 0 && t.state == taskDraining {
+		live = t.live.Add(-1)
+	}
+	if a.jobsLive.Add(-1) == 0 && a.stopping.Load() {
+		a.wakeAllWorkers()
+	}
+	if t != nil && live == 0 && t.state == taskDraining {
+		a.finishRetireLocked(t, c.Now())
+	}
+}
+
+// freeJob recycles a finished job on the lock-free completion path: the
+// caller holds NO locks, and only when the task is draining does retirement
+// fall back to App.mu (with a re-check under the lock).
+func (a *App) freeJob(c rt.Ctx, j *job) {
+	if j.state.Load() == jobFree {
+		panic(fmt.Sprintf("core: double free of job %d", j.poolIdx))
+	}
+	t := j.t
+	j.state.Store(jobFree)
+	j.t = nil
+	j.fib = nil
+	a.pushFreeJob(j)
+	live := t.live.Add(-1)
+	if a.jobsLive.Add(-1) == 0 && a.stopping.Load() {
+		a.wakeAllWorkers()
+	}
+	if live == 0 && t.draining.Load() {
+		a.mu.Lock(c)
+		if t.state == taskDraining && t.live.Load() == 0 {
 			a.finishRetireLocked(t, c.Now())
 		}
+		a.mu.Unlock(c)
 	}
 }
 
@@ -835,7 +1057,8 @@ func (a *App) freeJob(c rt.Ctx, j *job) {
 // of the retiring task), not O(topics declared), keeping cursor scans off
 // the reconfiguration hot path. Caller holds the lock.
 func (a *App) finishRetireLocked(t *task, now time.Duration) {
-	t.state = taskRetired
+	a.setTaskStateLocked(t, taskRetired)
+	t.draining.Store(false)
 	for _, c := range t.pubTopics {
 		tp := &a.topics[c]
 		if tp.dead {

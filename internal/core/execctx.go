@@ -31,7 +31,7 @@ func (x *ExecCtx) App() *App { return x.app }
 func (x *ExecCtx) Task() TID { return x.j.t.id }
 
 // TaskName returns the executing task's name.
-func (x *ExecCtx) TaskName() string { return x.j.t.d.Name }
+func (x *ExecCtx) TaskName() string { return x.j.name }
 
 // Version returns the selected version's ID.
 func (x *ExecCtx) Version() VID { return x.j.version }
@@ -80,28 +80,30 @@ func (x *ExecCtx) Compute(d time.Duration) error {
 }
 
 // suspendForPreemption is called when the fiber received the preemption
-// signal mid-Compute. Under the lock it re-checks that a more urgent job is
-// actually waiting (the signal may be stale); if so it hands the worker
-// back, parks, and returns when the worker resumes this job. Returns false
-// on termination.
+// signal mid-Compute. Under the worker's own shard lock it re-checks that a
+// more urgent job is actually waiting (the signal may be stale — and under
+// the global mapping the dispatcher migrates the urgent job into this
+// worker's shard before signalling, so the own queue head is the full
+// check); if so it hands the worker back, parks, and returns when the
+// worker resumes this job. Returns false on termination.
 func (x *ExecCtx) suspendForPreemption() bool {
 	a := x.app
 	if a.terminating.Load() {
 		return false
 	}
-	a.mu.Lock(x.c)
 	j := x.j
-	w := a.workers[j.worker]
-	q := a.queueForWorker(w)
-	head := q.peek()
+	w := a.workers[j.worker.Load()]
+	sh := a.shards[w.idx]
+	sh.mu.Lock()
+	head := sh.q.peek()
 	if head == nil || !head.before(j) || !a.cfg.Preemption {
 		// Spurious or stale signal: keep running.
-		a.mu.Unlock(x.c)
+		sh.mu.Unlock()
 		return true
 	}
 	w.wakeReason = wakeSuspended
 	w.wakeJob = j
-	a.mu.Unlock(x.c)
+	sh.mu.Unlock()
 	c := a.env.Costs()
 	x.c.Charge(c.ContextSwitch)
 	w.th.Unpark()
@@ -197,7 +199,7 @@ func (x *ExecCtx) AccelSectionOn(h HID, d time.Duration) error {
 	head := a.poolHead(h)
 	if j.nested != NoAccel {
 		a.mu.Unlock(x.c)
-		return fmt.Errorf("core: task %s: nested AccelSectionOn sections cannot themselves nest", j.t.d.Name)
+		return fmt.Errorf("core: task %s: nested AccelSectionOn sections cannot themselves nest", j.name)
 	}
 	var inst HID
 	if j.accel != NoAccel && a.poolHead(j.accel) == head {
@@ -211,16 +213,23 @@ func (x *ExecCtx) AccelSectionOn(h HID, d time.Duration) error {
 		a.mu.Unlock(x.c)
 	} else {
 		// Park mid-job: hand the worker back (it runs other jobs meanwhile)
-		// and wait for a direct grant from a releasing holder.
-		j.state = jobAccelWait
+		// and wait for a direct grant from a releasing holder. The state
+		// flip and the worker handshake go under the shard lock (App.mu is
+		// held too — rank 2 -> 3): preemption scans read cur.state under the
+		// shard lock alone, and a releasing holder's direct grant flips
+		// jobAccelWait -> jobAccelResumed under the same pair.
+		w := a.workers[j.worker.Load()]
+		sh := a.shards[w.idx]
+		sh.mu.Lock()
+		j.state.Store(jobAccelWait)
+		w.wakeReason = wakeAsyncFree
+		w.wakeJob = j
+		sh.mu.Unlock()
 		j.waitingOn = head
 		j.midWait = true
 		a.insertWaiterLocked(head, j)
 		a.recordAccel(x.c, trace.AccelPark, head, j)
-		a.boostChainLocked(x.c, head, j.effPrio)
-		w := a.workers[j.worker]
-		w.wakeReason = wakeAsyncFree
-		w.wakeJob = j
+		a.boostChainLocked(x.c, head, j.effPrio.Load())
 		a.mu.Unlock(x.c)
 		x.c.Charge(a.env.Costs().ContextSwitch)
 		w.th.Unpark()
@@ -273,12 +282,13 @@ func (x *ExecCtx) asyncAccelSection(scaled, nominal time.Duration) error {
 func (x *ExecCtx) detachedWait(d time.Duration) error {
 	a := x.app
 	j := x.j
-	a.mu.Lock(x.c)
-	w := a.workers[j.worker]
-	j.state = jobAccelAsync
+	w := a.workers[j.worker.Load()]
+	sh := a.shards[w.idx]
+	sh.mu.Lock()
+	j.state.Store(jobAccelAsync)
 	w.wakeReason = wakeAsyncFree
 	w.wakeJob = j
-	a.mu.Unlock(x.c)
+	sh.mu.Unlock()
 	w.th.Unpark()
 
 	until := x.c.Now() + d
@@ -296,21 +306,23 @@ func (x *ExecCtx) detachedWait(d time.Duration) error {
 func (x *ExecCtx) rejoinWorker() error {
 	a := x.app
 	j := x.j
-	w := a.workers[j.worker]
-	a.mu.Lock(x.c)
-	j.state = jobAccelResumed
-	wake := w.idle
-	if wake {
-		w.idle = false
-	}
-	preemptCurrent := !wake && a.cfg.Preemption &&
-		w.current != nil && w.current.state == jobRunning && j.before(w.current)
+	w := a.workers[j.worker.Load()]
+	sh := a.shards[w.idx]
+	sh.mu.Lock()
+	// Become resumable BEFORE probing the idle list: if the claim below
+	// loses to the worker's self-claim, the worker's pre-park re-check
+	// (workVisible, under this shard lock) is guaranteed to see the
+	// resumed state on its stack.
+	j.state.Store(jobAccelResumed)
+	cur := w.current
+	preemptCurrent := a.cfg.Preemption &&
+		cur != nil && cur.state.Load() == jobRunning && j.before(cur)
 	var preemptFiber rt.Thread
-	if preemptCurrent && w.current.fib != nil {
-		preemptFiber = w.current.fib.th
+	if preemptCurrent && cur.fib != nil {
+		preemptFiber = cur.fib.th
 	}
-	a.mu.Unlock(x.c)
-	if wake {
+	sh.mu.Unlock()
+	if a.claimIdle(w) {
 		w.th.Unpark()
 	} else if preemptFiber != nil {
 		x.c.Charge(a.env.Costs().SignalDeliver)
@@ -397,7 +409,7 @@ func (x *ExecCtx) Publish(c CID, v any) error {
 		return fmt.Errorf("core: channel %d was removed", c) //yasmin:alloc-ok cold error path
 	}
 	if len(vw.pubs) > 0 && !vw.isPub(x.j.t.id) {
-		return fmt.Errorf("core: task %s does not publish on topic %s", x.j.t.d.Name, vw.name) //yasmin:alloc-ok cold error path
+		return fmt.Errorf("core: task %s does not publish on topic %s", x.j.name, vw.name) //yasmin:alloc-ok cold error path
 	}
 	costs := a.env.Costs()
 	opCost := costs.ChannelOp + time.Duration(vw.nsubs)*costs.TopicFanoutPerSub
@@ -465,7 +477,7 @@ func (x *ExecCtx) cursorFor(tp *topic) (*uint64, error) {
 	if s := tp.subFor(x.j.t.id); s != nil {
 		return &s.cursor, nil
 	}
-	return nil, fmt.Errorf("core: task %s does not subscribe to topic %s", x.j.t.d.Name, tp.name)
+	return nil, fmt.Errorf("core: task %s does not subscribe to topic %s", x.j.name, tp.name)
 }
 
 // Take removes the next value the calling task has not consumed from a

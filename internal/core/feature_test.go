@@ -310,7 +310,7 @@ func TestMultiModeStopAlterRestart(t *testing.T) {
 		c.Sleep(ms(35))
 		r.app.Stop(c)
 		// Wait out the drain, then alter the set.
-		for !r.app.drained(c) {
+		for !r.app.drained() {
 			c.Sleep(ms(1))
 		}
 		for r.app.workersLive.Load() > 0 || r.app.schedLive.Load() > 0 {

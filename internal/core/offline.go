@@ -108,20 +108,21 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 		a.mu.Unlock(c)
 		return
 	}
-	a.jobSeq++
 	t.jobSeq++
 	j.t = t
-	t.live++
-	j.seq = a.jobSeq
+	j.name = t.d.Name
+	t.live.Add(1)
+	a.jobsLive.Add(1)
+	j.seq = a.jobSeq.Add(1)
 	j.taskSeq = t.jobSeq
 	j.release = release
 	j.stamp = release
 	j.absDL = release + t.effDeadline
 	j.version = e.Version
 	j.basePrio = t.staticPrio
-	j.effPrio = j.basePrio
-	j.state = jobRunning
-	j.worker = w.idx
+	j.effPrio.Store(j.basePrio)
+	j.state.Store(jobRunning)
+	j.worker.Store(int32(w.idx))
 	j.started = true
 	j.start = c.Now()
 	// Accelerator bookkeeping (no arbitration: the table guarantees
@@ -132,17 +133,15 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 		ac.holder = j
 		j.accel = h
 	}
-	// Bind a fiber.
-	n := len(a.freeFib)
-	if n == 0 {
+	// Bind a fiber (lock-free Treiber pool; sized so exhaustion is
+	// structurally impossible, dropped defensively).
+	f := a.allocFib()
+	if f == nil {
 		a.overruns.Add(1)
-		a.freeJob(c, j)
+		a.freeJobLocked(c, j)
 		a.mu.Unlock(c)
 		return
 	}
-	fi := a.freeFib[n-1]
-	a.freeFib = a.freeFib[:n-1]
-	f := a.fibers[fi]
 	f.job = j
 	j.fib = f
 	w.current = j
@@ -151,20 +150,29 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 	c.Charge(costs.ContextSwitch)
 	f.th.SetCore(w.core)
 	f.th.Unpark()
+	// The fiber notifies completion under the worker's shard lock (the same
+	// handshake as the online dispatcher).
+	sh := a.shards[w.idx]
 	for {
 		intr := c.Park()
 		if intr && a.terminating.Load() {
 			return
 		}
-		a.mu.Lock(c)
-		if w.wakeReason != wakeNone || a.terminating.Load() {
+		sh.mu.Lock()
+		reason := w.wakeReason
+		w.wakeReason = wakeNone
+		w.wakeJob = nil
+		sh.mu.Unlock()
+		if reason != wakeNone {
 			break
 		}
-		a.mu.Unlock(c)
+		if a.terminating.Load() {
+			return
+		}
 	}
-	w.wakeReason = wakeNone
 	now := c.Now()
 	a.recordTaskError(j.err)
+	a.mu.Lock(c)
 	heldInst := j.accel
 	accelName := ""
 	if heldInst != NoAccel {
@@ -189,8 +197,9 @@ func (a *App) runOfflineEntry(c rt.Ctx, w *workerState, e *TableEntry, release t
 	})
 	a.accountEnergy(j, heldInst)
 	f.job = nil
-	a.freeFib = append(a.freeFib, f.idx)
-	a.freeJob(c, j)
+	j.fib = nil
+	a.pushFreeFib(f)
+	a.freeJobLocked(c, j)
 	w.current = nil
 	a.mu.Unlock(c)
 }

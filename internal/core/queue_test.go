@@ -9,7 +9,10 @@ import (
 
 // mkJob builds a standalone job for queue tests.
 func mkJob(seq int64, prio int64) *job {
-	return &job{seq: seq, basePrio: prio, effPrio: prio, worker: -1, accel: NoAccel}
+	j := &job{seq: seq, basePrio: prio, accel: NoAccel}
+	j.effPrio.Store(prio)
+	j.worker.Store(-1)
+	return j
 }
 
 func TestQueuePopsInPriorityOrder(t *testing.T) {
@@ -22,7 +25,7 @@ func TestQueuePopsInPriorityOrder(t *testing.T) {
 	}
 	var got []int64
 	for q.len() > 0 {
-		got = append(got, q.pop().effPrio)
+		got = append(got, q.pop().effPrio.Load())
 	}
 	want := append([]int64{}, prios...)
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
@@ -86,10 +89,10 @@ func TestQueueRemoveArbitrary(t *testing.T) {
 		if j == jobs[3] {
 			t.Fatal("removed job popped")
 		}
-		if j.effPrio < last {
+		if j.effPrio.Load() < last {
 			t.Fatal("heap order violated after remove")
 		}
-		last = j.effPrio
+		last = j.effPrio.Load()
 	}
 }
 
@@ -104,7 +107,7 @@ func TestQueueFixAfterBoost(t *testing.T) {
 		}
 	}
 	// PIP-boost the low job above everything.
-	low.effPrio = 1
+	low.effPrio.Store(1)
 	q.fix(low)
 	if got := q.pop(); got != low {
 		t.Fatalf("boosted job not at the head (got seq %d)", got.seq)
@@ -160,7 +163,7 @@ func TestQueueMatchesReferenceModel(t *testing.T) {
 					continue
 				}
 				j := ref[rng.Intn(len(ref))]
-				j.effPrio = int64(rng.Intn(20))
+				j.effPrio.Store(int64(rng.Intn(20)))
 				q.fix(j)
 			}
 			if q.len() != len(ref) {

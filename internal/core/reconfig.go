@@ -351,7 +351,7 @@ func (tx *Reconfig) AddTask(d TData) (TID, error) {
 		return -1, err
 	}
 	t.d = d
-	t.state = taskStaged
+	a.setTaskStateLocked(t, taskStaged)
 	tx.addedTasks = append(tx.addedTasks, id)
 	return id, nil
 }
@@ -702,7 +702,7 @@ func (tx *Reconfig) rollback() {
 	defer a.mu.Unlock(tx.c)
 	for _, id := range tx.addedTasks {
 		t := &a.tasks[id]
-		t.state = taskRetired
+		a.setTaskStateLocked(t, taskRetired)
 		t.versions = t.versions[:0]
 		a.freeTaskSlots = append(a.freeTaskSlots, int(id))
 	}
@@ -1111,13 +1111,20 @@ func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
 	liveWheels := started && a.shards[0].wheel != nil
 
 	// Removed tasks start draining; their pending releases leave the wheel.
+	// Task lifecycle and wheel writes go under the home shard lock (rank
+	// 2 -> 3): the release tick runs under shard locks alone and may be
+	// mid-pass on another shard right now.
 	for _, id := range tx.removeOrder {
 		t := &a.tasks[id]
+		sh := a.shards[t.shard.Load()]
+		sh.mu.Lock()
 		t.state = taskDraining
 		t.retireEpoch = epoch
 		if liveWheels {
-			a.wheelRemoveLocked(t)
+			a.wheelRemoveShardLocked(t)
 		}
+		sh.mu.Unlock()
+		t.draining.Store(true)
 		rec.Retiring = append(rec.Retiring, t.d.Name)
 	}
 	// Severed edges die and their slots recycle. Their consumers are
@@ -1154,15 +1161,20 @@ func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
 	// period, not the old one.
 	for _, id := range tx.retuneOrder {
 		t := &a.tasks[id]
+		sh := a.shards[t.shard.Load()]
+		sh.mu.Lock()
 		t.d = tx.retunes[id]
 		if started && t.d.Period > 0 && !t.d.Sporadic && t.nextRelease > now+t.d.Period {
 			t.nextRelease = now + t.d.Period
 		}
+		sh.mu.Unlock()
 		rec.Retuned = append(rec.Retuned, t.d.Name)
 	}
 	// Staged tasks are admitted.
 	for _, id := range tx.addedTasks {
 		t := &a.tasks[id]
+		sh := a.shards[t.shard.Load()]
+		sh.mu.Lock()
 		if started {
 			t.state = taskRunning
 		} else {
@@ -1172,7 +1184,9 @@ func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
 		t.lastActivation = 0
 		t.everActivated = false
 		t.jobSeq = 0
-		t.live = 0
+		sh.mu.Unlock()
+		t.live.Store(0)
+		t.draining.Store(false)
 		rec.Admitted = append(rec.Admitted, t.d.Name)
 	}
 	// Staged topics go live; staged endpoints register. New subscribers
@@ -1216,7 +1230,7 @@ func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
 	// reaping.
 	for _, id := range tx.removeOrder {
 		t := &a.tasks[id]
-		if t.state == taskDraining && t.live == 0 {
+		if t.state == taskDraining && t.live.Load() == 0 {
 			a.finishRetireLocked(t, now)
 		}
 	}
@@ -1233,19 +1247,30 @@ func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
 		a.rebuildWheelsLocked(now)
 	} else if liveWheels {
 		// Retuned tasks re-arm at their (possibly pulled-in) next release;
-		// admitted periodic roots arm for the first time.
+		// admitted periodic roots arm for the first time. A retune that moved
+		// the task's home already dropped the old shard's entry (derivation
+		// removes it under the OLD home lock before publishing the move), so
+		// locking the current home covers both remove and insert here.
 		for _, id := range tx.retuneOrder {
 			t := &a.tasks[id]
-			a.wheelRemoveLocked(t)
+			si := int(t.shard.Load())
+			sh := a.shards[si]
+			sh.mu.Lock()
+			a.wheelRemoveShardLocked(t)
 			if t.state == taskRunning && t.root && t.d.Period > 0 && !t.d.Sporadic {
-				a.wheelInsertLocked(t)
+				a.wheelInsertShardLocked(sh, si, t)
 			}
+			sh.mu.Unlock()
 		}
 		for _, id := range tx.addedTasks {
 			t := &a.tasks[id]
+			si := int(t.shard.Load())
+			sh := a.shards[si]
+			sh.mu.Lock()
 			if t.state == taskRunning && t.root && t.d.Period > 0 && !t.d.Sporadic {
-				a.wheelInsertLocked(t)
+				a.wheelInsertShardLocked(sh, si, t)
 			}
+			sh.mu.Unlock()
 		}
 	}
 	// Input backlogs the transaction exposed (delay-token seeds on staged
@@ -1266,6 +1291,12 @@ func (tx *Reconfig) commitTables(started bool) trace.ReconfigRecord {
 	}
 	rec.Mode = a.mode.Load()
 	a.epoch.Store(int64(epoch))
+	// Publish the new epoch's scheduling snapshot: lock-free readers
+	// (TaskActivate's fast path, steal victim scans) flip to the new tables
+	// with one atomic pointer swap.
+	if started {
+		a.publishViewLocked()
+	}
 	// The quiescent barrier's modelled price: a fixed commit cost plus the
 	// table scans the rebuild performed.
 	c.Charge(costs.ReconfigBarrier +

@@ -4,9 +4,18 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/yasmin-rt/yasmin/internal/platform"
 	"github.com/yasmin-rt/yasmin/internal/rt"
 	"github.com/yasmin-rt/yasmin/internal/trace"
 )
+
+// slowRelease is one feedback-root release instance deferred from the
+// shard-locked phase of the tick to the App.mu phase (its delay-token state
+// is graph state).
+type slowRelease struct {
+	t   *task
+	rel time.Duration
+}
 
 // Start begins executing the task set — yas_start. It spawns the worker
 // threads (and, for online mappings, the dedicated scheduler thread) and
@@ -43,16 +52,32 @@ func (a *App) Start(c rt.Ctx) error {
 	}
 	// Fresh release shards for this run: wheel granularity is the scheduler
 	// grid, so every periodic release instant falls exactly on a wheel tick.
+	// Everything here runs quiescent (no worker/scheduler threads yet), so
+	// no shard locks are needed.
 	gran := a.schedPeriodNow()
 	for _, sh := range a.shards {
 		sh.wheel = newTimerWheel(gran, a.startTime)
 		sh.due = sh.due[:0]
+		for sh.q.len() > 0 {
+			sh.q.pop()
+		}
+		sh.nready.Store(0)
+		sh.headPrio.Store(noRunPrio)
+		sh.headSeq.Store(0)
 	}
+	for i := range a.schedDueOK {
+		a.schedDueOK[i] = false
+	}
+	a.slowDue = a.slowDue[:0]
 	a.dataPending = a.dataPending[:0]
+	a.dataPendingN.Store(0)
+	a.ticking.Store(0)
+	a.tickSeq.Store(0)
+	a.jobsLive.Store(0)
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
 		t.wheelLive = false
-		t.wheelGen++
+		t.wheelGen.Add(1)
 		t.pendingData = false
 		if t.state == taskRetired {
 			continue
@@ -62,7 +87,8 @@ func (a *App) Start(c rt.Ctx) error {
 		t.lastActivation = 0
 		t.everActivated = false
 		if t.root && t.d.Period > 0 && !t.d.Sporadic {
-			a.wheelInsertLocked(t)
+			si := int(t.shard.Load())
+			a.wheelInsertShardLocked(a.shards[si], si, t)
 		}
 	}
 	// Reset graph edges and pre-seed delay tokens (feedback loops fire
@@ -82,41 +108,44 @@ func (a *App) Start(c rt.Ctx) error {
 	for i := 0; i < a.ntasks; i++ {
 		a.noteDataReadyLocked(&a.tasks[i])
 	}
-	// Reset runtime queues and pools.
-	for _, q := range a.queues {
-		for q.len() > 0 {
-			q.pop()
-		}
-	}
 	for i := 0; i < a.naccels; i++ {
 		a.accels[i].busy = false
 		a.accels[i].holder = nil
 		a.accels[i].waiters = a.accels[i].waiters[:0]
 	}
+	a.idleHead = nil
 	for _, w := range a.workers {
-		w.idle = false
 		w.current = nil
 		w.preempted = w.preempted[:0]
 		w.wakeReason = wakeNone
+		w.wakeJob = nil
+		w.onIdle = false
+		w.idlePrev, w.idleNext = nil, nil
+		w.pendingCost = 0
+		w.lastSignalTick = 0
+		w.curPrio.Store(noRunPrio)
+		w.curSeq.Store(0)
 	}
-	a.freeFib = a.freeFib[:0]
 	a.started.Store(true)
+	// Publish the epoch-0 scheduling snapshot for lock-free readers.
+	a.publishViewLocked()
 
 	// Spawn fibers (execution contexts, preallocated as the paper's
 	// swapcontext stacks are). Fibers survive Stop/Start cycles; Cleanup
-	// terminates them.
+	// terminates them. The freelist is rebuilt each run: all fibers idle.
+	a.freeFibHead.Store(0)
 	if !a.fibersSpawned {
 		a.fibersSpawned = true
-		for i := range a.fibers {
+		for i := len(a.fibers) - 1; i >= 0; i-- {
 			f := &fiber{idx: i, app: a}
 			a.fibers[i] = f
 			a.liveThreads.Add(1)
 			f.th = a.env.Spawn(fmt.Sprintf("yas-fiber-%d", i), rt.UnpinnedCore, f.loop)
-			a.freeFib = append(a.freeFib, i)
+			a.pushFreeFib(f)
 		}
 	} else {
-		for i := range a.fibers {
-			a.freeFib = append(a.freeFib, i)
+		for i := len(a.fibers) - 1; i >= 0; i-- {
+			a.pushFreeFib(a.fibers[i])
 		}
 	}
 	// Spawn workers.
@@ -149,25 +178,18 @@ func (a *App) Start(c rt.Ctx) error {
 }
 
 // Stop stops releasing new jobs — yas_stop. Jobs already released are still
-// executed; workers then become idle. The App can be re-started.
+// executed; workers then become idle. The App can be re-started. Stop is
+// lock-free: it nudges the scheduler and wakes every worker (a token
+// buffered on a busy worker surfaces as one benign spurious wake).
 func (a *App) Stop(c rt.Ctx) {
 	if !a.started.Load() {
 		return
 	}
 	a.stopping.Store(true)
-	// Nudge the scheduler and the *idle* workers so loops observe the
-	// flag. Workers waiting on a running fiber must not be woken: their
-	// park is the job-completion handshake.
 	if a.schedTh != nil {
 		a.schedTh.Interrupt()
 	}
-	a.mu.Lock(c)
-	for _, w := range a.workers {
-		if w.th != nil && w.idle {
-			w.th.Unpark()
-		}
-	}
-	a.mu.Unlock(c)
+	a.wakeAllWorkers()
 }
 
 // Cleanup waits for all middleware threads to finish and shuts the instance
@@ -178,15 +200,15 @@ func (a *App) Cleanup(c rt.Ctx) {
 		return
 	}
 	a.stopping.Store(true)
-	// Let in-flight jobs drain: wait until all workers are idle and queues
-	// empty, then terminate. Poll at tick granularity but no slower than a
+	// Let in-flight jobs drain: wait until every released job has completed,
+	// then terminate. Poll at tick granularity but no slower than a
 	// millisecond — an application of hour-long periods (or one retuned to
 	// them) must not stall its own teardown by a scheduler period.
 	drainPoll := a.schedPeriodOr(time.Millisecond)
 	if drainPoll > time.Millisecond {
 		drainPoll = time.Millisecond
 	}
-	for !a.drained(c) {
+	for !a.drained() {
 		c.Sleep(drainPoll)
 	}
 	a.terminating.Store(true)
@@ -228,31 +250,18 @@ func (a *App) schedPeriodOr(d time.Duration) time.Duration {
 	return d
 }
 
-// drained reports whether no job is ready, running or suspended.
-func (a *App) drained(c rt.Ctx) bool {
-	a.mu.Lock(c)
-	defer a.mu.Unlock(c)
-	return a.drainedLocked()
-}
-
-// drainedLocked is drained for callers already holding the lock.
-func (a *App) drainedLocked() bool {
-	for _, q := range a.queues {
-		if q.len() > 0 {
-			return false
-		}
+// drained reports whether every released job has completed and no release
+// pass is in flight — pure atomics, no locks. Ready queues, worker stacks
+// and accelerator waiter lists all hold live (allocated) jobs, so jobsLive
+// covers every place a job can hide; the tick seqlock covers releases still
+// being pushed.
+//
+//yasmin:noalloc
+func (a *App) drained() bool {
+	if a.ticking.Load()%2 != 0 {
+		return false
 	}
-	for _, w := range a.workers {
-		if w.current != nil || len(w.preempted) > 0 {
-			return false
-		}
-	}
-	for i := 0; i < a.naccels; i++ {
-		if a.accels[i].busy || len(a.accels[i].waiters) > 0 {
-			return false
-		}
-	}
-	return true
+	return a.jobsLive.Load() == 0
 }
 
 func (a *App) threadExit() { a.liveThreads.Add(-1) }
@@ -265,34 +274,34 @@ func (a *App) threadExit() { a.liveThreads.Add(-1) }
 // release wheels hold nothing due are skipped entirely: the thread sleeps
 // straight to the next populated instant, so an idle or sparse schedule
 // costs nothing per empty tick.
+//
+// The loop never takes App.mu in steady state: releases run per shard under
+// the leaf locks (phase 1), and only feedback roots or pending data
+// activations open an App.mu phase 2. Release-vs-retire atomicity — a Stop
+// racing a release must not strand a job with no worker left to run it — is
+// the tick seqlock's job: ticking goes odd before the stopping re-check, and
+// workers refuse to retire while it is odd (see workerLoop).
 func (a *App) schedulerLoop(c rt.Ctx) {
 	defer a.threadExit()
 	costs := a.env.Costs()
 	for {
 		if a.stopping.Load() || a.terminating.Load() {
+			a.wakeAllWorkers()
 			return
 		}
 		t0 := c.Now()
 		c.Charge(costs.ClockRead)
-		a.mu.Lock(c)
-		// Re-check under the lock: Stop may have flipped the flag after the
-		// loop-top check. Workers retire the moment they observe stopping
-		// with everything drained, so a release slipping in here would push
-		// a job no worker is left to run — Cleanup would then wait on a
-		// queue that can never drain. Checking under the same lock the
-		// retire decision takes makes release-vs-retire atomic: either the
-		// job lands while workers are still obliged to drain it, or it is
-		// never released.
+		a.ticking.Add(1) // open the tick window (odd)
 		if a.stopping.Load() || a.terminating.Load() {
-			a.mu.Unlock(c)
+			a.ticking.Add(1)
+			a.wakeAllWorkers()
 			return
 		}
 		released := a.releaseDue(c, t0)
+		a.ticking.Add(1) // close the window (even)
 		if released > 0 {
 			a.dispatch(c)
 		}
-		wheelNext, wheelOK := a.nextWheelDueLocked()
-		a.mu.Unlock(c)
 		a.ovh.Add(trace.OverheadSchedule, c.Now()-t0)
 		// Next grid point, recomputed from the activation grid every tick:
 		// a reconfiguration commit may retune the period (it interrupts the
@@ -300,7 +309,7 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 		// overrun snaps forward to the next point without drifting.
 		period := a.schedPeriodNow()
 		next := a.startTime + ((c.Now()-a.startTime)/period+1)*period
-		if wheelOK && wheelNext > next {
+		if wheelNext, ok := a.nextWheelDue(); ok && wheelNext > next {
 			// Nothing can fire before wheelNext: snap it up to the grid and
 			// sleep through the empty ticks. Commits that admit or retune
 			// tasks interrupt the sleep, so a new earlier release is never
@@ -317,50 +326,82 @@ func (a *App) schedulerLoop(c rt.Ctx) {
 	}
 }
 
-// releaseDue releases every periodic job due at or before now, pulling due
-// tasks from the per-shard release wheels instead of scanning the task
-// table: the tick costs O(jobs released), independent of how many tasks are
-// declared (the paper's static full scan — and its per-task charge — only
-// paid off for small task sets). Caller holds the lock.
-//
-//yasmin:noalloc
+// releaseDue runs the two-phase release pass. Phase 1 visits each shard
+// under its own leaf lock: the wheel advances, pure periodic roots release
+// inline into the shard's queue, feedback roots (in-edges = graph state)
+// defer to phase 2, and the shard's next-due instant is snapshotted for the
+// sleep computation. Modelled bookkeeping cost accumulates per shard and is
+// charged after the lock drops. Phase 2 runs under App.mu only when
+// feedback roots or pending data activations exist — the steady state skips
+// it entirely, keeping App.mu off the release path.
 func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
 	costs := a.env.Costs()
 	released := 0
-	for _, sh := range a.shards {
-		if sh.wheel == nil {
-			continue
-		}
-		sh.due = sh.due[:0]
-		sh.wheel.advanceTo(sh.wheel.tickAt(now), &sh.due)
-		for _, t := range sh.due {
-			// The modelled scan now prices exactly the entries touched.
-			c.Charge(costs.StaticScanPerItem)
-			if t.state != taskRunning || t.d.Period <= 0 || t.d.Sporadic || !t.root {
-				continue
-			}
-			for t.nextRelease <= now {
-				rel := t.nextRelease
-				t.nextRelease += t.d.Period
-				// A periodic root with (delayed) feedback in-edges only fires
-				// when every feedback token is present: a missing token means
-				// the previous loop iteration has not completed, and the
-				// activation is dropped (counted as an overrun).
-				if len(t.inEdges) > 0 {
-					if !a.allInputsReady(t) {
-						a.overruns.Add(1)
+	a.slowDue = a.slowDue[:0]
+	for si, sh := range a.shards {
+		var cost time.Duration
+		sh.mu.Lock()
+		if sh.wheel != nil {
+			sh.due = sh.due[:0]
+			sh.wheel.advanceTo(sh.wheel.tickAt(now), &sh.due)
+			for _, t := range sh.due {
+				// The modelled scan prices exactly the entries touched.
+				cost += costs.StaticScanPerItem
+				if t.state != taskRunning || t.d.Period <= 0 || t.d.Sporadic || !t.root {
+					continue
+				}
+				for t.nextRelease <= now {
+					rel := t.nextRelease
+					t.nextRelease += t.d.Period
+					if t.hasIns {
+						// A periodic root with (delayed) feedback in-edges
+						// only fires when every feedback token is present —
+						// token state is graph state, so defer to phase 2.
+						a.slowDue = append(a.slowDue, slowRelease{t: t, rel: rel})
 						continue
 					}
-					a.consumeInputs(t)
+					cost += costs.QueueOpBase
+					if a.releaseJobShardLocked(sh, si, t, rel, rel) != nil {
+						cost += queueOpCost(costs, sh.q)
+						released++
+					}
 				}
-				c.Charge(costs.QueueOpBase)
-				a.releaseJob(c, t, rel, rel)
-				released++
+				a.wheelInsertShardLocked(sh, si, t) // re-arm for the next period
 			}
-			a.wheelInsertLocked(t) // re-arm for the next period
+			if tick, live := sh.wheel.nextDueTick(); live {
+				a.schedDue[si] = sh.wheel.epoch + time.Duration(tick)*sh.wheel.gran
+				a.schedDueOK[si] = true
+			} else {
+				a.schedDueOK[si] = false
+			}
+		}
+		sh.mu.Unlock()
+		if cost > 0 {
+			c.Charge(cost)
 		}
 	}
-	released += a.releasePendingDataLocked(c, now)
+	if len(a.slowDue) > 0 || a.dataPendingN.Load() > 0 {
+		a.mu.Lock(c)
+		for _, sr := range a.slowDue {
+			t := sr.t
+			if t.state != taskRunning {
+				continue
+			}
+			if !a.allInputsReady(t) {
+				// The previous loop iteration has not completed: the
+				// activation is dropped (counted as an overrun).
+				a.overruns.Add(1)
+				continue
+			}
+			a.consumeInputs(t)
+			c.Charge(costs.QueueOpBase)
+			if a.releaseJobApp(c, t, sr.rel, sr.rel) != nil {
+				released++
+			}
+		}
+		released += a.releasePendingDataLocked(c, now)
+		a.mu.Unlock(c)
+	}
 	return released
 }
 
@@ -368,7 +409,7 @@ func (a *App) releaseDue(c rt.Ctx, now time.Duration) int {
 // are complete (seeded delay tokens at Start, input backlogs exposed by a
 // reconfiguration commit). The common case — a producer completing — still
 // releases successors inline; this queue only catches activations that have
-// no future producer completion to ride on. Caller holds the lock.
+// no future producer completion to ride on. Caller holds App.mu.
 func (a *App) releasePendingDataLocked(c rt.Ctx, now time.Duration) int {
 	costs := a.env.Costs()
 	released := 0
@@ -376,6 +417,7 @@ func (a *App) releasePendingDataLocked(c rt.Ctx, now time.Duration) int {
 		n := len(a.dataPending) - 1
 		t := a.dataPending[n]
 		a.dataPending = a.dataPending[:n]
+		a.dataPendingN.Store(int32(n))
 		t.pendingData = false
 		if t.state != taskRunning || t.root {
 			continue
@@ -383,7 +425,7 @@ func (a *App) releasePendingDataLocked(c rt.Ctx, now time.Duration) int {
 		for a.allInputsReady(t) {
 			stamp := a.consumeInputs(t)
 			c.Charge(costs.QueueOpBase)
-			if a.releaseJob(c, t, now, stamp) == nil {
+			if a.releaseJobApp(c, t, now, stamp) == nil {
 				break
 			}
 			released++
@@ -393,7 +435,7 @@ func (a *App) releasePendingDataLocked(c rt.Ctx, now time.Duration) int {
 }
 
 // noteDataReadyLocked queues a data-activated task on the scheduler's
-// catch-up list if its inputs are complete. Caller holds the lock (or runs
+// catch-up list if its inputs are complete. Caller holds App.mu (or runs
 // during a quiescent Start).
 func (a *App) noteDataReadyLocked(t *task) {
 	if t.pendingData || t.root || t.state != taskRunning || !a.allInputsReady(t) {
@@ -401,46 +443,40 @@ func (a *App) noteDataReadyLocked(t *task) {
 	}
 	t.pendingData = true
 	a.dataPending = append(a.dataPending, t)
+	a.dataPendingN.Store(int32(len(a.dataPending)))
 }
 
-// wheelInsertLocked buckets a periodic root for its next release on its
-// shard's wheel. Caller holds the lock (or runs during a quiescent Start).
-func (a *App) wheelInsertLocked(t *task) {
-	sh := a.shardForTask(t)
-	t.wheelShard = sh
-	a.shards[sh].wheel.insert(t, t.nextRelease)
+// wheelInsertShardLocked buckets a periodic root for its next release on
+// sh's wheel. Caller holds sh.mu (or runs quiescent) with si == t.shard.
+//
+//yasmin:noalloc
+func (a *App) wheelInsertShardLocked(sh *releaseShard, si int, t *task) {
+	t.wheelShard = si
+	sh.wheel.insert(t, t.nextRelease)
 }
 
-// wheelRemoveLocked drops a task's pending release entry, if any.
-func (a *App) wheelRemoveLocked(t *task) {
+// wheelRemoveShardLocked drops a task's pending release entry, if any.
+// Caller holds the lock of the shard recorded in t.wheelShard.
+//
+//yasmin:noalloc
+func (a *App) wheelRemoveShardLocked(t *task) {
 	if !t.wheelLive {
 		return
 	}
 	a.shards[t.wheelShard].wheel.remove(t)
 }
 
-// shardForTask returns the release shard a task belongs to: its virtual
-// core under the partitioned mapping, the single global shard otherwise.
-func (a *App) shardForTask(t *task) int {
-	if a.cfg.Mapping == MappingPartitioned {
-		return t.d.VirtCore
-	}
-	return 0
-}
-
-// nextWheelDueLocked returns the earliest instant any shard's wheel can
-// fire. Caller holds the lock.
-func (a *App) nextWheelDueLocked() (time.Duration, bool) {
+// nextWheelDue folds the per-shard next-due snapshots taken by the last
+// phase-1 pass. Scheduler-thread private; no locks.
+//
+//yasmin:noalloc
+func (a *App) nextWheelDue() (time.Duration, bool) {
 	var best time.Duration
 	ok := false
-	for _, sh := range a.shards {
-		if sh.wheel == nil {
-			continue
-		}
-		if tick, live := sh.wheel.nextDueTick(); live {
-			at := sh.wheel.epoch + time.Duration(tick)*sh.wheel.gran
-			if !ok || at < best {
-				best, ok = at, true
+	for i := range a.shards {
+		if a.schedDueOK[i] {
+			if !ok || a.schedDue[i] < best {
+				best, ok = a.schedDue[i], true
 			}
 		}
 	}
@@ -450,207 +486,380 @@ func (a *App) nextWheelDueLocked() (time.Duration, bool) {
 // rebuildWheelsLocked rebuilds every shard wheel from scratch — needed when
 // the activation grid itself changes (a reconfiguration retuned the GCD), so
 // release instants stay exactly representable at the new granularity. Caller
-// holds the lock; the schedule is running.
+// holds App.mu; each shard is quiesced one leaf lock at a time (never two at
+// once).
 func (a *App) rebuildWheelsLocked(now time.Duration) {
 	gran := a.schedPeriodNow()
 	for _, sh := range a.shards {
+		sh.mu.Lock()
 		sh.wheel = newTimerWheel(gran, a.startTime)
 		sh.wheel.advanceTo(sh.wheel.tickAt(now), &sh.due) // cursor to "now"; nothing due in an empty wheel
 		sh.due = sh.due[:0]
+		sh.mu.Unlock()
 	}
 	for i := 0; i < a.ntasks; i++ {
 		t := &a.tasks[i]
+		si := int(t.shard.Load())
+		sh := a.shards[si]
+		sh.mu.Lock()
 		t.wheelLive = false
-		t.wheelGen++
+		t.wheelGen.Add(1)
 		if t.state == taskRunning && t.root && t.d.Period > 0 && !t.d.Sporadic {
-			a.wheelInsertLocked(t)
+			a.wheelInsertShardLocked(sh, si, t)
 		}
+		sh.mu.Unlock()
 	}
 }
 
-// releaseJob creates and enqueues one job of t. stamp is the graph-instance
-// root release. Caller holds the lock.
-func (a *App) releaseJob(c rt.Ctx, t *task, release, stamp time.Duration) *job {
-	j := a.allocJob()
-	if j == nil {
-		a.overruns.Add(1)
-		return nil
-	}
+// fillJob initialises a freshly allocated job of t. Caller holds the sync
+// domain guarding t's scheduling fields: the home shard lock (phase 1,
+// TaskActivate) or App.mu (phase 2, successor releases — commits write
+// those tasks' fields under App.mu too).
+//
+//yasmin:noalloc
+func (a *App) fillJob(j *job, t *task, release, stamp time.Duration) {
 	j.t = t
-	a.jobSeq++
-	j.seq = a.jobSeq
+	j.name = t.d.Name
+	j.seq = a.jobSeq.Add(1)
 	t.jobSeq++
 	j.taskSeq = t.jobSeq
 	j.release = release
 	j.stamp = stamp
 	j.absDL = stamp + t.effDeadline
-	if len(t.inEdges) > 0 {
+	if t.hasIns && t.d.Deadline > 0 {
 		// Data-activated node with its own deadline: relative to activation.
-		if t.d.Deadline > 0 {
-			j.absDL = release + t.d.Deadline
-		}
+		j.absDL = release + t.d.Deadline
 	}
 	if a.cfg.Priority == PriorityEDF {
 		j.basePrio = int64(j.absDL)
 	} else {
 		j.basePrio = t.staticPrio
 	}
-	j.effPrio = j.basePrio
-	j.state = jobReady
-	t.live++
-	q := a.queueForTask(t)
-	a.chargeQueueOp(c, q)
-	if err := q.push(j); err != nil {
+	j.effPrio.Store(j.basePrio)
+	j.state.Store(jobReady)
+	j.fastSel = t.fastSel
+	j.fastPath = t.fastDone
+}
+
+// releaseJobShardLocked creates and enqueues one job of t directly on sh.
+// Caller holds sh.mu with si == t.shard.
+//
+//yasmin:noalloc
+func (a *App) releaseJobShardLocked(sh *releaseShard, si int, t *task, release, stamp time.Duration) *job {
+	j := a.allocJob()
+	if j == nil {
 		a.overruns.Add(1)
-		a.freeJob(c, j) //yasmin:alloc-ok overrun recovery may retire the task, a reconfiguration event
+		return nil
+	}
+	a.fillJob(j, t, release, stamp)
+	t.live.Add(1)
+	if err := sh.q.push(j); err != nil {
+		t.live.Add(-1)
+		a.overruns.Add(1)
+		a.recycleJobUnreleased(j)
+		return nil
+	}
+	j.shardIdx.Store(int32(si))
+	sh.nready.Add(1)
+	sh.updateHeadLocked()
+	return j
+}
+
+// releaseJobApp creates one job of t and routes it to the home shard.
+// Caller holds App.mu (and no shard lock).
+func (a *App) releaseJobApp(c rt.Ctx, t *task, release, stamp time.Duration) *job {
+	j := a.allocJob()
+	if j == nil {
+		a.overruns.Add(1)
+		return nil
+	}
+	a.fillJob(j, t, release, stamp)
+	t.live.Add(1)
+	if !a.pushReady(c, j) {
+		t.live.Add(-1)
+		a.overruns.Add(1)
+		a.recycleJobUnreleased(j) //yasmin:alloc-ok overrun recovery, a reconfiguration-scale event
 		return nil
 	}
 	return j
 }
 
-// queueForTask returns the ready queue a task's jobs go to.
-func (a *App) queueForTask(t *task) *readyQueue {
-	if a.cfg.Mapping == MappingPartitioned {
-		return a.queues[t.d.VirtCore]
-	}
-	return a.queues[0]
-}
-
-// queueForWorker returns the queue a worker serves.
-func (a *App) queueForWorker(w *workerState) *readyQueue {
-	if a.cfg.Mapping == MappingPartitioned {
-		return a.queues[w.idx]
-	}
-	return a.queues[0]
-}
-
-func (a *App) chargeQueueOp(c rt.Ctx, q *readyQueue) {
-	costs := a.env.Costs()
-	c.Charge(costs.QueueOpBase + time.Duration(q.opCost())*costs.QueueOpPerItem)
+// queueOpCost prices one ready-queue operation by current heap depth.
+//
+//yasmin:noalloc
+func queueOpCost(costs *platform.CostModel, q *readyQueue) time.Duration {
+	return costs.QueueOpBase + time.Duration(q.opCost())*costs.QueueOpPerItem
 }
 
 // dispatch wakes idle workers for ready jobs and raises preemption signals —
-// the scheduler-side half of Figure 1a/1b. Caller holds the lock.
+// the scheduler-side half of Figure 1a/1b. It takes only shard locks and
+// idleMu, so it is callable with or without App.mu held. Idle workers come
+// off the intrusive idle list: waking is O(jobs dispatched), never a scan of
+// all workers.
 func (a *App) dispatch(c rt.Ctx) {
 	costs := a.env.Costs()
 	t0 := c.Now()
+	tick := a.tickSeq.Add(1)
 	if a.cfg.Mapping == MappingPartitioned {
-		for _, w := range a.workers {
-			q := a.queues[w.idx]
-			if q.len() == 0 {
+		for i, sh := range a.shards {
+			if sh.nready.Load() == 0 {
 				continue
 			}
-			a.wakeOrPreempt(c, w, q)
-		}
-	} else {
-		q := a.queues[0]
-		// Wake one idle worker per ready job.
-		for _, w := range a.workers {
-			if q.len() == 0 {
-				break
-			}
-			if w.idle {
-				w.idle = false
+			w := a.workers[i]
+			if a.claimIdle(w) {
+				a.idleWakes.Add(1)
 				c.Charge(costs.DispatchIPI)
 				w.th.Unpark()
+			} else if a.cfg.Preemption {
+				a.preemptShard(c, i, tick)
 			}
 		}
-		// All busy: preempt the lowest-priority runner(s) if the queue head
-		// beats them.
-		if a.cfg.Preemption {
-			a.signalPreemptions(c, q)
+	} else {
+		// Wake one idle worker per ready job; any still-unserved surplus is
+		// the preemption pass's problem.
+		want := 0
+		for _, sh := range a.shards {
+			want += int(sh.nready.Load())
+		}
+		if want == 0 {
+			a.ovh.Add(trace.OverheadDispatch, c.Now()-t0)
+			return
+		}
+		woken := 0
+		for want > 0 {
+			w := a.popIdle()
+			if w == nil {
+				break
+			}
+			woken++
+			want--
+			a.idleWakes.Add(1)
+			w.th.Unpark()
+		}
+		if woken > 0 {
+			c.Charge(time.Duration(woken) * costs.DispatchIPI)
+		}
+		if want > 0 && a.cfg.Preemption {
+			a.signalPreemptions(c, tick)
 		}
 	}
 	a.ovh.Add(trace.OverheadDispatch, c.Now()-t0)
 }
 
-// wakeOrPreempt handles one partitioned worker's queue.
-func (a *App) wakeOrPreempt(c rt.Ctx, w *workerState, q *readyQueue) {
-	costs := a.env.Costs()
-	if w.idle {
-		w.idle = false
-		c.Charge(costs.DispatchIPI)
-		w.th.Unpark()
-		return
+// preemptShard checks one partitioned worker's shard: if the queue head
+// beats the running job, the worker's fiber is signalled (deduped per
+// dispatch pass). Returns true when a fresh signal was sent.
+func (a *App) preemptShard(c rt.Ctx, i int, tick int64) bool {
+	sh := a.shards[i]
+	w := a.workers[i]
+	var fib *fiber
+	deduped := false
+	sh.mu.Lock()
+	head := sh.q.peek()
+	cur := w.current
+	if head != nil && cur != nil && cur.state.Load() == jobRunning && head.before(cur) && cur.fib != nil {
+		if w.lastSignalTick == tick {
+			deduped = true
+		} else {
+			w.lastSignalTick = tick
+			fib = cur.fib
+		}
 	}
-	if !a.cfg.Preemption {
-		return
+	sh.mu.Unlock()
+	if deduped {
+		a.signalsDeduped.Add(1)
+		return false
 	}
-	head := q.peek()
-	if head == nil {
-		return
+	if fib == nil {
+		return false
 	}
-	if w.current != nil && w.current.state == jobRunning && head.before(w.current) {
-		a.signalWorker(c, w)
-	}
+	a.signalFiber(c, fib)
+	return true
 }
 
-// signalPreemptions sends the preemption signal to every worker running a
-// job with lower priority than the global queue head (Section 3.5
-// "Pre-emption").
-func (a *App) signalPreemptions(c rt.Ctx, q *readyQueue) {
-	head := q.peek()
-	if head == nil {
-		return
-	}
-	for _, w := range a.workers {
-		if w.current != nil && w.current.state == jobRunning && head.before(w.current) {
-			a.signalWorker(c, w)
+// signalPreemptions closes cross-shard priority inversions under the global
+// mapping (Section 3.5 "Pre-emption", sharded): while the most urgent queued
+// head beats the least urgent running job, the head MIGRATES to the victim
+// worker's shard and that worker is signalled — preserving the old global
+// semantics (the queue head beats any lower-priority runner) without a
+// global queue. The scans read lock-free mirrors that may tear; every
+// decision is re-validated under the one shard lock it commits on, and the
+// pass is bounded by the worker count.
+func (a *App) signalPreemptions(c rt.Ctx, tick int64) {
+	for round := 0; round < len(a.workers); round++ {
+		// Most urgent queued head across shards (mirror scan).
+		hs := -1
+		var hp, hseq int64
+		for i, sh := range a.shards {
+			p := sh.headPrio.Load()
+			if p == noRunPrio {
+				continue
+			}
+			s := sh.headSeq.Load()
+			if hs < 0 || p < hp || (p == hp && s < hseq) {
+				hs, hp, hseq = i, p, s
+			}
+		}
+		if hs < 0 {
+			return
+		}
+		// Least urgent running job (mirror scan).
+		li := -1
+		var lp, lseq int64
+		for i, w := range a.workers {
+			p := w.curPrio.Load()
+			if p == noRunPrio {
+				continue
+			}
+			s := w.curSeq.Load()
+			if li < 0 || p > lp || (p == lp && s > lseq) {
+				li, lp, lseq = i, p, s
+			}
+		}
+		if li < 0 {
+			return
+		}
+		if !(hp < lp || (hp == lp && hseq < lseq)) {
+			return
+		}
+		if li == hs {
+			// The urgent head already sits on the victim's own shard.
+			if !a.preemptShard(c, li, tick) {
+				return // dedup or stale mirrors: no progress possible
+			}
+			continue
+		}
+		// Migrate the head into the victim's shard, one lock at a time.
+		src := a.shards[hs]
+		src.mu.Lock()
+		j := src.q.peek()
+		if j == nil || j.effPrio.Load() != hp || j.seq != hseq {
+			src.mu.Unlock()
+			continue // head changed under us; rescan
+		}
+		src.q.pop()
+		j.shardIdx.Store(-1)
+		src.nready.Add(-1)
+		src.updateHeadLocked()
+		src.mu.Unlock()
+		dst := a.shards[li]
+		w := a.workers[li]
+		var fib *fiber
+		dst.mu.Lock()
+		if err := dst.q.push(j); err != nil {
+			// Structurally impossible: every queue holds the whole pool.
+			dst.mu.Unlock()
+			panic(fmt.Sprintf("core: migration push failed: %v", err))
+		}
+		j.shardIdx.Store(int32(li))
+		dst.nready.Add(1)
+		dst.updateHeadLocked()
+		cur := w.current
+		if cur != nil && cur.state.Load() == jobRunning && j.before(cur) && cur.fib != nil {
+			if w.lastSignalTick == tick {
+				a.signalsDeduped.Add(1)
+			} else {
+				w.lastSignalTick = tick
+				fib = cur.fib
+			}
+		}
+		dst.mu.Unlock()
+		a.migrations.Add(1)
+		if fib != nil {
+			a.signalFiber(c, fib)
 		}
 	}
 }
 
-func (a *App) signalWorker(c rt.Ctx, w *workerState) {
+// signalFiber delivers the preemption signal to a running job's fiber.
+func (a *App) signalFiber(c rt.Ctx, fib *fiber) {
 	costs := a.env.Costs()
-	if w.current == nil || w.current.fib == nil {
-		return
-	}
 	t0 := c.Now()
 	c.Charge(costs.SignalDeliver)
-	w.current.fib.th.Interrupt()
+	fib.th.Interrupt()
+	a.signalsSent.Add(1)
 	a.ovh.Add(trace.OverheadPreempt, c.Now()-t0)
 }
 
 // TaskActivate activates a non-recurring task for immediate scheduling —
 // yas_task_activate. For sporadic tasks the minimum inter-arrival time is
 // enforced. Unlike periodic releases, activation bypasses the scheduler
-// tick: the job is pushed and dispatched from the caller's context.
+// tick: the job is pushed and dispatched from the caller's context — and
+// since the sharded core it never takes App.mu: the schedView snapshot
+// pre-validates the slot lock-free, then the home shard lock is the
+// authority for the shard-guarded task fields.
 func (a *App) TaskActivate(c rt.Ctx, id TID) error {
 	if !a.started.Load() || a.stopping.Load() {
 		return fmt.Errorf("core: TaskActivate outside a running schedule")
 	}
-	a.mu.Lock(c)
-	t, err := a.taskByID(id)
-	if err != nil {
+	v := a.view.Load()
+	if v == nil {
+		return fmt.Errorf("core: TaskActivate outside a running schedule")
+	}
+	if int(id) < 0 || int(id) >= int(v.ntasks) {
+		return fmt.Errorf("core: no task %d", id)
+	}
+	if !v.liveBit(int(id)) {
+		// Retired/staged in this epoch (or racing a commit): take App.mu for
+		// the precise legacy diagnosis.
+		a.mu.Lock(c)
+		_, err := a.taskByID(id)
 		a.mu.Unlock(c)
+		if err == nil {
+			err = fmt.Errorf("core: task %d changed state; retry", id)
+		}
 		return err
 	}
-	if t.state != taskRunning {
-		a.mu.Unlock(c)
-		return fmt.Errorf("core: task %s is %s; cannot TaskActivate", t.d.Name, t.state)
+	t := &a.tasks[id]
+	// Home shard lock via load/lock/re-validate (a commit may move the task).
+	var sh *releaseShard
+	var si int32
+	for {
+		si = t.shard.Load()
+		sh = a.shards[si]
+		sh.mu.Lock()
+		if t.shard.Load() == si {
+			break
+		}
+		sh.mu.Unlock()
 	}
-	if len(t.inEdges) > 0 {
-		a.mu.Unlock(c)
-		return fmt.Errorf("core: task %s is data-activated; cannot TaskActivate", t.d.Name)
+	if t.state != taskRunning {
+		st := t.state
+		name := t.d.Name
+		sh.mu.Unlock()
+		return fmt.Errorf("core: task %s is %s; cannot TaskActivate", name, st)
+	}
+	if t.hasIns {
+		name := t.d.Name
+		sh.mu.Unlock()
+		return fmt.Errorf("core: task %s is data-activated; cannot TaskActivate", name)
 	}
 	if t.d.Period > 0 && !t.d.Sporadic {
-		a.mu.Unlock(c)
-		return fmt.Errorf("core: task %s is periodic; the scheduler activates it", t.d.Name)
+		name := t.d.Name
+		sh.mu.Unlock()
+		return fmt.Errorf("core: task %s is periodic; the scheduler activates it", name)
 	}
 	now := c.Now()
 	if t.d.Sporadic && t.everActivated && now-t.lastActivation < t.d.Period {
-		a.mu.Unlock(c)
-		return fmt.Errorf("%w: task %s, %v since last", ErrMinInterarrival, t.d.Name, now-t.lastActivation)
+		name := t.d.Name
+		since := now - t.lastActivation
+		sh.mu.Unlock()
+		return fmt.Errorf("%w: task %s, %v since last", ErrMinInterarrival, name, since)
 	}
 	t.lastActivation = now
 	t.everActivated = true
-	j := a.releaseJob(c, t, now, now)
+	costs := a.env.Costs()
+	j := a.releaseJobShardLocked(sh, int(si), t, now, now)
+	cost := costs.QueueOpBase
 	if j != nil {
-		a.dispatch(c)
+		cost += queueOpCost(costs, sh.q)
 	}
-	a.mu.Unlock(c)
+	name := t.d.Name
+	sh.mu.Unlock()
+	c.Charge(cost)
 	if j == nil {
-		return fmt.Errorf("core: task %s activation dropped (pool exhausted)", t.d.Name)
+		return fmt.Errorf("core: task %s activation dropped (pool exhausted)", name)
 	}
+	a.dispatch(c)
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -150,16 +151,35 @@ type version struct {
 }
 
 // task is the runtime task record.
+//
+// Locking: the scheduling-hot fields (state, nextRelease, lastActivation,
+// everActivated, jobSeq, effDeadline, staticPrio, root, hasIns, fastSel,
+// fastDone, the wheel bookkeeping and d itself) are guarded by the task's
+// HOME SHARD lock (shards[t.shard].mu): the scheduler tick and TaskActivate
+// read and write them under the shard lock alone, and a reconfiguration
+// commit — which holds App.mu — additionally takes the home shard lock
+// around every write. Graph fields (outEdges/inEdges, pendingData) remain
+// pure App.mu state.
 type task struct {
 	id       TID
 	d        TData
 	versions []version // len grows to cfg.MaxVersionsPerTask
-	// state is the reconfiguration lifecycle state; read and written only
-	// under the App lock (or single-threaded declaration time).
+	// state is the reconfiguration lifecycle state; written under App.mu
+	// plus the task's home shard lock, read under either.
 	state taskState
+	// shard is the task's home release shard (queue + wheel). Readers
+	// resolve the home lock with a load/lock/re-validate loop: a commit
+	// moving the task (partitioned retune) stores the new index under the
+	// OLD shard's lock, so a reader that re-reads the same index after
+	// locking holds the task's current home lock.
+	shard atomic.Int32
 	// live counts in-flight jobs (ready + running + suspended); a Draining
-	// task retires when it reaches zero.
-	live int
+	// task retires when it reaches zero. Atomic: the lock-free completion
+	// path decrements it without App.mu.
+	live atomic.Int32
+	// draining mirrors state == taskDraining for the lock-free completion
+	// path: only when it is set does freeJob take App.mu to retire.
+	draining atomic.Bool
 	// retireEpoch is the reconfiguration epoch whose transaction started
 	// this task's drain.
 	retireEpoch int
@@ -188,16 +208,37 @@ type task struct {
 	// instead of scanning every declared topic.
 	pubTopics []CID
 
+	// hasIns mirrors len(inEdges) > 0 so the release path can classify
+	// feedback roots without reading graph state (shard-guarded).
+	hasIns bool
+	// fastSel marks tasks whose version selection never consults accelerator
+	// or user-callback state (no accelerator-bound versions, not SelectUser):
+	// workers select their version lock-free.
+	fastSel bool
+	// fastDone marks graph-isolated tasks (no in or out edges): completion
+	// has no successors to release or tokens to consume, so the worker
+	// finishes the job without App.mu.
+	fastDone bool
+
 	// Timer-wheel bookkeeping (periodic roots only; see wheel.go). wheelGen
 	// invalidates bucketed entries lazily, wheelTick is the pending release
-	// tick, wheelLive reports whether a live entry exists. All guarded by
-	// the App lock.
-	wheelGen   uint64
+	// tick, wheelLive reports whether a live entry exists. wheelGen is
+	// atomic: slot recycling (reconfiguration staging) bumps it while a
+	// sibling shard's tick may still be gen-checking stale entries of the
+	// previous incarnation under only that shard's lock. The rest guarded by
+	// the home shard lock.
+	wheelGen   atomic.Uint64
 	wheelTick  int64
 	wheelLive  bool
 	wheelShard int // shard whose wheel holds the live entry
+	// wheelLvl/wheelSlot locate the live entry inside its wheel so the
+	// per-slot occupancy counters can be maintained without slot walks;
+	// wheelLvl is -1 for overflow-list entries.
+	wheelLvl  int8
+	wheelSlot int16
 	// pendingData marks a data-activated task queued on the scheduler's
 	// catch-up list (seeded delay tokens, post-commit input backlogs).
+	// Guarded by App.mu (graph state).
 	pendingData bool
 }
 
@@ -240,8 +281,9 @@ func (e *edge) popStamp() (time.Duration, bool) {
 	return s, true
 }
 
-// jobState tracks a job through its life cycle.
-type jobState int
+// jobState tracks a job through its life cycle. It is an int32 alias so the
+// constants feed job.state's atomic accessors directly.
+type jobState = int32
 
 const (
 	jobFree jobState = iota
@@ -254,17 +296,32 @@ const (
 )
 
 // job is one activation of a task. Jobs live in a fixed pool allocated at
-// New; the scheduling path never allocates.
+// New and recycle through a lock-free Treiber freelist; the scheduling path
+// never allocates.
+//
+// Locking: heap position (heapIdx) and state transitions of queued or
+// stack-resident jobs are guarded by the shard lock that currently holds the
+// job (shardIdx while queued, the owning worker's shard while on a stack).
+// effPrio, worker and shardIdx are atomics so cross-shard readers (steal
+// candidates, preemption mirrors, PIP boosts) never tear; their writers
+// still follow the shard-lock discipline so heap invariants hold.
 type job struct {
-	t        *task
-	seq      int64 // global FIFO tie-breaker
-	taskSeq  int64 // job index within the task
-	state    jobState
+	t *task
+	// name snapshots t.d.Name at fill time: Retune rewrites t.d under
+	// App.mu plus the home shard lock, while completion records, energy
+	// accounting and ExecCtx read the running job's name with neither.
+	name    string
+	seq     int64 // global FIFO tie-breaker
+	taskSeq int64 // job index within the task
+	// state is atomic because writers hold whichever shard lock owns the
+	// job's current home (run handshake, suspension, accelerator rejoin)
+	// while the accelerator arbitration paths read it under App.mu alone.
+	state    atomic.Int32
 	release  time.Duration
 	stamp    time.Duration // root release of the graph activation
 	absDL    time.Duration
 	basePrio int64
-	effPrio  int64 // may be boosted by PIP
+	effPrio  atomic.Int64 // may be boosted by PIP
 	version  VID
 	accel    HID // version-bound accelerator instance held, NoAccel otherwise
 	// nested is the instance held by an in-flight ExecCtx.AccelSectionOn
@@ -280,7 +337,7 @@ type job struct {
 	waitingOn HID
 	midWait   bool
 	fib       *fiber
-	worker    int // executing worker index, -1 otherwise
+	worker    atomic.Int32 // executing worker index, -1 otherwise
 	preempts  int
 	started   bool
 	fnDone    bool // version function returned (set by the fiber)
@@ -291,12 +348,29 @@ type job struct {
 	// heapIdx is the job's slot in its ready queue's heap, -1 while not
 	// enqueued (intrusive index: no per-queue position map on the hot path).
 	heapIdx int
+	// shardIdx is the shard whose ready queue holds the job, -1 otherwise
+	// (a migrating or boosted job is re-located with a load/lock/re-validate
+	// loop on this field).
+	shardIdx atomic.Int32
+	// fastSel / fastPath capture the task's fastSel / fastDone flags at
+	// release time (stable for the job's lifetime without further locking).
+	fastSel  bool
+	fastPath bool
+	// pendingCharge is dispatch bookkeeping cost (context switch, queue ops)
+	// the worker defers to the fiber, which lazily folds it into the job
+	// body's first timed primitive.
+	pendingCharge time.Duration
+	// nextFree links the job into the lock-free pool freelist; atomic so a
+	// racing allocator's stale read of a just-pushed slot is well-defined
+	// (the CAS generation check discards the value).
+	nextFree atomic.Int32
 }
 
 // before orders jobs by effective priority then FIFO.
 func (j *job) before(k *job) bool {
-	if j.effPrio != k.effPrio {
-		return j.effPrio < k.effPrio
+	jp, kp := j.effPrio.Load(), k.effPrio.Load()
+	if jp != kp {
+		return jp < kp
 	}
 	return j.seq < k.seq
 }

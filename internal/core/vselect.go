@@ -17,7 +17,7 @@ func (a *App) selectVersion(c rt.Ctx, j *job) (vid VID, blockedOn HID) {
 	order := make([]VID, 0, len(t.versions))
 	switch a.cfg.VersionSelect {
 	case SelectEnergy:
-		order = a.orderByEnergy(t, order)
+		order = a.orderByEnergy(t, order, a.vselRest)
 	case SelectTradeoff:
 		order = a.orderByTradeoff(t, order)
 	case SelectMode:
@@ -54,13 +54,14 @@ func (a *App) selectVersion(c rt.Ctx, j *job) (vid VID, blockedOn HID) {
 // orderByEnergy implements SelectEnergy: among affordable versions (battery
 // at or above MinBattery) prefer the highest Quality; unaffordable versions
 // come last, cheapest first (graceful degradation). The unaffordable
-// overflow reuses the App-level scratch buffer (caller holds the lock):
+// overflow goes into the caller-owned scratch slice (the App-level buffer
+// under the lock, the worker-private one on the lock-free fast path):
 // version selection runs once per job, so a per-call allocation here was
 // measurable on the hot path.
-func (a *App) orderByEnergy(t *task, order []VID) []VID {
+func (a *App) orderByEnergy(t *task, order, scratch []VID) []VID {
 	level := a.batteryLevelFor(t)
 	afford := order[:0]
-	rest := a.vselRest[:0]
+	rest := scratch[:0]
 	for i := range t.versions {
 		p := &t.versions[i].props
 		if p.MinBattery <= level {
@@ -69,7 +70,6 @@ func (a *App) orderByEnergy(t *task, order []VID) []VID {
 			rest = append(rest, VID(i))
 		}
 	}
-	a.vselRest = rest[:0]
 	// Sort affordable by Quality descending (stable insertion; tiny n).
 	for i := 1; i < len(afford); i++ {
 		for k := i; k > 0; k-- {
@@ -95,6 +95,35 @@ func (a *App) orderByEnergy(t *task, order []VID) []VID {
 		}
 	}
 	return append(afford, rest...)
+}
+
+// selectVersionFast is the lock-free selection path for fastSel tasks: no
+// version is accelerator-bound and the method is not SelectUser, so the
+// choice depends only on the task's immutable version table, the mode/mask
+// atomics and the battery (a leaf behind its own rank-6 lock). The task
+// holds a live job, so a reconfiguration cannot mutate its versions
+// concurrently. Worker-private scratch keeps the path allocation-free.
+func (a *App) selectVersionFast(c rt.Ctx, w *workerState, j *job) VID {
+	t := j.t
+	order := w.vselOrder[:0]
+	switch a.cfg.VersionSelect {
+	case SelectEnergy:
+		order = a.orderByEnergy(t, order, w.vselRest)
+	case SelectTradeoff:
+		order = a.orderByTradeoff(t, order)
+	case SelectMode:
+		order = a.filterByMode(t, order)
+	case SelectBitmask:
+		order = a.filterByMask(t, order)
+	default: // SelectFirst
+		for i := range t.versions {
+			order = append(order, VID(i))
+		}
+	}
+	if len(order) == 0 {
+		return 0
+	}
+	return order[0]
 }
 
 // batteryLevelFor queries the task's battery callback, the app battery, or

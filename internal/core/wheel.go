@@ -1,6 +1,12 @@
 package core
 
-import "time"
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // The scheduler hot path keeps periodic root tasks in hierarchical timing
 // wheels instead of scanning the whole task table every tick: a task is
@@ -27,14 +33,48 @@ const (
 	wheelHorizon = int64(1) << (wheelBits * wheelLevels)
 )
 
-// releaseShard is one ready queue's share of the release machinery: the
-// timer wheel bucketing its periodic roots and a preallocated scratch
-// buffer the tick drains due tasks into. Shards are only ever touched by
-// the scheduler thread (and by commits) under the App lock; the sharding
-// exists so a release only walks state of the core it lands on.
+// releaseShard is one leaf of the sharded scheduler core: a ready queue,
+// the timer wheel bucketing the shard's periodic roots, and a preallocated
+// scratch buffer the tick drains due tasks into — all guarded by one leaf
+// lock. Worker i owns shard i: it pops its own queue under the shard lock
+// and, under the global mapping, steals from a sibling's shard by taking
+// only that sibling's lock. App.mu is never required on this path.
+//
+// Lock discipline: queueMu ranks BELOW App.mu (reconfigMu(1) -> App.mu(2) ->
+// queueMu(3) -> idleMu(4)), so commit paths holding App.mu may take a shard
+// lock, but no code path may ever hold two shard locks at once (the analyzer
+// models all shard locks as one identity; stealing and migration lock the
+// source and destination shards strictly in sequence).
 type releaseShard struct {
+	//yasmin:lockrank 3 nosleep
+	mu    sync.Mutex
+	q     *readyQueue
 	wheel *timerWheel
 	due   []*task
+	// nready mirrors q.len() for lock-free load probing (steal victim
+	// selection, dispatch wake counts, idle workers' pre-park re-check).
+	nready atomic.Int32
+	// headPrio/headSeq mirror the queue head's priority key for the lock-free
+	// preemption scan; they may tear relative to each other, so decisions
+	// based on them are re-validated under the shard lock.
+	headPrio atomic.Int64
+	headSeq  atomic.Int64
+}
+
+// noRunPrio is the head/current mirror sentinel for "nothing here".
+const noRunPrio = int64(math.MaxInt64)
+
+// updateHeadLocked refreshes the head mirrors; caller holds sh.mu.
+//
+//yasmin:noalloc
+func (sh *releaseShard) updateHeadLocked() {
+	if h := sh.q.peek(); h != nil {
+		sh.headPrio.Store(h.effPrio.Load())
+		sh.headSeq.Store(h.seq)
+	} else {
+		sh.headPrio.Store(noRunPrio)
+		sh.headSeq.Store(0)
+	}
 }
 
 // wheelEntry is one bucketed task. Entries are invalidated lazily: each
@@ -47,7 +87,7 @@ type wheelEntry struct {
 }
 
 // timerWheel buckets periodic root tasks by next-release tick. It is not
-// synchronised; the caller holds the App lock.
+// synchronised; the caller holds the owning shard's lock.
 type timerWheel struct {
 	gran     time.Duration // granule; release instants quantise up to it
 	epoch    time.Duration // instant of tick 0 (the schedule's start time)
@@ -55,6 +95,36 @@ type timerWheel struct {
 	slots    [wheelLevels][wheelSlots][]wheelEntry
 	overflow []wheelEntry
 	live     int // live (non-stale) entries, overflow included
+	// count tracks live entries per slot and occ mirrors count>0 as one
+	// occupancy bit per slot, so nextDueTick finds the first live slot of a
+	// level with a single rotate+trailing-zeros instead of walking slot
+	// contents (a hot-path sin when thousands of far-future tasks share one
+	// coarse slot).
+	count [wheelLevels][wheelSlots]int32
+	occ   [wheelLevels]uint64
+}
+
+// slotEnter/slotLeave maintain the per-slot live counters and the occupancy
+// bitmaps as an entry's live position moves (lvl -1 = overflow list, which
+// has no counter: len(overflow) > 0 is its conservative occupancy bound).
+func (w *timerWheel) slotEnter(t *task, lvl, slot int) {
+	t.wheelLvl, t.wheelSlot = int8(lvl), int16(slot)
+	if lvl < 0 {
+		return
+	}
+	if w.count[lvl][slot]++; w.count[lvl][slot] == 1 {
+		w.occ[lvl] |= 1 << uint(slot)
+	}
+}
+
+func (w *timerWheel) slotLeave(t *task) {
+	lvl, slot := int(t.wheelLvl), int(t.wheelSlot)
+	if lvl < 0 {
+		return
+	}
+	if w.count[lvl][slot]--; w.count[lvl][slot] == 0 {
+		w.occ[lvl] &^= 1 << uint(slot)
+	}
 }
 
 // newTimerWheel creates a wheel with the given granularity anchored at
@@ -88,9 +158,10 @@ func (w *timerWheel) tickAt(now time.Duration) int64 {
 // slot: inserting again first invalidates the previous entry.
 func (w *timerWheel) insert(t *task, at time.Duration) {
 	if t.wheelLive {
+		w.slotLeave(t)
 		w.live--
 	}
-	t.wheelGen++
+	t.wheelGen.Add(1)
 	t.wheelLive = true
 	tick := w.tickOf(at)
 	if tick <= w.base {
@@ -100,15 +171,17 @@ func (w *timerWheel) insert(t *task, at time.Duration) {
 	w.live++
 	delta := tick - w.base
 	if delta >= wheelHorizon {
-		w.overflow = append(w.overflow, wheelEntry{t: t, gen: t.wheelGen})
+		w.overflow = append(w.overflow, wheelEntry{t: t, gen: t.wheelGen.Load()})
+		w.slotEnter(t, -1, 0)
 		return
 	}
 	lvl := 0
 	for delta >= int64(wheelSlots)<<(wheelBits*lvl) {
 		lvl++
 	}
-	slot := (tick >> (wheelBits * lvl)) & wheelMask
-	w.slots[lvl][slot] = append(w.slots[lvl][slot], wheelEntry{t: t, gen: t.wheelGen})
+	slot := int((tick >> (wheelBits * lvl)) & wheelMask)
+	w.slots[lvl][slot] = append(w.slots[lvl][slot], wheelEntry{t: t, gen: t.wheelGen.Load()})
+	w.slotEnter(t, lvl, slot)
 }
 
 // remove invalidates t's pending entry (lazily: the slot is cleaned when
@@ -117,7 +190,8 @@ func (w *timerWheel) remove(t *task) {
 	if !t.wheelLive {
 		return
 	}
-	t.wheelGen++
+	w.slotLeave(t)
+	t.wheelGen.Add(1)
 	t.wheelLive = false
 	w.live--
 }
@@ -164,12 +238,13 @@ func (w *timerWheel) flushSlot(lvl, slot int, nowTick int64, due *[]*task) {
 	}
 	w.slots[lvl][slot] = entries[:0]
 	for _, e := range entries {
-		if e.gen != e.t.wheelGen {
+		if e.gen != e.t.wheelGen.Load() {
 			continue // invalidated by remove or re-insert
 		}
+		w.slotLeave(e.t)
 		if e.t.wheelTick <= nowTick {
 			e.t.wheelLive = false
-			e.t.wheelGen++
+			e.t.wheelGen.Add(1)
 			w.live--
 			*due = append(*due, e.t)
 			continue
@@ -187,14 +262,16 @@ func (w *timerWheel) reinsert(e wheelEntry) {
 	}
 	if delta >= wheelHorizon {
 		w.overflow = append(w.overflow, e)
+		w.slotEnter(e.t, -1, 0)
 		return
 	}
 	lvl := 0
 	for delta >= int64(wheelSlots)<<(wheelBits*lvl) {
 		lvl++
 	}
-	slot := (e.t.wheelTick >> (wheelBits * lvl)) & wheelMask
+	slot := int((e.t.wheelTick >> (wheelBits * lvl)) & wheelMask)
 	w.slots[lvl][slot] = append(w.slots[lvl][slot], wheelEntry{t: e.t, gen: e.gen})
+	w.slotEnter(e.t, lvl, slot)
 }
 
 // rebucketOverflow re-buckets overflow entries that came within the
@@ -202,13 +279,13 @@ func (w *timerWheel) reinsert(e wheelEntry) {
 func (w *timerWheel) rebucketOverflow(due *[]*task) {
 	kept := w.overflow[:0]
 	for _, e := range w.overflow {
-		if e.gen != e.t.wheelGen {
+		if e.gen != e.t.wheelGen.Load() {
 			continue
 		}
 		switch {
 		case e.t.wheelTick <= w.base:
 			e.t.wheelLive = false
-			e.t.wheelGen++
+			e.t.wheelGen.Add(1)
 			w.live--
 			*due = append(*due, e.t)
 		case e.t.wheelTick-w.base < wheelHorizon:
@@ -244,18 +321,18 @@ func (w *timerWheel) nextDueTick() (int64, bool) {
 		}
 	}
 	for lvl := 0; lvl < wheelLevels; lvl++ {
+		if w.occ[lvl] == 0 {
+			continue
+		}
 		shift := uint(wheelBits * lvl)
 		cur := w.base >> shift
-		for i := int64(1); i <= wheelSlots; i++ {
-			q := cur + i
-			if w.slotLive(lvl, int(q&wheelMask)) {
-				// Earliest instant any entry in this slot can fire: the
-				// slot's first tick. Within a level, slots scan in time
-				// order, so the first live one is the level's candidate.
-				consider(q << shift)
-				break
-			}
-		}
+		// Earliest instant any entry in a slot can fire is the slot's first
+		// tick, and within a level slots advance in time order — so the
+		// level's candidate is the first occupied slot at or after cur+1,
+		// found by rotating the occupancy bitmap to put cur+1 at bit 0.
+		rot := bits.RotateLeft64(w.occ[lvl], -int((cur+1)&wheelMask))
+		q := cur + 1 + int64(bits.TrailingZeros64(rot))
+		consider(q << shift)
 	}
 	if len(w.overflow) > 0 {
 		// Far future: the overflow re-buckets when the cursor crosses the
@@ -263,21 +340,4 @@ func (w *timerWheel) nextDueTick() (int64, bool) {
 		consider(w.base + wheelHorizon)
 	}
 	return best, ok
-}
-
-// slotLive reports whether a slot holds at least one non-stale entry,
-// compacting stale ones away as a side effect.
-func (w *timerWheel) slotLive(lvl, slot int) bool {
-	entries := w.slots[lvl][slot]
-	if len(entries) == 0 {
-		return false
-	}
-	kept := entries[:0]
-	for _, e := range entries {
-		if e.gen == e.t.wheelGen {
-			kept = append(kept, e)
-		}
-	}
-	w.slots[lvl][slot] = kept
-	return len(kept) > 0
 }

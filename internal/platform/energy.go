@@ -15,7 +15,7 @@ import (
 // identically in virtual and wall-clock time. Battery is safe for concurrent
 // use: the OS-backed runtime reads it from several worker threads.
 type Battery struct {
-	//yasmin:lockrank 4
+	//yasmin:lockrank 6
 	mu         sync.Mutex
 	capacityMJ float64
 	levelMJ    float64
@@ -86,7 +86,7 @@ func (b *Battery) SetLevel(pct float64) error {
 // EnergyMeter accumulates consumed energy per consumer name, used to report
 // per-version energy in experiments. Safe for concurrent use.
 type EnergyMeter struct {
-	//yasmin:lockrank 3
+	//yasmin:lockrank 5
 	mu       sync.Mutex
 	perName  map[string]float64
 	totalMJ  float64

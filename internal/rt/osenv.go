@@ -214,6 +214,10 @@ func (c *osCtx) Charge(time.Duration) {
 	// Real operations already cost real time.
 }
 
+func (c *osCtx) ChargeLazy(time.Duration) {
+	// Real operations already cost real time.
+}
+
 type osMutexLock struct{ mu sync.Mutex }
 
 func (l *osMutexLock) Lock(Ctx)   { l.mu.Lock() }

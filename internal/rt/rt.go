@@ -126,6 +126,17 @@ type Ctx interface {
 	//yasmin:nonblocking
 	//yasmin:noalloc
 	Charge(d time.Duration)
+	// ChargeLazy records d of bookkeeping cost without consuming it yet.
+	// The accumulated cost is folded into the thread's next timed primitive
+	// (Sleep/SleepUntil/Compute/Charge) or flushed as a plain Charge before
+	// the next Park/ParkIdle/Yield, so dense bookkeeping sequences cost one
+	// engine event instead of one per call. Pending cost folded into an
+	// interruptible Compute is consumed before the nominal work: on an early
+	// interrupt the remaining time is clamped to the nominal amount and the
+	// pending bookkeeping is considered absorbed.
+	//yasmin:nonblocking
+	//yasmin:noalloc
+	ChargeLazy(d time.Duration)
 }
 
 // Lock is a mutual-exclusion lock usable from thread context. Acquiring a

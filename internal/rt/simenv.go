@@ -114,6 +114,11 @@ func (t *simThread) speed() float64 {
 type simCtx struct {
 	env *SimEnv
 	th  *simThread
+	// pending is bookkeeping cost recorded by ChargeLazy but not yet
+	// consumed; it is folded into the next timed primitive or flushed as a
+	// Charge before the thread blocks, so virtual time never runs ahead of
+	// the work already accounted to this thread.
+	pending time.Duration
 }
 
 func (c *simCtx) Env() Env           { return c.env }
@@ -125,6 +130,7 @@ func (c *simCtx) Sleep(d time.Duration) bool {
 }
 
 func (c *simCtx) SleepUntil(t time.Duration) bool {
+	c.flushLazy()
 	intr, _ := c.th.proc.SleepUntil(sim.Time(t))
 	if !intr {
 		c.chargeWake(WakeTimer)
@@ -133,10 +139,12 @@ func (c *simCtx) SleepUntil(t time.Duration) bool {
 }
 
 func (c *simCtx) Park() bool {
+	c.flushLazy()
 	return c.th.proc.Park()
 }
 
 func (c *simCtx) ParkIdle() bool {
+	c.flushLazy()
 	intr := c.th.proc.Park()
 	if !intr {
 		c.chargeWake(WakeUnpark)
@@ -144,14 +152,22 @@ func (c *simCtx) ParkIdle() bool {
 	return intr
 }
 
-func (c *simCtx) Yield() { c.th.proc.Yield() }
+func (c *simCtx) Yield() {
+	c.flushLazy()
+	c.th.proc.Yield()
+}
 
 func (c *simCtx) Compute(d time.Duration) (time.Duration, bool) {
-	if d <= 0 {
+	if d <= 0 && c.pending <= 0 {
 		return 0, false
 	}
+	// Pending bookkeeping is consumed ahead of the nominal work inside one
+	// engine event; on an early interrupt the remainder is clamped to the
+	// nominal amount (the bookkeeping counts as absorbed).
+	pend := c.pending
+	c.pending = 0
 	speed := c.th.speed()
-	scaled := time.Duration(float64(d) / speed)
+	scaled := time.Duration(float64(pend+d) / speed)
 	intr, remScaled := c.th.proc.Compute(scaled)
 	if !intr {
 		return 0, false
@@ -164,10 +180,28 @@ func (c *simCtx) Compute(d time.Duration) (time.Duration, bool) {
 }
 
 func (c *simCtx) Charge(d time.Duration) {
+	d += c.pending
+	c.pending = 0
 	if d <= 0 {
 		return
 	}
 	c.th.proc.Charge(time.Duration(float64(d) / c.th.speed()))
+}
+
+func (c *simCtx) ChargeLazy(d time.Duration) {
+	if d > 0 {
+		c.pending += d
+	}
+}
+
+// flushLazy converts accumulated lazy cost into a real charge before the
+// thread blocks.
+func (c *simCtx) flushLazy() {
+	if c.pending > 0 {
+		d := c.pending
+		c.pending = 0
+		c.th.proc.Charge(time.Duration(float64(d) / c.th.speed()))
+	}
 }
 
 // chargeWake applies the kernel model's wakeup latency after a normal wake.

@@ -249,6 +249,7 @@ func runCluster(sc *Scenario, opts RunOpts) (*Report, error) {
 		rep.Misses += nr.Misses
 		rep.Overruns += app.Overruns()
 		rep.Retires += len(app.Recorder().Retires())
+		rep.Sched.Add(app.SchedStats())
 	}
 	if wall > 0 {
 		rep.JobsPerWallSec = float64(rep.Jobs) / wall.Seconds()

@@ -37,6 +37,12 @@ const (
 	// pool and parks mid-job on a second while more urgent accel-bound
 	// tasks contend — the structural shape of the PR 5 waiter re-sort bug.
 	ShapeAccelChain Shape = "accel_chain"
+	// ShapeSteal skews per-group utilisation hard under the global mapping:
+	// a heavy short-period minority next to a near-idle majority, so ready
+	// queues pile up on a subset of release shards and idle workers make
+	// progress only through the steal path, while retune/ping-pong churn
+	// republishes the dispatch tables mid-traffic.
+	ShapeSteal Shape = "steal"
 	// ShapeCluster generates multi-node scenarios with cross-node topics,
 	// injected loss/reorder and cluster-wide churn.
 	ShapeCluster Shape = "cluster"
@@ -44,7 +50,7 @@ const (
 
 // DefaultShapes is the single-node shape set Gen draws from when the
 // config lists none.
-var DefaultShapes = []Shape{ShapeUniform, ShapeDiurnal, ShapeBurst, ShapeBackpressure, ShapeAccelChain}
+var DefaultShapes = []Shape{ShapeUniform, ShapeDiurnal, ShapeBurst, ShapeBackpressure, ShapeAccelChain, ShapeSteal}
 
 // AllShapes adds the cluster shape.
 var AllShapes = append(append([]Shape{}, DefaultShapes...), ShapeCluster)
@@ -133,6 +139,8 @@ func Gen(seed int64, cfg Config) *scenario.Scenario {
 		genBackpressure(rng, sc)
 	case ShapeAccelChain:
 		genAccelChain(rng, sc)
+	case ShapeSteal:
+		genSteal(rng, sc)
 	case ShapeCluster:
 		genCluster(rng, sc)
 	}
@@ -368,6 +376,48 @@ func genAccelChain(rng *rand.Rand, sc *scenario.Scenario) {
 			AccelShare:  0.3,
 		})
 	}
+}
+
+// genSteal builds the work-stealing stress pattern. Stealing only exists
+// under the global mapping, so the shape overrides any partitioned draw;
+// the idle majority pads the task-id space so the heavy tasks land on a
+// strict subset of the release shards (home shard = id mod shard count).
+func genSteal(rng *rand.Rand, sc *scenario.Scenario) {
+	sc.Mapping = ""
+	sc.Groups = append(sc.Groups, scenario.TaskGroup{
+		Name:         "heavy",
+		Count:        2 + rng.Intn(3),
+		Period:       periodDist(rng, 1, 2, 2, 4),
+		Utilization:  0.25 + 0.15*rng.Float64(),
+		OffsetJitter: rng.Intn(2) == 0,
+	})
+	sc.Groups = append(sc.Groups, scenario.TaskGroup{
+		Name:        "idle",
+		Count:       6 + rng.Intn(8),
+		Period:      periodDist(rng, 40, 60, 80, 120),
+		Utilization: 0.002 + 0.004*rng.Float64(),
+	})
+	if rng.Intn(2) == 0 {
+		genTopics(rng, sc, 1)
+	}
+	horizon := sc.Duration.Std()
+	sc.Churn = append(sc.Churn, scenario.ChurnPhase{
+		At:     spec.Duration(horizon / 8),
+		Every:  spec.Duration(horizon / 6),
+		Action: "retune",
+		Count:  2 + rng.Intn(3),
+	})
+	if rng.Intn(2) == 0 {
+		sc.Churn = append(sc.Churn, scenario.ChurnPhase{
+			At:          spec.Duration(horizon / 4),
+			Every:       spec.Duration(horizon / 5),
+			Action:      "ping_pong",
+			Count:       2 + rng.Intn(3),
+			Utilization: 0.01 + 0.02*rng.Float64(),
+			Period:      periodDist(rng, 3, 6, 8, 20),
+		})
+	}
+	maybeFailures(rng, sc)
 }
 
 func genCluster(rng *rand.Rand, sc *scenario.Scenario) {

@@ -49,6 +49,11 @@ type Report struct {
 	AccelBoosts    int64 `json:"accel_boosts,omitempty"`
 	AccelMaxWaitNS int64 `json:"accel_max_wait_ns,omitempty"`
 
+	// Sched is the sharded scheduler core's counter snapshot (summed over
+	// nodes in cluster mode): work-stealing traffic, dispatcher migrations,
+	// idle-list wakes, preemption signalling and schedView publications.
+	Sched trace.SchedStats `json:"sched"`
+
 	Epochs     int   `json:"epochs"`
 	Retires    int   `json:"retires"`
 	Rejections int64 `json:"rejections"`
@@ -237,6 +242,7 @@ func runScenario(sc *Scenario, opts RunOpts, bk runBackend) (*Report, error) {
 		Jobs:          app.Recorder().TotalJobs(),
 		Misses:        app.Recorder().TotalMisses(),
 		Overruns:      app.Overruns(),
+		Sched:         app.SchedStats(),
 		Published:     ck.Published(),
 		Delivered:     ck.Delivered(),
 		Epochs:        app.Epoch(),

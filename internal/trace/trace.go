@@ -18,7 +18,7 @@ import (
 // optionally the full sample set for percentiles. The zero value is ready to
 // use (unbounded sample retention disabled). Safe for concurrent use.
 type Stat struct {
-	//yasmin:lockrank 4
+	//yasmin:lockrank 6
 	mu      sync.Mutex
 	name    string
 	count   int64
@@ -244,7 +244,7 @@ type streamBox struct{ s Stream }
 // concurrent use. With a Stream attached (SetStream), every record is
 // additionally forwarded lock-free before local aggregation.
 type Recorder struct {
-	//yasmin:lockrank 3
+	//yasmin:lockrank 5
 	mu        sync.Mutex
 	jobs      []JobRecord
 	keepJobs  bool
@@ -540,7 +540,7 @@ func (k OverheadKind) String() string {
 // Overheads aggregates overhead samples by kind plus a global stat — the
 // measurement behind Fig. 2. Safe for concurrent use.
 type Overheads struct {
-	//yasmin:lockrank 3
+	//yasmin:lockrank 5
 	mu     sync.Mutex
 	all    *Stat
 	byKind map[OverheadKind]*Stat
@@ -587,4 +587,41 @@ func (o *Overheads) Kinds() []OverheadKind {
 	}
 	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
 	return ks
+}
+
+// SchedStats is the sharded scheduler core's counter snapshot: work-stealing
+// traffic, cross-shard preemption migrations, idle-list wakes, preemption
+// signalling (with per-dispatch-pass dedup hits) and epoch snapshot
+// publications. All counters are cumulative since Start.
+type SchedStats struct {
+	// Steals counts jobs a worker popped from a sibling shard's queue
+	// (global mapping only; partitioned placements never steal).
+	Steals int64 `json:"steals"`
+	// StealMisses counts steal attempts that found the victim's queue
+	// empty after locking it (the lock-free load mirror was stale).
+	StealMisses int64 `json:"steal_misses"`
+	// Migrations counts queued jobs the dispatcher moved into a preemption
+	// victim's shard to preserve global priority order.
+	Migrations int64 `json:"migrations"`
+	// IdleWakes counts workers woken off the idle list by the dispatcher.
+	IdleWakes int64 `json:"idle_wakes"`
+	// Signals counts preemption signals delivered to running fibers.
+	Signals int64 `json:"signals"`
+	// SignalsDeduped counts preemption signals suppressed because the
+	// worker was already signalled in the same dispatch pass.
+	SignalsDeduped int64 `json:"signals_deduped"`
+	// ViewPublishes counts schedView epoch snapshot publications (Start
+	// plus one per reconfiguration commit).
+	ViewPublishes int64 `json:"view_publishes"`
+}
+
+// Add accumulates o into s; cluster reports sum the per-node snapshots.
+func (s *SchedStats) Add(o SchedStats) {
+	s.Steals += o.Steals
+	s.StealMisses += o.StealMisses
+	s.Migrations += o.Migrations
+	s.IdleWakes += o.IdleWakes
+	s.Signals += o.Signals
+	s.SignalsDeduped += o.SignalsDeduped
+	s.ViewPublishes += o.ViewPublishes
 }
